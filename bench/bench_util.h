@@ -1,0 +1,73 @@
+#ifndef CLAIMS_BENCH_BENCH_UTIL_H_
+#define CLAIMS_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure/table reproduction binaries: aligned text
+// tables (the paper's rows/series) with an optional --csv mode.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace claims {
+namespace bench {
+
+inline bool CsvMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") return true;
+  }
+  return false;
+}
+
+/// Column-aligned table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(bool csv) : csv_(csv) {}
+
+  void Header(std::vector<std::string> cells) { Row(std::move(cells)); }
+
+  void Row(std::vector<std::string> cells) {
+    if (cells.size() > widths_.size()) widths_.resize(cells.size(), 0);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    for (const auto& row : rows_) {
+      std::string line;
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (csv_) {
+          if (i) line += ",";
+          line += row[i];
+        } else {
+          if (i) line += "  ";
+          line += row[i];
+          line += std::string(widths_[i] - row[i].size(), ' ');
+        }
+      }
+      std::printf("%s\n", line.c_str());
+    }
+  }
+
+ private:
+  bool csv_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> widths_;
+};
+
+inline std::string Sec(int64_t ns) { return StrFormat("%.1f", ns / 1e9); }
+inline std::string Sec2(int64_t ns) { return StrFormat("%.2f", ns / 1e9); }
+inline std::string Pct(double f) { return StrFormat("%.1f", f * 100); }
+inline std::string Gb(int64_t bytes) {
+  return StrFormat("%.2f", static_cast<double>(bytes) / (1 << 30));
+}
+
+inline void Title(const char* text) { std::printf("\n=== %s ===\n", text); }
+
+}  // namespace bench
+}  // namespace claims
+
+#endif  // CLAIMS_BENCH_BENCH_UTIL_H_

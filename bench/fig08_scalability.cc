@@ -1,0 +1,94 @@
+// Reproduces paper Figure 8: scalability of intra-segment parallelism for
+// the filter (S-Q1/S-Q2), hash-aggregation (S-Q3/S-Q4, shared vs independent)
+// and hash-join (build/probe) operators, on the virtual-time node model
+// (single node, 24 logical cores, paper Table 3; see DESIGN.md §1).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/specs.h"
+
+namespace claims {
+namespace {
+
+constexpr int64_t kRows = 20'000'000;
+const int kParallelism[] = {1, 2, 4, 8, 12, 16, 20, 24};
+
+int64_t Response(SimQuerySpec spec, int p) {
+  SimOptions opt;
+  opt.num_nodes = 1;
+  opt.policy = SimPolicy::kStatic;
+  opt.partition_skew_cv = 0;  // pure operator scalability
+  opt.parallelism = p;
+  SimRun run(std::move(spec), opt);
+  auto m = run.Run();
+  if (!m.ok()) {
+    std::fprintf(stderr, "sim failed: %s\n", m.status().ToString().c_str());
+    return -1;
+  }
+  return m->response_ns;
+}
+
+struct Curve {
+  std::string name;
+  std::function<SimQuerySpec()> make;
+};
+
+void PrintCurves(const char* title, const std::vector<Curve>& curves,
+                 bool csv) {
+  bench::Title(title);
+  bench::TablePrinter table(csv);
+  std::vector<std::string> header = {"parallelism"};
+  for (const Curve& c : curves) header.push_back(c.name);
+  table.Header(std::move(header));
+  std::vector<int64_t> base;
+  for (const Curve& c : curves) base.push_back(Response(c.make(), 1));
+  for (int p : kParallelism) {
+    std::vector<std::string> row = {StrFormat("%d", p)};
+    for (size_t i = 0; i < curves.size(); ++i) {
+      int64_t t = Response(curves[i].make(), p);
+      row.push_back(StrFormat("%.2f", static_cast<double>(base[i]) / t));
+    }
+    table.Row(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace claims
+
+int main(int argc, char** argv) {
+  using namespace claims;
+  bool csv = bench::CsvMode(argc, argv);
+  SimCostParams costs;
+
+  std::printf("Figure 8: scalability of intra-segment parallelism "
+              "(speedup vs degree of parallelism)\n");
+
+  PrintCurves("Fig 8(a) filter operator",
+              {{"S-Q1(compute)",
+                [&] { return MicroFilterSpec(true, kRows, costs); }},
+               {"S-Q2(data)",
+                [&] { return MicroFilterSpec(false, kRows, costs); }}},
+              csv);
+
+  PrintCurves(
+      "Fig 8(b) hash aggregation operator",
+      {{"S-Q3(shared)",
+        [&] { return MicroAggSpec(true, 4, kRows, costs); }},
+       {"S-Q4(shared)",
+        [&] { return MicroAggSpec(true, 250'000'000, kRows, costs); }},
+       {"S-Q3(independent)",
+        [&] { return MicroAggSpec(false, 4, kRows, costs); }},
+       {"S-Q4(independent)",
+        [&] { return MicroAggSpec(false, 250'000'000, kRows, costs); }}},
+      csv);
+
+  PrintCurves("Fig 8(c) hash join operator (S-Q5)",
+              {{"Build phase",
+                [&] { return MicroJoinSpec(true, kRows, costs); }},
+               {"Probe phase",
+                [&] { return MicroJoinSpec(false, kRows, costs); }}},
+              csv);
+  return 0;
+}

@@ -1,0 +1,204 @@
+// Reproduces paper Figure 9: the latency of expansion and shrinkage — on the
+// REAL multithreaded engine (this is the one paper experiment that needs no
+// multicore speedup, only latency, so it runs natively; DESIGN.md §3).
+//
+//  (a) expansion delay vs the number of iterators in the segment;
+//  (b) shrinkage delay vs segment composition (deeper/heavier active stages
+//      take longer to finish the in-flight block).
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/elastic_iterator.h"
+#include "exec/ops/filter.h"
+#include "exec/ops/hash_agg.h"
+#include "exec/ops/hash_join.h"
+#include "exec/ops/scan.h"
+#include "storage/table.h"
+
+namespace claims {
+namespace {
+
+// Driving table: an int key plus a comment column so LIKE filters are
+// realistically expensive.
+std::unique_ptr<Table> MakeBig(int64_t rows) {
+  Schema schema({ColumnDef::Int32("k"), ColumnDef::Char("c", 44)});
+  auto t = std::make_unique<Table>("big", schema, 1, std::vector<int>{});
+  const char* words[] = {"furiously", "special", "requests", "sleep",
+                         "carefully", "ironic", "deposits"};
+  Rng rng(7);
+  for (int64_t i = 0; i < rows; ++i) {
+    std::string c = StrFormat("%s %s %s", words[rng.Uniform(7)],
+                              words[rng.Uniform(7)], words[rng.Uniform(7)]);
+    t->AppendValues({Value::Int32(static_cast<int32_t>(i % 1000)),
+                     Value::String(c)});
+  }
+  return t;
+}
+
+std::unique_ptr<Table> MakeSmall(int rows) {
+  Schema schema({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+  auto t = std::make_unique<Table>("small", schema, 1, std::vector<int>{});
+  for (int i = 0; i < rows; ++i) {
+    t->AppendValues({Value::Int32(i % 1000), Value::Int64(i)});
+  }
+  return t;
+}
+
+ExprPtr Col(const Schema& s, int i) {
+  return MakeColumnRef(i, s.column(i).type, s.column(i).name);
+}
+
+/// Builds scan → (num_filters × LIKE-filter) over `big`.
+std::unique_ptr<Iterator> FilterChain(const Table& big, int num_filters) {
+  const Schema* s = &big.schema();
+  std::unique_ptr<Iterator> it =
+      std::make_unique<ScanIterator>(&big.partition(0), s);
+  for (int f = 0; f < num_filters; ++f) {
+    it = std::make_unique<FilterIterator>(
+        std::move(it), s, MakeLike(Col(*s, 1), "%furiously%sleep%", true));
+  }
+  return it;
+}
+
+/// scan-filter [-join]*n [-agg] per the Fig. 9(b) compositions. `smalls`
+/// holds one build table per join (kept alive by the caller).
+std::unique_ptr<Iterator> Composition(
+    const Table& big, int joins, bool agg,
+    std::vector<std::unique_ptr<Table>>* smalls, const Schema** out_schema) {
+  const Schema* s = &big.schema();
+  std::unique_ptr<Iterator> it = FilterChain(big, 1);
+  // Join output schemas must outlive the iterators; lease them statically.
+  static std::vector<std::unique_ptr<Schema>> schemas;
+  for (int j = 0; j < joins; ++j) {
+    smalls->push_back(MakeSmall(2000));
+    Table* small = smalls->back().get();
+    HashJoinIterator::Spec spec;
+    spec.build_schema = &small->schema();
+    spec.probe_schema = s;
+    spec.build_keys = {0};
+    spec.probe_keys = {0};
+    auto build =
+        std::make_unique<ScanIterator>(&small->partition(0), &small->schema());
+    auto join = std::make_unique<HashJoinIterator>(std::move(build),
+                                                   std::move(it), spec);
+    schemas.push_back(std::make_unique<Schema>(join->output_schema()));
+    s = schemas.back().get();
+    it = std::move(join);
+  }
+  if (agg) {
+    HashAggIterator::Spec spec;
+    spec.input_schema = s;
+    spec.group_exprs = {Col(*s, 0)};
+    spec.group_names = {"k"};
+    spec.aggregates = {{AggFn::kCount, nullptr, "cnt"}};
+    spec.mode = HashAggIterator::Mode::kIndependent;
+    auto a = std::make_unique<HashAggIterator>(std::move(it), spec);
+    schemas.push_back(std::make_unique<Schema>(a->output_schema()));
+    s = schemas.back().get();
+    it = std::move(a);
+  }
+  *out_schema = s;
+  return it;
+}
+
+struct Delays {
+  double expand_ms = 0;
+  double shrink_ms = 0;
+  int iterators = 0;
+};
+
+/// Runs the pipeline under an elastic iterator and measures expansion and
+/// shrinkage latency while it is actively processing.
+Delays Measure(std::unique_ptr<Iterator> ops, int trials) {
+  Delays d;
+  d.iterators = ops->SubtreeSize();
+  ElasticIterator::Options opts;
+  opts.initial_parallelism = 3;
+  ElasticIterator it(std::move(ops), opts);
+  WorkerContext ctx;
+  it.Open(&ctx);
+  std::thread consumer([&] {
+    BlockPtr b;
+    while (it.Next(&ctx, &b) == NextResult::kSuccess) {
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  std::vector<int64_t> expands;
+  std::vector<int64_t> shrinks;
+  for (int t = 0; t < trials && !it.finished(); ++t) {
+    int64_t e = it.ExpandMeasured(4 + t);
+    if (e >= 0) expands.push_back(e);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    int64_t s = it.ShrinkBlocking();
+    if (s >= 0) shrinks.push_back(s);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  it.Close();
+  consumer.join();
+  auto mean = [](const std::vector<int64_t>& v) {
+    return v.empty() ? 0.0
+                     : std::accumulate(v.begin(), v.end(), 0.0) / v.size() /
+                           1e6;
+  };
+  d.expand_ms = mean(expands);
+  d.shrink_ms = mean(shrinks);
+  return d;
+}
+
+}  // namespace
+}  // namespace claims
+
+int main(int argc, char** argv) {
+  using namespace claims;
+  bool csv = bench::CsvMode(argc, argv);
+  const int kTrials = 12;
+  auto big = MakeBig(2'000'000);
+
+  std::printf("Figure 9: expansion / shrinkage overhead (real engine)\n");
+
+  bench::Title("Fig 9(a) expansion delay vs #iterators in the segment");
+  {
+    bench::TablePrinter table(csv);
+    table.Header({"iterators", "expansion delay (ms)"});
+    for (int n = 1; n <= 5; ++n) {
+      Delays d = Measure(FilterChain(*big, n - 1), kTrials);
+      table.Row({StrFormat("%d", d.iterators),
+                 StrFormat("%.3f", d.expand_ms)});
+    }
+    table.Print();
+  }
+
+  bench::Title("Fig 9(b) shrinkage delay by segment composition");
+  {
+    struct Comp {
+      const char* name;
+      int joins;
+      bool agg;
+    };
+    const Comp comps[] = {
+        {"Scan-Filter", 0, false},
+        {"Scan-Filter-Join", 1, false},
+        {"Scan-Filter-Agg", 0, true},
+        {"Scan-Filter-Join-Agg", 1, true},
+        {"Scan-Filter-Join-Join-Agg", 2, true},
+        {"Scan-Filter-Join-Join-Join-Agg", 3, true},
+    };
+    bench::TablePrinter table(csv);
+    table.Header({"composition", "shrinkage delay (ms)", "expansion (ms)"});
+    for (const Comp& comp : comps) {
+      std::vector<std::unique_ptr<Table>> smalls;
+      const Schema* out = nullptr;
+      auto ops = Composition(*big, comp.joins, comp.agg, &smalls, &out);
+      Delays d = Measure(std::move(ops), kTrials);
+      table.Row({comp.name, StrFormat("%.3f", d.shrink_ms),
+                 StrFormat("%.3f", d.expand_ms)});
+    }
+    table.Print();
+  }
+  return 0;
+}

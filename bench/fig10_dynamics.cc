@@ -1,0 +1,47 @@
+// Reproduces paper Figure 10: the intra-segment parallelism of SSE-Q9's
+// three segments over time on one (randomly chosen ≡ node 0) node, under
+// elastic pipelining on the paper-scale simulated cluster (10 nodes,
+// DESIGN.md §1). Expected shape: S1 ramps first (filter bottleneck), then S2
+// (hash build) until the network caps both; after the build finishes the
+// probe pipeline P2 shifts cores to S2/S3.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/specs.h"
+
+int main(int argc, char** argv) {
+  using namespace claims;
+  bool csv = bench::CsvMode(argc, argv);
+
+  SseSimParams params;  // paper scale: 840M rows, 10 nodes
+  SimCostParams costs;
+  SimOptions opt;
+  opt.num_nodes = params.num_nodes;
+  opt.policy = SimPolicy::kElastic;
+  opt.parallelism = 1;  // paper: initial intra-segment parallelism 1
+  SimRun run(SseQ9Spec(params, costs), opt);
+  auto m = run.Run();
+  if (!m.ok()) {
+    std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Figure 10: parallelism dynamics of elastic pipelining on "
+              "SSE-Q9 (node 0)\n");
+  std::printf("response time: %s s\n", bench::Sec(m->response_ns).c_str());
+  bench::TablePrinter table(csv);
+  table.Header({"time (s)", "s1", "s2", "s3"});
+  // Subsample the 50 ms trace to ~60 printed points.
+  size_t step = std::max<size_t>(1, m->trace.size() / 60);
+  for (size_t i = 0; i < m->trace.size(); i += step) {
+    const SimTracePoint& t = m->trace[i];
+    table.Row({bench::Sec(t.t_ns), StrFormat("%d", t.parallelism[0]),
+               StrFormat("%d", t.parallelism[1]),
+               StrFormat("%d", t.parallelism[2])});
+  }
+  table.Print();
+  std::printf("\nP2 (probe) starts at %s s on node 0 (S2 build -> probe)\n",
+              bench::Sec(m->stage_switch_ns[1]).c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces paper Figure 13: robustness to the initial parallelism
+// assignment. SSE-Q9 runs with initial intra-segment parallelism 1..12; the
+// dynamic scheduler re-converges to the appropriate assignment within a
+// short delay, so the total response time is nearly flat. Reported per run:
+// convergence delay, build time (pipeline P1), probe time (pipeline P2) —
+// the paper's stacked bars.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/specs.h"
+
+int main(int argc, char** argv) {
+  using namespace claims;
+  bool csv = bench::CsvMode(argc, argv);
+
+  SseSimParams params;
+  SimCostParams costs;
+
+  std::printf("Figure 13: robustness to the initial parallelism assignment "
+              "(SSE-Q9)\n");
+  bench::TablePrinter table(csv);
+  table.Header({"initial parallelism", "convergence delay (s)",
+                "build time (s)", "probe time (s)", "response (s)"});
+  for (int p0 = 1; p0 <= 12; ++p0) {
+    SimOptions opt;
+    opt.num_nodes = params.num_nodes;
+    opt.policy = SimPolicy::kElastic;
+    opt.parallelism = p0;
+    SimRun run(SseQ9Spec(params, costs), opt);
+    auto m = run.Run();
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+      return 1;
+    }
+    int64_t build_end = m->stage_switch_ns[1];  // S2: build -> probe
+    if (build_end < 0) build_end = m->response_ns;
+    // Convergence delay: how long until node-0's assignment first stabilizes
+    // (within the build phase).
+    int64_t converge = 0;
+    for (size_t i = 1; i < m->trace.size() && m->trace[i].t_ns < build_end;
+         ++i) {
+      int delta = 0;
+      for (size_t s = 0; s < m->trace[i].parallelism.size(); ++s) {
+        delta += std::abs(m->trace[i].parallelism[s] -
+                          m->trace[i - 1].parallelism[s]);
+      }
+      if (delta > 1) converge = m->trace[i].t_ns;
+    }
+    table.Row({StrFormat("%d", p0), bench::Sec2(converge),
+               bench::Sec(build_end), bench::Sec(m->response_ns - build_end),
+               bench::Sec(m->response_ns)});
+  }
+  table.Print();
+  std::printf("\n(The paper's claim: response time is insensitive to the "
+              "initial assignment — the rightmost column should be nearly "
+              "flat.)\n");
+  return 0;
+}

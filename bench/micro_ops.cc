@@ -1,0 +1,169 @@
+// google-benchmark micro benchmarks of the real engine's building blocks:
+// expression evaluation, LIKE matching, hash tables, block buffers, and the
+// elastic iterator's expansion/shrink machinery.
+
+#include <benchmark/benchmark.h>
+
+#include "core/data_buffer.h"
+#include "core/elastic_iterator.h"
+#include "exec/expr/like.h"
+#include "exec/expr/expr.h"
+#include "exec/hash_table.h"
+#include "exec/ops/filter.h"
+#include "exec/ops/scan.h"
+#include "storage/table.h"
+
+namespace claims {
+namespace {
+
+void BM_LikeMatch(benchmark::State& state) {
+  std::string text = "the quick brown fox jumps over the lazy dog";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LikeMatch(text, "%quick%lazy%"));
+  }
+}
+BENCHMARK(BM_LikeMatch);
+
+void BM_ExprFilterEval(benchmark::State& state) {
+  Schema s({ColumnDef::Int32("a"), ColumnDef::Float64("b")});
+  std::vector<char> row(s.row_size());
+  s.SetInt32(row.data(), 0, 42);
+  s.SetFloat64(row.data(), 1, 3.14);
+  ExprPtr pred = MakeLogic(
+      LogicOp::kAnd,
+      MakeCompare(CompareOp::kGt, MakeColumnRef(0, DataType::kInt32),
+                  MakeLiteral(Value::Int32(10))),
+      MakeCompare(CompareOp::kLt, MakeColumnRef(1, DataType::kFloat64),
+                  MakeLiteral(Value::Float64(10.0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred->EvalBool(s, row.data()));
+  }
+}
+BENCHMARK(BM_ExprFilterEval);
+
+void BM_JoinHashTableInsert(benchmark::State& state) {
+  Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+  std::vector<char> row(s.row_size());
+  int32_t k = 0;
+  JoinHashTable table(&s, {0}, 1 << 16);
+  for (auto _ : state) {
+    s.SetInt32(row.data(), 0, k++);
+    table.Insert(row.data());
+  }
+}
+BENCHMARK(BM_JoinHashTableInsert);
+
+void BM_JoinHashTableProbe(benchmark::State& state) {
+  Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+  JoinHashTable table(&s, {0}, 1 << 16);
+  std::vector<char> row(s.row_size());
+  for (int i = 0; i < 100000; ++i) {
+    s.SetInt32(row.data(), 0, i);
+    table.Insert(row.data());
+  }
+  int32_t k = 0;
+  for (auto _ : state) {
+    s.SetInt32(row.data(), 0, (k++) % 100000);
+    int64_t matches = 0;
+    table.ForEachMatch(s, row.data(), {0},
+                       [&](const char*) { ++matches; });
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_JoinHashTableProbe);
+
+void BM_AggHashTableUpdate(benchmark::State& state) {
+  Schema group({ColumnDef::Int32("g")});
+  AggHashTable table(group, 2, 1 << 12);
+  std::vector<AggFn> fns = {AggFn::kSum, AggFn::kCount};
+  std::vector<char> row(group.row_size());
+  double values[2] = {1.0, 0};
+  int64_t weights[2] = {1, 1};
+  int32_t g = 0;
+  const int32_t groups = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    group.SetInt32(row.data(), 0, (g++) % groups);
+    table.Update(row.data(), fns, values, weights);
+  }
+}
+BENCHMARK(BM_AggHashTableUpdate)->Arg(4)->Arg(1 << 16);
+
+void BM_DataBufferInsertPop(benchmark::State& state) {
+  DataBuffer buf({.capacity_blocks = 1024});
+  buf.AddProducer(0);
+  auto block = MakeBlock(8, 64);
+  block->AppendRow();
+  for (auto _ : state) {
+    buf.Insert(0, block);
+    BlockPtr out;
+    buf.Pop(&out);
+  }
+}
+BENCHMARK(BM_DataBufferInsertPop);
+
+void BM_ScanThroughput(benchmark::State& state) {
+  Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+  Table t("t", s, 1, {});
+  for (int i = 0; i < 200000; ++i) {
+    char* row = t.AppendRowSlotRoundRobin();
+    s.SetInt32(row, 0, i);
+    s.SetInt64(row, 1, i);
+  }
+  for (auto _ : state) {
+    ScanIterator scan(&t.partition(0), &s);
+    WorkerContext ctx;
+    scan.Open(&ctx);
+    BlockPtr b;
+    int64_t rows = 0;
+    while (scan.Next(&ctx, &b) == NextResult::kSuccess) rows += b->num_rows();
+    benchmark::DoNotOptimize(rows);
+    scan.Close();
+  }
+  state.SetItemsProcessed(state.iterations() * 200000);
+}
+BENCHMARK(BM_ScanThroughput);
+
+void BM_ElasticExpandShrink(benchmark::State& state) {
+  // Cost of one expand+shrink cycle on a live pipeline. A LIKE filter keeps
+  // the pipeline busy long enough for a bounded number of cycles.
+  Schema s({ColumnDef::Int32("k"), ColumnDef::Char("c", 32)});
+  Table t("t", s, 1, {});
+  for (int i = 0; i < 8000000; ++i) {
+    char* row = t.AppendRowSlotRoundRobin();
+    s.SetInt32(row, 0, i);
+    s.SetString(row, 1, "the quick brown fox jumps");
+  }
+  ElasticIterator::Options opts;
+  opts.initial_parallelism = 2;
+  opts.buffer_capacity_blocks = 4096;
+  auto scan = std::make_unique<ScanIterator>(&t.partition(0), &s);
+  auto filter = std::make_unique<FilterIterator>(
+      std::move(scan), &s,
+      MakeLike(MakeColumnRef(1, DataType::kChar, "c"), "%quick%jumps%",
+               /*negated=*/true));
+  ElasticIterator it(std::move(filter), opts);
+  WorkerContext ctx;
+  it.Open(&ctx);
+  std::thread consumer([&] {
+    BlockPtr b;
+    while (it.Next(&ctx, &b) == NextResult::kSuccess) {
+    }
+  });
+  int core = 2;
+  for (auto _ : state) {
+    if (it.finished()) {
+      state.SkipWithError("pipeline drained before the cycle budget");
+      break;
+    }
+    benchmark::DoNotOptimize(it.ExpandMeasured(core++));
+    benchmark::DoNotOptimize(it.ShrinkBlocking());
+  }
+  it.Close();
+  consumer.join();
+}
+BENCHMARK(BM_ElasticExpandShrink)->Unit(benchmark::kMicrosecond)->Iterations(20);
+
+}  // namespace
+}  // namespace claims
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Reproduces paper Table 6: comparison with the baselines on hardware
+// utilization — high-utilization rate (fraction of 1 s time slices with CPU
+// or network utilization ≥ θ_u = 0.95) and response time, for TPC-H Q1
+// (compute-intensive), Q9 (network-intensive) and Q14 (mixed).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/specs.h"
+
+int main(int argc, char** argv) {
+  using namespace claims;
+  bool csv = bench::CsvMode(argc, argv);
+  SimCostParams costs;
+
+  const int kQueries[] = {1, 9, 14};
+  const std::pair<const char*, SimPolicy> kMethods[] = {
+      {"IS", SimPolicy::kImplicit},
+      {"MDP", SimPolicy::kMorsel},
+      {"EP", SimPolicy::kElastic},
+  };
+
+  std::printf("Table 6: comparison with baselines on hardware utilization\n");
+  bench::TablePrinter table(csv);
+  table.Header({"query", "IS hi-util(%)", "MDP hi-util(%)", "EP hi-util(%)",
+                "IS resp(s)", "MDP resp(s)", "EP resp(s)"});
+  for (int q : kQueries) {
+    auto profile = TpchProfileFor(q);
+    if (!profile.ok()) return 1;
+    std::vector<std::string> hi;
+    std::vector<std::string> resp;
+    for (const auto& [name, policy] : kMethods) {
+      SimOptions opt;
+      opt.num_nodes = 10;
+      opt.policy = policy;
+      opt.parallelism = 1;
+      opt.concurrency_level = 1.0;
+      SimRun run(TpchSpec(*profile, 10, costs), opt);
+      auto m = run.Run();
+      if (!m.ok()) {
+        std::fprintf(stderr, "Q%d %s: %s\n", q, name,
+                     m.status().ToString().c_str());
+        return 1;
+      }
+      hi.push_back(bench::Pct(m->high_utilization_rate));
+      resp.push_back(bench::Sec(m->response_ns));
+    }
+    table.Row({StrFormat("TPC-H-Q%d", q), hi[0], hi[1], hi[2], resp[0],
+               resp[1], resp[2]});
+  }
+  table.Print();
+  return 0;
+}

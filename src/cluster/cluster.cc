@@ -1,0 +1,46 @@
+#include "cluster/cluster.h"
+
+#include <chrono>
+
+namespace claims {
+
+Cluster::Cluster(ClusterOptions options, Catalog* catalog)
+    : options_(options), catalog_(catalog) {
+  NetworkOptions net;
+  net.bandwidth_bytes_per_sec = options_.bandwidth_bytes_per_sec;
+  net.capacity_blocks = options_.channel_capacity_blocks;
+  network_ = std::make_unique<Network>(options_.num_nodes, net, &memory_);
+  SchedulerOptions sched = options_.scheduler;
+  sched.num_cores = options_.cores_per_node;
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    schedulers_.push_back(std::make_unique<DynamicScheduler>(
+        n, sched, SteadyClock::Default(), &board_));
+  }
+}
+
+Cluster::~Cluster() { StopSchedulers(); }
+
+void Cluster::StartSchedulers() {
+  bool expected = false;
+  if (!schedulers_running_.compare_exchange_strong(expected, true)) return;
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    scheduler_threads_.emplace_back([this, n] {
+      while (schedulers_running_.load(std::memory_order_acquire)) {
+        schedulers_[n]->Tick();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.scheduler_period_ms));
+      }
+    });
+  }
+}
+
+void Cluster::StopSchedulers() {
+  if (!schedulers_running_.exchange(false)) return;
+  for (std::thread& t : scheduler_threads_) {
+    if (t.joinable()) t.join();
+  }
+  scheduler_threads_.clear();
+  board_.Reset();
+}
+
+}  // namespace claims

@@ -1,0 +1,67 @@
+#ifndef CLAIMS_CLUSTER_CLUSTER_H_
+#define CLAIMS_CLUSTER_CLUSTER_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "core/scheduler.h"
+#include "net/network.h"
+#include "storage/catalog.h"
+
+namespace claims {
+
+struct ClusterOptions {
+  /// Shared-nothing nodes; table partition i lives on node i (paper §2).
+  int num_nodes = 4;
+  /// Worker cores per node available to query segments (paper: 24 logical).
+  int cores_per_node = 24;
+  /// NIC bandwidth per node; 0 disables throttling (unit tests). The paper's
+  /// gigabit switch is 125 MB/s.
+  int64_t bandwidth_bytes_per_sec = 0;
+  /// Exchange channel depth (blocks).
+  int channel_capacity_blocks = 64;
+  /// Dynamic scheduler tick period (EP mode).
+  int64_t scheduler_period_ms = 50;
+  SchedulerOptions scheduler;
+};
+
+/// The in-process shared-nothing cluster: k nodes, each with a core budget
+/// and a DynamicScheduler, joined by the bandwidth-modelled Network. One
+/// node (0) doubles as the master that gathers results.
+class Cluster {
+ public:
+  Cluster(ClusterOptions options, Catalog* catalog);
+  ~Cluster();
+
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(Cluster);
+
+  const ClusterOptions& options() const { return options_; }
+  int num_nodes() const { return options_.num_nodes; }
+  Catalog* catalog() { return catalog_; }
+  Network* network() { return network_.get(); }
+  GlobalThroughputBoard* board() { return &board_; }
+  DynamicScheduler* scheduler(int node) { return schedulers_[node].get(); }
+  MemoryTracker* memory() { return &memory_; }
+
+  /// Starts the per-node scheduler threads (EP mode). Idempotent.
+  void StartSchedulers();
+  /// Stops them and clears the throughput board.
+  void StopSchedulers();
+
+ private:
+  ClusterOptions options_;
+  Catalog* catalog_;
+  MemoryTracker memory_{"cluster"};
+  std::unique_ptr<Network> network_;
+  GlobalThroughputBoard board_;
+  std::vector<std::unique_ptr<DynamicScheduler>> schedulers_;
+  std::vector<std::thread> scheduler_threads_;
+  std::atomic<bool> schedulers_running_{false};
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_CLUSTER_CLUSTER_H_

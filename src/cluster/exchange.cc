@@ -1,0 +1,128 @@
+#include "cluster/exchange.h"
+
+#include "storage/partition.h"
+
+namespace claims {
+
+MergerIterator::MergerIterator(BlockChannel* channel, SegmentStats* stats,
+                               Clock* clock, int64_t poll_ns)
+    : channel_(channel),
+      stats_(stats),
+      visit_rates_(stats),
+      clock_(clock != nullptr ? clock : SteadyClock::Default()),
+      poll_ns_(poll_ns) {}
+
+NextResult MergerIterator::Open(WorkerContext* ctx) {
+  if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
+  // The receive buffer (the channel) lives in the fabric and was created
+  // before any producer started; nothing to construct here.
+  return NextResult::kSuccess;
+}
+
+NextResult MergerIterator::Next(WorkerContext* ctx, BlockPtr* out) {
+  while (true) {
+    if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
+    NetBlock nb;
+    int64_t t0 = clock_->NowNanos();
+    ChannelStatus status = channel_->Receive(&nb, poll_ns_);
+    if (status == ChannelStatus::kOk) {
+      if (stats_ != nullptr) {
+        stats_->input_tuples.fetch_add(nb.block->num_rows(),
+                                       std::memory_order_relaxed);
+        visit_rates_.Observe(nb.from_node, nb.block->visit_rate());
+      }
+      // Re-number: the merger is this segment's stage beginner.
+      nb.block->set_sequence_number(
+          next_sequence_.fetch_add(1, std::memory_order_relaxed));
+      if (ctx->processing_started != nullptr) {
+        ctx->processing_started->store(true, std::memory_order_release);
+      }
+      *out = std::move(nb.block);
+      return NextResult::kSuccess;
+    }
+    if (status == ChannelStatus::kClosed) return NextResult::kEndOfFile;
+    // Timeout: starved — record the wait so the scheduler can tell.
+    if (stats_ != nullptr) {
+      stats_->blocked_input_ns.fetch_add(clock_->NowNanos() - t0,
+                                         std::memory_order_relaxed);
+    }
+  }
+}
+
+void MergerIterator::Close() {}
+
+SenderPump::SenderPump(Spec spec)
+    : spec_(std::move(spec)),
+      sent_tuples_(spec_.consumer_nodes.size(), 0) {}
+
+bool SenderPump::SendBlock(int dest_index, BlockPtr block,
+                           const std::atomic<bool>* cancel) {
+  if (block == nullptr || block->empty()) return true;
+  sent_tuples_[dest_index] += block->num_rows();
+  total_sent_ += block->num_rows();
+  // Outgoing tail = V_i · δ_i · p_ij (paper §4.3).
+  double v = 1.0;
+  double selectivity = 1.0;
+  if (spec_.stats != nullptr) {
+    v = spec_.stats->visit_rate.load(std::memory_order_relaxed);
+    selectivity = spec_.stats->selectivity();
+  }
+  double fraction =
+      total_sent_ == 0
+          ? 1.0
+          : static_cast<double>(sent_tuples_[dest_index]) / total_sent_;
+  if (spec_.partitioning == Partitioning::kBroadcast) fraction = 1.0;
+  block->set_visit_rate(v * selectivity * fraction);
+  return spec_.network->Send(spec_.exchange_id, spec_.from_node,
+                             spec_.consumer_nodes[dest_index],
+                             std::move(block), cancel);
+}
+
+bool SenderPump::Pump(Iterator* source, WorkerContext* ctx,
+                      const std::atomic<bool>* cancel) {
+  const int ncons = static_cast<int>(spec_.consumer_nodes.size());
+  std::vector<BlockPtr> pending(static_cast<size_t>(ncons));
+  bool ok = true;
+  while (ok) {
+    BlockPtr block;
+    NextResult r = source->Next(ctx, &block);
+    if (r != NextResult::kSuccess) break;
+    switch (spec_.partitioning) {
+      case Partitioning::kToOne:
+        ok = SendBlock(0, std::move(block), cancel);
+        break;
+      case Partitioning::kBroadcast:
+        for (int d = 0; d < ncons && ok; ++d) {
+          // Copy per destination (the last one moves).
+          BlockPtr copy =
+              d + 1 == ncons ? std::move(block)
+                             : std::make_shared<Block>(*block);
+          ok = SendBlock(d, std::move(copy), cancel);
+        }
+        break;
+      case Partitioning::kHash: {
+        const Schema& schema = *spec_.schema;
+        for (int i = 0; i < block->num_rows() && ok; ++i) {
+          const char* row = block->RowAt(i);
+          int d = PartitionOf(HashRowKeys(schema, row, spec_.hash_cols),
+                              ncons);
+          BlockPtr& dst = pending[d];
+          if (dst == nullptr) dst = MakeBlock(schema.row_size());
+          dst->AppendRowCopy(row);
+          if (dst->full()) {
+            ok = SendBlock(d, std::move(dst), cancel);
+            dst = nullptr;
+          }
+        }
+        break;
+      }
+    }
+  }
+  for (int d = 0; d < ncons && ok; ++d) {
+    if (pending[d] != nullptr) ok = SendBlock(d, std::move(pending[d]), cancel);
+  }
+  spec_.network->CloseProducer(spec_.exchange_id);
+  return ok;
+}
+
+}  // namespace claims

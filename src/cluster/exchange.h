@@ -1,0 +1,89 @@
+#ifndef CLAIMS_CLUSTER_EXCHANGE_H_
+#define CLAIMS_CLUSTER_EXCHANGE_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/iterator.h"
+#include "core/metrics.h"
+#include "net/network.h"
+
+namespace claims {
+
+/// Merger — the data-exchange receiver and stage beginner of a consumer
+/// segment (appendix Alg. 5). The paper's dedicated merging thread and
+/// NUMA-partitioned merger buffer are realized by the network fabric's
+/// BlockChannel: it keeps receiving (buffering) sender traffic even while
+/// the segment's worker threads are all busy or shrunk away.
+///
+/// Every received block's tail carries the producer's visit-rate
+/// contribution p_ij·δ_i·V_i; the merger folds the latest value per producer
+/// into the segment's V_i (paper §4.3, Fig. 7) — no extra control messages.
+class MergerIterator : public Iterator {
+ public:
+  /// `poll_ns`: receive timeout between terminate-flag checks.
+  MergerIterator(BlockChannel* channel, SegmentStats* stats, Clock* clock,
+                 int64_t poll_ns = 1'000'000);
+
+  NextResult Open(WorkerContext* ctx) override;
+  NextResult Next(WorkerContext* ctx, BlockPtr* out) override;
+  void Close() override;
+
+ private:
+  BlockChannel* channel_;
+  SegmentStats* stats_;
+  VisitRateAggregator visit_rates_;
+  Clock* clock_;
+  int64_t poll_ns_;
+  std::atomic<uint64_t> next_sequence_{0};
+};
+
+/// How a sender routes its segment's output across the consumer segment
+/// group (paper Fig. 3's data exchange).
+enum class Partitioning {
+  kHash,       ///< repartition on hash columns (shuffle)
+  kBroadcast,  ///< replicate to every consumer (small build sides)
+  kToOne,      ///< everything to one consumer (master collector / gather)
+};
+
+/// Sender — the data-exchange transmitter at the top of a segment (appendix
+/// Alg. 4). Pump() drains the segment's elastic iterator and routes blocks
+/// into the network fabric, stamping outgoing visit-rate tails with
+/// V_i·δ_i·p_ij from live counters. Runs on the segment's driver thread;
+/// blocking inside Send (NIC throttle or full consumer channel) propagates
+/// as backpressure into the elastic buffer, which is how the dynamic
+/// scheduler sees "over-producing for the network".
+class SenderPump {
+ public:
+  struct Spec {
+    int exchange_id = 0;
+    int from_node = 0;
+    Partitioning partitioning = Partitioning::kToOne;
+    std::vector<int> hash_cols;
+    std::vector<int> consumer_nodes;
+    const Schema* schema = nullptr;
+    Network* network = nullptr;
+    SegmentStats* stats = nullptr;
+  };
+
+  explicit SenderPump(Spec spec);
+
+  /// Drains `source` until end-of-file, then flushes partial blocks and
+  /// closes this producer on the exchange. Returns false if cancelled.
+  bool Pump(Iterator* source, WorkerContext* ctx,
+            const std::atomic<bool>* cancel);
+
+ private:
+  bool SendBlock(int dest_index, BlockPtr block,
+                 const std::atomic<bool>* cancel);
+
+  Spec spec_;
+  std::vector<int64_t> sent_tuples_;  // per destination, for p_ij
+  int64_t total_sent_ = 0;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_CLUSTER_EXCHANGE_H_

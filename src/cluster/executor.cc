@@ -1,0 +1,226 @@
+#include "cluster/executor.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "exec/ops/filter.h"
+#include "exec/ops/hash_join.h"
+#include "exec/ops/scan.h"
+
+namespace claims {
+
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kElastic: return "EP";
+    case ExecMode::kStatic: return "SP";
+    case ExecMode::kMaterialized: return "ME";
+  }
+  return "?";
+}
+
+Executor::Executor(Cluster* cluster) : cluster_(cluster) {}
+
+Result<std::unique_ptr<Iterator>> Executor::BuildIterator(
+    const POp& op, int node, SegmentStats* stats, const ExecOptions& opts) {
+  switch (op.kind) {
+    case POp::Kind::kScan: {
+      CLAIMS_ASSIGN_OR_RETURN(TablePtr table,
+                              cluster_->catalog()->GetTable(op.table_name));
+      if (node >= table->num_partitions()) {
+        return Status::PlanError(
+            StrFormat("scan of '%s' placed on node %d but table has %d "
+                      "partitions",
+                      op.table_name.c_str(), node, table->num_partitions()));
+      }
+      ScanIterator::Options so;
+      so.num_sockets = op.numa_sockets;
+      // The iterator must reference storage that outlives it: the table's
+      // own schema (the plan and catalog outlive the execution).
+      return std::unique_ptr<Iterator>(std::make_unique<ScanIterator>(
+          &table->partition(node), &table->schema(), so));
+    }
+    case POp::Kind::kMerger: {
+      BlockChannel* channel =
+          cluster_->network()->GetChannel(op.exchange_id, node);
+      if (channel == nullptr) {
+        return Status::Internal(
+            StrFormat("no channel for exchange %d at node %d", op.exchange_id,
+                      node));
+      }
+      return std::unique_ptr<Iterator>(std::make_unique<MergerIterator>(
+          channel, stats, SteadyClock::Default()));
+    }
+    case POp::Kind::kFilter: {
+      CLAIMS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Iterator> child,
+          BuildIterator(*op.children[0], node, stats, opts));
+      return std::unique_ptr<Iterator>(std::make_unique<FilterIterator>(
+          std::move(child), &op.children[0]->output_schema, op.predicate));
+    }
+    case POp::Kind::kProject: {
+      CLAIMS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Iterator> child,
+          BuildIterator(*op.children[0], node, stats, opts));
+      return std::unique_ptr<Iterator>(std::make_unique<ProjectIterator>(
+          std::move(child), &op.children[0]->output_schema, op.output_schema,
+          op.project_exprs));
+    }
+    case POp::Kind::kHashJoin: {
+      CLAIMS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Iterator> build,
+          BuildIterator(*op.children[0], node, stats, opts));
+      CLAIMS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Iterator> probe,
+          BuildIterator(*op.children[1], node, stats, opts));
+      HashJoinIterator::Spec spec;
+      spec.build_schema = &op.children[0]->output_schema;
+      spec.probe_schema = &op.children[1]->output_schema;
+      spec.build_keys = op.build_keys;
+      spec.probe_keys = op.probe_keys;
+      spec.memory = cluster_->memory();
+      return std::unique_ptr<Iterator>(std::make_unique<HashJoinIterator>(
+          std::move(build), std::move(probe), spec));
+    }
+    case POp::Kind::kHashAgg: {
+      CLAIMS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Iterator> child,
+          BuildIterator(*op.children[0], node, stats, opts));
+      HashAggIterator::Spec spec;
+      spec.input_schema = &op.children[0]->output_schema;
+      spec.group_exprs = op.group_exprs;
+      spec.group_names = op.group_names;
+      spec.aggregates = op.aggregates;
+      spec.mode = op.agg_mode;
+      spec.memory = cluster_->memory();
+      return std::unique_ptr<Iterator>(
+          std::make_unique<HashAggIterator>(std::move(child), spec));
+    }
+    case POp::Kind::kSort: {
+      CLAIMS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Iterator> child,
+          BuildIterator(*op.children[0], node, stats, opts));
+      return std::unique_ptr<Iterator>(std::make_unique<SortIterator>(
+          std::move(child), &op.output_schema, op.sort_keys));
+    }
+  }
+  return Status::Internal("unknown operator kind");
+}
+
+Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
+                                    const ExecOptions& opts) {
+  Clock* clock = SteadyClock::Default();
+  int64_t t0 = clock->NowNanos();
+  // Free the previous query's segments (and their tracked arenas) *before*
+  // resetting the tracker, or their releases would underflow the counter.
+  segments_.clear();
+  stats_own_.clear();
+  cluster_->memory()->Reset();
+  int64_t remote0 = cluster_->network()->total_remote_bytes();
+
+  // 1. Declare exchanges (ME materializes: unbounded channels).
+  for (const auto& f : plan.fragments) {
+    cluster_->network()->CreateExchange(
+        f->out_exchange_id, static_cast<int>(f->nodes.size()),
+        f->consumer_nodes,
+        opts.mode == ExecMode::kMaterialized ? -1 : 0);
+  }
+
+  // 2. Build segment instances.
+  // fragment index -> its segments (for ME's group-at-a-time execution).
+  std::vector<std::vector<Segment*>> by_fragment(plan.fragments.size());
+  for (size_t fi = 0; fi < plan.fragments.size(); ++fi) {
+    const Fragment& f = *plan.fragments[fi];
+    for (int node : f.nodes) {
+      auto stats = std::make_unique<SegmentStats>();
+      CLAIMS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Iterator> ops,
+          BuildIterator(*f.root, node, stats.get(), opts));
+      Segment::Config config;
+      config.name = StrFormat("S%d@n%d", f.id, node);
+      config.node_id = node;
+      config.stats = stats.get();
+      config.clock = clock;
+      config.max_parallelism =
+          f.max_parallelism > 0
+              ? std::min(f.max_parallelism, cluster_->options().cores_per_node)
+              : cluster_->options().cores_per_node;
+      config.sender.exchange_id = f.out_exchange_id;
+      config.sender.from_node = node;
+      config.sender.partitioning = f.partitioning;
+      config.sender.hash_cols = f.hash_cols;
+      config.sender.consumer_nodes = f.consumer_nodes;
+      config.sender.schema = &f.root->output_schema;
+      config.sender.network = cluster_->network();
+      config.elastic.initial_parallelism =
+          std::max(1, opts.parallelism > 0 ? opts.parallelism
+                                           : f.initial_parallelism);
+      config.elastic.order_preserving = f.order_preserving;
+      config.elastic.buffer_capacity_blocks = opts.buffer_capacity_blocks;
+      config.elastic.memory = cluster_->memory();
+      if (opts.mode != ExecMode::kElastic) {
+        // SP/ME: parallelism fixed at compile time.
+        config.elastic.min_parallelism = config.elastic.initial_parallelism;
+        config.max_parallelism = config.elastic.initial_parallelism;
+      }
+      auto segment = std::make_unique<Segment>(std::move(ops),
+                                               std::move(config));
+      by_fragment[fi].push_back(segment.get());
+      stats_own_.push_back(std::move(stats));
+      segments_.push_back(std::move(segment));
+    }
+  }
+
+  // 3. Run.
+  ResultSet result(plan.result_schema);
+  BlockChannel* result_channel =
+      cluster_->network()->GetChannel(plan.result_exchange_id,
+                                      /*master node*/ 0);
+  if (result_channel == nullptr) {
+    return Status::Internal("result exchange missing");
+  }
+
+  auto drain_result = [&]() {
+    NetBlock nb;
+    while (true) {
+      ChannelStatus s = result_channel->Receive(&nb, 5'000'000);
+      if (s == ChannelStatus::kOk) {
+        if (opts.collect_result) result.AppendBlock(std::move(nb.block));
+      } else if (s == ChannelStatus::kClosed) {
+        break;
+      }
+    }
+  };
+
+  if (opts.mode == ExecMode::kMaterialized) {
+    // Fragment-group-at-a-time: every exchange is fully materialized before
+    // its consumer group starts (classic distributed staging).
+    for (size_t fi = 0; fi < plan.fragments.size(); ++fi) {
+      for (Segment* s : by_fragment[fi]) s->Start();
+      for (Segment* s : by_fragment[fi]) s->Join();
+    }
+    drain_result();
+  } else {
+    if (opts.mode == ExecMode::kElastic) {
+      for (auto& segment : segments_) {
+        cluster_->scheduler(segment->node_id())->AddSegment(segment.get());
+      }
+      cluster_->StartSchedulers();
+    }
+    for (auto& segment : segments_) segment->Start();
+    drain_result();
+    for (auto& segment : segments_) segment->Join();
+    if (opts.mode == ExecMode::kElastic) {
+      cluster_->StopSchedulers();
+      for (auto& segment : segments_) {
+        cluster_->scheduler(segment->node_id())->RemoveSegment(segment.get());
+      }
+    }
+  }
+
+  stats_.elapsed_ns = clock->NowNanos() - t0;
+  stats_.peak_memory_bytes = cluster_->memory()->peak_bytes();
+  stats_.remote_bytes = cluster_->network()->total_remote_bytes() - remote0;
+  return result;
+}
+
+}  // namespace claims

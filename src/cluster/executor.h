@@ -1,0 +1,72 @@
+#ifndef CLAIMS_CLUSTER_EXECUTOR_H_
+#define CLAIMS_CLUSTER_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/plan.h"
+#include "cluster/result_set.h"
+#include "cluster/segment.h"
+
+namespace claims {
+
+/// Execution frameworks compared in the paper (§5.4):
+///  * kElastic (EP)      — pipelined, parallelism adjusted at runtime by the
+///                          dynamic schedulers;
+///  * kStatic (SP)       — pipelined, parallelism fixed at "compile time";
+///  * kMaterialized (ME) — fragments run one group at a time, intermediates
+///                          fully materialized in (unbounded) exchanges.
+enum class ExecMode { kElastic, kStatic, kMaterialized };
+
+const char* ExecModeName(ExecMode mode);
+
+struct ExecOptions {
+  ExecMode mode = ExecMode::kElastic;
+  /// Worker threads per segment: EP's starting point (paper experiments
+  /// default to 1), SP/ME's fixed assignment.
+  int parallelism = 1;
+  /// Overrides Fragment::initial_parallelism when > 0.
+  bool collect_result = true;
+  /// Elastic-iterator buffer depth per segment (blocks).
+  size_t buffer_capacity_blocks = 64;
+};
+
+struct ExecStats {
+  int64_t elapsed_ns = 0;
+  int64_t peak_memory_bytes = 0;
+  int64_t remote_bytes = 0;
+};
+
+/// Deploys a PhysicalPlan on the cluster and gathers the result at the
+/// master. One Executor per query execution.
+class Executor {
+ public:
+  explicit Executor(Cluster* cluster);
+
+  /// Runs the plan; blocks until completion.
+  Result<ResultSet> Execute(const PhysicalPlan& plan, const ExecOptions& opts);
+
+  const ExecStats& stats() const { return stats_; }
+
+  /// Live segments of the most recent Execute (valid during execution; used
+  /// by benches to trace parallelism dynamics).
+  const std::vector<std::unique_ptr<Segment>>& segments() const {
+    return segments_;
+  }
+
+ private:
+  /// Builds the iterator tree of `op` for the instance on `node`.
+  Result<std::unique_ptr<Iterator>> BuildIterator(const POp& op, int node,
+                                                  SegmentStats* stats,
+                                                  const ExecOptions& opts);
+
+  Cluster* cluster_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::vector<std::unique_ptr<SegmentStats>> stats_own_;
+  ExecStats stats_;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_CLUSTER_EXECUTOR_H_

@@ -1,0 +1,98 @@
+#include "cluster/result_set.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace claims {
+
+void ResultSet::AppendBlock(BlockPtr block) {
+  if (block == nullptr || block->empty()) return;
+  num_rows_ += block->num_rows();
+  blocks_.push_back(std::move(block));
+}
+
+void ResultSet::TruncateRows(int64_t n) {
+  if (n < 0 || num_rows_ <= n) return;
+  int64_t kept = 0;
+  std::vector<BlockPtr> blocks;
+  for (BlockPtr& b : blocks_) {
+    if (kept >= n) break;
+    if (kept + b->num_rows() <= n) {
+      kept += b->num_rows();
+      blocks.push_back(std::move(b));
+      continue;
+    }
+    // Partial block: copy the prefix.
+    auto partial = MakeBlock(b->row_size(), b->capacity_bytes() > 0 ? static_cast<int32_t>(b->capacity_bytes()) : kDefaultBlockBytes);
+    for (int r = 0; r < b->num_rows() && kept < n; ++r, ++kept) {
+      partial->AppendRowCopy(b->RowAt(r));
+    }
+    blocks.push_back(std::move(partial));
+  }
+  blocks_ = std::move(blocks);
+  num_rows_ = kept;
+}
+
+Value ResultSet::Get(int64_t row, int col) const {
+  for (const BlockPtr& b : blocks_) {
+    if (row < b->num_rows()) {
+      return schema_.GetValue(b->RowAt(static_cast<int32_t>(row)), col);
+    }
+    row -= b->num_rows();
+  }
+  return Value();
+}
+
+std::vector<std::vector<Value>> ResultSet::Rows(bool sorted) const {
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(static_cast<size_t>(num_rows_));
+  for (const BlockPtr& b : blocks_) {
+    for (int r = 0; r < b->num_rows(); ++r) {
+      std::vector<Value> row;
+      row.reserve(static_cast<size_t>(schema_.num_columns()));
+      for (int c = 0; c < schema_.num_columns(); ++c) {
+        row.push_back(schema_.GetValue(b->RowAt(r), c));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  if (sorted) {
+    std::sort(rows.begin(), rows.end(),
+              [](const std::vector<Value>& a, const std::vector<Value>& b) {
+                for (size_t i = 0; i < a.size(); ++i) {
+                  int c = a[i].Compare(b[i]);
+                  if (c != 0) return c < 0;
+                }
+                return false;
+              });
+  }
+  return rows;
+}
+
+std::string ResultSet::ToString(int64_t limit) const {
+  std::string out;
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    if (c) out += " | ";
+    out += schema_.column(c).name;
+  }
+  out += "\n";
+  int64_t shown = 0;
+  for (const BlockPtr& b : blocks_) {
+    for (int r = 0; r < b->num_rows() && shown < limit; ++r, ++shown) {
+      for (int c = 0; c < schema_.num_columns(); ++c) {
+        if (c) out += " | ";
+        out += schema_.GetValue(b->RowAt(r), c).ToString();
+      }
+      out += "\n";
+    }
+    if (shown >= limit) break;
+  }
+  if (num_rows_ > limit) {
+    out += StrFormat("... (%lld rows total)\n",
+                     static_cast<long long>(num_rows_));
+  }
+  return out;
+}
+
+}  // namespace claims

@@ -1,0 +1,46 @@
+#ifndef CLAIMS_CLUSTER_RESULT_SET_H_
+#define CLAIMS_CLUSTER_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/block.h"
+#include "storage/value.h"
+
+namespace claims {
+
+/// Materialized query result gathered at the master node.
+class ResultSet {
+ public:
+  ResultSet() = default;
+  explicit ResultSet(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  void AppendBlock(BlockPtr block);
+
+  int64_t num_rows() const { return num_rows_; }
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+  const std::vector<BlockPtr>& blocks() const { return blocks_; }
+
+  /// Cell accessor by global row index (O(#blocks) scan; results are small).
+  Value Get(int64_t row, int col) const;
+
+  /// All rows as Value vectors; `sorted` lexicographically for
+  /// order-insensitive comparison in tests.
+  std::vector<std::vector<Value>> Rows(bool sorted = false) const;
+
+  /// Drops all rows beyond the first `n` (LIMIT support at the collector).
+  void TruncateRows(int64_t n);
+
+  /// Pretty table rendering of the first `limit` rows.
+  std::string ToString(int64_t limit = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<BlockPtr> blocks_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_CLUSTER_RESULT_SET_H_

@@ -1,0 +1,53 @@
+#include "cluster/segment.h"
+
+namespace claims {
+
+Segment::Segment(std::unique_ptr<Iterator> ops_root, Config config)
+    : config_(std::move(config)),
+      scalability_(config_.max_parallelism),
+      sender_([this] {
+        SenderPump::Spec spec = config_.sender;
+        spec.stats = config_.stats;
+        return spec;
+      }()) {
+  ElasticIterator::Options opts = config_.elastic;
+  opts.stats = config_.stats;
+  opts.clock = config_.clock;
+  opts.max_parallelism = config_.max_parallelism;
+  elastic_ = std::make_unique<ElasticIterator>(std::move(ops_root), opts);
+}
+
+Segment::~Segment() {
+  Cancel();
+  Join();
+}
+
+void Segment::Start() {
+  started_ = true;
+  driver_ = std::thread([this] { DriverMain(); });
+}
+
+void Segment::Join() {
+  if (driver_.joinable()) driver_.join();
+}
+
+void Segment::Cancel() {
+  cancel_.store(true, std::memory_order_release);
+  if (started_ && !done_.load(std::memory_order_acquire)) {
+    elastic_->buffer()->Cancel();
+  }
+}
+
+bool Segment::active() const {
+  return started_ && !done_.load(std::memory_order_acquire);
+}
+
+void Segment::DriverMain() {
+  WorkerContext ctx;  // the driver is not a worker; no terminate flag
+  elastic_->Open(&ctx);
+  sender_.Pump(elastic_.get(), &ctx, &cancel_);
+  done_.store(true, std::memory_order_release);
+  elastic_->Close();
+}
+
+}  // namespace claims

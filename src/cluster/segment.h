@@ -1,0 +1,77 @@
+#ifndef CLAIMS_CLUSTER_SEGMENT_H_
+#define CLAIMS_CLUSTER_SEGMENT_H_
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "cluster/exchange.h"
+#include "core/elastic_iterator.h"
+#include "core/scheduler.h"
+
+namespace claims {
+
+/// One segment instance: the unit of deployment and of dynamic scheduling
+/// (paper §2.1). Physically it is
+///     [scan | merger] → ops… → ElasticIterator → SenderPump
+/// driven by a dedicated driver thread (the paper's sender thread, not
+/// counted against the node's worker cores). Implements SchedulableSegment
+/// so the node's DynamicScheduler can expand/shrink it.
+class Segment : public SchedulableSegment {
+ public:
+  struct Config {
+    std::string name;
+    int node_id = 0;
+    SenderPump::Spec sender;        ///< stats wired in by the constructor
+    ElasticIterator::Options elastic;  ///< stats/clock wired in
+    /// Shared segment counters, owned by the executor (the iterator tree
+    /// below captures the same pointer).
+    SegmentStats* stats = nullptr;
+    Clock* clock = nullptr;
+    int max_parallelism = 24;
+  };
+
+  /// `ops_root` is the operator tree below the elastic iterator.
+  Segment(std::unique_ptr<Iterator> ops_root, Config config);
+  ~Segment() override;
+
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(Segment);
+
+  /// Launches the driver thread.
+  void Start();
+
+  /// Blocks until the segment finished pumping (or was cancelled).
+  void Join();
+
+  /// Cooperative cancellation (query abort / engine shutdown).
+  void Cancel();
+
+  // --- SchedulableSegment ----------------------------------------------------
+
+  const std::string& name() const override { return config_.name; }
+  bool active() const override;
+  int parallelism() const override { return elastic_->parallelism(); }
+  SegmentStats* stats() override { return config_.stats; }
+  ScalabilityVector* scalability() override { return &scalability_; }
+  bool Expand(int core_id) override { return elastic_->Expand(core_id); }
+  bool Shrink() override { return elastic_->Shrink(); }
+
+  int node_id() const { return config_.node_id; }
+  ElasticIterator* elastic() { return elastic_.get(); }
+
+ private:
+  void DriverMain();
+
+  Config config_;
+  ScalabilityVector scalability_;
+  std::unique_ptr<ElasticIterator> elastic_;
+  SenderPump sender_;
+  std::thread driver_;
+  std::atomic<bool> cancel_{false};
+  std::atomic<bool> done_{false};
+  bool started_ = false;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_CLUSTER_SEGMENT_H_

@@ -1,0 +1,18 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace claims {
+
+int64_t SteadyClock::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+SteadyClock* SteadyClock::Default() {
+  static SteadyClock* clock = new SteadyClock;
+  return clock;
+}
+
+}  // namespace claims

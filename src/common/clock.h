@@ -1,0 +1,31 @@
+#ifndef CLAIMS_COMMON_CLOCK_H_
+#define CLAIMS_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace claims {
+
+/// Abstract monotonic clock. The real engine injects SteadyClock; the
+/// virtual-time cluster simulator injects its event-driven SimClock so that
+/// the *same* scheduler/metrics code measures processing rates in either
+/// world (see DESIGN.md §1).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current monotonic time in nanoseconds.
+  virtual int64_t NowNanos() const = 0;
+};
+
+/// Wall-clock implementation backed by std::chrono::steady_clock.
+class SteadyClock : public Clock {
+ public:
+  int64_t NowNanos() const override;
+
+  /// Process-wide shared instance.
+  static SteadyClock* Default();
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_COMMON_CLOCK_H_

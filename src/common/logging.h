@@ -1,0 +1,42 @@
+#ifndef CLAIMS_COMMON_LOGGING_H_
+#define CLAIMS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace claims {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted; defaults to kWarning so tests and
+/// benchmarks stay quiet unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Use via the CLAIMS_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace claims
+
+#define CLAIMS_LOG(level)                                              \
+  ::claims::internal::LogMessage(::claims::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+#endif  // CLAIMS_COMMON_LOGGING_H_

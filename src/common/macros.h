@@ -1,0 +1,31 @@
+#ifndef CLAIMS_COMMON_MACROS_H_
+#define CLAIMS_COMMON_MACROS_H_
+
+// Project-wide helper macros. Kept deliberately small; see the Google C++
+// style guide for the conventions this codebase follows.
+
+#define CLAIMS_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;             \
+  TypeName& operator=(const TypeName&) = delete
+
+// Evaluates an expression returning claims::Status and propagates failure.
+#define CLAIMS_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::claims::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+// Assigns the value of a claims::Result<T> expression to `lhs`, propagating
+// failure as a Status.
+#define CLAIMS_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value()
+
+#define CLAIMS_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define CLAIMS_ASSIGN_OR_RETURN_CONCAT(x, y) CLAIMS_ASSIGN_OR_RETURN_CONCAT_(x, y)
+#define CLAIMS_ASSIGN_OR_RETURN(lhs, rexpr)                                    \
+  CLAIMS_ASSIGN_OR_RETURN_IMPL(                                                \
+      CLAIMS_ASSIGN_OR_RETURN_CONCAT(_result_or_, __LINE__), lhs, rexpr)
+
+#endif  // CLAIMS_COMMON_MACROS_H_

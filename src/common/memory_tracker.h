@@ -1,0 +1,53 @@
+#ifndef CLAIMS_COMMON_MEMORY_TRACKER_H_
+#define CLAIMS_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+
+namespace claims {
+
+/// Tracks live and peak bytes for one memory category (buffers, hash tables,
+/// materialized intermediates, ...). Used to reproduce the paper's Table 4
+/// memory-consumption comparison of EP / SP / ME.
+class MemoryTracker {
+ public:
+  explicit MemoryTracker(std::string name) : name_(std::move(name)) {}
+
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(MemoryTracker);
+
+  void Allocate(int64_t bytes) {
+    int64_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    // Lock-free peak update; racing updates converge to the true maximum.
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void Release(int64_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  int64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  void Reset() {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_COMMON_MEMORY_TRACKER_H_

@@ -1,0 +1,70 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace claims {
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 expansion of the seed keeps low-entropy seeds well mixed.
+  auto splitmix = [](uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  uint64_t x = seed;
+  s0_ = splitmix(x);
+  s1_ = splitmix(x);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  if (n == 0) return 0;
+  return Next() % n;
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  // Gray et al.'s quick Zipf sampling. Zeta(n) is O(n) once at construction;
+  // generators are built per table, not per row.
+  zetan_ = Zeta(n, theta);
+  double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfGenerator::Next() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      n_ * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace claims

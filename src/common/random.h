@@ -1,0 +1,58 @@
+#ifndef CLAIMS_COMMON_RANDOM_H_
+#define CLAIMS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace claims {
+
+/// Deterministic xorshift128+ PRNG. All data generators and the simulator use
+/// this (never std::random_device / wall clock), so every experiment in
+/// bench/ reproduces bit-identically.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  uint64_t Next();
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipf-distributed integers over [0, n). Used by the SSE generator to skew
+/// account/security popularity (hot stocks dominate trade volume).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+
+  static double Zeta(uint64_t n, double theta);
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_COMMON_RANDOM_H_

@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace claims {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kBindError:
+      return "BIND_ERROR";
+    case StatusCode::kPlanError:
+      return "PLAN_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  s += ": ";
+  s += message_;
+  return s;
+}
+
+}  // namespace claims

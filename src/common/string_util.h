@@ -1,0 +1,33 @@
+#ifndef CLAIMS_COMMON_STRING_UTIL_H_
+#define CLAIMS_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace claims {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Lower-cases ASCII.
+std::string ToLower(std::string_view s);
+/// Upper-cases ASCII.
+std::string ToUpper(std::string_view s);
+
+/// Splits on a single character; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Renders a byte count as "1.41 GB" style text.
+std::string HumanBytes(int64_t bytes);
+
+}  // namespace claims
+
+#endif  // CLAIMS_COMMON_STRING_UTIL_H_

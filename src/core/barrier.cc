@@ -1,0 +1,50 @@
+#include "core/barrier.h"
+
+namespace claims {
+
+bool DynamicBarrier::Register() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_) return true;
+  ++registered_;
+  return false;
+}
+
+void DynamicBarrier::Deregister() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (open_) return;
+  --registered_;
+  // The departing worker may have been the only one everyone was waiting for.
+  if (registered_ > 0 && arrived_ >= registered_) {
+    open_ = true;
+    cv_.notify_all();
+  } else if (registered_ == 0) {
+    // All workers terminated before completing the phase; open so that any
+    // future late joiner does not deadlock (the segment is being torn down).
+    open_ = true;
+    cv_.notify_all();
+  }
+}
+
+void DynamicBarrier::Arrive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (open_) return;
+  ++arrived_;
+  if (arrived_ >= registered_) {
+    open_ = true;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [this] { return open_; });
+}
+
+bool DynamicBarrier::IsOpen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_;
+}
+
+int DynamicBarrier::registered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return registered_;
+}
+
+}  // namespace claims

@@ -1,0 +1,75 @@
+#ifndef CLAIMS_CORE_CONTEXT_POOL_H_
+#define CLAIMS_CORE_CONTEXT_POOL_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace claims {
+
+/// Base class for per-worker auxiliary iterator state ("context", §3.2(1)) —
+/// e.g. the private partial-aggregation hash table of hybrid aggregation.
+class IteratorContext {
+ public:
+  virtual ~IteratorContext() = default;
+};
+
+/// Context-reuse locality policy (paper §3.2(1)):
+///  * kVoid      — any worker may reuse any parked context;
+///  * kProcessor — only workers on the same NUMA socket may reuse it (the
+///                 context may still sit in that socket's LLC / local memory);
+///  * kCore      — only workers on the same core may reuse it (private-cache
+///                 residency).
+/// Iterators pick a mode by the storage footprint of their context.
+enum class ContextMode { kVoid = 0, kProcessor = 1, kCore = 2 };
+
+/// Parking lot for worker contexts across shrink/expand cycles. When a worker
+/// terminates it parks its context here instead of destroying it; a later
+/// expansion reuses a compatible context and skips the (potentially
+/// expensive) initialization — the key to the paper's millisecond-level
+/// parallelism adjustments under frequent expand/shrink.
+class ContextPool {
+ public:
+  explicit ContextPool(ContextMode mode) : mode_(mode) {}
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(ContextPool);
+
+  ContextMode mode() const { return mode_; }
+
+  /// Parks a context created on (core_id, socket_id).
+  void Release(std::unique_ptr<IteratorContext> context, int core_id,
+               int socket_id);
+
+  /// Takes a context compatible with the caller's placement under the pool's
+  /// mode, or nullptr when none is parked (the caller then builds a fresh
+  /// one). kVoid matches anything; kProcessor matches socket; kCore matches
+  /// core.
+  std::unique_ptr<IteratorContext> Acquire(int core_id, int socket_id);
+
+  /// Drains every parked context (used by blocking iterators that must fold
+  /// all partial states into the global one at the end of construction).
+  std::vector<std::unique_ptr<IteratorContext>> TakeAll();
+
+  size_t size() const;
+
+  /// Total contexts ever constructed fresh vs reused; exposed so tests and
+  /// the Fig. 9 bench can verify reuse actually happens.
+  int64_t reuse_count() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<IteratorContext> context;
+    int core_id;
+    int socket_id;
+  };
+
+  ContextMode mode_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  int64_t reuse_count_ = 0;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_CORE_CONTEXT_POOL_H_

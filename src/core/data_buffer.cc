@@ -1,0 +1,139 @@
+#include "core/data_buffer.h"
+
+#include <algorithm>
+
+namespace claims {
+
+void DataBuffer::AddProducer(int producer_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++active_producers_;
+  if (options_.order_preserving) {
+    producers_.emplace(producer_id, ProducerQueue{});
+  }
+}
+
+void DataBuffer::RemoveProducer(int producer_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_producers_;
+  if (options_.order_preserving) {
+    auto it = producers_.find(producer_id);
+    if (it != producers_.end()) it->second.finished = true;
+  }
+  // A departing producer can complete the merge precondition or signal EOF.
+  not_empty_.notify_all();
+}
+
+bool DataBuffer::Insert(int producer_id, BlockPtr block) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.order_preserving) {
+    ProducerQueue& q = producers_.at(producer_id);
+    // A producer whose queue is empty may be the one gating the k-way merge;
+    // refusing its insert at capacity would deadlock the pipeline, so the
+    // bound only applies once it has data queued (worst case: capacity + P).
+    not_full_.wait(lock, [&] {
+      return cancelled_ || total_blocks_ < options_.capacity_blocks ||
+             q.blocks.empty();
+    });
+    if (cancelled_) return false;
+    q.watermark = std::max(q.watermark, block->sequence_number());
+    if (options_.memory != nullptr) options_.memory->Allocate(block->payload_bytes());
+    q.blocks.push_back(std::move(block));
+  } else {
+    not_full_.wait(lock, [&] {
+      return cancelled_ || total_blocks_ < options_.capacity_blocks;
+    });
+    if (cancelled_) return false;
+    if (options_.memory != nullptr) options_.memory->Allocate(block->payload_bytes());
+    fifo_.push_back(std::move(block));
+  }
+  ++total_blocks_;
+  not_empty_.notify_one();
+  return true;
+}
+
+void DataBuffer::AdvanceWatermark(int producer_id, uint64_t seq) {
+  if (!options_.order_preserving) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = producers_.find(producer_id);
+  if (it == producers_.end()) return;
+  if (seq > it->second.watermark) {
+    it->second.watermark = seq;
+    not_empty_.notify_all();
+  }
+}
+
+bool DataBuffer::PopReadyLocked() const {
+  if (total_blocks_ == 0) return false;
+  if (!options_.order_preserving) return true;
+  // Find the globally smallest queued sequence number.
+  uint64_t min_seq = UINT64_MAX;
+  for (const auto& [id, q] : producers_) {
+    if (!q.blocks.empty()) {
+      min_seq = std::min(min_seq, q.blocks.front()->sequence_number());
+    }
+  }
+  if (min_seq == UINT64_MAX) return false;
+  // Releasable only if no lagging producer can still insert a smaller one.
+  for (const auto& [id, q] : producers_) {
+    if (q.blocks.empty() && !q.finished && q.watermark < min_seq) return false;
+  }
+  return true;
+}
+
+NextResult DataBuffer::Pop(BlockPtr* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] {
+    return cancelled_ || PopReadyLocked() ||
+           (active_producers_ == 0 && total_blocks_ == 0);
+  });
+  if (cancelled_) return NextResult::kEndOfFile;
+  if (total_blocks_ == 0 && active_producers_ == 0) {
+    return NextResult::kEndOfFile;
+  }
+  if (options_.order_preserving) {
+    ProducerQueue* best = nullptr;
+    uint64_t min_seq = UINT64_MAX;
+    for (auto& [id, q] : producers_) {
+      if (!q.blocks.empty() && q.blocks.front()->sequence_number() < min_seq) {
+        min_seq = q.blocks.front()->sequence_number();
+        best = &q;
+      }
+    }
+    *out = std::move(best->blocks.front());
+    best->blocks.pop_front();
+  } else {
+    *out = std::move(fifo_.front());
+    fifo_.pop_front();
+  }
+  --total_blocks_;
+  if (options_.memory != nullptr) options_.memory->Release((*out)->payload_bytes());
+  // notify_all, not notify_one: a pop can simultaneously free a capacity slot
+  // for one producer and enable the empty-queue bypass of another; waking the
+  // wrong single producer loses the wakeup and deadlocks the merge.
+  not_full_.notify_all();
+  return NextResult::kSuccess;
+}
+
+void DataBuffer::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancelled_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+size_t DataBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_blocks_;
+}
+
+bool DataBuffer::cancelled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_;
+}
+
+int DataBuffer::num_producers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_producers_;
+}
+
+}  // namespace claims

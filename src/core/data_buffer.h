@@ -1,0 +1,93 @@
+#ifndef CLAIMS_CORE_DATA_BUFFER_H_
+#define CLAIMS_CORE_DATA_BUFFER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "common/macros.h"
+#include "common/memory_tracker.h"
+#include "core/iterator.h"
+#include "storage/block.h"
+
+namespace claims {
+
+/// The elastic iterator's joint output buffer (paper §3.1, Fig. 5): worker
+/// threads insert result blocks concurrently; the single consumer (typically
+/// the segment's sender) pops them via Pop(). The buffer is bounded, giving
+/// natural backpressure — producer threads block when the consumer (or the
+/// network behind it) cannot keep up, which is exactly the signal the dynamic
+/// scheduler uses to detect over-producing segments.
+///
+/// In order-preserving mode (§3.2(2)) each producer's inserts must carry
+/// non-decreasing block sequence numbers (guaranteed by the stage-beginner
+/// numbering); Pop() then performs a streaming k-way merge, releasing the
+/// globally smallest sequence number only once no lagging producer can still
+/// insert a smaller one.
+class DataBuffer {
+ public:
+  struct Options {
+    size_t capacity_blocks = 64;
+    bool order_preserving = false;
+    /// Optional accounting sink for Table 4 memory measurements.
+    MemoryTracker* memory = nullptr;
+  };
+
+  explicit DataBuffer(Options options) : options_(options) {}
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(DataBuffer);
+
+  /// Registers a producer before its worker thread starts (or on expansion).
+  void AddProducer(int producer_id);
+
+  /// A producer finished (end-of-file) or terminated (shrink): it will never
+  /// insert again. When the last producer leaves and the buffer drains, Pop
+  /// reports end-of-file.
+  void RemoveProducer(int producer_id);
+
+  /// Inserts a block, blocking while the buffer is at capacity. Returns false
+  /// if the buffer was cancelled while waiting.
+  bool Insert(int producer_id, BlockPtr block);
+
+  /// Order-preserving mode only: promises that `producer_id` will never
+  /// insert a block with sequence number < `seq` again, unblocking the merge
+  /// across low-selectivity stretches.
+  void AdvanceWatermark(int producer_id, uint64_t seq);
+
+  /// Consumer side: pops one block, blocking until data is available or all
+  /// producers have left (kEndOfFile). Cancellation also yields kEndOfFile.
+  NextResult Pop(BlockPtr* out);
+
+  /// Wakes all waiters; subsequent Inserts fail and Pops drain then EOF.
+  void Cancel();
+
+  size_t size() const;
+  bool cancelled() const;
+  int num_producers() const;
+
+ private:
+  struct ProducerQueue {
+    std::deque<BlockPtr> blocks;
+    uint64_t watermark = 0;  ///< producer never inserts a seq below this again
+    bool finished = false;
+  };
+
+  // All guarded by mu_.
+  bool PopReadyLocked() const;
+  size_t TotalLocked() const { return total_blocks_; }
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<BlockPtr> fifo_;                 // unordered mode
+  std::map<int, ProducerQueue> producers_;    // ordered mode uses queues
+  size_t total_blocks_ = 0;
+  int active_producers_ = 0;
+  bool cancelled_ = false;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_CORE_DATA_BUFFER_H_

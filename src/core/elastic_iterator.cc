@@ -1,0 +1,208 @@
+#include "core/elastic_iterator.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace claims {
+
+ElasticIterator::ElasticIterator(std::unique_ptr<Iterator> child,
+                                 Options options)
+    : child_(std::move(child)),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SteadyClock::Default()),
+      buffer_(DataBuffer::Options{options.buffer_capacity_blocks,
+                                  options.order_preserving, options.memory}) {}
+
+ElasticIterator::~ElasticIterator() { Close(); }
+
+NextResult ElasticIterator::Open(WorkerContext* /*ctx*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (opened_) return NextResult::kSuccess;
+  opened_ = true;
+  for (int i = 0; i < options_.initial_parallelism; ++i) {
+    StartWorkerLocked(/*core_id=*/i);
+  }
+  return NextResult::kSuccess;
+}
+
+NextResult ElasticIterator::Next(WorkerContext* /*ctx*/, BlockPtr* out) {
+  return buffer_.Pop(out);
+}
+
+void ElasticIterator::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    for (auto& w : workers_) {
+      w->terminate.store(true, std::memory_order_release);
+    }
+  }
+  // Wake any worker blocked on a full buffer and the consumer.
+  buffer_.Cancel();
+  // Join without holding mu_: exiting workers take mu_ for their final
+  // bookkeeping, so joining under the lock would deadlock. No new workers can
+  // appear — Expand refuses once closed_ is set.
+  JoinAllWorkers();
+  child_->Close();
+}
+
+ElasticIterator::Worker* ElasticIterator::StartWorkerLocked(int core_id) {
+  auto worker = std::make_unique<Worker>();
+  worker->worker_id = next_worker_id_++;
+  worker->core_id = core_id;
+  Worker* w = worker.get();
+  buffer_.AddProducer(w->worker_id);
+  ++live_workers_;
+  workers_.push_back(std::move(worker));
+  w->thread = std::thread([this, w] { WorkerMain(w); });
+  return w;
+}
+
+void ElasticIterator::JoinAllWorkers() {
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ElasticIterator::WorkerMain(Worker* worker) {
+  WorkerContext ctx;
+  ctx.worker_id = worker->worker_id;
+  ctx.core_id = worker->core_id;
+  ctx.socket_id = options_.cores_per_socket > 0
+                      ? worker->core_id / options_.cores_per_socket
+                      : 0;
+  ctx.terminate_requested = &worker->terminate;
+  ctx.processing_started = &worker->ready;
+  ctx.stats = options_.stats;
+
+  bool via_eof = false;
+  NextResult open_status = child_->Open(&ctx);
+  if (open_status == NextResult::kSuccess) {
+    worker->ready.store(true, std::memory_order_release);
+    // Algorithm 2: pull blocks from the child and feed the joint buffer.
+    while (true) {
+      BlockPtr block;
+      NextResult r = child_->Next(&ctx, &block);
+      if (r == NextResult::kSuccess) {
+        int32_t rows = block->num_rows();
+        int64_t t0 = clock_->NowNanos();
+        bool inserted = buffer_.Insert(worker->worker_id, std::move(block));
+        if (options_.stats != nullptr) {
+          options_.stats->blocked_output_ns.fetch_add(
+              clock_->NowNanos() - t0, std::memory_order_relaxed);
+          if (inserted) {
+            options_.stats->output_tuples.fetch_add(rows,
+                                                    std::memory_order_relaxed);
+          }
+        }
+        if (!inserted) break;  // buffer cancelled — segment closing
+      } else if (r == NextResult::kEndOfFile) {
+        via_eof = true;
+        break;
+      } else {  // kTerminated — shrink completed
+        break;
+      }
+    }
+  }
+  worker->ready.store(true, std::memory_order_release);
+
+  // Update liveness counters before leaving the buffer, so that a consumer
+  // observing end-of-file (possible only after the last RemoveProducer) also
+  // observes finished() == true.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --live_workers_;
+    if (via_eof) ++finished_workers_;
+  }
+  buffer_.RemoveProducer(worker->worker_id);
+  worker->done.store(true, std::memory_order_release);
+}
+
+bool ElasticIterator::Expand(int core_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opened_ || closed_) return false;
+  if (finished_workers_ > 0 && live_workers_ == 0) return false;  // finished
+  if (live_workers_ >= options_.max_parallelism) return false;
+  StartWorkerLocked(core_id);
+  return true;
+}
+
+bool ElasticIterator::Shrink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opened_ || closed_) return false;
+  int shrinkable = 0;
+  Worker* victim = nullptr;
+  for (auto it = workers_.rbegin(); it != workers_.rend(); ++it) {
+    Worker* w = it->get();
+    if (!w->done.load(std::memory_order_acquire) &&
+        !w->terminate.load(std::memory_order_acquire)) {
+      ++shrinkable;
+      if (victim == nullptr) victim = w;
+    }
+  }
+  if (victim == nullptr || shrinkable <= options_.min_parallelism) return false;
+  victim->terminate.store(true, std::memory_order_release);
+  return true;
+}
+
+int64_t ElasticIterator::ShrinkBlocking() {
+  Worker* victim = nullptr;
+  int64_t t0 = clock_->NowNanos();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!opened_ || closed_) return -1;
+    int shrinkable = 0;
+    for (auto it = workers_.rbegin(); it != workers_.rend(); ++it) {
+      Worker* w = it->get();
+      if (!w->done.load(std::memory_order_acquire) &&
+          !w->terminate.load(std::memory_order_acquire)) {
+        ++shrinkable;
+        if (victim == nullptr) victim = w;
+      }
+    }
+    if (victim == nullptr || shrinkable <= options_.min_parallelism) return -1;
+    victim->terminate.store(true, std::memory_order_release);
+  }
+  while (!victim->done.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  return clock_->NowNanos() - t0;
+}
+
+int64_t ElasticIterator::ExpandMeasured(int core_id) {
+  Worker* w = nullptr;
+  int64_t t0 = clock_->NowNanos();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!opened_ || closed_) return -1;
+    if (live_workers_ >= options_.max_parallelism) return -1;
+    w = StartWorkerLocked(core_id);
+  }
+  while (!w->ready.load(std::memory_order_acquire) &&
+         !w->done.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  return clock_->NowNanos() - t0;
+}
+
+int ElasticIterator::parallelism() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int live = 0;
+  for (const auto& w : workers_) {
+    if (!w->done.load(std::memory_order_acquire) &&
+        !w->terminate.load(std::memory_order_acquire)) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+bool ElasticIterator::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opened_ && live_workers_ == 0 && finished_workers_ > 0;
+}
+
+}  // namespace claims

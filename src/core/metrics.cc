@@ -1,0 +1,30 @@
+#include "core/metrics.h"
+
+namespace claims {
+
+void VisitRateAggregator::Observe(int producer_id, double tail_visit_rate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latest_[producer_id] = tail_visit_rate;
+  double sum = 0;
+  for (const auto& [id, v] : latest_) sum += v;
+  stats_->visit_rate.store(sum, std::memory_order_relaxed);
+}
+
+double RateSampler::Sample(int64_t counter, int64_t now_ns) {
+  if (!primed_) {
+    primed_ = true;
+    last_counter_ = counter;
+    last_ns_ = now_ns;
+    return 0.0;
+  }
+  int64_t dt = now_ns - last_ns_;
+  int64_t dc = counter - last_counter_;
+  last_counter_ = counter;
+  last_ns_ = now_ns;
+  if (dt <= 0) return 0.0;
+  return static_cast<double>(dc) * 1e9 / static_cast<double>(dt);
+}
+
+void RateSampler::Reset() { primed_ = false; }
+
+}  // namespace claims

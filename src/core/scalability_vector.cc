@@ -1,0 +1,59 @@
+#include "core/scalability_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace claims {
+
+ScalabilityVector::ScalabilityVector(int max_parallelism)
+    : entries_(static_cast<size_t>(std::max(1, max_parallelism)) + 1) {}
+
+void ScalabilityVector::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) e = Entry{};
+}
+
+void ScalabilityVector::Update(int p, double rate, int64_t now_ns) {
+  if (p < 0 || p >= static_cast<int>(entries_.size())) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[p] = Entry{rate, now_ns, true};
+}
+
+std::optional<double> ScalabilityVector::Estimate(int p, int64_t now_ns,
+                                                  int64_t freshness_ns) const {
+  if (p <= 0) return 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = static_cast<int>(entries_.size());
+  int pc = std::min(p, n - 1);
+  if (entries_[pc].valid && now_ns - entries_[pc].timestamp_ns <= freshness_ns) {
+    return entries_[pc].rate;
+  }
+  // Neighbour record: the scheduler only ever moves one core at a time, so a
+  // valid record at p±1 is the expected fallback; failing that, take the
+  // nearest valid entry and scale proportionally to the core count.
+  int best = -1;
+  int best_dist = INT32_MAX;
+  for (int j = 1; j < n; ++j) {
+    if (!entries_[j].valid) continue;
+    int dist = std::abs(j - p);
+    if (dist < best_dist ||
+        (dist == best_dist &&
+         entries_[j].timestamp_ns > entries_[best].timestamp_ns)) {
+      best = j;
+      best_dist = dist;
+    }
+  }
+  if (best < 0) return std::nullopt;
+  return entries_[best].rate * static_cast<double>(p) /
+         static_cast<double>(best);
+}
+
+std::optional<double> ScalabilityVector::Raw(int p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (p < 0 || p >= static_cast<int>(entries_.size()) || !entries_[p].valid) {
+    return std::nullopt;
+  }
+  return entries_[p].rate;
+}
+
+}  // namespace claims

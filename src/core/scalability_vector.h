@@ -1,0 +1,60 @@
+#ifndef CLAIMS_CORE_SCALABILITY_VECTOR_H_
+#define CLAIMS_CORE_SCALABILITY_VECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace claims {
+
+/// Per-segment scalability vector (paper §4.4): entry j holds (t_ij, l_ij) —
+/// the last *trustworthy* measured processing rate of the segment running
+/// with j worker threads, and the timestamp of that measurement. The
+/// scheduler updates the entry for the current parallelism whenever the
+/// measured rate was not under-estimated (the segment was neither starved
+/// nor output-blocked), and estimates rates at p±1 for Algorithm 1's what-if
+/// evaluation:
+///  * fresh entry at the target parallelism → use it directly;
+///  * otherwise scale the nearest valid entry proportionally to the core
+///    count ("estimation is simply proportional to the number of cores").
+/// Entries are invalidated when a segment enters a new stage, since the
+/// scalability profile differs per stage.
+class ScalabilityVector {
+ public:
+  explicit ScalabilityVector(int max_parallelism);
+
+  /// Marks every entry invalid (stage change).
+  void Invalidate();
+
+  /// Records a trustworthy instantaneous rate at parallelism `p`.
+  void Update(int p, double rate, int64_t now_ns);
+
+  /// Estimated processing rate at parallelism `p`. `freshness_ns` is the
+  /// paper's θ threshold: entries older than that are not used directly but
+  /// still serve as scaling anchors. Returns nullopt when the vector holds
+  /// no data at all.
+  std::optional<double> Estimate(int p, int64_t now_ns,
+                                 int64_t freshness_ns) const;
+
+  /// Latest raw entry (rate, timestamp) at `p`, if valid; for tests.
+  std::optional<double> Raw(int p) const;
+
+  int max_parallelism() const {
+    return static_cast<int>(entries_.size()) - 1;
+  }
+
+ private:
+  struct Entry {
+    double rate = 0.0;
+    int64_t timestamp_ns = -1;
+    bool valid = false;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // index = parallelism, [0..max]
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_CORE_SCALABILITY_VECTOR_H_

@@ -1,0 +1,244 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace claims {
+
+void GlobalThroughputBoard::PublishLocal(int node_id, double lambda_local) {
+  std::lock_guard<std::mutex> lock(mu_);
+  local_lambda_[node_id] = lambda_local;
+}
+
+void GlobalThroughputBoard::ClearNode(int node_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  local_lambda_.erase(node_id);
+}
+
+double GlobalThroughputBoard::GlobalLambda() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double lambda = std::numeric_limits<double>::infinity();
+  for (const auto& [node, v] : local_lambda_) lambda = std::min(lambda, v);
+  return lambda;
+}
+
+void GlobalThroughputBoard::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  local_lambda_.clear();
+}
+
+DynamicScheduler::DynamicScheduler(int node_id, SchedulerOptions options,
+                                   Clock* clock, GlobalThroughputBoard* board)
+    : node_id_(node_id), options_(options), clock_(clock), board_(board) {}
+
+void DynamicScheduler::AddSegment(SchedulableSegment* segment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto rec = std::make_unique<SegmentRecord>();
+  rec->segment = segment;
+  records_.push_back(std::move(rec));
+}
+
+void DynamicScheduler::RemoveSegment(SchedulableSegment* segment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                [segment](const auto& r) {
+                                  return r->segment == segment;
+                                }),
+                 records_.end());
+}
+
+int DynamicScheduler::cores_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int used = 0;
+  for (const auto& r : records_) {
+    if (r->segment->active()) used += r->segment->parallelism();
+  }
+  return used;
+}
+
+double DynamicScheduler::NormalizedRate(
+    const SchedulableSegment* segment) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : records_) {
+    if (r->segment == segment && r->has_sample) return r->last_normalized;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::vector<SchedulerAction> DynamicScheduler::Tick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SchedulerAction> actions;
+  const int64_t now = clock_->NowNanos();
+  const double thr = options_.blocked_fraction_threshold;
+
+  // ---- 1. Sample metrics -----------------------------------------------------
+  struct Classified {
+    SegmentRecord* rec;
+    double visit_rate;
+    bool starved;
+    bool out_blocked;
+  };
+  std::vector<Classified> live;
+  int cores_used = 0;
+  for (auto& r : records_) {
+    if (!r->segment->active()) continue;
+    const int p = std::max(1, r->segment->parallelism());
+    cores_used += r->segment->parallelism();
+    SegmentStats* stats = r->segment->stats();
+    double rate = r->rate_sampler.Sample(
+        stats->input_tuples.load(std::memory_order_relaxed), now);
+    double blocked_in_rate = r->blocked_in_sampler.Sample(
+        stats->blocked_input_ns.load(std::memory_order_relaxed), now);
+    double blocked_out_rate = r->blocked_out_sampler.Sample(
+        stats->blocked_output_ns.load(std::memory_order_relaxed), now);
+    if (!r->has_sample) {
+      // First tick only primes the samplers.
+      r->has_sample = true;
+      continue;
+    }
+    double v = std::max(1e-9, stats->visit_rate.load(std::memory_order_relaxed));
+    r->last_rate = rate;
+    r->last_normalized = rate / v;
+    // blocked counters accumulate over p workers; normalize to per-worker
+    // fraction of the tick.
+    r->blocked_in_fraction = blocked_in_rate / 1e9 / p;
+    r->blocked_out_fraction = blocked_out_rate / 1e9 / p;
+    bool starved = r->blocked_in_fraction > thr;
+    bool out_blocked = r->blocked_out_fraction > thr;
+    // §4.4: only record the rate when it is not under-estimated.
+    if (!starved && !out_blocked && rate > 0) {
+      r->segment->scalability()->Update(r->segment->parallelism(), rate, now);
+    }
+    live.push_back(Classified{r.get(), v, starved, out_blocked});
+  }
+
+  // ---- 2. Publish local λ, read global λ -------------------------------------
+  // Segments whose measured rate is under-estimated (§4.4) — starved of
+  // input or throttled by a full output/network — must not define the
+  // pipeline throughput, or λ collapses to their bogus rates.
+  double lambda_local = std::numeric_limits<double>::infinity();
+  for (const Classified& c : live) {
+    if (!c.starved && !c.out_blocked) {
+      lambda_local = std::min(lambda_local, c.rec->last_normalized);
+    }
+  }
+  board_->PublishLocal(node_id_, lambda_local);
+  const double lambda = board_->GlobalLambda();
+  if (std::getenv("CLAIMS_SCHED_DEBUG") != nullptr && node_id_ == 0) {
+    std::fprintf(stderr, "[tick t=%.2f lambda=%.0f]", now / 1e9, lambda);
+    for (const Classified& c : live) {
+      std::fprintf(stderr, " %s(p=%d R=%.0f bi=%.2f bo=%.2f%s%s)",
+                   c.rec->segment->name().c_str(),
+                   c.rec->segment->parallelism(), c.rec->last_normalized,
+                   c.rec->blocked_in_fraction, c.rec->blocked_out_fraction,
+                   c.starved ? " ST" : "", c.out_blocked ? " OB" : "");
+    }
+    std::fprintf(stderr, "\n");
+  }
+  if (live.empty() || std::isinf(lambda)) return actions;
+  const double delta = std::max(lambda * options_.delta_fraction, 1e-9);
+
+  auto estimate_rate = [&](SegmentRecord* rec, int p) -> double {
+    auto est = rec->segment->scalability()->Estimate(p, now,
+                                                     options_.freshness_ns);
+    if (est.has_value()) return *est;
+    // No data yet: assume linear scaling from the live sample.
+    int cur = std::max(1, rec->segment->parallelism());
+    return rec->last_rate * static_cast<double>(p) / cur;
+  };
+
+  // ---- 3. U / O classification (Algorithm 1 lines 1-2) -----------------------
+  std::vector<Classified*> under;
+  std::vector<Classified*> over;
+  for (Classified& c : live) {
+    if (c.starved || c.out_blocked) continue;
+    if (c.rec->last_normalized <= lambda * (1.0 + options_.under_epsilon)) {
+      under.push_back(&c);
+    } else if (c.rec->last_normalized >= lambda * options_.over_factor &&
+               c.rec->segment->parallelism() > 1) {
+      over.push_back(&c);
+    }
+  }
+
+  // ---- 4. Hand out free cores first ------------------------------------------
+  int free_cores = options_.num_cores - cores_used;
+  if (free_cores > 0 && !under.empty()) {
+    for (int round = 0;
+         round < std::min(free_cores, options_.max_free_expansions); ++round) {
+      Classified* best = nullptr;
+      double best_gain = -1;
+      for (Classified* c : under) {
+        int p = c->rec->segment->parallelism();
+        double gain = estimate_rate(c->rec, p + 1) - c->rec->last_rate;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = c;
+        }
+      }
+      if (best == nullptr || !best->rec->segment->Expand(cores_used)) break;
+      ++cores_used;
+      actions.push_back(SchedulerAction{SchedulerAction::Kind::kExpandFree,
+                                        best->rec->segment->name(), ""});
+    }
+  } else if (!under.empty() && !over.empty()) {
+    // ---- 5. Algorithm 1 pair evaluation (lines 5-11) -------------------------
+    Classified* best_u = nullptr;
+    Classified* best_o = nullptr;
+    double best_score = -1;
+    for (Classified* u : under) {
+      for (Classified* o : over) {
+        if (u == o) continue;
+        int pu = u->rec->segment->parallelism();
+        int po = o->rec->segment->parallelism();
+        if (po <= 1) continue;
+        double ru = estimate_rate(u->rec, pu + 1) / u->visit_rate;
+        double ro = estimate_rate(o->rec, po - 1) / o->visit_rate;
+        if (ru >= lambda + delta && ro >= lambda + delta) {
+          double score = std::min(ru, ro);
+          if (score > best_score) {
+            best_score = score;
+            best_u = u;
+            best_o = o;
+          }
+        }
+      }
+    }
+    if (best_u != nullptr && best_o->rec->segment->Shrink()) {
+      if (best_u->rec->segment->Expand(cores_used)) {
+        actions.push_back(SchedulerAction{SchedulerAction::Kind::kMovePair,
+                                          best_u->rec->segment->name(),
+                                          best_o->rec->segment->name()});
+      }
+    }
+  }
+
+  // ---- 6. Reclaim cores from starved / over-producing segments ---------------
+  for (Classified& c : live) {
+    int p = c.rec->segment->parallelism();
+    if (c.starved && p > options_.starved_parallelism) {
+      if (c.rec->segment->Shrink()) {
+        actions.push_back(SchedulerAction{
+            SchedulerAction::Kind::kShrinkStarved, "", c.rec->segment->name()});
+      }
+    } else if (c.out_blocked && p > 1 &&
+               c.rec->blocked_out_fraction > 1.4 * thr) {
+      // Over-producing: the consumer/network cannot absorb the output; keep
+      // the producing rate matched by dropping one core (hysteresis margin
+      // avoids oscillation around the matched parallelism).
+      if (c.rec->segment->Shrink()) {
+        actions.push_back(SchedulerAction{
+            SchedulerAction::Kind::kShrinkOverproducing, "",
+            c.rec->segment->name()});
+      }
+    }
+  }
+  return actions;
+}
+
+}  // namespace claims

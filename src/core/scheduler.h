@@ -1,0 +1,145 @@
+#ifndef CLAIMS_CORE_SCHEDULER_H_
+#define CLAIMS_CORE_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/macros.h"
+#include "core/metrics.h"
+#include "core/scalability_vector.h"
+
+namespace claims {
+
+/// Scheduler-facing view of a running segment. Both the real engine's
+/// Segment (cluster/segment.h) and the virtual-time simulator's SimSegment
+/// implement this, so the Algorithm-1 logic below is substrate-agnostic.
+class SchedulableSegment {
+ public:
+  virtual ~SchedulableSegment() = default;
+
+  virtual const std::string& name() const = 0;
+  /// False once the segment's input is exhausted (drop from scheduling).
+  virtual bool active() const = 0;
+  virtual int parallelism() const = 0;
+  virtual SegmentStats* stats() = 0;
+  virtual ScalabilityVector* scalability() = 0;
+  /// Adds / removes one worker (ElasticIterator::Expand / Shrink).
+  virtual bool Expand(int core_id) = 0;
+  virtual bool Shrink() = 0;
+};
+
+/// Cluster-wide blackboard for the pipeline throughput λ (paper §4.2): every
+/// node publishes the minimum normalized processing rate of its local
+/// segments; the global λ is the minimum over nodes. With λ known, each node
+/// optimizes locally — no cross-node parallelism assignment is needed.
+class GlobalThroughputBoard {
+ public:
+  GlobalThroughputBoard() = default;
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(GlobalThroughputBoard);
+
+  void PublishLocal(int node_id, double lambda_local);
+  void ClearNode(int node_id);
+
+  /// min over published nodes; +inf when nothing is published.
+  double GlobalLambda() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, double> local_lambda_;
+};
+
+struct SchedulerOptions {
+  /// Cores available to query processing on this node (paper's m).
+  int num_cores = 24;
+  /// U-set width: segments with R_i ≤ λ·(1+epsilon) count as close to the
+  /// bottleneck (under-performing).
+  double under_epsilon = 0.25;
+  /// O-set threshold: segments with R_i ≥ λ·over_factor are over-performing
+  /// donors.
+  double over_factor = 1.6;
+  /// Algorithm 1's penalty factor Δ, as a fraction of λ: a core move must
+  /// leave both sides' normalized rates ≥ λ·(1+delta_fraction).
+  double delta_fraction = 0.05;
+  /// θ: scalability-vector entries older than this are stale (§4.4).
+  int64_t freshness_ns = 2'000'000'000;
+  /// A segment whose workers spent more than this fraction of the tick
+  /// blocked on input is starved; blocked on output, over-producing. Either
+  /// way its measured rate is "under-estimated" and not recorded (§4.4).
+  double blocked_fraction_threshold = 0.25;
+  /// Most cores a starved segment keeps while it has nothing to process.
+  int starved_parallelism = 1;
+  /// Free-pool cores handed out per tick (pair moves stay one per tick, as
+  /// in Algorithm 1).
+  int max_free_expansions = 2;
+};
+
+/// Per-tick decision record, for tests / Fig. 10-13 traces.
+struct SchedulerAction {
+  enum class Kind { kExpandFree, kMovePair, kShrinkStarved, kShrinkOverproducing };
+  Kind kind;
+  std::string expanded;  // segment names (empty when n/a)
+  std::string shrunk;
+};
+
+/// The per-node dynamic scheduler (paper §4, Fig. 6; Algorithm 1). Runs as an
+/// independent control loop; each Tick() it
+///  1. samples every local segment's processing rate T_i and visit rate V_i,
+///     refreshing scalability vectors when the measurement is trustworthy;
+///  2. publishes the local λ = min R_i (R_i = T_i / V_i) and reads global λ;
+///  3. hands free cores to the most promising under-performing segment;
+///  4. evaluates Algorithm 1 pair moves (U × O) using scalability-vector
+///     what-ifs, executing the best pair;
+///  5. shrinks starved / over-producing segments so their cores return to
+///     the free pool.
+class DynamicScheduler {
+ public:
+  DynamicScheduler(int node_id, SchedulerOptions options, Clock* clock,
+                   GlobalThroughputBoard* board);
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(DynamicScheduler);
+
+  void AddSegment(SchedulableSegment* segment);
+  void RemoveSegment(SchedulableSegment* segment);
+
+  /// One scheduling round; returns the actions taken.
+  std::vector<SchedulerAction> Tick();
+
+  /// Cores currently assigned to local segments.
+  int cores_in_use() const;
+  int node_id() const { return node_id_; }
+  const SchedulerOptions& options() const { return options_; }
+
+  /// Latest sampled normalized rate of a segment (for traces/tests); NaN if
+  /// unknown.
+  double NormalizedRate(const SchedulableSegment* segment) const;
+
+ private:
+  struct SegmentRecord {
+    SchedulableSegment* segment;
+    RateSampler rate_sampler;
+    RateSampler blocked_in_sampler;   // ns/ns fractions via rate of ns counter
+    RateSampler blocked_out_sampler;
+    double last_rate = 0.0;        // T_i tuples/sec
+    double last_normalized = 0.0;  // R_i = T_i / V_i
+    double blocked_in_fraction = 0.0;
+    double blocked_out_fraction = 0.0;
+    bool has_sample = false;
+  };
+
+  int node_id_;
+  SchedulerOptions options_;
+  Clock* clock_;
+  GlobalThroughputBoard* board_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SegmentRecord>> records_;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_CORE_SCHEDULER_H_

@@ -1,0 +1,38 @@
+#include "engine/database.h"
+
+namespace claims {
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+  options_.planner.num_nodes = options_.cluster.num_nodes;
+  cluster_ = std::make_unique<Cluster>(options_.cluster, &catalog_);
+  executor_ = std::make_unique<Executor>(cluster_.get());
+}
+
+Status Database::LoadTpch(TpchConfig config) {
+  config.num_partitions = options_.cluster.num_nodes;
+  return GenerateTpch(config, &catalog_);
+}
+
+Status Database::LoadSse(SseConfig config) {
+  config.num_partitions = options_.cluster.num_nodes;
+  return GenerateSse(config, &catalog_);
+}
+
+Result<PhysicalPlan> Database::Plan(std::string_view sql) {
+  Planner planner(&catalog_, options_.planner);
+  return planner.PlanSql(sql);
+}
+
+Result<ResultSet> Database::Query(std::string_view sql, ExecOptions exec) {
+  CLAIMS_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(sql));
+  CLAIMS_ASSIGN_OR_RETURN(ResultSet result, executor_->Execute(plan, exec));
+  if (plan.limit >= 0) result.TruncateRows(plan.limit);
+  return result;
+}
+
+Result<std::string> Database::Explain(std::string_view sql) {
+  CLAIMS_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(sql));
+  return plan.ToString();
+}
+
+}  // namespace claims

@@ -1,0 +1,219 @@
+#include "engine/workloads.h"
+
+#include "common/string_util.h"
+
+namespace claims {
+
+namespace {
+
+// --- Synthetic queries (paper §5.1) ----------------------------------------------
+
+constexpr std::string_view kSQ1 =
+    "SELECT * FROM orders "
+    "WHERE o_comment NOT LIKE '%special%requests%'";
+
+constexpr std::string_view kSQ2 =
+    "SELECT * FROM orders WHERE o_orderdate < '1995-01-01'";
+
+constexpr std::string_view kSQ3 =
+    "SELECT l_returnflag, l_linestatus, sum(l_quantity), avg(l_discount) "
+    "FROM lineitem GROUP BY l_returnflag, l_linestatus";
+
+constexpr std::string_view kSQ4 =
+    "SELECT l_commitdate, sum(l_quantity), avg(l_discount) "
+    "FROM lineitem GROUP BY l_commitdate";
+
+constexpr std::string_view kSQ5 =
+    "SELECT * FROM orders, lineitem WHERE l_orderkey = o_orderkey";
+
+// --- SSE queries (paper §5.1) ------------------------------------------------------
+
+constexpr std::string_view kSseQ6 =
+    "SELECT count(*) FROM trades T, securities S "
+    "WHERE S.sec_code = 600036 AND T.trade_date = '2010-10-30' "
+    "AND S.acct_id = T.acct_id";
+
+constexpr std::string_view kSseQ7 =
+    "SELECT acct_id, sum(trade_volume) FROM trades GROUP BY acct_id";
+
+constexpr std::string_view kSseQ8 =
+    "SELECT acct_id, sec_code, sum(trade_volume) FROM trades "
+    "WHERE trade_date = '2010-10-10' GROUP BY acct_id, sec_code";
+
+constexpr std::string_view kSseQ9 =
+    "SELECT T.sec_code, S.acct_id, sum(trade_volume), sum(entry_volume) "
+    "FROM trades T, securities S "
+    "WHERE T.trade_date = '2010-10-30' AND S.entry_date = '2010-10-30' "
+    "AND T.acct_id = S.acct_id "
+    "GROUP BY T.sec_code, S.acct_id";
+
+// --- TPC-H -------------------------------------------------------------------------
+
+constexpr std::string_view kQ1 =
+    "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, "
+    "sum(l_extendedprice) AS sum_base_price, "
+    "sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+    "sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, "
+    "avg(l_quantity) AS avg_qty, avg(l_extendedprice) AS avg_price, "
+    "avg(l_discount) AS avg_disc, count(*) AS count_order "
+    "FROM lineitem WHERE l_shipdate <= '1998-09-02' "
+    "GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus";
+
+constexpr std::string_view kQ2 =
+    "SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr "
+    "FROM part, supplier, partsupp, nation, region, "
+    "(SELECT ps_partkey AS mc_partkey, min(ps_supplycost) AS mc_cost "
+    " FROM partsupp GROUP BY ps_partkey) mincost "
+    "WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey "
+    "AND p_size = 15 AND p_type LIKE '%BRASS' "
+    "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+    "AND r_name = 'EUROPE' "
+    "AND mc_partkey = p_partkey AND ps_supplycost = mc_cost "
+    "ORDER BY s_acctbal DESC, n_name, s_name, p_partkey LIMIT 100";
+
+constexpr std::string_view kQ3 =
+    "SELECT l_orderkey, sum(l_extendedprice * (1 - l_discount)) AS revenue, "
+    "o_orderdate, o_shippriority "
+    "FROM customer, orders, lineitem "
+    "WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey "
+    "AND l_orderkey = o_orderkey AND o_orderdate < '1995-03-15' "
+    "AND l_shipdate > '1995-03-15' "
+    "GROUP BY l_orderkey, o_orderdate, o_shippriority "
+    "ORDER BY revenue DESC, o_orderdate LIMIT 10";
+
+constexpr std::string_view kQ5 =
+    "SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue "
+    "FROM customer, orders, lineitem, supplier, nation, region "
+    "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+    "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+    "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+    "AND r_name = 'ASIA' AND o_orderdate >= '1994-01-01' "
+    "AND o_orderdate < '1995-01-01' "
+    "GROUP BY n_name ORDER BY revenue DESC";
+
+constexpr std::string_view kQ6 =
+    "SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem "
+    "WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01' "
+    "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24";
+
+constexpr std::string_view kQ7 =
+    "SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, "
+    "YEAR(l_shipdate) AS l_year, "
+    "sum(l_extendedprice * (1 - l_discount)) AS revenue "
+    "FROM supplier, lineitem, orders, customer, nation n1, nation n2 "
+    "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey "
+    "AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey "
+    "AND c_nationkey = n2.n_nationkey "
+    "AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY') "
+    "  OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE')) "
+    "AND l_shipdate BETWEEN '1995-01-01' AND '1996-12-31' "
+    "GROUP BY n1.n_name, n2.n_name, YEAR(l_shipdate) "
+    "ORDER BY supp_nation, cust_nation, l_year";
+
+constexpr std::string_view kQ8 =
+    "SELECT YEAR(o_orderdate) AS o_year, "
+    "sum(CASE WHEN n2.n_name = 'BRAZIL' "
+    "    THEN l_extendedprice * (1 - l_discount) ELSE 0.0 END) / "
+    "sum(l_extendedprice * (1 - l_discount)) AS mkt_share "
+    "FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, "
+    "region "
+    "WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey "
+    "AND l_orderkey = o_orderkey AND o_custkey = c_custkey "
+    "AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey "
+    "AND r_name = 'AMERICA' AND s_nationkey = n2.n_nationkey "
+    "AND o_orderdate BETWEEN '1995-01-01' AND '1996-12-31' "
+    "AND p_type = 'ECONOMY ANODIZED STEEL' "
+    "GROUP BY YEAR(o_orderdate) ORDER BY o_year";
+
+constexpr std::string_view kQ9 =
+    "SELECT n_name AS nation, YEAR(o_orderdate) AS o_year, "
+    "sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) "
+    "AS sum_profit "
+    "FROM part, supplier, lineitem, partsupp, orders, nation "
+    "WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey "
+    "AND ps_partkey = l_partkey AND p_partkey = l_partkey "
+    "AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey "
+    "AND p_name LIKE '%green%' "
+    "GROUP BY n_name, YEAR(o_orderdate) ORDER BY nation, o_year DESC";
+
+constexpr std::string_view kQ10 =
+    "SELECT c_custkey, c_name, "
+    "sum(l_extendedprice * (1 - l_discount)) AS revenue, c_acctbal, n_name, "
+    "c_address, c_phone, c_comment "
+    "FROM customer, orders, lineitem, nation "
+    "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+    "AND o_orderdate >= '1993-10-01' AND o_orderdate < '1994-01-01' "
+    "AND l_returnflag = 'R' AND c_nationkey = n_nationkey "
+    "GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, "
+    "c_comment ORDER BY revenue DESC LIMIT 20";
+
+constexpr std::string_view kQ12 =
+    "SELECT l_shipmode, "
+    "sum(CASE WHEN o_orderpriority = '1-URGENT' "
+    "      OR o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) "
+    "AS high_line_count, "
+    "sum(CASE WHEN o_orderpriority <> '1-URGENT' "
+    "     AND o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) "
+    "AS low_line_count "
+    "FROM orders, lineitem "
+    "WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP') "
+    "AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate "
+    "AND l_receiptdate >= '1994-01-01' AND l_receiptdate < '1995-01-01' "
+    "GROUP BY l_shipmode ORDER BY l_shipmode";
+
+constexpr std::string_view kQ14 =
+    "SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%' "
+    "    THEN l_extendedprice * (1 - l_discount) ELSE 0.0 END) / "
+    "sum(l_extendedprice * (1 - l_discount)) AS promo_revenue "
+    "FROM lineitem, part "
+    "WHERE l_partkey = p_partkey AND l_shipdate >= '1995-09-01' "
+    "AND l_shipdate < '1995-10-01'";
+
+}  // namespace
+
+Result<std::string_view> SyntheticQuery(int number) {
+  switch (number) {
+    case 1: return kSQ1;
+    case 2: return kSQ2;
+    case 3: return kSQ3;
+    case 4: return kSQ4;
+    case 5: return kSQ5;
+  }
+  return Status::NotFound(StrFormat("no synthetic query S-Q%d", number));
+}
+
+Result<std::string_view> SseQuery(int number) {
+  switch (number) {
+    case 6: return kSseQ6;
+    case 7: return kSseQ7;
+    case 8: return kSseQ8;
+    case 9: return kSseQ9;
+  }
+  return Status::NotFound(StrFormat("no SSE query SSE-Q%d", number));
+}
+
+Result<std::string_view> TpchQuery(int number) {
+  switch (number) {
+    case 1: return kQ1;
+    case 2: return kQ2;
+    case 3: return kQ3;
+    case 5: return kQ5;
+    case 6: return kQ6;
+    case 7: return kQ7;
+    case 8: return kQ8;
+    case 9: return kQ9;
+    case 10: return kQ10;
+    case 12: return kQ12;
+    case 14: return kQ14;
+  }
+  return Status::NotFound(
+      StrFormat("TPC-H Q%d is not in the supported subset", number));
+}
+
+const std::vector<int>& SupportedTpchQueries() {
+  static const std::vector<int>* queries =
+      new std::vector<int>{1, 2, 3, 5, 6, 7, 8, 9, 10, 12, 14};
+  return *queries;
+}
+
+}  // namespace claims

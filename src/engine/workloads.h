@@ -1,0 +1,33 @@
+#ifndef CLAIMS_ENGINE_WORKLOADS_H_
+#define CLAIMS_ENGINE_WORKLOADS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace claims {
+
+/// The paper's §5.1 synthetic TPC-H micro-benchmark queries S-Q1..S-Q5
+/// (scalability of filter / aggregation / join).
+Result<std::string_view> SyntheticQuery(int number);
+
+/// The paper's Stock-Exchange queries SSE-Q6..SSE-Q9 (§5.1; Q9 is the Fig. 1
+/// running example and the §5.3 case study).
+Result<std::string_view> SseQuery(int number);
+
+/// TPC-H queries in the subset CLAIMS supports (paper Table 7):
+/// Q1, Q2*, Q3, Q5, Q6, Q7, Q8, Q9, Q10, Q12, Q14.
+/// (*) Q2 is expressed in its standard decorrelated form — the correlated
+/// MIN subquery becomes a grouped derived table joined back on part key —
+/// since the engine, like CLAIMS, does not evaluate correlated subqueries.
+/// Q7/Q8/Q9 are flattened (no derived table) with YEAR() in GROUP BY, which
+/// is semantically identical.
+Result<std::string_view> TpchQuery(int number);
+
+/// The TPC-H query numbers supported (the paper's Table 7 rows).
+const std::vector<int>& SupportedTpchQueries();
+
+}  // namespace claims
+
+#endif  // CLAIMS_ENGINE_WORKLOADS_H_

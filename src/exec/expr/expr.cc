@@ -1,0 +1,373 @@
+#include "exec/expr/expr.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "exec/expr/like.h"
+
+namespace claims {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return "+";
+    case ArithOp::kSub: return "-";
+    case ArithOp::kMul: return "*";
+    case ArithOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+namespace {
+
+class ColumnRefExpr : public Expr {
+ public:
+  ColumnRefExpr(int index, DataType type, std::string name)
+      : index_(index), type_(type), name_(std::move(name)) {}
+
+  DataType type() const override { return type_; }
+
+  Value Eval(const Schema& schema, const char* row) const override {
+    return schema.GetValue(row, index_);
+  }
+
+  bool EvalBool(const Schema& schema, const char* row) const override {
+    switch (type_) {
+      case DataType::kFloat64:
+        return schema.GetFloat64(row, index_) != 0;
+      case DataType::kInt64:
+        return schema.GetInt64(row, index_) != 0;
+      default:
+        return schema.GetInt32(row, index_) != 0;
+    }
+  }
+
+  std::string ToString() const override {
+    return name_.empty() ? StrFormat("$%d", index_) : name_;
+  }
+
+  int index() const { return index_; }
+
+ private:
+  int index_;
+  DataType type_;
+  std::string name_;
+};
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : value_(std::move(v)) {}
+  DataType type() const override { return value_.type(); }
+  Value Eval(const Schema&, const char*) const override { return value_; }
+  std::string ToString() const override {
+    return value_.is_string() ? "'" + value_.ToString() + "'"
+                              : value_.ToString();
+  }
+
+ private:
+  Value value_;
+};
+
+class CompareExpr : public Expr {
+ public:
+  CompareExpr(CompareOp op, ExprPtr l, ExprPtr r)
+      : op_(op), left_(std::move(l)), right_(std::move(r)) {}
+  DataType type() const override { return DataType::kInt32; }
+
+  Value Eval(const Schema& schema, const char* row) const override {
+    return Value::Int32(EvalBool(schema, row) ? 1 : 0);
+  }
+
+  bool EvalBool(const Schema& schema, const char* row) const override {
+    int c = left_->Eval(schema, row).Compare(right_->Eval(schema, row));
+    switch (op_) {
+      case CompareOp::kEq: return c == 0;
+      case CompareOp::kNe: return c != 0;
+      case CompareOp::kLt: return c < 0;
+      case CompareOp::kLe: return c <= 0;
+      case CompareOp::kGt: return c > 0;
+      case CompareOp::kGe: return c >= 0;
+    }
+    return false;
+  }
+
+  std::string ToString() const override {
+    return StrFormat("(%s %s %s)", left_->ToString().c_str(),
+                     CompareOpName(op_), right_->ToString().c_str());
+  }
+
+ private:
+  CompareOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class ArithExpr : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr l, ExprPtr r)
+      : op_(op), left_(std::move(l)), right_(std::move(r)) {
+    type_ = (l_type() == DataType::kFloat64 || r_type() == DataType::kFloat64 ||
+             op == ArithOp::kDiv)
+                ? DataType::kFloat64
+                : DataType::kInt64;
+  }
+
+  DataType type() const override { return type_; }
+
+  Value Eval(const Schema& schema, const char* row) const override {
+    Value l = left_->Eval(schema, row);
+    Value r = right_->Eval(schema, row);
+    if (type_ == DataType::kFloat64) {
+      double a = l.ToDouble();
+      double b = r.ToDouble();
+      switch (op_) {
+        case ArithOp::kAdd: return Value::Float64(a + b);
+        case ArithOp::kSub: return Value::Float64(a - b);
+        case ArithOp::kMul: return Value::Float64(a * b);
+        case ArithOp::kDiv: return Value::Float64(b == 0 ? 0 : a / b);
+      }
+    }
+    int64_t a = l.AsInt64();
+    int64_t b = r.AsInt64();
+    switch (op_) {
+      case ArithOp::kAdd: return Value::Int64(a + b);
+      case ArithOp::kSub: return Value::Int64(a - b);
+      case ArithOp::kMul: return Value::Int64(a * b);
+      case ArithOp::kDiv: return Value::Int64(b == 0 ? 0 : a / b);
+    }
+    return Value();
+  }
+
+  std::string ToString() const override {
+    return StrFormat("(%s %s %s)", left_->ToString().c_str(), ArithOpName(op_),
+                     right_->ToString().c_str());
+  }
+
+ private:
+  DataType l_type() const { return left_->type(); }
+  DataType r_type() const { return right_->type(); }
+
+  ArithOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+  DataType type_;
+};
+
+class LogicExpr : public Expr {
+ public:
+  LogicExpr(LogicOp op, ExprPtr l, ExprPtr r)
+      : op_(op), left_(std::move(l)), right_(std::move(r)) {}
+  DataType type() const override { return DataType::kInt32; }
+
+  Value Eval(const Schema& schema, const char* row) const override {
+    return Value::Int32(EvalBool(schema, row) ? 1 : 0);
+  }
+
+  bool EvalBool(const Schema& schema, const char* row) const override {
+    // Short-circuit evaluation.
+    if (op_ == LogicOp::kAnd) {
+      return left_->EvalBool(schema, row) && right_->EvalBool(schema, row);
+    }
+    return left_->EvalBool(schema, row) || right_->EvalBool(schema, row);
+  }
+
+  std::string ToString() const override {
+    return StrFormat("(%s %s %s)", left_->ToString().c_str(),
+                     op_ == LogicOp::kAnd ? "AND" : "OR",
+                     right_->ToString().c_str());
+  }
+
+ private:
+  LogicOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr child) : child_(std::move(child)) {}
+  DataType type() const override { return DataType::kInt32; }
+  Value Eval(const Schema& schema, const char* row) const override {
+    return Value::Int32(EvalBool(schema, row) ? 1 : 0);
+  }
+  bool EvalBool(const Schema& schema, const char* row) const override {
+    return !child_->EvalBool(schema, row);
+  }
+  std::string ToString() const override {
+    return "(NOT " + child_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr child_;
+};
+
+class LikeExpr : public Expr {
+ public:
+  LikeExpr(ExprPtr child, std::string pattern, bool negated)
+      : child_(std::move(child)), pattern_(std::move(pattern)),
+        negated_(negated) {}
+  DataType type() const override { return DataType::kInt32; }
+  Value Eval(const Schema& schema, const char* row) const override {
+    return Value::Int32(EvalBool(schema, row) ? 1 : 0);
+  }
+  bool EvalBool(const Schema& schema, const char* row) const override {
+    // Fast path: bare CHAR column avoids the Value materialization.
+    int col = AsColumnRef(*child_);
+    bool m;
+    if (col >= 0 && schema.column(col).type == DataType::kChar) {
+      m = LikeMatch(schema.GetString(row, col), pattern_);
+    } else {
+      m = LikeMatch(child_->Eval(schema, row).AsString(), pattern_);
+    }
+    return negated_ ? !m : m;
+  }
+  std::string ToString() const override {
+    return StrFormat("(%s %sLIKE '%s')", child_->ToString().c_str(),
+                     negated_ ? "NOT " : "", pattern_.c_str());
+  }
+
+ private:
+  ExprPtr child_;
+  std::string pattern_;
+  bool negated_;
+};
+
+class InListExpr : public Expr {
+ public:
+  InListExpr(ExprPtr child, std::vector<Value> values, bool negated)
+      : child_(std::move(child)), values_(std::move(values)),
+        negated_(negated) {}
+  DataType type() const override { return DataType::kInt32; }
+  Value Eval(const Schema& schema, const char* row) const override {
+    return Value::Int32(EvalBool(schema, row) ? 1 : 0);
+  }
+  bool EvalBool(const Schema& schema, const char* row) const override {
+    Value v = child_->Eval(schema, row);
+    for (const Value& candidate : values_) {
+      if (v.Compare(candidate) == 0) return !negated_;
+    }
+    return negated_;
+  }
+  std::string ToString() const override {
+    std::string out = "(" + child_->ToString() +
+                      (negated_ ? " NOT IN (" : " IN (");
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (i) out += ", ";
+      out += values_[i].ToString();
+    }
+    return out + "))";
+  }
+
+ private:
+  ExprPtr child_;
+  std::vector<Value> values_;
+  bool negated_;
+};
+
+class CaseExpr : public Expr {
+ public:
+  CaseExpr(std::vector<std::pair<ExprPtr, ExprPtr>> branches, ExprPtr otherwise)
+      : branches_(std::move(branches)), otherwise_(std::move(otherwise)) {
+    type_ = branches_.empty() ? DataType::kInt64 : branches_[0].second->type();
+  }
+  DataType type() const override { return type_; }
+  Value Eval(const Schema& schema, const char* row) const override {
+    for (const auto& [cond, then] : branches_) {
+      if (cond->EvalBool(schema, row)) return then->Eval(schema, row);
+    }
+    if (otherwise_ != nullptr) return otherwise_->Eval(schema, row);
+    // SQL CASE without ELSE yields NULL; we approximate with a typed zero.
+    return type_ == DataType::kFloat64 ? Value::Float64(0) : Value::Int64(0);
+  }
+  std::string ToString() const override {
+    std::string out = "CASE";
+    for (const auto& [cond, then] : branches_) {
+      out += " WHEN " + cond->ToString() + " THEN " + then->ToString();
+    }
+    if (otherwise_ != nullptr) out += " ELSE " + otherwise_->ToString();
+    return out + " END";
+  }
+
+ private:
+  std::vector<std::pair<ExprPtr, ExprPtr>> branches_;
+  ExprPtr otherwise_;
+  DataType type_;
+};
+
+class YearExpr : public Expr {
+ public:
+  explicit YearExpr(ExprPtr child) : child_(std::move(child)) {}
+  DataType type() const override { return DataType::kInt32; }
+  Value Eval(const Schema& schema, const char* row) const override {
+    int32_t days;
+    int col = AsColumnRef(*child_);
+    if (col >= 0) {
+      days = schema.GetInt32(row, col);
+    } else {
+      days = static_cast<int32_t>(child_->Eval(schema, row).AsInt64());
+    }
+    int y, m, d;
+    CivilFromDays(days, &y, &m, &d);
+    return Value::Int32(y);
+  }
+  std::string ToString() const override {
+    return "YEAR(" + child_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr child_;
+};
+
+}  // namespace
+
+ExprPtr MakeColumnRef(int index, DataType type, std::string name) {
+  return std::make_shared<ColumnRefExpr>(index, type, std::move(name));
+}
+ExprPtr MakeLiteral(Value v) {
+  return std::make_shared<LiteralExpr>(std::move(v));
+}
+ExprPtr MakeCompare(CompareOp op, ExprPtr left, ExprPtr right) {
+  return std::make_shared<CompareExpr>(op, std::move(left), std::move(right));
+}
+ExprPtr MakeArith(ArithOp op, ExprPtr left, ExprPtr right) {
+  return std::make_shared<ArithExpr>(op, std::move(left), std::move(right));
+}
+ExprPtr MakeLogic(LogicOp op, ExprPtr left, ExprPtr right) {
+  return std::make_shared<LogicExpr>(op, std::move(left), std::move(right));
+}
+ExprPtr MakeNot(ExprPtr child) {
+  return std::make_shared<NotExpr>(std::move(child));
+}
+ExprPtr MakeLike(ExprPtr child, std::string pattern, bool negated) {
+  return std::make_shared<LikeExpr>(std::move(child), std::move(pattern),
+                                    negated);
+}
+ExprPtr MakeInList(ExprPtr child, std::vector<Value> values, bool negated) {
+  return std::make_shared<InListExpr>(std::move(child), std::move(values),
+                                      negated);
+}
+ExprPtr MakeCase(std::vector<std::pair<ExprPtr, ExprPtr>> branches,
+                 ExprPtr otherwise) {
+  return std::make_shared<CaseExpr>(std::move(branches), std::move(otherwise));
+}
+ExprPtr MakeYear(ExprPtr child) {
+  return std::make_shared<YearExpr>(std::move(child));
+}
+
+int AsColumnRef(const Expr& expr) {
+  const auto* ref = dynamic_cast<const ColumnRefExpr*>(&expr);
+  return ref != nullptr ? ref->index() : -1;
+}
+
+}  // namespace claims

@@ -1,0 +1,68 @@
+#ifndef CLAIMS_EXEC_EXPR_EXPR_H_
+#define CLAIMS_EXEC_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace claims {
+
+class Expr;
+/// Expressions are immutable and stateless after construction; plan fragments
+/// instantiated on every node share them by const pointer.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Scalar expression evaluated row-at-a-time against a fixed-width row of a
+/// known schema. Booleans are represented as INT32 0/1.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Static result type (resolved at construction / bind time).
+  virtual DataType type() const = 0;
+
+  virtual Value Eval(const Schema& schema, const char* row) const = 0;
+
+  /// Predicate evaluation fast path.
+  virtual bool EvalBool(const Schema& schema, const char* row) const {
+    Value v = Eval(schema, row);
+    return v.type() == DataType::kFloat64 ? v.AsFloat64() != 0
+                                          : v.AsInt64() != 0;
+  }
+
+  virtual std::string ToString() const = 0;
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+enum class LogicOp { kAnd, kOr };
+
+const char* CompareOpName(CompareOp op);
+const char* ArithOpName(ArithOp op);
+
+// --- Factories ------------------------------------------------------------------
+
+/// References input column `index` (type taken from the schema at build time;
+/// callers pass the resolved type).
+ExprPtr MakeColumnRef(int index, DataType type, std::string name = "");
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeCompare(CompareOp op, ExprPtr left, ExprPtr right);
+ExprPtr MakeArith(ArithOp op, ExprPtr left, ExprPtr right);
+ExprPtr MakeLogic(LogicOp op, ExprPtr left, ExprPtr right);
+ExprPtr MakeNot(ExprPtr child);
+ExprPtr MakeLike(ExprPtr child, std::string pattern, bool negated);
+ExprPtr MakeInList(ExprPtr child, std::vector<Value> values, bool negated);
+ExprPtr MakeCase(std::vector<std::pair<ExprPtr, ExprPtr>> branches,
+                 ExprPtr otherwise);
+/// YEAR(date) → INT32 calendar year (TPC-H Q8/Q9's extract(year ...)).
+ExprPtr MakeYear(ExprPtr child);
+
+/// Column index if the expression is a bare column reference, else -1.
+int AsColumnRef(const Expr& expr);
+
+}  // namespace claims
+
+#endif  // CLAIMS_EXEC_EXPR_EXPR_H_

@@ -1,0 +1,17 @@
+#ifndef CLAIMS_EXEC_EXPR_LIKE_H_
+#define CLAIMS_EXEC_EXPR_LIKE_H_
+
+#include <string>
+#include <string_view>
+
+namespace claims {
+
+/// SQL LIKE pattern matching: '%' matches any run (including empty), '_' any
+/// single character; everything else is literal. Case-sensitive, no escape
+/// syntax (TPC-H / the paper's queries do not use one). Iterative two-pointer
+/// algorithm — O(n·m) worst case, linear in practice.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace claims
+
+#endif  // CLAIMS_EXEC_EXPR_LIKE_H_

@@ -1,0 +1,193 @@
+#include "exec/hash_table.h"
+
+#include <cstring>
+
+namespace claims {
+
+// --- Arena ---------------------------------------------------------------------
+
+Arena::~Arena() {
+  for (const Chunk& c : chunks_) {
+    if (memory_ != nullptr) memory_->Release(static_cast<int64_t>(c.size));
+    delete[] c.data;
+  }
+}
+
+char* Arena::Allocate(size_t bytes) {
+  bytes = (bytes + 7) & ~size_t{7};
+  while (true) {
+    char* cur = bump_.load(std::memory_order_relaxed);
+    char* lim = limit_.load(std::memory_order_relaxed);
+    if (cur != nullptr && cur + bytes <= lim) {
+      if (bump_.compare_exchange_weak(cur, cur + bytes,
+                                      std::memory_order_relaxed)) {
+        allocated_.fetch_add(static_cast<int64_t>(bytes),
+                             std::memory_order_relaxed);
+        return cur;
+      }
+      continue;
+    }
+    // Refill. Oversized requests get a dedicated chunk.
+    std::lock_guard<std::mutex> lock(refill_mu_);
+    cur = bump_.load(std::memory_order_relaxed);
+    lim = limit_.load(std::memory_order_relaxed);
+    if (cur != nullptr && cur + bytes <= lim) continue;  // raced a refill
+    size_t chunk = std::max(bytes, chunk_bytes_);
+    char* data = new char[chunk];
+    chunks_.push_back(Chunk{data, chunk});
+    if (memory_ != nullptr) memory_->Allocate(static_cast<int64_t>(chunk));
+    if (chunk > chunk_bytes_) {
+      // Dedicated chunk: hand it out directly, leave the bump region alone.
+      allocated_.fetch_add(static_cast<int64_t>(bytes),
+                           std::memory_order_relaxed);
+      return data;
+    }
+    limit_.store(data + chunk, std::memory_order_relaxed);
+    bump_.store(data, std::memory_order_release);
+  }
+}
+
+// --- KeyComparator -------------------------------------------------------------
+
+KeyComparator::KeyComparator(const Schema* left_schema,
+                             std::vector<int> left_cols,
+                             const Schema* right_schema,
+                             std::vector<int> right_cols)
+    : left_schema_(left_schema),
+      right_schema_(right_schema),
+      left_cols_(std::move(left_cols)),
+      right_cols_(std::move(right_cols)) {}
+
+bool KeyComparator::Equal(const char* left_row, const char* right_row) const {
+  for (size_t i = 0; i < left_cols_.size(); ++i) {
+    int lc = left_cols_[i];
+    int rc = right_cols_[i];
+    switch (left_schema_->column(lc).type) {
+      case DataType::kInt32:
+      case DataType::kDate:
+        if (left_schema_->GetInt32(left_row, lc) !=
+            right_schema_->GetInt32(right_row, rc))
+          return false;
+        break;
+      case DataType::kInt64:
+        if (left_schema_->GetInt64(left_row, lc) !=
+            right_schema_->GetInt64(right_row, rc))
+          return false;
+        break;
+      case DataType::kFloat64:
+        if (left_schema_->GetFloat64(left_row, lc) !=
+            right_schema_->GetFloat64(right_row, rc))
+          return false;
+        break;
+      case DataType::kChar:
+        if (left_schema_->GetString(left_row, lc) !=
+            right_schema_->GetString(right_row, rc))
+          return false;
+        break;
+    }
+  }
+  return true;
+}
+
+// --- JoinHashTable -------------------------------------------------------------
+
+JoinHashTable::JoinHashTable(const Schema* build_schema,
+                             std::vector<int> build_keys, size_t num_buckets,
+                             MemoryTracker* memory)
+    : build_schema_(build_schema),
+      build_keys_(std::move(build_keys)),
+      buckets_(num_buckets == 0 ? 1 : num_buckets),
+      arena_(1 << 18, memory) {}
+
+void JoinHashTable::Insert(const char* row) {
+  uint64_t h = HashRowKeys(*build_schema_, row, build_keys_);
+  auto* entry = reinterpret_cast<Entry*>(
+      arena_.Allocate(sizeof(Entry) + build_schema_->row_size()));
+  entry->hash = h;
+  std::memcpy(entry->row(), row, build_schema_->row_size());
+  std::atomic<Entry*>& head = buckets_[h % buckets_.size()];
+  Entry* expected = head.load(std::memory_order_relaxed);
+  do {
+    entry->next = expected;
+  } while (!head.compare_exchange_weak(expected, entry,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed));
+  size_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- AggHashTable --------------------------------------------------------------
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "count";
+    case AggFn::kSum: return "sum";
+    case AggFn::kAvg: return "avg";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+  }
+  return "?";
+}
+
+AggHashTable::AggHashTable(Schema group_schema, int num_aggs,
+                           size_t num_buckets, MemoryTracker* memory)
+    : group_schema_(std::move(group_schema)),
+      group_row_size_(group_schema_.row_size()),
+      num_aggs_(num_aggs),
+      buckets_(num_buckets == 0 ? 1 : num_buckets),
+      arena_(1 << 18, memory) {
+  all_group_cols_.resize(group_schema_.num_columns());
+  for (int i = 0; i < group_schema_.num_columns(); ++i) all_group_cols_[i] = i;
+}
+
+AggHashTable::Entry* AggHashTable::FindOrCreate(const char* group_row,
+                                                uint64_t hash) {
+  Bucket& bucket = buckets_[hash % buckets_.size()];
+  KeyComparator cmp(&group_schema_, all_group_cols_, &group_schema_,
+                    all_group_cols_);
+  // Lock-free lookup first.
+  for (Entry* e = bucket.head.load(std::memory_order_acquire); e != nullptr;
+       e = e->next) {
+    if (e->hash == hash && cmp.Equal(e->row(group_row_size_), group_row)) {
+      return e;
+    }
+  }
+  // Slow path: exclusive insert for this bucket, re-check, then link.
+  while (bucket.insert_lock.test_and_set(std::memory_order_acquire)) {
+  }
+  Entry* head = bucket.head.load(std::memory_order_relaxed);
+  for (Entry* e = head; e != nullptr; e = e->next) {
+    if (e->hash == hash && cmp.Equal(e->row(group_row_size_), group_row)) {
+      bucket.insert_lock.clear(std::memory_order_release);
+      return e;
+    }
+  }
+  auto* entry = reinterpret_cast<Entry*>(
+      arena_.Allocate(sizeof(Entry) + Entry::AlignUp(group_row_size_) +
+                      sizeof(AggState) * static_cast<size_t>(num_aggs_)));
+  new (entry) Entry();
+  entry->hash = hash;
+  std::memcpy(entry->row(group_row_size_), group_row, group_row_size_);
+  AggState* states = entry->states(group_row_size_, num_aggs_);
+  for (int i = 0; i < num_aggs_; ++i) new (&states[i]) AggState();
+  entry->next = head;
+  bucket.head.store(entry, std::memory_order_release);
+  bucket.insert_lock.clear(std::memory_order_release);
+  size_.fetch_add(1, std::memory_order_relaxed);
+  return entry;
+}
+
+void AggHashTable::Update(const char* group_row, const std::vector<AggFn>& fns,
+                          const double* values, const int64_t* count_weights) {
+  uint64_t hash = HashRowKeys(group_schema_, group_row, all_group_cols_);
+  Entry* entry = FindOrCreate(group_row, hash);
+  AggState* states = entry->states(group_row_size_, num_aggs_);
+  // Per-entry spinlock: the contention point of shared aggregation.
+  while (entry->lock.test_and_set(std::memory_order_acquire)) {
+  }
+  for (int i = 0; i < num_aggs_; ++i) {
+    FoldAgg(fns[i], values[i], count_weights[i], &states[i]);
+  }
+  entry->lock.clear(std::memory_order_release);
+}
+
+}  // namespace claims

@@ -1,0 +1,229 @@
+#ifndef CLAIMS_EXEC_HASH_TABLE_H_
+#define CLAIMS_EXEC_HASH_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/memory_tracker.h"
+#include "storage/partition.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace claims {
+
+/// Lock-free bump allocator: entries for the shared hash tables are carved
+/// out of large chunks; allocation is a CAS on the chunk offset, chunk
+/// refills take a mutex. Nothing is freed until the arena dies — hash-table
+/// entries live exactly as long as the iterator state (paper §3: state is
+/// shared, never migrated).
+class Arena {
+ public:
+  explicit Arena(size_t chunk_bytes = 1 << 20, MemoryTracker* memory = nullptr)
+      : chunk_bytes_(chunk_bytes), memory_(memory) {}
+  ~Arena();
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(Arena);
+
+  /// Thread-safe; 8-byte aligned.
+  char* Allocate(size_t bytes);
+
+  int64_t allocated_bytes() const {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Chunk {
+    char* data;
+    size_t size;
+  };
+
+  size_t chunk_bytes_;
+  MemoryTracker* memory_;
+  std::mutex refill_mu_;
+  std::vector<Chunk> chunks_;
+  std::atomic<char*> bump_{nullptr};
+  std::atomic<char*> limit_{nullptr};
+  std::atomic<int64_t> allocated_{0};
+};
+
+/// Compares the key columns of rows that may live in different schemas (the
+/// build row vs the probe row of a join). Key column lists must be
+/// type-compatible (enforced by the binder).
+class KeyComparator {
+ public:
+  KeyComparator(const Schema* left_schema, std::vector<int> left_cols,
+                const Schema* right_schema, std::vector<int> right_cols);
+
+  bool Equal(const char* left_row, const char* right_row) const;
+
+ private:
+  const Schema* left_schema_;
+  const Schema* right_schema_;
+  std::vector<int> left_cols_;
+  std::vector<int> right_cols_;
+};
+
+/// Concurrent multi-map for the hash-join build side (appendix Alg. 6):
+/// fixed bucket array, chained entries, **CAS head insertion** so all worker
+/// threads build in parallel without locks; probe is read-only and needs no
+/// synchronization at all.
+class JoinHashTable {
+ public:
+  JoinHashTable(const Schema* build_schema, std::vector<int> build_keys,
+                size_t num_buckets, MemoryTracker* memory = nullptr);
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(JoinHashTable);
+
+  /// Copies `row` into the arena and links it; thread-safe.
+  void Insert(const char* row);
+
+  /// Invokes `fn(const char* build_row)` for every build row whose key equals
+  /// the probe row's key.
+  template <typename Fn>
+  void ForEachMatch(const Schema& probe_schema, const char* probe_row,
+                    const std::vector<int>& probe_keys, Fn&& fn) const {
+    uint64_t h = HashRowKeys(probe_schema, probe_row, probe_keys);
+    KeyComparator cmp(build_schema_, build_keys_, &probe_schema, probe_keys);
+    for (const Entry* e =
+             buckets_[h % buckets_.size()].load(std::memory_order_acquire);
+         e != nullptr; e = e->next) {
+      if (e->hash == h && cmp.Equal(e->row(), probe_row)) {
+        fn(e->row());
+      }
+    }
+  }
+
+  int64_t size() const { return size_.load(std::memory_order_relaxed); }
+  int64_t bytes() const { return arena_.allocated_bytes(); }
+
+ private:
+  struct Entry {
+    Entry* next;
+    uint64_t hash;
+    char* row() { return reinterpret_cast<char*>(this + 1); }
+    const char* row() const { return reinterpret_cast<const char*>(this + 1); }
+  };
+
+  const Schema* build_schema_;
+  std::vector<int> build_keys_;
+  std::vector<std::atomic<Entry*>> buckets_;
+  Arena arena_;
+  std::atomic<int64_t> size_{0};
+};
+
+/// Aggregate functions supported by the engine.
+enum class AggFn { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+/// Concurrent group-by hash table for **shared aggregation** (appendix
+/// Alg. 7): group entries carry numeric accumulator slots updated under a
+/// per-entry spinlock; bucket chains grow via per-bucket insert locks with
+/// lock-free lookup. With few groups, all threads hammer the same entry
+/// locks — precisely the contention that makes shared aggregation scale
+/// poorly on low-cardinality group-bys (paper Fig. 8b, S-Q3).
+class AggHashTable {
+ public:
+  /// `group_schema` describes the key columns layout (a row holding just the
+  /// group-by columns); `num_aggs` accumulator pairs (sum, count) follow.
+  AggHashTable(Schema group_schema, int num_aggs, size_t num_buckets,
+               MemoryTracker* memory = nullptr);
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(AggHashTable);
+
+  struct AggState {
+    double sum = 0;       // SUM / running MIN / running MAX value
+    int64_t count = 0;    // COUNT; 0 marks MIN/MAX as not-yet-set
+  };
+
+  /// Finds or creates the group of `group_row` and applies the update under
+  /// the entry lock: for each aggregate i, fold `values[i]` using `fns[i]`.
+  /// COUNT folds +1 per call scaled by `count_weight` (used when merging
+  /// partial states).
+  void Update(const char* group_row, const std::vector<AggFn>& fns,
+              const double* values, const int64_t* count_weights);
+
+  /// Iterates all groups: fn(const char* group_row, const AggState* states).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& bucket : buckets_) {
+      for (const Entry* e = bucket.head.load(std::memory_order_acquire);
+           e != nullptr; e = e->next) {
+        fn(e->row(group_row_size_), e->states(group_row_size_, num_aggs_));
+      }
+    }
+  }
+
+  int64_t size() const { return size_.load(std::memory_order_relaxed); }
+  int64_t bytes() const { return arena_.allocated_bytes(); }
+  const Schema& group_schema() const { return group_schema_; }
+  int num_aggs() const { return num_aggs_; }
+
+ private:
+  struct Entry {
+    Entry* next;
+    uint64_t hash;
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    // layout: [group_row bytes][AggState x num_aggs]
+    char* row(int group_size) {
+      return reinterpret_cast<char*>(this + 1);
+      (void)group_size;
+    }
+    const char* row(int group_size) const {
+      (void)group_size;
+      return reinterpret_cast<const char*>(this + 1);
+    }
+    AggState* states(int group_size, int) {
+      return reinterpret_cast<AggState*>(
+          reinterpret_cast<char*>(this + 1) + AlignUp(group_size));
+    }
+    const AggState* states(int group_size, int) const {
+      return reinterpret_cast<const AggState*>(
+          reinterpret_cast<const char*>(this + 1) + AlignUp(group_size));
+    }
+    static int AlignUp(int n) { return (n + 7) & ~7; }
+  };
+
+  struct Bucket {
+    std::atomic<Entry*> head{nullptr};
+    std::atomic_flag insert_lock = ATOMIC_FLAG_INIT;
+  };
+
+  Entry* FindOrCreate(const char* group_row, uint64_t hash);
+
+  Schema group_schema_;
+  std::vector<int> all_group_cols_;
+  int group_row_size_;
+  int num_aggs_;
+  std::vector<Bucket> buckets_;
+  Arena arena_;
+  std::atomic<int64_t> size_{0};
+};
+
+/// Folds one observation into an AggState under the caller's lock.
+inline void FoldAgg(AggFn fn, double value, int64_t count_weight,
+                    AggHashTable::AggState* state) {
+  switch (fn) {
+    case AggFn::kCount:
+      state->count += count_weight;
+      break;
+    case AggFn::kSum:
+    case AggFn::kAvg:
+      state->sum += value;
+      state->count += count_weight;
+      break;
+    case AggFn::kMin:
+      if (state->count == 0 || value < state->sum) state->sum = value;
+      state->count += count_weight;
+      break;
+    case AggFn::kMax:
+      if (state->count == 0 || value > state->sum) state->sum = value;
+      state->count += count_weight;
+      break;
+  }
+}
+
+}  // namespace claims
+
+#endif  // CLAIMS_EXEC_HASH_TABLE_H_

@@ -1,0 +1,110 @@
+#include "exec/ops/filter.h"
+
+#include <algorithm>
+
+namespace claims {
+
+FilterIterator::FilterIterator(std::unique_ptr<Iterator> child,
+                               const Schema* schema, ExprPtr predicate)
+    : child_(std::move(child)), schema_(schema),
+      predicate_(std::move(predicate)) {}
+
+NextResult FilterIterator::Open(WorkerContext* ctx) {
+  bool already_open = open_barrier_.Register();
+  NextResult r = child_->Open(ctx);
+  if (r == NextResult::kTerminated) {
+    if (!already_open) open_barrier_.Deregister();
+    return r;
+  }
+  // The predicate reference is set at construction; first arrival is a no-op
+  // but the election + barrier mirror the appendix structure.
+  init_gate_.TryClaim();
+  open_barrier_.Arrive();
+  return NextResult::kSuccess;
+}
+
+NextResult FilterIterator::Next(WorkerContext* ctx, BlockPtr* out) {
+  while (true) {
+    BlockPtr input;
+    NextResult r = child_->Next(ctx, &input);
+    if (r != NextResult::kSuccess) return r;
+    auto output = MakeBlock(schema_->row_size());
+    for (int i = 0; i < input->num_rows(); ++i) {
+      const char* row = input->RowAt(i);
+      if (predicate_->EvalBool(*schema_, row)) {
+        output->AppendRowCopy(row);
+      }
+    }
+    output->set_sequence_number(input->sequence_number());
+    output->set_visit_rate(input->visit_rate());
+    if (!output->empty()) {
+      *out = std::move(output);
+      return NextResult::kSuccess;
+    }
+    // Whole block filtered away: keep pulling (the elastic worker's
+    // watermark advance happens via the order-preserving buffer only when a
+    // block is eventually emitted; empty rounds just loop).
+    if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
+  }
+}
+
+void FilterIterator::Close() { child_->Close(); }
+
+ProjectIterator::ProjectIterator(std::unique_ptr<Iterator> child,
+                                 const Schema* input_schema,
+                                 Schema output_schema,
+                                 std::vector<ExprPtr> exprs)
+    : child_(std::move(child)),
+      input_schema_(input_schema),
+      output_schema_(std::move(output_schema)),
+      exprs_(std::move(exprs)) {
+  all_plain_ = true;
+  for (const ExprPtr& e : exprs_) {
+    int col = AsColumnRef(*e);
+    if (col < 0) {
+      all_plain_ = false;
+      break;
+    }
+    plain_cols_.push_back(col);
+  }
+}
+
+NextResult ProjectIterator::Open(WorkerContext* ctx) {
+  return child_->Open(ctx);
+}
+
+NextResult ProjectIterator::Next(WorkerContext* ctx, BlockPtr* out) {
+  BlockPtr input;
+  NextResult r = child_->Next(ctx, &input);
+  if (r != NextResult::kSuccess) return r;
+  // Size the output for the worst case (wider output rows than input rows),
+  // so a whole input block always projects into one output block and Next
+  // stays stateless across concurrent workers.
+  int32_t capacity = std::max<int32_t>(
+      kDefaultBlockBytes, input->num_rows() * output_schema_.row_size());
+  auto output = MakeBlock(output_schema_.row_size(), capacity);
+  for (int i = 0; i < input->num_rows(); ++i) {
+    const char* row = input->RowAt(i);
+    char* slot = output->AppendRow();
+    if (all_plain_) {
+      for (size_t c = 0; c < plain_cols_.size(); ++c) {
+        output_schema_.SetValue(
+            slot, static_cast<int>(c),
+            input_schema_->GetValue(row, plain_cols_[c]));
+      }
+    } else {
+      for (size_t c = 0; c < exprs_.size(); ++c) {
+        output_schema_.SetValue(slot, static_cast<int>(c),
+                                exprs_[c]->Eval(*input_schema_, row));
+      }
+    }
+  }
+  output->set_sequence_number(input->sequence_number());
+  output->set_visit_rate(input->visit_rate());
+  *out = std::move(output);
+  return NextResult::kSuccess;
+}
+
+void ProjectIterator::Close() { child_->Close(); }
+
+}  // namespace claims

@@ -1,0 +1,60 @@
+#ifndef CLAIMS_EXEC_OPS_FILTER_H_
+#define CLAIMS_EXEC_OPS_FILTER_H_
+
+#include <memory>
+
+#include "core/barrier.h"
+#include "core/iterator.h"
+#include "exec/expr/expr.h"
+
+namespace claims {
+
+/// Predicate filter — a non-blocking iterator whose state (the predicate) is
+/// initialized by the first arriving worker (appendix A.2.3); Next is
+/// read-only on state and therefore needs no synchronization. Output blocks
+/// inherit the input block's sequence number and visit-rate tail.
+class FilterIterator : public Iterator {
+ public:
+  FilterIterator(std::unique_ptr<Iterator> child, const Schema* schema,
+                 ExprPtr predicate);
+
+  NextResult Open(WorkerContext* ctx) override;
+  NextResult Next(WorkerContext* ctx, BlockPtr* out) override;
+  void Close() override;
+  int SubtreeSize() const override { return 1 + child_->SubtreeSize(); }
+
+ private:
+  std::unique_ptr<Iterator> child_;
+  const Schema* schema_;
+  ExprPtr predicate_;
+  DynamicBarrier open_barrier_;
+  FirstCallerGate init_gate_;
+};
+
+/// Projection: computes `exprs` over input rows into rows of `output_schema`.
+/// Non-blocking and stateless like filter.
+class ProjectIterator : public Iterator {
+ public:
+  ProjectIterator(std::unique_ptr<Iterator> child, const Schema* input_schema,
+                  Schema output_schema, std::vector<ExprPtr> exprs);
+
+  NextResult Open(WorkerContext* ctx) override;
+  NextResult Next(WorkerContext* ctx, BlockPtr* out) override;
+  void Close() override;
+  int SubtreeSize() const override { return 1 + child_->SubtreeSize(); }
+
+  const Schema& output_schema() const { return output_schema_; }
+
+ private:
+  std::unique_ptr<Iterator> child_;
+  const Schema* input_schema_;
+  Schema output_schema_;
+  std::vector<ExprPtr> exprs_;
+  /// Fast path: column indexes when every expr is a bare column ref.
+  std::vector<int> plain_cols_;
+  bool all_plain_ = false;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_EXEC_OPS_FILTER_H_

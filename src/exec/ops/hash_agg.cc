@@ -1,0 +1,212 @@
+#include "exec/ops/hash_agg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace claims {
+
+DataType AggOutputType(AggFn fn, DataType arg_type) {
+  if (fn == AggFn::kCount) return DataType::kInt64;
+  if (fn == AggFn::kAvg) return DataType::kFloat64;
+  if (arg_type == DataType::kFloat64) return DataType::kFloat64;
+  if (arg_type == DataType::kDate && (fn == AggFn::kMin || fn == AggFn::kMax)) {
+    return DataType::kDate;
+  }
+  return DataType::kInt64;
+}
+
+HashAggIterator::HashAggIterator(std::unique_ptr<Iterator> child, Spec spec)
+    : child_(std::move(child)),
+      spec_(std::move(spec)),
+      group_schema_([this] {
+        std::vector<ColumnDef> cols;
+        for (size_t i = 0; i < spec_.group_exprs.size(); ++i) {
+          const ExprPtr& e = spec_.group_exprs[i];
+          std::string name = i < spec_.group_names.size()
+                                 ? spec_.group_names[i]
+                                 : e->ToString();
+          DataType t = e->type();
+          int32_t width = 0;
+          int col = AsColumnRef(*e);
+          if (t == DataType::kChar) {
+            width = col >= 0 ? spec_.input_schema->column(col).char_width : 64;
+          }
+          cols.push_back(ColumnDef{std::move(name), t, width});
+        }
+        return Schema(std::move(cols));
+      }()),
+      output_schema_([this] {
+        std::vector<ColumnDef> cols = group_schema_.columns();
+        for (const Aggregate& a : spec_.aggregates) {
+          DataType arg_type =
+              a.arg != nullptr ? a.arg->type() : DataType::kInt64;
+          cols.push_back(ColumnDef{a.name, AggOutputType(a.fn, arg_type), 0});
+        }
+        return Schema(std::move(cols));
+      }()),
+      global_(group_schema_, static_cast<int>(spec_.aggregates.size()),
+              spec_.num_buckets, spec_.memory),
+      context_pool_(ContextMode::kCore) {
+  fns_.reserve(spec_.aggregates.size());
+  for (const Aggregate& a : spec_.aggregates) fns_.push_back(a.fn);
+  // FoldRow uses fixed stack arrays; the planner never emits this many.
+  assert(spec_.aggregates.size() <= 16);
+}
+
+void HashAggIterator::FoldRow(const char* row, AggHashTable* table,
+                              char* group_scratch) {
+  const Schema& in = *spec_.input_schema;
+  for (size_t g = 0; g < spec_.group_exprs.size(); ++g) {
+    group_schema_.SetValue(group_scratch, static_cast<int>(g),
+                           spec_.group_exprs[g]->Eval(in, row));
+  }
+  double values[16];
+  int64_t weights[16];
+  for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+    const Aggregate& agg = spec_.aggregates[a];
+    values[a] = agg.arg != nullptr ? agg.arg->Eval(in, row).ToDouble() : 0.0;
+    weights[a] = 1;
+  }
+  table->Update(group_scratch, fns_, values, weights);
+}
+
+void HashAggIterator::MergeInto(const AggHashTable& src) {
+  src.ForEach([&](const char* group_row, const AggHashTable::AggState* states) {
+    double values[16];
+    int64_t weights[16];
+    for (size_t a = 0; a < fns_.size(); ++a) {
+      values[a] = states[a].sum;
+      weights[a] = states[a].count;
+    }
+    global_.Update(group_row, fns_, values, weights);
+  });
+}
+
+NextResult HashAggIterator::Open(WorkerContext* ctx) {
+  bool already_open = build_barrier_.Register();
+  if (child_->Open(ctx) == NextResult::kTerminated) {
+    if (!already_open) build_barrier_.Deregister();
+    return NextResult::kTerminated;
+  }
+
+  const bool privately =
+      spec_.mode == Mode::kIndependent || spec_.mode == Mode::kHybrid;
+  std::unique_ptr<PrivateAggContext> priv;
+  if (privately) {
+    // Try to reuse a parked private table allocated by this core (§3.2(1)).
+    auto reused = context_pool_.Acquire(ctx->core_id, ctx->socket_id);
+    if (reused != nullptr) {
+      priv.reset(static_cast<PrivateAggContext*>(reused.release()));
+    } else {
+      priv = std::make_unique<PrivateAggContext>();
+      priv->table = std::make_unique<AggHashTable>(
+          group_schema_, static_cast<int>(fns_.size()), spec_.num_buckets,
+          spec_.memory);
+    }
+  }
+  AggHashTable* sink = privately ? priv->table.get() : &global_;
+
+  std::vector<char> group_scratch(std::max(1, group_schema_.row_size()));
+  while (true) {
+    BlockPtr block;
+    NextResult r = child_->Next(ctx, &block);
+    if (r == NextResult::kEndOfFile) break;
+    if (r == NextResult::kTerminated ||
+        (r == NextResult::kSuccess && ctx->DetectedTerminateRequest())) {
+      if (r == NextResult::kSuccess) {
+        // Finish the in-flight block before unwinding — no tuple is lost.
+        for (int i = 0; i < block->num_rows(); ++i) {
+          FoldRow(block->RowAt(i), sink, group_scratch.data());
+        }
+      }
+      if (privately) {
+        // Park the partial table for reuse; flushed by the last finisher.
+        context_pool_.Release(std::move(priv), ctx->core_id, ctx->socket_id);
+      }
+      if (!already_open) build_barrier_.Deregister();
+      return NextResult::kTerminated;
+    }
+    for (int i = 0; i < block->num_rows(); ++i) {
+      FoldRow(block->RowAt(i), sink, group_scratch.data());
+    }
+    if (spec_.mode == Mode::kHybrid &&
+        sink->size() > static_cast<int64_t>(spec_.hybrid_max_groups)) {
+      MergeInto(*sink);
+      priv->table = std::make_unique<AggHashTable>(
+          group_schema_, static_cast<int>(fns_.size()), spec_.num_buckets,
+          spec_.memory);
+      sink = priv->table.get();
+    }
+  }
+
+  if (privately) {
+    MergeInto(*priv->table);
+  }
+  build_barrier_.Arrive();
+  // All parks happen before the barrier opens, so a single post-barrier
+  // election can safely fold every parked partial table into the global one.
+  if (privately && flush_gate_.TryClaim()) {
+    for (auto& parked : context_pool_.TakeAll()) {
+      auto* p = static_cast<PrivateAggContext*>(parked.get());
+      MergeInto(*p->table);
+    }
+  }
+  return NextResult::kSuccess;
+}
+
+void HashAggIterator::SnapshotGroups() {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (snapshot_ready_) return;
+  groups_.reserve(static_cast<size_t>(global_.size()));
+  global_.ForEach(
+      [&](const char* row, const AggHashTable::AggState* states) {
+        groups_.emplace_back(row, states);
+      });
+  snapshot_ready_ = true;
+}
+
+NextResult HashAggIterator::Next(WorkerContext* ctx, BlockPtr* out) {
+  if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
+  if (!snapshot_ready_) SnapshotGroups();
+
+  const int out_size = output_schema_.row_size();
+  const int rows_per_block = std::max(1, kDefaultBlockBytes / out_size);
+  size_t start = emit_cursor_.fetch_add(static_cast<size_t>(rows_per_block),
+                                        std::memory_order_relaxed);
+  if (start >= groups_.size()) return NextResult::kEndOfFile;
+  size_t end = std::min(groups_.size(), start + rows_per_block);
+
+  auto block = MakeBlock(out_size);
+  const int ngroup = group_schema_.num_columns();
+  for (size_t i = start; i < end; ++i) {
+    char* slot = block->AppendRow();
+    std::memcpy(slot, groups_[i].first, group_schema_.row_size());
+    for (size_t a = 0; a < fns_.size(); ++a) {
+      const AggHashTable::AggState& st = *(groups_[i].second + a);
+      int col = ngroup + static_cast<int>(a);
+      Value v;
+      switch (fns_[a]) {
+        case AggFn::kCount:
+          v = Value::Int64(st.count);
+          break;
+        case AggFn::kAvg:
+          v = Value::Float64(st.count == 0 ? 0 : st.sum / st.count);
+          break;
+        default:
+          v = output_schema_.column(col).type == DataType::kFloat64
+                  ? Value::Float64(st.sum)
+                  : Value::Int64(static_cast<int64_t>(st.sum));
+          break;
+      }
+      output_schema_.SetValue(slot, col, v);
+    }
+  }
+  block->set_sequence_number(start / rows_per_block);
+  *out = std::move(block);
+  return NextResult::kSuccess;
+}
+
+void HashAggIterator::Close() { child_->Close(); }
+
+}  // namespace claims

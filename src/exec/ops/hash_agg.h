@@ -1,0 +1,102 @@
+#ifndef CLAIMS_EXEC_OPS_HASH_AGG_H_
+#define CLAIMS_EXEC_OPS_HASH_AGG_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/barrier.h"
+#include "core/context_pool.h"
+#include "core/iterator.h"
+#include "exec/expr/expr.h"
+#include "exec/hash_table.h"
+
+namespace claims {
+
+/// Hash aggregation — a pipeline breaker (appendix Alg. 7) with the paper's
+/// two aggregation strategies:
+///
+///  * **kShared**: all workers fold tuples directly into one global
+///    AggHashTable. Fast for large group-by cardinalities; per-entry lock
+///    contention makes it scale poorly when groups are few (Fig. 8b, S-Q3).
+///  * **kIndependent / kHybrid**: each worker aggregates into a *private*
+///    table (acquired from the context-reuse pool in core mode, §3.2(1)),
+///    merged into the global table at build end. kHybrid additionally
+///    flushes the private table whenever it exceeds `hybrid_max_groups`,
+///    bounding per-worker memory on large cardinalities.
+///
+/// A terminating worker parks its private table in the context pool without
+/// flushing (short shrinkage delay); the partial results are folded in by
+/// whichever worker finishes last (post-barrier election), so no tuple is
+/// ever lost across expand/shrink cycles.
+class HashAggIterator : public Iterator {
+ public:
+  enum class Mode { kShared, kIndependent, kHybrid };
+
+  struct Aggregate {
+    AggFn fn;
+    ExprPtr arg;  ///< null for COUNT(*)
+    std::string name;
+  };
+
+  struct Spec {
+    const Schema* input_schema = nullptr;
+    std::vector<ExprPtr> group_exprs;
+    std::vector<std::string> group_names;
+    std::vector<Aggregate> aggregates;
+    Mode mode = Mode::kShared;
+    size_t num_buckets = 1 << 14;
+    size_t hybrid_max_groups = 1 << 14;
+    MemoryTracker* memory = nullptr;
+  };
+
+  HashAggIterator(std::unique_ptr<Iterator> child, Spec spec);
+
+  NextResult Open(WorkerContext* ctx) override;
+  NextResult Next(WorkerContext* ctx, BlockPtr* out) override;
+  void Close() override;
+  int SubtreeSize() const override { return 1 + child_->SubtreeSize(); }
+
+  const Schema& output_schema() const { return output_schema_; }
+  int64_t num_groups() const { return global_.size(); }
+  const ContextPool& context_pool() const { return context_pool_; }
+
+ private:
+  struct PrivateAggContext : IteratorContext {
+    std::unique_ptr<AggHashTable> table;
+  };
+
+  /// Computes the group row + aggregate inputs of `row` and folds them into
+  /// `table`.
+  void FoldRow(const char* row, AggHashTable* table, char* group_scratch);
+
+  /// Merges every (group, state) of `src` into the global table.
+  void MergeInto(const AggHashTable& src);
+
+  /// Builds the sorted snapshot emitted by Next (first caller only).
+  void SnapshotGroups();
+
+  std::unique_ptr<Iterator> child_;
+  Spec spec_;
+  Schema group_schema_;
+  Schema output_schema_;
+  std::vector<AggFn> fns_;
+  AggHashTable global_;
+  ContextPool context_pool_;
+  DynamicBarrier build_barrier_;
+  FirstCallerGate flush_gate_;
+  FirstCallerGate snapshot_gate_;
+
+  std::mutex snapshot_mu_;
+  bool snapshot_ready_ = false;
+  std::vector<std::pair<const char*, const AggHashTable::AggState*>> groups_;
+  std::atomic<size_t> emit_cursor_{0};
+};
+
+/// Result column type of an aggregate over `arg_type`.
+DataType AggOutputType(AggFn fn, DataType arg_type);
+
+}  // namespace claims
+
+#endif  // CLAIMS_EXEC_OPS_HASH_AGG_H_

@@ -1,0 +1,103 @@
+#include "exec/ops/hash_join.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace claims {
+
+Schema JoinOutputSchema(const Schema& left, const Schema& right) {
+  std::vector<ColumnDef> cols;
+  cols.reserve(left.num_columns() + right.num_columns());
+  for (const ColumnDef& c : left.columns()) cols.push_back(c);
+  for (const ColumnDef& c : right.columns()) {
+    ColumnDef copy = c;
+    if (left.FindColumn(c.name) >= 0) copy.name = "r_" + copy.name;
+    cols.push_back(copy);
+  }
+  return Schema(std::move(cols));
+}
+
+HashJoinIterator::HashJoinIterator(std::unique_ptr<Iterator> build_child,
+                                   std::unique_ptr<Iterator> probe_child,
+                                   Spec spec)
+    : build_child_(std::move(build_child)),
+      probe_child_(std::move(probe_child)),
+      spec_(spec),
+      output_schema_(JoinOutputSchema(*spec.build_schema, *spec.probe_schema)),
+      table_(spec.build_schema, spec.build_keys, spec.num_buckets,
+             spec.memory) {}
+
+NextResult HashJoinIterator::Open(WorkerContext* ctx) {
+  bool already_open = build_barrier_.Register();
+  if (build_child_->Open(ctx) == NextResult::kTerminated) {
+    if (!already_open) build_barrier_.Deregister();
+    return NextResult::kTerminated;
+  }
+  // Parallel build: every worker drains build blocks into the shared table.
+  while (true) {
+    BlockPtr block;
+    NextResult r = build_child_->Next(ctx, &block);
+    if (r == NextResult::kEndOfFile) break;
+    if (r == NextResult::kTerminated) {
+      if (!already_open) build_barrier_.Deregister();
+      return NextResult::kTerminated;
+    }
+    for (int i = 0; i < block->num_rows(); ++i) {
+      table_.Insert(block->RowAt(i));
+    }
+    if (ctx->DetectedTerminateRequest()) {
+      if (!already_open) build_barrier_.Deregister();
+      return NextResult::kTerminated;
+    }
+  }
+  if (probe_child_->Open(ctx) == NextResult::kTerminated) {
+    if (!already_open) build_barrier_.Deregister();
+    return NextResult::kTerminated;
+  }
+  build_barrier_.Arrive();
+  return NextResult::kSuccess;
+}
+
+NextResult HashJoinIterator::Next(WorkerContext* ctx, BlockPtr* out) {
+  const int build_size = spec_.build_schema->row_size();
+  const int probe_size = spec_.probe_schema->row_size();
+  const int out_size = output_schema_.row_size();
+  while (true) {
+    if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
+    BlockPtr input;
+    NextResult r = probe_child_->Next(ctx, &input);
+    if (r != NextResult::kSuccess) return r;
+    // Join fan-out is unbounded, so accumulate matches first and size the
+    // output block exactly (keeps Next stateless for concurrent workers).
+    std::vector<char> rows;
+    for (int i = 0; i < input->num_rows(); ++i) {
+      const char* probe_row = input->RowAt(i);
+      table_.ForEachMatch(
+          *spec_.probe_schema, probe_row, spec_.probe_keys,
+          [&](const char* build_row) {
+            size_t off = rows.size();
+            rows.resize(off + static_cast<size_t>(out_size));
+            std::memcpy(rows.data() + off, build_row, build_size);
+            std::memcpy(rows.data() + off + build_size, probe_row, probe_size);
+          });
+    }
+    if (rows.empty()) continue;  // no matches in this probe block: pull more
+    int32_t nrows = static_cast<int32_t>(rows.size() / out_size);
+    auto output = MakeBlock(
+        out_size, std::max<int32_t>(kDefaultBlockBytes,
+                                    nrows * out_size));
+    for (int32_t i = 0; i < nrows; ++i) output->AppendRow();
+    std::memcpy(output->MutableRowAt(0), rows.data(), rows.size());
+    output->set_sequence_number(input->sequence_number());
+    output->set_visit_rate(input->visit_rate());
+    *out = std::move(output);
+    return NextResult::kSuccess;
+  }
+}
+
+void HashJoinIterator::Close() {
+  build_child_->Close();
+  probe_child_->Close();
+}
+
+}  // namespace claims

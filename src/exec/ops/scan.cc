@@ -1,0 +1,76 @@
+#include "exec/ops/scan.h"
+
+#include <cstring>
+
+namespace claims {
+
+ScanIterator::ScanIterator(const TablePartition* partition,
+                           const Schema* schema, Options options)
+    : partition_(partition), schema_(schema), options_(options) {
+  if (options_.num_sockets < 1) options_.num_sockets = 1;
+  for (int s = 0; s < options_.num_sockets; ++s) {
+    cursors_.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+}
+
+NextResult ScanIterator::Open(WorkerContext* ctx) {
+  bool already_open = open_barrier_.Register();
+  if (ctx->DetectedTerminateRequest()) {
+    if (!already_open) open_barrier_.Deregister();
+    return NextResult::kTerminated;
+  }
+  // The read cursors are members initialized at construction; the first
+  // worker has nothing heavy to do, matching the appendix's instant open.
+  init_gate_.TryClaim();
+  open_barrier_.Arrive();
+  return NextResult::kSuccess;
+}
+
+int ScanIterator::ClaimFrom(int socket) {
+  const int stride = options_.num_sockets;
+  const int num_blocks = partition_->num_blocks();
+  while (true) {
+    int pos = cursors_[socket]->load(std::memory_order_relaxed);
+    int index = socket + pos * stride;
+    if (index >= num_blocks) return -1;
+    if (cursors_[socket]->compare_exchange_weak(pos, pos + 1,
+                                                std::memory_order_relaxed)) {
+      return index;
+    }
+  }
+}
+
+NextResult ScanIterator::Next(WorkerContext* ctx, BlockPtr* out) {
+  if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
+  // Prefer the worker's own socket slice, then steal round-robin.
+  int home = options_.num_sockets > 0 ? ctx->socket_id % options_.num_sockets
+                                      : 0;
+  int index = -1;
+  for (int i = 0; i < options_.num_sockets && index < 0; ++i) {
+    index = ClaimFrom((home + i) % options_.num_sockets);
+  }
+  if (index < 0) return NextResult::kEndOfFile;
+
+  const Block& src = *partition_->block(index);
+  // Copy out of immutable storage so downstream stages own their blocks
+  // (metadata tails are per-flow mutable state).
+  auto block = MakeBlock(schema_->row_size());
+  for (int i = 0; i < src.num_rows(); ++i) block->AppendRow();
+  std::memcpy(block->MutableRowAt(0), src.RowAt(0),
+              static_cast<size_t>(src.num_rows()) * src.row_size());
+  block->set_sequence_number(static_cast<uint64_t>(index));
+  block->set_visit_rate(1.0);  // input group: every source tuple visits once
+  if (ctx->processing_started != nullptr) {
+    ctx->processing_started->store(true, std::memory_order_release);
+  }
+  if (ctx->stats != nullptr) {
+    ctx->stats->input_tuples.fetch_add(src.num_rows(),
+                                       std::memory_order_relaxed);
+  }
+  *out = std::move(block);
+  return NextResult::kSuccess;
+}
+
+void ScanIterator::Close() {}
+
+}  // namespace claims

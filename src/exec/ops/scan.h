@@ -1,0 +1,58 @@
+#ifndef CLAIMS_EXEC_OPS_SCAN_H_
+#define CLAIMS_EXEC_OPS_SCAN_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/barrier.h"
+#include "core/iterator.h"
+#include "core/metrics.h"
+#include "storage/table.h"
+
+namespace claims {
+
+/// Table-partition scan — a pipeline/stage beginner (appendix Alg. 3).
+///
+/// All worker threads share one read cursor advanced with an atomic
+/// fetch-add, so expansion/shrinkage needs no repartitioning of the input.
+/// Emitted blocks are fresh copies of the storage blocks (storage stays
+/// immutable) tagged with dense sequence numbers in storage order — the
+/// numbering that order-preserving elastic iterators merge on (§3.2) — and
+/// with the visit-rate tail of an input-group segment (V = 1, §4.3).
+///
+/// In the NUMA-aware variant the table partition is conceptually split into
+/// per-socket slices; a worker prefers blocks of its own socket's slice and
+/// steals from other slices only when its own is exhausted.
+class ScanIterator : public Iterator {
+ public:
+  struct Options {
+    /// Simulated NUMA sockets the partition is striped over (1 = flat).
+    int num_sockets = 1;
+  };
+
+  ScanIterator(const TablePartition* partition, const Schema* schema,
+               Options options);
+  ScanIterator(const TablePartition* partition, const Schema* schema)
+      : ScanIterator(partition, schema, Options()) {}
+
+  NextResult Open(WorkerContext* ctx) override;
+  NextResult Next(WorkerContext* ctx, BlockPtr* out) override;
+  void Close() override;
+
+ private:
+  /// Claims the next unread block index on `socket`, or -1 when exhausted.
+  int ClaimFrom(int socket);
+
+  const TablePartition* partition_;
+  const Schema* schema_;
+  Options options_;
+  /// Per-socket cursors over an interleaved striping of the block list.
+  std::vector<std::unique_ptr<std::atomic<int>>> cursors_;
+  DynamicBarrier open_barrier_;
+  FirstCallerGate init_gate_;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_EXEC_OPS_SCAN_H_

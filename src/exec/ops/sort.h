@@ -1,0 +1,92 @@
+#ifndef CLAIMS_EXEC_OPS_SORT_H_
+#define CLAIMS_EXEC_OPS_SORT_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/barrier.h"
+#include "core/iterator.h"
+
+namespace claims {
+
+/// One ORDER BY key.
+struct SortKey {
+  int column;
+  bool ascending = true;
+};
+
+/// Compares fixed-width rows on a key list (used by sort and by result
+/// verification in tests).
+class RowComparator {
+ public:
+  RowComparator(const Schema* schema, std::vector<SortKey> keys)
+      : schema_(schema), keys_(std::move(keys)) {}
+
+  /// <0, 0, >0 like memcmp.
+  int Compare(const char* a, const char* b) const;
+  bool operator()(const char* a, const char* b) const {
+    return Compare(a, b) < 0;
+  }
+
+ private:
+  const Schema* schema_;
+  std::vector<SortKey> keys_;
+};
+
+/// Parallel sort — a pipeline breaker (appendix Alg. 8) in four phases:
+///  1. all workers drain the child into a shared block buffer, then locally
+///     sort one chunk (block) at a time into runs  — Barrier 1;
+///  2. an elected worker samples the data and computes global separator keys
+///     that split the key space into ranges                    — Barrier 2;
+///  3. workers claim ranges and merge each range from all runs without any
+///     further synchronization                                 — Barrier 3;
+///  4. Next() hands out the range-ordered result blocks (sequence-numbered,
+///     so an order-preserving elastic iterator keeps global order).
+/// Terminate requests are honoured between chunks and between ranges: a
+/// shrinking worker always completes its claimed unit, so no row is lost.
+class SortIterator : public Iterator {
+ public:
+  /// `num_ranges` is the merge granularity (work units of phase 3).
+  SortIterator(std::unique_ptr<Iterator> child, const Schema* schema,
+               std::vector<SortKey> keys, int num_ranges = 16);
+
+  NextResult Open(WorkerContext* ctx) override;
+  NextResult Next(WorkerContext* ctx, BlockPtr* out) override;
+  void Close() override;
+  int SubtreeSize() const override { return 1 + child_->SubtreeSize(); }
+
+  int64_t sorted_rows() const { return total_rows_.load(); }
+
+ private:
+  void DeregisterAll();
+
+  std::unique_ptr<Iterator> child_;
+  const Schema* schema_;
+  RowComparator comparator_;
+  int num_ranges_;
+
+  DynamicBarrier barrier1_;
+  DynamicBarrier barrier2_;
+  DynamicBarrier barrier3_;
+  FirstCallerGate separator_gate_;
+
+  std::mutex mu_;
+  std::vector<BlockPtr> buffered_;                 // phase 1 input
+  std::vector<std::vector<const char*>> runs_;     // phase 1 output
+  std::vector<std::vector<char>> separators_;      // phase 2 output
+  std::vector<std::vector<BlockPtr>> range_blocks_;  // phase 3 output
+
+  std::atomic<int> chunk_cursor_{0};
+  std::atomic<int> range_cursor_{0};
+  std::atomic<int64_t> total_rows_{0};
+  std::atomic<int64_t> emit_cursor_{0};
+  std::vector<BlockPtr> emit_list_;  // flattened, built once after barrier 3
+  std::mutex emit_mu_;
+  std::atomic<bool> emit_ready_{false};
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_EXEC_OPS_SORT_H_

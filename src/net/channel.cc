@@ -1,0 +1,82 @@
+#include "net/channel.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace claims {
+
+BlockChannel::BlockChannel(int num_producers, int capacity_blocks,
+                           MemoryTracker* memory)
+    : capacity_(capacity_blocks), memory_(memory),
+      open_producers_(num_producers) {}
+
+bool BlockChannel::Send(NetBlock block, const std::atomic<bool>* cancel) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (capacity_ > 0 && static_cast<int>(queue_.size()) >= capacity_ &&
+         !cancelled_) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+      return false;
+    }
+    not_full_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  if (cancelled_) return false;
+  int64_t bytes = block.block->payload_bytes();
+  buffered_bytes_ += bytes;
+  if (memory_ != nullptr) memory_->Allocate(bytes);
+  queue_.push_back(std::move(block));
+  ++total_sent_;
+  not_empty_.notify_one();
+  return true;
+}
+
+void BlockChannel::CloseProducer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --open_producers_;
+  if (open_producers_ <= 0) not_empty_.notify_all();
+}
+
+ChannelStatus BlockChannel::Receive(NetBlock* out, int64_t timeout_ns) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait_for(lock, std::chrono::nanoseconds(timeout_ns), [this] {
+    return cancelled_ || !queue_.empty() || open_producers_ <= 0;
+  });
+  if (cancelled_) return ChannelStatus::kClosed;
+  if (!queue_.empty()) {
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    int64_t bytes = out->block->payload_bytes();
+    buffered_bytes_ -= bytes;
+    if (memory_ != nullptr) memory_->Release(bytes);
+    not_full_.notify_all();
+    return ChannelStatus::kOk;
+  }
+  if (open_producers_ <= 0) return ChannelStatus::kClosed;
+  return ChannelStatus::kTimeout;
+}
+
+void BlockChannel::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancelled_ = true;
+  if (memory_ != nullptr) memory_->Release(buffered_bytes_);
+  buffered_bytes_ = 0;
+  queue_.clear();
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+size_t BlockChannel::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+int64_t BlockChannel::total_blocks_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_sent_;
+}
+
+int64_t BlockChannel::buffered_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffered_bytes_;
+}
+
+}  // namespace claims

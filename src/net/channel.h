@@ -1,0 +1,68 @@
+#ifndef CLAIMS_NET_CHANNEL_H_
+#define CLAIMS_NET_CHANNEL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/macros.h"
+#include "common/memory_tracker.h"
+#include "storage/block.h"
+
+namespace claims {
+
+/// A block with its origin — mergers need the producer's identity to
+/// aggregate per-producer visit-rate contributions (paper §4.3, Fig. 7).
+struct NetBlock {
+  BlockPtr block;
+  int from_node = 0;
+};
+
+/// Receive outcomes; kTimeout lets mergers poll their terminate flag while
+/// idle instead of blocking forever on a quiet link.
+enum class ChannelStatus { kOk, kTimeout, kClosed };
+
+/// Bounded MPMC block queue — one per (exchange, consumer node). All producer
+/// segments of the exchange send into it; the consumer segment's worker
+/// threads receive from it. Capacity bounds give end-to-end backpressure from
+/// a slow consumer back into the producers' elastic buffers.
+class BlockChannel {
+ public:
+  /// `num_producers` senders must call CloseProducer before the channel
+  /// drains to end-of-stream. `capacity_blocks <= 0` means unbounded (used by
+  /// materialized execution, where the channel *is* the materialization).
+  BlockChannel(int num_producers, int capacity_blocks,
+               MemoryTracker* memory = nullptr);
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(BlockChannel);
+
+  /// Blocks while full; false when cancelled.
+  bool Send(NetBlock block, const std::atomic<bool>* cancel = nullptr);
+
+  /// One producer finished; at zero the channel closes after draining.
+  void CloseProducer();
+
+  /// Waits up to `timeout_ns` for a block.
+  ChannelStatus Receive(NetBlock* out, int64_t timeout_ns);
+
+  void Cancel();
+
+  size_t size() const;
+  int64_t buffered_bytes() const;
+  int64_t total_blocks_sent() const;
+
+ private:
+  int capacity_;
+  MemoryTracker* memory_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<NetBlock> queue_;
+  int open_producers_;
+  int64_t buffered_bytes_ = 0;
+  int64_t total_sent_ = 0;
+  bool cancelled_ = false;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_NET_CHANNEL_H_

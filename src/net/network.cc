@@ -1,0 +1,73 @@
+#include "net/network.h"
+
+#include "common/logging.h"
+
+namespace claims {
+
+Network::Network(int num_nodes, NetworkOptions options, MemoryTracker* memory)
+    : num_nodes_(num_nodes), options_(options), memory_(memory) {
+  for (int i = 0; i < num_nodes; ++i) {
+    egress_.push_back(
+        std::make_unique<TokenBucket>(options.bandwidth_bytes_per_sec));
+    ingress_.push_back(
+        std::make_unique<TokenBucket>(options.bandwidth_bytes_per_sec));
+  }
+}
+
+void Network::CreateExchange(int exchange_id, int num_producers,
+                             const std::vector<int>& consumer_nodes,
+                             int capacity_override) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int capacity = options_.capacity_blocks;
+  if (capacity_override > 0) capacity = capacity_override;
+  if (capacity_override < 0) capacity = 0;  // unbounded
+  for (int node : consumer_nodes) {
+    channels_[{exchange_id, node}] =
+        std::make_unique<BlockChannel>(num_producers, capacity, memory_);
+  }
+  exchange_consumers_[exchange_id] = consumer_nodes;
+}
+
+bool Network::Send(int exchange_id, int from, int to, BlockPtr block,
+                   const std::atomic<bool>* cancel) {
+  BlockChannel* channel = GetChannel(exchange_id, to);
+  if (channel == nullptr) return false;
+  if (from != to) {
+    int64_t bytes = block->payload_bytes();
+    if (egress_[from]->Acquire(bytes, cancel) < 0) return false;
+    if (ingress_[to]->Acquire(bytes, cancel) < 0) return false;
+    remote_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  return channel->Send(NetBlock{std::move(block), from}, cancel);
+}
+
+void Network::CloseProducer(int exchange_id) {
+  std::vector<int> consumers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = exchange_consumers_.find(exchange_id);
+    if (it == exchange_consumers_.end()) return;
+    consumers = it->second;
+  }
+  for (int node : consumers) {
+    BlockChannel* channel = GetChannel(exchange_id, node);
+    if (channel != nullptr) channel->CloseProducer();
+  }
+}
+
+BlockChannel* Network::GetChannel(int exchange_id, int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = channels_.find({exchange_id, node});
+  return it == channels_.end() ? nullptr : it->second.get();
+}
+
+void Network::CancelAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, channel] : channels_) channel->Cancel();
+}
+
+int64_t Network::total_remote_bytes() const {
+  return remote_bytes_.load(std::memory_order_relaxed);
+}
+
+}  // namespace claims

@@ -1,0 +1,83 @@
+#ifndef CLAIMS_NET_NETWORK_H_
+#define CLAIMS_NET_NETWORK_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/memory_tracker.h"
+#include "net/channel.h"
+#include "net/token_bucket.h"
+
+namespace claims {
+
+struct NetworkOptions {
+  /// Per-node NIC bandwidth (full duplex: separate egress/ingress budgets).
+  /// The paper's gigabit switch ≈ 125 MB/s. <= 0 disables throttling.
+  int64_t bandwidth_bytes_per_sec = 0;
+  /// Per-channel buffer depth; <= 0 means unbounded (materialized execution).
+  int capacity_blocks = 64;
+};
+
+/// The in-process network fabric of the simulated cluster: one BlockChannel
+/// per (exchange, consumer node), plus token-bucket NICs per node. A send
+/// from node f to node t charges f's egress and t's ingress budgets, so the
+/// aggregate repartitioning traffic of a query saturates exactly like the
+/// paper's gigabit links (a loopback "send" — f == t — is free, matching the
+/// short-circuit every distributed engine applies to local exchanges).
+class Network {
+ public:
+  Network(int num_nodes, NetworkOptions options,
+          MemoryTracker* memory = nullptr);
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(Network);
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// Declares an exchange: `num_producers` producer segments will send to
+  /// each of `consumer_nodes`. Must be called before Send/OpenChannel.
+  /// `capacity_override` > 0 replaces the default channel depth; < 0 makes
+  /// the exchange unbounded (ME materialization).
+  void CreateExchange(int exchange_id, int num_producers,
+                      const std::vector<int>& consumer_nodes,
+                      int capacity_override = 0);
+
+  /// Sends `block` from node `from` to the exchange's channel at node `to`,
+  /// charging NIC budgets. False when cancelled.
+  bool Send(int exchange_id, int from, int to, BlockPtr block,
+            const std::atomic<bool>* cancel = nullptr);
+
+  /// One producer of `exchange_id` is done with *all* destinations.
+  void CloseProducer(int exchange_id);
+
+  /// The consumer-side endpoint at node `node`.
+  BlockChannel* GetChannel(int exchange_id, int node);
+
+  /// Cancels every channel (query abort).
+  void CancelAll();
+
+  TokenBucket* egress(int node) { return egress_[node].get(); }
+  TokenBucket* ingress(int node) { return ingress_[node].get(); }
+
+  /// Aggregate bytes sent across node boundaries (network utilization).
+  int64_t total_remote_bytes() const;
+
+ private:
+  int num_nodes_;
+  NetworkOptions options_;
+  MemoryTracker* memory_;
+  std::vector<std::unique_ptr<TokenBucket>> egress_;
+  std::vector<std::unique_ptr<TokenBucket>> ingress_;
+
+  mutable std::mutex mu_;
+  /// (exchange_id, consumer node) → channel.
+  std::map<std::pair<int, int>, std::unique_ptr<BlockChannel>> channels_;
+  /// exchange_id → consumer nodes (for CloseProducer fan-out).
+  std::map<int, std::vector<int>> exchange_consumers_;
+  std::atomic<int64_t> remote_bytes_{0};
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_NET_NETWORK_H_

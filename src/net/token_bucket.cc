@@ -1,0 +1,53 @@
+#include "net/token_bucket.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace claims {
+
+TokenBucket::TokenBucket(int64_t bytes_per_sec, Clock* clock)
+    : bytes_per_sec_(bytes_per_sec),
+      clock_(clock != nullptr ? clock : SteadyClock::Default()) {
+  last_refill_ns_ = clock_->NowNanos();
+  // One burst's worth of initial tokens (up to 64 KB or 10 ms of bandwidth).
+  tokens_ = bytes_per_sec_ > 0
+                ? std::max<double>(64 * 1024.0, bytes_per_sec_ * 0.01)
+                : 0;
+}
+
+int64_t TokenBucket::Acquire(int64_t bytes, const std::atomic<bool>* cancel) {
+  if (bytes_per_sec_ <= 0) {
+    total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    return 0;
+  }
+  const double burst = std::max<double>(64 * 1024.0, bytes_per_sec_ * 0.01);
+  int64_t t0 = clock_->NowNanos();
+  while (true) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+      return -1;
+    }
+    int64_t wait_ns = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      int64_t now = clock_->NowNanos();
+      tokens_ += static_cast<double>(now - last_refill_ns_) / 1e9 *
+                 static_cast<double>(bytes_per_sec_);
+      tokens_ = std::min(tokens_, burst + static_cast<double>(bytes));
+      last_refill_ns_ = now;
+      if (tokens_ >= static_cast<double>(bytes)) {
+        tokens_ -= static_cast<double>(bytes);
+        total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        return clock_->NowNanos() - t0;
+      }
+      wait_ns = static_cast<int64_t>(
+          (static_cast<double>(bytes) - tokens_) /
+          static_cast<double>(bytes_per_sec_) * 1e9);
+    }
+    // Sleep roughly until enough tokens accrue, capped so cancellation stays
+    // responsive.
+    wait_ns = std::clamp<int64_t>(wait_ns, 100'000, 5'000'000);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(wait_ns));
+  }
+}
+
+}  // namespace claims

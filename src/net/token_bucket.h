@@ -1,0 +1,49 @@
+#ifndef CLAIMS_NET_TOKEN_BUCKET_H_
+#define CLAIMS_NET_TOKEN_BUCKET_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/macros.h"
+
+namespace claims {
+
+/// Token-bucket rate limiter modelling a NIC of fixed bandwidth (the paper's
+/// cluster uses a gigabit switch, §5.1). Acquire(bytes) blocks the caller
+/// until the bytes fit into the refill budget — the in-process analogue of a
+/// send blocking on a saturated link, producing exactly the backpressure the
+/// dynamic scheduler reads as "over-producing for the network".
+class TokenBucket {
+ public:
+  /// `bytes_per_sec <= 0` disables throttling.
+  TokenBucket(int64_t bytes_per_sec, Clock* clock = nullptr);
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(TokenBucket);
+
+  /// Blocks until `bytes` tokens are available, then consumes them. Returns
+  /// the nanoseconds spent waiting. Honors `cancel` (checked while waiting);
+  /// returns -1 if cancelled.
+  int64_t Acquire(int64_t bytes, const std::atomic<bool>* cancel = nullptr);
+
+  int64_t bytes_per_sec() const { return bytes_per_sec_; }
+  bool throttled() const { return bytes_per_sec_ > 0; }
+
+  /// Total bytes that passed through (for utilization accounting).
+  int64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int64_t bytes_per_sec_;
+  Clock* clock_;
+  std::mutex mu_;
+  double tokens_ = 0;
+  int64_t last_refill_ns_ = 0;
+  std::atomic<int64_t> total_bytes_{0};
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_NET_TOKEN_BUCKET_H_

@@ -1,0 +1,17 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+namespace claims {
+
+double SharedUpdatePenaltyNs(const SimCostParams& params, int p,
+                             int64_t groups) {
+  if (groups <= 0) return 0;
+  // Expected serialization per update: with p workers and `groups` hot
+  // entries, a worker collides with (p-1)/groups others on average and waits
+  // out their critical sections.
+  double collisions = static_cast<double>(p - 1) / static_cast<double>(groups);
+  return params.agg_lock_ns * std::max(0.0, collisions);
+}
+
+}  // namespace claims

@@ -1,0 +1,31 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace claims {
+
+void EventQueue::Schedule(int64_t at_ns, Callback cb) {
+  events_.push(Event{std::max(at_ns, now()), next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::RunNext() {
+  if (events_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast on the callback
+  // (safe: the event is popped immediately after).
+  Event event = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  clock_.set_now(event.at_ns);
+  ++executed_;
+  event.cb();
+  return true;
+}
+
+bool EventQueue::RunUntil(int64_t deadline_ns) {
+  while (!events_.empty()) {
+    if (events_.top().at_ns > deadline_ns) return false;
+    RunNext();
+  }
+  return true;
+}
+
+}  // namespace claims

@@ -1,0 +1,80 @@
+#ifndef CLAIMS_SIM_EVENT_QUEUE_H_
+#define CLAIMS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/macros.h"
+
+namespace claims {
+
+/// Virtual-time clock driven by the event queue. Injected (as claims::Clock)
+/// into the *real* DynamicScheduler / SegmentStats code, so the scheduler
+/// logic under test is byte-for-byte the production implementation; only the
+/// notion of time differs (see DESIGN.md §1 substitutions).
+class SimClock : public Clock {
+ public:
+  int64_t NowNanos() const override { return now_; }
+  void set_now(int64_t ns) { now_ = ns; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+/// Deterministic discrete-event core: events fire in (time, insertion order).
+/// Single-threaded; all simulated concurrency is event interleaving, which
+/// makes every figure in bench/ reproduce bit-identically.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(EventQueue);
+
+  SimClock* clock() { return &clock_; }
+  int64_t now() const { return clock_.NowNanos(); }
+
+  /// Schedules `cb` at absolute virtual time `at_ns` (clamped to now).
+  void Schedule(int64_t at_ns, Callback cb);
+  /// Schedules `cb` `delay_ns` from now.
+  void ScheduleAfter(int64_t delay_ns, Callback cb) {
+    Schedule(now() + delay_ns, std::move(cb));
+  }
+
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+  /// Pops and runs the earliest event; false when empty.
+  bool RunNext();
+
+  /// Runs events until the queue drains or virtual time passes `deadline_ns`.
+  /// Returns false if the deadline was hit with events still pending.
+  bool RunUntil(int64_t deadline_ns);
+
+  int64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    int64_t at_ns;
+    int64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at_ns != b.at_ns) return a.at_ns > b.at_ns;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimClock clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  int64_t next_seq_ = 0;
+  int64_t executed_ = 0;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_SIM_EVENT_QUEUE_H_

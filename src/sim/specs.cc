@@ -1,0 +1,463 @@
+#include "sim/specs.h"
+
+#include "common/string_util.h"
+
+namespace claims {
+
+namespace {
+
+std::vector<int> NodeList(int k) {
+  std::vector<int> nodes;
+  for (int i = 0; i < k; ++i) nodes.push_back(i);
+  return nodes;
+}
+
+}  // namespace
+
+SimQuerySpec SseQ9Spec(const SseSimParams& p, const SimCostParams& c) {
+  SimQuerySpec spec;
+  const std::vector<int> all = NodeList(p.num_nodes);
+  const int64_t trades_per_node = p.trades_rows / p.num_nodes;
+  const int64_t securities_per_node = p.securities_rows / p.num_nodes;
+
+  // S1: scan1 + filter1 + sender (repartition on acct_id).
+  SimSegmentSpec s1;
+  s1.name = "S1";
+  s1.nodes = all;
+  SimStageSpec scan_t;
+  scan_t.source_tuples_per_node = trades_per_node;
+  scan_t.profile.cpu_ns_per_tuple =
+      (c.scan_ns + c.filter_ns + c.exchange_pack_ns) * p.cpu_scale;
+  scan_t.profile.mem_bytes_per_tuple = p.trades_row_bytes;
+  scan_t.profile.selectivity = p.trades_day_selectivity;
+  scan_t.profile.in_row_bytes = p.trades_row_bytes;
+  scan_t.profile.out_row_bytes = p.shuffle_row_bytes;
+  s1.stages.push_back(scan_t);
+  s1.out_exchange = 0;
+  s1.partitioning = Partitioning::kHash;
+  s1.consumer_nodes = all;
+  spec.segments.push_back(std::move(s1));
+
+  // S2: join — build from exchange 0, probe the local Securities scan;
+  // repartition the join output on sec_code.
+  SimSegmentSpec s2;
+  s2.name = "S2";
+  s2.nodes = all;
+  SimStageSpec build;
+  build.input_exchange = 0;
+  build.profile.cpu_ns_per_tuple =
+      (c.exchange_merge_ns + c.join_build_ns) * p.cpu_scale;
+  build.profile.mem_bytes_per_tuple = p.shuffle_row_bytes * 2;
+  build.profile.in_row_bytes = p.shuffle_row_bytes;
+  build.emits = false;
+  s2.stages.push_back(build);
+  SimStageSpec probe;
+  probe.source_tuples_per_node = securities_per_node;
+  probe.profile.cpu_ns_per_tuple =
+      (c.scan_ns + c.filter_ns + c.join_probe_ns + c.exchange_pack_ns) *
+      p.cpu_scale;
+  probe.profile.mem_bytes_per_tuple = p.securities_row_bytes;
+  probe.profile.selectivity = p.securities_day_selectivity * p.join_fanout;
+  probe.profile.in_row_bytes = p.securities_row_bytes;
+  probe.profile.out_row_bytes = p.shuffle_row_bytes;
+  s2.stages.push_back(probe);
+  s2.out_exchange = 1;
+  s2.partitioning = Partitioning::kHash;
+  s2.consumer_nodes = all;
+  spec.segments.push_back(std::move(s2));
+
+  // S3: aggregation (group by sec_code, acct_id) → master.
+  SimSegmentSpec s3;
+  s3.name = "S3";
+  s3.nodes = all;
+  SimStageSpec agg;
+  agg.input_exchange = 1;
+  agg.profile.cpu_ns_per_tuple =
+      (c.exchange_merge_ns + c.agg_update_ns) * p.cpu_scale;
+  agg.profile.mem_bytes_per_tuple = p.shuffle_row_bytes * 2;
+  agg.profile.in_row_bytes = p.shuffle_row_bytes;
+  agg.profile.max_state_bytes =
+      p.result_groups / p.num_nodes * p.shuffle_row_bytes;
+  agg.emits = false;
+  s3.stages.push_back(agg);
+  SimStageSpec emit;
+  emit.source_tuples_per_node = p.result_groups / p.num_nodes;
+  emit.profile.cpu_ns_per_tuple = 8;
+  emit.profile.in_row_bytes = p.shuffle_row_bytes;
+  emit.profile.out_row_bytes = p.shuffle_row_bytes;
+  s3.stages.push_back(emit);
+  s3.out_exchange = 2;
+  s3.partitioning = Partitioning::kToOne;
+  s3.consumer_nodes = {0};
+  spec.segments.push_back(std::move(s3));
+
+  spec.result_exchange = 2;
+  return spec;
+}
+
+SimQuerySpec SseQ6Spec(const SseSimParams& p, const SimCostParams& c) {
+  // count(*) over (filtered T) ⋈ (hot-security S) on acct_id.
+  SimQuerySpec spec;
+  const std::vector<int> all = NodeList(p.num_nodes);
+  SimSegmentSpec s1;
+  s1.name = "S1";
+  s1.nodes = all;
+  SimStageSpec scan_t;
+  scan_t.source_tuples_per_node = p.trades_rows / p.num_nodes;
+  scan_t.profile.cpu_ns_per_tuple =
+      (c.scan_ns + c.filter_ns + c.exchange_pack_ns) * p.cpu_scale;
+  scan_t.profile.mem_bytes_per_tuple = p.trades_row_bytes;
+  scan_t.profile.selectivity = p.trades_day_selectivity;
+  scan_t.profile.in_row_bytes = p.trades_row_bytes;
+  scan_t.profile.out_row_bytes = 8;  // just the join key
+  s1.stages.push_back(scan_t);
+  s1.out_exchange = 0;
+  s1.partitioning = Partitioning::kHash;
+  s1.consumer_nodes = all;
+  spec.segments.push_back(std::move(s1));
+
+  SimSegmentSpec s2;
+  s2.name = "S2";
+  s2.nodes = all;
+  SimStageSpec build;
+  build.input_exchange = 0;
+  build.profile.cpu_ns_per_tuple =
+      (c.exchange_merge_ns + c.join_build_ns) * p.cpu_scale;
+  build.profile.in_row_bytes = 8;
+  build.emits = false;
+  s2.stages.push_back(build);
+  SimStageSpec probe;
+  probe.source_tuples_per_node = p.securities_rows / p.num_nodes;
+  probe.profile.cpu_ns_per_tuple =
+      (c.scan_ns + c.filter_ns + c.join_probe_ns) * p.cpu_scale;
+  probe.profile.mem_bytes_per_tuple = p.securities_row_bytes;
+  probe.profile.selectivity = 1e-6;  // count rows reduced to one partial
+  probe.profile.in_row_bytes = p.securities_row_bytes;
+  probe.profile.out_row_bytes = 8;
+  s2.stages.push_back(probe);
+  s2.out_exchange = 1;
+  s2.partitioning = Partitioning::kToOne;
+  s2.consumer_nodes = {0};
+  spec.segments.push_back(std::move(s2));
+  spec.result_exchange = 1;
+  return spec;
+}
+
+namespace {
+
+SimQuerySpec SseGroupBySpec(const SseSimParams& p, const SimCostParams& c,
+                            double filter_selectivity, int64_t groups) {
+  SimQuerySpec spec;
+  const std::vector<int> all = NodeList(p.num_nodes);
+  SimSegmentSpec s1;
+  s1.name = "S1";
+  s1.nodes = all;
+  SimStageSpec scan_t;
+  scan_t.source_tuples_per_node = p.trades_rows / p.num_nodes;
+  scan_t.profile.cpu_ns_per_tuple =
+      (c.scan_ns + c.filter_ns + c.exchange_pack_ns) * p.cpu_scale;
+  scan_t.profile.mem_bytes_per_tuple = p.trades_row_bytes;
+  scan_t.profile.selectivity = filter_selectivity;
+  scan_t.profile.in_row_bytes = p.trades_row_bytes;
+  scan_t.profile.out_row_bytes = 16;
+  s1.stages.push_back(scan_t);
+  s1.out_exchange = 0;
+  s1.partitioning = Partitioning::kHash;
+  s1.consumer_nodes = all;
+  spec.segments.push_back(std::move(s1));
+
+  SimSegmentSpec s2;
+  s2.name = "S2";
+  s2.nodes = all;
+  SimStageSpec agg;
+  agg.input_exchange = 0;
+  agg.profile.cpu_ns_per_tuple =
+      (c.exchange_merge_ns + c.agg_update_ns) * p.cpu_scale;
+  agg.profile.mem_bytes_per_tuple = 32;
+  agg.profile.in_row_bytes = 16;
+  agg.profile.max_state_bytes = groups / p.num_nodes * 16;
+  agg.emits = false;
+  s2.stages.push_back(agg);
+  SimStageSpec emit;
+  emit.source_tuples_per_node = groups / p.num_nodes;
+  emit.profile.cpu_ns_per_tuple = 8;
+  emit.profile.in_row_bytes = 16;
+  emit.profile.out_row_bytes = 16;
+  s2.stages.push_back(emit);
+  s2.out_exchange = 1;
+  s2.partitioning = Partitioning::kToOne;
+  s2.consumer_nodes = {0};
+  spec.segments.push_back(std::move(s2));
+  spec.result_exchange = 1;
+  return spec;
+}
+
+}  // namespace
+
+SimQuerySpec SseQ7Spec(const SseSimParams& p, const SimCostParams& c) {
+  return SseGroupBySpec(p, c, 1.0, /*groups=*/3'000'000);
+}
+
+SimQuerySpec SseQ8Spec(const SseSimParams& p, const SimCostParams& c) {
+  return SseGroupBySpec(p, c, p.trades_day_selectivity / 4,
+                        /*groups=*/8'000'000);
+}
+
+// --- Fig. 8 micro-benchmarks ---------------------------------------------------
+
+namespace {
+
+SimQuerySpec SingleSegment(SimStageProfile profile, int64_t rows,
+                           bool add_build_stage, SimStageProfile build) {
+  SimQuerySpec spec;
+  SimSegmentSpec seg;
+  seg.name = "micro";
+  seg.nodes = {0};
+  if (add_build_stage) {
+    SimStageSpec b;
+    b.source_tuples_per_node = rows;
+    b.profile = build;
+    b.emits = false;
+    seg.stages.push_back(std::move(b));
+  }
+  SimStageSpec main_stage;
+  main_stage.source_tuples_per_node = rows;
+  main_stage.profile = std::move(profile);
+  main_stage.profile.selectivity = 1e-7;  // discard output: measure the op
+  seg.stages.push_back(std::move(main_stage));
+  seg.out_exchange = 0;
+  seg.partitioning = Partitioning::kToOne;
+  seg.consumer_nodes = {0};
+  spec.segments.push_back(std::move(seg));
+  spec.result_exchange = 0;
+  return spec;
+}
+
+}  // namespace
+
+SimQuerySpec MicroFilterSpec(bool compute_intensive, int64_t rows,
+                             const SimCostParams& c) {
+  SimStageProfile p;
+  if (compute_intensive) {
+    // S-Q1: LIKE over o_comment — CPU-bound, scales with every thread.
+    p.cpu_ns_per_tuple = c.scan_ns + c.filter_like_ns;
+    p.mem_bytes_per_tuple = 60;
+  } else {
+    // S-Q2: date comparison — memory-bound; ~8 workers saturate the node's
+    // bandwidth (Fig. 8a: 12 GB/s / (120 B per 80 ns) ≈ 8).
+    p.cpu_ns_per_tuple = 80;
+    p.mem_bytes_per_tuple = 120;
+  }
+  p.in_row_bytes = 120;
+  p.out_row_bytes = 120;
+  return SingleSegment(std::move(p), rows, false, {});
+}
+
+SimQuerySpec MicroAggSpec(bool shared, int64_t groups, int64_t rows,
+                          const SimCostParams& c) {
+  SimStageProfile p;
+  p.cpu_ns_per_tuple = c.scan_ns + c.agg_update_ns;
+  p.mem_bytes_per_tuple = 40;
+  p.in_row_bytes = 40;
+  p.out_row_bytes = 40;
+  // Independent aggregation uses private tables — contention-free; shared
+  // aggregation contends on the global table's hot entries.
+  p.contention_groups = shared ? groups : 0;
+  return SingleSegment(std::move(p), rows, false, {});
+}
+
+SimQuerySpec MicroJoinSpec(bool build_phase, int64_t rows,
+                           const SimCostParams& c) {
+  if (build_phase) {
+    SimStageProfile p;
+    p.cpu_ns_per_tuple = c.scan_ns + c.join_build_ns;
+    p.mem_bytes_per_tuple = 48;
+    p.in_row_bytes = 24;
+    p.out_row_bytes = 24;
+    return SingleSegment(std::move(p), rows, false, {});
+  }
+  SimStageProfile build;
+  build.cpu_ns_per_tuple = 0.01;  // pre-built table (measure probe only)
+  build.in_row_bytes = 24;
+  SimStageProfile probe;
+  probe.cpu_ns_per_tuple = c.scan_ns + c.join_probe_ns;
+  probe.mem_bytes_per_tuple = 48;
+  probe.in_row_bytes = 24;
+  probe.out_row_bytes = 48;
+  return SingleSegment(std::move(probe), rows, true, build);
+}
+
+// --- TPC-H SF-100 profiles -------------------------------------------------------
+
+Result<TpchSimProfile> TpchProfileFor(int number) {
+  // Per-node cardinalities at SF 100 on 10 nodes: lineitem 60M, orders 15M,
+  // customer 1.5M, part 2M, partsupp 8M, supplier 0.1M.
+  // CLAIMS evaluates tuples interpretively (§5.4: codegen would speed filters
+  // by up to two orders of magnitude); kCpuScale lifts the per-tuple costs to
+  // that regime so compute and the gigabit network are both real bottlenecks,
+  // as in the paper's runtimes.
+  constexpr double kCpuScale = 6.0;
+  TpchSimProfile p;
+  p.number = number;
+  switch (number) {
+    case 1:  // compute-intensive single-table aggregation (8 aggregates)
+      p = {1, 60'000'000, 260, 120, 0.98, {}, false, 24, 4, 40};
+      break;
+    case 2:  // part/supplier lookup with min-cost derived table
+      p = {2,       8'000'000, 150, 40, 1.0,
+           {{2'000'000, false, 70}, {100'000, true, 50}, {8'000'000, false, 60}},
+           true,    32,        100, 35};
+      break;
+    case 3:
+      p = {3,     60'000'000, 130, 120, 0.54,
+           {{15'000'000, false, 60}, {1'500'000, true, 50}},
+           true,  28,         1'100'000, 30};
+      break;
+    case 5:
+      p = {5,     60'000'000, 170, 120, 1.0,
+           {{15'000'000, false, 60},
+            {1'500'000, false, 55},
+            {100'000, true, 50}},
+           true,  28,         25, 30};
+      break;
+    case 6:  // cheap filter, data-intensive, scalar agg
+      p = {6, 60'000'000, 90, 120, 0.019, {}, false, 16, 1, 25};
+      break;
+    case 7:
+      p = {7,     60'000'000, 160, 120, 0.30,
+           {{15'000'000, false, 60}, {1'500'000, true, 55}, {100'000, true, 50}},
+           true,  28,         4, 30};
+      break;
+    case 8:
+      p = {8,     60'000'000, 180, 120, 1.0,
+           {{15'000'000, false, 60},
+            {1'500'000, false, 55},
+            {2'000'000, true, 55},
+            {100'000, true, 50}},
+           true,  28,         2, 35};
+      break;
+    case 9:  // 5-way join, network-heavy (Table 6's network-intensive case)
+      p = {9,     60'000'000, 210, 120, 1.0,
+           {{15'000'000, false, 60},
+            {8'000'000, false, 65},
+            {2'000'000, false, 55},
+            {100'000, true, 50}},
+           true,  36,         175, 35};
+      break;
+    case 10:
+      p = {10,    60'000'000, 150, 120, 0.25,
+           {{15'000'000, false, 60}, {1'500'000, false, 55}},
+           true,  40,         1'500'000, 35};
+      break;
+    case 12:
+      p = {12,    60'000'000, 120, 120, 0.031,
+           {{15'000'000, false, 60}},
+           false, 20,         2, 30};
+      break;
+    case 14:  // mixed: one mid-size join + scalar agg
+      p = {14,    60'000'000, 130, 120, 0.0125,
+           {{2'000'000, false, 60}},
+           false, 20,         1, 30};
+      break;
+    default:
+      return Status::NotFound(
+          StrFormat("no simulator profile for TPC-H Q%d", number));
+  }
+  p.probe_cpu_ns *= kCpuScale;
+  p.agg_cpu_ns *= kCpuScale;
+  for (auto& b : p.builds) b.cpu_ns *= kCpuScale;
+  return p;
+}
+
+SimQuerySpec TpchSpec(const TpchSimProfile& profile, int num_nodes,
+                      const SimCostParams& c) {
+  SimQuerySpec spec;
+  const std::vector<int> all = NodeList(num_nodes);
+  int next_exchange = 0;
+
+  // Build-side segments (dimension scans shipped to the probe pipeline).
+  std::vector<int> build_exchanges;
+  for (size_t b = 0; b < profile.builds.size(); ++b) {
+    const TpchSimProfile::Build& build = profile.builds[b];
+    SimSegmentSpec seg;
+    seg.name = StrFormat("B%zu", b);
+    seg.nodes = all;
+    SimStageSpec scan;
+    scan.source_tuples_per_node = build.rows_per_node;
+    scan.profile.cpu_ns_per_tuple = c.scan_ns + c.exchange_pack_ns;
+    scan.profile.mem_bytes_per_tuple = 80;
+    scan.profile.in_row_bytes = 80;
+    scan.profile.out_row_bytes = profile.shuffle_row_bytes;
+    seg.stages.push_back(scan);
+    seg.out_exchange = next_exchange++;
+    seg.partitioning =
+        build.broadcast ? Partitioning::kBroadcast : Partitioning::kHash;
+    seg.consumer_nodes = all;
+    build_exchanges.push_back(seg.out_exchange);
+    spec.segments.push_back(std::move(seg));
+  }
+
+  // Probe pipeline: join builds (stages), then the driving-table scan.
+  SimSegmentSpec probe;
+  probe.name = "P";
+  probe.nodes = all;
+  for (size_t b = 0; b < profile.builds.size(); ++b) {
+    SimStageSpec stage;
+    stage.input_exchange = build_exchanges[b];
+    stage.profile.cpu_ns_per_tuple =
+        c.exchange_merge_ns + profile.builds[b].cpu_ns;
+    stage.profile.mem_bytes_per_tuple = profile.shuffle_row_bytes * 2;
+    stage.profile.in_row_bytes = profile.shuffle_row_bytes;
+    stage.emits = false;
+    probe.stages.push_back(std::move(stage));
+  }
+  SimStageSpec drive;
+  drive.source_tuples_per_node = profile.probe_rows_per_node;
+  drive.profile.cpu_ns_per_tuple = profile.probe_cpu_ns;
+  drive.profile.mem_bytes_per_tuple = profile.probe_mem_bytes;
+  drive.profile.in_row_bytes = static_cast<int>(profile.probe_mem_bytes);
+  drive.profile.out_row_bytes = profile.shuffle_row_bytes;
+  drive.profile.selectivity =
+      profile.agg_shuffle
+          ? profile.filter_selectivity
+          : std::min(1e-5, profile.filter_selectivity);  // local agg folds
+  probe.stages.push_back(std::move(drive));
+  int probe_exchange = next_exchange++;
+  probe.out_exchange = probe_exchange;
+  probe.partitioning =
+      profile.agg_shuffle ? Partitioning::kHash : Partitioning::kToOne;
+  probe.consumer_nodes = profile.agg_shuffle ? all : std::vector<int>{0};
+  spec.segments.push_back(std::move(probe));
+
+  if (profile.agg_shuffle) {
+    SimSegmentSpec agg;
+    agg.name = "A";
+    agg.nodes = all;
+    SimStageSpec fold;
+    fold.input_exchange = probe_exchange;
+    fold.profile.cpu_ns_per_tuple = c.exchange_merge_ns + profile.agg_cpu_ns;
+    fold.profile.mem_bytes_per_tuple = profile.shuffle_row_bytes * 2;
+    fold.profile.in_row_bytes = profile.shuffle_row_bytes;
+    fold.profile.max_state_bytes = std::max<int64_t>(
+        1, profile.groups / num_nodes) * profile.shuffle_row_bytes;
+    fold.emits = false;
+    agg.stages.push_back(fold);
+    SimStageSpec emit;
+    emit.source_tuples_per_node =
+        std::max<int64_t>(1, profile.groups / num_nodes);
+    emit.profile.cpu_ns_per_tuple = 8;
+    emit.profile.in_row_bytes = profile.shuffle_row_bytes;
+    emit.profile.out_row_bytes = profile.shuffle_row_bytes;
+    agg.stages.push_back(emit);
+    agg.out_exchange = next_exchange++;
+    agg.partitioning = Partitioning::kToOne;
+    agg.consumer_nodes = {0};
+    spec.result_exchange = agg.out_exchange;
+    spec.segments.push_back(std::move(agg));
+  } else {
+    spec.result_exchange = probe_exchange;
+  }
+  return spec;
+}
+
+}  // namespace claims

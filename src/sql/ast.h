@@ -1,0 +1,74 @@
+#ifndef CLAIMS_SQL_AST_H_
+#define CLAIMS_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace claims {
+
+struct SelectStmt;
+
+/// Unresolved parse-tree expression.
+struct SqlExpr {
+  enum class Kind {
+    kColumn,      ///< [qualifier.]name
+    kIntLiteral,
+    kFloatLiteral,
+    kStringLiteral,
+    kStar,        ///< '*' (only below COUNT or as a select item)
+    kBinary,      ///< op in {=, <>, <, <=, >, >=, +, -, *, /, AND, OR}
+    kNot,
+    kNegate,      ///< unary minus
+    kLike,        ///< args[0] LIKE pattern (str_value), negated flag
+    kInList,      ///< args[0] IN (args[1..]), negated flag
+    kBetween,     ///< args[0] BETWEEN args[1] AND args[2]
+    kCase,        ///< args = when1,then1,when2,then2,...; else_expr optional
+    kCall,        ///< func_name(args) — aggregates and scalar functions
+  };
+
+  Kind kind;
+  std::string qualifier;   // kColumn
+  std::string name;        // kColumn / kCall function name
+  int64_t int_value = 0;
+  double float_value = 0;
+  std::string str_value;   // string literal / LIKE pattern
+  std::string op;          // kBinary operator text (upper-cased for AND/OR)
+  bool negated = false;
+  std::vector<std::unique_ptr<SqlExpr>> args;
+  std::unique_ptr<SqlExpr> else_expr;
+};
+
+using SqlExprPtr = std::unique_ptr<SqlExpr>;
+
+struct SelectItem {
+  SqlExprPtr expr;     // null for '*'
+  std::string alias;
+  bool star = false;
+};
+
+/// FROM entry: base table or derived table (subquery).
+struct TableRef {
+  std::string table;                    // base table name (empty if subquery)
+  std::string alias;                    // effective name for qualification
+  std::unique_ptr<SelectStmt> subquery; // derived table
+};
+
+struct OrderItem {
+  SqlExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  SqlExprPtr where;  ///< explicit JOIN ... ON conditions are folded in here
+  std::vector<SqlExprPtr> group_by;
+  SqlExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_SQL_AST_H_

@@ -1,0 +1,428 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace claims {
+
+const ColumnDef& BoundQuery::virtual_column(int v) const {
+  int r = relation_of(v);
+  return relations[r].schema.column(v - relations[r].virtual_base);
+}
+
+int BoundQuery::relation_of(int v) const {
+  for (size_t i = 0; i < relations.size(); ++i) {
+    int base = relations[i].virtual_base;
+    if (v >= base && v < base + relations[i].schema.num_columns()) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+namespace {
+
+class Binder {
+ public:
+  explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
+
+  Result<std::unique_ptr<BoundQuery>> Bind(const SelectStmt& stmt) {
+    auto q = std::make_unique<BoundQuery>();
+    query_ = q.get();
+
+    // --- FROM -------------------------------------------------------------
+    if (stmt.from.empty()) {
+      return Status::BindError("FROM clause is required");
+    }
+    int base = 0;
+    for (const TableRef& ref : stmt.from) {
+      BoundRelation rel;
+      rel.alias = ToLower(ref.alias);
+      rel.virtual_base = base;
+      if (ref.subquery != nullptr) {
+        Binder sub_binder(catalog_);
+        CLAIMS_ASSIGN_OR_RETURN(rel.subquery, sub_binder.Bind(*ref.subquery));
+        // Derived schema from the subquery's output.
+        std::vector<ColumnDef> cols;
+        for (size_t i = 0; i < rel.subquery->select_exprs.size(); ++i) {
+          const BExpr& e = *rel.subquery->select_exprs[i];
+          cols.push_back(
+              ColumnDef{rel.subquery->select_names[i], e.type,
+                        e.type == DataType::kChar
+                            ? (e.char_width > 0 ? e.char_width : 64)
+                            : 0});
+        }
+        rel.schema = Schema(std::move(cols));
+        rel.estimated_rows = EstimateSubqueryRows(*rel.subquery);
+        // The planner hash-partitions derived output on its first column.
+        rel.partition_cols = {0};
+      } else {
+        CLAIMS_ASSIGN_OR_RETURN(rel.table, catalog_.GetTable(ref.table));
+        rel.schema = rel.table->schema();
+        rel.partition_cols = rel.table->partition_key_cols();
+        rel.estimated_rows = rel.table->num_rows();
+      }
+      for (const BoundRelation& existing : query_->relations) {
+        if (existing.alias == rel.alias) {
+          return Status::BindError(
+              StrFormat("duplicate relation alias '%s'", rel.alias.c_str()));
+        }
+      }
+      base += rel.schema.num_columns();
+      query_->relations.push_back(std::move(rel));
+    }
+
+    // --- WHERE ------------------------------------------------------------
+    if (stmt.where != nullptr) {
+      CLAIMS_ASSIGN_OR_RETURN(BExprPtr where,
+                              BindExpr(*stmt.where, /*allow_agg=*/false));
+      SplitConjuncts(where, &query_->conjuncts);
+    }
+
+    // --- GROUP BY ----------------------------------------------------------
+    for (const SqlExprPtr& g : stmt.group_by) {
+      CLAIMS_ASSIGN_OR_RETURN(BExprPtr bound, BindExpr(*g, false));
+      query_->group_by.push_back(std::move(bound));
+    }
+
+    // --- SELECT list --------------------------------------------------------
+    for (const SelectItem& item : stmt.items) {
+      if (item.star) {
+        for (const BoundRelation& rel : query_->relations) {
+          for (int c = 0; c < rel.schema.num_columns(); ++c) {
+            const ColumnDef& col = rel.schema.column(c);
+            query_->select_exprs.push_back(
+                BColumn(rel.virtual_base + c, col.type, col.char_width));
+            query_->select_names.push_back(col.name);
+          }
+        }
+        continue;
+      }
+      CLAIMS_ASSIGN_OR_RETURN(BExprPtr bound,
+                              BindExpr(*item.expr, /*allow_agg=*/true));
+      query_->select_exprs.push_back(bound);
+      query_->select_names.push_back(
+          !item.alias.empty() ? item.alias : DefaultName(*item.expr));
+    }
+
+    // --- HAVING -------------------------------------------------------------
+    if (stmt.having != nullptr) {
+      CLAIMS_ASSIGN_OR_RETURN(query_->having, BindExpr(*stmt.having, true));
+    }
+
+    // Aggregation semantics check: outside aggregates, only group columns.
+    if (query_->has_aggregation()) {
+      for (size_t i = 0; i < query_->select_exprs.size(); ++i) {
+        if (!OnlyGroupInputs(*query_->select_exprs[i])) {
+          return Status::BindError(StrFormat(
+              "select item %d must be an aggregate or a GROUP BY expression",
+              static_cast<int>(i + 1)));
+        }
+      }
+      if (query_->having != nullptr && !OnlyGroupInputs(*query_->having)) {
+        return Status::BindError("HAVING must use aggregates or group keys");
+      }
+    }
+
+    // --- ORDER BY / LIMIT ----------------------------------------------------
+    for (const OrderItem& item : stmt.order_by) {
+      CLAIMS_ASSIGN_OR_RETURN(int index, BindOrderItem(*item.expr));
+      query_->order_by.push_back(BoundOrder{index, item.ascending});
+    }
+    query_->limit = stmt.limit;
+    return q;
+  }
+
+ private:
+  static std::string DefaultName(const SqlExpr& e) {
+    if (e.kind == SqlExpr::Kind::kColumn) return ToLower(e.name);
+    if (e.kind == SqlExpr::Kind::kCall) {
+      std::string arg =
+          e.args.empty() ? ""
+          : (e.args[0]->kind == SqlExpr::Kind::kColumn ? ToLower(e.args[0]->name)
+             : e.args[0]->kind == SqlExpr::Kind::kStar ? "*"
+                                                       : "expr");
+      return e.name + "_" + arg;
+    }
+    return "expr";
+  }
+
+  Result<BExprPtr> ResolveColumn(const std::string& qualifier,
+                                 const std::string& name) {
+    std::string q = ToLower(qualifier);
+    std::string n = ToLower(name);
+    BExprPtr found;
+    for (const BoundRelation& rel : query_->relations) {
+      if (!q.empty() && rel.alias != q) continue;
+      int c = rel.schema.FindColumn(n);
+      if (c < 0) continue;
+      if (found != nullptr) {
+        return Status::BindError(
+            StrFormat("ambiguous column '%s'", name.c_str()));
+      }
+      const ColumnDef& col = rel.schema.column(c);
+      found = BColumn(rel.virtual_base + c, col.type, col.char_width);
+    }
+    if (found == nullptr) {
+      return Status::BindError(StrFormat(
+          "unknown column '%s%s%s'", qualifier.c_str(),
+          qualifier.empty() ? "" : ".", name.c_str()));
+    }
+    return found;
+  }
+
+  /// Converts a string literal to a DATE when compared against a date-typed
+  /// expression ('2010-10-30' style literals).
+  static void CoerceDateLiteral(BExprPtr* literal, const BExpr& other) {
+    if (other.type != DataType::kDate) return;
+    BExpr& lit = **literal;
+    if (lit.kind != BExpr::Kind::kLiteral ||
+        lit.literal.type() != DataType::kChar) {
+      return;
+    }
+    auto parsed = ParseDate(lit.literal.AsString());
+    if (parsed.ok()) *literal = BLiteral(Value::Date(*parsed));
+  }
+
+  Result<BExprPtr> BindExpr(const SqlExpr& e, bool allow_agg) {
+    switch (e.kind) {
+      case SqlExpr::Kind::kColumn:
+        return ResolveColumn(e.qualifier, e.name);
+      case SqlExpr::Kind::kIntLiteral:
+        return BLiteral(Value::Int64(e.int_value));
+      case SqlExpr::Kind::kFloatLiteral:
+        return BLiteral(Value::Float64(e.float_value));
+      case SqlExpr::Kind::kStringLiteral:
+        return BLiteral(Value::String(e.str_value));
+      case SqlExpr::Kind::kStar:
+        return Status::BindError("'*' is only valid in COUNT(*)");
+      case SqlExpr::Kind::kNegate: {
+        CLAIMS_ASSIGN_OR_RETURN(BExprPtr c, BindExpr(*e.args[0], allow_agg));
+        if (c->kind == BExpr::Kind::kLiteral) {
+          const Value& v = c->literal;
+          return BLiteral(v.type() == DataType::kFloat64
+                              ? Value::Float64(-v.AsFloat64())
+                              : Value::Int64(-v.AsInt64()));
+        }
+        return BArith(ArithOp::kSub, BLiteral(Value::Int64(0)), std::move(c));
+      }
+      case SqlExpr::Kind::kNot: {
+        CLAIMS_ASSIGN_OR_RETURN(BExprPtr c, BindExpr(*e.args[0], allow_agg));
+        return BNot(std::move(c));
+      }
+      case SqlExpr::Kind::kBinary: {
+        CLAIMS_ASSIGN_OR_RETURN(BExprPtr l, BindExpr(*e.args[0], allow_agg));
+        CLAIMS_ASSIGN_OR_RETURN(BExprPtr r, BindExpr(*e.args[1], allow_agg));
+        if (e.op == "AND" || e.op == "OR") {
+          return BLogic(e.op == "AND" ? LogicOp::kAnd : LogicOp::kOr,
+                        std::move(l), std::move(r));
+        }
+        if (e.op == "+" || e.op == "-" || e.op == "*" || e.op == "/") {
+          ArithOp op = e.op == "+"   ? ArithOp::kAdd
+                       : e.op == "-" ? ArithOp::kSub
+                       : e.op == "*" ? ArithOp::kMul
+                                     : ArithOp::kDiv;
+          return BArith(op, std::move(l), std::move(r));
+        }
+        CompareOp op;
+        if (e.op == "=") {
+          op = CompareOp::kEq;
+        } else if (e.op == "<>" || e.op == "!=") {
+          op = CompareOp::kNe;
+        } else if (e.op == "<") {
+          op = CompareOp::kLt;
+        } else if (e.op == "<=") {
+          op = CompareOp::kLe;
+        } else if (e.op == ">") {
+          op = CompareOp::kGt;
+        } else if (e.op == ">=") {
+          op = CompareOp::kGe;
+        } else {
+          return Status::BindError("unknown operator " + e.op);
+        }
+        CoerceDateLiteral(&r, *l);
+        CoerceDateLiteral(&l, *r);
+        return BCompare(op, std::move(l), std::move(r));
+      }
+      case SqlExpr::Kind::kLike: {
+        CLAIMS_ASSIGN_OR_RETURN(BExprPtr c, BindExpr(*e.args[0], allow_agg));
+        return BLike(std::move(c), e.str_value, e.negated);
+      }
+      case SqlExpr::Kind::kInList: {
+        CLAIMS_ASSIGN_OR_RETURN(BExprPtr c, BindExpr(*e.args[0], allow_agg));
+        std::vector<Value> values;
+        for (size_t i = 1; i < e.args.size(); ++i) {
+          CLAIMS_ASSIGN_OR_RETURN(BExprPtr v, BindExpr(*e.args[i], false));
+          if (v->kind != BExpr::Kind::kLiteral) {
+            return Status::BindError("IN list must contain literals");
+          }
+          CoerceDateLiteral(&v, *c);
+          values.push_back(v->literal);
+        }
+        return BInList(std::move(c), std::move(values), e.negated);
+      }
+      case SqlExpr::Kind::kBetween: {
+        CLAIMS_ASSIGN_OR_RETURN(BExprPtr c, BindExpr(*e.args[0], allow_agg));
+        CLAIMS_ASSIGN_OR_RETURN(BExprPtr lo, BindExpr(*e.args[1], allow_agg));
+        CLAIMS_ASSIGN_OR_RETURN(BExprPtr hi, BindExpr(*e.args[2], allow_agg));
+        CoerceDateLiteral(&lo, *c);
+        CoerceDateLiteral(&hi, *c);
+        BExprPtr both =
+            BLogic(LogicOp::kAnd, BCompare(CompareOp::kGe, c, std::move(lo)),
+                   BCompare(CompareOp::kLe, c, std::move(hi)));
+        if (e.negated) return BNot(std::move(both));
+        return both;
+      }
+      case SqlExpr::Kind::kCase: {
+        std::vector<BExprPtr> children;
+        for (size_t i = 0; i < e.args.size(); ++i) {
+          CLAIMS_ASSIGN_OR_RETURN(BExprPtr c, BindExpr(*e.args[i], allow_agg));
+          children.push_back(std::move(c));
+        }
+        if (e.else_expr != nullptr) {
+          CLAIMS_ASSIGN_OR_RETURN(BExprPtr c,
+                                  BindExpr(*e.else_expr, allow_agg));
+          children.push_back(std::move(c));
+        }
+        return BCase(std::move(children));
+      }
+      case SqlExpr::Kind::kCall: {
+        AggFn fn;
+        bool is_agg = true;
+        if (e.name == "count") {
+          fn = AggFn::kCount;
+        } else if (e.name == "sum") {
+          fn = AggFn::kSum;
+        } else if (e.name == "avg") {
+          fn = AggFn::kAvg;
+        } else if (e.name == "min") {
+          fn = AggFn::kMin;
+        } else if (e.name == "max") {
+          fn = AggFn::kMax;
+        } else {
+          is_agg = false;
+        }
+        if (is_agg) {
+          if (!allow_agg) {
+            return Status::BindError(
+                "aggregate not allowed in WHERE/GROUP BY");
+          }
+          BoundAggregate agg;
+          agg.fn = fn;
+          if (!e.args.empty() && e.args[0]->kind != SqlExpr::Kind::kStar) {
+            CLAIMS_ASSIGN_OR_RETURN(agg.arg,
+                                    BindExpr(*e.args[0], /*allow_agg=*/false));
+          } else if (fn != AggFn::kCount) {
+            return Status::BindError("'*' argument only valid for COUNT");
+          }
+          agg.name = DefaultName(e);
+          DataType out_type =
+              fn == AggFn::kCount ? DataType::kInt64
+              : fn == AggFn::kAvg ? DataType::kFloat64
+              : (agg.arg != nullptr && agg.arg->type == DataType::kFloat64)
+                  ? DataType::kFloat64
+              : (agg.arg != nullptr && agg.arg->type == DataType::kDate &&
+                 (fn == AggFn::kMin || fn == AggFn::kMax))
+                  ? DataType::kDate
+                  : DataType::kInt64;
+          int slot = static_cast<int>(query_->aggregates.size());
+          query_->aggregates.push_back(std::move(agg));
+          return BAggSlot(slot, out_type);
+        }
+        if (e.name == "year") {
+          if (e.args.size() != 1) {
+            return Status::BindError("YEAR takes one argument");
+          }
+          CLAIMS_ASSIGN_OR_RETURN(BExprPtr c, BindExpr(*e.args[0], allow_agg));
+          return BYear(std::move(c));
+        }
+        return Status::BindError("unknown function " + e.name);
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  /// True when every column in `e` outside aggregate slots matches some
+  /// GROUP BY expression (compared structurally via ToString).
+  bool OnlyGroupInputs(const BExpr& e) const {
+    if (e.kind == BExpr::Kind::kAggSlot) return true;
+    for (const BExprPtr& g : query_->group_by) {
+      if (g->ToString() == e.ToString()) return true;
+    }
+    if (e.kind == BExpr::Kind::kColumn) return false;
+    if (e.children.empty()) return true;  // literal
+    for (const BExprPtr& c : e.children) {
+      if (!OnlyGroupInputs(*c)) return false;
+    }
+    return true;
+  }
+
+  Result<int> BindOrderItem(const SqlExpr& e) {
+    // 1. Ordinal.
+    if (e.kind == SqlExpr::Kind::kIntLiteral) {
+      int i = static_cast<int>(e.int_value);
+      if (i < 1 || i > static_cast<int>(query_->select_exprs.size())) {
+        return Status::BindError("ORDER BY ordinal out of range");
+      }
+      return i - 1;
+    }
+    // 2. Alias / output-name match.
+    if (e.kind == SqlExpr::Kind::kColumn && e.qualifier.empty()) {
+      for (size_t i = 0; i < query_->select_names.size(); ++i) {
+        if (EqualsIgnoreCase(query_->select_names[i], e.name)) {
+          return static_cast<int>(i);
+        }
+      }
+    }
+    // 3. Structural match against a select expression. Binding may append
+    // tentative aggregates; roll them back (a fresh slot can never match an
+    // existing select output anyway).
+    size_t agg_snapshot = query_->aggregates.size();
+    auto bound = BindExpr(e, /*allow_agg=*/true);
+    int match = -1;
+    if (bound.ok()) {
+      std::string text = (*bound)->ToString();
+      for (size_t i = 0; i < query_->select_exprs.size(); ++i) {
+        if (query_->select_exprs[i]->ToString() == text) {
+          match = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    query_->aggregates.resize(agg_snapshot);
+    if (match >= 0) return match;
+    return Status::BindError(
+        "ORDER BY expression must match a select output");
+  }
+
+  static int64_t EstimateSubqueryRows(const BoundQuery& sub) {
+    if (!sub.has_aggregation()) {
+      int64_t rows = 1;
+      for (const BoundRelation& r : sub.relations) {
+        rows = std::max(rows, r.estimated_rows);
+      }
+      return rows;
+    }
+    if (sub.group_by.empty()) return 1;
+    // Group-by output: crude 1/20th of the driving relation, bounded.
+    int64_t rows = 1;
+    for (const BoundRelation& r : sub.relations) {
+      rows = std::max(rows, r.estimated_rows);
+    }
+    return std::max<int64_t>(1, rows / 20);
+  }
+
+  const Catalog& catalog_;
+  BoundQuery* query_ = nullptr;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BoundQuery>> BindSelect(const SelectStmt& stmt,
+                                               const Catalog& catalog) {
+  Binder binder(catalog);
+  return binder.Bind(stmt);
+}
+
+}  // namespace claims

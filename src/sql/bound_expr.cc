@@ -1,0 +1,280 @@
+#include "sql/bound_expr.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace claims {
+
+namespace {
+
+BExprPtr New(BExpr::Kind kind, DataType type) {
+  auto e = std::make_shared<BExpr>();
+  e->kind = kind;
+  e->type = type;
+  return e;
+}
+
+}  // namespace
+
+BExprPtr BColumn(int virtual_index, DataType type, int char_width) {
+  auto e = New(BExpr::Kind::kColumn, type);
+  e->column = virtual_index;
+  e->char_width = char_width;
+  return e;
+}
+
+BExprPtr BAggSlot(int slot, DataType type) {
+  auto e = New(BExpr::Kind::kAggSlot, type);
+  e->column = slot;
+  return e;
+}
+
+BExprPtr BLiteral(Value v) {
+  auto e = New(BExpr::Kind::kLiteral, v.type());
+  e->literal = std::move(v);
+  return e;
+}
+
+BExprPtr BCompare(CompareOp op, BExprPtr l, BExprPtr r) {
+  auto e = New(BExpr::Kind::kCompare, DataType::kInt32);
+  e->compare_op = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+BExprPtr BArith(ArithOp op, BExprPtr l, BExprPtr r) {
+  DataType t = (l->type == DataType::kFloat64 || r->type == DataType::kFloat64 ||
+                op == ArithOp::kDiv)
+                   ? DataType::kFloat64
+                   : DataType::kInt64;
+  auto e = New(BExpr::Kind::kArith, t);
+  e->arith_op = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+BExprPtr BLogic(LogicOp op, BExprPtr l, BExprPtr r) {
+  auto e = New(BExpr::Kind::kLogic, DataType::kInt32);
+  e->logic_op = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+BExprPtr BNot(BExprPtr c) {
+  auto e = New(BExpr::Kind::kNot, DataType::kInt32);
+  e->children = {std::move(c)};
+  return e;
+}
+
+BExprPtr BLike(BExprPtr c, std::string pattern, bool negated) {
+  auto e = New(BExpr::Kind::kLike, DataType::kInt32);
+  e->pattern = std::move(pattern);
+  e->negated = negated;
+  e->children = {std::move(c)};
+  return e;
+}
+
+BExprPtr BInList(BExprPtr c, std::vector<Value> values, bool negated) {
+  auto e = New(BExpr::Kind::kInList, DataType::kInt32);
+  e->in_values = std::move(values);
+  e->negated = negated;
+  e->children = {std::move(c)};
+  return e;
+}
+
+BExprPtr BCase(std::vector<BExprPtr> children) {
+  DataType t = children.size() >= 2 ? children[1]->type : DataType::kInt64;
+  auto e = New(BExpr::Kind::kCase, t);
+  e->children = std::move(children);
+  return e;
+}
+
+BExprPtr BYear(BExprPtr c) {
+  auto e = New(BExpr::Kind::kYear, DataType::kInt32);
+  e->children = {std::move(c)};
+  return e;
+}
+
+void SplitConjuncts(const BExprPtr& expr, std::vector<BExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == BExpr::Kind::kLogic && expr->logic_op == LogicOp::kAnd) {
+    SplitConjuncts(expr->children[0], out);
+    SplitConjuncts(expr->children[1], out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+void CollectColumns(const BExpr& expr, std::vector<int>* out) {
+  if (expr.kind == BExpr::Kind::kColumn) {
+    if (std::find(out->begin(), out->end(), expr.column) == out->end()) {
+      out->push_back(expr.column);
+    }
+  }
+  for (const BExprPtr& c : expr.children) CollectColumns(*c, out);
+}
+
+bool ColumnsCovered(const BExpr& expr,
+                    const std::map<int, int>& virt_to_stream) {
+  if (expr.kind == BExpr::Kind::kAggSlot) return false;
+  if (expr.kind == BExpr::Kind::kColumn &&
+      virt_to_stream.count(expr.column) == 0) {
+    return false;
+  }
+  for (const BExprPtr& c : expr.children) {
+    if (!ColumnsCovered(*c, virt_to_stream)) return false;
+  }
+  return true;
+}
+
+Result<ExprPtr> LowerBExpr(const BExpr& expr,
+                           const std::map<int, int>& virt_to_stream,
+                           const std::map<int, int>* agg_to_stream,
+                           const Schema& stream_schema) {
+  switch (expr.kind) {
+    case BExpr::Kind::kColumn: {
+      auto it = virt_to_stream.find(expr.column);
+      if (it == virt_to_stream.end()) {
+        return Status::PlanError(
+            StrFormat("virtual column %d not present in stream", expr.column));
+      }
+      return MakeColumnRef(it->second, expr.type,
+                           stream_schema.column(it->second).name);
+    }
+    case BExpr::Kind::kAggSlot: {
+      if (agg_to_stream == nullptr) {
+        return Status::PlanError("aggregate used outside aggregation context");
+      }
+      auto it = agg_to_stream->find(expr.column);
+      if (it == agg_to_stream->end()) {
+        return Status::PlanError(
+            StrFormat("aggregate slot %d not present in stream", expr.column));
+      }
+      return MakeColumnRef(it->second, expr.type,
+                           stream_schema.column(it->second).name);
+    }
+    case BExpr::Kind::kLiteral:
+      return MakeLiteral(expr.literal);
+    case BExpr::Kind::kCompare: {
+      CLAIMS_ASSIGN_OR_RETURN(ExprPtr l, LowerBExpr(*expr.children[0],
+                                                    virt_to_stream,
+                                                    agg_to_stream,
+                                                    stream_schema));
+      CLAIMS_ASSIGN_OR_RETURN(ExprPtr r, LowerBExpr(*expr.children[1],
+                                                    virt_to_stream,
+                                                    agg_to_stream,
+                                                    stream_schema));
+      return MakeCompare(expr.compare_op, std::move(l), std::move(r));
+    }
+    case BExpr::Kind::kArith: {
+      CLAIMS_ASSIGN_OR_RETURN(ExprPtr l, LowerBExpr(*expr.children[0],
+                                                    virt_to_stream,
+                                                    agg_to_stream,
+                                                    stream_schema));
+      CLAIMS_ASSIGN_OR_RETURN(ExprPtr r, LowerBExpr(*expr.children[1],
+                                                    virt_to_stream,
+                                                    agg_to_stream,
+                                                    stream_schema));
+      return MakeArith(expr.arith_op, std::move(l), std::move(r));
+    }
+    case BExpr::Kind::kLogic: {
+      CLAIMS_ASSIGN_OR_RETURN(ExprPtr l, LowerBExpr(*expr.children[0],
+                                                    virt_to_stream,
+                                                    agg_to_stream,
+                                                    stream_schema));
+      CLAIMS_ASSIGN_OR_RETURN(ExprPtr r, LowerBExpr(*expr.children[1],
+                                                    virt_to_stream,
+                                                    agg_to_stream,
+                                                    stream_schema));
+      return MakeLogic(expr.logic_op, std::move(l), std::move(r));
+    }
+    case BExpr::Kind::kNot: {
+      CLAIMS_ASSIGN_OR_RETURN(ExprPtr c, LowerBExpr(*expr.children[0],
+                                                    virt_to_stream,
+                                                    agg_to_stream,
+                                                    stream_schema));
+      return MakeNot(std::move(c));
+    }
+    case BExpr::Kind::kLike: {
+      CLAIMS_ASSIGN_OR_RETURN(ExprPtr c, LowerBExpr(*expr.children[0],
+                                                    virt_to_stream,
+                                                    agg_to_stream,
+                                                    stream_schema));
+      return MakeLike(std::move(c), expr.pattern, expr.negated);
+    }
+    case BExpr::Kind::kInList: {
+      CLAIMS_ASSIGN_OR_RETURN(ExprPtr c, LowerBExpr(*expr.children[0],
+                                                    virt_to_stream,
+                                                    agg_to_stream,
+                                                    stream_schema));
+      return MakeInList(std::move(c), expr.in_values, expr.negated);
+    }
+    case BExpr::Kind::kCase: {
+      std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+      size_t pairs = expr.children.size() / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        CLAIMS_ASSIGN_OR_RETURN(ExprPtr cond, LowerBExpr(*expr.children[2 * i],
+                                                         virt_to_stream,
+                                                         agg_to_stream,
+                                                         stream_schema));
+        CLAIMS_ASSIGN_OR_RETURN(
+            ExprPtr then, LowerBExpr(*expr.children[2 * i + 1], virt_to_stream,
+                                     agg_to_stream, stream_schema));
+        branches.emplace_back(std::move(cond), std::move(then));
+      }
+      ExprPtr otherwise;
+      if (expr.children.size() % 2 == 1) {
+        CLAIMS_ASSIGN_OR_RETURN(otherwise, LowerBExpr(*expr.children.back(),
+                                                      virt_to_stream,
+                                                      agg_to_stream,
+                                                      stream_schema));
+      }
+      return MakeCase(std::move(branches), std::move(otherwise));
+    }
+    case BExpr::Kind::kYear: {
+      CLAIMS_ASSIGN_OR_RETURN(ExprPtr c, LowerBExpr(*expr.children[0],
+                                                    virt_to_stream,
+                                                    agg_to_stream,
+                                                    stream_schema));
+      return MakeYear(std::move(c));
+    }
+  }
+  return Status::Internal("unknown bound expression kind");
+}
+
+std::string BExpr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return StrFormat("$%d", column);
+    case Kind::kAggSlot:
+      return StrFormat("agg%d", column);
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kCompare:
+      return StrFormat("(%s %s %s)", children[0]->ToString().c_str(),
+                       CompareOpName(compare_op),
+                       children[1]->ToString().c_str());
+    case Kind::kArith:
+      return StrFormat("(%s %s %s)", children[0]->ToString().c_str(),
+                       ArithOpName(arith_op), children[1]->ToString().c_str());
+    case Kind::kLogic:
+      return StrFormat("(%s %s %s)", children[0]->ToString().c_str(),
+                       logic_op == LogicOp::kAnd ? "AND" : "OR",
+                       children[1]->ToString().c_str());
+    case Kind::kNot:
+      return "(NOT " + children[0]->ToString() + ")";
+    case Kind::kLike:
+      return StrFormat("(%s %sLIKE '%s')", children[0]->ToString().c_str(),
+                       negated ? "NOT " : "", pattern.c_str());
+    case Kind::kInList:
+      return children[0]->ToString() + (negated ? " NOT IN (...)" : " IN (...)");
+    case Kind::kCase:
+      return "CASE...";
+    case Kind::kYear:
+      return "YEAR(" + children[0]->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace claims

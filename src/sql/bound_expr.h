@@ -1,0 +1,86 @@
+#ifndef CLAIMS_SQL_BOUND_EXPR_H_
+#define CLAIMS_SQL_BOUND_EXPR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/expr/expr.h"
+
+namespace claims {
+
+struct BExpr;
+using BExprPtr = std::shared_ptr<BExpr>;
+
+/// Bound (name-resolved, typed) expression over the query's *virtual joined
+/// schema*: the concatenation of all FROM relations' columns, plus — after
+/// aggregation — slots for aggregate results. The distributed planner lowers
+/// a BExpr into an executable ExprPtr against whatever physical stream schema
+/// exists at each pipeline position, remapping virtual columns.
+struct BExpr {
+  enum class Kind {
+    kColumn,   ///< virtual column index
+    kAggSlot,  ///< aggregate result slot (post-aggregation expressions)
+    kLiteral,
+    kCompare,
+    kArith,
+    kLogic,
+    kNot,
+    kLike,
+    kInList,
+    kCase,     ///< children = cond1,then1,...; odd count ⇒ last is ELSE
+    kYear,
+  };
+
+  Kind kind;
+  DataType type = DataType::kInt64;
+  int column = -1;      ///< kColumn: virtual index; kAggSlot: slot index
+  int char_width = 0;   ///< for kColumn of CHAR type
+  Value literal;
+  CompareOp compare_op = CompareOp::kEq;
+  ArithOp arith_op = ArithOp::kAdd;
+  LogicOp logic_op = LogicOp::kAnd;
+  std::string pattern;  ///< kLike
+  bool negated = false;
+  std::vector<Value> in_values;
+  std::vector<BExprPtr> children;
+
+  std::string ToString() const;
+};
+
+BExprPtr BColumn(int virtual_index, DataType type, int char_width = 0);
+BExprPtr BAggSlot(int slot, DataType type);
+BExprPtr BLiteral(Value v);
+BExprPtr BCompare(CompareOp op, BExprPtr l, BExprPtr r);
+BExprPtr BArith(ArithOp op, BExprPtr l, BExprPtr r);
+BExprPtr BLogic(LogicOp op, BExprPtr l, BExprPtr r);
+BExprPtr BNot(BExprPtr c);
+BExprPtr BLike(BExprPtr c, std::string pattern, bool negated);
+BExprPtr BInList(BExprPtr c, std::vector<Value> values, bool negated);
+BExprPtr BCase(std::vector<BExprPtr> children);
+BExprPtr BYear(BExprPtr c);
+
+/// Splits an AND tree into conjuncts.
+void SplitConjuncts(const BExprPtr& expr, std::vector<BExprPtr>* out);
+
+/// Collects the distinct virtual columns (kColumn) referenced by `expr`.
+void CollectColumns(const BExpr& expr, std::vector<int>* out);
+
+/// True if `expr` references only virtual columns present in `mapping`
+/// (and no aggregate slots).
+bool ColumnsCovered(const BExpr& expr, const std::map<int, int>& virt_to_stream);
+
+/// Lowers a bound expression to an executable one against a physical stream:
+/// `virt_to_stream` maps virtual column → stream column; `agg_to_stream` (may
+/// be null) maps aggregate slot → stream column. Fails if a referenced column
+/// is missing from the mapping (planner bug).
+Result<ExprPtr> LowerBExpr(const BExpr& expr,
+                           const std::map<int, int>& virt_to_stream,
+                           const std::map<int, int>* agg_to_stream,
+                           const Schema& stream_schema);
+
+}  // namespace claims
+
+#endif  // CLAIMS_SQL_BOUND_EXPR_H_

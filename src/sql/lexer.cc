@@ -1,0 +1,109 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace claims {
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto peek = [&](size_t k) { return i + k < n ? sql[i + k] : '\0'; };
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && peek(1) == '-') {  // line comment
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.position = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      t.type = TokenType::kIdentifier;
+      t.text = std::string(sql.substr(start, i - start));
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string text(sql.substr(start, i - start));
+      if (is_float) {
+        t.type = TokenType::kFloat;
+        t.float_value = std::stod(text);
+      } else {
+        t.type = TokenType::kInteger;
+        t.int_value = std::stoll(text);
+      }
+      t.text = std::move(text);
+    } else if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == quote) {
+          if (peek(1) == quote) {  // escaped quote
+            text += quote;
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %d", t.position));
+      }
+      t.type = TokenType::kString;
+      t.text = std::move(text);
+    } else {
+      t.type = TokenType::kSymbol;
+      // Two-character operators first.
+      if ((c == '<' && (peek(1) == '=' || peek(1) == '>')) ||
+          (c == '>' && peek(1) == '=') || (c == '!' && peek(1) == '=')) {
+        t.text = std::string(sql.substr(i, 2));
+        i += 2;
+      } else if (std::string_view("()+-*/,.;=<>").find(c) !=
+                 std::string_view::npos) {
+        t.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %d", c,
+                      t.position));
+      }
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace claims

@@ -1,0 +1,34 @@
+#ifndef CLAIMS_SQL_LEXER_H_
+#define CLAIMS_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace claims {
+
+enum class TokenType {
+  kIdentifier,   ///< unquoted name (keywords are identifiers; the parser
+                 ///< matches them case-insensitively)
+  kInteger,
+  kFloat,
+  kString,       ///< '...' literal, quotes stripped, '' unescaped
+  kSymbol,       ///< operator / punctuation: ( ) , . ; = <> != <= >= < > + - * /
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   ///< raw text (identifiers keep original case)
+  int64_t int_value = 0;
+  double float_value = 0;
+  int position = 0;   ///< byte offset in the input, for error messages
+};
+
+/// Splits a SQL string into tokens. Comments (`-- ...`) are skipped.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace claims
+
+#endif  // CLAIMS_SQL_LEXER_H_

@@ -1,0 +1,418 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace claims {
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStmt>> ParseStatement() {
+    CLAIMS_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelectBody());
+    MatchSymbol(";");
+    if (!AtEnd()) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  // --- token helpers ---------------------------------------------------------
+
+  const Token& Peek(int k = 0) const {
+    size_t i = pos_ + static_cast<size_t>(k);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(const char* kw, int k = 0) const {
+    const Token& t = Peek(k);
+    return t.type == TokenType::kIdentifier && EqualsIgnoreCase(t.text, kw);
+  }
+  bool MatchKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  bool PeekSymbol(const char* s, int k = 0) const {
+    const Token& t = Peek(k);
+    return t.type == TokenType::kSymbol && t.text == s;
+  }
+  bool MatchSymbol(const char* s) {
+    if (!PeekSymbol(s)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(const std::string& message) const {
+    return Status::ParseError(StrFormat(
+        "%s near '%s' (offset %d)", message.c_str(),
+        Peek().type == TokenType::kEnd ? "<end>" : Peek().text.c_str(),
+        Peek().position));
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) return Error(StrFormat("expected %s", kw));
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* s) {
+    if (!MatchSymbol(s)) return Error(StrFormat("expected '%s'", s));
+    return Status::OK();
+  }
+
+  static bool IsReserved(const std::string& word) {
+    static const char* kReserved[] = {
+        "select", "from",  "where",  "group", "by",    "having", "order",
+        "limit",  "and",   "or",     "not",   "like",  "in",     "between",
+        "case",   "when",  "then",   "else",  "end",   "as",     "join",
+        "inner",  "on",    "asc",    "desc",  "union"};
+    for (const char* r : kReserved) {
+      if (EqualsIgnoreCase(word, r)) return true;
+    }
+    return false;
+  }
+
+  // --- grammar ----------------------------------------------------------------
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelectBody() {
+    CLAIMS_RETURN_IF_ERROR(ExpectKeyword("select"));
+    auto stmt = std::make_unique<SelectStmt>();
+    // select list
+    do {
+      SelectItem item;
+      if (PeekSymbol("*")) {
+        ++pos_;
+        item.star = true;
+      } else {
+        CLAIMS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("as")) {
+          if (Peek().type != TokenType::kIdentifier) {
+            return Error("expected alias after AS");
+          }
+          item.alias = Advance().text;
+        } else if (Peek().type == TokenType::kIdentifier &&
+                   !IsReserved(Peek().text)) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt->items.push_back(std::move(item));
+    } while (MatchSymbol(","));
+
+    CLAIMS_RETURN_IF_ERROR(ExpectKeyword("from"));
+    CLAIMS_RETURN_IF_ERROR(ParseFromList(stmt.get()));
+
+    if (MatchKeyword("where")) {
+      CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr where, ParseExpr());
+      stmt->where = Conjoin(std::move(stmt->where), std::move(where));
+    }
+    if (MatchKeyword("group")) {
+      CLAIMS_RETURN_IF_ERROR(ExpectKeyword("by"));
+      do {
+        CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr g, ParseExpr());
+        stmt->group_by.push_back(std::move(g));
+      } while (MatchSymbol(","));
+    }
+    if (MatchKeyword("having")) {
+      CLAIMS_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    if (MatchKeyword("order")) {
+      CLAIMS_RETURN_IF_ERROR(ExpectKeyword("by"));
+      do {
+        OrderItem item;
+        CLAIMS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("desc")) {
+          item.ascending = false;
+        } else {
+          MatchKeyword("asc");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (MatchSymbol(","));
+    }
+    if (MatchKeyword("limit")) {
+      if (Peek().type != TokenType::kInteger) return Error("expected LIMIT count");
+      stmt->limit = Advance().int_value;
+    }
+    return stmt;
+  }
+
+  Status ParseFromList(SelectStmt* stmt) {
+    CLAIMS_RETURN_IF_ERROR(ParseTableRef(stmt));
+    while (true) {
+      if (MatchSymbol(",")) {
+        CLAIMS_RETURN_IF_ERROR(ParseTableRef(stmt));
+      } else if (PeekKeyword("join") || PeekKeyword("inner")) {
+        MatchKeyword("inner");
+        CLAIMS_RETURN_IF_ERROR(ExpectKeyword("join"));
+        CLAIMS_RETURN_IF_ERROR(ParseTableRef(stmt));
+        CLAIMS_RETURN_IF_ERROR(ExpectKeyword("on"));
+        CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr cond, ParseExpr());
+        stmt->where = Conjoin(std::move(stmt->where), std::move(cond));
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status ParseTableRef(SelectStmt* stmt) {
+    TableRef ref;
+    if (MatchSymbol("(")) {
+      CLAIMS_ASSIGN_OR_RETURN(ref.subquery, ParseSelectBody());
+      CLAIMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      MatchKeyword("as");
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("derived table requires an alias");
+      }
+      ref.alias = Advance().text;
+    } else {
+      if (Peek().type != TokenType::kIdentifier) return Error("expected table");
+      ref.table = Advance().text;
+      ref.alias = ref.table;
+      if (MatchKeyword("as")) {
+        if (Peek().type != TokenType::kIdentifier) return Error("expected alias");
+        ref.alias = Advance().text;
+      } else if (Peek().type == TokenType::kIdentifier &&
+                 !IsReserved(Peek().text)) {
+        ref.alias = Advance().text;
+      }
+    }
+    stmt->from.push_back(std::move(ref));
+    return Status::OK();
+  }
+
+  static SqlExprPtr Conjoin(SqlExprPtr a, SqlExprPtr b) {
+    if (a == nullptr) return b;
+    auto both = std::make_unique<SqlExpr>();
+    both->kind = SqlExpr::Kind::kBinary;
+    both->op = "AND";
+    both->args.push_back(std::move(a));
+    both->args.push_back(std::move(b));
+    return both;
+  }
+
+  // Precedence: OR < AND < NOT < predicate < additive < multiplicative < unary.
+  Result<SqlExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<SqlExprPtr> ParseOr() {
+    CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr left, ParseAnd());
+    while (MatchKeyword("or")) {
+      CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr right, ParseAnd());
+      left = MakeBinary("OR", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseAnd() {
+    CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr left, ParseNot());
+    while (MatchKeyword("and")) {
+      CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr right, ParseNot());
+      left = MakeBinary("AND", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseNot() {
+    if (MatchKeyword("not")) {
+      CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr child, ParseNot());
+      auto e = std::make_unique<SqlExpr>();
+      e->kind = SqlExpr::Kind::kNot;
+      e->args.push_back(std::move(child));
+      return e;
+    }
+    return ParsePredicate();
+  }
+
+  Result<SqlExprPtr> ParsePredicate() {
+    CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr left, ParseAdditive());
+    bool negated = false;
+    if (PeekKeyword("not") &&
+        (PeekKeyword("like", 1) || PeekKeyword("in", 1) ||
+         PeekKeyword("between", 1))) {
+      ++pos_;
+      negated = true;
+    }
+    if (MatchKeyword("like")) {
+      if (Peek().type != TokenType::kString) return Error("expected pattern");
+      auto e = std::make_unique<SqlExpr>();
+      e->kind = SqlExpr::Kind::kLike;
+      e->str_value = Advance().text;
+      e->negated = negated;
+      e->args.push_back(std::move(left));
+      return e;
+    }
+    if (MatchKeyword("in")) {
+      CLAIMS_RETURN_IF_ERROR(ExpectSymbol("("));
+      auto e = std::make_unique<SqlExpr>();
+      e->kind = SqlExpr::Kind::kInList;
+      e->negated = negated;
+      e->args.push_back(std::move(left));
+      do {
+        CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr v, ParseAdditive());
+        e->args.push_back(std::move(v));
+      } while (MatchSymbol(","));
+      CLAIMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+    if (MatchKeyword("between")) {
+      auto e = std::make_unique<SqlExpr>();
+      e->kind = SqlExpr::Kind::kBetween;
+      e->negated = negated;
+      e->args.push_back(std::move(left));
+      CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr lo, ParseAdditive());
+      CLAIMS_RETURN_IF_ERROR(ExpectKeyword("and"));
+      CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr hi, ParseAdditive());
+      e->args.push_back(std::move(lo));
+      e->args.push_back(std::move(hi));
+      return e;
+    }
+    if (negated) return Error("expected LIKE/IN/BETWEEN after NOT");
+    for (const char* op : {"<=", ">=", "<>", "!=", "=", "<", ">"}) {
+      if (MatchSymbol(op)) {
+        CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr right, ParseAdditive());
+        return MakeBinary(op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseAdditive() {
+    CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr left, ParseMultiplicative());
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      std::string op = Advance().text;
+      CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op.c_str(), std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseMultiplicative() {
+    CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr left, ParseUnary());
+    while (PeekSymbol("*") || PeekSymbol("/")) {
+      std::string op = Advance().text;
+      CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr right, ParseUnary());
+      left = MakeBinary(op.c_str(), std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseUnary() {
+    if (MatchSymbol("-")) {
+      CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr child, ParseUnary());
+      auto e = std::make_unique<SqlExpr>();
+      e->kind = SqlExpr::Kind::kNegate;
+      e->args.push_back(std::move(child));
+      return e;
+    }
+    MatchSymbol("+");
+    return ParsePrimary();
+  }
+
+  Result<SqlExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    auto e = std::make_unique<SqlExpr>();
+    switch (t.type) {
+      case TokenType::kInteger:
+        e->kind = SqlExpr::Kind::kIntLiteral;
+        e->int_value = Advance().int_value;
+        return e;
+      case TokenType::kFloat:
+        e->kind = SqlExpr::Kind::kFloatLiteral;
+        e->float_value = Advance().float_value;
+        return e;
+      case TokenType::kString:
+        e->kind = SqlExpr::Kind::kStringLiteral;
+        e->str_value = Advance().text;
+        return e;
+      case TokenType::kSymbol:
+        if (MatchSymbol("(")) {
+          CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseExpr());
+          CLAIMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        if (PeekSymbol("*")) {
+          ++pos_;
+          e->kind = SqlExpr::Kind::kStar;
+          return e;
+        }
+        return Error("unexpected symbol");
+      case TokenType::kIdentifier: {
+        if (EqualsIgnoreCase(t.text, "case")) return ParseCase();
+        std::string first = Advance().text;
+        if (MatchSymbol("(")) {  // function call
+          e->kind = SqlExpr::Kind::kCall;
+          e->name = ToLower(first);
+          if (PeekSymbol("*")) {
+            ++pos_;
+            auto star = std::make_unique<SqlExpr>();
+            star->kind = SqlExpr::Kind::kStar;
+            e->args.push_back(std::move(star));
+          } else if (!PeekSymbol(")")) {
+            do {
+              CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr arg, ParseExpr());
+              e->args.push_back(std::move(arg));
+            } while (MatchSymbol(","));
+          }
+          CLAIMS_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return e;
+        }
+        e->kind = SqlExpr::Kind::kColumn;
+        if (MatchSymbol(".")) {
+          if (Peek().type != TokenType::kIdentifier) {
+            return Error("expected column after '.'");
+          }
+          e->qualifier = first;
+          e->name = Advance().text;
+        } else {
+          e->name = first;
+        }
+        return e;
+      }
+      case TokenType::kEnd:
+        return Error("unexpected end of input");
+    }
+    return Error("unexpected token");
+  }
+
+  Result<SqlExprPtr> ParseCase() {
+    CLAIMS_RETURN_IF_ERROR(ExpectKeyword("case"));
+    auto e = std::make_unique<SqlExpr>();
+    e->kind = SqlExpr::Kind::kCase;
+    while (MatchKeyword("when")) {
+      CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr cond, ParseExpr());
+      CLAIMS_RETURN_IF_ERROR(ExpectKeyword("then"));
+      CLAIMS_ASSIGN_OR_RETURN(SqlExprPtr then, ParseExpr());
+      e->args.push_back(std::move(cond));
+      e->args.push_back(std::move(then));
+    }
+    if (e->args.empty()) return Error("CASE requires at least one WHEN");
+    if (MatchKeyword("else")) {
+      CLAIMS_ASSIGN_OR_RETURN(e->else_expr, ParseExpr());
+    }
+    CLAIMS_RETURN_IF_ERROR(ExpectKeyword("end"));
+    return e;
+  }
+
+  static SqlExprPtr MakeBinary(const char* op, SqlExprPtr l, SqlExprPtr r) {
+    auto e = std::make_unique<SqlExpr>();
+    e->kind = SqlExpr::Kind::kBinary;
+    e->op = ToUpper(op);
+    e->args.push_back(std::move(l));
+    e->args.push_back(std::move(r));
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql) {
+  CLAIMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace claims

@@ -1,0 +1,26 @@
+#ifndef CLAIMS_SQL_PARSER_H_
+#define CLAIMS_SQL_PARSER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace claims {
+
+/// Parses one SELECT statement (optionally ';'-terminated). Supported
+/// grammar — the dialect the paper's workload needs:
+///
+///   SELECT item [, item]...
+///   FROM table_ref [, table_ref]... | t1 [INNER] JOIN t2 ON cond ...
+///   [WHERE cond] [GROUP BY expr,...] [HAVING cond]
+///   [ORDER BY expr [ASC|DESC],...] [LIMIT n]
+///
+/// with expressions over + - * /, comparisons, AND/OR/NOT, LIKE/NOT LIKE,
+/// IN (...), BETWEEN..AND, CASE WHEN, COUNT/SUM/AVG/MIN/MAX, YEAR(), string
+/// and date literals, and derived tables `(SELECT ...) [AS] name`.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql);
+
+}  // namespace claims
+
+#endif  // CLAIMS_SQL_PARSER_H_

@@ -1,0 +1,57 @@
+#ifndef CLAIMS_SQL_PLANNER_H_
+#define CLAIMS_SQL_PLANNER_H_
+
+#include <memory>
+
+#include "cluster/plan.h"
+#include "sql/binder.h"
+
+namespace claims {
+
+struct PlannerOptions {
+  /// Cluster size; exchanges address nodes 0..num_nodes-1, master is node 0.
+  int num_nodes = 4;
+  /// Build sides at or below this many (estimated, post-filter) rows are
+  /// broadcast instead of repartitioned.
+  int64_t broadcast_threshold_rows = 20000;
+  HashAggIterator::Mode agg_mode = HashAggIterator::Mode::kHybrid;
+  /// Simulated NUMA sockets for scan striping.
+  int numa_sockets = 1;
+  /// Rows sampled per relation for predicate selectivity estimation.
+  int64_t sample_limit = 20000;
+};
+
+/// The master node's query optimizer / distributed planner: turns a bound
+/// query into a pipelined, fragment-decomposed physical plan (paper §2's
+/// master responsibilities). Techniques:
+///  * predicate pushdown onto base relations, with sampled selectivities;
+///  * greedy left-deep join ordering (largest filtered relation streams as
+///    the probe; remaining relations join smallest-first along equi edges);
+///  * locality-aware exchange placement: co-located joins when both sides
+///    are partitioned on the join key, broadcast of small build sides,
+///    repartition (shuffle) joins otherwise — the paper's Fig. 1/3 shapes;
+///  * single-phase repartitioned aggregation (Fig. 1: repartition on the
+///    group key, aggregate), local aggregation when the stream is already
+///    partitioned by a subset of the group keys, and two-phase partial/final
+///    aggregation for scalar (group-less) aggregates;
+///  * projection pushdown in front of shuffles (only needed columns cross
+///    the network);
+///  * global sort at the master for ORDER BY.
+class Planner {
+ public:
+  Planner(Catalog* catalog, PlannerOptions options);
+
+  /// Full pipeline: parse → bind → plan.
+  Result<PhysicalPlan> PlanSql(std::string_view sql);
+
+  Result<PhysicalPlan> Plan(const BoundQuery& query);
+
+ private:
+  class Impl;
+  Catalog* catalog_;
+  PlannerOptions options_;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_SQL_PLANNER_H_

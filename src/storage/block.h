@@ -1,0 +1,90 @@
+#ifndef CLAIMS_STORAGE_BLOCK_H_
+#define CLAIMS_STORAGE_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace claims {
+
+/// Default block payload: 64 KB, chosen in the paper (§5.1) to fit the L2
+/// cache and used as the unit of pipelined data flow.
+inline constexpr int32_t kDefaultBlockBytes = 64 * 1024;
+
+/// A fixed-capacity batch of fixed-width rows — the basic processing unit of
+/// the engine (block-at-a-time, paper §2.1). Besides the row payload a block
+/// carries the metadata "tail" of paper §4.3: a sequence number assigned at
+/// the stage beginner (order preservation, §3.2) and the instantaneous
+/// average visit rate of its tuples, updated as the block crosses segments so
+/// the scheduler needs no extra messaging.
+class Block {
+ public:
+  /// Creates an empty block for rows of `row_size` bytes.
+  explicit Block(int32_t row_size, int32_t capacity_bytes = kDefaultBlockBytes)
+      : row_size_(row_size),
+        capacity_rows_(capacity_bytes / (row_size > 0 ? row_size : 1)),
+        data_(static_cast<size_t>(capacity_rows_) * row_size) {}
+
+  int32_t row_size() const { return row_size_; }
+  int32_t capacity_rows() const { return capacity_rows_; }
+  int32_t num_rows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+  bool full() const { return num_rows_ >= capacity_rows_; }
+  int64_t payload_bytes() const {
+    return static_cast<int64_t>(num_rows_) * row_size_;
+  }
+  int64_t capacity_bytes() const { return static_cast<int64_t>(data_.size()); }
+
+  const char* RowAt(int32_t i) const {
+    return data_.data() + static_cast<size_t>(i) * row_size_;
+  }
+  char* MutableRowAt(int32_t i) {
+    return data_.data() + static_cast<size_t>(i) * row_size_;
+  }
+
+  /// Reserves the next row slot; returns nullptr when full.
+  char* AppendRow() {
+    if (full()) return nullptr;
+    return MutableRowAt(num_rows_++);
+  }
+
+  /// Appends a copy of `row` (must be row_size() bytes); false when full.
+  bool AppendRowCopy(const char* row) {
+    char* slot = AppendRow();
+    if (slot == nullptr) return false;
+    std::memcpy(slot, row, row_size_);
+    return true;
+  }
+
+  void Clear() { num_rows_ = 0; }
+
+  // --- Metadata tail (paper §3.2 order preservation, §4.3 visit rates) ------
+
+  uint64_t sequence_number() const { return sequence_number_; }
+  void set_sequence_number(uint64_t s) { sequence_number_ = s; }
+
+  double visit_rate() const { return visit_rate_; }
+  void set_visit_rate(double v) { visit_rate_ = v; }
+
+ private:
+  int32_t row_size_;
+  int32_t capacity_rows_;
+  int32_t num_rows_ = 0;
+  uint64_t sequence_number_ = 0;
+  double visit_rate_ = 1.0;
+  std::vector<char> data_;
+};
+
+using BlockPtr = std::shared_ptr<Block>;
+
+/// Convenience factory.
+inline BlockPtr MakeBlock(int32_t row_size,
+                          int32_t capacity_bytes = kDefaultBlockBytes) {
+  return std::make_shared<Block>(row_size, capacity_bytes);
+}
+
+}  // namespace claims
+
+#endif  // CLAIMS_STORAGE_BLOCK_H_

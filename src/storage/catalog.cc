@@ -1,0 +1,79 @@
+#include "storage/catalog.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace claims {
+
+Status Catalog::RegisterTable(TablePtr table) {
+  std::string key = ToLower(table->name());
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("table '%s' already registered", table->name().c_str()));
+  }
+  tables_.emplace(std::move(key), std::move(table));
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::GetTable(std::string_view name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(
+        StrFormat("table '%s' not found", std::string(name).c_str()));
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(std::string_view name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+int64_t Catalog::EstimateDistinct(const Table& table, int col,
+                                  int64_t sample_limit) const {
+  const Schema& schema = table.schema();
+  std::set<std::string> seen_str;
+  std::set<int64_t> seen_int;
+  std::set<double> seen_dbl;
+  bool is_str = schema.column(col).type == DataType::kChar;
+  bool is_dbl = schema.column(col).type == DataType::kFloat64;
+  int64_t seen = 0;
+  for (int p = 0; p < table.num_partitions() && seen < sample_limit; ++p) {
+    const TablePartition& part = table.partition(p);
+    for (int b = 0; b < part.num_blocks() && seen < sample_limit; ++b) {
+      const Block& blk = *part.block(b);
+      for (int32_t r = 0; r < blk.num_rows() && seen < sample_limit; ++r) {
+        const char* row = blk.RowAt(r);
+        if (is_str) {
+          seen_str.emplace(schema.GetString(row, col));
+        } else if (is_dbl) {
+          seen_dbl.insert(schema.GetFloat64(row, col));
+        } else if (schema.column(col).type == DataType::kInt64) {
+          seen_int.insert(schema.GetInt64(row, col));
+        } else {
+          seen_int.insert(schema.GetInt32(row, col));
+        }
+        ++seen;
+      }
+    }
+  }
+  int64_t distinct = static_cast<int64_t>(seen_str.size() + seen_int.size() +
+                                          seen_dbl.size());
+  if (seen == 0) return 0;
+  // If the sample saturated, extrapolate linearly unless the column looks
+  // low-cardinality (distinct plateaued well under the sample size).
+  int64_t total = table.num_rows();
+  if (seen < total && distinct > seen / 2) {
+    distinct = distinct * total / seen;
+  }
+  return distinct;
+}
+
+}  // namespace claims

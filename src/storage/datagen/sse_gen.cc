@@ -1,0 +1,92 @@
+#include "storage/datagen/sse_gen.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace claims {
+
+Status GenerateSse(const SseConfig& config, Catalog* catalog) {
+  Rng rng(config.seed);
+  ZipfGenerator acct_zipf(static_cast<uint64_t>(config.num_accounts),
+                          config.zipf_theta, config.seed ^ 0xACC7);
+  ZipfGenerator sec_zipf(static_cast<uint64_t>(config.num_securities),
+                         config.zipf_theta, config.seed ^ 0x5EC0);
+
+  const int32_t start = DaysFromCivil(2010, 8, 2);
+  const int32_t end = DaysFromCivil(2010, 10, 30);  // paper filter date
+  const int32_t ndays = end - start + 1;
+
+  auto random_date = [&]() {
+    // Uniform across the quarter; the filter date 2010-10-30 is just the
+    // last day, carrying ~1/ndays of rows like any other day.
+    return start + static_cast<int32_t>(rng.Uniform(ndays));
+  };
+
+  // securities ----------------------------------------------------------
+  {
+    Schema schema({ColumnDef::Int64("order_no"), ColumnDef::Int32("acct_id"),
+                   ColumnDef::Int32("sec_code"), ColumnDef::Date("entry_date"),
+                   ColumnDef::Int64("entry_volume")});
+    // Partitioned on acct_id (paper §5.3).
+    auto t = std::make_shared<Table>("securities", schema,
+                                     config.num_partitions,
+                                     std::vector<int>{1});
+    for (int64_t i = 0; i < config.securities_rows; ++i) {
+      t->AppendValues(
+          {Value::Int64(1000000 + i),
+           Value::Int32(static_cast<int32_t>(1 + acct_zipf.Next())),
+           Value::Int32(static_cast<int32_t>(600000 + sec_zipf.Next())),
+           Value::Date(random_date()),
+           Value::Int64(rng.UniformRange(100, 100000))});
+    }
+    CLAIMS_RETURN_IF_ERROR(catalog->RegisterTable(std::move(t)));
+  }
+
+  // trades ----------------------------------------------------------------
+  {
+    Schema schema({ColumnDef::Int32("acct_id"), ColumnDef::Int32("sec_code"),
+                   ColumnDef::Date("trade_date"),
+                   ColumnDef::Int32("trade_time"),
+                   ColumnDef::Float64("order_price"),
+                   ColumnDef::Int64("trade_volume")});
+    std::vector<int> part_key;
+    part_key.push_back(config.partition_trades_on_sec_code ? 1 : 0);
+    auto t = std::make_shared<Table>("trades", schema, config.num_partitions,
+                                     part_key);
+    struct Row {
+      int32_t acct, sec, date, time;
+      double price;
+      int64_t volume;
+    };
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(config.trades_rows));
+    for (int64_t i = 0; i < config.trades_rows; ++i) {
+      Row r;
+      r.acct = static_cast<int32_t>(1 + acct_zipf.Next());
+      r.sec = static_cast<int32_t>(600000 + sec_zipf.Next());
+      r.date = random_date();
+      r.time = static_cast<int32_t>(rng.UniformRange(9 * 3600, 15 * 3600));
+      r.price = 1.0 + 99.0 * rng.NextDouble();
+      r.volume = rng.UniformRange(100, 50000);
+      rows.push_back(r);
+    }
+    if (config.sort_trades_by_date) {
+      // Fig. 11 setup: tuples in ascending trade_date order, so the filter's
+      // selectivity is 0 for a long prefix then jumps to 1.
+      std::stable_sort(rows.begin(), rows.end(),
+                       [](const Row& a, const Row& b) { return a.date < b.date; });
+    }
+    for (const Row& r : rows) {
+      t->AppendValues({Value::Int32(r.acct), Value::Int32(r.sec),
+                       Value::Date(r.date), Value::Int32(r.time),
+                       Value::Float64(r.price), Value::Int64(r.volume)});
+    }
+    CLAIMS_RETURN_IF_ERROR(catalog->RegisterTable(std::move(t)));
+  }
+
+  return Status::OK();
+}
+
+}  // namespace claims

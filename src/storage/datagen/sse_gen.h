@@ -1,0 +1,46 @@
+#ifndef CLAIMS_STORAGE_DATAGEN_SSE_GEN_H_
+#define CLAIMS_STORAGE_DATAGEN_SSE_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace claims {
+
+/// Synthetic stand-in for the paper's proprietary Shanghai Stock Exchange
+/// dataset (three months of 2010; >840M rows per table at full scale).
+/// Schemas follow §5.1 exactly:
+///   Securities(order_no, acct_id, sec_code, entry_date, entry_volume)
+///   Trades(acct_id, sec_code, trade_date, trade_time, order_price,
+///          trade_volume)
+struct SseConfig {
+  int64_t securities_rows = 100000;
+  int64_t trades_rows = 100000;
+  /// Distinct trading accounts / listed securities. Securities codes are
+  /// 600000..600000+num_securities-1 (SSE A-share convention, cf. SSE-Q6's
+  /// sec_code = 600036).
+  int64_t num_accounts = 20000;
+  int64_t num_securities = 1000;
+  /// Zipf skew of account and security popularity (hot stocks dominate).
+  double zipf_theta = 0.7;
+  int num_partitions = 1;
+  /// Paper §5.3 (SSE-Q9 case study): Trades partitioned on sec_code,
+  /// Securities on acct_id — the join on acct_id then forces a repartition
+  /// of Trades, which is the interesting pipeline.
+  bool partition_trades_on_sec_code = true;
+  /// Orders Trades by trade_date within each partition, reproducing the
+  /// Fig. 11 fluctuating-selectivity experiment (selectivity 0 → 1 step when
+  /// the filter date streams in).
+  bool sort_trades_by_date = false;
+  uint64_t seed = 20101030;
+};
+
+/// Generates the `securities` and `trades` tables into `catalog`.
+/// Dates span 2010-08-02 .. 2010-10-30; the last trading day (the one all
+/// paper queries filter on) holds ~1/64 of the rows.
+Status GenerateSse(const SseConfig& config, Catalog* catalog);
+
+}  // namespace claims
+
+#endif  // CLAIMS_STORAGE_DATAGEN_SSE_GEN_H_

@@ -1,0 +1,336 @@
+#include "storage/datagen/tpch_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace claims {
+namespace {
+
+// --- Vocabulary ---------------------------------------------------------------
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+// The 25 standard TPC-H nations and their region keys.
+struct NationDef {
+  const char* name;
+  int region;
+};
+const NationDef kNations[] = {
+    {"ALGERIA", 0},    {"ARGENTINA", 1}, {"BRAZIL", 1},     {"CANADA", 1},
+    {"EGYPT", 4},      {"ETHIOPIA", 0},  {"FRANCE", 3},     {"GERMANY", 3},
+    {"INDIA", 2},      {"INDONESIA", 2}, {"IRAN", 4},       {"IRAQ", 4},
+    {"JAPAN", 2},      {"JORDAN", 4},    {"KENYA", 0},      {"MOROCCO", 0},
+    {"MOZAMBIQUE", 0}, {"PERU", 1},      {"CHINA", 2},      {"ROMANIA", 3},
+    {"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},     {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP",
+                            "TRUCK",   "MAIL", "FOB"};
+const char* kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                            "TAKE BACK RETURN"};
+const char* kContainers[] = {"SM CASE", "SM BOX", "MED BAG", "MED BOX",
+                             "LG CASE", "LG BOX", "WRAP PKG", "JUMBO JAR"};
+const char* kTypeSyl1[] = {"STANDARD", "SMALL", "MEDIUM",
+                           "LARGE",    "ECONOMY", "PROMO"};
+const char* kTypeSyl2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                           "BRUSHED"};
+const char* kTypeSyl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+// Colors for p_name — TPC-H Q9 selects parts by '%green%'.
+const char* kColors[] = {"almond", "antique", "aquamarine", "azure",  "beige",
+                         "bisque", "black",   "blue",       "blush",  "brown",
+                         "ceruleam", "chartreuse", "chocolate", "coral",
+                         "cornflower", "cream", "cyan",     "forest", "frosted",
+                         "gainsboro", "ghost", "goldenrod", "green",  "honeydew",
+                         "hot",    "indian",  "ivory",      "khaki",  "lace",
+                         "lavender", "lemon", "light",      "lime",   "linen"};
+const char* kWords[] = {"furiously", "quickly", "slyly",     "carefully",
+                        "express",   "regular", "ironic",    "final",
+                        "bold",      "pending", "special",   "unusual",
+                        "requests",  "deposits", "accounts", "packages",
+                        "theodolites", "foxes", "dolphins",  "pinto",
+                        "beans",     "instructions", "platelets", "asymptotes",
+                        "dependencies", "excuses", "ideas",  "sleep",
+                        "nag",       "haggle"};
+
+template <size_t N>
+const char* Pick(const char* (&arr)[N], Rng& rng) {
+  return arr[rng.Uniform(N)];
+}
+
+std::string Words(Rng& rng, int count) {
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    if (i) out += ' ';
+    out += Pick(kWords, rng);
+  }
+  return out;
+}
+
+std::string Phone(Rng& rng, int nation) {
+  return StrFormat("%02d-%03d-%03d-%04d", 10 + nation,
+                   static_cast<int>(rng.UniformRange(100, 999)),
+                   static_cast<int>(rng.UniformRange(100, 999)),
+                   static_cast<int>(rng.UniformRange(1000, 9999)));
+}
+
+double Money(Rng& rng, double lo, double hi) {
+  return std::round((lo + (hi - lo) * rng.NextDouble()) * 100.0) / 100.0;
+}
+
+}  // namespace
+
+int64_t TpchRows(const char* table, double sf) {
+  std::string t = ToLower(table);
+  auto scaled = [sf](int64_t base) {
+    return std::max<int64_t>(1, static_cast<int64_t>(std::llround(base * sf)));
+  };
+  if (t == "region") return 5;
+  if (t == "nation") return 25;
+  if (t == "supplier") return scaled(10000);
+  if (t == "customer") return scaled(150000);
+  if (t == "part") return scaled(200000);
+  if (t == "partsupp") return scaled(200000) * 4;
+  if (t == "orders") return scaled(1500000);
+  if (t == "lineitem") return scaled(1500000) * 4;  // avg ~4 lines per order
+  return 0;
+}
+
+Status GenerateTpch(const TpchConfig& config, Catalog* catalog) {
+  const int np = config.num_partitions;
+  Rng rng(config.seed);
+
+  const int32_t kStartDate = DaysFromCivil(1992, 1, 1);
+  const int32_t kEndDate = DaysFromCivil(1998, 8, 2);
+  const int32_t kCutoff = DaysFromCivil(1995, 6, 17);
+
+  // region ---------------------------------------------------------------
+  {
+    Schema schema({ColumnDef::Int32("r_regionkey"), ColumnDef::Char("r_name", 25),
+                   ColumnDef::Char("r_comment", 80)});
+    auto t = std::make_shared<Table>("region", schema, 1, std::vector<int>{0});
+    for (int i = 0; i < 5; ++i) {
+      t->AppendValues({Value::Int32(i), Value::String(kRegions[i]),
+                       Value::String(Words(rng, 6))});
+    }
+    CLAIMS_RETURN_IF_ERROR(catalog->RegisterTable(std::move(t)));
+  }
+
+  // nation ---------------------------------------------------------------
+  {
+    Schema schema({ColumnDef::Int32("n_nationkey"), ColumnDef::Char("n_name", 25),
+                   ColumnDef::Int32("n_regionkey"),
+                   ColumnDef::Char("n_comment", 80)});
+    auto t = std::make_shared<Table>("nation", schema, 1, std::vector<int>{0});
+    for (int i = 0; i < 25; ++i) {
+      t->AppendValues({Value::Int32(i), Value::String(kNations[i].name),
+                       Value::Int32(kNations[i].region),
+                       Value::String(Words(rng, 6))});
+    }
+    CLAIMS_RETURN_IF_ERROR(catalog->RegisterTable(std::move(t)));
+  }
+
+  const int64_t n_supp = TpchRows("supplier", config.scale_factor);
+  const int64_t n_cust = TpchRows("customer", config.scale_factor);
+  const int64_t n_part = TpchRows("part", config.scale_factor);
+  const int64_t n_orders = TpchRows("orders", config.scale_factor);
+
+  // supplier ---------------------------------------------------------------
+  {
+    Schema schema({ColumnDef::Int32("s_suppkey"), ColumnDef::Char("s_name", 25),
+                   ColumnDef::Char("s_address", 25),
+                   ColumnDef::Int32("s_nationkey"),
+                   ColumnDef::Char("s_phone", 15),
+                   ColumnDef::Float64("s_acctbal"),
+                   ColumnDef::Char("s_comment", 60)});
+    auto t = std::make_shared<Table>("supplier", schema, np,
+                                     std::vector<int>{0});
+    for (int64_t i = 1; i <= n_supp; ++i) {
+      int nation = static_cast<int>(rng.Uniform(25));
+      t->AppendValues({Value::Int32(static_cast<int32_t>(i)),
+                       Value::String(StrFormat("Supplier#%09lld",
+                                               static_cast<long long>(i))),
+                       Value::String(Words(rng, 3)), Value::Int32(nation),
+                       Value::String(Phone(rng, nation)),
+                       Value::Float64(Money(rng, -999.99, 9999.99)),
+                       Value::String(Words(rng, 5))});
+    }
+    CLAIMS_RETURN_IF_ERROR(catalog->RegisterTable(std::move(t)));
+  }
+
+  // customer ---------------------------------------------------------------
+  {
+    Schema schema({ColumnDef::Int32("c_custkey"), ColumnDef::Char("c_name", 25),
+                   ColumnDef::Char("c_address", 25),
+                   ColumnDef::Int32("c_nationkey"),
+                   ColumnDef::Char("c_phone", 15),
+                   ColumnDef::Float64("c_acctbal"),
+                   ColumnDef::Char("c_mktsegment", 10),
+                   ColumnDef::Char("c_comment", 60)});
+    auto t = std::make_shared<Table>("customer", schema, np,
+                                     std::vector<int>{0});
+    for (int64_t i = 1; i <= n_cust; ++i) {
+      int nation = static_cast<int>(rng.Uniform(25));
+      t->AppendValues({Value::Int32(static_cast<int32_t>(i)),
+                       Value::String(StrFormat("Customer#%09lld",
+                                               static_cast<long long>(i))),
+                       Value::String(Words(rng, 3)), Value::Int32(nation),
+                       Value::String(Phone(rng, nation)),
+                       Value::Float64(Money(rng, -999.99, 9999.99)),
+                       Value::String(Pick(kSegments, rng)),
+                       Value::String(Words(rng, 5))});
+    }
+    CLAIMS_RETURN_IF_ERROR(catalog->RegisterTable(std::move(t)));
+  }
+
+  // part ---------------------------------------------------------------
+  {
+    Schema schema({ColumnDef::Int32("p_partkey"), ColumnDef::Char("p_name", 55),
+                   ColumnDef::Char("p_mfgr", 25), ColumnDef::Char("p_brand", 10),
+                   ColumnDef::Char("p_type", 25), ColumnDef::Int32("p_size"),
+                   ColumnDef::Char("p_container", 10),
+                   ColumnDef::Float64("p_retailprice"),
+                   ColumnDef::Char("p_comment", 23)});
+    auto t = std::make_shared<Table>("part", schema, np, std::vector<int>{0});
+    for (int64_t i = 1; i <= n_part; ++i) {
+      std::string name;
+      for (int w = 0; w < 5; ++w) {
+        if (w) name += ' ';
+        name += Pick(kColors, rng);
+      }
+      int mfgr = static_cast<int>(rng.UniformRange(1, 5));
+      std::string type = StrFormat("%s %s %s", Pick(kTypeSyl1, rng),
+                                   Pick(kTypeSyl2, rng), Pick(kTypeSyl3, rng));
+      double price =
+          90000 + (i * 10) % 20001 + 100 * (i % 1000);  // dbgen-style formula
+      t->AppendValues(
+          {Value::Int32(static_cast<int32_t>(i)), Value::String(name),
+           Value::String(StrFormat("Manufacturer#%d", mfgr)),
+           Value::String(StrFormat("Brand#%d%d", mfgr,
+                                   static_cast<int>(rng.UniformRange(1, 5)))),
+           Value::String(type),
+           Value::Int32(static_cast<int32_t>(rng.UniformRange(1, 50))),
+           Value::String(Pick(kContainers, rng)),
+           Value::Float64(price / 100.0), Value::String(Words(rng, 2))});
+    }
+    CLAIMS_RETURN_IF_ERROR(catalog->RegisterTable(std::move(t)));
+  }
+
+  // partsupp ---------------------------------------------------------------
+  {
+    Schema schema({ColumnDef::Int32("ps_partkey"),
+                   ColumnDef::Int32("ps_suppkey"),
+                   ColumnDef::Int32("ps_availqty"),
+                   ColumnDef::Float64("ps_supplycost"),
+                   ColumnDef::Char("ps_comment", 40)});
+    auto t = std::make_shared<Table>("partsupp", schema, np,
+                                     std::vector<int>{0});
+    for (int64_t p = 1; p <= n_part; ++p) {
+      for (int s = 0; s < 4; ++s) {
+        // dbgen's supplier spread formula keeps (partkey, suppkey) unique.
+        int64_t supp =
+            (p + s * (n_supp / 4 + (p - 1) / n_supp)) % n_supp + 1;
+        t->AppendValues(
+            {Value::Int32(static_cast<int32_t>(p)),
+             Value::Int32(static_cast<int32_t>(supp)),
+             Value::Int32(static_cast<int32_t>(rng.UniformRange(1, 9999))),
+             Value::Float64(Money(rng, 1.0, 1000.0)),
+             Value::String(Words(rng, 4))});
+      }
+    }
+    CLAIMS_RETURN_IF_ERROR(catalog->RegisterTable(std::move(t)));
+  }
+
+  // orders + lineitem --------------------------------------------------------
+  {
+    Schema oschema({ColumnDef::Int32("o_orderkey"),
+                    ColumnDef::Int32("o_custkey"),
+                    ColumnDef::Char("o_orderstatus", 1),
+                    ColumnDef::Float64("o_totalprice"),
+                    ColumnDef::Date("o_orderdate"),
+                    ColumnDef::Char("o_orderpriority", 15),
+                    ColumnDef::Char("o_clerk", 15),
+                    ColumnDef::Int32("o_shippriority"),
+                    ColumnDef::Char("o_comment", 79)});
+    Schema lschema({ColumnDef::Int32("l_orderkey"),
+                    ColumnDef::Int32("l_partkey"),
+                    ColumnDef::Int32("l_suppkey"),
+                    ColumnDef::Int32("l_linenumber"),
+                    ColumnDef::Float64("l_quantity"),
+                    ColumnDef::Float64("l_extendedprice"),
+                    ColumnDef::Float64("l_discount"),
+                    ColumnDef::Float64("l_tax"),
+                    ColumnDef::Char("l_returnflag", 1),
+                    ColumnDef::Char("l_linestatus", 1),
+                    ColumnDef::Date("l_shipdate"), ColumnDef::Date("l_commitdate"),
+                    ColumnDef::Date("l_receiptdate"),
+                    ColumnDef::Char("l_shipinstruct", 25),
+                    ColumnDef::Char("l_shipmode", 10),
+                    ColumnDef::Char("l_comment", 44)});
+    auto orders = std::make_shared<Table>("orders", oschema, np,
+                                          std::vector<int>{0});
+    auto lineitem = std::make_shared<Table>("lineitem", lschema, np,
+                                            std::vector<int>{0});
+    for (int64_t o = 1; o <= n_orders; ++o) {
+      // dbgen leaves key gaps; o*4 keeps keys sparse like the real generator.
+      int32_t okey = static_cast<int32_t>(o * 4);
+      int32_t cust =
+          static_cast<int32_t>(rng.UniformRange(1, n_cust));
+      int32_t odate = static_cast<int32_t>(
+          rng.UniformRange(kStartDate, kEndDate - 151));
+      int nlines = static_cast<int>(rng.UniformRange(1, 7));
+      double total = 0;
+      int f_count = 0;
+      for (int l = 1; l <= nlines; ++l) {
+        int32_t part = static_cast<int32_t>(rng.UniformRange(1, n_part));
+        int64_t supp = (part + (l - 1) * (n_supp / 4 + (part - 1) / n_supp)) %
+                           n_supp + 1;
+        double qty = static_cast<double>(rng.UniformRange(1, 50));
+        double price =
+            qty * (90000 + (part * 10) % 20001 + 100 * (part % 1000)) / 100.0;
+        double disc = rng.UniformRange(0, 10) / 100.0;
+        double tax = rng.UniformRange(0, 8) / 100.0;
+        int32_t ship = odate + static_cast<int32_t>(rng.UniformRange(1, 121));
+        int32_t commit = odate + static_cast<int32_t>(rng.UniformRange(30, 90));
+        int32_t receipt = ship + static_cast<int32_t>(rng.UniformRange(1, 30));
+        const char* rf = receipt <= kCutoff ? (rng.Bernoulli(0.5) ? "R" : "A")
+                                            : "N";
+        const char* ls = ship > kCutoff ? "O" : "F";
+        if (*ls == 'F') ++f_count;
+        total += price * (1 + tax) * (1 - disc);
+        lineitem->AppendValues(
+            {Value::Int32(okey), Value::Int32(part),
+             Value::Int32(static_cast<int32_t>(supp)), Value::Int32(l),
+             Value::Float64(qty), Value::Float64(price), Value::Float64(disc),
+             Value::Float64(tax), Value::String(rf), Value::String(ls),
+             Value::Date(ship), Value::Date(commit), Value::Date(receipt),
+             Value::String(Pick(kInstructs, rng)),
+             Value::String(Pick(kShipModes, rng)),
+             Value::String(Words(rng, 4))});
+      }
+      const char* status = f_count == nlines ? "F"
+                           : (f_count == 0 ? "O" : "P");
+      orders->AppendValues(
+          {Value::Int32(okey), Value::Int32(cust), Value::String(status),
+           Value::Float64(std::round(total * 100) / 100), Value::Date(odate),
+           Value::String(Pick(kPriorities, rng)),
+           Value::String(StrFormat("Clerk#%09d",
+                                   static_cast<int>(rng.UniformRange(1, 1000)))),
+           Value::Int32(0), Value::String(Words(rng, 8))});
+    }
+    CLAIMS_RETURN_IF_ERROR(catalog->RegisterTable(std::move(orders)));
+    CLAIMS_RETURN_IF_ERROR(catalog->RegisterTable(std::move(lineitem)));
+  }
+
+  return Status::OK();
+}
+
+}  // namespace claims

@@ -1,0 +1,36 @@
+#ifndef CLAIMS_STORAGE_DATAGEN_TPCH_GEN_H_
+#define CLAIMS_STORAGE_DATAGEN_TPCH_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace claims {
+
+/// Configuration for the built-in TPC-H data generator (a dbgen work-alike:
+/// schema-complete, correct key relationships and value distributions; text
+/// fields use a compact vocabulary rather than dbgen's grammar).
+struct TpchConfig {
+  /// TPC-H scale factor; SF=1 is 6M lineitem rows. Benches default to small
+  /// fractions; the simulator extrapolates to the paper's SF=100.
+  double scale_factor = 0.01;
+  /// Tables are hash-partitioned on their primary key across this many
+  /// cluster nodes (paper §5.1: 10 nodes).
+  int num_partitions = 1;
+  uint64_t seed = 20160626;
+};
+
+/// Generates all eight TPC-H tables into `catalog`:
+/// region, nation, supplier, customer, part, partsupp, orders, lineitem.
+/// lineitem is partitioned on l_orderkey and orders on o_orderkey so the
+/// lineitem-orders join is co-located, matching the paper's setup.
+Status GenerateTpch(const TpchConfig& config, Catalog* catalog);
+
+/// Row counts at a given scale factor (exposed for tests and the simulator's
+/// SF-100 extrapolation).
+int64_t TpchRows(const char* table, double scale_factor);
+
+}  // namespace claims
+
+#endif  // CLAIMS_STORAGE_DATAGEN_TPCH_GEN_H_

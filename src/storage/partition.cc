@@ -1,0 +1,64 @@
+#include "storage/partition.h"
+
+namespace claims {
+
+namespace {
+
+inline uint64_t Mix(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ (len * 0x9E3779B97F4A7C15ULL);
+  while (len >= 8) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    h = Mix(h ^ k);
+    p += 8;
+    len -= 8;
+  }
+  uint64_t k = 0;
+  for (size_t i = 0; i < len; ++i) k |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return Mix(h ^ k);
+}
+
+uint64_t HashRowKeys(const Schema& schema, const char* row,
+                     const std::vector<int>& key_cols) {
+  uint64_t h = 0x2545F4914F6CDD1DULL;
+  for (int col : key_cols) {
+    const ColumnDef& c = schema.column(col);
+    switch (c.type) {
+      case DataType::kInt32:
+      case DataType::kDate:
+        h = Mix(h ^ static_cast<uint64_t>(
+                        static_cast<uint32_t>(schema.GetInt32(row, col))));
+        break;
+      case DataType::kInt64:
+        h = Mix(h ^ static_cast<uint64_t>(schema.GetInt64(row, col)));
+        break;
+      case DataType::kFloat64: {
+        double d = schema.GetFloat64(row, col);
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        h = Mix(h ^ bits);
+        break;
+      }
+      case DataType::kChar: {
+        std::string_view s = schema.GetString(row, col);
+        h = HashBytes(s.data(), s.size(), h);
+        break;
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace claims

@@ -1,0 +1,28 @@
+#ifndef CLAIMS_STORAGE_PARTITION_H_
+#define CLAIMS_STORAGE_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace claims {
+
+/// Mixes raw bytes into a 64-bit hash (xxhash-style avalanche). Stable across
+/// runs — partition placement is deterministic.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
+
+/// Hashes the key columns of a fixed-width row. Used for table partitioning,
+/// repartition-join shuffles, and hash join/aggregation tables, so the same
+/// key always lands on the same partition/bucket.
+uint64_t HashRowKeys(const Schema& schema, const char* row,
+                     const std::vector<int>& key_cols);
+
+/// Maps a key hash onto one of `n` partitions.
+inline int PartitionOf(uint64_t hash, int n) {
+  return static_cast<int>(hash % static_cast<uint64_t>(n));
+}
+
+}  // namespace claims
+
+#endif  // CLAIMS_STORAGE_PARTITION_H_

@@ -1,0 +1,86 @@
+#include "storage/schema.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace claims {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  int32_t off = 0;
+  for (const ColumnDef& c : columns_) {
+    offsets_.push_back(off);
+    off += TypeWidth(c.type, c.char_width);
+  }
+  row_size_ = off;
+}
+
+int Schema::FindColumn(std::string_view name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return -1;
+}
+
+void Schema::SetString(char* row, int col, std::string_view s) const {
+  char* p = row + offsets_[col];
+  int32_t w = columns_[col].char_width;
+  size_t n = std::min<size_t>(s.size(), static_cast<size_t>(w));
+  std::memcpy(p, s.data(), n);
+  if (n < static_cast<size_t>(w)) std::memset(p + n, 0, w - n);
+}
+
+Value Schema::GetValue(const char* row, int col) const {
+  switch (columns_[col].type) {
+    case DataType::kInt32:
+      return Value::Int32(GetInt32(row, col));
+    case DataType::kInt64:
+      return Value::Int64(GetInt64(row, col));
+    case DataType::kFloat64:
+      return Value::Float64(GetFloat64(row, col));
+    case DataType::kDate:
+      return Value::Date(GetInt32(row, col));
+    case DataType::kChar:
+      return Value::String(std::string(GetString(row, col)));
+  }
+  return Value();
+}
+
+void Schema::SetValue(char* row, int col, const Value& v) const {
+  switch (columns_[col].type) {
+    case DataType::kInt32:
+    case DataType::kDate:
+      SetInt32(row, col, v.type() == DataType::kFloat64
+                             ? static_cast<int32_t>(v.AsFloat64())
+                             : static_cast<int32_t>(v.AsInt64()));
+      break;
+    case DataType::kInt64:
+      SetInt64(row, col, v.type() == DataType::kFloat64
+                             ? static_cast<int64_t>(v.AsFloat64())
+                             : v.AsInt64());
+      break;
+    case DataType::kFloat64:
+      SetFloat64(row, col, v.ToDouble());
+      break;
+    case DataType::kChar:
+      SetString(row, col, v.AsString());
+      break;
+  }
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += DataTypeName(columns_[i].type);
+    if (columns_[i].type == DataType::kChar) {
+      out += StrFormat("(%d)", columns_[i].char_width);
+    }
+  }
+  return out;
+}
+
+}  // namespace claims

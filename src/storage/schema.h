@@ -1,0 +1,104 @@
+#ifndef CLAIMS_STORAGE_SCHEMA_H_
+#define CLAIMS_STORAGE_SCHEMA_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+#include "storage/value.h"
+
+namespace claims {
+
+/// One column definition of a fixed-width row schema.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+  int32_t char_width = 0;  ///< Declared width; only meaningful for kChar.
+
+  static ColumnDef Int32(std::string n) {
+    return {std::move(n), DataType::kInt32, 0};
+  }
+  static ColumnDef Int64(std::string n) {
+    return {std::move(n), DataType::kInt64, 0};
+  }
+  static ColumnDef Float64(std::string n) {
+    return {std::move(n), DataType::kFloat64, 0};
+  }
+  static ColumnDef Date(std::string n) {
+    return {std::move(n), DataType::kDate, 0};
+  }
+  static ColumnDef Char(std::string n, int32_t width) {
+    return {std::move(n), DataType::kChar, width};
+  }
+};
+
+/// Fixed-width row layout: byte offsets precomputed per column. Rows are the
+/// unit inside 64 KB blocks (block-at-a-time processing, paper §2.1).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  int32_t row_size() const { return row_size_; }
+  int32_t offset(int i) const { return offsets_[i]; }
+
+  /// Index of a column by (case-insensitive) name, or -1.
+  int FindColumn(std::string_view name) const;
+
+  // --- Raw row field access -------------------------------------------------
+
+  int32_t GetInt32(const char* row, int col) const {
+    int32_t v;
+    std::memcpy(&v, row + offsets_[col], sizeof(v));
+    return v;
+  }
+  int64_t GetInt64(const char* row, int col) const {
+    int64_t v;
+    std::memcpy(&v, row + offsets_[col], sizeof(v));
+    return v;
+  }
+  double GetFloat64(const char* row, int col) const {
+    double v;
+    std::memcpy(&v, row + offsets_[col], sizeof(v));
+    return v;
+  }
+  /// Returns the CHAR payload with trailing NUL padding ignored.
+  std::string_view GetString(const char* row, int col) const {
+    const char* p = row + offsets_[col];
+    size_t n = strnlen(p, columns_[col].char_width);
+    return std::string_view(p, n);
+  }
+
+  void SetInt32(char* row, int col, int32_t v) const {
+    std::memcpy(row + offsets_[col], &v, sizeof(v));
+  }
+  void SetInt64(char* row, int col, int64_t v) const {
+    std::memcpy(row + offsets_[col], &v, sizeof(v));
+  }
+  void SetFloat64(char* row, int col, double v) const {
+    std::memcpy(row + offsets_[col], &v, sizeof(v));
+  }
+  void SetString(char* row, int col, std::string_view s) const;
+
+  /// Reads column `col` of `row` as a Value (for result sets / evaluation).
+  Value GetValue(const char* row, int col) const;
+  /// Writes `v` into column `col`; numeric values are converted to the
+  /// column's declared type.
+  void SetValue(char* row, int col, const Value& v) const;
+
+  /// "name TYPE, name TYPE, ..." rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::vector<int32_t> offsets_;
+  int32_t row_size_ = 0;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_STORAGE_SCHEMA_H_

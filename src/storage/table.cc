@@ -1,0 +1,80 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace claims {
+
+char* TablePartition::AppendRowSlot() {
+  if (blocks_.empty() || blocks_.back()->full()) {
+    blocks_.push_back(MakeBlock(schema_->row_size()));
+  }
+  ++num_rows_;
+  return blocks_.back()->AppendRow();
+}
+
+int64_t TablePartition::bytes() const {
+  int64_t total = 0;
+  for (const BlockPtr& b : blocks_) total += b->payload_bytes();
+  return total;
+}
+
+Table::Table(std::string name, Schema schema, int num_partitions,
+             std::vector<int> partition_key_cols)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      partition_key_cols_(std::move(partition_key_cols)) {
+  partitions_.reserve(num_partitions);
+  for (int i = 0; i < num_partitions; ++i) partitions_.emplace_back(&schema_);
+}
+
+int64_t Table::num_rows() const {
+  int64_t total = 0;
+  for (const TablePartition& p : partitions_) total += p.num_rows();
+  return total;
+}
+
+int64_t Table::bytes() const {
+  int64_t total = 0;
+  for (const TablePartition& p : partitions_) total += p.bytes();
+  return total;
+}
+
+bool Table::IsPartitionedOn(const std::vector<int>& cols) const {
+  if (partition_key_cols_.empty() || cols.size() != partition_key_cols_.size())
+    return false;
+  std::vector<int> a = partition_key_cols_;
+  std::vector<int> b = cols;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+char* Table::AppendRowSlotRoundRobin() {
+  int p = round_robin_next_;
+  round_robin_next_ = (round_robin_next_ + 1) % num_partitions();
+  return partitions_[p].AppendRowSlot();
+}
+
+void Table::AppendValues(const std::vector<Value>& values) {
+  // Materialize into a scratch row, then route by key hash.
+  std::vector<char> scratch(schema_.row_size());
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    schema_.SetValue(scratch.data(), i, values[i]);
+  }
+  AppendRawRow(scratch.data());
+}
+
+void Table::AppendRawRow(const char* row) {
+  int p;
+  if (partition_key_cols_.empty()) {
+    p = round_robin_next_;
+    round_robin_next_ = (round_robin_next_ + 1) % num_partitions();
+  } else {
+    p = PartitionOf(HashRowKeys(schema_, row, partition_key_cols_),
+                    num_partitions());
+  }
+  char* slot = partitions_[p].AppendRowSlot();
+  std::memcpy(slot, row, schema_.row_size());
+}
+
+}  // namespace claims

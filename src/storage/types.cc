@@ -1,0 +1,68 @@
+#include "storage/types.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace claims {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt32:
+      return "INT32";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kFloat64:
+      return "FLOAT64";
+    case DataType::kDate:
+      return "DATE";
+    case DataType::kChar:
+      return "CHAR";
+  }
+  return "?";
+}
+
+// Howard Hinnant's civil-date algorithms (public domain).
+int32_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int>(doe) - 719468;
+}
+
+void CivilFromDays(int32_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *year = y + (m <= 2);
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+Result<int32_t> ParseDate(std::string_view text) {
+  int y = 0, m = 0, d = 0;
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-' ||
+      std::sscanf(std::string(text).c_str(), "%d-%d-%d", &y, &m, &d) != 3 ||
+      m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument(
+        StrFormat("malformed date '%s' (want YYYY-MM-DD)",
+                  std::string(text).c_str()));
+  }
+  return DaysFromCivil(y, m, d);
+}
+
+std::string FormatDate(int32_t days) {
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  return StrFormat("%04d-%02d-%02d", y, m, d);
+}
+
+}  // namespace claims

@@ -1,0 +1,59 @@
+#ifndef CLAIMS_STORAGE_TYPES_H_
+#define CLAIMS_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace claims {
+
+/// Column data types. Rows are fixed-width: CHAR(n) strings are inline,
+/// blank-padded; DATE is days since 1970-01-01 stored as int32.
+enum class DataType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kFloat64 = 2,
+  kDate = 3,
+  kChar = 4,
+};
+
+const char* DataTypeName(DataType t);
+
+/// Width in bytes of a value of type `t`; CHAR uses the declared width.
+inline int32_t TypeWidth(DataType t, int32_t char_width) {
+  switch (t) {
+    case DataType::kInt32:
+    case DataType::kDate:
+      return 4;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kFloat64:
+      return 8;
+    case DataType::kChar:
+      return char_width;
+  }
+  return 0;
+}
+
+/// True for the numeric types (arithmetic and SUM/AVG legal).
+inline bool IsNumeric(DataType t) {
+  return t == DataType::kInt32 || t == DataType::kInt64 ||
+         t == DataType::kFloat64;
+}
+
+/// Converts a civil date to days since 1970-01-01 (proleptic Gregorian).
+int32_t DaysFromCivil(int year, int month, int day);
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int32_t days, int* year, int* month, int* day);
+
+/// Parses "YYYY-MM-DD"; returns InvalidArgument on malformed input.
+Result<int32_t> ParseDate(std::string_view text);
+
+/// Formats days-since-epoch as "YYYY-MM-DD".
+std::string FormatDate(int32_t days);
+
+}  // namespace claims
+
+#endif  // CLAIMS_STORAGE_TYPES_H_

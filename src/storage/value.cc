@@ -1,0 +1,40 @@
+#include "storage/value.h"
+
+#include "common/string_util.h"
+
+namespace claims {
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kInt32:
+    case DataType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(AsInt64()));
+    case DataType::kFloat64:
+      return StrFormat("%.4f", AsFloat64());
+    case DataType::kDate:
+      return FormatDate(static_cast<int32_t>(AsInt64()));
+    case DataType::kChar:
+      return AsString();
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_string() || other.is_string()) {
+    const std::string& a = AsString();
+    const std::string& b = other.AsString();
+    return a < b ? -1 : (a == b ? 0 : 1);
+  }
+  // Pure integer comparison stays exact; mixed goes through double.
+  if (std::holds_alternative<int64_t>(v_) &&
+      other.type() != DataType::kFloat64) {
+    int64_t a = AsInt64();
+    int64_t b = other.AsInt64();
+    return a < b ? -1 : (a == b ? 0 : 1);
+  }
+  double a = ToDouble();
+  double b = other.ToDouble();
+  return a < b ? -1 : (a == b ? 0 : 1);
+}
+
+}  // namespace claims

@@ -1,0 +1,68 @@
+#ifndef CLAIMS_STORAGE_VALUE_H_
+#define CLAIMS_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "storage/types.h"
+
+namespace claims {
+
+/// A single scalar value: literal in an expression tree, partial aggregate,
+/// or cell of a materialized result set. Strings own their storage (trailing
+/// CHAR padding already stripped).
+class Value {
+ public:
+  Value() : type_(DataType::kInt64), v_(int64_t{0}) {}
+
+  static Value Int32(int32_t v) { return Value(DataType::kInt32, int64_t{v}); }
+  static Value Int64(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Float64(double v) { return Value(DataType::kFloat64, v); }
+  static Value Date(int32_t days) {
+    return Value(DataType::kDate, int64_t{days});
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.type_ = DataType::kChar;
+    v.v_ = std::move(s);
+    return v;
+  }
+
+  DataType type() const { return type_; }
+
+  /// Integer payload; valid for kInt32 / kInt64 / kDate.
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsFloat64() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric value widened to double (valid for any numeric or date type).
+  double ToDouble() const {
+    return std::holds_alternative<double>(v_)
+               ? std::get<double>(v_)
+               : static_cast<double>(std::get<int64_t>(v_));
+  }
+
+  bool is_string() const { return type_ == DataType::kChar; }
+
+  /// Renders the value for result display ("1996-03-13" for dates, "%.4f"
+  /// trimmed for floats).
+  std::string ToString() const;
+
+  /// Three-way comparison; strings compare lexicographically, numerics by
+  /// widened double when mixed. Comparing string vs numeric is a caller bug.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+
+ private:
+  Value(DataType t, int64_t v) : type_(t), v_(v) {}
+  Value(DataType t, double v) : type_(t), v_(v) {}
+
+  DataType type_;
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_STORAGE_VALUE_H_

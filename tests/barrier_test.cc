@@ -1,0 +1,124 @@
+#include "core/barrier.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace claims {
+namespace {
+
+TEST(DynamicBarrierTest, SingleThreadPassesImmediately) {
+  DynamicBarrier b;
+  EXPECT_FALSE(b.Register());
+  b.Arrive();
+  EXPECT_TRUE(b.IsOpen());
+}
+
+TEST(DynamicBarrierTest, WaitsForAllRegistered) {
+  DynamicBarrier b;
+  const int kThreads = 4;
+  std::atomic<int> passed{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) b.Register();
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&b, &passed, i] {
+      // Stagger arrivals; no thread may pass until the last arrives.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5 * i));
+      b.Arrive();
+      passed.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(passed.load(), kThreads);
+  EXPECT_TRUE(b.IsOpen());
+}
+
+TEST(DynamicBarrierTest, LateRegisterAfterOpenIsNoop) {
+  DynamicBarrier b;
+  b.Register();
+  b.Arrive();  // opens
+  EXPECT_TRUE(b.Register());  // reports already-open
+  b.Arrive();                 // returns immediately (would hang otherwise)
+  EXPECT_TRUE(b.IsOpen());
+}
+
+TEST(DynamicBarrierTest, DeregisterReleasesWaiters) {
+  DynamicBarrier b;
+  b.Register();
+  b.Register();
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    b.Arrive();
+    released.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(released.load());
+  // Second worker terminates instead of arriving (broadcastExit).
+  b.Deregister();
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(DynamicBarrierTest, AllWorkersTerminateOpensBarrier) {
+  DynamicBarrier b;
+  b.Register();
+  b.Register();
+  b.Deregister();
+  b.Deregister();
+  EXPECT_TRUE(b.IsOpen());
+}
+
+TEST(DynamicBarrierTest, ExpansionWhileWaiting) {
+  DynamicBarrier b;
+  b.Register();
+  b.Register();
+  std::atomic<int> passed{0};
+  std::thread w1([&] {
+    b.Arrive();
+    passed.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // A third worker expands in before the others finished: everyone must wait
+  // for it too.
+  EXPECT_FALSE(b.Register());
+  std::thread w2([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    b.Arrive();
+    passed.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(passed.load(), 0);
+  b.Arrive();  // the expanded worker arrives last
+  w1.join();
+  w2.join();
+  EXPECT_EQ(passed.load(), 2);
+}
+
+TEST(DynamicBarrierTest, RegisteredCount) {
+  DynamicBarrier b;
+  EXPECT_EQ(b.registered(), 0);
+  b.Register();
+  b.Register();
+  EXPECT_EQ(b.registered(), 2);
+  b.Deregister();
+  EXPECT_EQ(b.registered(), 1);
+}
+
+TEST(FirstCallerGateTest, ExactlyOneClaims) {
+  FirstCallerGate gate;
+  std::atomic<int> claims{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      if (gate.TryClaim()) claims.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(claims.load(), 1);
+}
+
+}  // namespace
+}  // namespace claims

@@ -1,0 +1,188 @@
+#include "exec/expr/expr.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exec/expr/like.h"
+
+namespace claims {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprTest()
+      : schema_({ColumnDef::Int32("a"), ColumnDef::Float64("b"),
+                 ColumnDef::Char("s", 16), ColumnDef::Date("d")}),
+        row_(schema_.row_size()) {
+    schema_.SetInt32(row_.data(), 0, 10);
+    schema_.SetFloat64(row_.data(), 1, 2.5);
+    schema_.SetString(row_.data(), 2, "hello world");
+    schema_.SetInt32(row_.data(), 3, DaysFromCivil(2010, 10, 30));
+  }
+
+  Value Eval(const ExprPtr& e) { return e->Eval(schema_, row_.data()); }
+  bool EvalB(const ExprPtr& e) { return e->EvalBool(schema_, row_.data()); }
+
+  ExprPtr Col(int i) {
+    return MakeColumnRef(i, schema_.column(i).type, schema_.column(i).name);
+  }
+
+  Schema schema_;
+  std::vector<char> row_;
+};
+
+TEST_F(ExprTest, ColumnRefAndLiteral) {
+  EXPECT_EQ(Eval(Col(0)).AsInt64(), 10);
+  EXPECT_EQ(Eval(Col(1)).AsFloat64(), 2.5);
+  EXPECT_EQ(Eval(Col(2)).AsString(), "hello world");
+  EXPECT_EQ(Eval(MakeLiteral(Value::Int64(7))).AsInt64(), 7);
+}
+
+TEST_F(ExprTest, Comparisons) {
+  EXPECT_TRUE(EvalB(MakeCompare(CompareOp::kEq, Col(0),
+                                MakeLiteral(Value::Int32(10)))));
+  EXPECT_TRUE(EvalB(MakeCompare(CompareOp::kLt, Col(0),
+                                MakeLiteral(Value::Int64(11)))));
+  EXPECT_FALSE(EvalB(MakeCompare(CompareOp::kGt, Col(0),
+                                 MakeLiteral(Value::Int64(11)))));
+  EXPECT_TRUE(EvalB(MakeCompare(CompareOp::kNe, Col(2),
+                                MakeLiteral(Value::String("x")))));
+  EXPECT_TRUE(EvalB(MakeCompare(CompareOp::kGe, Col(1),
+                                MakeLiteral(Value::Float64(2.5)))));
+}
+
+TEST_F(ExprTest, DateComparison) {
+  auto date = ParseDate("2010-10-30");
+  ASSERT_TRUE(date.ok());
+  EXPECT_TRUE(EvalB(MakeCompare(CompareOp::kEq, Col(3),
+                                MakeLiteral(Value::Date(*date)))));
+  EXPECT_TRUE(EvalB(MakeCompare(
+      CompareOp::kGt, Col(3),
+      MakeLiteral(Value::Date(*ParseDate("2010-08-02"))))));
+}
+
+TEST_F(ExprTest, Arithmetic) {
+  // 10 * 2.5 = 25.0 (promoted to double)
+  ExprPtr mul = MakeArith(ArithOp::kMul, Col(0), Col(1));
+  EXPECT_EQ(mul->type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(Eval(mul).AsFloat64(), 25.0);
+  // Integer add stays integer.
+  ExprPtr add = MakeArith(ArithOp::kAdd, Col(0), MakeLiteral(Value::Int64(5)));
+  EXPECT_EQ(add->type(), DataType::kInt64);
+  EXPECT_EQ(Eval(add).AsInt64(), 15);
+  // Division always double; division by zero yields 0 (no exceptions).
+  ExprPtr div = MakeArith(ArithOp::kDiv, Col(0), MakeLiteral(Value::Int64(0)));
+  EXPECT_DOUBLE_EQ(Eval(div).AsFloat64(), 0.0);
+  // TPC-H idiom: price * (1 - discount).
+  ExprPtr revenue = MakeArith(
+      ArithOp::kMul, Col(1),
+      MakeArith(ArithOp::kSub, MakeLiteral(Value::Float64(1.0)),
+                MakeLiteral(Value::Float64(0.1))));
+  EXPECT_NEAR(Eval(revenue).AsFloat64(), 2.25, 1e-9);
+}
+
+TEST_F(ExprTest, LogicShortCircuit) {
+  ExprPtr t = MakeLiteral(Value::Int32(1));
+  ExprPtr f = MakeLiteral(Value::Int32(0));
+  EXPECT_TRUE(EvalB(MakeLogic(LogicOp::kAnd, t, t)));
+  EXPECT_FALSE(EvalB(MakeLogic(LogicOp::kAnd, t, f)));
+  EXPECT_TRUE(EvalB(MakeLogic(LogicOp::kOr, f, t)));
+  EXPECT_FALSE(EvalB(MakeLogic(LogicOp::kOr, f, f)));
+  EXPECT_TRUE(EvalB(MakeNot(f)));
+  EXPECT_FALSE(EvalB(MakeNot(t)));
+}
+
+TEST_F(ExprTest, LikeOnColumn) {
+  EXPECT_TRUE(EvalB(MakeLike(Col(2), "%world", false)));
+  EXPECT_TRUE(EvalB(MakeLike(Col(2), "hello%", false)));
+  EXPECT_TRUE(EvalB(MakeLike(Col(2), "%lo wo%", false)));
+  EXPECT_FALSE(EvalB(MakeLike(Col(2), "%xyz%", false)));
+  // S-Q1 shape: NOT LIKE %w1%w2.
+  EXPECT_FALSE(EvalB(MakeLike(Col(2), "%hello%world%", true)));
+  EXPECT_TRUE(EvalB(MakeLike(Col(2), "%world%hello%", true)));
+}
+
+TEST_F(ExprTest, InList) {
+  EXPECT_TRUE(EvalB(MakeInList(
+      Col(0), {Value::Int32(3), Value::Int32(10)}, false)));
+  EXPECT_FALSE(EvalB(MakeInList(
+      Col(0), {Value::Int32(3), Value::Int32(4)}, false)));
+  EXPECT_TRUE(EvalB(MakeInList(
+      Col(2), {Value::String("hello world")}, false)));
+  EXPECT_TRUE(EvalB(MakeInList(Col(0), {Value::Int32(3)}, true)));
+}
+
+TEST_F(ExprTest, CaseWhen) {
+  // Q12/Q14 idiom: CASE WHEN cond THEN x ELSE 0 END.
+  ExprPtr is_ten = MakeCompare(CompareOp::kEq, Col(0),
+                               MakeLiteral(Value::Int32(10)));
+  ExprPtr case_e = MakeCase({{is_ten, MakeLiteral(Value::Float64(1.5))}},
+                            MakeLiteral(Value::Float64(0.0)));
+  EXPECT_EQ(case_e->type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(Eval(case_e).AsFloat64(), 1.5);
+  ExprPtr is_two = MakeCompare(CompareOp::kEq, Col(0),
+                               MakeLiteral(Value::Int32(2)));
+  ExprPtr case2 = MakeCase({{is_two, MakeLiteral(Value::Float64(1.5))}},
+                           MakeLiteral(Value::Float64(0.25)));
+  EXPECT_DOUBLE_EQ(Eval(case2).AsFloat64(), 0.25);
+  // No ELSE → typed zero.
+  ExprPtr case3 = MakeCase({{is_two, MakeLiteral(Value::Float64(1.5))}},
+                           nullptr);
+  EXPECT_DOUBLE_EQ(Eval(case3).AsFloat64(), 0.0);
+}
+
+TEST_F(ExprTest, Year) {
+  ExprPtr y = MakeYear(Col(3));
+  EXPECT_EQ(y->type(), DataType::kInt32);
+  EXPECT_EQ(Eval(y).AsInt64(), 2010);
+}
+
+TEST_F(ExprTest, AsColumnRef) {
+  EXPECT_EQ(AsColumnRef(*Col(2)), 2);
+  EXPECT_EQ(AsColumnRef(*MakeLiteral(Value::Int32(1))), -1);
+}
+
+TEST_F(ExprTest, ToStringReadable) {
+  ExprPtr e = MakeCompare(CompareOp::kLe, Col(0), MakeLiteral(Value::Int32(9)));
+  EXPECT_EQ(e->ToString(), "(a <= 9)");
+  EXPECT_EQ(MakeYear(Col(3))->ToString(), "YEAR(d)");
+}
+
+// --- LIKE matcher corner cases --------------------------------------------------
+
+TEST(LikeMatchTest, Basics) {
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "abd"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("abc", "a_d"));
+  EXPECT_TRUE(LikeMatch("abc", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+}
+
+TEST(LikeMatchTest, PercentRuns) {
+  EXPECT_TRUE(LikeMatch("hello world", "%world"));
+  EXPECT_TRUE(LikeMatch("hello world", "hello%"));
+  EXPECT_TRUE(LikeMatch("hello world", "%o w%"));
+  EXPECT_TRUE(LikeMatch("hello world", "h%d"));
+  EXPECT_TRUE(LikeMatch("aaa", "%a%a%"));
+  EXPECT_FALSE(LikeMatch("ab", "%a%a%"));
+}
+
+TEST(LikeMatchTest, BacktrackingStress) {
+  EXPECT_TRUE(LikeMatch("aaaaaaaaab", "%aab"));
+  EXPECT_FALSE(LikeMatch("aaaaaaaaab", "%aac"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%iss%ppi"));
+  EXPECT_TRUE(LikeMatch("special requests sleep", "%requests%sleep%"));
+}
+
+TEST(LikeMatchTest, TrailingPercentAndUnderscore) {
+  EXPECT_TRUE(LikeMatch("abc", "abc%%%"));
+  EXPECT_TRUE(LikeMatch("abcd", "a__d"));
+  EXPECT_TRUE(LikeMatch("abc", "%_c"));
+  EXPECT_FALSE(LikeMatch("abc", "abc_"));
+}
+
+}  // namespace
+}  // namespace claims

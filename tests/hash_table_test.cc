@@ -1,0 +1,278 @@
+#include "exec/hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace claims {
+namespace {
+
+TEST(ArenaTest, AllocatesAlignedDistinct) {
+  Arena arena(1024);
+  char* a = arena.Allocate(10);
+  char* b = arena.Allocate(10);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_GE(arena.allocated_bytes(), 32);  // two 16-byte rounded allocations
+}
+
+TEST(ArenaTest, OversizedAllocation) {
+  Arena arena(64);
+  char* big = arena.Allocate(1000);
+  ASSERT_NE(big, nullptr);
+  big[999] = 'x';  // writable end-to-end
+  char* small = arena.Allocate(8);
+  ASSERT_NE(small, nullptr);
+}
+
+TEST(ArenaTest, ConcurrentAllocationsDoNotOverlap) {
+  Arena arena(4096);
+  const int kThreads = 8;
+  const int kAllocs = 500;
+  std::vector<std::vector<char*>> ptrs(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAllocs; ++i) {
+        char* p = arena.Allocate(16);
+        *reinterpret_cast<int64_t*>(p) = t * kAllocs + i;
+        ptrs[t].push_back(p);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // All payloads intact → no overlapping allocations.
+  std::set<char*> all;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kAllocs; ++i) {
+      EXPECT_EQ(*reinterpret_cast<int64_t*>(ptrs[t][i]), t * kAllocs + i);
+      all.insert(ptrs[t][i]);
+    }
+  }
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kAllocs));
+}
+
+TEST(ArenaTest, MemoryTrackerSeesChunks) {
+  MemoryTracker mem("arena");
+  {
+    Arena arena(1024, &mem);
+    arena.Allocate(100);
+    EXPECT_GE(mem.current_bytes(), 1024);
+  }
+  EXPECT_EQ(mem.current_bytes(), 0);  // released on destruction
+}
+
+Schema TwoColSchema() {
+  return Schema({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+}
+
+TEST(JoinHashTableTest, InsertAndProbe) {
+  Schema schema = TwoColSchema();
+  JoinHashTable table(&schema, {0}, 64);
+  std::vector<char> row(schema.row_size());
+  for (int i = 0; i < 100; ++i) {
+    schema.SetInt32(row.data(), 0, i % 10);
+    schema.SetInt64(row.data(), 1, i);
+    table.Insert(row.data());
+  }
+  EXPECT_EQ(table.size(), 100);
+  // Probe key 3: ten rows with v ≡ 3 (mod 10).
+  schema.SetInt32(row.data(), 0, 3);
+  int matches = 0;
+  int64_t sum = 0;
+  table.ForEachMatch(schema, row.data(), {0}, [&](const char* build_row) {
+    ++matches;
+    sum += schema.GetInt64(build_row, 1);
+  });
+  EXPECT_EQ(matches, 10);
+  EXPECT_EQ(sum, 3 + 13 + 23 + 33 + 43 + 53 + 63 + 73 + 83 + 93);
+}
+
+TEST(JoinHashTableTest, NoMatches) {
+  Schema schema = TwoColSchema();
+  JoinHashTable table(&schema, {0}, 64);
+  std::vector<char> row(schema.row_size());
+  schema.SetInt32(row.data(), 0, 42);
+  int matches = 0;
+  table.ForEachMatch(schema, row.data(), {0},
+                     [&](const char*) { ++matches; });
+  EXPECT_EQ(matches, 0);
+}
+
+TEST(JoinHashTableTest, DifferentProbeSchema) {
+  Schema build = TwoColSchema();
+  Schema probe({ColumnDef::Char("pad", 7), ColumnDef::Int32("key")});
+  JoinHashTable table(&build, {0}, 64);
+  std::vector<char> brow(build.row_size());
+  build.SetInt32(brow.data(), 0, 5);
+  build.SetInt64(brow.data(), 1, 99);
+  table.Insert(brow.data());
+  std::vector<char> prow(probe.row_size());
+  probe.SetString(prow.data(), 0, "ignored");
+  probe.SetInt32(prow.data(), 1, 5);
+  int matches = 0;
+  table.ForEachMatch(probe, prow.data(), {1}, [&](const char* r) {
+    ++matches;
+    EXPECT_EQ(build.GetInt64(r, 1), 99);
+  });
+  EXPECT_EQ(matches, 1);
+}
+
+TEST(JoinHashTableTest, ConcurrentBuildFindsEverything) {
+  Schema schema = TwoColSchema();
+  JoinHashTable table(&schema, {0}, 256);
+  const int kThreads = 6;
+  const int kRows = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<char> row(schema.row_size());
+      for (int i = 0; i < kRows; ++i) {
+        schema.SetInt32(row.data(), 0, i);
+        schema.SetInt64(row.data(), 1, t);
+        table.Insert(row.data());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(table.size(), kThreads * kRows);
+  std::vector<char> probe(schema.row_size());
+  for (int i = 0; i < kRows; i += 97) {
+    schema.SetInt32(probe.data(), 0, i);
+    int matches = 0;
+    table.ForEachMatch(schema, probe.data(), {0},
+                       [&](const char*) { ++matches; });
+    EXPECT_EQ(matches, kThreads) << "key " << i;
+  }
+}
+
+TEST(JoinHashTableTest, CompositeKeys) {
+  Schema schema({ColumnDef::Int32("a"), ColumnDef::Int32("b"),
+                 ColumnDef::Int64("v")});
+  JoinHashTable table(&schema, {0, 1}, 64);
+  std::vector<char> row(schema.row_size());
+  schema.SetInt32(row.data(), 0, 1);
+  schema.SetInt32(row.data(), 1, 2);
+  schema.SetInt64(row.data(), 2, 12);
+  table.Insert(row.data());
+  schema.SetInt32(row.data(), 0, 2);
+  schema.SetInt32(row.data(), 1, 1);
+  schema.SetInt64(row.data(), 2, 21);
+  table.Insert(row.data());
+  // Probe (1,2): must match only the first.
+  schema.SetInt32(row.data(), 0, 1);
+  schema.SetInt32(row.data(), 1, 2);
+  int matches = 0;
+  table.ForEachMatch(schema, row.data(), {0, 1}, [&](const char* r) {
+    ++matches;
+    EXPECT_EQ(schema.GetInt64(r, 2), 12);
+  });
+  EXPECT_EQ(matches, 1);
+}
+
+TEST(AggHashTableTest, GroupAndFold) {
+  Schema group({ColumnDef::Int32("g")});
+  AggHashTable table(group, /*num_aggs=*/2, 64);
+  std::vector<AggFn> fns = {AggFn::kSum, AggFn::kCount};
+  std::vector<char> grow(group.row_size());
+  for (int i = 0; i < 100; ++i) {
+    group.SetInt32(grow.data(), 0, i % 4);
+    double values[2] = {static_cast<double>(i), 0};
+    int64_t weights[2] = {1, 1};
+    table.Update(grow.data(), fns, values, weights);
+  }
+  EXPECT_EQ(table.size(), 4);
+  std::map<int32_t, std::pair<double, int64_t>> result;
+  table.ForEach([&](const char* row, const AggHashTable::AggState* states) {
+    result[group.GetInt32(row, 0)] = {states[0].sum, states[1].count};
+  });
+  ASSERT_EQ(result.size(), 4u);
+  // Group 0: 0+4+...+96 = 1200; each group has 25 members.
+  EXPECT_DOUBLE_EQ(result[0].first, 1200.0);
+  EXPECT_EQ(result[0].second, 25);
+  EXPECT_DOUBLE_EQ(result[1].first, 1225.0);
+}
+
+TEST(AggHashTableTest, MinMax) {
+  Schema group({ColumnDef::Int32("g")});
+  AggHashTable table(group, 2, 16);
+  std::vector<AggFn> fns = {AggFn::kMin, AggFn::kMax};
+  std::vector<char> grow(group.row_size());
+  group.SetInt32(grow.data(), 0, 7);
+  for (double v : {5.0, -2.0, 9.0, 3.0}) {
+    double values[2] = {v, v};
+    int64_t weights[2] = {1, 1};
+    table.Update(grow.data(), fns, values, weights);
+  }
+  table.ForEach([&](const char*, const AggHashTable::AggState* states) {
+    EXPECT_DOUBLE_EQ(states[0].sum, -2.0);
+    EXPECT_DOUBLE_EQ(states[1].sum, 9.0);
+  });
+}
+
+TEST(AggHashTableTest, ConcurrentUpdatesExact) {
+  Schema group({ColumnDef::Int32("g")});
+  AggHashTable table(group, 2, 8);  // few buckets → heavy contention
+  std::vector<AggFn> fns = {AggFn::kSum, AggFn::kCount};
+  const int kThreads = 8;
+  const int kUpdates = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::vector<char> grow(group.row_size());
+      for (int i = 0; i < kUpdates; ++i) {
+        group.SetInt32(grow.data(), 0, i % 3);  // 3 hot groups
+        double values[2] = {1.0, 0};
+        int64_t weights[2] = {1, 1};
+        table.Update(grow.data(), fns, values, weights);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(table.size(), 3);
+  int64_t total = 0;
+  table.ForEach([&](const char*, const AggHashTable::AggState* states) {
+    EXPECT_DOUBLE_EQ(states[0].sum, states[1].count * 1.0);
+    total += states[1].count;
+  });
+  EXPECT_EQ(total, kThreads * kUpdates);
+}
+
+TEST(AggHashTableTest, CompositeGroupKeysWithStrings) {
+  Schema group({ColumnDef::Char("flag", 1), ColumnDef::Char("status", 1)});
+  AggHashTable table(group, 1, 16);
+  std::vector<AggFn> fns = {AggFn::kCount};
+  std::vector<char> grow(group.row_size());
+  const char* combos[4][2] = {{"A", "F"}, {"N", "O"}, {"R", "F"}, {"N", "F"}};
+  for (int rep = 0; rep < 10; ++rep) {
+    for (auto& c : combos) {
+      group.SetString(grow.data(), 0, c[0]);
+      group.SetString(grow.data(), 1, c[1]);
+      double values[1] = {0};
+      int64_t weights[1] = {1};
+      table.Update(grow.data(), fns, values, weights);
+    }
+  }
+  EXPECT_EQ(table.size(), 4);
+  table.ForEach([&](const char*, const AggHashTable::AggState* s) {
+    EXPECT_EQ(s[0].count, 10);
+  });
+}
+
+TEST(FoldAggTest, MergeWeights) {
+  // Merging partial states: count_weight carries the partial count.
+  AggHashTable::AggState state;
+  FoldAgg(AggFn::kSum, 100.0, 7, &state);
+  FoldAgg(AggFn::kSum, 50.0, 3, &state);
+  EXPECT_DOUBLE_EQ(state.sum, 150.0);
+  EXPECT_EQ(state.count, 10);
+}
+
+}  // namespace
+}  // namespace claims

@@ -1,0 +1,50 @@
+#include "common/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace claims {
+namespace {
+
+TEST(MemoryTrackerTest, TracksCurrentAndPeak) {
+  MemoryTracker t("test");
+  t.Allocate(100);
+  t.Allocate(50);
+  EXPECT_EQ(t.current_bytes(), 150);
+  EXPECT_EQ(t.peak_bytes(), 150);
+  t.Release(120);
+  EXPECT_EQ(t.current_bytes(), 30);
+  EXPECT_EQ(t.peak_bytes(), 150);
+  t.Allocate(10);
+  EXPECT_EQ(t.peak_bytes(), 150);
+}
+
+TEST(MemoryTrackerTest, Reset) {
+  MemoryTracker t("test");
+  t.Allocate(77);
+  t.Reset();
+  EXPECT_EQ(t.current_bytes(), 0);
+  EXPECT_EQ(t.peak_bytes(), 0);
+}
+
+TEST(MemoryTrackerTest, ConcurrentPeakIsAtLeastSteadyState) {
+  MemoryTracker t("test");
+  const int kThreads = 8;
+  const int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&t] {
+      for (int j = 0; j < kIters; ++j) {
+        t.Allocate(10);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.current_bytes(), kThreads * kIters * 10);
+  EXPECT_EQ(t.peak_bytes(), kThreads * kIters * 10);
+}
+
+}  // namespace
+}  // namespace claims

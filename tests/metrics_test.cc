@@ -1,0 +1,57 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace claims {
+namespace {
+
+TEST(SegmentStatsTest, Selectivity) {
+  SegmentStats stats;
+  EXPECT_EQ(stats.selectivity(), 1.0);
+  stats.input_tuples.store(1000);
+  stats.output_tuples.store(250);
+  EXPECT_DOUBLE_EQ(stats.selectivity(), 0.25);
+}
+
+TEST(VisitRateAggregatorTest, SumsLatestPerProducer) {
+  SegmentStats stats;
+  VisitRateAggregator agg(&stats);
+  agg.Observe(/*producer=*/0, 0.5);
+  EXPECT_DOUBLE_EQ(stats.visit_rate.load(), 0.5);
+  agg.Observe(/*producer=*/1, 0.25);
+  EXPECT_DOUBLE_EQ(stats.visit_rate.load(), 0.75);
+  // Producer 0 refreshes its contribution; the old 0.5 is replaced, not added.
+  agg.Observe(/*producer=*/0, 0.3);
+  EXPECT_DOUBLE_EQ(stats.visit_rate.load(), 0.55);
+}
+
+TEST(RateSamplerTest, FirstSamplePrimes) {
+  RateSampler s;
+  EXPECT_EQ(s.Sample(100, 1'000'000'000), 0.0);
+  // 100 more units over 1 second → 100/s.
+  EXPECT_DOUBLE_EQ(s.Sample(200, 2'000'000'000), 100.0);
+}
+
+TEST(RateSamplerTest, HandlesZeroDt) {
+  RateSampler s;
+  s.Sample(0, 5);
+  EXPECT_EQ(s.Sample(10, 5), 0.0);
+}
+
+TEST(RateSamplerTest, ResetReprimes) {
+  RateSampler s;
+  s.Sample(100, 1'000'000'000);
+  s.Reset();
+  EXPECT_EQ(s.Sample(500, 2'000'000'000), 0.0);
+  EXPECT_DOUBLE_EQ(s.Sample(600, 3'000'000'000), 100.0);
+}
+
+TEST(RateSamplerTest, SubSecondIntervals) {
+  RateSampler s;
+  s.Sample(0, 0);
+  // 50 tuples in 50 ms → 1000 tuples/s.
+  EXPECT_DOUBLE_EQ(s.Sample(50, 50'000'000), 1000.0);
+}
+
+}  // namespace
+}  // namespace claims

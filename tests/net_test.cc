@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/network.h"
+
+namespace claims {
+namespace {
+
+BlockPtr RowBlock(int rows = 1) {
+  auto b = MakeBlock(8, 8 * rows);
+  for (int i = 0; i < rows; ++i) b->AppendRow();
+  return b;
+}
+
+TEST(TokenBucketTest, UnthrottledIsFree) {
+  TokenBucket bucket(0);
+  EXPECT_FALSE(bucket.throttled());
+  EXPECT_EQ(bucket.Acquire(1 << 30), 0);
+  EXPECT_EQ(bucket.total_bytes(), 1 << 30);
+}
+
+TEST(TokenBucketTest, ThrottleDelaysLargeTransfers) {
+  // 10 MB/s: 2 MB beyond the burst allowance needs ~200 ms.
+  TokenBucket bucket(10 * 1000 * 1000);
+  bucket.Acquire(1 << 20);  // eat the initial burst
+  int64_t t0 = SteadyClock::Default()->NowNanos();
+  bucket.Acquire(2 * 1000 * 1000);
+  int64_t elapsed = SteadyClock::Default()->NowNanos() - t0;
+  EXPECT_GT(elapsed, 80'000'000);   // at least ~80 ms
+  EXPECT_LT(elapsed, 2'000'000'000);
+}
+
+TEST(TokenBucketTest, CancelAborts) {
+  TokenBucket bucket(1000);  // 1 KB/s: a 1 MB acquire would take ~17 min
+  std::atomic<bool> cancel{false};
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    cancel.store(true);
+  });
+  EXPECT_EQ(bucket.Acquire(1 << 20, &cancel), -1);
+  canceller.join();
+}
+
+TEST(BlockChannelTest, SendReceive) {
+  BlockChannel channel(1, 8);
+  ASSERT_TRUE(channel.Send({RowBlock(), 2}));
+  NetBlock nb;
+  ASSERT_EQ(channel.Receive(&nb, 1'000'000), ChannelStatus::kOk);
+  EXPECT_EQ(nb.from_node, 2);
+  channel.CloseProducer();
+  EXPECT_EQ(channel.Receive(&nb, 1'000'000), ChannelStatus::kClosed);
+}
+
+TEST(BlockChannelTest, TimeoutWhenQuiet) {
+  BlockChannel channel(1, 8);
+  NetBlock nb;
+  EXPECT_EQ(channel.Receive(&nb, 2'000'000), ChannelStatus::kTimeout);
+}
+
+TEST(BlockChannelTest, DrainsBeforeClose) {
+  BlockChannel channel(2, 8);
+  ASSERT_TRUE(channel.Send({RowBlock(), 0}));
+  ASSERT_TRUE(channel.Send({RowBlock(), 1}));
+  channel.CloseProducer();
+  channel.CloseProducer();
+  NetBlock nb;
+  EXPECT_EQ(channel.Receive(&nb, 1'000'000), ChannelStatus::kOk);
+  EXPECT_EQ(channel.Receive(&nb, 1'000'000), ChannelStatus::kOk);
+  EXPECT_EQ(channel.Receive(&nb, 1'000'000), ChannelStatus::kClosed);
+}
+
+TEST(BlockChannelTest, BoundedBlocksSender) {
+  BlockChannel channel(1, 1);
+  ASSERT_TRUE(channel.Send({RowBlock(), 0}));
+  std::atomic<bool> second_sent{false};
+  std::thread sender([&] {
+    EXPECT_TRUE(channel.Send({RowBlock(), 0}));
+    second_sent.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_sent.load());
+  NetBlock nb;
+  ASSERT_EQ(channel.Receive(&nb, 1'000'000), ChannelStatus::kOk);
+  sender.join();
+  EXPECT_TRUE(second_sent.load());
+}
+
+TEST(BlockChannelTest, UnboundedNeverBlocks) {
+  BlockChannel channel(1, 0);  // ME materialization mode
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(channel.Send({RowBlock(), 0}));
+  }
+  EXPECT_EQ(channel.size(), 1000u);
+}
+
+TEST(BlockChannelTest, CancelUnblocksEverybody) {
+  BlockChannel channel(1, 1);
+  ASSERT_TRUE(channel.Send({RowBlock(), 0}));
+  std::thread sender([&] { channel.Send({RowBlock(), 0}); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  channel.Cancel();
+  sender.join();
+  NetBlock nb;
+  EXPECT_EQ(channel.Receive(&nb, 1'000'000), ChannelStatus::kClosed);
+}
+
+TEST(NetworkTest, ExchangeRouting) {
+  Network net(3, NetworkOptions{0, 8});
+  net.CreateExchange(7, /*producers=*/2, {0, 1, 2});
+  ASSERT_TRUE(net.Send(7, 0, 1, RowBlock()));
+  ASSERT_TRUE(net.Send(7, 2, 1, RowBlock()));
+  BlockChannel* c1 = net.GetChannel(7, 1);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c1->size(), 2u);
+  EXPECT_EQ(net.GetChannel(7, 0)->size(), 0u);
+  // Each producer closes once; the exchange closes all three channels.
+  net.CloseProducer(7);
+  net.CloseProducer(7);
+  NetBlock nb;
+  EXPECT_EQ(net.GetChannel(7, 0)->Receive(&nb, 1'000'000),
+            ChannelStatus::kClosed);
+}
+
+TEST(NetworkTest, LocalSendIsFreeRemoteIsCounted) {
+  Network net(2, NetworkOptions{0, 8});
+  net.CreateExchange(1, 1, {0, 1});
+  ASSERT_TRUE(net.Send(1, 0, 0, RowBlock(4)));  // loopback
+  EXPECT_EQ(net.total_remote_bytes(), 0);
+  ASSERT_TRUE(net.Send(1, 0, 1, RowBlock(4)));
+  EXPECT_EQ(net.total_remote_bytes(), 32);  // 4 rows × 8 bytes
+}
+
+TEST(NetworkTest, MissingChannelFails) {
+  Network net(2, NetworkOptions{0, 8});
+  EXPECT_EQ(net.GetChannel(99, 0), nullptr);
+  EXPECT_FALSE(net.Send(99, 0, 1, RowBlock()));
+}
+
+TEST(NetworkTest, RecreatingExchangeReplacesChannels) {
+  Network net(2, NetworkOptions{0, 8});
+  net.CreateExchange(1, 1, {0});
+  net.CloseProducer(1);
+  // A new query reuses exchange id 1; the stale closed channel must not leak
+  // into it.
+  net.CreateExchange(1, 1, {0});
+  ASSERT_TRUE(net.Send(1, 0, 0, RowBlock()));
+  NetBlock nb;
+  EXPECT_EQ(net.GetChannel(1, 0)->Receive(&nb, 1'000'000), ChannelStatus::kOk);
+}
+
+}  // namespace
+}  // namespace claims

@@ -1,0 +1,446 @@
+// Operator tests: each physical operator is exercised both stand-alone (one
+// synthetic worker context) and under a multi-worker ElasticIterator.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "core/elastic_iterator.h"
+#include "exec/ops/filter.h"
+#include "exec/ops/hash_agg.h"
+#include "exec/ops/hash_join.h"
+#include "exec/ops/scan.h"
+#include "exec/ops/sort.h"
+#include "storage/table.h"
+
+namespace claims {
+namespace {
+
+// A small keyed table: k = i % mod, v = i.
+std::unique_ptr<Table> MakeKV(int rows, int mod, int partitions = 1) {
+  Schema schema({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+  auto t = std::make_unique<Table>("kv", schema, partitions,
+                                   std::vector<int>{});
+  for (int i = 0; i < rows; ++i) {
+    t->AppendValues({Value::Int32(i % mod), Value::Int64(i)});
+  }
+  return t;
+}
+
+ExprPtr Col(const Schema& s, const char* name) {
+  int i = s.FindColumn(name);
+  EXPECT_GE(i, 0) << name;
+  return MakeColumnRef(i, s.column(i).type, name);
+}
+
+// Runs `make_root` under an elastic iterator with `parallelism` workers and
+// collects all output rows as Values.
+std::vector<std::vector<Value>> RunElastic(std::unique_ptr<Iterator> root,
+                                           const Schema& out_schema,
+                                           int parallelism) {
+  ElasticIterator::Options opts;
+  opts.initial_parallelism = parallelism;
+  ElasticIterator it(std::move(root), opts);
+  WorkerContext ctx;
+  EXPECT_EQ(it.Open(&ctx), NextResult::kSuccess);
+  std::vector<std::vector<Value>> rows;
+  BlockPtr block;
+  while (it.Next(&ctx, &block) == NextResult::kSuccess) {
+    for (int r = 0; r < block->num_rows(); ++r) {
+      std::vector<Value> row;
+      for (int c = 0; c < out_schema.num_columns(); ++c) {
+        row.push_back(out_schema.GetValue(block->RowAt(r), c));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  it.Close();
+  return rows;
+}
+
+// --- Scan -----------------------------------------------------------------------
+
+TEST(ScanTest, ReadsAllRowsSingleWorker) {
+  auto table = MakeKV(1000, 10);
+  auto rows = RunElastic(
+      std::make_unique<ScanIterator>(&table->partition(0), &table->schema()),
+      table->schema(), 1);
+  ASSERT_EQ(rows.size(), 1000u);
+  std::set<int64_t> vs;
+  for (const auto& r : rows) vs.insert(r[1].AsInt64());
+  EXPECT_EQ(vs.size(), 1000u);
+}
+
+TEST(ScanTest, ParallelWorkersPartitionBlocks) {
+  auto table = MakeKV(100000, 7);  // several blocks
+  ASSERT_GT(table->partition(0).num_blocks(), 3);
+  auto rows = RunElastic(
+      std::make_unique<ScanIterator>(&table->partition(0), &table->schema()),
+      table->schema(), 4);
+  EXPECT_EQ(rows.size(), 100000u);
+  int64_t sum = 0;
+  for (const auto& r : rows) sum += r[1].AsInt64();
+  EXPECT_EQ(sum, 100000LL * 99999 / 2);
+}
+
+TEST(ScanTest, NumaStripingCoversEverything) {
+  auto table = MakeKV(50000, 7);
+  ScanIterator::Options o;
+  o.num_sockets = 2;
+  auto rows = RunElastic(std::make_unique<ScanIterator>(&table->partition(0),
+                                                        &table->schema(), o),
+                         table->schema(), 3);
+  EXPECT_EQ(rows.size(), 50000u);
+}
+
+TEST(ScanTest, StatsCountInputTuples) {
+  auto table = MakeKV(5000, 3);
+  SegmentStats stats;
+  ElasticIterator::Options opts;
+  opts.initial_parallelism = 2;
+  opts.stats = &stats;
+  ElasticIterator it(
+      std::make_unique<ScanIterator>(&table->partition(0), &table->schema()),
+      opts);
+  WorkerContext ctx;
+  ASSERT_EQ(it.Open(&ctx), NextResult::kSuccess);
+  BlockPtr b;
+  while (it.Next(&ctx, &b) == NextResult::kSuccess) {
+  }
+  it.Close();
+  EXPECT_EQ(stats.input_tuples.load(), 5000);
+}
+
+// --- Filter / Project -----------------------------------------------------------
+
+TEST(FilterTest, KeepsOnlyMatching) {
+  auto table = MakeKV(10000, 10);
+  const Schema& s = table->schema();
+  ExprPtr pred = MakeCompare(CompareOp::kLt, Col(s, "k"),
+                             MakeLiteral(Value::Int32(3)));
+  auto scan = std::make_unique<ScanIterator>(&table->partition(0), &s);
+  auto rows = RunElastic(
+      std::make_unique<FilterIterator>(std::move(scan), &s, pred), s, 3);
+  EXPECT_EQ(rows.size(), 3000u);
+  for (const auto& r : rows) EXPECT_LT(r[0].AsInt64(), 3);
+}
+
+TEST(FilterTest, ZeroSelectivity) {
+  auto table = MakeKV(5000, 10);
+  const Schema& s = table->schema();
+  ExprPtr pred = MakeCompare(CompareOp::kEq, Col(s, "k"),
+                             MakeLiteral(Value::Int32(99)));
+  auto scan = std::make_unique<ScanIterator>(&table->partition(0), &s);
+  auto rows = RunElastic(
+      std::make_unique<FilterIterator>(std::move(scan), &s, pred), s, 2);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(ProjectTest, ComputesExpressions) {
+  auto table = MakeKV(1000, 10);
+  const Schema& s = table->schema();
+  Schema out({ColumnDef::Int64("v2"), ColumnDef::Int32("k")});
+  std::vector<ExprPtr> exprs = {
+      MakeArith(ArithOp::kMul, Col(s, "v"), MakeLiteral(Value::Int64(2))),
+      Col(s, "k")};
+  auto scan = std::make_unique<ScanIterator>(&table->partition(0), &s);
+  auto rows = RunElastic(std::make_unique<ProjectIterator>(std::move(scan), &s,
+                                                           out, exprs),
+                         out, 2);
+  ASSERT_EQ(rows.size(), 1000u);
+  int64_t sum = 0;
+  for (const auto& r : rows) sum += r[0].AsInt64();
+  EXPECT_EQ(sum, 2LL * 999 * 1000 / 2);
+}
+
+TEST(ProjectTest, WiderOutputRows) {
+  // Output row wider than input row must not overflow blocks.
+  Schema narrow({ColumnDef::Int32("x")});
+  auto t = std::make_unique<Table>("n", narrow, 1, std::vector<int>{});
+  for (int i = 0; i < 50000; ++i) t->AppendValues({Value::Int32(i)});
+  Schema wide({ColumnDef::Int32("x"), ColumnDef::Char("pad", 60)});
+  std::vector<ExprPtr> exprs = {Col(narrow, "x"),
+                                MakeLiteral(Value::String("abc"))};
+  auto scan = std::make_unique<ScanIterator>(&t->partition(0), &narrow);
+  auto rows = RunElastic(std::make_unique<ProjectIterator>(std::move(scan),
+                                                           &narrow, wide,
+                                                           exprs),
+                         wide, 2);
+  EXPECT_EQ(rows.size(), 50000u);
+}
+
+// --- Hash join ------------------------------------------------------------------
+
+TEST(HashJoinTest, InnerEquiJoin) {
+  // Build: 20 rows keys 0..19; Probe: 100 rows keys i%25 (keys 20-24 miss).
+  auto build_table = MakeKV(20, 20);
+  auto probe_table = MakeKV(100, 25);
+  const Schema& bs = build_table->schema();
+  const Schema& ps = probe_table->schema();
+  HashJoinIterator::Spec spec;
+  spec.build_schema = &bs;
+  spec.probe_schema = &ps;
+  spec.build_keys = {0};
+  spec.probe_keys = {0};
+  auto join = std::make_unique<HashJoinIterator>(
+      std::make_unique<ScanIterator>(&build_table->partition(0), &bs),
+      std::make_unique<ScanIterator>(&probe_table->partition(0), &ps), spec);
+  Schema out = join->output_schema();
+  auto rows = RunElastic(std::move(join), out, 3);
+  // Probe keys 0..19 hit once each: i%25 < 20 → 80 of 100 probe rows match.
+  EXPECT_EQ(rows.size(), 80u);
+  for (const auto& r : rows) {
+    EXPECT_EQ(r[0].AsInt64(), r[2].AsInt64());  // k == r_k
+  }
+}
+
+TEST(HashJoinTest, DuplicateBuildKeysFanOut) {
+  auto build_table = MakeKV(40, 4);   // 10 build rows per key
+  auto probe_table = MakeKV(8, 4);    // 2 probe rows per key
+  const Schema& bs = build_table->schema();
+  const Schema& ps = probe_table->schema();
+  HashJoinIterator::Spec spec;
+  spec.build_schema = &bs;
+  spec.probe_schema = &ps;
+  spec.build_keys = {0};
+  spec.probe_keys = {0};
+  auto join = std::make_unique<HashJoinIterator>(
+      std::make_unique<ScanIterator>(&build_table->partition(0), &bs),
+      std::make_unique<ScanIterator>(&probe_table->partition(0), &ps), spec);
+  Schema out = join->output_schema();
+  auto rows = RunElastic(std::move(join), out, 2);
+  EXPECT_EQ(rows.size(), 80u);  // 8 probe rows × 10 matches
+}
+
+TEST(HashJoinTest, ParallelBuildCorrect) {
+  auto build_table = MakeKV(50000, 1000);
+  auto probe_table = MakeKV(1000, 1000);
+  const Schema& bs = build_table->schema();
+  const Schema& ps = probe_table->schema();
+  HashJoinIterator::Spec spec;
+  spec.build_schema = &bs;
+  spec.probe_schema = &ps;
+  spec.build_keys = {0};
+  spec.probe_keys = {0};
+  auto join = std::make_unique<HashJoinIterator>(
+      std::make_unique<ScanIterator>(&build_table->partition(0), &bs),
+      std::make_unique<ScanIterator>(&probe_table->partition(0), &ps), spec);
+  auto* join_raw = join.get();
+  Schema out = join->output_schema();
+  auto rows = RunElastic(std::move(join), out, 4);
+  EXPECT_EQ(join_raw->build_rows(), 50000);
+  EXPECT_EQ(rows.size(), 50000u);  // every build row matched exactly once
+}
+
+// --- Hash aggregation -----------------------------------------------------------
+
+HashAggIterator::Spec AggSpec(const Schema& s, HashAggIterator::Mode mode) {
+  HashAggIterator::Spec spec;
+  spec.input_schema = &s;
+  spec.group_exprs = {Col(s, "k")};
+  spec.group_names = {"k"};
+  spec.aggregates = {
+      {AggFn::kSum, Col(s, "v"), "sum_v"},
+      {AggFn::kCount, nullptr, "cnt"},
+      {AggFn::kAvg, Col(s, "v"), "avg_v"},
+      {AggFn::kMin, Col(s, "v"), "min_v"},
+      {AggFn::kMax, Col(s, "v"), "max_v"},
+  };
+  spec.mode = mode;
+  return spec;
+}
+
+void CheckAggResult(const std::vector<std::vector<Value>>& rows, int mod,
+                    int n) {
+  ASSERT_EQ(rows.size(), static_cast<size_t>(mod));
+  for (const auto& r : rows) {
+    int64_t k = r[0].AsInt64();
+    int64_t count = r[2].AsInt64();
+    EXPECT_EQ(count, n / mod);
+    // v values for group k: k, k+mod, k+2*mod, ...
+    int64_t expect_sum = 0;
+    for (int64_t v = k; v < n; v += mod) expect_sum += v;
+    EXPECT_EQ(r[1].AsInt64(), expect_sum) << "group " << k;
+    EXPECT_NEAR(r[3].AsFloat64(),
+                static_cast<double>(expect_sum) / count, 1e-6);
+    EXPECT_EQ(r[4].AsInt64(), k);                // min
+    EXPECT_EQ(r[5].AsInt64(), n - mod + k);      // max
+  }
+}
+
+class HashAggModeTest
+    : public ::testing::TestWithParam<HashAggIterator::Mode> {};
+
+TEST_P(HashAggModeTest, GroupsCorrectlyUnderParallelism) {
+  const int kN = 20000;
+  const int kMod = 8;
+  auto table = MakeKV(kN, kMod);
+  const Schema& s = table->schema();
+  auto spec = AggSpec(s, GetParam());
+  auto agg = std::make_unique<HashAggIterator>(
+      std::make_unique<ScanIterator>(&table->partition(0), &s), spec);
+  Schema out = agg->output_schema();
+  auto rows = RunElastic(std::move(agg), out, 4);
+  CheckAggResult(rows, kMod, kN);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, HashAggModeTest,
+                         ::testing::Values(HashAggIterator::Mode::kShared,
+                                           HashAggIterator::Mode::kIndependent,
+                                           HashAggIterator::Mode::kHybrid));
+
+TEST(HashAggTest, LargeCardinality) {
+  const int kN = 30000;
+  auto table = MakeKV(kN, kN);  // every row its own group
+  const Schema& s = table->schema();
+  auto spec = AggSpec(s, HashAggIterator::Mode::kHybrid);
+  spec.hybrid_max_groups = 512;  // force flush cycles
+  auto agg = std::make_unique<HashAggIterator>(
+      std::make_unique<ScanIterator>(&table->partition(0), &s), spec);
+  Schema out = agg->output_schema();
+  auto rows = RunElastic(std::move(agg), out, 3);
+  EXPECT_EQ(rows.size(), static_cast<size_t>(kN));
+}
+
+TEST(HashAggTest, ShrinkMidAggregationLosesNothing) {
+  const int kN = 50000;
+  const int kMod = 5;
+  auto table = MakeKV(kN, kMod);
+  const Schema& s = table->schema();
+  auto spec = AggSpec(s, HashAggIterator::Mode::kIndependent);
+  auto agg = std::make_unique<HashAggIterator>(
+      std::make_unique<ScanIterator>(&table->partition(0), &s), spec);
+  Schema out = agg->output_schema();
+  ElasticIterator::Options opts;
+  opts.initial_parallelism = 4;
+  ElasticIterator it(std::move(agg), opts);
+  WorkerContext ctx;
+  ASSERT_EQ(it.Open(&ctx), NextResult::kSuccess);
+  it.Shrink();  // terminate a worker during the build
+  std::vector<std::vector<Value>> rows;
+  BlockPtr block;
+  while (it.Next(&ctx, &block) == NextResult::kSuccess) {
+    for (int r = 0; r < block->num_rows(); ++r) {
+      std::vector<Value> row;
+      for (int c = 0; c < out.num_columns(); ++c) {
+        row.push_back(out.GetValue(block->RowAt(r), c));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  it.Close();
+  CheckAggResult(rows, kMod, kN);
+}
+
+TEST(HashAggTest, NoGroupByGlobalAggregate) {
+  auto table = MakeKV(1000, 10);
+  const Schema& s = table->schema();
+  HashAggIterator::Spec spec;
+  spec.input_schema = &s;
+  spec.aggregates = {{AggFn::kCount, nullptr, "cnt"},
+                     {AggFn::kSum, Col(s, "v"), "sum_v"}};
+  auto agg = std::make_unique<HashAggIterator>(
+      std::make_unique<ScanIterator>(&table->partition(0), &s), spec);
+  Schema out = agg->output_schema();
+  auto rows = RunElastic(std::move(agg), out, 2);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 1000);
+  EXPECT_EQ(rows[0][1].AsInt64(), 999 * 1000 / 2);
+}
+
+// --- Sort -----------------------------------------------------------------------
+
+TEST(SortTest, SingleKeyAscending) {
+  auto table = MakeKV(20000, 997);
+  const Schema& s = table->schema();
+  auto sort = std::make_unique<SortIterator>(
+      std::make_unique<ScanIterator>(&table->partition(0), &s), &s,
+      std::vector<SortKey>{{s.FindColumn("k"), true}});
+  ElasticIterator::Options opts;
+  opts.initial_parallelism = 3;
+  opts.order_preserving = true;  // sort requires ordered emission
+  ElasticIterator it(std::move(sort), opts);
+  WorkerContext ctx;
+  ASSERT_EQ(it.Open(&ctx), NextResult::kSuccess);
+  int64_t prev = -1;
+  size_t count = 0;
+  BlockPtr block;
+  while (it.Next(&ctx, &block) == NextResult::kSuccess) {
+    for (int r = 0; r < block->num_rows(); ++r) {
+      int64_t k = s.GetInt32(block->RowAt(r), 0);
+      ASSERT_GE(k, prev);
+      prev = k;
+      ++count;
+    }
+  }
+  it.Close();
+  EXPECT_EQ(count, 20000u);
+}
+
+TEST(SortTest, MultiKeyMixedDirections) {
+  auto table = MakeKV(5000, 13);
+  const Schema& s = table->schema();
+  auto sort = std::make_unique<SortIterator>(
+      std::make_unique<ScanIterator>(&table->partition(0), &s), &s,
+      std::vector<SortKey>{{0, true}, {1, false}});
+  ElasticIterator::Options opts;
+  opts.initial_parallelism = 2;
+  opts.order_preserving = true;
+  ElasticIterator it(std::move(sort), opts);
+  WorkerContext ctx;
+  ASSERT_EQ(it.Open(&ctx), NextResult::kSuccess);
+  int64_t prev_k = -1;
+  int64_t prev_v = INT64_MAX;
+  size_t count = 0;
+  BlockPtr block;
+  while (it.Next(&ctx, &block) == NextResult::kSuccess) {
+    for (int r = 0; r < block->num_rows(); ++r) {
+      int64_t k = s.GetInt32(block->RowAt(r), 0);
+      int64_t v = s.GetInt64(block->RowAt(r), 1);
+      ASSERT_GE(k, prev_k);
+      if (k == prev_k) ASSERT_LE(v, prev_v);  // v descending within k
+      if (k != prev_k) prev_v = INT64_MAX;
+      prev_k = k;
+      prev_v = v;
+      ++count;
+    }
+  }
+  it.Close();
+  EXPECT_EQ(count, 5000u);
+}
+
+TEST(SortTest, EmptyInput) {
+  auto table = MakeKV(0, 1);
+  const Schema& s = table->schema();
+  auto sort = std::make_unique<SortIterator>(
+      std::make_unique<ScanIterator>(&table->partition(0), &s), &s,
+      std::vector<SortKey>{{0, true}});
+  auto rows = RunElastic(std::move(sort), s, 2);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(RowComparatorTest, AllTypes) {
+  Schema s({ColumnDef::Int32("i"), ColumnDef::Int64("l"),
+            ColumnDef::Float64("f"), ColumnDef::Char("c", 8)});
+  std::vector<char> a(s.row_size());
+  std::vector<char> b(s.row_size());
+  s.SetInt32(a.data(), 0, 1);
+  s.SetInt32(b.data(), 0, 1);
+  s.SetInt64(a.data(), 1, 5);
+  s.SetInt64(b.data(), 1, 5);
+  s.SetFloat64(a.data(), 2, 1.5);
+  s.SetFloat64(b.data(), 2, 2.5);
+  s.SetString(a.data(), 3, "x");
+  s.SetString(b.data(), 3, "x");
+  RowComparator cmp(&s, {{0, true}, {1, true}, {2, true}});
+  EXPECT_LT(cmp.Compare(a.data(), b.data()), 0);
+  RowComparator cmp_desc(&s, {{2, false}});
+  EXPECT_GT(cmp_desc.Compare(a.data(), b.data()), 0);
+  RowComparator cmp_str(&s, {{3, true}});
+  EXPECT_EQ(cmp_str.Compare(a.data(), b.data()), 0);
+}
+
+}  // namespace
+}  // namespace claims

@@ -1,0 +1,77 @@
+#include "storage/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace claims {
+namespace {
+
+TEST(HashBytesTest, DistinguishesInputs) {
+  EXPECT_NE(HashBytes("abc", 3), HashBytes("abd", 3));
+  EXPECT_NE(HashBytes("abc", 3), HashBytes("abc", 2));
+  EXPECT_EQ(HashBytes("abc", 3), HashBytes("abc", 3));
+}
+
+TEST(HashBytesTest, SeedChangesHash) {
+  EXPECT_NE(HashBytes("abc", 3, 1), HashBytes("abc", 3, 2));
+}
+
+TEST(HashBytesTest, LongInputs) {
+  std::vector<char> buf(1000, 'x');
+  uint64_t h1 = HashBytes(buf.data(), buf.size());
+  buf[999] = 'y';
+  EXPECT_NE(HashBytes(buf.data(), buf.size()), h1);
+  buf[999] = 'x';
+  EXPECT_EQ(HashBytes(buf.data(), buf.size()), h1);
+}
+
+TEST(HashRowKeysTest, MultiColumnKeys) {
+  Schema s({ColumnDef::Int32("a"), ColumnDef::Int32("b"),
+            ColumnDef::Char("c", 8)});
+  std::vector<char> r1(s.row_size());
+  std::vector<char> r2(s.row_size());
+  s.SetInt32(r1.data(), 0, 1);
+  s.SetInt32(r1.data(), 1, 2);
+  s.SetString(r1.data(), 2, "hi");
+  // Same composite key, different layout source → same hash.
+  s.SetInt32(r2.data(), 0, 1);
+  s.SetInt32(r2.data(), 1, 2);
+  s.SetString(r2.data(), 2, "hi");
+  EXPECT_EQ(HashRowKeys(s, r1.data(), {0, 1, 2}),
+            HashRowKeys(s, r2.data(), {0, 1, 2}));
+  // Swapping the values of a and b must change the composite hash.
+  s.SetInt32(r2.data(), 0, 2);
+  s.SetInt32(r2.data(), 1, 1);
+  EXPECT_NE(HashRowKeys(s, r1.data(), {0, 1}), HashRowKeys(s, r2.data(), {0, 1}));
+}
+
+TEST(HashRowKeysTest, FloatAndInt64Keys) {
+  Schema s({ColumnDef::Float64("f"), ColumnDef::Int64("i")});
+  std::vector<char> row(s.row_size());
+  s.SetFloat64(row.data(), 0, 1.5);
+  s.SetInt64(row.data(), 1, 99);
+  uint64_t h = HashRowKeys(s, row.data(), {0, 1});
+  s.SetFloat64(row.data(), 0, 1.6);
+  EXPECT_NE(HashRowKeys(s, row.data(), {0, 1}), h);
+}
+
+TEST(PartitionOfTest, BalancedOverSequentialKeys) {
+  Schema s({ColumnDef::Int32("k")});
+  std::vector<char> row(s.row_size());
+  std::map<int, int> counts;
+  const int kN = 10000;
+  const int kParts = 8;
+  for (int i = 0; i < kN; ++i) {
+    s.SetInt32(row.data(), 0, i);
+    counts[PartitionOf(HashRowKeys(s, row.data(), {0}), kParts)]++;
+  }
+  ASSERT_EQ(counts.size(), static_cast<size_t>(kParts));
+  for (const auto& [p, c] : counts) {
+    EXPECT_NEAR(c, kN / kParts, kN / kParts / 3) << "partition " << p;
+  }
+}
+
+}  // namespace
+}  // namespace claims

@@ -1,0 +1,69 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace claims {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+    int64_t w = rng.UniformRange(-5, 5);
+    EXPECT_GE(w, -5);
+    EXPECT_LE(w, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(3);
+  std::map<uint64_t, int> counts;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) counts[rng.Uniform(10)]++;
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(c, kN / 10, kN / 50) << "value " << v;
+  }
+}
+
+TEST(ZipfTest, SkewsTowardSmallValues) {
+  ZipfGenerator zipf(1000, 0.9, 5);
+  std::map<uint64_t, int> counts;
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    uint64_t v = zipf.Next();
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Rank-0 item must be far more popular than a mid-rank item.
+  EXPECT_GT(counts[0], 20 * (counts[500] + 1));
+}
+
+TEST(ZipfTest, CoversDomain) {
+  ZipfGenerator zipf(10, 0.5, 9);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[zipf.Next()]++;
+  EXPECT_EQ(counts.size(), 10u);
+}
+
+}  // namespace
+}  // namespace claims

@@ -1,0 +1,90 @@
+#include "core/scalability_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace claims {
+namespace {
+
+constexpr int64_t kSec = 1'000'000'000;
+
+TEST(ScalabilityVectorTest, FreshEntryUsedDirectly) {
+  ScalabilityVector v(24);
+  v.Update(4, 400.0, /*now=*/10 * kSec);
+  auto est = v.Estimate(4, 10 * kSec, /*freshness=*/2 * kSec);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(*est, 400.0);
+}
+
+TEST(ScalabilityVectorTest, StaleEntryFallsBackToScaling) {
+  ScalabilityVector v(24);
+  v.Update(4, 400.0, 0);
+  v.Update(2, 250.0, 10 * kSec);  // fresh
+  // Entry at 4 is stale (10 s old); nearest valid anchor preference is still
+  // by distance: p=4 itself is the nearest anchor (distance 0) and is used
+  // for proportional scaling.
+  auto est = v.Estimate(4, 10 * kSec, 2 * kSec);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(*est, 400.0);  // 400 * 4/4
+}
+
+TEST(ScalabilityVectorTest, NeighborScaling) {
+  ScalabilityVector v(24);
+  v.Update(3, 300.0, 10 * kSec);
+  // No entry at 4: scale the p=3 record linearly (§4.4).
+  auto est = v.Estimate(4, 10 * kSec, 2 * kSec);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(*est, 400.0);
+  est = v.Estimate(2, 10 * kSec, 2 * kSec);
+  EXPECT_DOUBLE_EQ(*est, 200.0);
+}
+
+TEST(ScalabilityVectorTest, EmptyVectorReturnsNothing) {
+  ScalabilityVector v(24);
+  EXPECT_FALSE(v.Estimate(4, 0, kSec).has_value());
+}
+
+TEST(ScalabilityVectorTest, ZeroParallelismIsZero) {
+  ScalabilityVector v(24);
+  v.Update(1, 100.0, 0);
+  auto est = v.Estimate(0, 0, kSec);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(*est, 0.0);
+}
+
+TEST(ScalabilityVectorTest, InvalidateClearsForNewStage) {
+  ScalabilityVector v(24);
+  v.Update(4, 400.0, 0);
+  v.Invalidate();
+  EXPECT_FALSE(v.Estimate(4, 0, kSec).has_value());
+  EXPECT_FALSE(v.Raw(4).has_value());
+}
+
+TEST(ScalabilityVectorTest, RawExposesOnlyValidEntries) {
+  ScalabilityVector v(8);
+  EXPECT_FALSE(v.Raw(3).has_value());
+  v.Update(3, 42.0, 0);
+  ASSERT_TRUE(v.Raw(3).has_value());
+  EXPECT_DOUBLE_EQ(*v.Raw(3), 42.0);
+}
+
+TEST(ScalabilityVectorTest, ClampsAboveMax) {
+  ScalabilityVector v(4);
+  v.Update(4, 100.0, 0);
+  // Asking for p beyond max uses the clamped entry.
+  auto est = v.Estimate(9, 0, kSec);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(*est, 100.0);
+}
+
+TEST(ScalabilityVectorTest, PrefersNearestAnchor) {
+  ScalabilityVector v(24);
+  v.Update(2, 200.0, 0);
+  v.Update(10, 500.0, 0);
+  // p=3 is nearest to the p=2 anchor.
+  auto est = v.Estimate(3, 10 * kSec, kSec);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(*est, 300.0);  // 200 * 3/2
+}
+
+}  // namespace
+}  // namespace claims

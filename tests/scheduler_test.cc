@@ -1,0 +1,260 @@
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace claims {
+namespace {
+
+constexpr int64_t kSec = 1'000'000'000;
+
+class FakeClock : public Clock {
+ public:
+  int64_t NowNanos() const override { return now_; }
+  void Advance(int64_t ns) { now_ += ns; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+/// Scriptable segment: the test advances its counters to fake a workload.
+class FakeSegment : public SchedulableSegment {
+ public:
+  FakeSegment(std::string name, int parallelism)
+      : name_(std::move(name)), parallelism_(parallelism), scalability_(24) {}
+
+  const std::string& name() const override { return name_; }
+  bool active() const override { return active_; }
+  int parallelism() const override { return parallelism_; }
+  SegmentStats* stats() override { return &stats_; }
+  ScalabilityVector* scalability() override { return &scalability_; }
+  bool Expand(int) override {
+    ++parallelism_;
+    ++expand_calls_;
+    return true;
+  }
+  bool Shrink() override {
+    if (parallelism_ <= 1) return false;
+    --parallelism_;
+    ++shrink_calls_;
+    return true;
+  }
+
+  /// Advances counters as if the segment processed for `dt_ns` at
+  /// `tuples_per_sec`, spending the given blocked fractions (per worker).
+  void Work(int64_t dt_ns, double tuples_per_sec, double blocked_in = 0,
+            double blocked_out = 0) {
+    stats_.input_tuples.fetch_add(
+        static_cast<int64_t>(tuples_per_sec * dt_ns / 1e9));
+    stats_.blocked_input_ns.fetch_add(
+        static_cast<int64_t>(blocked_in * dt_ns * parallelism_));
+    stats_.blocked_output_ns.fetch_add(
+        static_cast<int64_t>(blocked_out * dt_ns * parallelism_));
+  }
+
+  std::string name_;
+  int parallelism_;
+  bool active_ = true;
+  int expand_calls_ = 0;
+  int shrink_calls_ = 0;
+  SegmentStats stats_;
+  ScalabilityVector scalability_;
+};
+
+SchedulerOptions TestOptions(int cores) {
+  SchedulerOptions o;
+  o.num_cores = cores;
+  return o;
+}
+
+TEST(GlobalThroughputBoardTest, MinOverNodes) {
+  GlobalThroughputBoard board;
+  EXPECT_TRUE(std::isinf(board.GlobalLambda()));
+  board.PublishLocal(0, 100.0);
+  board.PublishLocal(1, 50.0);
+  EXPECT_DOUBLE_EQ(board.GlobalLambda(), 50.0);
+  board.PublishLocal(1, 200.0);
+  EXPECT_DOUBLE_EQ(board.GlobalLambda(), 100.0);
+  board.ClearNode(0);
+  EXPECT_DOUBLE_EQ(board.GlobalLambda(), 200.0);
+  board.Reset();
+  EXPECT_TRUE(std::isinf(board.GlobalLambda()));
+}
+
+TEST(DynamicSchedulerTest, ExpandsBottleneckWithFreeCores) {
+  FakeClock clock;
+  GlobalThroughputBoard board;
+  DynamicScheduler sched(0, TestOptions(8), &clock, &board);
+  FakeSegment seg("s1", 1);
+  sched.AddSegment(&seg);
+  sched.Tick();  // prime
+  clock.Advance(kSec);
+  seg.Work(kSec, 1000.0);
+  auto actions = sched.Tick();
+  // Up to max_free_expansions (default 2) free-pool cores per tick.
+  ASSERT_GE(actions.size(), 1u);
+  ASSERT_LE(actions.size(),
+            static_cast<size_t>(sched.options().max_free_expansions));
+  EXPECT_EQ(actions[0].kind, SchedulerAction::Kind::kExpandFree);
+  EXPECT_EQ(seg.parallelism(), 1 + static_cast<int>(actions.size()));
+}
+
+TEST(DynamicSchedulerTest, MovesCoreFromOverToUnderPerformer) {
+  FakeClock clock;
+  GlobalThroughputBoard board;
+  DynamicScheduler sched(0, TestOptions(8), &clock, &board);
+  FakeSegment slow("slow", 4);   // R = 100
+  FakeSegment fast("fast", 4);   // R = 1000 — clear over-performer
+  sched.AddSegment(&slow);
+  sched.AddSegment(&fast);
+  sched.Tick();
+  // Build trustworthy scalability history at several parallelism levels.
+  for (int i = 0; i < 3; ++i) {
+    clock.Advance(kSec);
+    slow.Work(kSec, 100.0);
+    fast.Work(kSec, 1000.0);
+    auto actions = sched.Tick();
+    if (!actions.empty()) {
+      EXPECT_EQ(actions[0].kind, SchedulerAction::Kind::kMovePair);
+      EXPECT_EQ(actions[0].expanded, "slow");
+      EXPECT_EQ(actions[0].shrunk, "fast");
+      break;
+    }
+  }
+  EXPECT_GE(slow.expand_calls_, 1);
+  EXPECT_GE(fast.shrink_calls_, 1);
+}
+
+TEST(DynamicSchedulerTest, ShrinksStarvedSegment) {
+  FakeClock clock;
+  GlobalThroughputBoard board;
+  DynamicScheduler sched(0, TestOptions(8), &clock, &board);
+  FakeSegment producer("producer", 4);
+  FakeSegment starved("starved", 4);
+  sched.AddSegment(&producer);
+  sched.AddSegment(&starved);
+  sched.Tick();
+  clock.Advance(kSec);
+  producer.Work(kSec, 500.0);
+  starved.Work(kSec, 1.0, /*blocked_in=*/0.9);  // waiting on input 90% of time
+  auto actions = sched.Tick();
+  bool saw_starved_shrink = false;
+  for (const auto& a : actions) {
+    if (a.kind == SchedulerAction::Kind::kShrinkStarved && a.shrunk == "starved")
+      saw_starved_shrink = true;
+  }
+  EXPECT_TRUE(saw_starved_shrink);
+  EXPECT_EQ(starved.parallelism(), 3);
+}
+
+TEST(DynamicSchedulerTest, ShrinksOverproducingSegment) {
+  FakeClock clock;
+  GlobalThroughputBoard board;
+  DynamicScheduler sched(0, TestOptions(8), &clock, &board);
+  FakeSegment normal("normal", 4);
+  FakeSegment overprod("overprod", 4);
+  sched.AddSegment(&normal);
+  sched.AddSegment(&overprod);
+  sched.Tick();
+  clock.Advance(kSec);
+  normal.Work(kSec, 500.0);
+  overprod.Work(kSec, 400.0, /*blocked_in=*/0, /*blocked_out=*/0.8);
+  auto actions = sched.Tick();
+  bool saw = false;
+  for (const auto& a : actions) {
+    if (a.kind == SchedulerAction::Kind::kShrinkOverproducing &&
+        a.shrunk == "overprod") {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(DynamicSchedulerTest, BlockedRateNotRecordedInScalabilityVector) {
+  FakeClock clock;
+  GlobalThroughputBoard board;
+  DynamicScheduler sched(0, TestOptions(8), &clock, &board);
+  FakeSegment seg("s", 2);
+  sched.AddSegment(&seg);
+  sched.Tick();
+  clock.Advance(kSec);
+  seg.Work(kSec, 100.0, /*blocked_in=*/0.9);
+  sched.Tick();
+  // Under-estimated measurement (starved) must not pollute the vector (§4.4).
+  EXPECT_FALSE(seg.scalability()->Raw(2).has_value());
+  clock.Advance(kSec);
+  seg.Work(kSec, 100.0);
+  sched.Tick();
+  EXPECT_TRUE(seg.scalability()->Raw(seg.parallelism() == 2 ? 2 : 3).has_value() ||
+              seg.scalability()->Raw(2).has_value());
+}
+
+TEST(DynamicSchedulerTest, InactiveSegmentIgnored) {
+  FakeClock clock;
+  GlobalThroughputBoard board;
+  DynamicScheduler sched(0, TestOptions(8), &clock, &board);
+  FakeSegment seg("s", 2);
+  seg.active_ = false;
+  sched.AddSegment(&seg);
+  sched.Tick();
+  clock.Advance(kSec);
+  auto actions = sched.Tick();
+  EXPECT_TRUE(actions.empty());
+  EXPECT_EQ(sched.cores_in_use(), 0);
+}
+
+TEST(DynamicSchedulerTest, RespectsCoreBudget) {
+  FakeClock clock;
+  GlobalThroughputBoard board;
+  DynamicScheduler sched(0, TestOptions(4), &clock, &board);
+  FakeSegment seg("s", 4);  // already uses every core
+  sched.AddSegment(&seg);
+  sched.Tick();
+  clock.Advance(kSec);
+  seg.Work(kSec, 1000.0);
+  auto actions = sched.Tick();
+  // Only one segment: no pair partner, no free cores → no expansion.
+  EXPECT_EQ(seg.parallelism(), 4);
+  for (const auto& a : actions) {
+    EXPECT_NE(a.kind, SchedulerAction::Kind::kExpandFree);
+  }
+}
+
+TEST(DynamicSchedulerTest, NormalizedRateUsesVisitRate) {
+  FakeClock clock;
+  GlobalThroughputBoard board;
+  DynamicScheduler sched(0, TestOptions(8), &clock, &board);
+  FakeSegment seg("s", 2);
+  seg.stats_.visit_rate.store(0.5);  // half the source tuples reach it
+  sched.AddSegment(&seg);
+  sched.Tick();
+  clock.Advance(kSec);
+  seg.Work(kSec, 100.0);
+  sched.Tick();
+  // R = T / V = 100 / 0.5.
+  EXPECT_NEAR(sched.NormalizedRate(&seg), 200.0, 1.0);
+}
+
+TEST(DynamicSchedulerTest, PublishesLocalLambda) {
+  FakeClock clock;
+  GlobalThroughputBoard board;
+  DynamicScheduler sched0(0, TestOptions(8), &clock, &board);
+  DynamicScheduler sched1(1, TestOptions(8), &clock, &board);
+  FakeSegment a("a", 2);
+  FakeSegment b("b", 2);
+  sched0.AddSegment(&a);
+  sched1.AddSegment(&b);
+  sched0.Tick();
+  sched1.Tick();
+  clock.Advance(kSec);
+  a.Work(kSec, 300.0);
+  b.Work(kSec, 120.0);
+  sched0.Tick();
+  sched1.Tick();
+  // Global λ is node 1's 120 t/s.
+  EXPECT_NEAR(board.GlobalLambda(), 120.0, 1.0);
+}
+
+}  // namespace
+}  // namespace claims

@@ -1,0 +1,92 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace claims {
+namespace {
+
+Schema TestSchema() {
+  return Schema({ColumnDef::Int32("a"), ColumnDef::Int64("b"),
+                 ColumnDef::Float64("c"), ColumnDef::Date("d"),
+                 ColumnDef::Char("e", 10)});
+}
+
+TEST(SchemaTest, LayoutOffsets) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 5);
+  EXPECT_EQ(s.offset(0), 0);
+  EXPECT_EQ(s.offset(1), 4);
+  EXPECT_EQ(s.offset(2), 12);
+  EXPECT_EQ(s.offset(3), 20);
+  EXPECT_EQ(s.offset(4), 24);
+  EXPECT_EQ(s.row_size(), 34);
+}
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.FindColumn("a"), 0);
+  EXPECT_EQ(s.FindColumn("E"), 4);
+  EXPECT_EQ(s.FindColumn("zzz"), -1);
+}
+
+TEST(SchemaTest, RawFieldRoundTrip) {
+  Schema s = TestSchema();
+  std::vector<char> row(s.row_size());
+  s.SetInt32(row.data(), 0, -42);
+  s.SetInt64(row.data(), 1, 1LL << 40);
+  s.SetFloat64(row.data(), 2, 3.25);
+  s.SetInt32(row.data(), 3, 14912);
+  s.SetString(row.data(), 4, "hello");
+  EXPECT_EQ(s.GetInt32(row.data(), 0), -42);
+  EXPECT_EQ(s.GetInt64(row.data(), 1), 1LL << 40);
+  EXPECT_EQ(s.GetFloat64(row.data(), 2), 3.25);
+  EXPECT_EQ(s.GetInt32(row.data(), 3), 14912);
+  EXPECT_EQ(s.GetString(row.data(), 4), "hello");
+}
+
+TEST(SchemaTest, StringTruncationAndPadding) {
+  Schema s = TestSchema();
+  std::vector<char> row(s.row_size());
+  s.SetString(row.data(), 4, "0123456789ABCDEF");  // longer than width 10
+  EXPECT_EQ(s.GetString(row.data(), 4), "0123456789");
+  s.SetString(row.data(), 4, "ab");
+  EXPECT_EQ(s.GetString(row.data(), 4), "ab");
+}
+
+TEST(SchemaTest, ValueRoundTrip) {
+  Schema s = TestSchema();
+  std::vector<char> row(s.row_size());
+  s.SetValue(row.data(), 0, Value::Int32(5));
+  s.SetValue(row.data(), 1, Value::Int64(6));
+  s.SetValue(row.data(), 2, Value::Float64(7.5));
+  s.SetValue(row.data(), 3, Value::Date(100));
+  s.SetValue(row.data(), 4, Value::String("xy"));
+  EXPECT_EQ(s.GetValue(row.data(), 0), Value::Int32(5));
+  EXPECT_EQ(s.GetValue(row.data(), 1), Value::Int64(6));
+  EXPECT_EQ(s.GetValue(row.data(), 2), Value::Float64(7.5));
+  EXPECT_EQ(s.GetValue(row.data(), 3), Value::Date(100));
+  EXPECT_EQ(s.GetValue(row.data(), 4).AsString(), "xy");
+}
+
+TEST(SchemaTest, NumericCoercionOnSetValue) {
+  Schema s = TestSchema();
+  std::vector<char> row(s.row_size());
+  s.SetValue(row.data(), 0, Value::Float64(9.9));  // into INT32
+  EXPECT_EQ(s.GetInt32(row.data(), 0), 9);
+  s.SetValue(row.data(), 2, Value::Int64(4));  // into FLOAT64
+  EXPECT_EQ(s.GetFloat64(row.data(), 2), 4.0);
+}
+
+TEST(ValueTest, CompareAndToString) {
+  EXPECT_LT(Value::Int32(1).Compare(Value::Int32(2)), 0);
+  EXPECT_EQ(Value::Int64(5).Compare(Value::Int32(5)), 0);
+  EXPECT_GT(Value::Float64(2.5).Compare(Value::Int32(2)), 0);
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::Date(DaysFromCivil(2010, 10, 30)).ToString(), "2010-10-30");
+  EXPECT_EQ(Value::Int64(12).ToString(), "12");
+}
+
+}  // namespace
+}  // namespace claims

@@ -1,0 +1,337 @@
+// End-to-end SQL execution: the full stack (parser → binder → planner →
+// distributed elastic execution) against independently computed oracles and
+// cross-mode consistency checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/string_util.h"
+#include "engine/database.h"
+#include "engine/workloads.h"
+
+namespace claims {
+namespace {
+
+/// Row-wise scan helper over every partition of a table.
+template <typename Fn>
+void ForEachRow(const Table& table, Fn&& fn) {
+  for (int p = 0; p < table.num_partitions(); ++p) {
+    const TablePartition& part = table.partition(p);
+    for (int b = 0; b < part.num_blocks(); ++b) {
+      const Block& blk = *part.block(b);
+      for (int r = 0; r < blk.num_rows(); ++r) fn(blk.RowAt(r));
+    }
+  }
+}
+
+class SqlExecTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatabaseOptions options;
+    options.cluster.num_nodes = 3;
+    options.cluster.cores_per_node = 4;
+    db_ = new Database(options);
+    TpchConfig tpch;
+    tpch.scale_factor = 0.002;
+    ASSERT_TRUE(db_->LoadTpch(tpch).ok());
+    SseConfig sse;
+    sse.securities_rows = 4000;
+    sse.trades_rows = 6000;
+    sse.num_accounts = 300;
+    sse.num_securities = 50;
+    ASSERT_TRUE(db_->LoadSse(sse).ok());
+  }
+  static void TearDownTestSuite() { delete db_; }
+
+  static ResultSet Run(std::string_view sql, ExecMode mode = ExecMode::kStatic,
+                       int parallelism = 2) {
+    ExecOptions opts;
+    opts.mode = mode;
+    opts.parallelism = parallelism;
+    auto r = db_->Query(sql, opts);
+    EXPECT_TRUE(r.ok()) << sql << "\n" << r.status().ToString();
+    return r.ok() ? std::move(*r) : ResultSet();
+  }
+
+  static Database* db_;
+};
+
+Database* SqlExecTest::db_ = nullptr;
+
+TEST_F(SqlExecTest, CountStar) {
+  ResultSet r = Run("SELECT count(*) FROM orders");
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(r.Get(0, 0).AsInt64(),
+            (*db_->catalog()->GetTable("orders"))->num_rows());
+}
+
+TEST_F(SqlExecTest, FilterCountMatchesOracle) {
+  TablePtr orders = *db_->catalog()->GetTable("orders");
+  const Schema& s = orders->schema();
+  int col = s.FindColumn("o_totalprice");
+  int64_t expected = 0;
+  ForEachRow(*orders, [&](const char* row) {
+    if (s.GetFloat64(row, col) > 150000.0) ++expected;
+  });
+  ResultSet r =
+      Run("SELECT count(*) FROM orders WHERE o_totalprice > 150000.0");
+  EXPECT_EQ(r.Get(0, 0).AsInt64(), expected);
+}
+
+TEST_F(SqlExecTest, ScalarAggregatesMatchOracle) {
+  TablePtr lineitem = *db_->catalog()->GetTable("lineitem");
+  const Schema& s = lineitem->schema();
+  int qty = s.FindColumn("l_quantity");
+  double sum = 0, mn = 1e18, mx = -1e18;
+  int64_t count = 0;
+  ForEachRow(*lineitem, [&](const char* row) {
+    double v = s.GetFloat64(row, qty);
+    sum += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    ++count;
+  });
+  ResultSet r = Run(
+      "SELECT sum(l_quantity), avg(l_quantity), min(l_quantity), "
+      "max(l_quantity), count(*) FROM lineitem");
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_NEAR(r.Get(0, 0).ToDouble(), sum, 1e-6 * sum);
+  EXPECT_NEAR(r.Get(0, 1).AsFloat64(), sum / count, 1e-6);
+  EXPECT_DOUBLE_EQ(r.Get(0, 2).ToDouble(), mn);
+  EXPECT_DOUBLE_EQ(r.Get(0, 3).ToDouble(), mx);
+  EXPECT_EQ(r.Get(0, 4).AsInt64(), count);
+}
+
+TEST_F(SqlExecTest, GroupByMatchesOracle) {
+  TablePtr lineitem = *db_->catalog()->GetTable("lineitem");
+  const Schema& s = lineitem->schema();
+  int rf = s.FindColumn("l_returnflag");
+  int qty = s.FindColumn("l_quantity");
+  std::map<std::string, std::pair<double, int64_t>> oracle;
+  ForEachRow(*lineitem, [&](const char* row) {
+    auto& agg = oracle[std::string(s.GetString(row, rf))];
+    agg.first += s.GetFloat64(row, qty);
+    agg.second += 1;
+  });
+  ResultSet r = Run(
+      "SELECT l_returnflag, sum(l_quantity), count(*) FROM lineitem "
+      "GROUP BY l_returnflag ORDER BY l_returnflag");
+  ASSERT_EQ(r.num_rows(), static_cast<int64_t>(oracle.size()));
+  int64_t i = 0;
+  for (const auto& [flag, agg] : oracle) {  // map iterates sorted
+    EXPECT_EQ(r.Get(i, 0).AsString(), flag);
+    EXPECT_NEAR(r.Get(i, 1).ToDouble(), agg.first, 1e-6 * agg.first);
+    EXPECT_EQ(r.Get(i, 2).AsInt64(), agg.second);
+    ++i;
+  }
+}
+
+TEST_F(SqlExecTest, RepartitionJoinMatchesOracle) {
+  // SSE-Q6: count matching (trades ⋈ securities on acct_id) pairs.
+  TablePtr trades = *db_->catalog()->GetTable("trades");
+  TablePtr securities = *db_->catalog()->GetTable("securities");
+  const Schema& ts = trades->schema();
+  const Schema& ss = securities->schema();
+  int32_t date = DaysFromCivil(2010, 10, 30);
+  std::map<int32_t, int64_t> trade_accts;  // acct → #trades on date
+  ForEachRow(*trades, [&](const char* row) {
+    if (ts.GetInt32(row, ts.FindColumn("trade_date")) == date) {
+      trade_accts[ts.GetInt32(row, ts.FindColumn("acct_id"))]++;
+    }
+  });
+  int64_t expected = 0;
+  ForEachRow(*securities, [&](const char* row) {
+    if (ss.GetInt32(row, ss.FindColumn("sec_code")) == 600036) {
+      auto it = trade_accts.find(ss.GetInt32(row, ss.FindColumn("acct_id")));
+      if (it != trade_accts.end()) expected += it->second;
+    }
+  });
+  ResultSet r = Run(*SseQuery(6));
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(r.Get(0, 0).AsInt64(), expected);
+}
+
+TEST_F(SqlExecTest, SseQ9MatchesOracle) {
+  TablePtr trades = *db_->catalog()->GetTable("trades");
+  TablePtr securities = *db_->catalog()->GetTable("securities");
+  const Schema& ts = trades->schema();
+  const Schema& ss = securities->schema();
+  int32_t date = DaysFromCivil(2010, 10, 30);
+  struct Group {
+    int64_t trade_volume = 0;
+    int64_t entry_volume = 0;
+  };
+  // Join on acct_id, group by (sec_code of trade, acct_id).
+  std::map<int32_t, std::vector<std::pair<int32_t, int64_t>>> secs_by_acct;
+  ForEachRow(*securities, [&](const char* row) {
+    if (ss.GetInt32(row, 3) == date) {  // entry_date
+      secs_by_acct[ss.GetInt32(row, 1)].emplace_back(
+          ss.GetInt32(row, 1), ss.GetInt64(row, 4));
+    }
+  });
+  std::map<std::pair<int32_t, int32_t>, Group> oracle;
+  ForEachRow(*trades, [&](const char* row) {
+    if (ts.GetInt32(row, 2) != date) return;  // trade_date
+    int32_t acct = ts.GetInt32(row, 0);
+    auto it = secs_by_acct.find(acct);
+    if (it == secs_by_acct.end()) return;
+    int32_t sec = ts.GetInt32(row, 1);
+    for (const auto& [s_acct, entry_vol] : it->second) {
+      Group& g = oracle[{sec, s_acct}];
+      g.trade_volume += ts.GetInt64(row, 5);
+      g.entry_volume += entry_vol;
+    }
+  });
+  ResultSet r = Run(*SseQuery(9));
+  ASSERT_EQ(r.num_rows(), static_cast<int64_t>(oracle.size()));
+  auto rows = r.Rows(/*sorted=*/true);
+  int64_t i = 0;
+  for (const auto& [key, g] : oracle) {
+    EXPECT_EQ(rows[i][0].AsInt64(), key.first);
+    EXPECT_EQ(rows[i][1].AsInt64(), key.second);
+    EXPECT_EQ(rows[i][2].AsInt64(), g.trade_volume);
+    EXPECT_EQ(rows[i][3].AsInt64(), g.entry_volume);
+    ++i;
+  }
+}
+
+TEST_F(SqlExecTest, OrderByAndLimit) {
+  ResultSet r = Run(
+      "SELECT o_orderkey, o_totalprice FROM orders "
+      "ORDER BY o_totalprice DESC LIMIT 10");
+  ASSERT_EQ(r.num_rows(), 10);
+  double prev = 1e18;
+  for (int i = 0; i < 10; ++i) {
+    double v = r.Get(i, 1).AsFloat64();
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+  // Top value matches the oracle max.
+  TablePtr orders = *db_->catalog()->GetTable("orders");
+  const Schema& s = orders->schema();
+  double mx = 0;
+  ForEachRow(*orders, [&](const char* row) {
+    mx = std::max(mx, s.GetFloat64(row, s.FindColumn("o_totalprice")));
+  });
+  EXPECT_DOUBLE_EQ(r.Get(0, 1).AsFloat64(), mx);
+}
+
+TEST_F(SqlExecTest, HavingFiltersGroups) {
+  ResultSet all = Run(
+      "SELECT l_suppkey, count(*) AS c FROM lineitem GROUP BY l_suppkey");
+  // Split on the median group size so both sides are non-empty.
+  std::vector<int64_t> counts;
+  for (const auto& row : all.Rows()) counts.push_back(row[1].AsInt64());
+  std::sort(counts.begin(), counts.end());
+  int64_t threshold = counts[counts.size() / 2];
+  ResultSet filtered = Run(StrFormat(
+      "SELECT l_suppkey, count(*) AS c FROM lineitem GROUP BY l_suppkey "
+      "HAVING count(*) > %lld",
+      static_cast<long long>(threshold)));
+  int64_t expected = 0;
+  for (int64_t c : counts) {
+    if (c > threshold) ++expected;
+  }
+  EXPECT_EQ(filtered.num_rows(), expected);
+  EXPECT_LT(filtered.num_rows(), all.num_rows());
+  EXPECT_GT(filtered.num_rows(), 0);
+}
+
+TEST_F(SqlExecTest, CaseExpressionInAggregate) {
+  // Q12 shape: the two CASE sums must add up to the plain count.
+  ResultSet r = Run(
+      "SELECT sum(CASE WHEN o_orderpriority = '1-URGENT' THEN 1 ELSE 0 END), "
+      "sum(CASE WHEN o_orderpriority <> '1-URGENT' THEN 1 ELSE 0 END), "
+      "count(*) FROM orders");
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(r.Get(0, 0).AsInt64() + r.Get(0, 1).AsInt64(),
+            r.Get(0, 2).AsInt64());
+  EXPECT_GT(r.Get(0, 0).AsInt64(), 0);
+}
+
+TEST_F(SqlExecTest, DerivedTableJoin) {
+  // Q2's decorrelated shape on SSE data: per-account minimum price joined
+  // back to find rows at that minimum.
+  ResultSet r = Run(
+      "SELECT count(*) FROM trades t, "
+      "(SELECT acct_id AS m_acct, min(order_price) AS m_price FROM trades "
+      " GROUP BY acct_id) m "
+      "WHERE t.acct_id = m_acct AND t.order_price = m_price");
+  ASSERT_EQ(r.num_rows(), 1);
+  // At least one minimal-price trade per distinct account.
+  TablePtr trades = *db_->catalog()->GetTable("trades");
+  const Schema& ts = trades->schema();
+  std::map<int32_t, double> min_price;
+  std::map<std::pair<int32_t, double>, int64_t> count_at;
+  ForEachRow(*trades, [&](const char* row) {
+    int32_t acct = ts.GetInt32(row, 0);
+    double price = ts.GetFloat64(row, 4);
+    auto it = min_price.find(acct);
+    if (it == min_price.end() || price < it->second) min_price[acct] = price;
+    count_at[{acct, price}]++;
+  });
+  int64_t expected = 0;
+  for (const auto& [acct, price] : min_price) {
+    expected += count_at[{acct, price}];
+  }
+  EXPECT_EQ(r.Get(0, 0).AsInt64(), expected);
+}
+
+// --- Cross-mode / cross-parallelism consistency over the full workload ---------
+
+struct ModeParam {
+  ExecMode mode;
+  int parallelism;
+};
+
+class WorkloadConsistencyTest
+    : public SqlExecTest,
+      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(WorkloadConsistencyTest, AllModesAgree) {
+  std::string_view sql;
+  std::string name = GetParam();
+  if (name[0] == 'S' && name[1] == 'Q') {
+    sql = *SyntheticQuery(name[2] - '0');
+  } else if (name[0] == 'E') {
+    sql = *SseQuery(name[1] - '0');
+  } else {
+    sql = *TpchQuery(std::atoi(name.c_str() + 1));
+  }
+  ResultSet baseline = Run(sql, ExecMode::kStatic, 1);
+  auto expect = baseline.Rows(/*sorted=*/true);
+  for (ModeParam mp : {ModeParam{ExecMode::kStatic, 4},
+                       ModeParam{ExecMode::kMaterialized, 2},
+                       ModeParam{ExecMode::kElastic, 1}}) {
+    ResultSet r = Run(sql, mp.mode, mp.parallelism);
+    auto rows = r.Rows(/*sorted=*/true);
+    ASSERT_EQ(rows.size(), expect.size())
+        << ExecModeName(mp.mode) << " p=" << mp.parallelism;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_EQ(rows[i].size(), expect[i].size());
+      for (size_t c = 0; c < rows[i].size(); ++c) {
+        if (rows[i][c].type() == DataType::kFloat64) {
+          double a = rows[i][c].AsFloat64();
+          double b = expect[i][c].AsFloat64();
+          ASSERT_NEAR(a, b, 1e-6 * std::max(1.0, std::fabs(b)))
+              << "row " << i << " col " << c;
+        } else {
+          ASSERT_EQ(rows[i][c].ToString(), expect[i][c].ToString())
+              << "row " << i << " col " << c;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workload, WorkloadConsistencyTest,
+    ::testing::Values("SQ1", "SQ2", "SQ3", "SQ4", "SQ5",  // synthetic
+                      "E6", "E7", "E8", "E9",             // SSE
+                      "Q1", "Q2", "Q3", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10",
+                      "Q12", "Q14"));
+
+}  // namespace
+}  // namespace claims

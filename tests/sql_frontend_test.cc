@@ -1,0 +1,345 @@
+// Lexer, parser, binder, and planner unit tests.
+
+#include <gtest/gtest.h>
+
+#include "engine/workloads.h"
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "storage/datagen/sse_gen.h"
+#include "storage/datagen/tpch_gen.h"
+
+namespace claims {
+namespace {
+
+// --- Lexer -----------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto r = Tokenize("SELECT a1, 'str''x' FROM t WHERE x <= 3.5 -- comment\n");
+  ASSERT_TRUE(r.ok());
+  const auto& t = *r;
+  ASSERT_GE(t.size(), 10u);
+  EXPECT_EQ(t[0].text, "SELECT");
+  EXPECT_EQ(t[1].text, "a1");
+  EXPECT_EQ(t[2].text, ",");
+  EXPECT_EQ(t[3].type, TokenType::kString);
+  EXPECT_EQ(t[3].text, "str'x");
+  EXPECT_EQ(t[8].text, "<=");
+  EXPECT_EQ(t[9].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(t[9].float_value, 3.5);
+  EXPECT_EQ(t.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, Numbers) {
+  auto r = Tokenize("42 0.05 1e3 600036");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].int_value, 42);
+  EXPECT_DOUBLE_EQ((*r)[1].float_value, 0.05);
+  EXPECT_DOUBLE_EQ((*r)[2].float_value, 1000.0);
+  EXPECT_EQ((*r)[3].int_value, 600036);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT a # b").ok());
+}
+
+// --- Parser -----------------------------------------------------------------------
+
+TEST(ParserTest, SimpleSelect) {
+  auto r = ParseSelect("SELECT a, b AS bee FROM t WHERE a > 5 LIMIT 3;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = **r;
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[1].alias, "bee");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "t");
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.limit, 3);
+}
+
+TEST(ParserTest, StarAndGroupOrder) {
+  auto r = ParseSelect(
+      "SELECT * FROM t GROUP BY a, b HAVING count(*) > 1 "
+      "ORDER BY a DESC, b ASC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = **r;
+  EXPECT_TRUE(s.items[0].star);
+  EXPECT_EQ(s.group_by.size(), 2u);
+  ASSERT_NE(s.having, nullptr);
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_FALSE(s.order_by[0].ascending);
+  EXPECT_TRUE(s.order_by[1].ascending);
+}
+
+TEST(ParserTest, JoinSyntaxFoldsIntoWhere) {
+  auto r = ParseSelect(
+      "SELECT * FROM a JOIN b ON a.x = b.y INNER JOIN c ON b.z = c.w "
+      "WHERE a.k = 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = **r;
+  EXPECT_EQ(s.from.size(), 3u);
+  ASSERT_NE(s.where, nullptr);  // three conjuncts folded
+}
+
+TEST(ParserTest, DerivedTable) {
+  auto r = ParseSelect(
+      "SELECT m.k FROM (SELECT k, min(v) AS mv FROM t GROUP BY k) m");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_NE((*r)->from[0].subquery, nullptr);
+  EXPECT_EQ((*r)->from[0].alias, "m");
+}
+
+TEST(ParserTest, PredicatesAndCase) {
+  auto r = ParseSelect(
+      "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END "
+      "FROM t WHERE a IN (1,2,3) AND b BETWEEN 0.05 AND 0.07 "
+      "AND c NOT LIKE '%x%' AND NOT (d = 4 OR e <> 5)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto r = ParseSelect("SELECT a + b * c - d / e FROM t");
+  ASSERT_TRUE(r.ok());
+  // ((a + (b*c)) - (d/e))
+  const SqlExpr& top = *(*r)->items[0].expr;
+  EXPECT_EQ(top.op, "-");
+  EXPECT_EQ(top.args[0]->op, "+");
+  EXPECT_EQ(top.args[0]->args[1]->op, "*");
+  EXPECT_EQ(top.args[1]->op, "/");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t GROUP a").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM (SELECT b FROM t)").ok());  // alias
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t; SELECT b FROM t").ok());
+}
+
+TEST(ParserTest, AllWorkloadQueriesParse) {
+  for (int q = 1; q <= 5; ++q) {
+    auto sql = SyntheticQuery(q);
+    ASSERT_TRUE(sql.ok());
+    EXPECT_TRUE(ParseSelect(*sql).ok()) << "S-Q" << q;
+  }
+  for (int q = 6; q <= 9; ++q) {
+    auto sql = SseQuery(q);
+    ASSERT_TRUE(sql.ok());
+    EXPECT_TRUE(ParseSelect(*sql).ok()) << "SSE-Q" << q;
+  }
+  for (int q : SupportedTpchQueries()) {
+    auto sql = TpchQuery(q);
+    ASSERT_TRUE(sql.ok());
+    auto parsed = ParseSelect(*sql);
+    EXPECT_TRUE(parsed.ok()) << "Q" << q << ": " << parsed.status().ToString();
+  }
+}
+
+// --- Binder -----------------------------------------------------------------------
+
+class BinderTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog;
+    TpchConfig tpch;
+    tpch.scale_factor = 0.001;
+    tpch.num_partitions = 2;
+    ASSERT_TRUE(GenerateTpch(tpch, catalog_).ok());
+    SseConfig sse;
+    sse.securities_rows = 100;
+    sse.trades_rows = 100;
+    sse.num_partitions = 2;
+    ASSERT_TRUE(GenerateSse(sse, catalog_).ok());
+  }
+  static void TearDownTestSuite() { delete catalog_; }
+
+  static Result<std::unique_ptr<BoundQuery>> Bind(std::string_view sql) {
+    auto stmt = ParseSelect(sql);
+    if (!stmt.ok()) return stmt.status();
+    return BindSelect(**stmt, *catalog_);
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* BinderTest::catalog_ = nullptr;
+
+TEST_F(BinderTest, ResolvesColumnsAndTypes) {
+  auto q = Bind("SELECT o_orderkey, o_totalprice FROM orders WHERE "
+                "o_orderdate < '1995-01-01'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)->select_exprs[0]->type, DataType::kInt32);
+  EXPECT_EQ((*q)->select_exprs[1]->type, DataType::kFloat64);
+  ASSERT_EQ((*q)->conjuncts.size(), 1u);
+  // The date literal must have been coerced.
+  EXPECT_EQ((*q)->conjuncts[0]->children[1]->literal.type(), DataType::kDate);
+}
+
+TEST_F(BinderTest, QualifiedAndAliasResolution) {
+  auto q = Bind("SELECT T.acct_id, S.acct_id FROM trades T, securities S "
+                "WHERE T.acct_id = S.acct_id");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_NE((*q)->select_exprs[0]->column, (*q)->select_exprs[1]->column);
+}
+
+TEST_F(BinderTest, AmbiguousColumnRejected) {
+  auto q = Bind("SELECT acct_id FROM trades, securities");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(BinderTest, UnknownColumnAndTable) {
+  EXPECT_FALSE(Bind("SELECT nope FROM orders").ok());
+  EXPECT_FALSE(Bind("SELECT 1 FROM nonexistent").ok());
+}
+
+TEST_F(BinderTest, AggregatesCollected) {
+  auto q = Bind("SELECT l_returnflag, sum(l_quantity), count(*), "
+                "avg(l_discount) FROM lineitem GROUP BY l_returnflag");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)->aggregates.size(), 3u);
+  EXPECT_EQ((*q)->aggregates[0].fn, AggFn::kSum);
+  EXPECT_EQ((*q)->aggregates[1].fn, AggFn::kCount);
+  EXPECT_EQ((*q)->aggregates[2].fn, AggFn::kAvg);
+  EXPECT_TRUE((*q)->has_aggregation());
+}
+
+TEST_F(BinderTest, NonGroupColumnRejected) {
+  EXPECT_FALSE(
+      Bind("SELECT l_orderkey, sum(l_quantity) FROM lineitem "
+           "GROUP BY l_returnflag")
+          .ok());
+}
+
+TEST_F(BinderTest, AggregateInWhereRejected) {
+  EXPECT_FALSE(Bind("SELECT 1 FROM orders WHERE sum(o_totalprice) > 5").ok());
+}
+
+TEST_F(BinderTest, OrderByBinding) {
+  auto q = Bind("SELECT l_returnflag, sum(l_quantity) AS qty FROM lineitem "
+                "GROUP BY l_returnflag ORDER BY qty DESC, 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ((*q)->order_by.size(), 2u);
+  EXPECT_EQ((*q)->order_by[0].output_index, 1);
+  EXPECT_FALSE((*q)->order_by[0].ascending);
+  EXPECT_EQ((*q)->order_by[1].output_index, 0);
+}
+
+TEST_F(BinderTest, DuplicateAliasRejected) {
+  EXPECT_FALSE(Bind("SELECT 1 FROM orders o, lineitem o").ok());
+}
+
+TEST_F(BinderTest, AllWorkloadQueriesBind) {
+  for (int q = 1; q <= 5; ++q) {
+    auto b = Bind(*SyntheticQuery(q));
+    EXPECT_TRUE(b.ok()) << "S-Q" << q << ": " << b.status().ToString();
+  }
+  for (int q = 6; q <= 9; ++q) {
+    auto b = Bind(*SseQuery(q));
+    EXPECT_TRUE(b.ok()) << "SSE-Q" << q << ": " << b.status().ToString();
+  }
+  for (int q : SupportedTpchQueries()) {
+    auto b = Bind(*TpchQuery(q));
+    EXPECT_TRUE(b.ok()) << "Q" << q << ": " << b.status().ToString();
+  }
+}
+
+// --- Planner ----------------------------------------------------------------------
+
+class PlannerTest : public BinderTest {
+ protected:
+  static Result<PhysicalPlan> Plan(std::string_view sql) {
+    PlannerOptions opts;
+    opts.num_nodes = 2;
+    Planner planner(catalog_, opts);
+    return planner.PlanSql(sql);
+  }
+};
+
+TEST_F(PlannerTest, SingleTableGather) {
+  auto p = Plan("SELECT o_orderkey FROM orders WHERE o_totalprice > 1000");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->fragments.size(), 1u);
+  EXPECT_EQ(p->result_schema.num_columns(), 1);
+  std::string text = p->ToString();
+  EXPECT_NE(text.find("Scan(orders)"), std::string::npos);
+  EXPECT_NE(text.find("Filter"), std::string::npos);
+}
+
+TEST_F(PlannerTest, CoLocatedJoinHasNoShuffle) {
+  // orders and lineitem are both partitioned on the order key.
+  auto p = Plan("SELECT count(*) FROM orders, lineitem "
+                "WHERE l_orderkey = o_orderkey");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  // One compute fragment + master final-aggregation fragment; no shuffle.
+  std::string text = p->ToString();
+  EXPECT_EQ(text.find("hash on"), std::string::npos) << text;
+}
+
+TEST_F(PlannerTest, RepartitionJoinWhenNotColocated) {
+  // securities partitioned on acct_id; trades on sec_code ⇒ a repartition is
+  // required (the paper's Fig. 1 plan). Disable broadcasting (the test
+  // catalog is tiny) to force the shuffle path.
+  PlannerOptions opts;
+  opts.num_nodes = 2;
+  opts.broadcast_threshold_rows = 0;
+  Planner planner(catalog_, opts);
+  auto p = planner.PlanSql(*SseQuery(9));
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  std::string text = p->ToString();
+  EXPECT_NE(text.find("hash on"), std::string::npos) << text;
+  EXPECT_NE(text.find("HashJoin"), std::string::npos);
+  EXPECT_NE(text.find("HashAgg"), std::string::npos);
+}
+
+TEST_F(PlannerTest, BroadcastSmallBuildSide) {
+  auto p = Plan("SELECT count(*) FROM lineitem, nation "
+                "WHERE l_suppkey = n_nationkey");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  std::string text = p->ToString();
+  EXPECT_NE(text.find("broadcast"), std::string::npos) << text;
+}
+
+TEST_F(PlannerTest, ScalarAggTwoPhase) {
+  auto p = Plan("SELECT count(*), avg(o_totalprice) FROM orders");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  // Local partial fragment + master final fragment.
+  EXPECT_EQ(p->fragments.size(), 2u);
+  std::string text = p->ToString();
+  // Two HashAgg stages.
+  size_t first = text.find("HashAgg");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(text.find("HashAgg", first + 1), std::string::npos);
+}
+
+TEST_F(PlannerTest, OrderByAddsMasterSortFragment) {
+  auto p = Plan("SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 5");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->limit, 5);
+  std::string text = p->ToString();
+  EXPECT_NE(text.find("Sort"), std::string::npos);
+}
+
+TEST_F(PlannerTest, CrossJoinRejected) {
+  EXPECT_FALSE(Plan("SELECT 1 FROM orders, customer").ok());
+}
+
+TEST_F(PlannerTest, AllWorkloadQueriesPlan) {
+  for (int q = 1; q <= 5; ++q) {
+    auto p = Plan(*SyntheticQuery(q));
+    EXPECT_TRUE(p.ok()) << "S-Q" << q << ": " << p.status().ToString();
+  }
+  for (int q = 6; q <= 9; ++q) {
+    auto p = Plan(*SseQuery(q));
+    EXPECT_TRUE(p.ok()) << "SSE-Q" << q << ": " << p.status().ToString();
+  }
+  for (int q : SupportedTpchQueries()) {
+    auto p = Plan(*TpchQuery(q));
+    EXPECT_TRUE(p.ok()) << "Q" << q << ": " << p.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace claims

@@ -1,0 +1,166 @@
+#ifndef CLAIMS_TESTS_TEST_ITERATORS_H_
+#define CLAIMS_TESTS_TEST_ITERATORS_H_
+
+// Synthetic iterators shared by the core-layer unit tests: a numbered block
+// source, a work-simulating pass-through, and a barrier-guarded "blocking"
+// iterator that mimics hash-build state construction.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/barrier.h"
+#include "core/iterator.h"
+#include "storage/block.h"
+#include "storage/schema.h"
+
+namespace claims {
+namespace testing_support {
+
+inline Schema OneInt64Schema() { return Schema({ColumnDef::Int64("v")}); }
+
+/// Emits `num_blocks` blocks of `rows_per_block` sequential int64 values,
+/// tagged with dense sequence numbers — a stand-in for a scan stage beginner.
+/// Thread-safe; respects terminate requests at block boundaries.
+class CountingSource : public Iterator {
+ public:
+  CountingSource(int num_blocks, int rows_per_block, int delay_us = 0)
+      : schema_(OneInt64Schema()),
+        num_blocks_(num_blocks),
+        rows_per_block_(rows_per_block),
+        delay_us_(delay_us) {}
+
+  NextResult Open(WorkerContext* ctx) override {
+    if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
+    return NextResult::kSuccess;
+  }
+
+  NextResult Next(WorkerContext* ctx, BlockPtr* out) override {
+    if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
+    int b = next_block_.fetch_add(1, std::memory_order_relaxed);
+    if (b >= num_blocks_) return NextResult::kEndOfFile;
+    if (delay_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us_));
+    }
+    auto block = MakeBlock(schema_.row_size(), rows_per_block_ * 8);
+    for (int r = 0; r < rows_per_block_; ++r) {
+      char* row = block->AppendRow();
+      schema_.SetInt64(row, 0, static_cast<int64_t>(b) * rows_per_block_ + r);
+    }
+    block->set_sequence_number(static_cast<uint64_t>(b));
+    if (ctx->stats != nullptr) {
+      ctx->stats->input_tuples.fetch_add(rows_per_block_,
+                                         std::memory_order_relaxed);
+    }
+    *out = std::move(block);
+    return NextResult::kSuccess;
+  }
+
+  void Close() override {}
+
+  Schema schema_;
+
+ private:
+  int num_blocks_;
+  int rows_per_block_;
+  int delay_us_;
+  std::atomic<int> next_block_{0};
+};
+
+/// Pass-through that burns `cost_us` per block — simulates operator work so
+/// shrink latency and pipelining are observable.
+class SlowPassThrough : public Iterator {
+ public:
+  SlowPassThrough(std::unique_ptr<Iterator> child, int cost_us)
+      : child_(std::move(child)), cost_us_(cost_us) {}
+
+  NextResult Open(WorkerContext* ctx) override { return child_->Open(ctx); }
+
+  NextResult Next(WorkerContext* ctx, BlockPtr* out) override {
+    NextResult r = child_->Next(ctx, out);
+    if (r == NextResult::kSuccess && cost_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(cost_us_));
+    }
+    return r;
+  }
+
+  void Close() override { child_->Close(); }
+  int SubtreeSize() const override { return 1 + child_->SubtreeSize(); }
+
+ private:
+  std::unique_ptr<Iterator> child_;
+  int cost_us_;
+};
+
+/// Mimics a pipeline breaker: Open() drains the whole child into a shared
+/// "state" (a tuple counter) behind a dynamic barrier, then Next() emits one
+/// summary block. Exercises Register/Deregister/Arrive under expansion and
+/// shrinkage exactly like the hash-join build of appendix A.2.3.
+class BlockingCounter : public Iterator {
+ public:
+  explicit BlockingCounter(std::unique_ptr<Iterator> child)
+      : child_(std::move(child)), schema_(OneInt64Schema()) {}
+
+  NextResult Open(WorkerContext* ctx) override {
+    barrier_.Register();
+    if (child_->Open(ctx) == NextResult::kTerminated) {
+      barrier_.Deregister();
+      return NextResult::kTerminated;
+    }
+    BlockPtr block;
+    while (true) {
+      NextResult r = child_->Next(ctx, &block);
+      if (r == NextResult::kEndOfFile) break;
+      if (r == NextResult::kTerminated) {
+        barrier_.Deregister();
+        return NextResult::kTerminated;
+      }
+      state_tuples_.fetch_add(block->num_rows(), std::memory_order_relaxed);
+      builders_.fetch_add(1, std::memory_order_relaxed);
+      if (ctx->DetectedTerminateRequest()) {
+        barrier_.Deregister();
+        return NextResult::kTerminated;
+      }
+    }
+    barrier_.Arrive();
+    return NextResult::kSuccess;
+  }
+
+  NextResult Next(WorkerContext* ctx, BlockPtr* out) override {
+    if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
+    bool expected = false;
+    if (!emitted_.compare_exchange_strong(expected, true)) {
+      return NextResult::kEndOfFile;
+    }
+    auto block = MakeBlock(schema_.row_size(), 64);
+    schema_.SetInt64(block->AppendRow(), 0,
+                     state_tuples_.load(std::memory_order_relaxed));
+    *out = std::move(block);
+    return NextResult::kSuccess;
+  }
+
+  void Close() override { child_->Close(); }
+  int SubtreeSize() const override { return 1 + child_->SubtreeSize(); }
+
+  int64_t state_tuples() const {
+    return state_tuples_.load(std::memory_order_relaxed);
+  }
+  /// Number of blocks contributed to state construction (≥1 per worker that
+  /// participated).
+  int64_t builder_blocks() const {
+    return builders_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<Iterator> child_;
+  Schema schema_;
+  DynamicBarrier barrier_;
+  std::atomic<int64_t> state_tuples_{0};
+  std::atomic<int64_t> builders_{0};
+  std::atomic<bool> emitted_{false};
+};
+
+}  // namespace testing_support
+}  // namespace claims
+
+#endif  // CLAIMS_TESTS_TEST_ITERATORS_H_

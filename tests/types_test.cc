@@ -1,0 +1,56 @@
+#include "storage/types.h"
+
+#include <gtest/gtest.h>
+
+namespace claims {
+namespace {
+
+TEST(TypesTest, Widths) {
+  EXPECT_EQ(TypeWidth(DataType::kInt32, 0), 4);
+  EXPECT_EQ(TypeWidth(DataType::kInt64, 0), 8);
+  EXPECT_EQ(TypeWidth(DataType::kFloat64, 0), 8);
+  EXPECT_EQ(TypeWidth(DataType::kDate, 0), 4);
+  EXPECT_EQ(TypeWidth(DataType::kChar, 17), 17);
+}
+
+TEST(TypesTest, DateRoundTrip) {
+  for (int y : {1970, 1992, 1998, 2010, 2026}) {
+    for (int m : {1, 2, 6, 12}) {
+      for (int d : {1, 15, 28}) {
+        int32_t days = DaysFromCivil(y, m, d);
+        int y2, m2, d2;
+        CivilFromDays(days, &y2, &m2, &d2);
+        EXPECT_EQ(y2, y);
+        EXPECT_EQ(m2, m);
+        EXPECT_EQ(d2, d);
+      }
+    }
+  }
+}
+
+TEST(TypesTest, EpochIsZero) { EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0); }
+
+TEST(TypesTest, KnownDates) {
+  // 2010-10-30 is the paper's filter date.
+  EXPECT_EQ(FormatDate(DaysFromCivil(2010, 10, 30)), "2010-10-30");
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+}
+
+TEST(TypesTest, ParseDate) {
+  auto r = ParseDate("2010-10-30");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, DaysFromCivil(2010, 10, 30));
+  EXPECT_FALSE(ParseDate("2010/10/30").ok());
+  EXPECT_FALSE(ParseDate("not-a-date").ok());
+  EXPECT_FALSE(ParseDate("2010-13-01").ok());
+  EXPECT_FALSE(ParseDate("").ok());
+}
+
+TEST(TypesTest, DateOrderingMatchesCalendar) {
+  EXPECT_LT(DaysFromCivil(2010, 8, 2), DaysFromCivil(2010, 10, 30));
+  EXPECT_LT(DaysFromCivil(1992, 1, 1), DaysFromCivil(1998, 8, 2));
+}
+
+}  // namespace
+}  // namespace claims
