@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dynamics.dir/fig10_dynamics.cc.o"
+  "CMakeFiles/fig10_dynamics.dir/fig10_dynamics.cc.o.d"
+  "fig10_dynamics"
+  "fig10_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_selectivity.dir/fig11_selectivity.cc.o"
+  "CMakeFiles/fig11_selectivity.dir/fig11_selectivity.cc.o.d"
+  "fig11_selectivity"
+  "fig11_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_interference.dir/fig12_interference.cc.o"
+  "CMakeFiles/fig12_interference.dir/fig12_interference.cc.o.d"
+  "fig12_interference"
+  "fig12_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_schedulers.dir/table5_schedulers.cc.o"
+  "CMakeFiles/table5_schedulers.dir/table5_schedulers.cc.o.d"
+  "table5_schedulers"
+  "table5_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_utilization.dir/table6_utilization.cc.o"
+  "CMakeFiles/table6_utilization.dir/table6_utilization.cc.o.d"
+  "table6_utilization"
+  "table6_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_endtoend.dir/table7_endtoend.cc.o"
+  "CMakeFiles/table7_endtoend.dir/table7_endtoend.cc.o.d"
+  "table7_endtoend"
+  "table7_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

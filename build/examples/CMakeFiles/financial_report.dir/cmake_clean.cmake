@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/financial_report.dir/financial_report.cpp.o"
+  "CMakeFiles/financial_report.dir/financial_report.cpp.o.d"
+  "financial_report"
+  "financial_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/financial_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

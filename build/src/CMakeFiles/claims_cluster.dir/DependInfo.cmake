@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/claims_cluster.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/claims_cluster.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/exchange.cc" "src/CMakeFiles/claims_cluster.dir/cluster/exchange.cc.o" "gcc" "src/CMakeFiles/claims_cluster.dir/cluster/exchange.cc.o.d"
+  "/root/repo/src/cluster/executor.cc" "src/CMakeFiles/claims_cluster.dir/cluster/executor.cc.o" "gcc" "src/CMakeFiles/claims_cluster.dir/cluster/executor.cc.o.d"
+  "/root/repo/src/cluster/plan.cc" "src/CMakeFiles/claims_cluster.dir/cluster/plan.cc.o" "gcc" "src/CMakeFiles/claims_cluster.dir/cluster/plan.cc.o.d"
+  "/root/repo/src/cluster/result_set.cc" "src/CMakeFiles/claims_cluster.dir/cluster/result_set.cc.o" "gcc" "src/CMakeFiles/claims_cluster.dir/cluster/result_set.cc.o.d"
+  "/root/repo/src/cluster/segment.cc" "src/CMakeFiles/claims_cluster.dir/cluster/segment.cc.o" "gcc" "src/CMakeFiles/claims_cluster.dir/cluster/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/claims_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/claims_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/claims_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/claims_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/claims_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_cluster.dir/cluster/cluster.cc.o"
+  "CMakeFiles/claims_cluster.dir/cluster/cluster.cc.o.d"
+  "CMakeFiles/claims_cluster.dir/cluster/exchange.cc.o"
+  "CMakeFiles/claims_cluster.dir/cluster/exchange.cc.o.d"
+  "CMakeFiles/claims_cluster.dir/cluster/executor.cc.o"
+  "CMakeFiles/claims_cluster.dir/cluster/executor.cc.o.d"
+  "CMakeFiles/claims_cluster.dir/cluster/plan.cc.o"
+  "CMakeFiles/claims_cluster.dir/cluster/plan.cc.o.d"
+  "CMakeFiles/claims_cluster.dir/cluster/result_set.cc.o"
+  "CMakeFiles/claims_cluster.dir/cluster/result_set.cc.o.d"
+  "CMakeFiles/claims_cluster.dir/cluster/segment.cc.o"
+  "CMakeFiles/claims_cluster.dir/cluster/segment.cc.o.d"
+  "libclaims_cluster.a"
+  "libclaims_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

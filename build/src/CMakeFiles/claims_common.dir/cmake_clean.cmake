@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_common.dir/common/clock.cc.o"
+  "CMakeFiles/claims_common.dir/common/clock.cc.o.d"
+  "CMakeFiles/claims_common.dir/common/logging.cc.o"
+  "CMakeFiles/claims_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/claims_common.dir/common/random.cc.o"
+  "CMakeFiles/claims_common.dir/common/random.cc.o.d"
+  "CMakeFiles/claims_common.dir/common/status.cc.o"
+  "CMakeFiles/claims_common.dir/common/status.cc.o.d"
+  "CMakeFiles/claims_common.dir/common/string_util.cc.o"
+  "CMakeFiles/claims_common.dir/common/string_util.cc.o.d"
+  "libclaims_common.a"
+  "libclaims_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/barrier.cc" "src/CMakeFiles/claims_core.dir/core/barrier.cc.o" "gcc" "src/CMakeFiles/claims_core.dir/core/barrier.cc.o.d"
+  "/root/repo/src/core/context_pool.cc" "src/CMakeFiles/claims_core.dir/core/context_pool.cc.o" "gcc" "src/CMakeFiles/claims_core.dir/core/context_pool.cc.o.d"
+  "/root/repo/src/core/data_buffer.cc" "src/CMakeFiles/claims_core.dir/core/data_buffer.cc.o" "gcc" "src/CMakeFiles/claims_core.dir/core/data_buffer.cc.o.d"
+  "/root/repo/src/core/elastic_iterator.cc" "src/CMakeFiles/claims_core.dir/core/elastic_iterator.cc.o" "gcc" "src/CMakeFiles/claims_core.dir/core/elastic_iterator.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/claims_core.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/claims_core.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/scalability_vector.cc" "src/CMakeFiles/claims_core.dir/core/scalability_vector.cc.o" "gcc" "src/CMakeFiles/claims_core.dir/core/scalability_vector.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/CMakeFiles/claims_core.dir/core/scheduler.cc.o" "gcc" "src/CMakeFiles/claims_core.dir/core/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/claims_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/claims_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_core.dir/core/barrier.cc.o"
+  "CMakeFiles/claims_core.dir/core/barrier.cc.o.d"
+  "CMakeFiles/claims_core.dir/core/context_pool.cc.o"
+  "CMakeFiles/claims_core.dir/core/context_pool.cc.o.d"
+  "CMakeFiles/claims_core.dir/core/data_buffer.cc.o"
+  "CMakeFiles/claims_core.dir/core/data_buffer.cc.o.d"
+  "CMakeFiles/claims_core.dir/core/elastic_iterator.cc.o"
+  "CMakeFiles/claims_core.dir/core/elastic_iterator.cc.o.d"
+  "CMakeFiles/claims_core.dir/core/metrics.cc.o"
+  "CMakeFiles/claims_core.dir/core/metrics.cc.o.d"
+  "CMakeFiles/claims_core.dir/core/scalability_vector.cc.o"
+  "CMakeFiles/claims_core.dir/core/scalability_vector.cc.o.d"
+  "CMakeFiles/claims_core.dir/core/scheduler.cc.o"
+  "CMakeFiles/claims_core.dir/core/scheduler.cc.o.d"
+  "libclaims_core.a"
+  "libclaims_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_engine.dir/engine/database.cc.o"
+  "CMakeFiles/claims_engine.dir/engine/database.cc.o.d"
+  "CMakeFiles/claims_engine.dir/engine/workloads.cc.o"
+  "CMakeFiles/claims_engine.dir/engine/workloads.cc.o.d"
+  "libclaims_engine.a"
+  "libclaims_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

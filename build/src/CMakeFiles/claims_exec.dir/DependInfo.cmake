@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/expr/expr.cc" "src/CMakeFiles/claims_exec.dir/exec/expr/expr.cc.o" "gcc" "src/CMakeFiles/claims_exec.dir/exec/expr/expr.cc.o.d"
+  "/root/repo/src/exec/expr/like.cc" "src/CMakeFiles/claims_exec.dir/exec/expr/like.cc.o" "gcc" "src/CMakeFiles/claims_exec.dir/exec/expr/like.cc.o.d"
+  "/root/repo/src/exec/hash_table.cc" "src/CMakeFiles/claims_exec.dir/exec/hash_table.cc.o" "gcc" "src/CMakeFiles/claims_exec.dir/exec/hash_table.cc.o.d"
+  "/root/repo/src/exec/ops/filter.cc" "src/CMakeFiles/claims_exec.dir/exec/ops/filter.cc.o" "gcc" "src/CMakeFiles/claims_exec.dir/exec/ops/filter.cc.o.d"
+  "/root/repo/src/exec/ops/hash_agg.cc" "src/CMakeFiles/claims_exec.dir/exec/ops/hash_agg.cc.o" "gcc" "src/CMakeFiles/claims_exec.dir/exec/ops/hash_agg.cc.o.d"
+  "/root/repo/src/exec/ops/hash_join.cc" "src/CMakeFiles/claims_exec.dir/exec/ops/hash_join.cc.o" "gcc" "src/CMakeFiles/claims_exec.dir/exec/ops/hash_join.cc.o.d"
+  "/root/repo/src/exec/ops/scan.cc" "src/CMakeFiles/claims_exec.dir/exec/ops/scan.cc.o" "gcc" "src/CMakeFiles/claims_exec.dir/exec/ops/scan.cc.o.d"
+  "/root/repo/src/exec/ops/sort.cc" "src/CMakeFiles/claims_exec.dir/exec/ops/sort.cc.o" "gcc" "src/CMakeFiles/claims_exec.dir/exec/ops/sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/claims_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/claims_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/claims_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

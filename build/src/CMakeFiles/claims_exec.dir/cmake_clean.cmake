@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_exec.dir/exec/expr/expr.cc.o"
+  "CMakeFiles/claims_exec.dir/exec/expr/expr.cc.o.d"
+  "CMakeFiles/claims_exec.dir/exec/expr/like.cc.o"
+  "CMakeFiles/claims_exec.dir/exec/expr/like.cc.o.d"
+  "CMakeFiles/claims_exec.dir/exec/hash_table.cc.o"
+  "CMakeFiles/claims_exec.dir/exec/hash_table.cc.o.d"
+  "CMakeFiles/claims_exec.dir/exec/ops/filter.cc.o"
+  "CMakeFiles/claims_exec.dir/exec/ops/filter.cc.o.d"
+  "CMakeFiles/claims_exec.dir/exec/ops/hash_agg.cc.o"
+  "CMakeFiles/claims_exec.dir/exec/ops/hash_agg.cc.o.d"
+  "CMakeFiles/claims_exec.dir/exec/ops/hash_join.cc.o"
+  "CMakeFiles/claims_exec.dir/exec/ops/hash_join.cc.o.d"
+  "CMakeFiles/claims_exec.dir/exec/ops/scan.cc.o"
+  "CMakeFiles/claims_exec.dir/exec/ops/scan.cc.o.d"
+  "CMakeFiles/claims_exec.dir/exec/ops/sort.cc.o"
+  "CMakeFiles/claims_exec.dir/exec/ops/sort.cc.o.d"
+  "libclaims_exec.a"
+  "libclaims_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

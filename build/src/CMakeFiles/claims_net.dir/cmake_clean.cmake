@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_net.dir/net/channel.cc.o"
+  "CMakeFiles/claims_net.dir/net/channel.cc.o.d"
+  "CMakeFiles/claims_net.dir/net/network.cc.o"
+  "CMakeFiles/claims_net.dir/net/network.cc.o.d"
+  "CMakeFiles/claims_net.dir/net/token_bucket.cc.o"
+  "CMakeFiles/claims_net.dir/net/token_bucket.cc.o.d"
+  "libclaims_net.a"
+  "libclaims_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/claims_sim.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/claims_sim.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/claims_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/claims_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/sim_engine.cc" "src/CMakeFiles/claims_sim.dir/sim/sim_engine.cc.o" "gcc" "src/CMakeFiles/claims_sim.dir/sim/sim_engine.cc.o.d"
+  "/root/repo/src/sim/specs.cc" "src/CMakeFiles/claims_sim.dir/sim/specs.cc.o" "gcc" "src/CMakeFiles/claims_sim.dir/sim/specs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/claims_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/claims_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/claims_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/claims_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/claims_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/claims_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/claims_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

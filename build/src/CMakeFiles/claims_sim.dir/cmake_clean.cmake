@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_sim.dir/sim/cost_model.cc.o"
+  "CMakeFiles/claims_sim.dir/sim/cost_model.cc.o.d"
+  "CMakeFiles/claims_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/claims_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/claims_sim.dir/sim/sim_engine.cc.o"
+  "CMakeFiles/claims_sim.dir/sim/sim_engine.cc.o.d"
+  "CMakeFiles/claims_sim.dir/sim/specs.cc.o"
+  "CMakeFiles/claims_sim.dir/sim/specs.cc.o.d"
+  "libclaims_sim.a"
+  "libclaims_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

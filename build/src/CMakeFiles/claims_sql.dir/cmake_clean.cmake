@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_sql.dir/sql/binder.cc.o"
+  "CMakeFiles/claims_sql.dir/sql/binder.cc.o.d"
+  "CMakeFiles/claims_sql.dir/sql/bound_expr.cc.o"
+  "CMakeFiles/claims_sql.dir/sql/bound_expr.cc.o.d"
+  "CMakeFiles/claims_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/claims_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/claims_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/claims_sql.dir/sql/parser.cc.o.d"
+  "CMakeFiles/claims_sql.dir/sql/planner.cc.o"
+  "CMakeFiles/claims_sql.dir/sql/planner.cc.o.d"
+  "libclaims_sql.a"
+  "libclaims_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/claims_storage.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/claims_storage.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/datagen/sse_gen.cc" "src/CMakeFiles/claims_storage.dir/storage/datagen/sse_gen.cc.o" "gcc" "src/CMakeFiles/claims_storage.dir/storage/datagen/sse_gen.cc.o.d"
+  "/root/repo/src/storage/datagen/tpch_gen.cc" "src/CMakeFiles/claims_storage.dir/storage/datagen/tpch_gen.cc.o" "gcc" "src/CMakeFiles/claims_storage.dir/storage/datagen/tpch_gen.cc.o.d"
+  "/root/repo/src/storage/partition.cc" "src/CMakeFiles/claims_storage.dir/storage/partition.cc.o" "gcc" "src/CMakeFiles/claims_storage.dir/storage/partition.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/claims_storage.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/claims_storage.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/claims_storage.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/claims_storage.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/types.cc" "src/CMakeFiles/claims_storage.dir/storage/types.cc.o" "gcc" "src/CMakeFiles/claims_storage.dir/storage/types.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/claims_storage.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/claims_storage.dir/storage/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/claims_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/claims_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/claims_storage.dir/storage/datagen/sse_gen.cc.o"
+  "CMakeFiles/claims_storage.dir/storage/datagen/sse_gen.cc.o.d"
+  "CMakeFiles/claims_storage.dir/storage/datagen/tpch_gen.cc.o"
+  "CMakeFiles/claims_storage.dir/storage/datagen/tpch_gen.cc.o.d"
+  "CMakeFiles/claims_storage.dir/storage/partition.cc.o"
+  "CMakeFiles/claims_storage.dir/storage/partition.cc.o.d"
+  "CMakeFiles/claims_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/claims_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/claims_storage.dir/storage/table.cc.o"
+  "CMakeFiles/claims_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/claims_storage.dir/storage/types.cc.o"
+  "CMakeFiles/claims_storage.dir/storage/types.cc.o.d"
+  "CMakeFiles/claims_storage.dir/storage/value.cc.o"
+  "CMakeFiles/claims_storage.dir/storage/value.cc.o.d"
+  "libclaims_storage.a"
+  "libclaims_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

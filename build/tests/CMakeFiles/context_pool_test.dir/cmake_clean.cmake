@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_pool_test.dir/context_pool_test.cc.o"
+  "CMakeFiles/context_pool_test.dir/context_pool_test.cc.o.d"
+  "context_pool_test"
+  "context_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

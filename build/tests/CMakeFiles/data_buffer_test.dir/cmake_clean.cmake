@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_buffer_test.dir/data_buffer_test.cc.o"
+  "CMakeFiles/data_buffer_test.dir/data_buffer_test.cc.o.d"
+  "data_buffer_test"
+  "data_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

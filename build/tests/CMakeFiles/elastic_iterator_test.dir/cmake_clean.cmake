@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_iterator_test.dir/elastic_iterator_test.cc.o"
+  "CMakeFiles/elastic_iterator_test.dir/elastic_iterator_test.cc.o.d"
+  "elastic_iterator_test"
+  "elastic_iterator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_iterator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_vector_test.dir/scalability_vector_test.cc.o"
+  "CMakeFiles/scalability_vector_test.dir/scalability_vector_test.cc.o.d"
+  "scalability_vector_test"
+  "scalability_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_frontend_test.dir/sql_frontend_test.cc.o"
+  "CMakeFiles/sql_frontend_test.dir/sql_frontend_test.cc.o.d"
+  "sql_frontend_test"
+  "sql_frontend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sse_gen_test.dir/sse_gen_test.cc.o"
+  "CMakeFiles/sse_gen_test.dir/sse_gen_test.cc.o.d"
+  "sse_gen_test"
+  "sse_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sse_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
