@@ -12,11 +12,14 @@
 #include "exec/ops/filter.h"
 #include "exec/ops/hash_agg.h"
 #include "exec/ops/scan.h"
+#include "obs/trace.h"
 #include "storage/table.h"
 
 using namespace claims;
 
 int main() {
+  // CLAIMS_TRACE=pipeline.json ./adaptive_pipeline captures a Perfetto trace.
+  TraceEnvScope trace_scope;
   // A single-partition table with a text column so the LIKE filter has work.
   Schema schema({ColumnDef::Int32("k"), ColumnDef::Char("comment", 44)});
   Table table("events", schema, 1, {});
@@ -49,6 +52,7 @@ int main() {
   ElasticIterator::Options opts;
   opts.initial_parallelism = 1;
   opts.stats = &stats;
+  opts.trace_label = "pipeline";
   ElasticIterator elastic(std::move(agg), opts);
 
   WorkerContext ctx;

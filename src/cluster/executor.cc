@@ -217,9 +217,48 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
     }
   }
 
-  stats_.elapsed_ns = clock->NowNanos() - t0;
+  int64_t t1 = clock->NowNanos();
+  stats_.elapsed_ns = t1 - t0;
   stats_.peak_memory_bytes = cluster_->memory()->peak_bytes();
   stats_.remote_bytes = cluster_->network()->total_remote_bytes() - remote0;
+
+  // EXPLAIN-ANALYZE report: segment rows copied from the very SegmentStats
+  // the scheduler sampled, so report totals reconcile with the counters.
+  TraceCollector* tc = TraceCollector::Global();
+  report_ = ExecutionReport{};
+  report_.mode = ExecModeName(opts.mode);
+  report_.elapsed_ns = stats_.elapsed_ns;
+  report_.peak_memory_bytes = stats_.peak_memory_bytes;
+  report_.remote_bytes = stats_.remote_bytes;
+  report_.result_tuples = result.num_rows();
+  std::vector<TraceEvent> trace;
+  if (tc->enabled()) {
+    trace = tc->Snapshot();
+    tc->Complete(t0, t1 - t0, /*pid=*/0, "query",
+                 StrFormat("query (%s)", ExecModeName(opts.mode)),
+                 {{"result_tuples", result.num_rows()},
+                  {"remote_bytes", stats_.remote_bytes}});
+  }
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& seg = *segments_[i];
+    const SegmentStats& st = *stats_own_[i];
+    SegmentReport sr;
+    sr.name = seg.name();
+    sr.node_id = seg.node_id();
+    sr.input_tuples = st.input_tuples.load(std::memory_order_relaxed);
+    sr.output_tuples = st.output_tuples.load(std::memory_order_relaxed);
+    sr.selectivity = st.selectivity();
+    sr.visit_rate = st.visit_rate.load(std::memory_order_relaxed);
+    sr.blocked_input_ns = st.blocked_input_ns.load(std::memory_order_relaxed);
+    sr.blocked_output_ns =
+        st.blocked_output_ns.load(std::memory_order_relaxed);
+    sr.lifetime_ns = seg.lifetime_ns();
+    sr.final_parallelism = seg.final_parallelism();
+    sr.peak_parallelism = segments_[i]->elastic()->peak_parallelism();
+    sr.parallelism_timeline =
+        ExtractCounterTimeline(trace, "parallelism:" + seg.name(), t0, t1);
+    report_.segments.push_back(std::move(sr));
+  }
   return result;
 }
 

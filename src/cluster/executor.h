@@ -8,6 +8,7 @@
 #include "cluster/plan.h"
 #include "cluster/result_set.h"
 #include "cluster/segment.h"
+#include "obs/report.h"
 
 namespace claims {
 
@@ -49,6 +50,12 @@ class Executor {
 
   const ExecStats& stats() const { return stats_; }
 
+  /// EXPLAIN-ANALYZE summary of the most recent Execute. Per-segment numbers
+  /// are copied from the segments' SegmentStats, so they reconcile exactly
+  /// with what the scheduler sampled; parallelism timelines are filled from
+  /// the trace when tracing was on during the run.
+  const ExecutionReport& report() const { return report_; }
+
   /// Live segments of the most recent Execute (valid during execution; used
   /// by benches to trace parallelism dynamics).
   const std::vector<std::unique_ptr<Segment>>& segments() const {
@@ -65,6 +72,7 @@ class Executor {
   std::vector<std::unique_ptr<Segment>> segments_;
   std::vector<std::unique_ptr<SegmentStats>> stats_own_;
   ExecStats stats_;
+  ExecutionReport report_;
 };
 
 }  // namespace claims

@@ -1,5 +1,7 @@
 #include "cluster/segment.h"
 
+#include "obs/trace.h"
+
 namespace claims {
 
 Segment::Segment(std::unique_ptr<Iterator> ops_root, Config config)
@@ -14,6 +16,8 @@ Segment::Segment(std::unique_ptr<Iterator> ops_root, Config config)
   opts.stats = config_.stats;
   opts.clock = config_.clock;
   opts.max_parallelism = config_.max_parallelism;
+  opts.trace_label = config_.name;
+  opts.trace_pid = config_.node_id;
   elastic_ = std::make_unique<ElasticIterator>(std::move(ops_root), opts);
 }
 
@@ -43,11 +47,26 @@ bool Segment::active() const {
 }
 
 void Segment::DriverMain() {
+  TraceCollector* tc = TraceCollector::Global();
+  Clock* clock =
+      config_.clock != nullptr ? config_.clock : SteadyClock::Default();
+  const int64_t t0 = clock->NowNanos();
+
   WorkerContext ctx;  // the driver is not a worker; no terminate flag
   elastic_->Open(&ctx);
   sender_.Pump(elastic_.get(), &ctx, &cancel_);
+  final_parallelism_.store(elastic_->parallelism(), std::memory_order_release);
   done_.store(true, std::memory_order_release);
   elastic_->Close();
+
+  int64_t t1 = clock->NowNanos();
+  lifetime_ns_.store(t1 - t0, std::memory_order_release);
+  if (tc->enabled()) {
+    tc->Complete(t0, t1 - t0, config_.node_id, "segment", config_.name,
+                 {{"cancelled", cancel_.load(std::memory_order_acquire)
+                                    ? 1.0
+                                    : 0.0}});
+  }
 }
 
 }  // namespace claims

@@ -59,6 +59,15 @@ class Segment : public SchedulableSegment {
   int node_id() const { return config_.node_id; }
   ElasticIterator* elastic() { return elastic_.get(); }
 
+  /// Driver start → drained, for ExecutionReport; 0 until the driver exits.
+  int64_t lifetime_ns() const {
+    return lifetime_ns_.load(std::memory_order_acquire);
+  }
+  /// Worker count at the moment the segment drained.
+  int final_parallelism() const {
+    return final_parallelism_.load(std::memory_order_acquire);
+  }
+
  private:
   void DriverMain();
 
@@ -69,6 +78,8 @@ class Segment : public SchedulableSegment {
   std::thread driver_;
   std::atomic<bool> cancel_{false};
   std::atomic<bool> done_{false};
+  std::atomic<int64_t> lifetime_ns_{0};
+  std::atomic<int> final_parallelism_{0};
   bool started_ = false;
 };
 

@@ -1,7 +1,10 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace claims {
@@ -29,13 +32,59 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Small dense thread ids: worker threads come and go per query, so log
+/// readers correlate lines far more easily with T0/T1/... than with opaque
+/// pthread handles (and these match nothing else, so no false identity with
+/// trace tids is implied).
+int64_t ThreadId() {
+  static std::atomic<int64_t> next{0};
+  thread_local int64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Monotonic microseconds since the first log line of the process — the same
+/// steady timebase the engine's SteadyClock measures with, so log timestamps
+/// line up with trace/metric durations.
+int64_t ElapsedMicros() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                               start)
+      .count();
+}
+
+/// One-time CLAIMS_LOG_LEVEL pickup (debug|info|warning|error, or 0-3),
+/// applied before the first line is emitted. SetLogLevel still overrides.
+void InitLevelFromEnv() {
+  const char* env = std::getenv("CLAIMS_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return;
+  LogLevel level = LogLevel::kWarning;
+  if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0) {
+    level = LogLevel::kDebug;
+  } else if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0) {
+    level = LogLevel::kInfo;
+  } else if (std::strcmp(env, "warning") == 0 || std::strcmp(env, "warn") == 0 ||
+             std::strcmp(env, "2") == 0) {
+    level = LogLevel::kWarning;
+  } else if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0) {
+    level = LogLevel::kError;
+  } else {
+    return;  // unrecognized: keep the default
+  }
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+std::once_flag g_env_once;
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
+  std::call_once(g_env_once, InitLevelFromEnv);
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
+  std::call_once(g_env_once, InitLevelFromEnv);
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
@@ -43,7 +92,14 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  std::call_once(g_env_once, InitLevelFromEnv);
+  const char* base = std::strrchr(file, '/');
+  base = base != nullptr ? base + 1 : file;
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "[%s %10.6f T%lld %s:%d] ",
+                LevelName(level), static_cast<double>(ElapsedMicros()) / 1e6,
+                static_cast<long long>(ThreadId()), base, line);
+  stream_ << prefix;
 }
 
 LogMessage::~LogMessage() {

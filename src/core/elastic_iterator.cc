@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace claims {
 
@@ -13,7 +14,16 @@ ElasticIterator::ElasticIterator(std::unique_ptr<Iterator> child,
       clock_(options.clock != nullptr ? options.clock
                                       : SteadyClock::Default()),
       buffer_(DataBuffer::Options{options.buffer_capacity_blocks,
-                                  options.order_preserving, options.memory}) {}
+                                  options.order_preserving, options.memory}) {
+  MetricsRegistry* reg = MetricsRegistry::Global();
+  expand_metric_ = reg->counter("elastic.expansions");
+  shrink_metric_ = reg->counter("elastic.shrinks");
+  expand_latency_metric_ = reg->histogram("elastic.expand_latency_ns");
+  shrink_latency_metric_ = reg->histogram("elastic.shrink_latency_ns");
+  buffer_peak_metric_ = reg->gauge(
+      "buffer.peak:" +
+      (options_.trace_label.empty() ? std::string("?") : options_.trace_label));
+}
 
 ElasticIterator::~ElasticIterator() { Close(); }
 
@@ -56,6 +66,7 @@ ElasticIterator::Worker* ElasticIterator::StartWorkerLocked(int core_id) {
   Worker* w = worker.get();
   buffer_.AddProducer(w->worker_id);
   ++live_workers_;
+  if (live_workers_ > peak_parallelism_) peak_parallelism_ = live_workers_;
   workers_.push_back(std::move(worker));
   w->thread = std::thread([this, w] { WorkerMain(w); });
   return w;
@@ -78,10 +89,21 @@ void ElasticIterator::WorkerMain(Worker* worker) {
   ctx.processing_started = &worker->ready;
   ctx.stats = options_.stats;
 
+  TraceCollector* tc = TraceCollector::Global();
+  const bool traced = tc->enabled() && !options_.trace_label.empty();
+  const int64_t span_start = traced ? clock_->NowNanos() : 0;
+
   bool via_eof = false;
   NextResult open_status = child_->Open(&ctx);
   if (open_status == NextResult::kSuccess) {
     worker->ready.store(true, std::memory_order_release);
+    if (traced) {
+      // S1/S2 → S3 marker: state construction done, data production begins.
+      tc->Instant(clock_->NowNanos(), options_.trace_pid, "elastic",
+                  "worker-ready",
+                  {{"segment", options_.trace_label},
+                   {"worker", static_cast<int64_t>(worker->worker_id)}});
+    }
     // Algorithm 2: pull blocks from the child and feed the joint buffer.
     while (true) {
       BlockPtr block;
@@ -98,7 +120,16 @@ void ElasticIterator::WorkerMain(Worker* worker) {
                                                     std::memory_order_relaxed);
           }
         }
-        if (!inserted) break;  // buffer cancelled — segment closing
+        if (inserted) {
+          double depth = static_cast<double>(buffer_.size());
+          buffer_peak_metric_->UpdateMax(depth);
+          if (traced) {
+            tc->Counter(clock_->NowNanos(), options_.trace_pid,
+                        "buffer:" + options_.trace_label, depth);
+          }
+        } else {
+          break;  // buffer cancelled — segment closing
+        }
       } else if (r == NextResult::kEndOfFile) {
         via_eof = true;
         break;
@@ -108,6 +139,13 @@ void ElasticIterator::WorkerMain(Worker* worker) {
     }
   }
   worker->ready.store(true, std::memory_order_release);
+  if (traced) {
+    int64_t end = clock_->NowNanos();
+    tc->Complete(span_start, end - span_start, options_.trace_pid, "elastic",
+                 "worker " + options_.trace_label,
+                 {{"worker", static_cast<int64_t>(worker->worker_id)},
+                  {"exhausted_input", via_eof ? 1.0 : 0.0}});
+  }
 
   // Update liveness counters before leaving the buffer, so that a consumer
   // observing end-of-file (possible only after the last RemoveProducer) also
@@ -127,6 +165,7 @@ bool ElasticIterator::Expand(int core_id) {
   if (finished_workers_ > 0 && live_workers_ == 0) return false;  // finished
   if (live_workers_ >= options_.max_parallelism) return false;
   StartWorkerLocked(core_id);
+  expand_metric_->Add();
   return true;
 }
 
@@ -145,6 +184,7 @@ bool ElasticIterator::Shrink() {
   }
   if (victim == nullptr || shrinkable <= options_.min_parallelism) return false;
   victim->terminate.store(true, std::memory_order_release);
+  shrink_metric_->Add();
   return true;
 }
 
@@ -166,10 +206,13 @@ int64_t ElasticIterator::ShrinkBlocking() {
     if (victim == nullptr || shrinkable <= options_.min_parallelism) return -1;
     victim->terminate.store(true, std::memory_order_release);
   }
+  shrink_metric_->Add();
   while (!victim->done.load(std::memory_order_acquire)) {
     std::this_thread::yield();
   }
-  return clock_->NowNanos() - t0;
+  int64_t delay = clock_->NowNanos() - t0;
+  shrink_latency_metric_->Record(delay);
+  return delay;
 }
 
 int64_t ElasticIterator::ExpandMeasured(int core_id) {
@@ -181,11 +224,19 @@ int64_t ElasticIterator::ExpandMeasured(int core_id) {
     if (live_workers_ >= options_.max_parallelism) return -1;
     w = StartWorkerLocked(core_id);
   }
+  expand_metric_->Add();
   while (!w->ready.load(std::memory_order_acquire) &&
          !w->done.load(std::memory_order_acquire)) {
     std::this_thread::yield();
   }
-  return clock_->NowNanos() - t0;
+  int64_t delay = clock_->NowNanos() - t0;
+  expand_latency_metric_->Record(delay);
+  return delay;
+}
+
+int ElasticIterator::peak_parallelism() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_parallelism_;
 }
 
 int ElasticIterator::parallelism() const {

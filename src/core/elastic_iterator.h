@@ -11,6 +11,7 @@
 #include "core/data_buffer.h"
 #include "core/iterator.h"
 #include "core/metrics.h"
+#include "obs/metrics_registry.h"
 
 namespace claims {
 
@@ -51,6 +52,10 @@ class ElasticIterator : public Iterator {
     /// Simulated cores-per-socket used to derive socket ids from core ids for
     /// the context-reuse pool (paper hardware: 12 cores / socket).
     int cores_per_socket = 12;
+    /// Trace identity: segment label ("S1@n0") and trace pid (node id). An
+    /// empty label disables per-iterator trace events; metrics still count.
+    std::string trace_label;
+    int trace_pid = 0;
   };
 
   ElasticIterator(std::unique_ptr<Iterator> child, Options options);
@@ -94,6 +99,9 @@ class ElasticIterator : public Iterator {
   /// Number of live (non-terminated, non-finished) workers.
   int parallelism() const;
 
+  /// Most workers that were ever live at once.
+  int peak_parallelism() const;
+
   /// True until every worker exhausted the input.
   bool finished() const;
 
@@ -121,10 +129,19 @@ class ElasticIterator : public Iterator {
   Clock* clock_;
   DataBuffer buffer_;
 
+  // Process-wide elasticity metrics (pointers resolved once; updates are
+  // relaxed atomics, so Expand/Shrink latency is unaffected).
+  MetricCounter* expand_metric_;
+  MetricCounter* shrink_metric_;
+  MetricHistogram* expand_latency_metric_;
+  MetricHistogram* shrink_latency_metric_;
+  MetricGauge* buffer_peak_metric_;  ///< high-watermark, labelled per segment
+
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Worker>> workers_;
   int next_worker_id_ = 0;
   int live_workers_ = 0;       ///< started and neither finished nor terminated
+  int peak_parallelism_ = 0;   ///< high-watermark of live_workers_
   int finished_workers_ = 0;   ///< exited via end-of-file
   bool opened_ = false;
   bool closed_ = false;

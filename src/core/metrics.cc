@@ -3,11 +3,18 @@
 namespace claims {
 
 void VisitRateAggregator::Observe(int producer_id, double tail_visit_rate) {
+  // Invariant: stats_->visit_rate is written ONLY here, under mu_, as one
+  // store of a value derived entirely from mu_-guarded state (the incremental
+  // sum over `latest_`). There is never a load-modify-store on the atomic
+  // itself, so concurrent Observe calls cannot interleave halfway and lose an
+  // update. Readers (the scheduler's sampling path, reports) use relaxed
+  // loads: they may see a value that lags by a block tail, but always one
+  // that equals Σ latest contributions at some point in time.
   std::lock_guard<std::mutex> lock(mu_);
-  latest_[producer_id] = tail_visit_rate;
-  double sum = 0;
-  for (const auto& [id, v] : latest_) sum += v;
-  stats_->visit_rate.store(sum, std::memory_order_relaxed);
+  double& slot = latest_[producer_id];  // value-initialized to 0.0 when new
+  sum_ += tail_visit_rate - slot;
+  slot = tail_visit_rate;
+  stats_->visit_rate.store(sum_, std::memory_order_relaxed);
 }
 
 double RateSampler::Sample(int64_t counter, int64_t now_ns) {

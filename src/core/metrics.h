@@ -47,12 +47,18 @@ class VisitRateAggregator {
   explicit VisitRateAggregator(SegmentStats* stats) : stats_(stats) {}
 
   /// Records the latest tail value from `producer_id` and refreshes V_i.
+  ///
+  /// Thread safety: the whole update — map slot, running sum, and the store
+  /// into SegmentStats::visit_rate — happens under mu_, so the atomic only
+  /// ever receives complete sums (no read-modify-write races between
+  /// concurrent observers). visit_rate readers take relaxed loads.
   void Observe(int producer_id, double tail_visit_rate);
 
  private:
   SegmentStats* stats_;
   std::mutex mu_;
   std::map<int, double> latest_;
+  double sum_ = 0.0;  ///< Σ latest_ values, maintained incrementally
 };
 
 /// Differentiates a monotone counter into an instantaneous rate between

@@ -35,7 +35,17 @@ void GlobalThroughputBoard::Reset() {
 
 DynamicScheduler::DynamicScheduler(int node_id, SchedulerOptions options,
                                    Clock* clock, GlobalThroughputBoard* board)
-    : node_id_(node_id), options_(options), clock_(clock), board_(board) {}
+    : node_id_(node_id),
+      options_(options),
+      clock_(clock),
+      board_(board),
+      trace_pid_(options.trace_pid >= 0 ? options.trace_pid : node_id),
+      ticks_metric_(MetricsRegistry::Global()->counter("scheduler.ticks")),
+      expand_metric_(
+          MetricsRegistry::Global()->counter("scheduler.expansions")),
+      shrink_metric_(MetricsRegistry::Global()->counter("scheduler.shrinks")),
+      move_metric_(
+          MetricsRegistry::Global()->counter("scheduler.pair_moves")) {}
 
 void DynamicScheduler::AddSegment(SchedulableSegment* segment) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -76,6 +86,9 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
   std::vector<SchedulerAction> actions;
   const int64_t now = clock_->NowNanos();
   const double thr = options_.blocked_fraction_threshold;
+  ticks_metric_->Add();
+  TraceCollector* tc = TraceCollector::Global();
+  const bool traced = tc->enabled();
 
   // ---- 1. Sample metrics -----------------------------------------------------
   struct Classified {
@@ -130,6 +143,22 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
   }
   board_->PublishLocal(node_id_, lambda_local);
   const double lambda = board_->GlobalLambda();
+  if (traced) {
+    // One tick instant carrying λ plus a counter series per live segment —
+    // Perfetto renders the parallelism/R_i time lines Figs. 10-12 plot.
+    const double lambda_arg = std::isinf(lambda) ? -1.0 : lambda;
+    tc->Instant(now, trace_pid_, "sched", "tick",
+                {{"lambda", lambda_arg},
+                 {"cores_used", cores_used},
+                 {"free_cores", options_.num_cores - cores_used},
+                 {"segments", static_cast<int>(live.size())}});
+    for (const Classified& c : live) {
+      const std::string& seg = c.rec->segment->name();
+      tc->Counter(now, trace_pid_, "parallelism:" + seg,
+                  c.rec->segment->parallelism());
+      tc->Counter(now, trace_pid_, "R:" + seg, c.rec->last_normalized);
+    }
+  }
   if (std::getenv("CLAIMS_SCHED_DEBUG") != nullptr && node_id_ == 0) {
     std::fprintf(stderr, "[tick t=%.2f lambda=%.0f]", now / 1e9, lambda);
     for (const Classified& c : live) {
@@ -183,6 +212,16 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
       }
       if (best == nullptr || !best->rec->segment->Expand(cores_used)) break;
       ++cores_used;
+      expand_metric_->Add();
+      if (traced) {
+        // Decision context of Algorithm 1 at the moment the core moved: the
+        // segment was in the U set (R_i ≤ λ(1+ε)) and a free core existed.
+        tc->Instant(now, trace_pid_, "sched", "Expand",
+                    {{"segment", best->rec->segment->name()},
+                     {"reason", "free-core:U-set"},
+                     {"lambda", lambda},
+                     {"R_i", best->rec->last_normalized}});
+      }
       actions.push_back(SchedulerAction{SchedulerAction::Kind::kExpandFree,
                                         best->rec->segment->name(), ""});
     }
@@ -211,6 +250,24 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
     }
     if (best_u != nullptr && best_o->rec->segment->Shrink()) {
       if (best_u->rec->segment->Expand(cores_used)) {
+        move_metric_->Add();
+        expand_metric_->Add();
+        shrink_metric_->Add();
+        if (traced) {
+          // Algorithm-1 pair move: donor from the O set (R_i ≥ λ·over), the
+          // receiver from the U set (R_i ≤ λ(1+ε)); both what-if rates
+          // cleared λ+Δ.
+          tc->Instant(now, trace_pid_, "sched", "Expand",
+                      {{"segment", best_u->rec->segment->name()},
+                       {"reason", "pair-move:U-set"},
+                       {"lambda", lambda},
+                       {"R_i", best_u->rec->last_normalized}});
+          tc->Instant(now, trace_pid_, "sched", "Shrink",
+                      {{"segment", best_o->rec->segment->name()},
+                       {"reason", "pair-move:O-set"},
+                       {"lambda", lambda},
+                       {"R_i", best_o->rec->last_normalized}});
+        }
         actions.push_back(SchedulerAction{SchedulerAction::Kind::kMovePair,
                                           best_u->rec->segment->name(),
                                           best_o->rec->segment->name()});
@@ -223,6 +280,14 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
     int p = c.rec->segment->parallelism();
     if (c.starved && p > options_.starved_parallelism) {
       if (c.rec->segment->Shrink()) {
+        shrink_metric_->Add();
+        if (traced) {
+          tc->Instant(now, trace_pid_, "sched", "Shrink",
+                      {{"segment", c.rec->segment->name()},
+                       {"reason", "starved"},
+                       {"blocked_in_fraction", c.rec->blocked_in_fraction},
+                       {"R_i", c.rec->last_normalized}});
+        }
         actions.push_back(SchedulerAction{
             SchedulerAction::Kind::kShrinkStarved, "", c.rec->segment->name()});
       }
@@ -232,6 +297,14 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
       // the producing rate matched by dropping one core (hysteresis margin
       // avoids oscillation around the matched parallelism).
       if (c.rec->segment->Shrink()) {
+        shrink_metric_->Add();
+        if (traced) {
+          tc->Instant(now, trace_pid_, "sched", "Shrink",
+                      {{"segment", c.rec->segment->name()},
+                       {"reason", "over-producing"},
+                       {"blocked_out_fraction", c.rec->blocked_out_fraction},
+                       {"R_i", c.rec->last_normalized}});
+        }
         actions.push_back(SchedulerAction{
             SchedulerAction::Kind::kShrinkOverproducing, "",
             c.rec->segment->name()});

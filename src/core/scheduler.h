@@ -11,6 +11,8 @@
 #include "common/macros.h"
 #include "core/metrics.h"
 #include "core/scalability_vector.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace claims {
 
@@ -77,6 +79,10 @@ struct SchedulerOptions {
   /// Free-pool cores handed out per tick (pair moves stay one per tick, as
   /// in Algorithm 1).
   int max_free_expansions = 2;
+  /// Trace "process" id for this scheduler's events; -1 uses the node id.
+  /// The virtual-time simulator sets 1000+node so one capture can hold both
+  /// substrates without track collisions (see obs/trace.h).
+  int trace_pid = -1;
 };
 
 /// Per-tick decision record, for tests / Fig. 10-13 traces.
@@ -135,6 +141,14 @@ class DynamicScheduler {
   SchedulerOptions options_;
   Clock* clock_;
   GlobalThroughputBoard* board_;
+
+  // Observability (near-zero cost when tracing is off; metric updates are
+  // single relaxed atomics). Pointers resolved once at construction.
+  int trace_pid_;
+  MetricCounter* ticks_metric_;
+  MetricCounter* expand_metric_;
+  MetricCounter* shrink_metric_;
+  MetricCounter* move_metric_;
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<SegmentRecord>> records_;

@@ -3,12 +3,21 @@
 #include <atomic>
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace claims {
 
 BlockChannel::BlockChannel(int num_producers, int capacity_blocks,
                            MemoryTracker* memory)
     : capacity_(capacity_blocks), memory_(memory),
       open_producers_(num_producers) {}
+
+void BlockChannel::SetTraceInfo(int exchange_id, int consumer_node,
+                                Clock* clock) {
+  trace_exchange_ = exchange_id;
+  trace_node_ = consumer_node;
+  trace_clock_ = clock;
+}
 
 bool BlockChannel::Send(NetBlock block, const std::atomic<bool>* cancel) {
   std::unique_lock<std::mutex> lock(mu_);
@@ -47,6 +56,14 @@ ChannelStatus BlockChannel::Receive(NetBlock* out, int64_t timeout_ns) {
     int64_t bytes = out->block->payload_bytes();
     buffered_bytes_ -= bytes;
     if (memory_ != nullptr) memory_->Release(bytes);
+    TraceCollector* tc = TraceCollector::Global();
+    if (trace_clock_ != nullptr && tc->enabled()) {
+      tc->Instant(trace_clock_->NowNanos(), trace_node_, "net", "recv",
+                  {{"exchange", static_cast<int64_t>(trace_exchange_)},
+                   {"from", static_cast<int64_t>(out->from_node)},
+                   {"bytes", bytes},
+                   {"queued", static_cast<int64_t>(queue_.size())}});
+    }
     not_full_.notify_all();
     return ChannelStatus::kOk;
   }

@@ -5,6 +5,7 @@
 #include <deque>
 #include <mutex>
 
+#include "common/clock.h"
 #include "common/macros.h"
 #include "common/memory_tracker.h"
 #include "storage/block.h"
@@ -35,6 +36,11 @@ class BlockChannel {
                MemoryTracker* memory = nullptr);
   CLAIMS_DISALLOW_COPY_AND_ASSIGN(BlockChannel);
 
+  /// Identifies this endpoint for trace events ("recv" instants on the
+  /// consumer node's track). Called once by Network when the exchange is
+  /// declared; without it the channel stays silent even when tracing is on.
+  void SetTraceInfo(int exchange_id, int consumer_node, Clock* clock);
+
   /// Blocks while full; false when cancelled.
   bool Send(NetBlock block, const std::atomic<bool>* cancel = nullptr);
 
@@ -53,6 +59,9 @@ class BlockChannel {
  private:
   int capacity_;
   MemoryTracker* memory_;
+  int trace_exchange_ = -1;
+  int trace_node_ = 0;
+  Clock* trace_clock_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

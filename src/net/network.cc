@@ -1,11 +1,18 @@
 #include "net/network.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace claims {
 
 Network::Network(int num_nodes, NetworkOptions options, MemoryTracker* memory)
-    : num_nodes_(num_nodes), options_(options), memory_(memory) {
+    : num_nodes_(num_nodes), options_(options), memory_(memory),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SteadyClock::Default()) {
+  MetricsRegistry* reg = MetricsRegistry::Global();
+  blocks_sent_metric_ = reg->counter("net.blocks_sent");
+  bytes_sent_metric_ = reg->counter("net.bytes_sent");
+  remote_bytes_metric_ = reg->counter("net.remote_bytes");
   for (int i = 0; i < num_nodes; ++i) {
     egress_.push_back(
         std::make_unique<TokenBucket>(options.bandwidth_bytes_per_sec));
@@ -22,8 +29,10 @@ void Network::CreateExchange(int exchange_id, int num_producers,
   if (capacity_override > 0) capacity = capacity_override;
   if (capacity_override < 0) capacity = 0;  // unbounded
   for (int node : consumer_nodes) {
-    channels_[{exchange_id, node}] =
+    auto channel =
         std::make_unique<BlockChannel>(num_producers, capacity, memory_);
+    channel->SetTraceInfo(exchange_id, node, clock_);
+    channels_[{exchange_id, node}] = std::move(channel);
   }
   exchange_consumers_[exchange_id] = consumer_nodes;
 }
@@ -32,13 +41,27 @@ bool Network::Send(int exchange_id, int from, int to, BlockPtr block,
                    const std::atomic<bool>* cancel) {
   BlockChannel* channel = GetChannel(exchange_id, to);
   if (channel == nullptr) return false;
+  int64_t bytes = block->payload_bytes();
   if (from != to) {
-    int64_t bytes = block->payload_bytes();
     if (egress_[from]->Acquire(bytes, cancel) < 0) return false;
     if (ingress_[to]->Acquire(bytes, cancel) < 0) return false;
     remote_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    remote_bytes_metric_->Add(bytes);
   }
-  return channel->Send(NetBlock{std::move(block), from}, cancel);
+  bool ok = channel->Send(NetBlock{std::move(block), from}, cancel);
+  if (ok) {
+    blocks_sent_metric_->Add();
+    bytes_sent_metric_->Add(bytes);
+    TraceCollector* tc = TraceCollector::Global();
+    if (tc->enabled()) {
+      tc->Instant(clock_->NowNanos(), from, "net", "send",
+                  {{"exchange", static_cast<int64_t>(exchange_id)},
+                   {"to", static_cast<int64_t>(to)},
+                   {"bytes", bytes},
+                   {"queued", static_cast<int64_t>(channel->size())}});
+    }
+  }
+  return ok;
 }
 
 void Network::CloseProducer(int exchange_id) {

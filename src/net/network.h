@@ -6,10 +6,12 @@
 #include <mutex>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/macros.h"
 #include "common/memory_tracker.h"
 #include "net/channel.h"
 #include "net/token_bucket.h"
+#include "obs/metrics_registry.h"
 
 namespace claims {
 
@@ -19,6 +21,9 @@ struct NetworkOptions {
   int64_t bandwidth_bytes_per_sec = 0;
   /// Per-channel buffer depth; <= 0 means unbounded (materialized execution).
   int capacity_blocks = 64;
+  /// Timestamp source for trace events; nullptr uses SteadyClock, the
+  /// virtual-time simulator passes its SimClock.
+  Clock* clock = nullptr;
 };
 
 /// The in-process network fabric of the simulated cluster: one BlockChannel
@@ -67,6 +72,10 @@ class Network {
   int num_nodes_;
   NetworkOptions options_;
   MemoryTracker* memory_;
+  Clock* clock_;
+  MetricCounter* blocks_sent_metric_;
+  MetricCounter* bytes_sent_metric_;
+  MetricCounter* remote_bytes_metric_;
   std::vector<std::unique_ptr<TokenBucket>> egress_;
   std::vector<std::unique_ptr<TokenBucket>> ingress_;
 

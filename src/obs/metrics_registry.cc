@@ -1,0 +1,118 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace claims {
+
+int MetricHistogram::BucketOf(int64_t v) {
+  if (v <= 0) return 0;
+  int bit = 63 - __builtin_clzll(static_cast<unsigned long long>(v));
+  return std::min(kBuckets - 1, bit + 1);
+}
+
+void MetricHistogram::Record(int64_t v) {
+  buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  int64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t MetricHistogram::min() const {
+  int64_t v = min_.load(std::memory_order_relaxed);
+  return v == INT64_MAX ? 0 : v;
+}
+
+double MetricHistogram::mean() const {
+  int64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+int64_t MetricHistogram::Percentile(double p) const {
+  int64_t n = count();
+  if (n == 0) return 0;
+  int64_t target = static_cast<int64_t>(p * static_cast<double>(n - 1)) + 1;
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      // Upper bucket boundary: bucket b holds [2^(b-1), 2^b).
+      return b == 0 ? 0 : int64_t{1} << b;
+    }
+  }
+  return max();
+}
+
+void MetricHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return registry;
+}
+
+MetricCounter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<MetricCounter>();
+  return slot.get();
+}
+
+MetricGauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<MetricGauge>();
+  return slot.get();
+}
+
+MetricHistogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<MetricHistogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += StrFormat("counter %s %lld\n", name.c_str(),
+                     static_cast<long long>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += StrFormat("gauge   %s %.6g\n", name.c_str(), g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += StrFormat(
+        "hist    %s count=%lld mean=%.0f min=%lld p50=%lld p95=%lld "
+        "max=%lld\n",
+        name.c_str(), static_cast<long long>(h->count()), h->mean(),
+        static_cast<long long>(h->min()),
+        static_cast<long long>(h->Percentile(0.50)),
+        static_cast<long long>(h->Percentile(0.95)),
+        static_cast<long long>(h->count() == 0 ? 0 : h->max()));
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace claims

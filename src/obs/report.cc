@@ -1,0 +1,69 @@
+#include "obs/report.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace claims {
+namespace {
+
+std::string HumanMs(int64_t ns) {
+  return StrFormat("%.2f ms", static_cast<double>(ns) / 1e6);
+}
+
+/// "1 ->(2.1ms) 3 ->(4.0ms) 2": parallelism steps with transition offsets.
+std::string TimelineString(
+    const std::vector<std::pair<int64_t, int>>& timeline) {
+  if (timeline.empty()) return "(no samples)";
+  std::string out = StrFormat("%d", timeline.front().second);
+  int64_t t0 = timeline.front().first;
+  for (size_t i = 1; i < timeline.size(); ++i) {
+    out += StrFormat(" ->(%.1fms) %d",
+                     static_cast<double>(timeline[i].first - t0) / 1e6,
+                     timeline[i].second);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExecutionReport::ToString() const {
+  std::string out = StrFormat(
+      "Query (%s): %s, %lld result tuples, peak mem %s, network %s\n",
+      mode.c_str(), HumanMs(elapsed_ns).c_str(),
+      static_cast<long long>(result_tuples),
+      HumanBytes(peak_memory_bytes).c_str(), HumanBytes(remote_bytes).c_str());
+  out += StrFormat(
+      "  %-12s %4s %12s %12s %6s %6s %11s %11s %10s %5s  %s\n", "segment",
+      "node", "tuples-in", "tuples-out", "delta", "V_i", "blocked-in",
+      "blocked-out", "lifetime", "p/max", "parallelism timeline");
+  for (const SegmentReport& s : segments) {
+    out += StrFormat(
+        "  %-12s %4d %12lld %12lld %6.3f %6.2f %11s %11s %10s %2d/%-2d  %s\n",
+        s.name.c_str(), s.node_id, static_cast<long long>(s.input_tuples),
+        static_cast<long long>(s.output_tuples), s.selectivity, s.visit_rate,
+        HumanMs(s.blocked_input_ns).c_str(),
+        HumanMs(s.blocked_output_ns).c_str(), HumanMs(s.lifetime_ns).c_str(),
+        s.final_parallelism, s.peak_parallelism,
+        TimelineString(s.parallelism_timeline).c_str());
+  }
+  return out;
+}
+
+std::vector<std::pair<int64_t, int>> ExtractCounterTimeline(
+    const std::vector<TraceEvent>& events, const std::string& counter_name,
+    int64_t t0_ns, int64_t t1_ns) {
+  std::vector<std::pair<int64_t, int>> timeline;
+  for (const TraceEvent& ev : events) {
+    if (ev.phase != TraceEvent::Phase::kCounter || ev.name != counter_name) {
+      continue;
+    }
+    if (ev.ts_ns < t0_ns || ev.ts_ns > t1_ns) continue;
+    int value = ev.num_args > 0 ? static_cast<int>(ev.args[0].num) : 0;
+    if (!timeline.empty() && timeline.back().second == value) continue;
+    timeline.emplace_back(ev.ts_ns, value);
+  }
+  return timeline;
+}
+
+}  // namespace claims

@@ -1,0 +1,61 @@
+#ifndef CLAIMS_OBS_REPORT_H_
+#define CLAIMS_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace claims {
+
+/// Per-segment execution summary inside an ExecutionReport. Tuple/time
+/// numbers are copied from the segment's SegmentStats after the query
+/// completes, so report totals reconcile exactly with the counters the
+/// dynamic scheduler sampled during the run.
+struct SegmentReport {
+  std::string name;        ///< e.g. "S1@n0"
+  int node_id = 0;
+  int64_t input_tuples = 0;
+  int64_t output_tuples = 0;
+  double selectivity = 1.0;       ///< δ_i = out / in
+  double visit_rate = 1.0;        ///< final V_i
+  int64_t blocked_input_ns = 0;   ///< summed worker starvation time
+  int64_t blocked_output_ns = 0;  ///< summed backpressure time
+  int64_t lifetime_ns = 0;        ///< driver start → drained
+  int final_parallelism = 0;
+  int peak_parallelism = 0;
+  /// (ts_ns, workers) samples from the scheduler's per-tick counter events;
+  /// empty when tracing was off during the run.
+  std::vector<std::pair<int64_t, int>> parallelism_timeline;
+};
+
+/// EXPLAIN-ANALYZE-style summary of one distributed query execution,
+/// assembled by cluster/Executor. Rendering is substrate-agnostic: anything
+/// that fills the struct (real engine, simulator adapters, tests) gets the
+/// same report.
+struct ExecutionReport {
+  std::string mode;  ///< EP / SP / ME
+  int64_t elapsed_ns = 0;
+  int64_t peak_memory_bytes = 0;
+  int64_t remote_bytes = 0;
+  int64_t result_tuples = 0;
+  std::vector<SegmentReport> segments;
+
+  /// Pretty table, one row per segment plus query totals:
+  ///
+  ///   Query (EP): 12.34 ms, 1 result tuples, peak mem 2.1 MB, net 0.5 MB
+  ///    segment    node  tuples-in  tuples-out  δ      blocked-in  ...
+  std::string ToString() const;
+};
+
+/// Extracts one counter series ("parallelism:S1@n0") from a trace snapshot,
+/// restricted to [t0_ns, t1_ns]; consecutive duplicate values are collapsed.
+std::vector<std::pair<int64_t, int>> ExtractCounterTimeline(
+    const std::vector<TraceEvent>& events, const std::string& counter_name,
+    int64_t t0_ns, int64_t t1_ns);
+
+}  // namespace claims
+
+#endif  // CLAIMS_OBS_REPORT_H_

@@ -1,0 +1,233 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace claims {
+namespace {
+
+/// JSON string escaping for event names and string args.
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendNumber(std::string* out, double v) {
+  // Integral values print without a fraction so counters stay readable.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+    *out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+TraceCollector* TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector;
+  return collector;
+}
+
+int64_t TraceCollector::CurrentThreadId() {
+  static std::atomic<int64_t> next_tid{1};
+  thread_local int64_t tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void TraceCollector::Emit(TraceEvent ev) {
+  if (!enabled()) return;
+  if (ev.tid == 0) ev.tid = CurrentThreadId();
+  ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shards_[ev.tid % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.events.push_back(std::move(ev));
+}
+
+void TraceCollector::Instant(int64_t ts_ns, int pid, const char* category,
+                             std::string name,
+                             std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = category;
+  ev.phase = TraceEvent::Phase::kInstant;
+  ev.ts_ns = ts_ns;
+  ev.pid = pid;
+  for (const TraceArg& a : args) ev.AddArg(a);
+  Emit(std::move(ev));
+}
+
+void TraceCollector::Counter(int64_t ts_ns, int pid, std::string name,
+                             double value) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = "counter";
+  ev.phase = TraceEvent::Phase::kCounter;
+  ev.ts_ns = ts_ns;
+  ev.pid = pid;
+  ev.AddArg(TraceArg("value", value));
+  Emit(std::move(ev));
+}
+
+void TraceCollector::Complete(int64_t ts_ns, int64_t dur_ns, int pid,
+                              const char* category, std::string name,
+                              std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = category;
+  ev.phase = TraceEvent::Phase::kComplete;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.pid = pid;
+  for (const TraceArg& a : args) ev.AddArg(a);
+  Emit(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceCollector::Snapshot() const {
+  std::vector<TraceEvent> all;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    all.insert(all.end(), shard.events.begin(), shard.events.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              return a.seq < b.seq;
+            });
+  return all;
+}
+
+size_t TraceCollector::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.events.size();
+  }
+  return n;
+}
+
+void TraceCollector::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.events.clear();
+  }
+  // Fresh capture, fresh order: nothing references the dropped events, so
+  // sequence numbers may restart at zero.
+  next_seq_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceCollector::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out;
+  out.reserve(events.size() * 128 + 64);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(&out, ev.name);
+    out += "\",\"cat\":\"";
+    AppendEscaped(&out, ev.category);
+    out += "\",\"ph\":\"";
+    out += static_cast<char>(ev.phase);
+    out += "\",\"ts\":";
+    // trace_event timestamps are microseconds; fractional digits keep the
+    // nanosecond resolution both clocks provide.
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(ev.ts_ns) / 1000.0);
+    out += buf;
+    if (ev.phase == TraceEvent::Phase::kComplete) {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                    static_cast<double>(ev.dur_ns) / 1000.0);
+      out += buf;
+    }
+    if (ev.phase == TraceEvent::Phase::kInstant) out += ",\"s\":\"t\"";
+    std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%lld", ev.pid,
+                  static_cast<long long>(ev.tid));
+    out += buf;
+    if (ev.num_args > 0) {
+      out += ",\"args\":{";
+      for (int i = 0; i < ev.num_args; ++i) {
+        if (i > 0) out += ",";
+        out += "\"";
+        AppendEscaped(&out, ev.args[i].key != nullptr ? ev.args[i].key : "?");
+        out += "\":";
+        if (ev.args[i].is_str) {
+          out += "\"";
+          AppendEscaped(&out, ev.args[i].str);
+          out += "\"";
+        } else {
+          AppendNumber(&out, ev.args[i].num);
+        }
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceCollector::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace output file: " + path);
+  }
+  std::string json = ToChromeJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+TraceEnvScope::TraceEnvScope() {
+  const char* path = std::getenv("CLAIMS_TRACE");
+  if (path == nullptr || path[0] == '\0') return;
+  path_ = path;
+  TraceCollector::Global()->Enable();
+}
+
+TraceEnvScope::~TraceEnvScope() {
+  if (path_.empty()) return;
+  TraceCollector* tc = TraceCollector::Global();
+  tc->Disable();
+  Status s = tc->WriteChromeJson(path_);
+  if (s.ok()) {
+    std::fprintf(stderr,
+                 "[trace] wrote %zu events to %s (open in ui.perfetto.dev)\n",
+                 tc->size(), path_.c_str());
+  } else {
+    std::fprintf(stderr, "[trace] %s\n", s.ToString().c_str());
+  }
+}
+
+}  // namespace claims

@@ -1,0 +1,156 @@
+#ifndef CLAIMS_OBS_TRACE_H_
+#define CLAIMS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace claims {
+
+/// One key/value annotation on a trace event. Keys must be string literals
+/// (the collector stores the pointer, not a copy); values are numeric or
+/// string. Construction only happens on the traced path — call sites guard
+/// with `collector->enabled()` so the disabled path allocates nothing.
+struct TraceArg {
+  const char* key = nullptr;
+  double num = 0;
+  std::string str;
+  bool is_str = false;
+
+  TraceArg() = default;
+  TraceArg(const char* k, double v) : key(k), num(v) {}
+  TraceArg(const char* k, int64_t v) : key(k), num(static_cast<double>(v)) {}
+  TraceArg(const char* k, int v) : key(k), num(v) {}
+  TraceArg(const char* k, std::string v)
+      : key(k), str(std::move(v)), is_str(true) {}
+  TraceArg(const char* k, const char* v) : key(k), str(v), is_str(true) {}
+};
+
+/// A typed span/instant/counter event in the Chrome trace_event model
+/// (https://ui.perfetto.dev renders the exported JSON directly).
+///
+/// Conventions in this codebase:
+///  * `pid` identifies the substrate "process": real-engine node ids are
+///    0..k-1; virtual-time simulator nodes are 1000+node, so one capture can
+///    hold both worlds without track collisions.
+///  * `ts_ns` comes from the emitter's own claims::Clock — wall-clock
+///    nanoseconds in the real engine, virtual nanoseconds in the simulator —
+///    so the same scheduler code traces identically on either substrate.
+struct TraceEvent {
+  enum class Phase : char {
+    kBegin = 'B',     ///< span open (paired with kEnd on the same pid/tid)
+    kEnd = 'E',       ///< span close
+    kComplete = 'X',  ///< self-contained span with duration
+    kInstant = 'i',   ///< point event
+    kCounter = 'C',   ///< time series sample (args carry the values)
+  };
+  static constexpr int kMaxArgs = 4;
+
+  std::string name;
+  const char* category = "";  ///< static string (e.g. "sched", "net")
+  Phase phase = Phase::kInstant;
+  int64_t ts_ns = 0;
+  int64_t dur_ns = 0;  ///< kComplete only
+  int pid = 0;
+  int64_t tid = 0;
+  /// Global emission order, assigned by the collector: strictly increasing
+  /// across threads, so concurrent emitters retain a stable total order even
+  /// when timestamps collide (virtual time makes collisions routine).
+  int64_t seq = 0;
+  TraceArg args[kMaxArgs];
+  int num_args = 0;
+
+  void AddArg(TraceArg arg) {
+    if (num_args < kMaxArgs) args[num_args++] = std::move(arg);
+  }
+};
+
+/// Lock-cheap collector of trace events (DESIGN.md "Observability").
+///
+/// Writers append under one of `kShards` striped mutexes picked by thread id,
+/// so concurrent workers rarely contend and the simulator's single thread
+/// pays one uncontended lock per event. The enabled check is an inlined
+/// relaxed atomic load; when disabled every emit helper is a branch and
+/// nothing — no lock, no allocation — which keeps the hooks compiled into
+/// hot paths (scheduler tick, block send) effectively free.
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(TraceCollector);
+
+  /// Process-wide collector every subsystem emits into by default.
+  static TraceCollector* Global();
+
+  /// Small dense id of the calling thread (stable for the thread's lifetime);
+  /// used as the default `tid` of emitted events.
+  static int64_t CurrentThreadId();
+
+  void Enable() { enabled_.store(true, std::memory_order_release); }
+  void Disable() { enabled_.store(false, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records `ev`, stamping its global sequence number. If `ev.tid` is the
+  /// default 0 the calling thread's id is filled in. No-op when disabled.
+  void Emit(TraceEvent ev);
+
+  // --- convenience emitters (guard with enabled() before building args) ----
+
+  void Instant(int64_t ts_ns, int pid, const char* category, std::string name,
+               std::initializer_list<TraceArg> args = {});
+
+  /// Counter sample: one numeric series named `name` on process `pid`.
+  void Counter(int64_t ts_ns, int pid, std::string name, double value);
+
+  /// Self-contained span [ts_ns, ts_ns + dur_ns).
+  void Complete(int64_t ts_ns, int64_t dur_ns, int pid, const char* category,
+                std::string name, std::initializer_list<TraceArg> args = {});
+
+  /// All recorded events, sorted by (ts_ns, seq).
+  std::vector<TraceEvent> Snapshot() const;
+
+  size_t size() const;
+  void Clear();
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}) — loadable in
+  /// ui.perfetto.dev or chrome://tracing.
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  static constexpr int kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> next_seq_{0};
+  Shard shards_[kShards];
+};
+
+/// Enables the global collector when the CLAIMS_TRACE environment variable
+/// names an output path, and writes the Perfetto JSON there on destruction.
+/// Examples and benches wrap main() bodies in one of these so
+/// `CLAIMS_TRACE=trace.json ./adaptive_pipeline` captures a trace with zero
+/// code changes elsewhere.
+class TraceEnvScope {
+ public:
+  TraceEnvScope();
+  ~TraceEnvScope();
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(TraceEnvScope);
+
+  bool active() const { return !path_.empty(); }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_OBS_TRACE_H_

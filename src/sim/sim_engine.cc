@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace claims {
 
@@ -771,6 +772,14 @@ void SimRun::Impl::PumpOutbox(Instance* inst) {
     int64_t arrive = std::max(from->egress_free, to->ingress_free);
     to->ingress_free = arrive + dt;
     network_bytes_ += bytes;
+    TraceCollector* tc = TraceCollector::Global();
+    if (tc->enabled()) {
+      tc->Instant(depart, 1000 + from->id, "net", "xfer",
+                  {{"exchange", static_cast<int64_t>(ch->exchange)},
+                   {"to", static_cast<int64_t>(ch->node)},
+                   {"bytes", bytes},
+                   {"link_ns", dt}});
+    }
     inst->outbox_sending = true;
     MemSub(block.bytes());
     Channel* target = ch;
@@ -896,6 +905,12 @@ void SimRun::Impl::AdvanceStage(Instance* inst) {
   }
   ++inst->stage;
   if (inst->first_stage_switch_ns < 0) inst->first_stage_switch_ns = Now();
+  TraceCollector* tc = TraceCollector::Global();
+  if (tc->enabled()) {
+    tc->Instant(Now(), 1000 + inst->node_id, "segment", "stage",
+                {{"segment", inst->spec->name},
+                 {"stage", static_cast<int64_t>(inst->stage)}});
+  }
   // New stage, new scalability profile (paper §4.4).
   inst->scal.Invalidate();
   const SimStageSpec& next = inst->spec->stages[inst->stage];
@@ -922,6 +937,11 @@ void SimRun::Impl::FinishInstance(Instance* inst) {
 
 void SimRun::Impl::CompleteFinish(Instance* inst) {
   inst->finished_flag = true;
+  TraceCollector* tc = TraceCollector::Global();
+  if (tc->enabled()) {
+    tc->Instant(Now(), 1000 + inst->node_id, "segment", "segment-finish",
+                {{"segment", inst->spec->name}});
+  }
   // Release the iterator state.
   MemSub(inst->state_bytes);
   inst->state_bytes = 0;
@@ -1076,6 +1096,9 @@ Result<SimMetrics> SimRun::Impl::Run() {
     if (opt_.policy == SimPolicy::kElastic) {
       SchedulerOptions so = opt_.scheduler;
       so.num_cores = hw.logical_cores;
+      // Simulated nodes trace under pid 1000+n so one capture can hold both
+      // the real engine (pids = node ids) and the simulator.
+      so.trace_pid = 1000 + n;
       node->scheduler = std::make_unique<DynamicScheduler>(
           n, so, events_.clock(), &board_);
     }

@@ -1,0 +1,218 @@
+// TraceCollector / MetricsRegistry unit tests: concurrent emission keeps a
+// stable total order, virtual-clock timestamps pass through untouched, the
+// disabled path records nothing, and the Chrome JSON export is well-formed.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace claims {
+namespace {
+
+TEST(TraceCollectorTest, DisabledPathRecordsNothing) {
+  TraceCollector tc;
+  ASSERT_FALSE(tc.enabled());
+  tc.Instant(100, 0, "test", "never", {{"k", 1}});
+  tc.Counter(200, 0, "series", 3.0);
+  tc.Complete(0, 50, 0, "test", "span");
+  TraceEvent ev;
+  ev.name = "direct";
+  tc.Emit(std::move(ev));
+  EXPECT_EQ(tc.size(), 0u);
+  EXPECT_TRUE(tc.Snapshot().empty());
+}
+
+TEST(TraceCollectorTest, ConcurrentEmittersKeepUniqueIncreasingSeq) {
+  TraceCollector tc;
+  tc.Enable();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tc, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Deliberately colliding timestamps: seq must break the ties.
+        tc.Instant(/*ts_ns=*/i, /*pid=*/t, "test", "e",
+                   {{"thread", t}, {"i", i}});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<TraceEvent> events = tc.Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kPerThread));
+  std::vector<bool> seen(events.size(), false);
+  for (size_t i = 0; i < events.size(); ++i) {
+    ASSERT_GE(events[i].seq, 0);
+    ASSERT_LT(events[i].seq, static_cast<int64_t>(events.size()));
+    EXPECT_FALSE(seen[static_cast<size_t>(events[i].seq)]) << "duplicate seq";
+    seen[static_cast<size_t>(events[i].seq)] = true;
+    if (i > 0) {
+      // Snapshot order: (ts, seq) non-decreasing lexicographically.
+      ASSERT_LE(events[i - 1].ts_ns, events[i].ts_ns);
+      if (events[i - 1].ts_ns == events[i].ts_ns) {
+        ASSERT_LT(events[i - 1].seq, events[i].seq);
+      }
+    }
+  }
+  // Per-thread emission order is preserved in seq (each thread's events were
+  // stamped in program order).
+  std::vector<int64_t> last_seq(kThreads, -1);
+  for (const TraceEvent& ev : tc.Snapshot()) {
+    int t = ev.pid;
+    EXPECT_GT(ev.seq, last_seq[static_cast<size_t>(t)]);
+    last_seq[static_cast<size_t>(t)] = ev.seq;
+  }
+}
+
+/// Fixed-time Clock standing in for the simulator's virtual clock.
+class ManualClock : public Clock {
+ public:
+  int64_t NowNanos() const override { return now_; }
+  void set(int64_t ns) { now_ = ns; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+TEST(TraceCollectorTest, VirtualClockTimestampsPassThrough) {
+  TraceCollector tc;
+  tc.Enable();
+  ManualClock clock;
+  clock.set(42);
+  tc.Instant(clock.NowNanos(), 1000, "sim", "first");
+  clock.set(7);  // virtual time of another node, earlier than the first
+  tc.Counter(clock.NowNanos(), 1001, "parallelism:S1", 3);
+  clock.set(50'000'000'000);  // far future virtual time
+  tc.Complete(clock.NowNanos(), 10, 1000, "sim", "span");
+
+  std::vector<TraceEvent> events = tc.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted by timestamp, not emission order.
+  EXPECT_EQ(events[0].ts_ns, 7);
+  EXPECT_EQ(events[0].phase, TraceEvent::Phase::kCounter);
+  EXPECT_EQ(events[1].ts_ns, 42);
+  EXPECT_EQ(events[2].ts_ns, 50'000'000'000);
+  EXPECT_EQ(events[2].dur_ns, 10);
+}
+
+TEST(TraceCollectorTest, ChromeJsonIsWellFormed) {
+  TraceCollector tc;
+  tc.Enable();
+  tc.Instant(1500, 3, "sched", "Expand",
+             {{"segment", "S1@n0"}, {"lambda", 2.5}, {"R_i", 3}});
+  tc.Counter(2000, 3, "parallelism:S1@n0", 4);
+  tc.Complete(1000, 500, 3, "segment", "quote\"and\\slash\nnewline");
+
+  std::string json = tc.ToChromeJson();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Microsecond timestamps (1500 ns = 1.5 us).
+  EXPECT_NE(json.find("\"ts\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"lambda\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"segment\":\"S1@n0\""), std::string::npos);
+  // Control characters and quotes must be escaped.
+  EXPECT_NE(json.find("quote\\\"and\\\\slash\\nnewline"), std::string::npos);
+  // The raw newline inside the event name must NOT survive into a JSON
+  // string: every '\n' in the output is inter-record formatting, i.e.
+  // directly adjacent to a record boundary.
+  for (size_t pos = json.find('\n'); pos != std::string::npos;
+       pos = json.find('\n', pos + 1)) {
+    ASSERT_TRUE(pos + 1 == json.size() || json[pos - 1] == '[' ||
+                json[pos - 1] == ',' || json[pos + 1] == ']')
+        << "raw newline inside a record at offset " << pos;
+  }
+}
+
+TEST(TraceCollectorTest, ClearEmptiesAndSeqRestarts) {
+  TraceCollector tc;
+  tc.Enable();
+  tc.Instant(1, 0, "t", "a");
+  ASSERT_EQ(tc.size(), 1u);
+  tc.Clear();
+  EXPECT_EQ(tc.size(), 0u);
+  tc.Instant(2, 0, "t", "b");
+  EXPECT_EQ(tc.Snapshot()[0].seq, 0);
+}
+
+TEST(TraceEnvScopeTest, WritesTraceWhereEnvPoints) {
+  std::string path = ::testing::TempDir() + "/claims_trace_env_test.json";
+  ::setenv("CLAIMS_TRACE", path.c_str(), 1);
+  {
+    TraceEnvScope scope;
+    ASSERT_TRUE(scope.active());
+    ASSERT_TRUE(TraceCollector::Global()->enabled());
+    TraceCollector::Global()->Instant(1, 0, "test", "env-scoped");
+  }
+  ::unsetenv("CLAIMS_TRACE");
+  EXPECT_FALSE(TraceCollector::Global()->enabled());
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  EXPECT_NE(std::string(buf).find("env-scoped"), std::string::npos);
+  std::remove(path.c_str());
+  TraceCollector::Global()->Clear();
+}
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry reg;
+  MetricCounter* c = reg.counter("test.count");
+  EXPECT_EQ(c, reg.counter("test.count"));  // get-or-create is stable
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42);
+
+  MetricGauge* g = reg.gauge("test.peak");
+  g->UpdateMax(3.0);
+  g->UpdateMax(1.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(g->value(), 3.0);
+
+  MetricHistogram* h = reg.histogram("test.latency");
+  for (int64_t v : {1, 2, 100, 1000, 1000000}) h->Record(v);
+  EXPECT_EQ(h->count(), 5);
+  EXPECT_EQ(h->min(), 1);
+  EXPECT_EQ(h->max(), 1000000);
+  EXPECT_DOUBLE_EQ(h->mean(), (1 + 2 + 100 + 1000 + 1000000) / 5.0);
+  EXPECT_GE(h->Percentile(0.5), 100);
+  EXPECT_LE(h->Percentile(0.5), 128);  // log2 bucket upper bound
+  EXPECT_GE(h->Percentile(1.0), 1000000);
+
+  std::string snap = reg.TextSnapshot();
+  EXPECT_NE(snap.find("counter test.count 42"), std::string::npos);
+  EXPECT_NE(snap.find("test.peak"), std::string::npos);
+  EXPECT_NE(snap.find("test.latency"), std::string::npos);
+
+  reg.ResetAll();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0);
+}
+
+TEST(MetricsRegistryTest, ConcurrentCountersAreExact) {
+  MetricsRegistry reg;
+  MetricCounter* c = reg.counter("concurrent");
+  constexpr int kThreads = 8, kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kAdds; ++i) c->Add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->value(), kThreads * kAdds);
+}
+
+}  // namespace
+}  // namespace claims
