@@ -52,14 +52,19 @@ NextResult MergerIterator::Next(WorkerContext* ctx, BlockPtr* out) {
 void MergerIterator::Close() {}
 
 SenderPump::SenderPump(Spec spec)
-    : spec_(std::move(spec)),
-      sent_tuples_(spec_.consumer_nodes.size(), 0) {}
+    : spec_(std::move(spec)), sent_tuples_(spec_.consumer_nodes.size()) {}
 
 bool SenderPump::SendBlock(int dest_index, BlockPtr block,
                            const std::atomic<bool>* cancel) {
   if (block == nullptr || block->empty()) return true;
-  sent_tuples_[dest_index] += block->num_rows();
-  total_sent_ += block->num_rows();
+  const int64_t rows = block->num_rows();
+  // Post-add snapshots: with concurrent senders each caller still computes a
+  // fraction from complete sums (total ≥ dest ≥ rows ≥ 1, so no zero guard).
+  const int64_t dest_total =
+      sent_tuples_[dest_index].fetch_add(rows, std::memory_order_relaxed) +
+      rows;
+  const int64_t total =
+      total_sent_.fetch_add(rows, std::memory_order_relaxed) + rows;
   // Outgoing tail = V_i · δ_i · p_ij (paper §4.3).
   double v = 1.0;
   double selectivity = 1.0;
@@ -67,10 +72,7 @@ bool SenderPump::SendBlock(int dest_index, BlockPtr block,
     v = spec_.stats->visit_rate.load(std::memory_order_relaxed);
     selectivity = spec_.stats->selectivity();
   }
-  double fraction =
-      total_sent_ == 0
-          ? 1.0
-          : static_cast<double>(sent_tuples_[dest_index]) / total_sent_;
+  double fraction = static_cast<double>(dest_total) / static_cast<double>(total);
   if (spec_.partitioning == Partitioning::kBroadcast) fraction = 1.0;
   block->set_visit_rate(v * selectivity * fraction);
   return spec_.network->Send(spec_.exchange_id, spec_.from_node,
@@ -86,6 +88,12 @@ bool SenderPump::Pump(Iterator* source, WorkerContext* ctx,
   while (ok) {
     BlockPtr block;
     NextResult r = source->Next(ctx, &block);
+    if (r == NextResult::kError) {
+      // The stream is broken, not exhausted: close out as a failure so the
+      // consumer side never mistakes the partial data for a clean result.
+      ok = false;
+      break;
+    }
     if (r != NextResult::kSuccess) break;
     switch (spec_.partitioning) {
       case Partitioning::kToOne:

@@ -71,7 +71,14 @@ class SenderPump {
   explicit SenderPump(Spec spec);
 
   /// Drains `source` until end-of-file, then flushes partial blocks and
-  /// closes this producer on the exchange. Returns false if cancelled.
+  /// closes this producer on the exchange. Returns false if cancelled or if
+  /// `source` reported kError (the stream is broken; the blocks sent so far
+  /// must not be taken for a complete result).
+  ///
+  /// Pump itself runs on the segment's single driver thread, but the
+  /// distribution counters below are atomics so that SendBlock stays correct
+  /// if a future layout fans the pump out across workers (the elastic
+  /// iterator's parallelism must never silently corrupt p_ij accounting).
   bool Pump(Iterator* source, WorkerContext* ctx,
             const std::atomic<bool>* cancel);
 
@@ -80,8 +87,12 @@ class SenderPump {
                  const std::atomic<bool>* cancel);
 
   Spec spec_;
-  std::vector<int64_t> sent_tuples_;  // per destination, for p_ij
-  int64_t total_sent_ = 0;
+  /// Tuples routed per destination / in total, for the p_ij fraction stamped
+  /// into outgoing visit-rate tails. Thread-safe: updated with relaxed
+  /// fetch_adds; SendBlock computes the fraction from its own post-add
+  /// snapshots, so concurrent senders only ever see complete sums.
+  std::vector<std::atomic<int64_t>> sent_tuples_;
+  std::atomic<int64_t> total_sent_{0};
 };
 
 }  // namespace claims

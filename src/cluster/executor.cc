@@ -217,6 +217,18 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
     }
   }
 
+  // Fail the query if any segment's stream broke mid-pump (child operator
+  // error / aborted send): the blocks drained above are incomplete and must
+  // not be returned as a clean result. Producers close their exchanges even
+  // on failure, so downstream segments drained and joined normally above.
+  for (auto& segment : segments_) {
+    if (segment->failed()) {
+      return Status::Internal(
+          StrFormat("segment %s failed mid-stream; result discarded",
+                    segment->name().c_str()));
+    }
+  }
+
   int64_t t1 = clock->NowNanos();
   stats_.elapsed_ns = t1 - t0;
   stats_.peak_memory_bytes = cluster_->memory()->peak_bytes();

@@ -27,7 +27,7 @@ Segment::~Segment() {
 }
 
 void Segment::Start() {
-  started_ = true;
+  started_.store(true, std::memory_order_release);
   driver_ = std::thread([this] { DriverMain(); });
 }
 
@@ -37,13 +37,15 @@ void Segment::Join() {
 
 void Segment::Cancel() {
   cancel_.store(true, std::memory_order_release);
-  if (started_ && !done_.load(std::memory_order_acquire)) {
+  if (started_.load(std::memory_order_acquire) &&
+      !done_.load(std::memory_order_acquire)) {
     elastic_->buffer()->Cancel();
   }
 }
 
 bool Segment::active() const {
-  return started_ && !done_.load(std::memory_order_acquire);
+  return started_.load(std::memory_order_acquire) &&
+         !done_.load(std::memory_order_acquire);
 }
 
 void Segment::DriverMain() {
@@ -54,7 +56,13 @@ void Segment::DriverMain() {
 
   WorkerContext ctx;  // the driver is not a worker; no terminate flag
   elastic_->Open(&ctx);
-  sender_.Pump(elastic_.get(), &ctx, &cancel_);
+  bool pump_ok = sender_.Pump(elastic_.get(), &ctx, &cancel_);
+  // A failed pump without a requested Cancel() means the stream broke (a
+  // child operator errored, or a send aborted underneath us): record it so
+  // the executor can distinguish "drained" from "gave up mid-stream".
+  if (!pump_ok && !cancel_.load(std::memory_order_acquire)) {
+    failed_.store(true, std::memory_order_release);
+  }
   final_parallelism_.store(elastic_->parallelism(), std::memory_order_release);
   done_.store(true, std::memory_order_release);
   elastic_->Close();

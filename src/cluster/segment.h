@@ -68,6 +68,11 @@ class Segment : public SchedulableSegment {
     return final_parallelism_.load(std::memory_order_acquire);
   }
 
+  /// True once the driver exited with a broken stream: the pump reported
+  /// failure (child error or send cancellation) without Cancel() being the
+  /// cause. Valid after Join().
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
  private:
   void DriverMain();
 
@@ -78,9 +83,12 @@ class Segment : public SchedulableSegment {
   std::thread driver_;
   std::atomic<bool> cancel_{false};
   std::atomic<bool> done_{false};
+  std::atomic<bool> failed_{false};
   std::atomic<int64_t> lifetime_ns_{0};
   std::atomic<int> final_parallelism_{0};
-  bool started_ = false;
+  /// Atomic: Start() runs on the executor thread while active() and Cancel()
+  /// are called concurrently from the scheduler tick.
+  std::atomic<bool> started_{false};
 };
 
 }  // namespace claims

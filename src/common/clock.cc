@@ -1,8 +1,13 @@
 #include "common/clock.h"
 
 #include <chrono>
+#include <thread>
 
 namespace claims {
+
+void Clock::SleepNanos(int64_t ns) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
 
 int64_t SteadyClock::NowNanos() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -15,6 +15,16 @@ class Clock {
 
   /// Current monotonic time in nanoseconds.
   virtual int64_t NowNanos() const = 0;
+
+  /// Blocks the caller until the clock has advanced by roughly `ns`. Timed
+  /// waits (e.g. TokenBucket::Acquire) MUST go through this instead of
+  /// sleeping wall-clock time directly, so that a virtual/manual clock can
+  /// advance its own notion of time and the wait terminates deterministically.
+  /// The default implementation sleeps real time, which is only correct for
+  /// clocks that advance with real time; a manual clock that keeps the
+  /// default and never advances is rejected by callers (they detect that a
+  /// SleepNanos produced no progress and fail the wait).
+  virtual void SleepNanos(int64_t ns);
 };
 
 /// Wall-clock implementation backed by std::chrono::steady_clock.

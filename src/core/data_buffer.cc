@@ -7,14 +7,16 @@ namespace claims {
 void DataBuffer::AddProducer(int producer_id) {
   std::lock_guard<std::mutex> lock(mu_);
   ++active_producers_;
+  ever_had_producer_ = true;
   if (options_.order_preserving) {
     producers_.emplace(producer_id, ProducerQueue{});
   }
 }
 
-void DataBuffer::RemoveProducer(int producer_id) {
+void DataBuffer::RemoveProducer(int producer_id, bool finished) {
   std::lock_guard<std::mutex> lock(mu_);
   --active_producers_;
+  if (finished) any_finished_ = true;
   if (options_.order_preserving) {
     auto it = producers_.find(producer_id);
     if (it != producers_.end()) it->second.finished = true;
@@ -80,16 +82,25 @@ bool DataBuffer::PopReadyLocked() const {
   return true;
 }
 
+bool DataBuffer::ExhaustedLocked() const {
+  // End-of-file is only genuine when no producer is left AND at least one of
+  // them ran its input dry (or none ever registered). If every current
+  // producer departed *terminated* — all shrunk away, none finished — the
+  // input is not exhausted; the stream is paused until an Expand registers a
+  // replacement producer (or Cancel ends it). This closes the premature-EOF
+  // window where a consumer woke between a departing worker's RemoveProducer
+  // and a concurrent AddProducer and saw 0 producers / 0 blocks.
+  return active_producers_ == 0 && total_blocks_ == 0 &&
+         (any_finished_ || !ever_had_producer_);
+}
+
 NextResult DataBuffer::Pop(BlockPtr* out) {
   std::unique_lock<std::mutex> lock(mu_);
   not_empty_.wait(lock, [&] {
-    return cancelled_ || PopReadyLocked() ||
-           (active_producers_ == 0 && total_blocks_ == 0);
+    return cancelled_ || PopReadyLocked() || ExhaustedLocked();
   });
   if (cancelled_) return NextResult::kEndOfFile;
-  if (total_blocks_ == 0 && active_producers_ == 0) {
-    return NextResult::kEndOfFile;
-  }
+  if (ExhaustedLocked()) return NextResult::kEndOfFile;
   if (options_.order_preserving) {
     ProducerQueue* best = nullptr;
     uint64_t min_seq = UINT64_MAX;

@@ -41,10 +41,15 @@ class DataBuffer {
   /// Registers a producer before its worker thread starts (or on expansion).
   void AddProducer(int producer_id);
 
-  /// A producer finished (end-of-file) or terminated (shrink): it will never
-  /// insert again. When the last producer leaves and the buffer drains, Pop
-  /// reports end-of-file.
-  void RemoveProducer(int producer_id);
+  /// A producer will never insert again. `finished` distinguishes *why* it
+  /// left: true means it exhausted its input (end-of-file), false means it was
+  /// terminated early (shrink). The distinction matters for Pop's end-of-file
+  /// decision: a buffer whose producers all left *terminated* is paused, not
+  /// exhausted — an Expand may register a new producer and resume the stream.
+  /// Without it, a consumer racing a departing worker against a concurrent
+  /// AddProducer could observe zero producers and zero blocks and report a
+  /// wrong (empty) end-of-file for a still-live segment.
+  void RemoveProducer(int producer_id, bool finished = true);
 
   /// Inserts a block, blocking while the buffer is at capacity. Returns false
   /// if the buffer was cancelled while waiting.
@@ -55,8 +60,11 @@ class DataBuffer {
   /// across low-selectivity stretches.
   void AdvanceWatermark(int producer_id, uint64_t seq);
 
-  /// Consumer side: pops one block, blocking until data is available or all
-  /// producers have left (kEndOfFile). Cancellation also yields kEndOfFile.
+  /// Consumer side: pops one block, blocking until data is available or the
+  /// stream is exhausted (kEndOfFile): every producer left and at least one
+  /// of them finished (or none was ever registered). If all producers were
+  /// terminated early, Pop keeps waiting for a replacement producer or
+  /// Cancel. Cancellation also yields kEndOfFile.
   NextResult Pop(BlockPtr* out);
 
   /// Wakes all waiters; subsequent Inserts fail and Pops drain then EOF.
@@ -75,6 +83,7 @@ class DataBuffer {
 
   // All guarded by mu_.
   bool PopReadyLocked() const;
+  bool ExhaustedLocked() const;
   size_t TotalLocked() const { return total_blocks_; }
 
   Options options_;
@@ -85,6 +94,8 @@ class DataBuffer {
   std::map<int, ProducerQueue> producers_;    // ordered mode uses queues
   size_t total_blocks_ = 0;
   int active_producers_ = 0;
+  bool ever_had_producer_ = false;  ///< any AddProducer happened
+  bool any_finished_ = false;       ///< a producer left via end-of-file
   bool cancelled_ = false;
 };
 

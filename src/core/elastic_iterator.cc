@@ -38,7 +38,13 @@ NextResult ElasticIterator::Open(WorkerContext* /*ctx*/) {
 }
 
 NextResult ElasticIterator::Next(WorkerContext* /*ctx*/, BlockPtr* out) {
-  return buffer_.Pop(out);
+  NextResult r = buffer_.Pop(out);
+  // A latched worker error cancels the buffer, which Pop reports as
+  // end-of-file; surface the failure instead of a wrong empty result.
+  if (r == NextResult::kEndOfFile && error_.load(std::memory_order_acquire)) {
+    return NextResult::kError;
+  }
+  return r;
 }
 
 void ElasticIterator::Close() {
@@ -95,6 +101,7 @@ void ElasticIterator::WorkerMain(Worker* worker) {
 
   bool via_eof = false;
   NextResult open_status = child_->Open(&ctx);
+  if (open_status == NextResult::kError) LatchError();
   if (open_status == NextResult::kSuccess) {
     worker->ready.store(true, std::memory_order_release);
     if (traced) {
@@ -133,6 +140,9 @@ void ElasticIterator::WorkerMain(Worker* worker) {
       } else if (r == NextResult::kEndOfFile) {
         via_eof = true;
         break;
+      } else if (r == NextResult::kError) {
+        LatchError();
+        break;
       } else {  // kTerminated — shrink completed
         break;
       }
@@ -155,13 +165,28 @@ void ElasticIterator::WorkerMain(Worker* worker) {
     --live_workers_;
     if (via_eof) ++finished_workers_;
   }
-  buffer_.RemoveProducer(worker->worker_id);
+  // `finished = via_eof`: only a worker that ran its input dry may contribute
+  // to the buffer's end-of-file decision; a terminated (shrunk) departure
+  // leaves the stream revivable by a later Expand (see DataBuffer::Pop).
+  buffer_.RemoveProducer(worker->worker_id, /*finished=*/via_eof);
   worker->done.store(true, std::memory_order_release);
+}
+
+void ElasticIterator::LatchError() {
+  bool expected = false;
+  if (error_.compare_exchange_strong(expected, true,
+                                     std::memory_order_acq_rel)) {
+    // First error wins: wake the consumer and unwind the remaining workers.
+    // Queued blocks are dropped with the buffer — the result would be wrong
+    // anyway.
+    buffer_.Cancel();
+  }
 }
 
 bool ElasticIterator::Expand(int core_id) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!opened_ || closed_) return false;
+  if (error_.load(std::memory_order_acquire)) return false;  // failed
   if (finished_workers_ > 0 && live_workers_ == 0) return false;  // finished
   if (live_workers_ >= options_.max_parallelism) return false;
   StartWorkerLocked(core_id);
@@ -221,6 +246,7 @@ int64_t ElasticIterator::ExpandMeasured(int core_id) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!opened_ || closed_) return -1;
+    if (error_.load(std::memory_order_acquire)) return -1;
     if (live_workers_ >= options_.max_parallelism) return -1;
     w = StartWorkerLocked(core_id);
   }
@@ -253,7 +279,9 @@ int ElasticIterator::parallelism() const {
 
 bool ElasticIterator::finished() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return opened_ && live_workers_ == 0 && finished_workers_ > 0;
+  if (!opened_) return false;
+  if (error_.load(std::memory_order_acquire)) return true;  // terminal
+  return live_workers_ == 0 && finished_workers_ > 0;
 }
 
 }  // namespace claims

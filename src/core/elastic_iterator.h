@@ -70,7 +70,9 @@ class ElasticIterator : public Iterator {
   NextResult Open(WorkerContext* ctx) override;
 
   /// Pops one result block from the joint buffer; blocks until data arrives
-  /// or every worker finished (kEndOfFile).
+  /// or every worker finished (kEndOfFile). If any worker's child subtree
+  /// failed (Open or Next returned kError), returns kError instead of a
+  /// wrong empty/partial end-of-file.
   NextResult Next(WorkerContext* ctx, BlockPtr* out) override;
 
   /// Terminates all workers, drains them, closes the child subtree.
@@ -102,8 +104,13 @@ class ElasticIterator : public Iterator {
   /// Most workers that were ever live at once.
   int peak_parallelism() const;
 
-  /// True until every worker exhausted the input.
+  /// True once every worker exhausted the input — or a worker failed (an
+  /// errored segment is terminal; the scheduler must stop feeding it cores).
   bool finished() const;
+
+  /// True once any worker's child subtree reported kError. Latched: the
+  /// first error wins, cancels the buffer, and is re-raised by Next().
+  bool failed() const { return error_.load(std::memory_order_acquire); }
 
   DataBuffer* buffer() { return &buffer_; }
   Iterator* child() { return child_.get(); }
@@ -119,6 +126,9 @@ class ElasticIterator : public Iterator {
   };
 
   void WorkerMain(Worker* worker);
+  /// Latches the first child error and cancels the buffer so the consumer
+  /// and the remaining workers unwind promptly.
+  void LatchError();
   /// Starts a worker; caller holds mu_.
   Worker* StartWorkerLocked(int core_id);
   /// Joins all worker threads; must NOT hold mu_ (workers take it on exit).
@@ -136,6 +146,10 @@ class ElasticIterator : public Iterator {
   MetricHistogram* expand_latency_metric_;
   MetricHistogram* shrink_latency_metric_;
   MetricGauge* buffer_peak_metric_;  ///< high-watermark, labelled per segment
+
+  /// First child error, if any (see failed()). Atomic so Next()/Expand can
+  /// read it without taking mu_.
+  std::atomic<bool> error_{false};
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Worker>> workers_;

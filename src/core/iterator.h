@@ -13,11 +13,16 @@ struct SegmentStats;
 /// Result of Iterator::Open / Iterator::Next, following the paper's appendix:
 /// SUCCESS carries a block (Next) or a constructed state (Open); TERMINATED
 /// means the calling worker thread observed a terminate request (shrinkage)
-/// and must unwind; end-of-file means the input dataflow is exhausted.
+/// and must unwind; end-of-file means the input dataflow is exhausted. ERROR
+/// means the operator failed (bad input, resource exhaustion, ...): the
+/// stream is broken, not merely empty — consumers must not report the blocks
+/// seen so far as a complete result. ElasticIterator latches the first error
+/// any of its workers observes and re-raises it from its own Next().
 enum class NextResult {
   kSuccess = 0,
   kEndOfFile = 1,
   kTerminated = 2,
+  kError = 3,
 };
 
 /// Per-worker-thread execution context threaded through every Open/Next call.

@@ -249,7 +249,26 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
       }
     }
     if (best_u != nullptr && best_o->rec->segment->Shrink()) {
-      if (best_u->rec->segment->Expand(cores_used)) {
+      if (!best_u->rec->segment->Expand(cores_used)) {
+        // The receiver refused the core (finished or hit its own max since
+        // classification). The donor already gave one worker up — without
+        // compensation the core vanishes from every segment until some later
+        // tick notices the free-pool surplus. Give it straight back, and
+        // record nothing: no shrink, no expansion, no pair move happened.
+        if (!best_o->rec->segment->Expand(cores_used)) {
+          // Donor finished too; the core genuinely returns to the free pool.
+          CLAIMS_LOG(Warning)
+              << "pair move aborted: receiver "
+              << best_u->rec->segment->name() << " and donor "
+              << best_o->rec->segment->name()
+              << " both refused the core; returning it to the free pool";
+        } else if (traced) {
+          tc->Instant(now, trace_pid_, "sched", "PairMoveAborted",
+                      {{"receiver", best_u->rec->segment->name()},
+                       {"donor", best_o->rec->segment->name()},
+                       {"reason", "receiver-refused:compensated"}});
+        }
+      } else {
         move_metric_->Add();
         expand_metric_->Add();
         shrink_metric_->Add();

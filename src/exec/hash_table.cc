@@ -7,43 +7,52 @@ namespace claims {
 // --- Arena ---------------------------------------------------------------------
 
 Arena::~Arena() {
-  for (const Chunk& c : chunks_) {
-    if (memory_ != nullptr) memory_->Release(static_cast<int64_t>(c.size));
-    delete[] c.data;
+  for (const auto& c : chunks_) {
+    if (memory_ != nullptr) memory_->Release(static_cast<int64_t>(c->size));
+    delete[] c->data;
   }
 }
 
 char* Arena::Allocate(size_t bytes) {
   bytes = (bytes + 7) & ~size_t{7};
   while (true) {
-    char* cur = bump_.load(std::memory_order_relaxed);
-    char* lim = limit_.load(std::memory_order_relaxed);
-    if (cur != nullptr && cur + bytes <= lim) {
-      if (bump_.compare_exchange_weak(cur, cur + bytes,
-                                      std::memory_order_relaxed)) {
+    Chunk* chunk = current_.load(std::memory_order_acquire);
+    if (chunk != nullptr) {
+      // fetch_add may overshoot the limit; overshooters fall through to the
+      // refill path and retry against the next region. The wasted tail is at
+      // most (threads - 1) * bytes per refill — bounded and harmless.
+      char* cur = chunk->cursor.fetch_add(static_cast<int64_t>(bytes),
+                                          std::memory_order_relaxed);
+      if (cur + bytes <= chunk->limit) {
         allocated_.fetch_add(static_cast<int64_t>(bytes),
                              std::memory_order_relaxed);
         return cur;
       }
-      continue;
     }
     // Refill. Oversized requests get a dedicated chunk.
     std::lock_guard<std::mutex> lock(refill_mu_);
-    cur = bump_.load(std::memory_order_relaxed);
-    lim = limit_.load(std::memory_order_relaxed);
-    if (cur != nullptr && cur + bytes <= lim) continue;  // raced a refill
-    size_t chunk = std::max(bytes, chunk_bytes_);
-    char* data = new char[chunk];
-    chunks_.push_back(Chunk{data, chunk});
-    if (memory_ != nullptr) memory_->Allocate(static_cast<int64_t>(chunk));
-    if (chunk > chunk_bytes_) {
+    if (current_.load(std::memory_order_acquire) != chunk) {
+      continue;  // raced a refill — retry on the new region
+    }
+    size_t size = std::max(bytes, chunk_bytes_);
+    char* data = new char[size];
+    auto fresh = std::make_unique<Chunk>();
+    fresh->data = data;
+    fresh->size = size;
+    fresh->limit = data + size;
+    fresh->cursor.store(data, std::memory_order_relaxed);
+    if (memory_ != nullptr) memory_->Allocate(static_cast<int64_t>(size));
+    if (size > chunk_bytes_) {
       // Dedicated chunk: hand it out directly, leave the bump region alone.
+      fresh->cursor.store(data + size, std::memory_order_relaxed);
+      chunks_.push_back(std::move(fresh));
       allocated_.fetch_add(static_cast<int64_t>(bytes),
                            std::memory_order_relaxed);
       return data;
     }
-    limit_.store(data + chunk, std::memory_order_relaxed);
-    bump_.store(data, std::memory_order_release);
+    Chunk* published = fresh.get();
+    chunks_.push_back(std::move(fresh));
+    current_.store(published, std::memory_order_release);
   }
 }
 

@@ -35,17 +35,25 @@ class Arena {
   }
 
  private:
+  /// One bump region. `data`/`limit` are immutable after construction — only
+  /// the cursor moves — so the fast path never pairs a cursor from one chunk
+  /// with the limit of another (the torn-read bug a separate atomic limit
+  /// had: with unrelated heap addresses, that comparison could hand out
+  /// memory past the real chunk end).
   struct Chunk {
     char* data;
     size_t size;
+    char* limit;                ///< data + size
+    std::atomic<char*> cursor;  ///< next free byte
   };
 
   size_t chunk_bytes_;
   MemoryTracker* memory_;
   std::mutex refill_mu_;
-  std::vector<Chunk> chunks_;
-  std::atomic<char*> bump_{nullptr};
-  std::atomic<char*> limit_{nullptr};
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  /// Current bump region; release-published by the refiller, acquire-loaded
+  /// by allocators so the chunk memory is visible before any payload write.
+  std::atomic<Chunk*> current_{nullptr};
   std::atomic<int64_t> allocated_{0};
 };
 

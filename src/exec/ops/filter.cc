@@ -12,7 +12,9 @@ FilterIterator::FilterIterator(std::unique_ptr<Iterator> child,
 NextResult FilterIterator::Open(WorkerContext* ctx) {
   bool already_open = open_barrier_.Register();
   NextResult r = child_->Open(ctx);
-  if (r == NextResult::kTerminated) {
+  if (r != NextResult::kSuccess) {
+    // kTerminated (shrink) and kError (broken stream) both unwind here;
+    // deregistering keeps the barrier count honest for the surviving workers.
     if (!already_open) open_barrier_.Deregister();
     return r;
   }

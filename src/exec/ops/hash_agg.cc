@@ -85,9 +85,10 @@ void HashAggIterator::MergeInto(const AggHashTable& src) {
 
 NextResult HashAggIterator::Open(WorkerContext* ctx) {
   bool already_open = build_barrier_.Register();
-  if (child_->Open(ctx) == NextResult::kTerminated) {
+  NextResult opened = child_->Open(ctx);
+  if (opened != NextResult::kSuccess) {
     if (!already_open) build_barrier_.Deregister();
-    return NextResult::kTerminated;
+    return opened;
   }
 
   const bool privately =
@@ -112,8 +113,8 @@ NextResult HashAggIterator::Open(WorkerContext* ctx) {
     BlockPtr block;
     NextResult r = child_->Next(ctx, &block);
     if (r == NextResult::kEndOfFile) break;
-    if (r == NextResult::kTerminated ||
-        (r == NextResult::kSuccess && ctx->DetectedTerminateRequest())) {
+    if (r != NextResult::kSuccess ||
+        ctx->DetectedTerminateRequest()) {
       if (r == NextResult::kSuccess) {
         // Finish the in-flight block before unwinding — no tuple is lost.
         for (int i = 0; i < block->num_rows(); ++i) {
@@ -125,7 +126,9 @@ NextResult HashAggIterator::Open(WorkerContext* ctx) {
         context_pool_.Release(std::move(priv), ctx->core_id, ctx->socket_id);
       }
       if (!already_open) build_barrier_.Deregister();
-      return NextResult::kTerminated;
+      // kError re-raises (broken stream); everything else unwinds as a shrink.
+      return r == NextResult::kError ? NextResult::kError
+                                     : NextResult::kTerminated;
     }
     for (int i = 0; i < block->num_rows(); ++i) {
       FoldRow(block->RowAt(i), sink, group_scratch.data());
@@ -157,18 +160,18 @@ NextResult HashAggIterator::Open(WorkerContext* ctx) {
 
 void HashAggIterator::SnapshotGroups() {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
-  if (snapshot_ready_) return;
+  if (snapshot_ready_.load(std::memory_order_relaxed)) return;
   groups_.reserve(static_cast<size_t>(global_.size()));
   global_.ForEach(
       [&](const char* row, const AggHashTable::AggState* states) {
         groups_.emplace_back(row, states);
       });
-  snapshot_ready_ = true;
+  snapshot_ready_.store(true, std::memory_order_release);
 }
 
 NextResult HashAggIterator::Next(WorkerContext* ctx, BlockPtr* out) {
   if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
-  if (!snapshot_ready_) SnapshotGroups();
+  if (!snapshot_ready_.load(std::memory_order_acquire)) SnapshotGroups();
 
   const int out_size = output_schema_.row_size();
   const int rows_per_block = std::max(1, kDefaultBlockBytes / out_size);

@@ -89,7 +89,9 @@ class HashAggIterator : public Iterator {
   FirstCallerGate snapshot_gate_;
 
   std::mutex snapshot_mu_;
-  bool snapshot_ready_ = false;
+  /// Release-published by the snapshot builder (under snapshot_mu_) so the
+  /// lock-free fast path in Next() sees a fully built groups_ vector.
+  std::atomic<bool> snapshot_ready_{false};
   std::vector<std::pair<const char*, const AggHashTable::AggState*>> groups_;
   std::atomic<size_t> emit_cursor_{0};
 };

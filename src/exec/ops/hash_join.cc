@@ -29,18 +29,21 @@ HashJoinIterator::HashJoinIterator(std::unique_ptr<Iterator> build_child,
 
 NextResult HashJoinIterator::Open(WorkerContext* ctx) {
   bool already_open = build_barrier_.Register();
-  if (build_child_->Open(ctx) == NextResult::kTerminated) {
+  NextResult opened = build_child_->Open(ctx);
+  if (opened != NextResult::kSuccess) {
     if (!already_open) build_barrier_.Deregister();
-    return NextResult::kTerminated;
+    return opened;
   }
   // Parallel build: every worker drains build blocks into the shared table.
   while (true) {
     BlockPtr block;
     NextResult r = build_child_->Next(ctx, &block);
     if (r == NextResult::kEndOfFile) break;
-    if (r == NextResult::kTerminated) {
+    if (r != NextResult::kSuccess) {
+      // kTerminated (shrink) and kError (broken stream) both unwind and are
+      // re-raised as-is; deregistering keeps the barrier honest either way.
       if (!already_open) build_barrier_.Deregister();
-      return NextResult::kTerminated;
+      return r;
     }
     for (int i = 0; i < block->num_rows(); ++i) {
       table_.Insert(block->RowAt(i));
@@ -50,9 +53,10 @@ NextResult HashJoinIterator::Open(WorkerContext* ctx) {
       return NextResult::kTerminated;
     }
   }
-  if (probe_child_->Open(ctx) == NextResult::kTerminated) {
+  opened = probe_child_->Open(ctx);
+  if (opened != NextResult::kSuccess) {
     if (!already_open) build_barrier_.Deregister();
-    return NextResult::kTerminated;
+    return opened;
   }
   build_barrier_.Arrive();
   return NextResult::kSuccess;

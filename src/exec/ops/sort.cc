@@ -61,29 +61,32 @@ NextResult SortIterator::Open(WorkerContext* ctx) {
   bool b1_open = barrier1_.Register();
   barrier2_.Register();
   barrier3_.Register();
-  auto bail = [&]() -> NextResult {
+  // kTerminated (shrink) and kError (broken stream) both unwind through the
+  // same deregistration; the original code is re-raised so errors propagate.
+  auto bail = [&](NextResult r) -> NextResult {
     DeregisterAll();
-    return NextResult::kTerminated;
+    return r;
   };
-  if (child_->Open(ctx) == NextResult::kTerminated) return bail();
+  NextResult opened = child_->Open(ctx);
+  if (opened != NextResult::kSuccess) return bail(opened);
 
   // --- Phase 1a: drain the child into the shared buffer ---------------------
   while (true) {
     BlockPtr block;
     NextResult r = child_->Next(ctx, &block);
     if (r == NextResult::kEndOfFile) break;
-    if (r == NextResult::kTerminated) return bail();
+    if (r != NextResult::kSuccess) return bail(r);
     {
       std::lock_guard<std::mutex> lock(mu_);
       total_rows_.fetch_add(block->num_rows(), std::memory_order_relaxed);
       buffered_.push_back(std::move(block));
     }
-    if (ctx->DetectedTerminateRequest()) return bail();
+    if (ctx->DetectedTerminateRequest()) return bail(NextResult::kTerminated);
   }
 
   // --- Phase 1b: chunk-sort (one block per chunk) ----------------------------
   while (true) {
-    if (ctx->DetectedTerminateRequest()) return bail();
+    if (ctx->DetectedTerminateRequest()) return bail(NextResult::kTerminated);
     int chunk;
     {
       // The buffer only grows while some worker is still draining; snapshot
@@ -129,7 +132,7 @@ NextResult SortIterator::Open(WorkerContext* ctx) {
   // --- Phase 3: range merges (claimed work units) -----------------------------
   const int nsep = static_cast<int>(separators_.size());
   while (true) {
-    if (ctx->DetectedTerminateRequest()) return bail();
+    if (ctx->DetectedTerminateRequest()) return bail(NextResult::kTerminated);
     int range = range_cursor_.fetch_add(1, std::memory_order_relaxed);
     if (range > nsep) break;  // ranges = nsep + 1
     const char* lo = range > 0 ? separators_[range - 1].data() : nullptr;

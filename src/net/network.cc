@@ -14,10 +14,14 @@ Network::Network(int num_nodes, NetworkOptions options, MemoryTracker* memory)
   bytes_sent_metric_ = reg->counter("net.bytes_sent");
   remote_bytes_metric_ = reg->counter("net.remote_bytes");
   for (int i = 0; i < num_nodes; ++i) {
+    // The buckets share the fabric's clock: under a virtual clock, NIC
+    // throttle waits advance virtual time instead of sleeping real time.
     egress_.push_back(
-        std::make_unique<TokenBucket>(options.bandwidth_bytes_per_sec));
+        std::make_unique<TokenBucket>(options.bandwidth_bytes_per_sec,
+                                      clock_));
     ingress_.push_back(
-        std::make_unique<TokenBucket>(options.bandwidth_bytes_per_sec));
+        std::make_unique<TokenBucket>(options.bandwidth_bytes_per_sec,
+                                      clock_));
   }
 }
 

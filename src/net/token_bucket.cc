@@ -1,7 +1,8 @@
 #include "net/token_bucket.h"
 
 #include <algorithm>
-#include <thread>
+
+#include "common/logging.h"
 
 namespace claims {
 
@@ -27,13 +28,14 @@ int64_t TokenBucket::Acquire(int64_t bytes, const std::atomic<bool>* cancel) {
       return -1;
     }
     int64_t wait_ns = 0;
+    int64_t refill_now = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      int64_t now = clock_->NowNanos();
-      tokens_ += static_cast<double>(now - last_refill_ns_) / 1e9 *
+      refill_now = clock_->NowNanos();
+      tokens_ += static_cast<double>(refill_now - last_refill_ns_) / 1e9 *
                  static_cast<double>(bytes_per_sec_);
       tokens_ = std::min(tokens_, burst + static_cast<double>(bytes));
-      last_refill_ns_ = now;
+      last_refill_ns_ = refill_now;
       if (tokens_ >= static_cast<double>(bytes)) {
         tokens_ -= static_cast<double>(bytes);
         total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
@@ -43,10 +45,23 @@ int64_t TokenBucket::Acquire(int64_t bytes, const std::atomic<bool>* cancel) {
           (static_cast<double>(bytes) - tokens_) /
           static_cast<double>(bytes_per_sec_) * 1e9);
     }
-    // Sleep roughly until enough tokens accrue, capped so cancellation stays
-    // responsive.
+    // Wait roughly until enough tokens accrue, capped so cancellation stays
+    // responsive. The wait goes through the injected clock: a virtual clock
+    // advances its own time, so owed tokens accrue in the same timeline the
+    // refill above reads.
     wait_ns = std::clamp<int64_t>(wait_ns, 100'000, 5'000'000);
-    std::this_thread::sleep_for(std::chrono::nanoseconds(wait_ns));
+    clock_->SleepNanos(wait_ns);
+    if (clock_->NowNanos() <= refill_now) {
+      // The clock did not advance across its own wait: a frozen manual clock
+      // with no SleepNanos override. Owed tokens can never accrue — spinning
+      // here would hang the sender forever, so reject the acquisition like a
+      // cancellation.
+      CLAIMS_LOG(Error) << "TokenBucket::Acquire: injected clock did not "
+                           "advance across SleepNanos; rejecting acquire of "
+                        << bytes << " bytes (use a clock whose SleepNanos "
+                           "advances its own time)";
+      return -1;
+    }
   }
 }
 

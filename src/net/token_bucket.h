@@ -24,7 +24,10 @@ class TokenBucket {
 
   /// Blocks until `bytes` tokens are available, then consumes them. Returns
   /// the nanoseconds spent waiting. Honors `cancel` (checked while waiting);
-  /// returns -1 if cancelled.
+  /// returns -1 if cancelled. Waits are timed through the injected clock's
+  /// SleepNanos, so a virtual clock makes throttling deterministic; a frozen
+  /// clock (one whose SleepNanos does not advance it) is rejected with -1
+  /// instead of spinning forever.
   int64_t Acquire(int64_t bytes, const std::atomic<bool>* cancel = nullptr);
 
   int64_t bytes_per_sec() const { return bytes_per_sec_; }

@@ -20,6 +20,12 @@ class SimClock : public Clock {
   int64_t NowNanos() const override { return now_; }
   void set_now(int64_t ns) { now_ = ns; }
 
+  /// A timed wait in virtual time advances the clock instead of sleeping —
+  /// components like TokenBucket::Acquire terminate deterministically and
+  /// instantly under simulation. (The simulator is single-threaded, so the
+  /// unsynchronized bump is safe.)
+  void SleepNanos(int64_t ns) override { now_ += ns; }
+
  private:
   int64_t now_ = 0;
 };

@@ -1171,11 +1171,16 @@ Result<SimMetrics> SimRun::Impl::Run() {
 
   rng_ = Rng(opt_.seed);
 
+  // Declared at function scope so it outlives the event loop below;
+  // scheduled copies hold only a weak_ptr, so the polling closure neither
+  // leaks (no shared_ptr cycle) nor dies while the simulation still runs.
+  std::shared_ptr<std::function<void()>> try_activate;
   if (opt_.policy == SimPolicy::kMaterialized) {
     // Group-at-a-time: a segment starts once every input exchange it reads
     // has been fully materialized (all producers finished).
-    auto try_activate = std::make_shared<std::function<void()>>();
-    *try_activate = [this, start_instance, try_activate] {
+    try_activate = std::make_shared<std::function<void()>>();
+    std::weak_ptr<std::function<void()>> weak_activate = try_activate;
+    *try_activate = [this, start_instance, weak_activate] {
       for (auto& inst : instances_) {
         if (inst->started) continue;
         bool ready = true;
@@ -1186,7 +1191,10 @@ Result<SimMetrics> SimRun::Impl::Run() {
         }
         if (ready) start_instance(inst.get());
       }
-      if (!done_) events_.ScheduleAfter(1'000'000, *try_activate);
+      if (done_) return;
+      if (auto self = weak_activate.lock()) {
+        events_.ScheduleAfter(1'000'000, *self);
+      }
     };
     (*try_activate)();
   } else {

@@ -102,6 +102,56 @@ TEST(DataBufferTest, MemoryAccounting) {
   EXPECT_EQ(mem.peak_bytes(), bytes);
 }
 
+TEST(DataBufferTest, TerminatedProducersDontSignalEof) {
+  // Regression: all current producers shrinking away (terminated, not
+  // finished) left active_producers_ == 0 && total_blocks_ == 0 — the old
+  // EOF predicate. A consumer racing into Pop in that window returned a
+  // premature end-of-file while the segment was still live. The stream is
+  // merely paused: Pop must keep waiting until a replacement producer
+  // finishes (or the buffer is cancelled).
+  DataBuffer buf({.capacity_blocks = 8});
+  buf.AddProducer(0);
+  buf.RemoveProducer(0, /*finished=*/false);  // shrunk away mid-stream
+  std::atomic<bool> got_eof{false};
+  std::atomic<bool> got_block{false};
+  std::thread consumer([&] {
+    BlockPtr out;
+    NextResult r = buf.Pop(&out);
+    if (r == NextResult::kSuccess) got_block.store(true);
+    while (r == NextResult::kSuccess) r = buf.Pop(&out);
+    got_eof.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got_eof.load());  // paused, not exhausted
+  // A later Expand revives the stream; its worker finishes for real.
+  buf.AddProducer(1);
+  ASSERT_TRUE(buf.Insert(1, SeqBlock(1)));
+  buf.RemoveProducer(1, /*finished=*/true);
+  consumer.join();
+  EXPECT_TRUE(got_block.load());
+  EXPECT_TRUE(got_eof.load());
+}
+
+TEST(DataBufferTest, NoProducerEverRegisteredIsEof) {
+  // An empty segment (zero initial parallelism edge) must still terminate.
+  DataBuffer buf({.capacity_blocks = 8});
+  BlockPtr out;
+  EXPECT_EQ(buf.Pop(&out), NextResult::kEndOfFile);
+}
+
+TEST(DataBufferTest, CancelEndsPausedStream) {
+  DataBuffer buf({.capacity_blocks = 8});
+  buf.AddProducer(0);
+  buf.RemoveProducer(0, /*finished=*/false);
+  std::thread consumer([&] {
+    BlockPtr out;
+    EXPECT_EQ(buf.Pop(&out), NextResult::kEndOfFile);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  buf.Cancel();  // shutdown while paused must not hang the consumer
+  consumer.join();
+}
+
 // --- Order-preserving mode ----------------------------------------------------
 
 TEST(OrderedBufferTest, MergesTwoProducersBySequence) {

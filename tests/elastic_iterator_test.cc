@@ -11,6 +11,7 @@ namespace {
 
 using testing_support::BlockingCounter;
 using testing_support::CountingSource;
+using testing_support::FailingSource;
 using testing_support::OneInt64Schema;
 using testing_support::SlowPassThrough;
 
@@ -249,6 +250,54 @@ TEST(ElasticIteratorTest, CloseWithoutDrainTerminatesCleanly) {
   ASSERT_EQ(it->Open(&ctx), NextResult::kSuccess);
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   it->Close();  // must not hang
+}
+
+TEST(ElasticIteratorTest, ChildErrorSurfacesInsteadOfCleanEof) {
+  // Regression: a child stream breaking mid-flight used to drain as a clean
+  // kEndOfFile — an empty (or truncated) result indistinguishable from
+  // success. The first error must latch and re-raise from Next().
+  ElasticIterator::Options opts;
+  opts.initial_parallelism = 2;
+  ElasticIterator it(std::make_unique<FailingSource>(/*good_blocks=*/3), opts);
+  WorkerContext ctx;
+  ASSERT_EQ(it.Open(&ctx), NextResult::kSuccess);
+  NextResult last = NextResult::kSuccess;
+  BlockPtr block;
+  while ((last = it.Next(&ctx, &block)) == NextResult::kSuccess) {
+  }
+  EXPECT_EQ(last, NextResult::kError);
+  EXPECT_TRUE(it.failed());
+  EXPECT_TRUE(it.finished());  // terminal: the scheduler must stop feeding it
+  it.Close();
+}
+
+TEST(ElasticIteratorTest, ChildOpenErrorSurfaces) {
+  ElasticIterator::Options opts;
+  opts.initial_parallelism = 2;
+  ElasticIterator it(
+      std::make_unique<FailingSource>(/*good_blocks=*/0, /*fail_open=*/true),
+      opts);
+  WorkerContext ctx;
+  ASSERT_EQ(it.Open(&ctx), NextResult::kSuccess);  // workers launch async
+  BlockPtr block;
+  EXPECT_EQ(it.Next(&ctx, &block), NextResult::kError);
+  EXPECT_TRUE(it.failed());
+  it.Close();
+}
+
+TEST(ElasticIteratorTest, ExpandRefusedAfterError) {
+  ElasticIterator::Options opts;
+  opts.initial_parallelism = 1;
+  opts.max_parallelism = 8;
+  ElasticIterator it(std::make_unique<FailingSource>(/*good_blocks=*/0), opts);
+  WorkerContext ctx;
+  ASSERT_EQ(it.Open(&ctx), NextResult::kSuccess);
+  BlockPtr block;
+  while (it.Next(&ctx, &block) == NextResult::kSuccess) {
+  }
+  EXPECT_FALSE(it.Expand(3));
+  EXPECT_EQ(it.ExpandMeasured(4), -1);
+  it.Close();
 }
 
 TEST(ElasticIteratorTest, DoubleCloseAndDestructorAreSafe) {

@@ -42,6 +42,63 @@ TEST(TokenBucketTest, CancelAborts) {
   canceller.join();
 }
 
+/// Manual clock whose SleepNanos advances its own time — what a correct
+/// virtual-time injection looks like.
+class SleepingManualClock : public Clock {
+ public:
+  int64_t NowNanos() const override { return now_; }
+  void SleepNanos(int64_t ns) override { now_ += ns; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+/// Manual clock that only moves when the test says so: SleepNanos inherits
+/// the real-time default, so from Acquire's point of view time is frozen.
+class FrozenManualClock : public Clock {
+ public:
+  int64_t NowNanos() const override { return now_; }
+  void Advance(int64_t ns) { now_ += ns; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+TEST(TokenBucketTest, VirtualClockWaitsAreDeterministic) {
+  // Regression: Acquire computed owed tokens from the injected clock but
+  // slept real wall time, so under a virtual clock a throttled transfer spun
+  // for its real-time duration (effectively hanging for large acquires).
+  // With waits routed through SleepNanos, the same transfer completes
+  // instantly in real time and the waited virtual nanoseconds match the
+  // bandwidth arithmetic.
+  SleepingManualClock clock;
+  TokenBucket bucket(1000, &clock);  // 1 KB/s, 64 KB initial burst
+  bucket.Acquire(64 * 1024);         // eat the burst at t=0
+  int64_t waited = bucket.Acquire(1 << 20);  // 1 MB at 1 KB/s ≈ 1049 s
+  EXPECT_GE(waited, 1'000'000'000'000LL);    // ≥ 1000 virtual seconds
+  EXPECT_LT(waited, 1'200'000'000'000LL);
+  EXPECT_EQ(bucket.total_bytes(), 64 * 1024 + (1 << 20));
+}
+
+TEST(TokenBucketTest, FrozenClockRejectsInsteadOfHanging) {
+  // A frozen manual clock can never accrue the owed tokens; Acquire must
+  // fail fast like a cancellation rather than sleep-spin forever.
+  FrozenManualClock clock;
+  TokenBucket bucket(1000, &clock);
+  bucket.Acquire(64 * 1024);  // eat the burst
+  EXPECT_EQ(bucket.Acquire(1 << 20), -1);
+}
+
+TEST(TokenBucketTest, FrozenClockStillGrantsWithinBudget) {
+  // Acquisitions that fit the current token balance need no wait and must
+  // keep working even when the clock never moves.
+  FrozenManualClock clock;
+  TokenBucket bucket(1'000'000, &clock);
+  EXPECT_GE(bucket.Acquire(1024), 0);
+  clock.Advance(1'000'000'000);  // +1 s → +1 MB of tokens
+  EXPECT_GE(bucket.Acquire(500'000), 0);
+}
+
 TEST(BlockChannelTest, SendReceive) {
   BlockChannel channel(1, 8);
   ASSERT_TRUE(channel.Send({RowBlock(), 2}));

@@ -229,9 +229,21 @@ TEST(HashJoinTest, ParallelBuildCorrect) {
       std::make_unique<ScanIterator>(&probe_table->partition(0), &ps), spec);
   auto* join_raw = join.get();
   Schema out = join->output_schema();
-  auto rows = RunElastic(std::move(join), out, 4);
+  // Drain inline (not via RunElastic) so `it` — which owns the join — is
+  // still alive when build_rows() is inspected below.
+  ElasticIterator::Options opts;
+  opts.initial_parallelism = 4;
+  ElasticIterator it(std::move(join), opts);
+  WorkerContext ctx;
+  ASSERT_EQ(it.Open(&ctx), NextResult::kSuccess);
+  size_t rows = 0;
+  BlockPtr block;
+  while (it.Next(&ctx, &block) == NextResult::kSuccess) {
+    rows += static_cast<size_t>(block->num_rows());
+  }
   EXPECT_EQ(join_raw->build_rows(), 50000);
-  EXPECT_EQ(rows.size(), 50000u);  // every build row matched exactly once
+  EXPECT_EQ(rows, 50000u);  // every build row matched exactly once
+  it.Close();
 }
 
 // --- Hash aggregation -----------------------------------------------------------

@@ -30,6 +30,7 @@ class FakeSegment : public SchedulableSegment {
   SegmentStats* stats() override { return &stats_; }
   ScalabilityVector* scalability() override { return &scalability_; }
   bool Expand(int) override {
+    if (!expand_ok_) return false;
     ++parallelism_;
     ++expand_calls_;
     return true;
@@ -56,6 +57,7 @@ class FakeSegment : public SchedulableSegment {
   std::string name_;
   int parallelism_;
   bool active_ = true;
+  bool expand_ok_ = true;  ///< scripted Expand refusal (finished / at max)
   int expand_calls_ = 0;
   int shrink_calls_ = 0;
   SegmentStats stats_;
@@ -124,6 +126,35 @@ TEST(DynamicSchedulerTest, MovesCoreFromOverToUnderPerformer) {
   }
   EXPECT_GE(slow.expand_calls_, 1);
   EXPECT_GE(fast.shrink_calls_, 1);
+}
+
+TEST(DynamicSchedulerTest, AbortedPairMoveReExpandsDonor) {
+  // Regression: receiver Expand failing after the donor's Shrink succeeded
+  // used to leak the core (donor down a worker, receiver unchanged, free
+  // pool unaware) and still counted a shrink. The donor must get the core
+  // back and no kMovePair action may be reported.
+  FakeClock clock;
+  GlobalThroughputBoard board;
+  DynamicScheduler sched(0, TestOptions(8), &clock, &board);
+  FakeSegment slow("slow", 4);
+  FakeSegment fast("fast", 4);
+  slow.expand_ok_ = false;  // receiver refuses (e.g. finished between ticks)
+  sched.AddSegment(&slow);
+  sched.AddSegment(&fast);
+  sched.Tick();
+  for (int i = 0; i < 3; ++i) {
+    clock.Advance(kSec);
+    slow.Work(kSec, 100.0);
+    fast.Work(kSec, 1000.0);
+    auto actions = sched.Tick();
+    for (const auto& a : actions) {
+      EXPECT_NE(a.kind, SchedulerAction::Kind::kMovePair);
+    }
+  }
+  // Compensation restored every shrink the aborted moves took from the donor.
+  EXPECT_EQ(fast.parallelism(), 4);
+  EXPECT_EQ(fast.shrink_calls_, fast.expand_calls_);
+  EXPECT_EQ(slow.parallelism(), 4);
 }
 
 TEST(DynamicSchedulerTest, ShrinksStarvedSegment) {

@@ -1,0 +1,219 @@
+// DynamicScheduler stress: control-loop ticks racing segment workload
+// updates, segment completion, and segment registration/removal — the
+// engine-side shape where the scheduler thread runs concurrently with
+// segment driver threads. Scripted segments use atomics throughout, so any
+// unsynchronized access inside the scheduler itself is sanitizer-visible.
+
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace claims {
+namespace {
+
+constexpr int64_t kTickNs = 100'000'000;  // 100 ms control period
+
+class AtomicClock : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+  void Advance(int64_t ns) { now_.fetch_add(ns, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<int64_t> now_{0};
+};
+
+/// Thread-safe scriptable segment: the scheduler calls Expand/Shrink from
+/// its tick while a "driver" thread feeds counters and eventually completes.
+class StressSegment : public SchedulableSegment {
+ public:
+  StressSegment(std::string name, int parallelism, int max_parallelism = 24)
+      : name_(std::move(name)),
+        parallelism_(parallelism),
+        max_parallelism_(max_parallelism),
+        scalability_(max_parallelism) {}
+
+  const std::string& name() const override { return name_; }
+  bool active() const override {
+    return active_.load(std::memory_order_acquire);
+  }
+  int parallelism() const override {
+    return parallelism_.load(std::memory_order_acquire);
+  }
+  SegmentStats* stats() override { return &stats_; }
+  ScalabilityVector* scalability() override { return &scalability_; }
+
+  bool Expand(int) override {
+    if (!active()) return false;
+    int p = parallelism_.load(std::memory_order_acquire);
+    while (p < max_parallelism_) {
+      if (parallelism_.compare_exchange_weak(p, p + 1,
+                                             std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Shrink() override {
+    int p = parallelism_.load(std::memory_order_acquire);
+    while (p > 1) {
+      if (parallelism_.compare_exchange_weak(p, p - 1,
+                                             std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Complete() { active_.store(false, std::memory_order_release); }
+
+  /// Advances counters as if `dt_ns` passed at `tuples_per_sec`.
+  void Work(int64_t dt_ns, double tuples_per_sec) {
+    stats_.input_tuples.fetch_add(
+        static_cast<int64_t>(tuples_per_sec * static_cast<double>(dt_ns) / 1e9),
+        std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::atomic<int> parallelism_;
+  std::atomic<bool> active_{true};
+  int max_parallelism_;
+  SegmentStats stats_;
+  ScalabilityVector scalability_;
+};
+
+TEST(SchedulerStress, TicksRaceWorkloadAndCompletion) {
+  constexpr int kRounds = 3;
+  constexpr int kTicks = 120;
+  for (int round = 0; round < kRounds; ++round) {
+    AtomicClock clock;
+    GlobalThroughputBoard board;
+    SchedulerOptions opts;
+    opts.num_cores = 8;
+    DynamicScheduler sched(0, opts, &clock, &board);
+
+    std::vector<std::unique_ptr<StressSegment>> segments;
+    for (int s = 0; s < 4; ++s) {
+      segments.push_back(std::make_unique<StressSegment>(
+          "seg" + std::to_string(s), 2));
+      sched.AddSegment(segments[s].get());
+    }
+
+    std::atomic<bool> done{false};
+    std::vector<std::thread> drivers;
+    for (int s = 0; s < 4; ++s) {
+      drivers.emplace_back([&, s] {
+        StressSegment* seg = segments[static_cast<size_t>(s)].get();
+        // Segments complete at staggered times; rates differ so the U/O
+        // classification and pair moves actually fire against live flips.
+        for (int i = 0; i < 40 * (s + 1) && !done.load(); ++i) {
+          seg->Work(kTickNs / 4, 100.0 * (s + 1));
+          std::this_thread::yield();
+        }
+        seg->Complete();
+      });
+    }
+
+    for (int t = 0; t < kTicks; ++t) {
+      clock.Advance(kTickNs);
+      sched.Tick();
+      for (const auto& seg : segments) {
+        int p = seg->parallelism();
+        ASSERT_GE(p, 1);
+        ASSERT_LE(p, 24);
+      }
+      ASSERT_GE(sched.cores_in_use(), 0);
+    }
+    done.store(true, std::memory_order_release);
+    for (auto& t : drivers) t.join();
+    for (auto& seg : segments) sched.RemoveSegment(seg.get());
+    EXPECT_EQ(sched.cores_in_use(), 0);
+  }
+}
+
+TEST(SchedulerStress, RegistrationChurnDuringTicks) {
+  // Segments added and removed from a second thread while the scheduler
+  // ticks — the executor does exactly this when queries start and finish.
+  AtomicClock clock;
+  GlobalThroughputBoard board;
+  SchedulerOptions opts;
+  opts.num_cores = 8;
+  DynamicScheduler sched(0, opts, &clock, &board);
+
+  StressSegment resident("resident", 2);
+  sched.AddSegment(&resident);
+
+  std::atomic<bool> done{false};
+  std::thread churner([&] {
+    int generation = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      StressSegment transient("transient" + std::to_string(generation++), 1);
+      sched.AddSegment(&transient);
+      transient.Work(kTickNs, 50.0);
+      std::this_thread::yield();
+      transient.Complete();
+      sched.RemoveSegment(&transient);  // must fully quiesce before dtor
+    }
+  });
+
+  for (int t = 0; t < 300; ++t) {
+    clock.Advance(kTickNs);
+    resident.Work(kTickNs, 200.0);
+    sched.Tick();
+  }
+  done.store(true, std::memory_order_release);
+  churner.join();
+  sched.RemoveSegment(&resident);
+  EXPECT_EQ(sched.cores_in_use(), 0);
+}
+
+TEST(SchedulerStress, CompletionBetweenClassificationAndMove) {
+  // A segment completing right as the scheduler hands it a core: Expand
+  // refuses (inactive), and the pair-move compensation must return the
+  // donor's core — repeated many rounds so the refusal window is actually
+  // hit under TSan's scheduling perturbation.
+  constexpr int kRounds = 40;
+  for (int round = 0; round < kRounds; ++round) {
+    AtomicClock clock;
+    GlobalThroughputBoard board;
+    SchedulerOptions opts;
+    opts.num_cores = 8;
+    DynamicScheduler sched(0, opts, &clock, &board);
+    StressSegment slow("slow", 4);
+    StressSegment fast("fast", 4);
+    sched.AddSegment(&slow);
+    sched.AddSegment(&fast);
+    sched.Tick();
+    std::atomic<bool> done{false};
+    std::thread completer([&] {
+      // Yield a few times, then kill the receiver candidate mid-round.
+      for (int i = 0; i < round % 5; ++i) std::this_thread::yield();
+      slow.Complete();
+      done.store(true, std::memory_order_release);
+    });
+    for (int t = 0; t < 4; ++t) {
+      clock.Advance(1'000'000'000);
+      slow.Work(1'000'000'000, 100.0);
+      fast.Work(1'000'000'000, 1000.0);
+      sched.Tick();
+    }
+    completer.join();
+    // Whatever interleaving happened, no core may have evaporated: every
+    // shrink either belongs to a completed pair move (receiver grew) or was
+    // compensated (donor restored).
+    EXPECT_GE(fast.parallelism(), 1);
+    EXPECT_LE(sched.cores_in_use(), opts.num_cores);
+    sched.RemoveSegment(&slow);
+    sched.RemoveSegment(&fast);
+  }
+}
+
+}  // namespace
+}  // namespace claims

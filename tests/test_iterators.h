@@ -160,6 +160,42 @@ class BlockingCounter : public Iterator {
   std::atomic<bool> emitted_{false};
 };
 
+/// Emits `good_blocks` blocks and then reports kError — or fails straight
+/// from Open() when `fail_open` is set. Exercises the error-latch path of
+/// the elastic runtime (a broken stream must never read as a clean EOF).
+class FailingSource : public Iterator {
+ public:
+  FailingSource(int good_blocks, bool fail_open = false)
+      : schema_(OneInt64Schema()),
+        good_blocks_(good_blocks),
+        fail_open_(fail_open) {}
+
+  NextResult Open(WorkerContext* ctx) override {
+    if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
+    if (fail_open_) return NextResult::kError;
+    return NextResult::kSuccess;
+  }
+
+  NextResult Next(WorkerContext* ctx, BlockPtr* out) override {
+    if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
+    int b = next_block_.fetch_add(1, std::memory_order_relaxed);
+    if (b >= good_blocks_) return NextResult::kError;
+    auto block = MakeBlock(schema_.row_size(), 8 * 8);
+    schema_.SetInt64(block->AppendRow(), 0, static_cast<int64_t>(b));
+    block->set_sequence_number(static_cast<uint64_t>(b));
+    *out = std::move(block);
+    return NextResult::kSuccess;
+  }
+
+  void Close() override {}
+
+ private:
+  Schema schema_;
+  int good_blocks_;
+  bool fail_open_;
+  std::atomic<int> next_block_{0};
+};
+
 }  // namespace testing_support
 }  // namespace claims
 
