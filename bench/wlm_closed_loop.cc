@@ -1,0 +1,115 @@
+// Workload-manager traffic bench: drives a TPC-H-subset query stream at the
+// QueryService over an in-process cluster and reports the latency
+// distribution (p50/p95/p99), makespan, and throughput. This is the
+// concurrency smoke the CI wlm job runs (16-query closed loop) and the
+// source of the BENCH_wlm.json baseline record (--json).
+//
+//   wlm_closed_loop [--queries N] [--mpl M] [--open [--rate QPS]]
+//                   [--scale SF] [--json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "engine/workloads.h"
+#include "obs/trace.h"
+#include "wlm/driver/workload_driver.h"
+#include "wlm/query_service.h"
+
+int main(int argc, char** argv) {
+  using namespace claims;
+  TraceEnvScope trace_scope;  // CLAIMS_TRACE=<path> captures the run
+
+  int queries = 16;
+  int mpl = 8;
+  double scale = 0.02;
+  double rate = 0;
+  bool open = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> double {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return std::atof(argv[++i]);
+    };
+    if (!std::strcmp(argv[i], "--queries")) {
+      queries = static_cast<int>(next("--queries"));
+    } else if (!std::strcmp(argv[i], "--mpl")) {
+      mpl = static_cast<int>(next("--mpl"));
+    } else if (!std::strcmp(argv[i], "--scale")) {
+      scale = next("--scale");
+    } else if (!std::strcmp(argv[i], "--rate")) {
+      rate = next("--rate");
+    } else if (!std::strcmp(argv[i], "--open")) {
+      open = true;
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  DatabaseOptions dopts;
+  dopts.cluster.num_nodes = 4;
+  dopts.cluster.cores_per_node = 8;
+  Database db(dopts);
+  if (Status s = db.LoadTpch({.scale_factor = scale}); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Drivers cycle through the supported TPC-H subset. Plans are move-only
+  // and consumed by Submit, so each query is planned on demand; planning is
+  // serialized because Database::Plan is not advertised thread-safe.
+  const std::vector<int>& numbers = SupportedTpchQueries();
+  {
+    // Fail fast on any unplannable query before starting the clock.
+    for (int q : numbers) {
+      if (auto plan = db.Plan(*TpchQuery(q)); !plan.ok()) {
+        std::fprintf(stderr, "Q%d: %s\n", q,
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  std::mutex plan_mu;
+
+  QueryServiceOptions sopts;
+  sopts.admission.max_concurrent = mpl;
+  sopts.admission.core_budget =
+      dopts.cluster.num_nodes * dopts.cluster.cores_per_node;
+  sopts.max_queue_depth = 2 * static_cast<size_t>(queries);
+  QueryService service(db.cluster(), sopts);
+
+  WorkloadOptions wopts;
+  wopts.mode = open ? ArrivalMode::kOpen : ArrivalMode::kClosed;
+  wopts.total_queries = queries;
+  wopts.mpl = mpl;
+  wopts.arrival_rate_qps = rate;
+  wopts.submit.label = "tpch";
+  wopts.make_plan = [&](int seq) -> PhysicalPlan {
+    std::lock_guard<std::mutex> lock(plan_mu);
+    auto plan = db.Plan(*TpchQuery(numbers[seq % numbers.size()]));
+    return std::move(*plan);
+  };
+  wopts.priority_of = [](int seq) { return seq % 3; };
+
+  WorkloadDriver driver(&service, wopts);
+  WorkloadReport report = driver.Run();
+
+  if (json) {
+    std::printf("%s\n", report.ToJson().c_str());
+  } else {
+    bench::Title("Workload manager: TPC-H subset traffic");
+    std::printf("%s\n", report.ToString().c_str());
+  }
+  return report.succeeded == report.total ? 0 : 1;
+}

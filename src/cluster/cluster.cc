@@ -18,11 +18,19 @@ Cluster::Cluster(ClusterOptions options, Catalog* catalog)
   }
 }
 
-Cluster::~Cluster() { StopSchedulers(); }
+Cluster::~Cluster() {
+  // Safety net for leaked Start refs: force the threads down.
+  {
+    std::lock_guard<std::mutex> lock(scheduler_lifecycle_mu_);
+    scheduler_refcount_ = 1;
+  }
+  StopSchedulers();
+}
 
 void Cluster::StartSchedulers() {
-  bool expected = false;
-  if (!schedulers_running_.compare_exchange_strong(expected, true)) return;
+  std::lock_guard<std::mutex> lock(scheduler_lifecycle_mu_);
+  if (++scheduler_refcount_ > 1) return;  // already running
+  schedulers_running_.store(true, std::memory_order_release);
   for (int n = 0; n < options_.num_nodes; ++n) {
     scheduler_threads_.emplace_back([this, n] {
       while (schedulers_running_.load(std::memory_order_acquire)) {
@@ -35,7 +43,10 @@ void Cluster::StartSchedulers() {
 }
 
 void Cluster::StopSchedulers() {
-  if (!schedulers_running_.exchange(false)) return;
+  std::lock_guard<std::mutex> lock(scheduler_lifecycle_mu_);
+  if (scheduler_refcount_ == 0) return;
+  if (--scheduler_refcount_ > 0) return;  // other queries still hold it
+  schedulers_running_.store(false, std::memory_order_release);
   for (std::thread& t : scheduler_threads_) {
     if (t.joinable()) t.join();
   }

@@ -46,9 +46,13 @@ class Cluster {
   DynamicScheduler* scheduler(int node) { return schedulers_[node].get(); }
   MemoryTracker* memory() { return &memory_; }
 
-  /// Starts the per-node scheduler threads (EP mode). Idempotent.
+  /// Starts the per-node scheduler threads (EP mode). Reference-counted:
+  /// each Start must be paired with a Stop; the threads launch on the first
+  /// Start and keep ticking while any holder remains, so overlapping queries
+  /// (workload manager) share one set of control loops.
   void StartSchedulers();
-  /// Stops them and clears the throughput board.
+  /// Releases one Start; the last holder stops the threads and clears the
+  /// throughput board.
   void StopSchedulers();
 
  private:
@@ -58,6 +62,8 @@ class Cluster {
   std::unique_ptr<Network> network_;
   GlobalThroughputBoard board_;
   std::vector<std::unique_ptr<DynamicScheduler>> schedulers_;
+  std::mutex scheduler_lifecycle_mu_;  ///< guards refcount + thread vector
+  int scheduler_refcount_ = 0;
   std::vector<std::thread> scheduler_threads_;
   std::atomic<bool> schedulers_running_{false};
 };

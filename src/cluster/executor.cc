@@ -1,6 +1,9 @@
 #include "cluster/executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <thread>
 
 #include "common/string_util.h"
 #include "exec/ops/filter.h"
@@ -40,8 +43,8 @@ Result<std::unique_ptr<Iterator>> Executor::BuildIterator(
           &table->partition(node), &table->schema(), so));
     }
     case POp::Kind::kMerger: {
-      BlockChannel* channel =
-          cluster_->network()->GetChannel(op.exchange_id, node);
+      BlockChannel* channel = cluster_->network()->GetChannel(
+          op.exchange_id + opts.exchange_id_base, node);
       if (channel == nullptr) {
         return Status::Internal(
             StrFormat("no channel for exchange %d at node %d", op.exchange_id,
@@ -106,24 +109,63 @@ Result<std::unique_ptr<Iterator>> Executor::BuildIterator(
   return Status::Internal("unknown operator kind");
 }
 
+void Executor::Cancel() { TriggerCancel(/*deadline=*/false); }
+
+void Executor::TriggerCancel(bool deadline) {
+  // Order matters: latch the reason before the request flag so any thread
+  // that observes cancel_requested_ also sees why.
+  if (deadline) deadline_hit_.store(true, std::memory_order_release);
+  cancel_requested_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(live_mu_);
+  for (Segment* s : live_segments_) s->Cancel();
+}
+
+namespace {
+/// Runs a cleanup functor on scope exit (early error returns included).
+template <typename F>
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(F f) : f_(std::move(f)) {}
+  ~ScopeGuard() { f_(); }
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(ScopeGuard);
+
+ private:
+  F f_;
+};
+}  // namespace
+
 Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
                                     const ExecOptions& opts) {
   Clock* clock = SteadyClock::Default();
   int64_t t0 = clock->NowNanos();
+  if (cancel_requested_.load(std::memory_order_acquire)) {
+    return Status::Cancelled("query cancelled before execution started");
+  }
   // Free the previous query's segments (and their tracked arenas) *before*
   // resetting the tracker, or their releases would underflow the counter.
   segments_.clear();
   stats_own_.clear();
-  cluster_->memory()->Reset();
+  // Concurrent queries share the tracker; only an exclusive owner may zero
+  // it (peak memory is then per-query instead of cluster-wide).
+  if (opts.exclusive_cluster) cluster_->memory()->Reset();
   int64_t remote0 = cluster_->network()->total_remote_bytes();
 
-  // 1. Declare exchanges (ME materializes: unbounded channels).
+  // 1. Declare exchanges (ME materializes: unbounded channels). Ids are
+  // namespaced per execution so overlapping queries never share a channel.
+  const int xbase = opts.exchange_id_base;
   for (const auto& f : plan.fragments) {
     cluster_->network()->CreateExchange(
-        f->out_exchange_id, static_cast<int>(f->nodes.size()),
+        f->out_exchange_id + xbase, static_cast<int>(f->nodes.size()),
         f->consumer_nodes,
         opts.mode == ExecMode::kMaterialized ? -1 : 0);
   }
+  ScopeGuard destroy_exchanges([&] {
+    // All producers/consumers are joined (or were never started) on every
+    // path that reaches here, so tearing the channels down is safe.
+    for (const auto& f : plan.fragments) {
+      cluster_->network()->DestroyExchange(f->out_exchange_id + xbase);
+    }
+  });
 
   // 2. Build segment instances.
   // fragment index -> its segments (for ME's group-at-a-time execution).
@@ -144,7 +186,7 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
           f.max_parallelism > 0
               ? std::min(f.max_parallelism, cluster_->options().cores_per_node)
               : cluster_->options().cores_per_node;
-      config.sender.exchange_id = f.out_exchange_id;
+      config.sender.exchange_id = f.out_exchange_id + xbase;
       config.sender.from_node = node;
       config.sender.partitioning = f.partitioning;
       config.sender.hash_cols = f.hash_cols;
@@ -170,10 +212,55 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
     }
   }
 
+  // Register the built segments for cross-thread cancellation, then re-check
+  // the flag: a Cancel() that fired before registration saw an empty list,
+  // so it is honored here before anything starts.
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    live_segments_.clear();
+    for (auto& s : segments_) live_segments_.push_back(s.get());
+  }
+  ScopeGuard clear_live([&] {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    live_segments_.clear();
+  });
+  if (cancel_requested_.load(std::memory_order_acquire)) {
+    return deadline_hit_.load(std::memory_order_acquire)
+               ? Status::DeadlineExceeded("deadline expired before start")
+               : Status::Cancelled("query cancelled before execution started");
+  }
+
+  // Deadline watchdog: one short-lived thread per deadline-bearing query.
+  // Uniform across EP/SP/ME — it cancels the registered segments directly,
+  // so even a blocking ME stage obeys the deadline at its next block.
+  std::thread watchdog;
+  std::mutex wd_mu;
+  std::condition_variable wd_cv;
+  bool wd_done = false;
+  ScopeGuard stop_watchdog([&] {
+    {
+      std::lock_guard<std::mutex> lock(wd_mu);
+      wd_done = true;
+    }
+    wd_cv.notify_all();
+    if (watchdog.joinable()) watchdog.join();
+  });
+  if (opts.deadline_ns > 0) {
+    watchdog = std::thread([&] {
+      std::unique_lock<std::mutex> lock(wd_mu);
+      while (!wd_done && clock->NowNanos() < opts.deadline_ns) {
+        int64_t remaining = opts.deadline_ns - clock->NowNanos();
+        wd_cv.wait_for(lock, std::chrono::nanoseconds(
+                                 std::min<int64_t>(remaining, 10'000'000)));
+      }
+      if (!wd_done) TriggerCancel(/*deadline=*/true);
+    });
+  }
+
   // 3. Run.
   ResultSet result(plan.result_schema);
   BlockChannel* result_channel =
-      cluster_->network()->GetChannel(plan.result_exchange_id,
+      cluster_->network()->GetChannel(plan.result_exchange_id + xbase,
                                       /*master node*/ 0);
   if (result_channel == nullptr) {
     return Status::Internal("result exchange missing");
@@ -217,6 +304,15 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
     }
   }
 
+  // A cancelled or deadline-expired run drained and joined cleanly above
+  // (producers close their exchanges even when aborting), but its blocks are
+  // partial: surface the reason instead of the data.
+  if (cancel_requested_.load(std::memory_order_acquire)) {
+    return deadline_hit_.load(std::memory_order_acquire)
+               ? Status::DeadlineExceeded("query deadline exceeded mid-stream")
+               : Status::Cancelled("query cancelled mid-stream");
+  }
+
   // Fail the query if any segment's stream broke mid-pump (child operator
   // error / aborted send): the blocks drained above are incomplete and must
   // not be returned as a clean result. Producers close their exchanges even
@@ -240,6 +336,7 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
   report_ = ExecutionReport{};
   report_.mode = ExecModeName(opts.mode);
   report_.elapsed_ns = stats_.elapsed_ns;
+  report_.queue_wait_ns = opts.queue_wait_ns;
   report_.peak_memory_bytes = stats_.peak_memory_bytes;
   report_.remote_bytes = stats_.remote_bytes;
   report_.result_tuples = result.num_rows();

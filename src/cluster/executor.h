@@ -1,7 +1,9 @@
 #ifndef CLAIMS_CLUSTER_EXECUTOR_H_
 #define CLAIMS_CLUSTER_EXECUTOR_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -23,14 +25,38 @@ enum class ExecMode { kElastic, kStatic, kMaterialized };
 const char* ExecModeName(ExecMode mode);
 
 struct ExecOptions {
+  /// Execution framework every segment of this query runs under.
   ExecMode mode = ExecMode::kElastic;
   /// Worker threads per segment: EP's starting point (paper experiments
-  /// default to 1), SP/ME's fixed assignment.
+  /// default to 1), SP/ME's fixed assignment. Overrides
+  /// Fragment::initial_parallelism when > 0.
   int parallelism = 1;
-  /// Overrides Fragment::initial_parallelism when > 0.
+  /// Master gathers result blocks into the returned ResultSet. Benches that
+  /// only measure execution switch this off; arriving blocks are dropped.
   bool collect_result = true;
   /// Elastic-iterator buffer depth per segment (blocks).
   size_t buffer_capacity_blocks = 64;
+  /// Absolute SteadyClock deadline in nanoseconds; 0 disables. A query still
+  /// running at the deadline is cancelled cooperatively and Execute returns
+  /// kDeadlineExceeded. The workload manager derives this from the
+  /// submission time plus the query's timeout, so admission queueing counts
+  /// against the deadline.
+  int64_t deadline_ns = 0;
+  /// Offset added to every exchange id of the plan for this execution.
+  /// Plans number exchanges from 0, so two queries in flight at once would
+  /// collide in the shared network fabric; the workload manager allocates a
+  /// distinct base per running query. Single-query callers keep 0.
+  int exchange_id_base = 0;
+  /// True when this query owns the cluster for its whole run (the classic
+  /// serial path): the cluster memory tracker is reset at query start so
+  /// peak_memory_bytes is per-query. The workload manager clears this for
+  /// concurrent queries; peak memory then reports the cluster-wide
+  /// high-watermark across everything in flight.
+  bool exclusive_cluster = true;
+  /// Time this query waited in the admission queue before Execute began;
+  /// copied into the ExecutionReport so EXPLAIN ANALYZE splits queue-wait
+  /// from run-time. Filled by the workload manager; 0 when unqueued.
+  int64_t queue_wait_ns = 0;
 };
 
 struct ExecStats {
@@ -40,13 +66,23 @@ struct ExecStats {
 };
 
 /// Deploys a PhysicalPlan on the cluster and gathers the result at the
-/// master. One Executor per query execution.
+/// master. One Executor per query execution. Many executors may run
+/// concurrently over one Cluster when each execution namespaces its
+/// exchange ids (ExecOptions::exchange_id_base) and leaves the shared
+/// trackers alone (ExecOptions::exclusive_cluster = false) — the workload
+/// manager (src/wlm) is the layer that arranges this.
 class Executor {
  public:
   explicit Executor(Cluster* cluster);
 
-  /// Runs the plan; blocks until completion.
+  /// Runs the plan; blocks until completion, cancellation, or deadline.
   Result<ResultSet> Execute(const PhysicalPlan& plan, const ExecOptions& opts);
+
+  /// Cooperative cancellation, callable from any thread while (or before)
+  /// Execute runs: every live segment aborts at its next block boundary and
+  /// Execute returns kCancelled. Sticky — a cancelled executor stays
+  /// cancelled (one executor per query execution).
+  void Cancel();
 
   const ExecStats& stats() const { return stats_; }
 
@@ -68,11 +104,22 @@ class Executor {
                                                   SegmentStats* stats,
                                                   const ExecOptions& opts);
 
+  /// Latches the cancel reason and aborts every registered live segment.
+  /// Called from Cancel() (user thread) and the deadline watchdog.
+  void TriggerCancel(bool deadline);
+
   Cluster* cluster_;
   std::vector<std::unique_ptr<Segment>> segments_;
   std::vector<std::unique_ptr<SegmentStats>> stats_own_;
   ExecStats stats_;
   ExecutionReport report_;
+
+  /// Cancel reasons are atomics so Execute's hot paths read them lock-free;
+  /// live_mu_ guards only the registered-segment list.
+  std::atomic<bool> cancel_requested_{false};
+  std::atomic<bool> deadline_hit_{false};
+  std::mutex live_mu_;
+  std::vector<Segment*> live_segments_;
 };
 
 }  // namespace claims

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kParseError:
       return "PARSE_ERROR";
     case StatusCode::kBindError:

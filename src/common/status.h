@@ -22,6 +22,7 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kCancelled,
+  kDeadlineExceeded,
   kParseError,
   kBindError,
   kPlanError,
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Cancelled(std::string m) {
     return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
   static Status ParseError(std::string m) {
     return Status(StatusCode::kParseError, std::move(m));

@@ -45,7 +45,9 @@ DynamicScheduler::DynamicScheduler(int node_id, SchedulerOptions options,
           MetricsRegistry::Global()->counter("scheduler.expansions")),
       shrink_metric_(MetricsRegistry::Global()->counter("scheduler.shrinks")),
       move_metric_(
-          MetricsRegistry::Global()->counter("scheduler.pair_moves")) {}
+          MetricsRegistry::Global()->counter("scheduler.pair_moves")),
+      cores_gauge_(MetricsRegistry::Global()->gauge(
+          "scheduler.node" + std::to_string(node_id) + ".cores_in_use")) {}
 
 void DynamicScheduler::AddSegment(SchedulableSegment* segment) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -130,6 +132,11 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
     }
     live.push_back(Classified{r.get(), v, starved, out_blocked});
   }
+
+  // With several queries sharing the node (src/wlm), this gauge is the
+  // observable cross-query occupancy the admission budgets are sized
+  // against.
+  cores_gauge_->Set(cores_used);
 
   // ---- 2. Publish local λ, read global λ -------------------------------------
   // Segments whose measured rate is under-estimated (§4.4) — starved of

@@ -149,6 +149,9 @@ class DynamicScheduler {
   MetricCounter* expand_metric_;
   MetricCounter* shrink_metric_;
   MetricCounter* move_metric_;
+  /// Per-node occupancy (Σ parallelism of active segments, all queries),
+  /// refreshed each tick: "scheduler.node<N>.cores_in_use".
+  MetricGauge* cores_gauge_;
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<SegmentRecord>> records_;

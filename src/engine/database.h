@@ -26,8 +26,10 @@ struct DatabaseOptions {
 ///   auto result = db.Query("SELECT count(*) FROM lineitem");
 ///   std::cout << result->ToString();
 ///
-/// One query executes at a time (the paper's single-query scheduling scope;
-/// multi-query scheduling is listed as future work in §7).
+/// Query() runs one statement at a time on this object. For concurrent
+/// streams, plan here and submit the plans to a QueryService (src/wlm) over
+/// cluster() — the workload manager runs many executors at once (the
+/// multi-query scheduling the paper defers to future work in §7).
 class Database {
  public:
   explicit Database(DatabaseOptions options = DatabaseOptions());

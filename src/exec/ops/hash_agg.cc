@@ -147,20 +147,24 @@ NextResult HashAggIterator::Open(WorkerContext* ctx) {
     MergeInto(*priv->table);
   }
   build_barrier_.Arrive();
-  // All parks happen before the barrier opens, so a single post-barrier
-  // election can safely fold every parked partial table into the global one.
-  if (privately && flush_gate_.TryClaim()) {
-    for (auto& parked : context_pool_.TakeAll()) {
-      auto* p = static_cast<PrivateAggContext*>(parked.get());
-      MergeInto(*p->table);
-    }
-  }
+  // Parked partial tables (terminated workers') are folded in by the
+  // snapshot builder, not here: a post-Arrive flush would race workers that
+  // already passed the barrier and are emitting from global_.
   return NextResult::kSuccess;
 }
 
 void HashAggIterator::SnapshotGroups() {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   if (snapshot_ready_.load(std::memory_order_relaxed)) return;
+  // Fold every parked partial table first. All parks happened before the
+  // build barrier opened (a parking worker releases its table before it
+  // deregisters), and no emitter reads global_ before snapshot_ready_, so
+  // doing the flush here — under snapshot_mu_, before the snapshot — is the
+  // one place it cannot race the emit path.
+  for (auto& parked : context_pool_.TakeAll()) {
+    auto* p = static_cast<PrivateAggContext*>(parked.get());
+    MergeInto(*p->table);
+  }
   groups_.reserve(static_cast<size_t>(global_.size()));
   global_.ForEach(
       [&](const char* row, const AggHashTable::AggState* states) {

@@ -28,8 +28,9 @@ namespace claims {
 ///
 /// A terminating worker parks its private table in the context pool without
 /// flushing (short shrinkage delay); the partial results are folded in by
-/// whichever worker finishes last (post-barrier election), so no tuple is
-/// ever lost across expand/shrink cycles.
+/// the snapshot builder — the first Next() caller, after the build barrier
+/// has opened but before anything is emitted — so no tuple is ever lost
+/// across expand/shrink cycles and the flush cannot race the emit path.
 class HashAggIterator : public Iterator {
  public:
   enum class Mode { kShared, kIndependent, kHybrid };
@@ -85,8 +86,6 @@ class HashAggIterator : public Iterator {
   AggHashTable global_;
   ContextPool context_pool_;
   DynamicBarrier build_barrier_;
-  FirstCallerGate flush_gate_;
-  FirstCallerGate snapshot_gate_;
 
   std::mutex snapshot_mu_;
   /// Release-published by the snapshot builder (under snapshot_mu_) so the

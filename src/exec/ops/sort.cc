@@ -87,16 +87,19 @@ NextResult SortIterator::Open(WorkerContext* ctx) {
   // --- Phase 1b: chunk-sort (one block per chunk) ----------------------------
   while (true) {
     if (ctx->DetectedTerminateRequest()) return bail(NextResult::kTerminated);
-    int chunk;
+    BlockPtr chunk_block;
     {
-      // The buffer only grows while some worker is still draining; snapshot
-      // under the lock.
+      // The buffer only grows while some worker is still draining. Claim the
+      // chunk AND copy its BlockPtr under the lock — a concurrent push_back
+      // may reallocate buffered_, so indexing it unlocked is a use-after-free
+      // (the block itself is pinned by the shared_ptr copy).
       std::lock_guard<std::mutex> lock(mu_);
-      chunk = chunk_cursor_.load(std::memory_order_relaxed);
+      int chunk = chunk_cursor_.load(std::memory_order_relaxed);
       if (chunk >= static_cast<int>(buffered_.size())) break;
       chunk_cursor_.store(chunk + 1, std::memory_order_relaxed);
+      chunk_block = buffered_[static_cast<size_t>(chunk)];
     }
-    const Block& block = *buffered_[static_cast<size_t>(chunk)];
+    const Block& block = *chunk_block;
     std::vector<const char*> run;
     run.reserve(static_cast<size_t>(block.num_rows()));
     for (int i = 0; i < block.num_rows(); ++i) run.push_back(block.RowAt(i));

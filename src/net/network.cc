@@ -82,6 +82,14 @@ void Network::CloseProducer(int exchange_id) {
   }
 }
 
+void Network::DestroyExchange(int exchange_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = exchange_consumers_.find(exchange_id);
+  if (it == exchange_consumers_.end()) return;
+  for (int node : it->second) channels_.erase({exchange_id, node});
+  exchange_consumers_.erase(it);
+}
+
 BlockChannel* Network::GetChannel(int exchange_id, int node) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = channels_.find({exchange_id, node});

@@ -56,6 +56,13 @@ class Network {
   /// One producer of `exchange_id` is done with *all* destinations.
   void CloseProducer(int exchange_id);
 
+  /// Removes an exchange's channels once its query completed. Callers must
+  /// have joined every producer and consumer of the exchange first — the
+  /// channels are destroyed, so any pointer from GetChannel goes stale. Lets
+  /// concurrent queries (which namespace their exchange ids per execution)
+  /// return their channels instead of growing the fabric map forever.
+  void DestroyExchange(int exchange_id);
+
   /// The consumer-side endpoint at node `node`.
   BlockChannel* GetChannel(int exchange_id, int node);
 

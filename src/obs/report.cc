@@ -28,10 +28,19 @@ std::string TimelineString(
 }  // namespace
 
 std::string ExecutionReport::ToString() const {
+  // With a recorded admission wait the header splits client-visible latency
+  // into its queue and run components (EXPLAIN ANALYZE under the workload
+  // manager); unqueued queries keep the familiar single number.
+  std::string latency =
+      queue_wait_ns > 0
+          ? StrFormat("%s (queued %s + ran %s)",
+                      HumanMs(queue_wait_ns + elapsed_ns).c_str(),
+                      HumanMs(queue_wait_ns).c_str(),
+                      HumanMs(elapsed_ns).c_str())
+          : HumanMs(elapsed_ns);
   std::string out = StrFormat(
       "Query (%s): %s, %lld result tuples, peak mem %s, network %s\n",
-      mode.c_str(), HumanMs(elapsed_ns).c_str(),
-      static_cast<long long>(result_tuples),
+      mode.c_str(), latency.c_str(), static_cast<long long>(result_tuples),
       HumanBytes(peak_memory_bytes).c_str(), HumanBytes(remote_bytes).c_str());
   out += StrFormat(
       "  %-12s %4s %12s %12s %6s %6s %11s %11s %10s %5s  %s\n", "segment",

@@ -37,6 +37,11 @@ struct SegmentReport {
 /// same report.
 struct ExecutionReport {
   std::string mode;  ///< EP / SP / ME
+  /// Admission-queue wait before execution began (workload manager path;
+  /// 0 when the query never queued). Total query latency as the client saw
+  /// it is queue_wait_ns + elapsed_ns.
+  int64_t queue_wait_ns = 0;
+  /// Run time: Execute start → result drained.
   int64_t elapsed_ns = 0;
   int64_t peak_memory_bytes = 0;
   int64_t remote_bytes = 0;

@@ -460,4 +460,34 @@ SimQuerySpec TpchSpec(const TpchSimProfile& profile, int num_nodes,
   return spec;
 }
 
+SimQuerySpec CombineSpecs(const std::vector<SimQuerySpec>& queries) {
+  SimQuerySpec combined;
+  combined.result_exchange = 0;
+  // Renumbered ids start at 1 so no per-query exchange can collide with the
+  // shared result collector.
+  int base = 1;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const SimQuerySpec& query = queries[q];
+    int max_exchange = query.result_exchange;
+    for (const SimSegmentSpec& seg : query.segments) {
+      max_exchange = std::max(max_exchange, seg.out_exchange);
+      for (const SimStageSpec& stage : seg.stages) {
+        max_exchange = std::max(max_exchange, stage.input_exchange);
+      }
+    }
+    for (SimSegmentSpec seg : query.segments) {
+      seg.name += StrFormat("#q%d", static_cast<int>(q));
+      seg.out_exchange = seg.out_exchange == query.result_exchange
+                             ? combined.result_exchange
+                             : seg.out_exchange + base;
+      for (SimStageSpec& stage : seg.stages) {
+        if (stage.input_exchange >= 0) stage.input_exchange += base;
+      }
+      combined.segments.push_back(std::move(seg));
+    }
+    base += max_exchange + 1;
+  }
+  return combined;
+}
+
 }  // namespace claims

@@ -81,6 +81,14 @@ Result<TpchSimProfile> TpchProfileFor(int number);
 SimQuerySpec TpchSpec(const TpchSimProfile& profile, int num_nodes,
                       const SimCostParams& costs);
 
+/// Merges several queries into one simulated workload running concurrently
+/// on shared hardware — the multi-query interference scenario the workload
+/// manager faces. Exchange ids are renumbered into disjoint per-query
+/// namespaces (mirroring ExecOptions::exchange_id_base on the real path),
+/// segment names gain a "#q<i>" suffix, and every query's final segment is
+/// rerouted to one shared auto-drained result exchange.
+SimQuerySpec CombineSpecs(const std::vector<SimQuerySpec>& queries);
+
 }  // namespace claims
 
 #endif  // CLAIMS_SIM_SPECS_H_

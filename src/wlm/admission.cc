@@ -1,0 +1,99 @@
+#include "wlm/admission.h"
+
+#include <algorithm>
+
+#include "storage/block.h"
+
+namespace claims {
+
+QueryDemand EstimateDemand(const PhysicalPlan& plan, const ExecOptions& exec) {
+  QueryDemand demand;
+  demand.cores = 0;
+  for (const auto& f : plan.fragments) {
+    int per_instance = std::max(
+        1, exec.parallelism > 0 ? exec.parallelism : f->initial_parallelism);
+    int instances = static_cast<int>(f->nodes.size());
+    demand.cores += per_instance * instances;
+    demand.memory_bytes += static_cast<int64_t>(instances) *
+                           static_cast<int64_t>(exec.buffer_capacity_blocks) *
+                           kDefaultBlockBytes;
+  }
+  demand.cores = std::max(1, demand.cores);
+  return demand;
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  MetricsRegistry* reg = MetricsRegistry::Global();
+  running_gauge_ = reg->gauge("wlm.running");
+  cores_gauge_ = reg->gauge("wlm.cores_in_flight");
+  memory_gauge_ = reg->gauge("wlm.memory_in_flight");
+  admitted_metric_ = reg->counter("wlm.admitted");
+}
+
+namespace {
+
+/// The ledger clamps each reservation at the budget: an oversized query
+/// admitted into an idle system books the whole budget (excluding everyone
+/// else while it runs) rather than breaking the `in-flight <= budget`
+/// invariant the rest of the system monitors. Release applies the same
+/// clamp, so the books balance.
+int64_t Clamped(int64_t demand, int64_t budget) {
+  return budget > 0 ? std::min(demand, budget) : demand;
+}
+
+}  // namespace
+
+bool AdmissionController::TryAdmit(const QueryDemand& demand) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // An idle system admits anything: a query bigger than a budget must not
+  // starve, it simply runs alone.
+  if (running_ > 0) {
+    if (options_.max_concurrent > 0 && running_ >= options_.max_concurrent) {
+      return false;
+    }
+    if (options_.core_budget > 0 &&
+        cores_ + demand.cores > options_.core_budget) {
+      return false;
+    }
+    if (options_.memory_budget_bytes > 0 &&
+        memory_ + demand.memory_bytes > options_.memory_budget_bytes) {
+      return false;
+    }
+  }
+  ++running_;
+  cores_ += static_cast<int>(Clamped(demand.cores, options_.core_budget));
+  memory_ += Clamped(demand.memory_bytes, options_.memory_budget_bytes);
+  running_gauge_->Set(running_);
+  cores_gauge_->Set(cores_);
+  memory_gauge_->Set(static_cast<double>(memory_));
+  admitted_metric_->Add();
+  return true;
+}
+
+void AdmissionController::Release(const QueryDemand& demand) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --running_;
+  cores_ -= static_cast<int>(Clamped(demand.cores, options_.core_budget));
+  memory_ -= Clamped(demand.memory_bytes, options_.memory_budget_bytes);
+  running_gauge_->Set(running_);
+  cores_gauge_->Set(cores_);
+  memory_gauge_->Set(static_cast<double>(memory_));
+}
+
+int AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+int AdmissionController::cores_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cores_;
+}
+
+int64_t AdmissionController::memory_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_;
+}
+
+}  // namespace claims

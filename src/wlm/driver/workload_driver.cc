@@ -1,0 +1,204 @@
+#include "wlm/driver/workload_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace claims {
+namespace {
+
+/// Exact order statistic: value at rank ceil(p * n) of the sorted sample.
+int64_t ExactPercentile(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(std::ceil(p * sorted.size()));
+  rank = std::min(std::max<size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+struct QueryOutcome {
+  StatusCode code = StatusCode::kOk;
+  int64_t latency_ns = 0;
+  int64_t queue_wait_ns = 0;
+};
+
+}  // namespace
+
+const char* ArrivalModeName(ArrivalMode mode) {
+  switch (mode) {
+    case ArrivalMode::kClosed:
+      return "closed";
+    case ArrivalMode::kOpen:
+      return "open";
+  }
+  return "unknown";
+}
+
+WorkloadDriver::WorkloadDriver(QueryService* service, WorkloadOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+WorkloadReport WorkloadDriver::Run() {
+  const int total = options_.total_queries;
+  Clock* clock = SteadyClock::Default();
+
+  std::mutex outcomes_mu;
+  std::vector<QueryOutcome> outcomes;
+  outcomes.reserve(static_cast<size_t>(total));
+
+  auto submit_one = [&](int seq) {
+    SubmitOptions submit = options_.submit;
+    submit.label = StrFormat(
+        "%s-%d", submit.label.empty() ? "wl" : submit.label.c_str(), seq);
+    if (options_.priority_of) submit.priority = options_.priority_of(seq);
+    return service_->Submit(options_.make_plan(seq), std::move(submit));
+  };
+  auto record = [&](const QueryHandle& h) {
+    QueryOutcome o;
+    o.code = h.status().code();
+    o.latency_ns = h.latency_ns();
+    o.queue_wait_ns = h.queue_wait_ns();
+    std::lock_guard<std::mutex> lock(outcomes_mu);
+    outcomes.push_back(o);
+  };
+
+  const int64_t t0 = clock->NowNanos();
+  if (options_.mode == ArrivalMode::kClosed) {
+    // Each driver thread is one "terminal": submit, wait, repeat.
+    std::atomic<int> next_seq{0};
+    const int mpl = std::max(1, std::min(options_.mpl, total));
+    std::vector<std::thread> terminals;
+    terminals.reserve(static_cast<size_t>(mpl));
+    for (int i = 0; i < mpl; ++i) {
+      terminals.emplace_back([&] {
+        for (;;) {
+          const int seq = next_seq.fetch_add(1, std::memory_order_relaxed);
+          if (seq >= total) return;
+          QueryHandlePtr h = submit_one(seq);
+          h->Wait();
+          record(*h);
+        }
+      });
+    }
+    for (std::thread& t : terminals) t.join();
+  } else {
+    // Open loop: arrivals do not wait for completions. Submit may still
+    // block on the service's bounded queue — that throttling is the
+    // backpressure under measurement, so it counts against inter-arrival
+    // time naturally.
+    Rng rng(options_.seed);
+    std::vector<QueryHandlePtr> handles;
+    handles.reserve(static_cast<size_t>(total));
+    int64_t next_arrival_ns = clock->NowNanos();
+    for (int seq = 0; seq < total; ++seq) {
+      if (options_.arrival_rate_qps > 0) {
+        const int64_t sleep_ns = next_arrival_ns - clock->NowNanos();
+        if (sleep_ns > 0) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+        }
+        // Exponential inter-arrival: -ln(U) / λ.
+        const double u = std::max(1e-12, 1.0 - rng.NextDouble());
+        next_arrival_ns += static_cast<int64_t>(
+            -std::log(u) / options_.arrival_rate_qps * 1e9);
+      }
+      handles.push_back(submit_one(seq));
+    }
+    for (const QueryHandlePtr& h : handles) {
+      h->Wait();
+      record(*h);
+    }
+  }
+  const int64_t t1 = clock->NowNanos();
+
+  WorkloadReport report;
+  report.mode = ArrivalModeName(options_.mode);
+  report.total = total;
+  report.makespan_ns = t1 - t0;
+  if (report.makespan_ns > 0) {
+    report.throughput_qps =
+        static_cast<double>(total) / (static_cast<double>(report.makespan_ns) / 1e9);
+  }
+  std::vector<int64_t> latencies;
+  std::vector<int64_t> waits;
+  double latency_sum = 0;
+  for (const QueryOutcome& o : outcomes) {
+    switch (o.code) {
+      case StatusCode::kOk:
+        ++report.succeeded;
+        latencies.push_back(o.latency_ns);
+        waits.push_back(o.queue_wait_ns);
+        latency_sum += static_cast<double>(o.latency_ns);
+        break;
+      case StatusCode::kCancelled:
+        ++report.cancelled;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++report.deadline_exceeded;
+        break;
+      default:
+        ++report.failed;
+        break;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  std::sort(waits.begin(), waits.end());
+  report.p50_latency_ns = ExactPercentile(latencies, 0.50);
+  report.p95_latency_ns = ExactPercentile(latencies, 0.95);
+  report.p99_latency_ns = ExactPercentile(latencies, 0.99);
+  report.max_latency_ns = latencies.empty() ? 0 : latencies.back();
+  report.mean_latency_ns =
+      latencies.empty() ? 0 : latency_sum / static_cast<double>(latencies.size());
+  report.p50_queue_wait_ns = ExactPercentile(waits, 0.50);
+  report.p95_queue_wait_ns = ExactPercentile(waits, 0.95);
+  report.p99_queue_wait_ns = ExactPercentile(waits, 0.99);
+  return report;
+}
+
+std::string WorkloadReport::ToString() const {
+  std::string out = StrFormat(
+      "Workload (%s): %d queries in %.2f ms (%.1f q/s) — %d ok, %d failed, "
+      "%d cancelled, %d deadline\n",
+      mode.c_str(), total, static_cast<double>(makespan_ns) / 1e6,
+      throughput_qps, succeeded, failed, cancelled, deadline_exceeded);
+  out += StrFormat(
+      "  latency    p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms  "
+      "mean %.2f ms\n",
+      static_cast<double>(p50_latency_ns) / 1e6,
+      static_cast<double>(p95_latency_ns) / 1e6,
+      static_cast<double>(p99_latency_ns) / 1e6,
+      static_cast<double>(max_latency_ns) / 1e6, mean_latency_ns / 1e6);
+  out += StrFormat(
+      "  queue wait p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
+      static_cast<double>(p50_queue_wait_ns) / 1e6,
+      static_cast<double>(p95_queue_wait_ns) / 1e6,
+      static_cast<double>(p99_queue_wait_ns) / 1e6);
+  return out;
+}
+
+std::string WorkloadReport::ToJson() const {
+  return StrFormat(
+      "{\"mode\":\"%s\",\"total\":%d,\"succeeded\":%d,\"failed\":%d,"
+      "\"cancelled\":%d,\"deadline_exceeded\":%d,\"makespan_ms\":%.3f,"
+      "\"throughput_qps\":%.3f,\"p50_latency_ms\":%.3f,"
+      "\"p95_latency_ms\":%.3f,\"p99_latency_ms\":%.3f,"
+      "\"max_latency_ms\":%.3f,\"mean_latency_ms\":%.3f,"
+      "\"p50_queue_wait_ms\":%.3f,\"p95_queue_wait_ms\":%.3f,"
+      "\"p99_queue_wait_ms\":%.3f}",
+      mode.c_str(), total, succeeded, failed, cancelled, deadline_exceeded,
+      static_cast<double>(makespan_ns) / 1e6, throughput_qps,
+      static_cast<double>(p50_latency_ns) / 1e6,
+      static_cast<double>(p95_latency_ns) / 1e6,
+      static_cast<double>(p99_latency_ns) / 1e6,
+      static_cast<double>(max_latency_ns) / 1e6, mean_latency_ns / 1e6,
+      static_cast<double>(p50_queue_wait_ns) / 1e6,
+      static_cast<double>(p95_queue_wait_ns) / 1e6,
+      static_cast<double>(p99_queue_wait_ns) / 1e6);
+}
+
+}  // namespace claims

@@ -1,0 +1,96 @@
+#ifndef CLAIMS_WLM_DRIVER_WORKLOAD_DRIVER_H_
+#define CLAIMS_WLM_DRIVER_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "wlm/query_service.h"
+
+namespace claims {
+
+/// How queries arrive at the QueryService.
+enum class ArrivalMode {
+  /// Fixed multiprogramming level: `mpl` driver threads each submit a query,
+  /// wait for it, and immediately submit the next — the system always has
+  /// exactly min(mpl, remaining) queries in flight. Measures sustained
+  /// throughput / makespan.
+  kClosed,
+  /// Open (Poisson) arrivals: one thread submits with exponential
+  /// inter-arrival gaps at `arrival_rate_qps`, never waiting for
+  /// completions. Measures latency under a load the system does not control;
+  /// backpressure from the bounded queue throttles the arrival thread when
+  /// the system falls behind.
+  kOpen,
+};
+
+const char* ArrivalModeName(ArrivalMode mode);
+
+struct WorkloadOptions {
+  ArrivalMode mode = ArrivalMode::kClosed;
+  /// Queries submitted in total.
+  int total_queries = 32;
+  /// Closed-loop concurrency (driver threads). Capped at total_queries.
+  int mpl = 8;
+  /// Open-loop Poisson arrival rate. <= 0 means "as fast as possible"
+  /// (inter-arrival 0, the queue absorbs the burst).
+  double arrival_rate_qps = 0;
+  /// Seed for the deterministic inter-arrival sequence (open mode).
+  uint64_t seed = 42;
+  /// Template applied to every submission; label is overridden per query
+  /// ("<label>-<seq>") and priority by priority_of when set.
+  SubmitOptions submit;
+  /// Builds the plan for the seq-th query (seq in [0, total_queries)).
+  /// Called from driver threads — must be thread-safe. Required.
+  std::function<PhysicalPlan(int seq)> make_plan;
+  /// Optional per-query priority (defaults to submit.priority for all).
+  std::function<int(int seq)> priority_of;
+};
+
+/// Aggregate results of one driver run. Percentiles are exact (computed from
+/// the sorted per-query latency vector, not a bucketed histogram).
+struct WorkloadReport {
+  std::string mode;  ///< "closed" / "open"
+  int total = 0;
+  int succeeded = 0;
+  int failed = 0;
+  int cancelled = 0;
+  int deadline_exceeded = 0;
+  /// First submission → last completion.
+  int64_t makespan_ns = 0;
+  double throughput_qps = 0;  ///< total / makespan
+  // Client-visible latency (queue wait + run), successful queries only.
+  int64_t p50_latency_ns = 0;
+  int64_t p95_latency_ns = 0;
+  int64_t p99_latency_ns = 0;
+  int64_t max_latency_ns = 0;
+  double mean_latency_ns = 0;
+  // Admission-queue component of the above.
+  int64_t p50_queue_wait_ns = 0;
+  int64_t p95_queue_wait_ns = 0;
+  int64_t p99_queue_wait_ns = 0;
+
+  std::string ToString() const;
+  /// One flat JSON object — the BENCH_wlm.json record format.
+  std::string ToJson() const;
+};
+
+/// Drives a query stream at a QueryService and measures the latency
+/// distribution the paper's elastic machinery is meant to protect. The
+/// driver owns arrival timing only; admission, ordering, and core
+/// arbitration stay in the service under test.
+class WorkloadDriver {
+ public:
+  WorkloadDriver(QueryService* service, WorkloadOptions options);
+
+  /// Runs the whole workload to completion. Not reentrant.
+  WorkloadReport Run();
+
+ private:
+  QueryService* service_;
+  WorkloadOptions options_;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_WLM_DRIVER_WORKLOAD_DRIVER_H_

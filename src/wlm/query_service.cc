@@ -1,0 +1,383 @@
+#include "wlm/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace claims {
+namespace {
+
+// Workers poll at most this often so queued-query cancellation and deadline
+// expiry are noticed even when no dispatch/completion event fires. Handles
+// deliberately hold no back-pointer to the service (they may outlive it), so
+// a reap can only happen on a worker wakeup.
+constexpr int64_t kMaxIdleWaitNs = 20'000'000;  // 20 ms
+
+// Priority descending, then submission order. queue_ stays sorted under this
+// so dispatch is a linear first-fit scan.
+bool QueueBefore(const QueryHandlePtr& a, const QueryHandlePtr& b) {
+  if (a->priority() != b->priority()) return a->priority() > b->priority();
+  return a->id() < b->id();
+}
+
+}  // namespace
+
+const char* QueryStateName(QueryState state) {
+  switch (state) {
+    case QueryState::kQueued:
+      return "QUEUED";
+    case QueryState::kRunning:
+      return "RUNNING";
+    case QueryState::kDone:
+      return "DONE";
+  }
+  return "UNKNOWN";
+}
+
+// --- QueryHandle -------------------------------------------------------------
+
+QueryHandle::QueryHandle(uint64_t id, PhysicalPlan plan, SubmitOptions options,
+                         int64_t submit_ns)
+    : id_(id),
+      plan_(std::move(plan)),
+      options_(std::move(options)),
+      label_(options_.label.empty() ? StrFormat("q%llu",
+                                               static_cast<unsigned long long>(
+                                                   id))
+                                    : options_.label),
+      submit_ns_(submit_ns) {}
+
+QueryState QueryHandle::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+void QueryHandle::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return state_ == QueryState::kDone; });
+}
+
+bool QueryHandle::WaitFor(int64_t timeout_ns) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return done_cv_.wait_for(lock, std::chrono::nanoseconds(timeout_ns),
+                           [this] { return state_ == QueryState::kDone; });
+}
+
+void QueryHandle::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == QueryState::kDone) return;
+  cancel_requested_ = true;
+  // Running: abort the execution directly. Queued: the flag is sticky; a
+  // dispatch worker reaps it within its poll interval, and RunQuery re-checks
+  // it under mu_ before starting in case admission already happened.
+  if (executor_ != nullptr) executor_->Cancel();
+}
+
+const Status& QueryHandle::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+const ResultSet& QueryHandle::result() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return result_;
+}
+
+const ExecutionReport& QueryHandle::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return report_;
+}
+
+int64_t QueryHandle::queue_wait_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dispatch_ns_ > 0) return dispatch_ns_ - submit_ns_;
+  if (done_ns_ > 0) return done_ns_ - submit_ns_;  // reaped without running
+  return 0;                                        // still queued
+}
+
+int64_t QueryHandle::latency_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_ns_ > 0 ? done_ns_ - submit_ns_ : 0;
+}
+
+void QueryHandle::Complete(Status status, ResultSet result,
+                           ExecutionReport report, int64_t done_ns) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == QueryState::kDone) return;
+    status_ = std::move(status);
+    result_ = std::move(result);
+    report_ = std::move(report);
+    done_ns_ = done_ns;
+    state_ = QueryState::kDone;
+  }
+  done_cv_.notify_all();
+}
+
+// --- QueryService ------------------------------------------------------------
+
+QueryService::QueryService(Cluster* cluster, QueryServiceOptions options)
+    : cluster_(cluster), options_(options), admission_([&] {
+        AdmissionOptions a = options.admission;
+        if (a.max_concurrent == 0) {
+          a.max_concurrent = cluster->num_nodes() * 2;
+        }
+        return a;
+      }()) {
+  MetricsRegistry* reg = MetricsRegistry::Global();
+  queue_depth_gauge_ = reg->gauge("wlm.queue_depth");
+  submitted_metric_ = reg->counter("wlm.submitted");
+  completed_metric_ = reg->counter("wlm.completed");
+  failed_metric_ = reg->counter("wlm.failed");
+  cancelled_metric_ = reg->counter("wlm.cancelled");
+  deadline_metric_ = reg->counter("wlm.deadline_exceeded");
+  queue_wait_metric_ = reg->histogram("wlm.queue_wait_ns");
+  latency_metric_ = reg->histogram("wlm.latency_ns");
+
+  // Schedulers run for the service's whole lifetime (refcounted): queries
+  // come and go, the per-node arbitration loop persists across them.
+  cluster_->StartSchedulers();
+
+  int workers = options_.workers;
+  if (workers <= 0) workers = std::max(1, admission_.options().max_concurrent);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+QueryService::~QueryService() {
+  Shutdown(/*cancel_pending=*/true);
+  cluster_->StopSchedulers();
+}
+
+QueryHandlePtr QueryService::Submit(PhysicalPlan plan, SubmitOptions options) {
+  const int64_t submit_ns = SteadyClock::Default()->NowNanos();
+  std::unique_lock<std::mutex> lock(mu_);
+  // Backpressure: block the submitter (open-loop driver, client thread)
+  // instead of rejecting — the paper's cluster never sheds queries, it
+  // delays them.
+  backpressure_cv_.wait(lock, [this] {
+    return shutdown_ || options_.max_queue_depth == 0 ||
+           queue_.size() < options_.max_queue_depth;
+  });
+  const uint64_t id = next_id_++;
+  QueryHandlePtr handle(
+      new QueryHandle(id, std::move(plan), std::move(options), submit_ns));
+  handle->demand_ = EstimateDemand(handle->plan_, handle->options_.exec);
+  submitted_metric_->Add();
+  if (shutdown_) {
+    lock.unlock();
+    CompleteUnrun(handle, Status::Cancelled("query service is shut down"));
+    return handle;
+  }
+  queue_.insert(std::upper_bound(queue_.begin(), queue_.end(), handle,
+                                 QueueBefore),
+                handle);
+  queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+  lock.unlock();
+  dispatch_cv_.notify_one();
+  return handle;
+}
+
+void QueryService::Shutdown(bool cancel_pending) {
+  std::vector<QueryHandlePtr> queued;
+  std::vector<QueryHandlePtr> running;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    if (cancel_pending) {
+      cancel_pending_on_shutdown_ = true;
+      queued.swap(queue_);
+      running = running_;
+      queue_depth_gauge_->Set(0);
+    }
+  }
+  dispatch_cv_.notify_all();
+  backpressure_cv_.notify_all();
+  for (const QueryHandlePtr& h : running) h->Cancel();
+  for (const QueryHandlePtr& h : queued) {
+    CompleteUnrun(h, Status::Cancelled("query service is shut down"));
+  }
+  std::vector<std::thread> workers;
+  {
+    // Exactly one caller joins; Shutdown is idempotent and may race the
+    // destructor.
+    std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(workers_);
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+size_t QueryService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void QueryService::WorkerMain() {
+  for (;;) {
+    QueryHandlePtr next;
+    std::vector<std::pair<QueryHandlePtr, Status>> reaped;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        const int64_t now = SteadyClock::Default()->NowNanos();
+        next = PopDispatchableLocked(now, &reaped);
+        if (next != nullptr || !reaped.empty()) break;
+        if (shutdown_ && queue_.empty()) return;
+        // Bounded wait so queued-side cancellation/deadlines are reaped
+        // promptly; shorter when a queued deadline lands sooner.
+        int64_t wait_ns = kMaxIdleWaitNs;
+        for (const QueryHandlePtr& h : queue_) {
+          if (h->options_.timeout_ns <= 0) continue;
+          const int64_t remaining =
+              h->submit_ns_ + h->options_.timeout_ns - now;
+          wait_ns = std::max<int64_t>(0, std::min(wait_ns, remaining));
+        }
+        dispatch_cv_.wait_for(lock, std::chrono::nanoseconds(wait_ns));
+      }
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+    }
+    backpressure_cv_.notify_all();
+    for (auto& [handle, status] : reaped) {
+      CompleteUnrun(handle, std::move(status));
+    }
+    if (next != nullptr) RunQuery(next);
+  }
+}
+
+QueryHandlePtr QueryService::PopDispatchableLocked(
+    int64_t now_ns, std::vector<std::pair<QueryHandlePtr, Status>>* reaped) {
+  // Reap queued entries that will never run: cancelled, expired, or doomed
+  // by a cancelling shutdown. Lock order service mu_ → handle mu_ (the
+  // cancel-flag peek) matches QueryHandle::Cancel, which takes only handle
+  // mu_.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    QueryHandle& h = **it;
+    bool cancelled;
+    {
+      std::lock_guard<std::mutex> hl(h.mu_);
+      cancelled = h.cancel_requested_;
+    }
+    const bool expired = h.options_.timeout_ns > 0 &&
+                         now_ns - h.submit_ns_ >= h.options_.timeout_ns;
+    if (cancelled || cancel_pending_on_shutdown_) {
+      reaped->emplace_back(*it, Status::Cancelled("cancelled while queued"));
+      it = queue_.erase(it);
+    } else if (expired) {
+      reaped->emplace_back(
+          *it, Status::DeadlineExceeded("deadline expired while queued"));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // First fit in (priority, submission) order — see the class comment for
+  // the skip-over rationale.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (!admission_.TryAdmit((*it)->demand_)) continue;
+    QueryHandlePtr handle = *it;
+    queue_.erase(it);
+    running_.push_back(handle);
+    return handle;
+  }
+  return nullptr;
+}
+
+void QueryService::RunQuery(const QueryHandlePtr& handle) {
+  Clock* clock = SteadyClock::Default();
+  const int64_t dispatch_ns = clock->NowNanos();
+  const int64_t queue_wait_ns = dispatch_ns - handle->submit_ns_;
+
+  Executor* executor = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(handle->mu_);
+    handle->dispatch_ns_ = dispatch_ns;
+    if (!handle->cancel_requested_) {
+      handle->executor_ = std::make_unique<Executor>(cluster_);
+      handle->state_ = QueryState::kRunning;
+      executor = handle->executor_.get();
+    }
+  }
+
+  Status status;
+  ResultSet result;
+  ExecutionReport report;
+  if (executor == nullptr) {
+    // Cancelled between admission and dispatch.
+    status = Status::Cancelled("cancelled before dispatch");
+  } else {
+    ExecOptions exec = handle->options_.exec;
+    exec.exclusive_cluster = false;
+    exec.queue_wait_ns = queue_wait_ns;
+    // Disjoint exchange-id namespace per execution; ids recycle after 1M
+    // in-flight-distinct queries, far beyond any overlap window.
+    exec.exchange_id_base =
+        static_cast<int>(1 + (handle->id_ % 1'000'000) * 1000);
+    if (handle->options_.timeout_ns > 0) {
+      exec.deadline_ns = handle->submit_ns_ + handle->options_.timeout_ns;
+    }
+    Result<ResultSet> r = executor->Execute(handle->plan_, exec);
+    if (r.ok()) {
+      result = std::move(r).value();
+      // LIMIT applies at the collector (same as Database::Query).
+      if (handle->plan_.limit >= 0) result.TruncateRows(handle->plan_.limit);
+    } else {
+      status = r.status();
+    }
+    report = executor->report();
+  }
+
+  const int64_t done_ns = clock->NowNanos();
+  TraceCollector* tc = TraceCollector::Global();
+  if (tc->enabled() && queue_wait_ns > 0) {
+    tc->Complete(handle->submit_ns_, queue_wait_ns, /*pid=*/0, "wlm",
+                 StrFormat("queued %s", handle->label_.c_str()),
+                 {{"priority", static_cast<double>(handle->priority())}});
+  }
+  // Release BEFORE waking waiters: a handle that reports done must imply
+  // its admission reservation is already back in the pool, so a caller that
+  // Wait()s on the last handle observes running() == 0.
+  admission_.Release(handle->demand_);
+  handle->Complete(std::move(status), std::move(result), std::move(report),
+                   done_ns);
+  RecordCompletion(*handle);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_.erase(std::remove(running_.begin(), running_.end(), handle),
+                   running_.end());
+  }
+  // Budget freed: every waiting worker may now find a dispatchable query.
+  dispatch_cv_.notify_all();
+}
+
+void QueryService::CompleteUnrun(const QueryHandlePtr& handle, Status status) {
+  handle->Complete(std::move(status), ResultSet(), ExecutionReport(),
+                   SteadyClock::Default()->NowNanos());
+  RecordCompletion(*handle);
+}
+
+void QueryService::RecordCompletion(const QueryHandle& handle) {
+  switch (handle.status().code()) {
+    case StatusCode::kOk:
+      completed_metric_->Add();
+      break;
+    case StatusCode::kCancelled:
+      cancelled_metric_->Add();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      deadline_metric_->Add();
+      break;
+    default:
+      failed_metric_->Add();
+      break;
+  }
+  queue_wait_metric_->Record(handle.queue_wait_ns());
+  latency_metric_->Record(handle.latency_ns());
+}
+
+}  // namespace claims

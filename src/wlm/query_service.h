@@ -1,0 +1,194 @@
+#ifndef CLAIMS_WLM_QUERY_SERVICE_H_
+#define CLAIMS_WLM_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/executor.h"
+#include "wlm/admission.h"
+
+namespace claims {
+
+class QueryService;
+
+/// Lifecycle of a submitted query:
+///   kQueued  — waiting for admission (or for a worker);
+///   kRunning — an Executor is executing it on the cluster;
+///   kDone    — finished; status()/result()/report() are valid.
+enum class QueryState { kQueued, kRunning, kDone };
+
+const char* QueryStateName(QueryState state);
+
+/// Per-submission options layered on top of the executor's.
+struct SubmitOptions {
+  /// Execution options for the query. The service overrides the concurrency
+  /// plumbing fields (exchange_id_base, exclusive_cluster, queue_wait_ns,
+  /// deadline_ns); everything else passes through.
+  ExecOptions exec;
+  /// Higher runs first. Equal priorities dispatch in submission order.
+  int priority = 0;
+  /// Client-visible deadline relative to submission, queue wait included;
+  /// 0 = none. Expiry surfaces as kDeadlineExceeded whether the query was
+  /// still queued or already running.
+  int64_t timeout_ns = 0;
+  /// Shown in traces and reports; defaults to "q<id>".
+  std::string label;
+};
+
+/// Client-side view of one submitted query. Thread-safe; shared between the
+/// submitter, the service's dispatch workers, and anyone calling Cancel().
+class QueryHandle {
+ public:
+  uint64_t id() const { return id_; }
+  const std::string& label() const { return label_; }
+  int priority() const { return options_.priority; }
+
+  QueryState state() const;
+
+  /// Blocks until the query reaches kDone.
+  void Wait();
+  /// Bounded wait; false on timeout.
+  bool WaitFor(int64_t timeout_ns);
+
+  /// Cooperative cancellation from any thread. A queued query completes
+  /// immediately with kCancelled (it never runs); a running query aborts at
+  /// its segments' next block boundaries; a done query is unaffected.
+  void Cancel();
+
+  // --- Valid once state() == kDone -----------------------------------------
+
+  const Status& status() const;
+  /// The gathered result; empty unless status().ok().
+  const ResultSet& result() const;
+  /// The executor's EXPLAIN-ANALYZE report (queue_wait_ns filled in); empty
+  /// for queries that never ran.
+  const ExecutionReport& report() const;
+
+  /// Admission delay: submission → dispatch (or → completion for queries
+  /// that never ran).
+  int64_t queue_wait_ns() const;
+  /// Client-visible latency: submission → done.
+  int64_t latency_ns() const;
+
+ private:
+  friend class QueryService;
+
+  QueryHandle(uint64_t id, PhysicalPlan plan, SubmitOptions options,
+              int64_t submit_ns);
+
+  /// Transition to kDone (exactly once) and wake waiters.
+  void Complete(Status status, ResultSet result, ExecutionReport report,
+                int64_t done_ns);
+
+  const uint64_t id_;
+  const PhysicalPlan plan_;
+  const SubmitOptions options_;
+  const std::string label_;
+  const int64_t submit_ns_;
+  QueryDemand demand_;
+
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  QueryState state_ = QueryState::kQueued;
+  bool cancel_requested_ = false;
+  /// Exists from dispatch until the handle dies, so Cancel() can reach a
+  /// running execution without racing its teardown.
+  std::unique_ptr<Executor> executor_;
+  Status status_;
+  ResultSet result_;
+  ExecutionReport report_;
+  int64_t dispatch_ns_ = 0;
+  int64_t done_ns_ = 0;
+};
+
+using QueryHandlePtr = std::shared_ptr<QueryHandle>;
+
+struct QueryServiceOptions {
+  AdmissionOptions admission;
+  /// Dispatch worker threads = max queries executing at once; 0 derives it
+  /// from admission.max_concurrent (and that from the cluster if also 0).
+  int workers = 0;
+  /// Submissions beyond this many queued queries block the submitter until
+  /// the queue drains (backpressure, not rejection); 0 = unbounded.
+  size_t max_queue_depth = 0;
+};
+
+/// The workload manager in front of the cluster (the subsystem the paper
+/// defers to as "multi-query scheduling", §7): accepts prioritized query
+/// submissions, gates them through an AdmissionController, and executes the
+/// admitted set concurrently — one Executor per query over the shared
+/// Cluster, exchange ids namespaced per execution — so each node's
+/// DynamicScheduler and the GlobalThroughputBoard arbitrate cores *across*
+/// queries exactly as they do across one query's segments.
+///
+/// Dispatch policy: highest priority first (ties: submission order), with
+/// skip-over — if the best queued query does not fit the remaining budget
+/// but a smaller one does, the smaller one runs. Skip-over favors
+/// utilization over strict ordering; an over-budget query is never starved
+/// outright because an idle system admits anything (see
+/// AdmissionController).
+class QueryService {
+ public:
+  QueryService(Cluster* cluster, QueryServiceOptions options);
+  ~QueryService();
+
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(QueryService);
+
+  /// Submits a planned query. Blocks while the queue is at max_queue_depth.
+  /// After Shutdown the returned handle is already kDone with kCancelled.
+  QueryHandlePtr Submit(PhysicalPlan plan, SubmitOptions options = {});
+
+  /// Stops accepting submissions. cancel_pending=true also cancels every
+  /// queued and running query; false drains them first. Blocks until the
+  /// workers exited. Idempotent.
+  void Shutdown(bool cancel_pending = true);
+
+  size_t queue_depth() const;
+  AdmissionController* admission() { return &admission_; }
+  Cluster* cluster() { return cluster_; }
+
+ private:
+  void WorkerMain();
+  /// Picks the dispatchable queued query under mu_: reaps cancelled/expired
+  /// entries (with the status each should complete with), admits the best
+  /// fit into running_. Returns nullptr when none qualifies.
+  QueryHandlePtr PopDispatchableLocked(
+      int64_t now_ns, std::vector<std::pair<QueryHandlePtr, Status>>* reaped);
+  void RunQuery(const QueryHandlePtr& handle);
+  /// Completes a query that never ran and records its metrics.
+  void CompleteUnrun(const QueryHandlePtr& handle, Status status);
+  void RecordCompletion(const QueryHandle& handle);
+
+  Cluster* cluster_;
+  QueryServiceOptions options_;
+  AdmissionController admission_;
+
+  MetricGauge* queue_depth_gauge_;
+  MetricCounter* submitted_metric_;
+  MetricCounter* completed_metric_;
+  MetricCounter* failed_metric_;
+  MetricCounter* cancelled_metric_;
+  MetricCounter* deadline_metric_;
+  MetricHistogram* queue_wait_metric_;
+  MetricHistogram* latency_metric_;
+
+  mutable std::mutex mu_;
+  std::condition_variable dispatch_cv_;      ///< workers: work or budget freed
+  std::condition_variable backpressure_cv_;  ///< submitters: queue has room
+  std::vector<QueryHandlePtr> queue_;
+  std::vector<QueryHandlePtr> running_;
+  bool shutdown_ = false;
+  bool cancel_pending_on_shutdown_ = false;
+  uint64_t next_id_ = 1;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_WLM_QUERY_SERVICE_H_

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
+#include <thread>
 
 #include "cluster/executor.h"
+#include "common/clock.h"
 
 namespace claims {
 namespace {
@@ -266,6 +269,124 @@ TEST_F(ClusterExecTest, ExplainRendersPlan) {
   EXPECT_NE(text.find("HashAgg"), std::string::npos);
   EXPECT_NE(text.find("Scan(kv1)"), std::string::npos);
   EXPECT_NE(text.find("hash on 0"), std::string::npos);
+}
+
+/// A deliberately slow query for cancellation tests: dense self-join of a
+/// low-cardinality key (every probe row matches n/300 build rows), so the
+/// pipeline streams millions of join rows through the aggregation.
+class ClusterCancelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog;
+    Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+    auto t = std::make_shared<Table>("fat", s, kNodes, std::vector<int>{});
+    for (int i = 0; i < 60000; ++i) {
+      t->AppendValues({Value::Int32(i % 300), Value::Int64(i)});
+    }
+    ASSERT_TRUE(catalog_->RegisterTable(std::move(t)).ok());
+    ClusterOptions copts;
+    copts.num_nodes = kNodes;
+    copts.cores_per_node = 4;
+    cluster_ = new Cluster(copts, catalog_);
+  }
+  static void TearDownTestSuite() {
+    delete cluster_;
+    delete catalog_;
+  }
+
+  /// Repartition fat on k, self-join with a co-located scan, count per key:
+  /// 60000 × 200 = 12M join rows — seconds of work if left to finish.
+  static PhysicalPlan SlowJoinPlan() {
+    TablePtr fat = *catalog_->GetTable("fat");
+    PhysicalPlan plan;
+    auto f0 = std::make_unique<Fragment>();
+    f0->id = 0;
+    f0->root = MakeScanOp(*fat);
+    f0->nodes = {0, 1, 2};
+    f0->out_exchange_id = 0;
+    f0->partitioning = Partitioning::kHash;
+    f0->hash_cols = {0};
+    f0->consumer_nodes = {0, 1, 2};
+
+    auto f1 = std::make_unique<Fragment>();
+    f1->id = 1;
+    auto merger = MakeMergerOp(0, f0->root->output_schema);
+    auto join = MakeHashJoinOp(std::move(merger), MakeScanOp(*fat),
+                               /*build_keys=*/{0}, /*probe_keys=*/{0});
+    const Schema join_schema = join->output_schema;
+    f1->root = MakeHashAggOp(std::move(join), {Col(join_schema, "k")}, {"k"},
+                             {{AggFn::kCount, nullptr, "cnt"}},
+                             HashAggIterator::Mode::kShared);
+    f1->nodes = {0, 1, 2};
+    f1->out_exchange_id = 1;
+    f1->partitioning = Partitioning::kToOne;
+    f1->consumer_nodes = {0};
+
+    plan.result_schema = f1->root->output_schema;
+    plan.result_exchange_id = 1;
+    plan.fragments.push_back(std::move(f0));
+    plan.fragments.push_back(std::move(f1));
+    return plan;
+  }
+
+  static Catalog* catalog_;
+  static Cluster* cluster_;
+};
+
+Catalog* ClusterCancelTest::catalog_ = nullptr;
+Cluster* ClusterCancelTest::cluster_ = nullptr;
+
+TEST_F(ClusterCancelTest, CancelMidStreamReturnsCancelled) {
+  PhysicalPlan plan = SlowJoinPlan();
+  Executor exec(cluster_);
+  ExecOptions opts;
+  opts.mode = ExecMode::kElastic;
+  opts.parallelism = 1;
+  opts.buffer_capacity_blocks = 2;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    exec.Cancel();
+  });
+  auto result = exec.Execute(plan, opts);
+  canceller.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+      << result.status().ToString();
+}
+
+TEST_F(ClusterCancelTest, CancelBeforeExecuteIsSticky) {
+  PhysicalPlan plan = SlowJoinPlan();
+  Executor exec(cluster_);
+  exec.Cancel();
+  auto result = exec.Execute(plan, ExecOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(ClusterCancelTest, DeadlineCancelsMidStream) {
+  PhysicalPlan plan = SlowJoinPlan();
+  Executor exec(cluster_);
+  ExecOptions opts;
+  opts.mode = ExecMode::kElastic;
+  opts.parallelism = 1;
+  opts.buffer_capacity_blocks = 2;
+  opts.deadline_ns = SteadyClock::Default()->NowNanos() + 50'000'000;  // 50 ms
+  auto result = exec.Execute(plan, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+  // The watchdog fired roughly at the deadline, not after the full join.
+  EXPECT_LT(exec.stats().elapsed_ns, 2'000'000'000);
+}
+
+TEST_F(ClusterCancelTest, ExpiredDeadlineFailsFast) {
+  PhysicalPlan plan = SlowJoinPlan();
+  Executor exec(cluster_);
+  ExecOptions opts;
+  opts.deadline_ns = SteadyClock::Default()->NowNanos() - 1;
+  auto result = exec.Execute(plan, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST_F(ClusterExecTest, PlanErrorOnBadScanPlacement) {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "sim/event_queue.h"
 #include "sim/sim_engine.h"
 #include "sim/specs.h"
@@ -337,6 +339,76 @@ TEST(SimSpecsTest, TpchSpecRunsUnderElastic) {
   auto m = run.Run();
   ASSERT_TRUE(m.ok()) << m.status().ToString();
   EXPECT_GT(m->response_ns, 0);
+}
+
+// --- multi-query interference (the workload manager's scenario) ---------------
+
+TEST(SimWorkloadTest, CombineSpecsNamespacesExchanges) {
+  SimCostParams c;
+  SimQuerySpec a = MicroJoinSpec(false, 1'000'000, c);
+  SimQuerySpec b = MicroJoinSpec(false, 1'000'000, c);
+  SimQuerySpec combined = CombineSpecs({a, b});
+  ASSERT_EQ(combined.segments.size(), a.segments.size() + b.segments.size());
+  // Final segments of both queries drain into the shared collector; every
+  // other exchange id is unique across the merged workload.
+  std::multiset<int> outs;
+  for (const SimSegmentSpec& seg : combined.segments) {
+    outs.insert(seg.out_exchange);
+  }
+  EXPECT_EQ(outs.count(combined.result_exchange), 2u);
+  for (int id : outs) {
+    if (id != combined.result_exchange) {
+      EXPECT_EQ(outs.count(id), 1u);
+    }
+  }
+}
+
+TEST(SimWorkloadTest, ConcurrentQueriesShareTheNode) {
+  SimCostParams c;
+  const int64_t kRows = 3'000'000;
+  auto respond = [](SimQuerySpec spec) {
+    SimOptions opt;
+    opt.num_nodes = 1;
+    opt.policy = SimPolicy::kElastic;
+    opt.parallelism = 1;
+    opt.partition_skew_cv = 0;
+    SimRun run(std::move(spec), opt);
+    auto m = run.Run();
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return m.ok() ? m->response_ns : -1;
+  };
+  int64_t cpu_solo = respond(MicroFilterSpec(true, kRows, c));
+  int64_t mem_solo = respond(MicroFilterSpec(false, kRows, c));
+  // Different bottlenecks overlap: a bandwidth-bound filter hides inside a
+  // compute-bound one's runtime, so the pair beats back-to-back execution.
+  int64_t mixed = respond(CombineSpecs(
+      {MicroFilterSpec(true, kRows, c), MicroFilterSpec(false, kRows, c)}));
+  EXPECT_GE(mixed, std::max(cpu_solo, mem_solo));
+  EXPECT_LT(mixed, cpu_solo + mem_solo);
+  // The same bottleneck contends: two compute-bound filters split the cores
+  // and take visibly longer than one (unlike the hidden bandwidth query),
+  // yet stay under serial time because their elastic ramp-ups overlap.
+  int64_t twin = respond(CombineSpecs(
+      {MicroFilterSpec(true, kRows, c), MicroFilterSpec(true, kRows, c)}));
+  EXPECT_GT(twin, 1.2 * cpu_solo);
+  EXPECT_LT(twin, 2.5 * cpu_solo);
+}
+
+TEST(SimWorkloadTest, CombinedWorkloadDeterministic) {
+  SimCostParams c;
+  auto run_once = [&] {
+    SimOptions opt;
+    opt.num_nodes = 1;
+    opt.policy = SimPolicy::kElastic;
+    opt.parallelism = 1;
+    SimRun run(CombineSpecs({MicroFilterSpec(true, 1'000'000, c),
+                             MicroAggSpec(false, 4, 1'000'000, c)}),
+               opt);
+    auto m = run.Run();
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return m.ok() ? m->response_ns : -1;
+  };
+  EXPECT_EQ(run_once(), run_once());
 }
 
 }  // namespace

@@ -1,0 +1,393 @@
+// Workload-manager tests: admission budgets, priority/backpressure/deadline
+// semantics of the QueryService, the closed/open-loop driver, and the
+// headline acceptance scenario — a concurrent TPC-H stream whose per-query
+// results must be identical to serial execution.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "engine/database.h"
+#include "engine/workloads.h"
+#include "wlm/driver/workload_driver.h"
+#include "wlm/query_service.h"
+
+namespace claims {
+namespace {
+
+/// Row-set equality up to floating-point summation order: parallel (and
+/// elastic) aggregation adds doubles in nondeterministic order, so sums match
+/// serial execution only to within ulps. Everything else must be exact.
+void ExpectRowsEquivalent(const std::vector<std::vector<Value>>& got,
+                          const std::vector<std::vector<Value>>& want,
+                          const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t r = 0; r < got.size(); ++r) {
+    ASSERT_EQ(got[r].size(), want[r].size()) << label << " row " << r;
+    for (size_t c = 0; c < got[r].size(); ++c) {
+      const Value& a = got[r][c];
+      const Value& b = want[r][c];
+      if (a.type() == DataType::kFloat64 && b.type() == DataType::kFloat64) {
+        EXPECT_NEAR(a.AsFloat64(), b.AsFloat64(),
+                    1e-9 * std::max(1.0, std::abs(b.AsFloat64())))
+            << label << " row " << r << " col " << c;
+      } else {
+        EXPECT_TRUE(a == b)
+            << label << " row " << r << " col " << c << ": " << a.ToString()
+            << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+// --- admission controller ------------------------------------------------------
+
+TEST(AdmissionTest, MplGate) {
+  AdmissionOptions opts;
+  opts.max_concurrent = 2;
+  AdmissionController ac(opts);
+  QueryDemand d;
+  EXPECT_TRUE(ac.TryAdmit(d));
+  EXPECT_TRUE(ac.TryAdmit(d));
+  EXPECT_FALSE(ac.TryAdmit(d));
+  ac.Release(d);
+  EXPECT_TRUE(ac.TryAdmit(d));
+  EXPECT_EQ(ac.running(), 2);
+}
+
+TEST(AdmissionTest, CoreAndMemoryBudgets) {
+  AdmissionOptions opts;
+  opts.max_concurrent = 100;
+  opts.core_budget = 10;
+  opts.memory_budget_bytes = 1000;
+  AdmissionController ac(opts);
+  QueryDemand small{4, 400};
+  QueryDemand big{8, 100};
+  QueryDemand hungry{1, 700};
+  ASSERT_TRUE(ac.TryAdmit(small));
+  EXPECT_FALSE(ac.TryAdmit(big));     // 4+8 > 10 cores
+  EXPECT_FALSE(ac.TryAdmit(hungry));  // 400+700 > 1000 bytes
+  ASSERT_TRUE(ac.TryAdmit(small));    // 8 cores, 800 bytes: fits
+  EXPECT_EQ(ac.cores_in_flight(), 8);
+  EXPECT_EQ(ac.memory_in_flight(), 800);
+  ac.Release(small);
+  ac.Release(small);
+  EXPECT_EQ(ac.running(), 0);
+}
+
+TEST(AdmissionTest, IdleSystemAdmitsOversizedQuery) {
+  AdmissionOptions opts;
+  opts.max_concurrent = 4;
+  opts.core_budget = 2;
+  AdmissionController ac(opts);
+  QueryDemand whale{64, 0};
+  EXPECT_TRUE(ac.TryAdmit(whale));  // would starve otherwise
+  EXPECT_FALSE(ac.TryAdmit(whale));
+  ac.Release(whale);
+  EXPECT_TRUE(ac.TryAdmit(whale));
+}
+
+// --- query service on a live cluster -------------------------------------------
+
+/// 4-node in-process cluster with TPC-H loaded. `slow` knobs: queries over
+/// lineitem at parallelism 1 with tight buffers run for hundreds of ms —
+/// long enough to observe QUEUED/RUNNING states and cancel mid-stream.
+class WlmTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatabaseOptions options;
+    options.cluster.num_nodes = 4;
+    options.cluster.cores_per_node = 8;
+    db_ = new Database(options);
+    ASSERT_TRUE(db_->LoadTpch({.scale_factor = 0.02}).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static PhysicalPlan PlanSql(std::string_view sql) {
+    auto plan = db_->Plan(sql);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return std::move(*plan);
+  }
+
+  /// A query that keeps the cluster busy for a while at low parallelism
+  /// (lineitem self-join: ~0.5 s at parallelism 1 on this fixture).
+  static PhysicalPlan SlowPlan() {
+    return PlanSql(
+        "SELECT a.l_partkey, count(*) FROM lineitem a, lineitem b "
+        "WHERE a.l_partkey = b.l_partkey GROUP BY a.l_partkey");
+  }
+  static SubmitOptions SlowOptions() {
+    SubmitOptions s;
+    s.exec.parallelism = 1;
+    s.exec.buffer_capacity_blocks = 2;
+    return s;
+  }
+
+  static Database* db_;
+};
+
+Database* WlmTest::db_ = nullptr;
+
+TEST_F(WlmTest, SingleQueryMatchesDirectExecution) {
+  const std::string_view sql = "SELECT count(*) FROM lineitem";
+  auto direct = db_->Query(sql);
+  ASSERT_TRUE(direct.ok());
+
+  QueryService service(db_->cluster(), {});
+  QueryHandlePtr h = service.Submit(PlanSql(sql));
+  h->Wait();
+  ASSERT_TRUE(h->status().ok()) << h->status().ToString();
+  EXPECT_EQ(h->state(), QueryState::kDone);
+  EXPECT_EQ(h->result().Rows(true), direct->Rows(true));
+  EXPECT_GT(h->latency_ns(), 0);
+  EXPECT_GE(h->queue_wait_ns(), 0);
+  // The report carries the queue/run split (EXPLAIN ANALYZE satellite).
+  EXPECT_EQ(h->report().queue_wait_ns, h->queue_wait_ns());
+  service.Shutdown();
+}
+
+TEST_F(WlmTest, PriorityOrdersQueuedDispatch) {
+  QueryServiceOptions opts;
+  opts.admission.max_concurrent = 1;
+  opts.workers = 1;
+  QueryService service(db_->cluster(), opts);
+
+  // Occupy the single slot, then line up a low- and a high-priority query.
+  QueryHandlePtr blocker = service.Submit(SlowPlan(), SlowOptions());
+  SubmitOptions low;
+  low.priority = 0;
+  SubmitOptions high;
+  high.priority = 5;
+  const std::string_view sql = "SELECT count(*) FROM orders";
+  QueryHandlePtr q_low = service.Submit(PlanSql(sql), low);
+  QueryHandlePtr q_high = service.Submit(PlanSql(sql), high);
+  EXPECT_EQ(q_low->state(), QueryState::kQueued);
+
+  q_high->Wait();
+  // The high-priority query ran while the low one was still waiting behind
+  // it (MPL 1 serializes, priority picks the order).
+  EXPECT_NE(q_low->state(), QueryState::kDone);
+  q_low->Wait();
+  blocker->Wait();
+  EXPECT_TRUE(blocker->status().ok()) << blocker->status().ToString();
+  EXPECT_TRUE(q_high->status().ok());
+  EXPECT_TRUE(q_low->status().ok());
+  EXPECT_GT(q_low->queue_wait_ns(), 0);
+  service.Shutdown();
+}
+
+TEST_F(WlmTest, CancelQueuedQueryNeverRuns) {
+  QueryServiceOptions opts;
+  opts.admission.max_concurrent = 1;
+  opts.workers = 1;
+  QueryService service(db_->cluster(), opts);
+  QueryHandlePtr blocker = service.Submit(SlowPlan(), SlowOptions());
+  QueryHandlePtr queued = service.Submit(PlanSql("SELECT count(*) FROM part"));
+  queued->Cancel();
+  queued->Wait();
+  EXPECT_EQ(queued->status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(queued->report().elapsed_ns, 0);  // never dispatched
+  blocker->Cancel();
+  blocker->Wait();
+  service.Shutdown();
+}
+
+TEST_F(WlmTest, CancelRunningQueryAbortsMidStream) {
+  QueryService service(db_->cluster(), {});
+  QueryHandlePtr h = service.Submit(SlowPlan(), SlowOptions());
+  // Let it reach RUNNING, then cancel.
+  while (h->state() == QueryState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  h->Cancel();
+  h->Wait();
+  EXPECT_EQ(h->status().code(), StatusCode::kCancelled);
+  service.Shutdown();
+}
+
+TEST_F(WlmTest, DeadlineExpiresWhileQueued) {
+  QueryServiceOptions opts;
+  opts.admission.max_concurrent = 1;
+  opts.workers = 1;
+  QueryService service(db_->cluster(), opts);
+  QueryHandlePtr blocker = service.Submit(SlowPlan(), SlowOptions());
+  SubmitOptions impatient;
+  impatient.timeout_ns = 30'000'000;  // 30 ms — far under the blocker
+  QueryHandlePtr queued =
+      service.Submit(PlanSql("SELECT count(*) FROM part"), impatient);
+  queued->Wait();
+  EXPECT_EQ(queued->status().code(), StatusCode::kDeadlineExceeded);
+  blocker->Cancel();
+  blocker->Wait();
+  service.Shutdown();
+}
+
+TEST_F(WlmTest, DeadlineExpiresWhileRunning) {
+  QueryService service(db_->cluster(), {});
+  SubmitOptions impatient = SlowOptions();
+  impatient.timeout_ns = 100'000'000;  // the slow plan needs ~5x longer
+  QueryHandlePtr h = service.Submit(SlowPlan(), impatient);
+  h->Wait();
+  EXPECT_EQ(h->status().code(), StatusCode::kDeadlineExceeded);
+  service.Shutdown();
+}
+
+TEST_F(WlmTest, BackpressureBlocksSubmitter) {
+  QueryServiceOptions opts;
+  opts.admission.max_concurrent = 1;
+  opts.workers = 1;
+  opts.max_queue_depth = 1;
+  QueryService service(db_->cluster(), opts);
+  QueryHandlePtr blocker = service.Submit(SlowPlan(), SlowOptions());
+  QueryHandlePtr queued = service.Submit(PlanSql("SELECT count(*) FROM part"));
+
+  std::atomic<bool> third_submitted{false};
+  std::thread submitter([&] {
+    QueryHandlePtr h = service.Submit(PlanSql("SELECT count(*) FROM part"));
+    third_submitted.store(true);
+    h->Wait();
+  });
+  // The queue is full: the third submission must still be blocked.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_submitted.load());
+  // Draining the queue head unblocks it.
+  queued->Cancel();
+  blocker->Cancel();
+  submitter.join();
+  EXPECT_TRUE(third_submitted.load());
+  service.Shutdown();
+}
+
+TEST_F(WlmTest, ShutdownCancelsEverything) {
+  QueryServiceOptions opts;
+  opts.admission.max_concurrent = 1;
+  opts.workers = 1;
+  QueryService service(db_->cluster(), opts);
+  QueryHandlePtr running = service.Submit(SlowPlan(), SlowOptions());
+  QueryHandlePtr queued = service.Submit(SlowPlan(), SlowOptions());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Shutdown(/*cancel_pending=*/true);
+  EXPECT_EQ(running->state(), QueryState::kDone);
+  EXPECT_EQ(queued->status().code(), StatusCode::kCancelled);
+  // Post-shutdown submissions complete immediately as cancelled.
+  QueryHandlePtr late = service.Submit(PlanSql("SELECT count(*) FROM part"));
+  EXPECT_EQ(late->status().code(), StatusCode::kCancelled);
+}
+
+// --- the acceptance scenario ---------------------------------------------------
+
+TEST_F(WlmTest, ConcurrentTpchStreamMatchesSerialExecution) {
+  // Serial baselines first (one at a time, the pre-wlm path).
+  std::vector<int> numbers;
+  std::vector<std::string_view> sqls;
+  std::vector<std::vector<std::vector<Value>>> serial;
+  for (int n : SupportedTpchQueries()) {
+    auto sql = TpchQuery(n);
+    ASSERT_TRUE(sql.ok());
+    auto r = db_->Query(*sql);
+    ASSERT_TRUE(r.ok()) << "Q" << n << ": " << r.status().ToString();
+    numbers.push_back(n);
+    sqls.push_back(*sql);
+    serial.push_back(r->Rows(true));
+  }
+
+  // 32 queries at MPL 8 over the 4-node cluster, all executors concurrent.
+  QueryServiceOptions opts;
+  opts.admission.max_concurrent = 8;
+  opts.admission.core_budget =
+      db_->cluster()->num_nodes() * db_->cluster()->options().cores_per_node;
+  QueryService service(db_->cluster(), opts);
+
+  // Budget invariant sampler: at every point while the stream runs, the
+  // admission ledger never over-commits its core budget, and MPL holds.
+  // (Per-node worker counts may transiently exceed cores_per_node at query
+  // launch — segments start at plan parallelism; the DynamicScheduler caps
+  // its own expansions at the node's cores and shrinks the rest.)
+  std::atomic<bool> stop_sampler{false};
+  std::atomic<bool> budget_violated{false};
+  std::thread sampler([&] {
+    while (!stop_sampler.load()) {
+      if (service.admission()->cores_in_flight() >
+              opts.admission.core_budget ||
+          service.admission()->running() > opts.admission.max_concurrent) {
+        budget_violated.store(true);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  const int kTotal = 32;
+  std::vector<QueryHandlePtr> handles;
+  for (int i = 0; i < kTotal; ++i) {
+    size_t which = static_cast<size_t>(i) % numbers.size();
+    SubmitOptions submit;
+    submit.label = "tpch-q" + std::to_string(numbers[which]);
+    submit.priority = i % 3;
+    handles.push_back(service.Submit(PlanSql(sqls[which]), submit));
+  }
+  for (int i = 0; i < kTotal; ++i) {
+    handles[static_cast<size_t>(i)]->Wait();
+    const QueryHandle& h = *handles[static_cast<size_t>(i)];
+    ASSERT_TRUE(h.status().ok())
+        << h.label() << ": " << h.status().ToString();
+    ExpectRowsEquivalent(h.result().Rows(true),
+                         serial[static_cast<size_t>(i) % serial.size()],
+                         h.label());
+  }
+  stop_sampler.store(true);
+  sampler.join();
+  EXPECT_FALSE(budget_violated.load());
+  EXPECT_EQ(service.admission()->running(), 0);
+  service.Shutdown();
+}
+
+// --- the workload driver -------------------------------------------------------
+
+TEST_F(WlmTest, ClosedLoopDriverReportsPercentiles) {
+  QueryServiceOptions opts;
+  opts.admission.max_concurrent = 4;
+  QueryService service(db_->cluster(), opts);
+  WorkloadOptions wl;
+  wl.mode = ArrivalMode::kClosed;
+  wl.total_queries = 12;
+  wl.mpl = 4;
+  wl.submit.label = "closed";
+  wl.make_plan = [](int) { return PlanSql("SELECT count(*) FROM orders"); };
+  WorkloadReport report = WorkloadDriver(&service, wl).Run();
+  EXPECT_EQ(report.total, 12);
+  EXPECT_EQ(report.succeeded, 12);
+  EXPECT_GT(report.throughput_qps, 0);
+  EXPECT_LE(report.p50_latency_ns, report.p95_latency_ns);
+  EXPECT_LE(report.p95_latency_ns, report.p99_latency_ns);
+  EXPECT_LE(report.p99_latency_ns, report.max_latency_ns);
+  EXPECT_NE(report.ToString().find("latency"), std::string::npos);
+  EXPECT_NE(report.ToJson().find("\"p99_latency_ms\""), std::string::npos);
+  service.Shutdown();
+}
+
+TEST_F(WlmTest, OpenLoopDriverRunsPoissonArrivals) {
+  QueryServiceOptions opts;
+  opts.admission.max_concurrent = 4;
+  opts.max_queue_depth = 8;  // backpressure throttles the arrival thread
+  QueryService service(db_->cluster(), opts);
+  WorkloadOptions wl;
+  wl.mode = ArrivalMode::kOpen;
+  wl.total_queries = 10;
+  wl.arrival_rate_qps = 200;
+  wl.seed = 7;
+  wl.make_plan = [](int) { return PlanSql("SELECT count(*) FROM part"); };
+  wl.priority_of = [](int seq) { return seq % 2; };
+  WorkloadReport report = WorkloadDriver(&service, wl).Run();
+  EXPECT_EQ(report.succeeded, 10);
+  EXPECT_GE(report.p99_queue_wait_ns, report.p50_queue_wait_ns);
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace claims
