@@ -6,7 +6,15 @@
 //  (b) shrinkage delay vs segment composition (deeper/heavier active stages
 //      take longer to finish the in-flight block).
 
+// Also reports the cost of the live introspection plane itself: the same
+// pipeline timed with monitoring off, with the monitor endpoint + flight
+// recorder armed but idle, and with a scraper hammering /metrics and
+// flight-recorder dumps mid-query. The paper's elasticity machinery only
+// pays off if watching it is ~free.
+
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <numeric>
 #include <thread>
@@ -18,6 +26,9 @@
 #include "exec/ops/hash_agg.h"
 #include "exec/ops/hash_join.h"
 #include "exec/ops/scan.h"
+#include "net/socket_util.h"
+#include "obs/monitor_server.h"
+#include "obs/trace.h"
 #include "storage/table.h"
 
 namespace claims {
@@ -150,6 +161,70 @@ Delays Measure(std::unique_ptr<Iterator> ops, int trials) {
   return d;
 }
 
+/// Runs the pipeline to completion under an elastic iterator and returns
+/// wall milliseconds. The work is identical across monitoring configs; only
+/// the observers differ.
+double RunToCompletion(std::unique_ptr<Iterator> ops) {
+  ElasticIterator::Options opts;
+  opts.initial_parallelism = 3;
+  ElasticIterator it(std::move(ops), opts);
+  WorkerContext ctx;
+  auto start = std::chrono::steady_clock::now();
+  it.Open(&ctx);
+  BlockPtr b;
+  while (it.Next(&ctx, &b) == NextResult::kSuccess) {
+  }
+  it.Close();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+struct MonitoringConfig {
+  const char* name;
+  bool serve;    // monitor endpoint up, flight recorder armed
+  bool scrape;   // a client hammering /metrics + dumps during the run
+};
+
+double MeasureMonitored(const Table& big, const MonitoringConfig& cfg,
+                        int reps) {
+  MonitorServer server{[&] {
+    MonitorOptions mopts;
+    mopts.enabled = cfg.serve;
+    return mopts;
+  }()};
+  if (cfg.serve) {
+    TraceCollector::Global()->ConfigureFlightRecorder(1 << 16);
+    TraceCollector::Global()->Enable();
+    if (!server.Start().ok()) return -1;
+  }
+  std::atomic<bool> stop{false};
+  std::thread scraper;
+  if (cfg.scrape) {
+    scraper = std::thread([&] {
+      int i = 0;
+      while (!stop.load()) {
+        HttpRoundTrip("127.0.0.1", server.port(), "GET", "/metrics");
+        if (++i % 4 == 0) {
+          HttpRoundTrip("127.0.0.1", server.port(), "POST",
+                        "/flight-recorder/dump");
+        }
+      }
+    });
+  }
+  double total = 0;
+  for (int r = 0; r < reps; ++r) {
+    total += RunToCompletion(FilterChain(big, 1));
+  }
+  stop.store(true);
+  if (scraper.joinable()) scraper.join();
+  if (cfg.serve) {
+    server.Stop();
+    TraceCollector::Global()->Disable();
+    TraceCollector::Global()->ConfigureFlightRecorder(0);
+  }
+  return total / reps;
+}
+
 }  // namespace
 }  // namespace claims
 
@@ -197,6 +272,26 @@ int main(int argc, char** argv) {
       Delays d = Measure(std::move(ops), kTrials);
       table.Row({comp.name, StrFormat("%.3f", d.shrink_ms),
                  StrFormat("%.3f", d.expand_ms)});
+    }
+    table.Print();
+  }
+
+  bench::Title("Introspection overhead: same pipeline, monitoring off/on");
+  {
+    const MonitoringConfig configs[] = {
+        {"monitoring off", false, false},
+        {"endpoint + flight recorder armed", true, false},
+        {"scraper hammering /metrics + dumps", true, true},
+    };
+    const int kReps = 3;
+    bench::TablePrinter table(csv);
+    table.Header({"config", "pipeline time (ms)", "overhead (%)"});
+    double baseline = 0;
+    for (const MonitoringConfig& cfg : configs) {
+      double ms = MeasureMonitored(*big, cfg, kReps);
+      if (baseline == 0) baseline = ms;
+      table.Row({cfg.name, StrFormat("%.1f", ms),
+                 StrFormat("%+.2f", 100.0 * (ms - baseline) / baseline)});
     }
     table.Print();
   }

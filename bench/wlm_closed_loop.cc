@@ -5,13 +5,22 @@
 // source of the BENCH_wlm.json baseline record (--json).
 //
 //   wlm_closed_loop [--queries N] [--mpl M] [--open [--rate QPS]]
-//                   [--scale SF] [--json]
+//                   [--scale SF] [--json] [--monitor-port P] [--linger SEC]
+//
+// --monitor-port starts the live introspection plane (HTTP monitoring
+// endpoint + flight recorder + watchdog) on 127.0.0.1:P (0 = ephemeral; the
+// bound port is printed). --linger keeps the process and the monitor alive
+// for SEC seconds after the workload drains so an external scraper (the CI
+// monitor-smoke job) can probe terminal state.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -19,6 +28,7 @@
 #include "engine/workloads.h"
 #include "obs/trace.h"
 #include "wlm/driver/workload_driver.h"
+#include "wlm/introspection.h"
 #include "wlm/query_service.h"
 
 int main(int argc, char** argv) {
@@ -31,6 +41,8 @@ int main(int argc, char** argv) {
   double rate = 0;
   bool open = false;
   bool json = false;
+  int monitor_port = -1;  // -1 = monitoring off
+  double linger_sec = 0;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> double {
       if (i + 1 >= argc) {
@@ -51,6 +63,10 @@ int main(int argc, char** argv) {
       open = true;
     } else if (!std::strcmp(argv[i], "--json")) {
       json = true;
+    } else if (!std::strcmp(argv[i], "--monitor-port")) {
+      monitor_port = static_cast<int>(next("--monitor-port"));
+    } else if (!std::strcmp(argv[i], "--linger")) {
+      linger_sec = next("--linger");
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -89,6 +105,25 @@ int main(int argc, char** argv) {
   sopts.max_queue_depth = 2 * static_cast<size_t>(queries);
   QueryService service(db.cluster(), sopts);
 
+  std::unique_ptr<IntrospectionPlane> plane;
+  if (monitor_port >= 0) {
+    IntrospectionOptions iopts;
+    iopts.monitor.enabled = true;
+    iopts.monitor.port = monitor_port;
+    iopts.flight_recorder_capacity = 1 << 16;
+    iopts.enable_watchdog = true;
+    plane = std::make_unique<IntrospectionPlane>(&service, iopts);
+    if (Status s = plane->Start(); !s.ok()) {
+      std::fprintf(stderr, "monitor: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    // Printed (and flushed) before the clock starts so a supervising script
+    // can discover an ephemeral port.
+    std::printf("monitor listening on 127.0.0.1:%d\n",
+                plane->monitor()->port());
+    std::fflush(stdout);
+  }
+
   WorkloadOptions wopts;
   wopts.mode = open ? ArrivalMode::kOpen : ArrivalMode::kClosed;
   wopts.total_queries = queries;
@@ -111,5 +146,11 @@ int main(int argc, char** argv) {
     bench::Title("Workload manager: TPC-H subset traffic");
     std::printf("%s\n", report.ToString().c_str());
   }
+  std::fflush(stdout);
+  if (plane && linger_sec > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int64_t>(linger_sec * 1000)));
+  }
+  if (plane) plane->Stop();
   return report.succeeded == report.total ? 0 : 1;
 }

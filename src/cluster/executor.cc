@@ -111,6 +111,20 @@ Result<std::unique_ptr<Iterator>> Executor::BuildIterator(
 
 void Executor::Cancel() { TriggerCancel(/*deadline=*/false); }
 
+ExecProgress Executor::Progress() const {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  if (live_segments_.empty()) return latched_progress_;
+  ExecProgress p;
+  p.executing = true;
+  p.live_segments = static_cast<int>(live_segments_.size());
+  for (Segment* s : live_segments_) {
+    const SegmentStats* st = s->stats();
+    p.tuples_consumed += st->input_tuples.load(std::memory_order_relaxed);
+    p.tuples_emitted += st->output_tuples.load(std::memory_order_relaxed);
+  }
+  return p;
+}
+
 void Executor::TriggerCancel(bool deadline) {
   // Order matters: latch the reason before the request flag so any thread
   // that observes cancel_requested_ also sees why.
@@ -222,6 +236,16 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
   }
   ScopeGuard clear_live([&] {
     std::lock_guard<std::mutex> lock(live_mu_);
+    // Latch the final totals so post-run Progress() still reports them.
+    ExecProgress final_p;
+    for (Segment* s : live_segments_) {
+      const SegmentStats* st = s->stats();
+      final_p.tuples_consumed +=
+          st->input_tuples.load(std::memory_order_relaxed);
+      final_p.tuples_emitted +=
+          st->output_tuples.load(std::memory_order_relaxed);
+    }
+    latched_progress_ = final_p;
     live_segments_.clear();
   });
   if (cancel_requested_.load(std::memory_order_acquire)) {

@@ -65,6 +65,15 @@ struct ExecStats {
   int64_t remote_bytes = 0;
 };
 
+/// Coarse liveness of one execution, cheap enough to sample from another
+/// thread on every monitoring scrape (one mutex + relaxed atomic reads).
+struct ExecProgress {
+  bool executing = false;  ///< segments are live right now
+  int live_segments = 0;   ///< 0 once the run finished (totals stay latched)
+  int64_t tuples_consumed = 0;  ///< Σ input_tuples over the query's segments
+  int64_t tuples_emitted = 0;   ///< Σ output_tuples — the progress counter
+};
+
 /// Deploys a PhysicalPlan on the cluster and gathers the result at the
 /// master. One Executor per query execution. Many executors may run
 /// concurrently over one Cluster when each execution namespaces its
@@ -85,6 +94,12 @@ class Executor {
   void Cancel();
 
   const ExecStats& stats() const { return stats_; }
+
+  /// Live progress while Execute runs; after completion the final totals
+  /// stay latched (with executing=false). Callable from any thread — the
+  /// workload manager's /queries endpoint and the stall watchdog's
+  /// per-query progress probes sample this.
+  ExecProgress Progress() const;
 
   /// EXPLAIN-ANALYZE summary of the most recent Execute. Per-segment numbers
   /// are copied from the segments' SegmentStats, so they reconcile exactly
@@ -118,8 +133,9 @@ class Executor {
   /// live_mu_ guards only the registered-segment list.
   std::atomic<bool> cancel_requested_{false};
   std::atomic<bool> deadline_hit_{false};
-  std::mutex live_mu_;
+  mutable std::mutex live_mu_;
   std::vector<Segment*> live_segments_;
+  ExecProgress latched_progress_;  ///< guarded by live_mu_; set on teardown
 };
 
 }  // namespace claims

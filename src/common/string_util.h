@@ -28,6 +28,13 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 /// Renders a byte count as "1.41 GB" style text.
 std::string HumanBytes(int64_t bytes);
 
+/// Appends `s` to `*out` with JSON string escaping (quotes, backslash,
+/// control characters). Shared by the trace exporter and the monitor
+/// endpoints.
+void AppendJsonEscaped(std::string* out, std::string_view s);
+/// Returns `s` JSON-escaped (no surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace claims
 
 #endif  // CLAIMS_COMMON_STRING_UTIL_H_

@@ -83,12 +83,40 @@ double DynamicScheduler::NormalizedRate(
   return std::numeric_limits<double>::quiet_NaN();
 }
 
+SchedulerSnapshot DynamicScheduler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchedulerSnapshot snap;
+  snap.node_id = node_id_;
+  snap.num_cores = options_.num_cores;
+  snap.ticks = tick_count_.load(std::memory_order_relaxed);
+  snap.last_tick_ns = last_tick_ns_;
+  snap.last_lambda_local = last_lambda_local_;
+  snap.last_global_lambda = last_global_lambda_;
+  snap.segments.reserve(records_.size());
+  for (const auto& r : records_) {
+    SegmentSnapshot s;
+    s.name = r->segment->name();
+    s.active = r->segment->active();
+    s.parallelism = r->segment->parallelism();
+    s.normalized_rate = r->last_normalized;
+    s.rate = r->last_rate;
+    s.blocked_in_fraction = r->blocked_in_fraction;
+    s.blocked_out_fraction = r->blocked_out_fraction;
+    s.has_sample = r->has_sample;
+    if (s.active) snap.cores_in_use += s.parallelism;
+    snap.segments.push_back(std::move(s));
+  }
+  return snap;
+}
+
 std::vector<SchedulerAction> DynamicScheduler::Tick() {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<SchedulerAction> actions;
   const int64_t now = clock_->NowNanos();
   const double thr = options_.blocked_fraction_threshold;
   ticks_metric_->Add();
+  tick_count_.fetch_add(1, std::memory_order_relaxed);
+  last_tick_ns_ = now;
   TraceCollector* tc = TraceCollector::Global();
   const bool traced = tc->enabled();
 
@@ -150,6 +178,8 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
   }
   board_->PublishLocal(node_id_, lambda_local);
   const double lambda = board_->GlobalLambda();
+  last_lambda_local_ = std::isinf(lambda_local) ? -1.0 : lambda_local;
+  last_global_lambda_ = std::isinf(lambda) ? -1.0 : lambda;
   if (traced) {
     // One tick instant carrying λ plus a counter series per live segment —
     // Perfetto renders the parallelism/R_i time lines Figs. 10-12 plot.
@@ -160,10 +190,17 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
                  {"free_cores", options_.num_cores - cores_used},
                  {"segments", static_cast<int>(live.size())}});
     for (const Classified& c : live) {
-      const std::string& seg = c.rec->segment->name();
-      tc->Counter(now, trace_pid_, "parallelism:" + seg,
+      // Series names are cached on the record: building them fresh each
+      // traced tick put two string concatenations on the control loop.
+      if (c.rec->trace_parallelism_name.empty()) {
+        const std::string& seg = c.rec->segment->name();
+        c.rec->trace_parallelism_name = "parallelism:" + seg;
+        c.rec->trace_rate_name = "R:" + seg;
+      }
+      tc->Counter(now, trace_pid_, c.rec->trace_parallelism_name,
                   c.rec->segment->parallelism());
-      tc->Counter(now, trace_pid_, "R:" + seg, c.rec->last_normalized);
+      tc->Counter(now, trace_pid_, c.rec->trace_rate_name,
+                  c.rec->last_normalized);
     }
   }
   if (std::getenv("CLAIMS_SCHED_DEBUG") != nullptr && node_id_ == 0) {

@@ -1,6 +1,7 @@
 #ifndef CLAIMS_CORE_SCHEDULER_H_
 #define CLAIMS_CORE_SCHEDULER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -93,6 +94,34 @@ struct SchedulerAction {
   std::string shrunk;
 };
 
+/// Point-in-time view of one scheduled segment (monitoring /scheduler).
+struct SegmentSnapshot {
+  std::string name;
+  bool active = false;
+  int parallelism = 0;
+  double normalized_rate = 0.0;  ///< last sampled R_i (0 before first sample)
+  double rate = 0.0;             ///< last sampled T_i, tuples/sec
+  double blocked_in_fraction = 0.0;
+  double blocked_out_fraction = 0.0;
+  bool has_sample = false;
+};
+
+/// Point-in-time view of one node's DynamicScheduler, cheap enough to take
+/// on every monitoring scrape (one mutex, no segment callbacks beyond
+/// active()/parallelism()).
+struct SchedulerSnapshot {
+  int node_id = 0;
+  int num_cores = 0;
+  int cores_in_use = 0;
+  int64_t ticks = 0;          ///< Tick() invocations since construction
+  int64_t last_tick_ns = 0;   ///< clock time of the most recent tick (0: none)
+  /// λ values published/read on the most recent tick; negative when the node
+  /// had no trustworthy sample (infinity does not survive JSON).
+  double last_lambda_local = -1.0;
+  double last_global_lambda = -1.0;
+  std::vector<SegmentSnapshot> segments;
+};
+
 /// The per-node dynamic scheduler (paper §4, Fig. 6; Algorithm 1). Runs as an
 /// independent control loop; each Tick() it
 ///  1. samples every local segment's processing rate T_i and visit rate V_i,
@@ -124,6 +153,14 @@ class DynamicScheduler {
   /// unknown.
   double NormalizedRate(const SchedulableSegment* segment) const;
 
+  /// Live view for the monitoring endpoint (/scheduler) and the watchdog's
+  /// tick-progress probe.
+  SchedulerSnapshot Snapshot() const;
+  /// Ticks executed so far (lock-free; watchdog progress probe).
+  int64_t tick_count() const {
+    return tick_count_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct SegmentRecord {
     SchedulableSegment* segment;
@@ -135,6 +172,9 @@ class DynamicScheduler {
     double blocked_in_fraction = 0.0;
     double blocked_out_fraction = 0.0;
     bool has_sample = false;
+    /// Trace counter-series names, built once instead of per traced tick.
+    std::string trace_parallelism_name;
+    std::string trace_rate_name;
   };
 
   int node_id_;
@@ -155,6 +195,10 @@ class DynamicScheduler {
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<SegmentRecord>> records_;
+  int64_t last_tick_ns_ = 0;           ///< guarded by mu_
+  double last_lambda_local_ = -1.0;    ///< guarded by mu_
+  double last_global_lambda_ = -1.0;   ///< guarded by mu_
+  std::atomic<int64_t> tick_count_{0};
 };
 
 }  // namespace claims

@@ -1,0 +1,197 @@
+#include "net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace claims {
+
+Status ListenSocket::Listen(const std::string& bind_address, int port,
+                            int backlog) {
+  if (fd_ >= 0) return Status::Internal("listener already open");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " + bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal(StrFormat("bind(%s:%d): %s", bind_address.c_str(),
+                                      port, std::strerror(errno)));
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return Status::Internal(StrFormat("listen(): %s", std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  fd_.store(fd, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<int> ListenSocket::Accept() {
+  // Snapshot: Close() from another thread shuts the fd down, which wakes the
+  // blocked accept() with an error that maps to Cancelled below.
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return Status::Cancelled("listener closed");
+  int client = ::accept(fd, nullptr, nullptr);
+  if (client < 0) {
+    if (fd_.load(std::memory_order_acquire) < 0 || errno == EBADF ||
+        errno == EINVAL) {
+      return Status::Cancelled("listener closed");
+    }
+    return Status::Internal(StrFormat("accept(): %s", std::strerror(errno)));
+  }
+  if (fd_.load(std::memory_order_acquire) < 0) {
+    // Closed while this connection sat in the backlog.
+    ::close(client);
+    return Status::Cancelled("listener closed");
+  }
+  return client;
+}
+
+void ListenSocket::Close() {
+  int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd < 0) return;
+  // shutdown() wakes any thread blocked in accept() on Linux; close()
+  // releases the port.
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+bool WriteFully(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+int64_t ReadUntilHeaderEnd(int fd, std::string* out, size_t max_bytes) {
+  char buf[4096];
+  while (out->size() < max_bytes) {
+    size_t scan_from = out->size() >= 3 ? out->size() - 3 : 0;
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return -1;
+    out->append(buf, static_cast<size_t>(n));
+    size_t pos = out->find("\r\n\r\n", scan_from);
+    if (pos != std::string::npos) {
+      return static_cast<int64_t>(out->size() - (pos + 4));
+    }
+  }
+  return -1;
+}
+
+bool ReadExact(int fd, std::string* out, size_t n) {
+  char buf[4096];
+  while (n > 0) {
+    ssize_t r = ::recv(fd, buf, std::min(n, sizeof(buf)), 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;
+    out->append(buf, static_cast<size_t>(r));
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+void CloseSocket(int fd) {
+  if (fd < 0) return;
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+Result<std::string> HttpRoundTrip(const std::string& host, int port,
+                                  const std::string& method,
+                                  const std::string& target,
+                                  const std::string& body) {
+  constexpr size_t kMaxResponse = 8u << 20;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal(StrFormat("connect(%s:%d): %s", host.c_str(),
+                                      port, std::strerror(errno)));
+  }
+  std::string request = StrFormat(
+      "%s %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n"
+      "Content-Length: %zu\r\n\r\n",
+      method.c_str(), target.c_str(), host.c_str(), body.size());
+  request += body;
+  if (!WriteFully(fd, request.data(), request.size())) {
+    CloseSocket(fd);
+    return Status::Internal("short write of HTTP request");
+  }
+  // Connection: close — the full response is everything until EOF.
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      CloseSocket(fd);
+      return Status::Internal(StrFormat("recv(): %s", std::strerror(errno)));
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<size_t>(n));
+    if (response.size() > kMaxResponse) {
+      CloseSocket(fd);
+      return Status::ResourceExhausted("HTTP response exceeds 8 MiB cap");
+    }
+  }
+  CloseSocket(fd);
+  if (response.empty()) return Status::Internal("empty HTTP response");
+  return response;
+}
+
+int ParseHttpResponse(const std::string& raw, std::string* body) {
+  if (raw.rfind("HTTP/1.", 0) != 0) return -1;
+  size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) return -1;
+  int code = std::atoi(raw.c_str() + sp + 1);
+  if (body != nullptr) {
+    size_t end = raw.find("\r\n\r\n");
+    *body = end == std::string::npos ? "" : raw.substr(end + 4);
+  }
+  return code;
+}
+
+}  // namespace claims

@@ -1,0 +1,79 @@
+#ifndef CLAIMS_NET_SOCKET_UTIL_H_
+#define CLAIMS_NET_SOCKET_UTIL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace claims {
+
+/// Thin POSIX TCP wrappers shared by the net fabric and the obs monitor
+/// server (the lowest net layer: depends only on common, so obs can link it
+/// without pulling in the block fabric). All sockets are blocking; callers
+/// that need cancellable accepts close the listener from another thread and
+/// treat the resulting error as shutdown.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { Close(); }
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(ListenSocket);
+
+  /// Binds and listens on `bind_address:port` (IPv4 dotted quad; port 0
+  /// picks an ephemeral port — read it back from port()).
+  Status Listen(const std::string& bind_address, int port, int backlog = 16);
+
+  /// Blocks until a client connects; returns the connected fd (caller owns)
+  /// or a Cancelled status once Close() was called from another thread.
+  Result<int> Accept();
+
+  /// Shuts the listener down; a concurrent Accept() returns Cancelled.
+  /// Idempotent and callable from any thread.
+  void Close();
+
+  bool listening() const { return fd_.load(std::memory_order_acquire) >= 0; }
+  /// Bound port (resolves ephemeral port 0); -1 before Listen.
+  int port() const { return port_; }
+
+ private:
+  /// Atomic: Close() is called from a thread other than the one blocked in
+  /// Accept().
+  std::atomic<int> fd_{-1};
+  int port_ = -1;
+};
+
+/// Writes all of `data` to `fd`, looping over partial writes. False on error
+/// (peer gone); the caller still owns (and must close) the fd.
+bool WriteFully(int fd, const void* data, size_t size);
+
+/// Reads until `\r\n\r\n` (end of HTTP headers) or `max_bytes`, appending to
+/// `*out`. Returns the number of bytes read after the terminator was seen
+/// (so callers can slice a request body prefix), or -1 on error/EOF before
+/// any terminator.
+int64_t ReadUntilHeaderEnd(int fd, std::string* out, size_t max_bytes);
+
+/// Reads exactly `n` more bytes into `*out`; false on premature EOF/error.
+bool ReadExact(int fd, std::string* out, size_t n);
+
+/// Closes a connected fd (shutdown + close); safe on -1.
+void CloseSocket(int fd);
+
+/// Minimal blocking HTTP/1.1 round trip for tests, benches, and the CI smoke
+/// driver: connects to 127.0.0.1-style `host:port`, issues
+/// `<method> <target> HTTP/1.1` with `body` (if non-empty), and returns the
+/// raw response (status line + headers + body). Not a general client — no
+/// chunked encoding, no redirects, 8 MiB response cap.
+Result<std::string> HttpRoundTrip(const std::string& host, int port,
+                                  const std::string& method,
+                                  const std::string& target,
+                                  const std::string& body = "");
+
+/// Splits a raw HTTP response into (status code, body). Returns -1 when the
+/// input is not an HTTP response.
+int ParseHttpResponse(const std::string& raw, std::string* body);
+
+}  // namespace claims
+
+#endif  // CLAIMS_NET_SOCKET_UTIL_H_

@@ -31,6 +31,13 @@ int64_t MetricHistogram::min() const {
   return v == INT64_MAX ? 0 : v;
 }
 
+int64_t MetricHistogram::max() const {
+  // Empty-histogram guard lives here (not in each renderer) so no caller can
+  // ever observe the INT64_MIN sentinel.
+  int64_t v = max_.load(std::memory_order_relaxed);
+  return v == INT64_MIN ? 0 : v;
+}
+
 double MetricHistogram::mean() const {
   int64_t n = count();
   return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
@@ -98,14 +105,34 @@ std::string MetricsRegistry::TextSnapshot() const {
   for (const auto& [name, h] : histograms_) {
     out += StrFormat(
         "hist    %s count=%lld mean=%.0f min=%lld p50=%lld p95=%lld "
-        "max=%lld\n",
+        "p99=%lld max=%lld\n",
         name.c_str(), static_cast<long long>(h->count()), h->mean(),
         static_cast<long long>(h->min()),
         static_cast<long long>(h->Percentile(0.50)),
         static_cast<long long>(h->Percentile(0.95)),
-        static_cast<long long>(h->count() == 0 ? 0 : h->max()));
+        static_cast<long long>(h->Percentile(0.99)),
+        static_cast<long long>(h->max()));
   }
   return out;
+}
+
+void MetricsRegistry::Visit(
+    const std::function<void(const std::string&, const MetricCounter&)>&
+        on_counter,
+    const std::function<void(const std::string&, const MetricGauge&)>&
+        on_gauge,
+    const std::function<void(const std::string&, const MetricHistogram&)>&
+        on_histogram) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (on_counter) {
+    for (const auto& [name, c] : counters_) on_counter(name, *c);
+  }
+  if (on_gauge) {
+    for (const auto& [name, g] : gauges_) on_gauge(name, *g);
+  }
+  if (on_histogram) {
+    for (const auto& [name, h] : histograms_) on_histogram(name, *h);
+  }
 }
 
 void MetricsRegistry::ResetAll() {

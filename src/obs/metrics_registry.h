@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -58,11 +59,22 @@ class MetricHistogram {
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   int64_t min() const;
-  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// 0 on an empty histogram (not the INT64_MIN sentinel).
+  int64_t max() const;
   double mean() const;
   /// Upper bound of the bucket containing the p-quantile, p in [0,1].
   int64_t Percentile(double p) const;
   void Reset();
+
+  /// Occupancy of bucket `i` (non-cumulative), i in [0, kBuckets).
+  int64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Largest value bucket `i` can hold: 0 for bucket 0 (v <= 0), else
+  /// 2^i - 1 (bucket i holds [2^(i-1), 2^i)). Prometheus `le` boundaries.
+  static int64_t BucketUpperBound(int i) {
+    return i == 0 ? 0 : (int64_t{1} << i) - 1;
+  }
 
  private:
   static int BucketOf(int64_t v);
@@ -100,6 +112,18 @@ class MetricsRegistry {
   /// Zeroes every metric (tests; between bench repetitions). Pointers stay
   /// valid.
   void ResetAll();
+
+  /// Visits every registered metric, sorted by name within each kind, while
+  /// holding the registry mutex (callbacks must not call back into the
+  /// registry). The Prometheus exposition in obs/prometheus.h is built on
+  /// this; tests use it to enumerate without parsing TextSnapshot.
+  void Visit(
+      const std::function<void(const std::string&, const MetricCounter&)>&
+          on_counter,
+      const std::function<void(const std::string&, const MetricGauge&)>&
+          on_gauge,
+      const std::function<void(const std::string&, const MetricHistogram&)>&
+          on_histogram) const;
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,231 @@
+#include "obs/monitor_server.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/metrics_registry.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
+
+namespace claims {
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out = StrFormat(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, ReasonPhrase(response.status),
+      response.content_type.c_str(), response.body.size());
+  out += response.body;
+  return out;
+}
+
+/// Parses the request head plus whatever body prefix was already read past
+/// the header terminator. False on malformed input.
+bool ParseRequest(const std::string& raw, HttpRequest* request,
+                  size_t* content_length) {
+  size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) return false;
+  std::vector<std::string> parts = Split(raw.substr(0, line_end), ' ');
+  if (parts.size() != 3 || parts[2].rfind("HTTP/1.", 0) != 0) return false;
+  request->method = ToUpper(parts[0]);
+  std::string target = parts[1];
+  size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    request->path = target;
+  } else {
+    request->path = target.substr(0, qmark);
+    request->query = target.substr(qmark + 1);
+  }
+  if (request->path.empty() || request->path[0] != '/') return false;
+
+  *content_length = 0;
+  size_t header_end = raw.find("\r\n\r\n");
+  size_t pos = line_end + 2;
+  while (pos < header_end) {
+    size_t eol = raw.find("\r\n", pos);
+    std::string_view line(raw.data() + pos, eol - pos);
+    size_t colon = line.find(':');
+    if (colon != std::string_view::npos &&
+        EqualsIgnoreCase(Trim(line.substr(0, colon)), "content-length")) {
+      *content_length = static_cast<size_t>(
+          std::atoll(std::string(Trim(line.substr(colon + 1))).c_str()));
+    }
+    pos = eol + 2;
+  }
+  request->body = raw.substr(header_end + 4);
+  return true;
+}
+
+}  // namespace
+
+MonitorOptions MonitorOptions::FromEnv(MonitorOptions base) {
+  const char* port = std::getenv("CLAIMS_MONITOR_PORT");
+  if (port != nullptr && port[0] != '\0') {
+    base.enabled = true;
+    base.port = std::atoi(port);
+  }
+  return base;
+}
+
+MonitorServer::MonitorServer(MonitorOptions options)
+    : options_(std::move(options)),
+      requests_metric_(MetricsRegistry::Global()->counter("monitor.requests")),
+      errors_metric_(
+          MetricsRegistry::Global()->counter("monitor.http_errors")) {
+  RegisterBuiltinRoutes();
+}
+
+MonitorServer::~MonitorServer() { Stop(); }
+
+void MonitorServer::RegisterBuiltinRoutes() {
+  AddHandler("GET", "/healthz", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+  AddHandler("GET", "/metrics", [](const HttpRequest&) {
+    return HttpResponse{200, kPrometheusContentType,
+                        PrometheusSnapshot(*MetricsRegistry::Global())};
+  });
+  AddHandler("POST", "/flight-recorder/dump", [](const HttpRequest&) {
+    TraceCollector* tc = TraceCollector::Global();
+    return HttpResponse::Json(tc->ToChromeJson());
+  });
+  AddHandler("GET", "/", [this](const HttpRequest&) {
+    std::string body = "claims monitor\n\nroutes:\n";
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    for (const auto& [key, handler] : handlers_) {
+      body += StrFormat("  %-4s %s\n", key.first.c_str(), key.second.c_str());
+    }
+    return HttpResponse{200, "text/plain; charset=utf-8", std::move(body)};
+  });
+}
+
+Status MonitorServer::Start() {
+  if (!options_.enabled) return Status::OK();
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::Internal("monitor server already running");
+  }
+  CLAIMS_RETURN_IF_ERROR(
+      listener_.Listen(options_.bind_address, options_.port));
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptorMain(); });
+  CLAIMS_LOG(Info) << "monitor listening on http://" << options_.bind_address
+                   << ":" << listener_.port();
+  return Status::OK();
+}
+
+void MonitorServer::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  running_.store(false, std::memory_order_release);
+  listener_.Close();  // wakes the blocked accept()
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+bool MonitorServer::running() const {
+  return running_.load(std::memory_order_acquire);
+}
+
+int MonitorServer::port() const {
+  return running() ? listener_.port() : -1;
+}
+
+void MonitorServer::AddHandler(const std::string& method,
+                               const std::string& path, Handler handler) {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  handlers_[{ToUpper(method), path}] = std::move(handler);
+}
+
+void MonitorServer::RemoveHandler(const std::string& method,
+                                  const std::string& path) {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  handlers_.erase({ToUpper(method), path});
+}
+
+HttpResponse MonitorServer::Dispatch(const HttpRequest& request) const {
+  Handler handler;
+  bool path_known = false;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    auto it = handlers_.find({request.method, request.path});
+    if (it != handlers_.end()) {
+      handler = it->second;
+    } else {
+      for (const auto& [key, h] : handlers_) {
+        if (key.second == request.path) {
+          path_known = true;
+          break;
+        }
+      }
+    }
+  }
+  if (handler == nullptr) {
+    return path_known
+               ? HttpResponse{405, "text/plain; charset=utf-8",
+                              "method not allowed\n"}
+               : HttpResponse::NotFound("no route " + request.path + "\n");
+  }
+  return handler(request);
+}
+
+void MonitorServer::AcceptorMain() {
+  for (;;) {
+    Result<int> client = listener_.Accept();
+    if (!client.ok()) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      // Transient accept error (e.g. aborted connection): keep serving.
+      continue;
+    }
+    ServeConnection(client.value());
+    CloseSocket(client.value());
+    if (!running_.load(std::memory_order_acquire)) return;
+  }
+}
+
+void MonitorServer::ServeConnection(int fd) {
+  requests_metric_->Add();
+  std::string raw;
+  int64_t past_header = ReadUntilHeaderEnd(fd, &raw, options_.max_request_bytes);
+  HttpRequest request;
+  size_t content_length = 0;
+  if (past_header < 0 || !ParseRequest(raw, &request, &content_length)) {
+    errors_metric_->Add();
+    HttpResponse bad{400, "text/plain; charset=utf-8", "bad request\n"};
+    std::string wire = SerializeResponse(bad);
+    WriteFully(fd, wire.data(), wire.size());
+    return;
+  }
+  if (content_length > options_.max_request_bytes) {
+    errors_metric_->Add();
+    HttpResponse big{413, "text/plain; charset=utf-8", "body too large\n"};
+    std::string wire = SerializeResponse(big);
+    WriteFully(fd, wire.data(), wire.size());
+    return;
+  }
+  if (request.body.size() < content_length &&
+      !ReadExact(fd, &request.body, content_length - request.body.size())) {
+    errors_metric_->Add();
+    return;  // peer hung up mid-body; nothing to answer
+  }
+  HttpResponse response = Dispatch(request);
+  if (response.status >= 400) errors_metric_->Add();
+  std::string wire = SerializeResponse(response);
+  WriteFully(fd, wire.data(), wire.size());
+}
+
+}  // namespace claims

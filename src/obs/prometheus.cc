@@ -1,0 +1,146 @@
+#include "obs/prometheus.h"
+
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace claims {
+namespace {
+
+/// Splits "name:instance" at the first colon; the instance part is empty
+/// when there is no label.
+std::pair<std::string, std::string> SplitInstance(const std::string& name) {
+  size_t colon = name.find(':');
+  if (colon == std::string::npos) return {name, ""};
+  return {name.substr(0, colon), name.substr(colon + 1)};
+}
+
+/// One sample line: name{instance="..."} value.
+void AppendSample(std::string* out, const std::string& series,
+                  const std::string& instance, const std::string& value) {
+  *out += series;
+  if (!instance.empty()) {
+    *out += "{instance=\"";
+    *out += PrometheusEscapeLabel(instance);
+    *out += "\"}";
+  }
+  *out += ' ';
+  *out += value;
+  *out += '\n';
+}
+
+void AppendType(std::string* out, std::set<std::string>* typed,
+                const std::string& series, const char* type) {
+  if (typed->insert(series).second) {
+    *out += "# TYPE ";
+    *out += series;
+    *out += ' ';
+    *out += type;
+    *out += '\n';
+  }
+}
+
+std::string FormatDouble(double v) {
+  // Integral gauges print without a fraction (cleaner diffs, same parse).
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      v < 9.0e15 && v > -9.0e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.9g", v);
+}
+
+}  // namespace
+
+const char kPrometheusContentType[] =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+std::string PrometheusSanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+std::string PrometheusEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusSnapshot(const MetricsRegistry& registry) {
+  std::string out;
+  std::set<std::string> typed;  // series that already have a # TYPE line
+  registry.Visit(
+      [&](const std::string& name, const MetricCounter& c) {
+        auto [base, instance] = SplitInstance(name);
+        std::string series = PrometheusSanitizeName(base);
+        AppendType(&out, &typed, series, "counter");
+        AppendSample(&out, series, instance,
+                     StrFormat("%lld", static_cast<long long>(c.value())));
+      },
+      [&](const std::string& name, const MetricGauge& g) {
+        auto [base, instance] = SplitInstance(name);
+        std::string series = PrometheusSanitizeName(base);
+        AppendType(&out, &typed, series, "gauge");
+        AppendSample(&out, series, instance, FormatDouble(g.value()));
+      },
+      [&](const std::string& name, const MetricHistogram& h) {
+        auto [base, instance] = SplitInstance(name);
+        std::string series = PrometheusSanitizeName(base);
+        AppendType(&out, &typed, series, "histogram");
+        std::string label_prefix =
+            instance.empty()
+                ? std::string("{le=\"")
+                : "{instance=\"" + PrometheusEscapeLabel(instance) +
+                      "\",le=\"";
+        // Snapshot the buckets once so the cumulative series and the +Inf /
+        // _count samples stay internally consistent even while writers are
+        // recording concurrently (scrapers reject a +Inf != _count).
+        int64_t counts[MetricHistogram::kBuckets];
+        int64_t total = 0;
+        for (int b = 0; b < MetricHistogram::kBuckets; ++b) {
+          counts[b] = h.bucket_count(b);
+          total += counts[b];
+        }
+        // Emit up to the highest occupied boundary; everything above is
+        // represented by the +Inf bucket.
+        int top = MetricHistogram::kBuckets - 1;
+        while (top > 0 && counts[top] == 0) --top;
+        int64_t cumulative = 0;
+        for (int b = 0; b <= top; ++b) {
+          cumulative += counts[b];
+          out += series;
+          out += "_bucket";
+          out += label_prefix;
+          out += StrFormat(
+              "%lld", static_cast<long long>(
+                          MetricHistogram::BucketUpperBound(b)));
+          out += StrFormat("\"} %lld\n", static_cast<long long>(cumulative));
+        }
+        out += series;
+        out += "_bucket";
+        out += label_prefix;
+        out += StrFormat("+Inf\"} %lld\n", static_cast<long long>(total));
+        AppendSample(&out, series + "_sum", instance,
+                     StrFormat("%lld", static_cast<long long>(h.sum())));
+        AppendSample(&out, series + "_count", instance,
+                     StrFormat("%lld", static_cast<long long>(total)));
+      });
+  return out;
+}
+
+}  // namespace claims

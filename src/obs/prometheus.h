@@ -1,0 +1,33 @@
+#ifndef CLAIMS_OBS_PROMETHEUS_H_
+#define CLAIMS_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace claims {
+
+/// Maps a registry metric name to Prometheus conventions: the part before
+/// the first ':' is the series name — dots become underscores and any other
+/// character outside [a-zA-Z0-9_] is replaced by '_' (a leading digit gains
+/// a '_' prefix); the part after the colon, when present, becomes an
+/// `instance` label ("buffer.peak:S1@n0" → `buffer_peak{instance="S1@n0"}`).
+std::string PrometheusSanitizeName(const std::string& name);
+
+/// Escapes a label value per the exposition format: backslash, double quote,
+/// and newline.
+std::string PrometheusEscapeLabel(const std::string& value);
+
+/// Renders the whole registry in the Prometheus text exposition format
+/// (version 0.0.4): counters and gauges as single samples, histograms as
+/// cumulative `_bucket{le="..."}` series over the log2 bucket boundaries
+/// (trailing empty buckets elided) plus `_sum`, `_count`, and a `+Inf`
+/// bucket. `# TYPE` lines are emitted once per series name.
+std::string PrometheusSnapshot(const MetricsRegistry& registry);
+
+/// Content-Type the exposition format is served under.
+extern const char kPrometheusContentType[];
+
+}  // namespace claims
+
+#endif  // CLAIMS_OBS_PROMETHEUS_H_

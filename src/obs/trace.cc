@@ -1,32 +1,20 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/string_util.h"
+#include "obs/metrics_registry.h"
+
 namespace claims {
 namespace {
 
-/// JSON string escaping for event names and string args.
+/// JSON string escaping for event names and string args (shared helper).
 void AppendEscaped(std::string* out, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\r': *out += "\\r"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
+  AppendJsonEscaped(out, s);
 }
 
 void AppendNumber(std::string* out, double v) {
@@ -46,9 +34,35 @@ void AppendNumber(std::string* out, double v) {
 
 }  // namespace
 
+TraceCollector::TraceCollector()
+    : dropped_metric_(
+          MetricsRegistry::Global()->counter("trace.dropped_events")) {}
+
 TraceCollector* TraceCollector::Global() {
   static TraceCollector* collector = new TraceCollector;
   return collector;
+}
+
+void TraceCollector::ConfigureFlightRecorder(size_t event_capacity) {
+  // Take every shard lock so in-flight emitters finish against the old
+  // geometry before the rings are rebuilt.
+  std::array<std::unique_lock<std::mutex>, kShards> locks;
+  for (int i = 0; i < kShards; ++i) {
+    locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
+  }
+  const size_t per_shard =
+      event_capacity == 0
+          ? 0
+          : std::max<size_t>(1, event_capacity / kShards);
+  ring_capacity_per_shard_.store(per_shard, std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    shard.events.clear();
+    shard.events.shrink_to_fit();
+    if (per_shard > 0) shard.events.reserve(per_shard);
+    shard.ring_pos = 0;
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  next_seq_.store(0, std::memory_order_relaxed);
 }
 
 int64_t TraceCollector::CurrentThreadId() {
@@ -63,7 +77,17 @@ void TraceCollector::Emit(TraceEvent ev) {
   ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = shards_[ev.tid % kShards];
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.events.push_back(std::move(ev));
+  // Capacity is re-read under the shard lock: ConfigureFlightRecorder holds
+  // every shard lock while changing it, so the value cannot move under us.
+  const size_t cap = ring_capacity_per_shard_.load(std::memory_order_relaxed);
+  if (cap > 0 && shard.events.size() >= cap) {
+    shard.events[shard.ring_pos] = std::move(ev);
+    shard.ring_pos = (shard.ring_pos + 1) % cap;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    dropped_metric_->Add();
+  } else {
+    shard.events.push_back(std::move(ev));
+  }
 }
 
 void TraceCollector::Instant(int64_t ts_ns, int pid, const char* category,
@@ -135,6 +159,7 @@ void TraceCollector::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.events.clear();
+    shard.ring_pos = 0;
   }
   // Fresh capture, fresh order: nothing references the dropped events, so
   // sequence numbers may restart at zero.
@@ -210,6 +235,15 @@ Status TraceCollector::WriteChromeJson(const std::string& path) const {
 }
 
 TraceEnvScope::TraceEnvScope() {
+  // CLAIMS_TRACE_RING=<events> bounds the capture to a flight-recorder ring
+  // (continuous tracing under load); composes with CLAIMS_TRACE and with the
+  // monitor's POST /flight-recorder/dump endpoint.
+  const char* ring = std::getenv("CLAIMS_TRACE_RING");
+  if (ring != nullptr && ring[0] != '\0') {
+    TraceCollector::Global()->ConfigureFlightRecorder(
+        static_cast<size_t>(std::atoll(ring)));
+    TraceCollector::Global()->Enable();
+  }
   const char* path = std::getenv("CLAIMS_TRACE");
   if (path == nullptr || path[0] == '\0') return;
   path_ = path;

@@ -79,9 +79,11 @@ struct TraceEvent {
 /// relaxed atomic load; when disabled every emit helper is a branch and
 /// nothing — no lock, no allocation — which keeps the hooks compiled into
 /// hot paths (scheduler tick, block send) effectively free.
+class MetricCounter;
+
 class TraceCollector {
  public:
-  TraceCollector() = default;
+  TraceCollector();
   CLAIMS_DISALLOW_COPY_AND_ASSIGN(TraceCollector);
 
   /// Process-wide collector every subsystem emits into by default.
@@ -94,6 +96,24 @@ class TraceCollector {
   void Enable() { enabled_.store(true, std::memory_order_release); }
   void Disable() { enabled_.store(false, std::memory_order_release); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Flight-recorder mode (the monitoring plane's always-on capture): bounds
+  /// the collector to roughly `event_capacity` events split across the
+  /// shards; once a shard's ring is full each new event overwrites the
+  /// oldest and the dropped-event counter ("trace.dropped_events" in the
+  /// MetricsRegistry) increments — memory stays bounded under sustained
+  /// load and a Snapshot()/dump always holds the most recent window.
+  /// Clears any buffered events; capacity 0 restores unbounded capture.
+  /// Does not toggle enabled().
+  void ConfigureFlightRecorder(size_t event_capacity);
+  /// Total configured ring capacity (0 = unbounded capture mode).
+  size_t flight_recorder_capacity() const {
+    return ring_capacity_per_shard_.load(std::memory_order_relaxed) * kShards;
+  }
+  /// Events overwritten since the ring was configured (0 when unbounded).
+  int64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Records `ev`, stamping its global sequence number. If `ev.tid` is the
   /// default 0 the calling thread's id is filled in. No-op when disabled.
@@ -127,10 +147,17 @@ class TraceCollector {
   struct Shard {
     mutable std::mutex mu;
     std::vector<TraceEvent> events;
+    /// Next overwrite position once the ring is full (flight recorder only).
+    size_t ring_pos = 0;
   };
 
   std::atomic<bool> enabled_{false};
   std::atomic<int64_t> next_seq_{0};
+  /// Per-shard ring bound; 0 = unbounded. Written under all shard locks,
+  /// read under the target shard's lock on the emit path.
+  std::atomic<size_t> ring_capacity_per_shard_{0};
+  std::atomic<int64_t> dropped_{0};
+  MetricCounter* dropped_metric_;  ///< resolved once in the constructor
   Shard shards_[kShards];
 };
 

@@ -1,0 +1,204 @@
+#include "wlm/introspection.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace claims {
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  AppendJsonEscaped(out, s);
+  out->push_back('"');
+}
+
+/// JSON has no Infinity/NaN; the snapshots pre-sanitize λ to -1, this guards
+/// everything else.
+std::string JsonNumber(double v) {
+  if (v != v || v > 1e300 || v < -1e300) return "-1";
+  return StrFormat("%.6g", v);
+}
+
+}  // namespace
+
+IntrospectionOptions IntrospectionOptions::FromEnv(IntrospectionOptions base) {
+  base.monitor = MonitorOptions::FromEnv(base.monitor);
+  const char* ring = std::getenv("CLAIMS_TRACE_RING");
+  if (ring != nullptr && ring[0] != '\0') {
+    base.flight_recorder_capacity =
+        static_cast<size_t>(std::atoll(ring));
+  }
+  const char* wd = std::getenv("CLAIMS_WATCHDOG");
+  if (wd != nullptr && wd[0] != '\0' && wd[0] != '0') {
+    base.enable_watchdog = true;
+  }
+  return base;
+}
+
+IntrospectionPlane::IntrospectionPlane(QueryService* service,
+                                       IntrospectionOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      monitor_(options_.monitor),
+      watchdog_(options_.watchdog) {
+  RegisterRoutes();
+  RegisterProbes();
+}
+
+IntrospectionPlane::~IntrospectionPlane() { Stop(); }
+
+Status IntrospectionPlane::Start() {
+  if (options_.flight_recorder_capacity > 0) {
+    TraceCollector* tc = TraceCollector::Global();
+    tc->ConfigureFlightRecorder(options_.flight_recorder_capacity);
+    tc->Enable();
+  }
+  CLAIMS_RETURN_IF_ERROR(monitor_.Start());
+  if (options_.enable_watchdog) watchdog_.Start();
+  return Status::OK();
+}
+
+void IntrospectionPlane::Stop() {
+  watchdog_.Stop();
+  monitor_.Stop();
+}
+
+void IntrospectionPlane::RegisterRoutes() {
+  monitor_.AddHandler("GET", "/queries", [this](const HttpRequest&) {
+    return HttpResponse::Json(QueriesJson());
+  });
+  monitor_.AddHandler("GET", "/scheduler", [this](const HttpRequest&) {
+    return HttpResponse::Json(SchedulerJson());
+  });
+}
+
+void IntrospectionPlane::RegisterProbes() {
+  // Tuples-emitted progress over the running set. The value folds in the
+  // running query ids so it moves whenever the *set* changes; it pins only
+  // when the same queries sit there emitting nothing — the stall.
+  watchdog_.AddProgressProbe("wlm.query_progress", [this]() -> int64_t {
+    int64_t value = 0;
+    bool any_running = false;
+    for (const QueryInfo& q : service_->ListQueries()) {
+      if (q.state != QueryState::kRunning) continue;
+      any_running = true;
+      value += q.tuples_emitted + 31 * static_cast<int64_t>(q.id);
+    }
+    return any_running ? value : StallWatchdog::kInactive;
+  });
+
+  // Scheduler-tick progress per node, active only while queries run (the
+  // control loops tick for the service's whole lifetime, but an operator
+  // stopping them between workloads is not an anomaly worth paging on).
+  Cluster* cluster = service_->cluster();
+  for (int node = 0; node < cluster->num_nodes(); ++node) {
+    DynamicScheduler* sched = cluster->scheduler(node);
+    watchdog_.AddProgressProbe(
+        StrFormat("scheduler.node%d.ticks", node), [this, sched]() -> int64_t {
+          if (service_->admission()->running() == 0) {
+            return StallWatchdog::kInactive;
+          }
+          return sched->tick_count();
+        });
+  }
+
+  // Deadline breach: a query still RUNNING a full stall-window past its
+  // absolute deadline means cooperative cancellation wedged somewhere.
+  const int64_t grace_ns = options_.watchdog.stall_window_ns;
+  watchdog_.AddConditionProbe("wlm.deadline_breach", [this, grace_ns]() {
+    const int64_t now = SteadyClock::Default()->NowNanos();
+    for (const QueryInfo& q : service_->ListQueries()) {
+      if (q.state != QueryState::kRunning || q.deadline_ns <= 0) continue;
+      if (now - q.deadline_ns > grace_ns) {
+        return StrFormat(
+            "query %llu (%s) is %.2f s past its deadline and still running",
+            static_cast<unsigned long long>(q.id), q.label.c_str(),
+            (now - q.deadline_ns) / 1e9);
+      }
+    }
+    return std::string();
+  });
+}
+
+std::string IntrospectionPlane::QueriesJson() const {
+  const int64_t now = SteadyClock::Default()->NowNanos();
+  AdmissionController* adm = service_->admission();
+  std::string out = StrFormat(
+      "{\"now_ns\":%lld,\"queue_depth\":%zu,"
+      "\"admission\":{\"running\":%d,\"cores_in_flight\":%d,"
+      "\"memory_in_flight\":%lld,\"max_concurrent\":%d},"
+      "\"queries\":[",
+      static_cast<long long>(now), service_->queue_depth(), adm->running(),
+      adm->cores_in_flight(), static_cast<long long>(adm->memory_in_flight()),
+      adm->options().max_concurrent);
+  bool first = true;
+  for (const QueryInfo& q : service_->ListQueries()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += StrFormat("{\"id\":%llu,\"label\":",
+                     static_cast<unsigned long long>(q.id));
+    AppendJsonString(&out, q.label);
+    out += StrFormat(
+        ",\"state\":\"%s\",\"priority\":%d,\"submit_ns\":%lld,"
+        "\"queue_wait_ns\":%lld,\"run_ns\":%lld,\"deadline_ns\":%lld,"
+        "\"tuples_emitted\":%lld,\"tuples_consumed\":%lld,"
+        "\"live_segments\":%d,\"status\":",
+        QueryStateName(q.state), q.priority,
+        static_cast<long long>(q.submit_ns),
+        static_cast<long long>(q.queue_wait_ns),
+        static_cast<long long>(q.run_ns),
+        static_cast<long long>(q.deadline_ns),
+        static_cast<long long>(q.tuples_emitted),
+        static_cast<long long>(q.tuples_consumed), q.live_segments);
+    AppendJsonString(&out, q.status);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+std::string IntrospectionPlane::SchedulerJson() const {
+  Cluster* cluster = service_->cluster();
+  std::string out = "{\"nodes\":[";
+  double global_lambda = -1.0;
+  for (int node = 0; node < cluster->num_nodes(); ++node) {
+    SchedulerSnapshot snap = cluster->scheduler(node)->Snapshot();
+    if (snap.last_global_lambda >= 0) {
+      global_lambda = snap.last_global_lambda;
+    }
+    if (node > 0) out.push_back(',');
+    out += StrFormat(
+        "{\"node\":%d,\"num_cores\":%d,\"cores_in_use\":%d,\"ticks\":%lld,"
+        "\"last_tick_ns\":%lld,\"lambda_local\":%s,\"segments\":[",
+        snap.node_id, snap.num_cores, snap.cores_in_use,
+        static_cast<long long>(snap.ticks),
+        static_cast<long long>(snap.last_tick_ns),
+        JsonNumber(snap.last_lambda_local).c_str());
+    bool first = true;
+    for (const SegmentSnapshot& seg : snap.segments) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"name\":";
+      AppendJsonString(&out, seg.name);
+      out += StrFormat(
+          ",\"active\":%s,\"parallelism\":%d,\"normalized_rate\":%s,"
+          "\"rate\":%s,\"blocked_in\":%s,\"blocked_out\":%s,"
+          "\"has_sample\":%s}",
+          seg.active ? "true" : "false", seg.parallelism,
+          JsonNumber(seg.normalized_rate).c_str(),
+          JsonNumber(seg.rate).c_str(),
+          JsonNumber(seg.blocked_in_fraction).c_str(),
+          JsonNumber(seg.blocked_out_fraction).c_str(),
+          seg.has_sample ? "true" : "false");
+    }
+    out += "]}";
+  }
+  out += StrFormat("],\"global_lambda\":%s}", JsonNumber(global_lambda).c_str());
+  return out;
+}
+
+}  // namespace claims

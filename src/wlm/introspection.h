@@ -1,0 +1,89 @@
+#ifndef CLAIMS_WLM_INTROSPECTION_H_
+#define CLAIMS_WLM_INTROSPECTION_H_
+
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "obs/monitor_server.h"
+#include "obs/watchdog.h"
+#include "wlm/query_service.h"
+
+namespace claims {
+
+/// Configuration of the whole introspection plane. Like MonitorOptions,
+/// everything defaults to OFF: a default-constructed plane starts no server,
+/// no watchdog thread, and leaves tracing untouched.
+struct IntrospectionOptions {
+  MonitorOptions monitor;
+  /// Start the stall watchdog alongside the monitor.
+  bool enable_watchdog = false;
+  WatchdogOptions watchdog;
+  /// When > 0: put the global TraceCollector into flight-recorder mode with
+  /// this many ring slots and enable it, so /flight-recorder/dump and
+  /// watchdog incidents always have a bounded recent-events window.
+  size_t flight_recorder_capacity = 0;
+
+  /// Environment overlay:
+  ///   CLAIMS_MONITOR_PORT=<port>   enable the monitor (0 = ephemeral)
+  ///   CLAIMS_TRACE_RING=<events>   flight-recorder capacity (handled by
+  ///                                TraceEnvScope too; here for servers
+  ///                                that construct the plane directly)
+  ///   CLAIMS_WATCHDOG=1            enable the stall watchdog
+  static IntrospectionOptions FromEnv(IntrospectionOptions base);
+  static IntrospectionOptions FromEnv() {
+    return FromEnv(IntrospectionOptions());
+  }
+};
+
+/// Ties the observability primitives to the running system: owns a
+/// MonitorServer and a StallWatchdog, registers the workload-manager routes
+///
+///   GET /queries    live query inventory (QueryService::ListQueries)
+///   GET /scheduler  per-node DynamicScheduler snapshots (cores in use,
+///                   live segments, parallelism, last λ and R_i)
+///
+/// and wires the watchdog probes:
+///   * scheduler-tick progress per node (active only while queries run —
+///     an idle scheduler parks between ticks and must not alarm);
+///   * per-query tuples-emitted progress for every running query;
+///   * a deadline-breach condition (running past its absolute deadline by
+///     more than the stall window means cooperative cancellation wedged).
+///
+/// This lives in wlm — the top of the dependency stack — precisely so the
+/// obs layer needs no knowledge of queries, schedulers, or clusters.
+class IntrospectionPlane {
+ public:
+  IntrospectionPlane(QueryService* service, IntrospectionOptions options);
+  ~IntrospectionPlane();
+
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(IntrospectionPlane);
+
+  /// Starts whatever the options enable. Idempotent per component; a fully
+  /// disabled plane is a no-op returning OK.
+  Status Start();
+  /// Stops watchdog then monitor. Idempotent; the destructor calls it.
+  void Stop();
+
+  MonitorServer* monitor() { return &monitor_; }
+  StallWatchdog* watchdog() { return &watchdog_; }
+
+  /// JSON bodies of the registered routes (exposed for tests; the HTTP
+  /// handlers return exactly these strings).
+  std::string QueriesJson() const;
+  std::string SchedulerJson() const;
+
+ private:
+  void RegisterRoutes();
+  void RegisterProbes();
+
+  QueryService* service_;
+  IntrospectionOptions options_;
+  MonitorServer monitor_;
+  StallWatchdog watchdog_;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_WLM_INTROSPECTION_H_

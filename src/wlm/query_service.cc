@@ -104,6 +104,17 @@ int64_t QueryHandle::latency_ns() const {
   return done_ns_ > 0 ? done_ns_ - submit_ns_ : 0;
 }
 
+ExecProgress QueryHandle::progress() const {
+  Executor* executor = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    executor = executor_.get();
+  }
+  // executor_ lives from dispatch until the handle dies (see member
+  // comment), so the pointer stays valid after mu_ is dropped.
+  return executor != nullptr ? executor->Progress() : ExecProgress{};
+}
+
 void QueryHandle::Complete(Status status, ResultSet result,
                            ExecutionReport report, int64_t done_ns) {
   {
@@ -216,6 +227,55 @@ void QueryService::Shutdown(bool cancel_pending) {
 size_t QueryService::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+std::vector<QueryInfo> QueryService::ListQueries() const {
+  const int64_t now = SteadyClock::Default()->NowNanos();
+  std::vector<QueryHandlePtr> handles;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handles.reserve(running_.size() + queue_.size() + recent_done_.size());
+    handles.insert(handles.end(), running_.begin(), running_.end());
+    handles.insert(handles.end(), queue_.begin(), queue_.end());
+    // Newest completion first.
+    handles.insert(handles.end(), recent_done_.rbegin(), recent_done_.rend());
+  }
+  std::vector<QueryInfo> out;
+  out.reserve(handles.size());
+  for (const QueryHandlePtr& h : handles) {
+    QueryInfo info;
+    info.id = h->id_;
+    info.label = h->label_;
+    info.priority = h->priority();
+    info.submit_ns = h->submit_ns_;
+    info.deadline_ns = h->deadline_ns();
+    Executor* executor = nullptr;
+    {
+      std::lock_guard<std::mutex> hl(h->mu_);
+      info.state = h->state_;
+      if (h->dispatch_ns_ > 0) {
+        info.queue_wait_ns = h->dispatch_ns_ - h->submit_ns_;
+        info.run_ns =
+            (h->done_ns_ > 0 ? h->done_ns_ : now) - h->dispatch_ns_;
+      } else {
+        // Still queued, or reaped without running.
+        info.queue_wait_ns =
+            (h->done_ns_ > 0 ? h->done_ns_ : now) - h->submit_ns_;
+      }
+      if (h->state_ == QueryState::kDone) info.status = h->status_.ToString();
+      executor = h->executor_.get();
+    }
+    if (executor != nullptr) {
+      // Safe after dropping handle mu_: executor_ lives until the handle
+      // dies, and we hold the shared_ptr.
+      ExecProgress p = executor->Progress();
+      info.tuples_emitted = p.tuples_emitted;
+      info.tuples_consumed = p.tuples_consumed;
+      info.live_segments = p.live_segments;
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
 }
 
 void QueryService::WorkerMain() {
@@ -345,7 +405,7 @@ void QueryService::RunQuery(const QueryHandlePtr& handle) {
   admission_.Release(handle->demand_);
   handle->Complete(std::move(status), std::move(result), std::move(report),
                    done_ns);
-  RecordCompletion(*handle);
+  RecordCompletion(handle);
   {
     std::lock_guard<std::mutex> lock(mu_);
     running_.erase(std::remove(running_.begin(), running_.end(), handle),
@@ -358,11 +418,11 @@ void QueryService::RunQuery(const QueryHandlePtr& handle) {
 void QueryService::CompleteUnrun(const QueryHandlePtr& handle, Status status) {
   handle->Complete(std::move(status), ResultSet(), ExecutionReport(),
                    SteadyClock::Default()->NowNanos());
-  RecordCompletion(*handle);
+  RecordCompletion(handle);
 }
 
-void QueryService::RecordCompletion(const QueryHandle& handle) {
-  switch (handle.status().code()) {
+void QueryService::RecordCompletion(const QueryHandlePtr& handle) {
+  switch (handle->status().code()) {
     case StatusCode::kOk:
       completed_metric_->Add();
       break;
@@ -376,8 +436,13 @@ void QueryService::RecordCompletion(const QueryHandle& handle) {
       failed_metric_->Add();
       break;
   }
-  queue_wait_metric_->Record(handle.queue_wait_ns());
-  latency_metric_->Record(handle.latency_ns());
+  queue_wait_metric_->Record(handle->queue_wait_ns());
+  latency_metric_->Record(handle->latency_ns());
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_done_.push_back(handle);
+  if (recent_done_.size() > kRecentDoneCap) {
+    recent_done_.erase(recent_done_.begin());
+  }
 }
 
 }  // namespace claims

@@ -76,6 +76,16 @@ class QueryHandle {
   /// Client-visible latency: submission → done.
   int64_t latency_ns() const;
 
+  // --- Live introspection (valid in any state; sampled by /queries) --------
+
+  int64_t submit_ns() const { return submit_ns_; }
+  /// Absolute SteadyClock deadline (submit + timeout); 0 when none.
+  int64_t deadline_ns() const {
+    return options_.timeout_ns > 0 ? submit_ns_ + options_.timeout_ns : 0;
+  }
+  /// Execution progress; all-zero before dispatch / for unrun queries.
+  ExecProgress progress() const;
+
  private:
   friend class QueryService;
 
@@ -119,6 +129,23 @@ struct QueryServiceOptions {
   size_t max_queue_depth = 0;
 };
 
+/// One row of the live query inventory served at /queries. Everything is a
+/// point-in-time sample: a query can finish between ListQueries and use.
+struct QueryInfo {
+  uint64_t id = 0;
+  std::string label;
+  QueryState state = QueryState::kQueued;
+  int priority = 0;
+  int64_t submit_ns = 0;
+  int64_t queue_wait_ns = 0;  ///< so-far for queued, final once dispatched
+  int64_t run_ns = 0;         ///< dispatch → now (or → done); 0 while queued
+  int64_t deadline_ns = 0;    ///< absolute; 0 = none
+  int64_t tuples_emitted = 0;
+  int64_t tuples_consumed = 0;
+  int live_segments = 0;
+  std::string status;  ///< terminal status string; empty until kDone
+};
+
 /// The workload manager in front of the cluster (the subsystem the paper
 /// defers to as "multi-query scheduling", §7): accepts prioritized query
 /// submissions, gates them through an AdmissionController, and executes the
@@ -153,6 +180,11 @@ class QueryService {
   AdmissionController* admission() { return &admission_; }
   Cluster* cluster() { return cluster_; }
 
+  /// Point-in-time inventory of queued and running queries plus the most
+  /// recently completed ones (bounded ring), newest-submission first within
+  /// each state. Safe to call from any thread at scrape frequency.
+  std::vector<QueryInfo> ListQueries() const;
+
  private:
   void WorkerMain();
   /// Picks the dispatchable queued query under mu_: reaps cancelled/expired
@@ -163,7 +195,8 @@ class QueryService {
   void RunQuery(const QueryHandlePtr& handle);
   /// Completes a query that never ran and records its metrics.
   void CompleteUnrun(const QueryHandlePtr& handle, Status status);
-  void RecordCompletion(const QueryHandle& handle);
+  /// Records terminal metrics and remembers the handle in recent_done_.
+  void RecordCompletion(const QueryHandlePtr& handle);
 
   Cluster* cluster_;
   QueryServiceOptions options_;
@@ -183,6 +216,9 @@ class QueryService {
   std::condition_variable backpressure_cv_;  ///< submitters: queue has room
   std::vector<QueryHandlePtr> queue_;
   std::vector<QueryHandlePtr> running_;
+  /// Most recent completions, oldest first, for the /queries inventory.
+  std::vector<QueryHandlePtr> recent_done_;
+  static constexpr size_t kRecentDoneCap = 32;
   bool shutdown_ = false;
   bool cancel_pending_on_shutdown_ = false;
   uint64_t next_id_ = 1;

@@ -287,5 +287,41 @@ TEST(DynamicSchedulerTest, PublishesLocalLambda) {
   EXPECT_NEAR(board.GlobalLambda(), 120.0, 1.0);
 }
 
+TEST(DynamicSchedulerTest, SnapshotReflectsTicksLambdaAndSegments) {
+  FakeClock clock;
+  GlobalThroughputBoard board;
+  DynamicScheduler sched(3, TestOptions(8), &clock, &board);
+
+  // Before any tick: empty but well-formed.
+  SchedulerSnapshot snap = sched.Snapshot();
+  EXPECT_EQ(snap.node_id, 3);
+  EXPECT_EQ(snap.num_cores, 8);
+  EXPECT_EQ(snap.ticks, 0);
+  EXPECT_EQ(snap.last_tick_ns, 0);
+  EXPECT_EQ(snap.last_global_lambda, -1.0);  // no λ published yet
+  EXPECT_TRUE(snap.segments.empty());
+
+  FakeSegment seg("probe", 2);
+  sched.AddSegment(&seg);
+  sched.Tick();  // prime
+  clock.Advance(kSec);
+  seg.Work(kSec, 500.0);
+  sched.Tick();
+
+  snap = sched.Snapshot();
+  EXPECT_EQ(snap.ticks, 2);
+  EXPECT_EQ(sched.tick_count(), 2);
+  EXPECT_EQ(snap.last_tick_ns, clock.NowNanos());
+  EXPECT_NEAR(snap.last_global_lambda, 500.0, 1.0);
+  EXPECT_NEAR(snap.last_lambda_local, 500.0, 1.0);
+  ASSERT_EQ(snap.segments.size(), 1u);
+  EXPECT_EQ(snap.segments[0].name, "probe");
+  EXPECT_TRUE(snap.segments[0].active);
+  EXPECT_TRUE(snap.segments[0].has_sample);
+  EXPECT_NEAR(snap.segments[0].rate, 500.0, 1.0);
+  EXPECT_GE(snap.segments[0].parallelism, 2);
+  EXPECT_EQ(snap.cores_in_use, snap.segments[0].parallelism);
+}
+
 }  // namespace
 }  // namespace claims

@@ -1,0 +1,229 @@
+// Introspection-plane stress: concurrent scrapers hammering /metrics,
+// /queries, /scheduler, and flight-recorder dumps while queries are
+// submitted, cancelled, and the service shuts down underneath them. The
+// races this drives: ListQueries vs dispatch/completion (service mu_ →
+// handle mu_ order), Executor::Progress vs segment teardown (live_mu_),
+// Prometheus rendering vs concurrent histogram writers, ring-buffer
+// overwrite vs ToChromeJson, and MonitorServer::Stop vs in-flight
+// connections. Under TSan this is the test that validates the whole
+// monitoring read path against the write paths it samples.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket_util.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "wlm/introspection.h"
+#include "wlm/query_service.h"
+
+namespace claims {
+namespace {
+
+constexpr int kNodes = 2;
+constexpr int kCoresPerNode = 4;
+
+ExprPtr Col(const Schema& s, const char* name) {
+  int i = s.FindColumn(name);
+  EXPECT_GE(i, 0) << name;
+  return MakeColumnRef(i, s.column(i).type, name);
+}
+
+class MonitorStressTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog;
+    Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+    auto t = std::make_shared<Table>("kv", s, kNodes, std::vector<int>{});
+    for (int i = 0; i < 16000; ++i) {
+      t->AppendValues({Value::Int32(i % 200), Value::Int64(i)});
+    }
+    ASSERT_TRUE(catalog_->RegisterTable(std::move(t)).ok());
+    ClusterOptions copts;
+    copts.num_nodes = kNodes;
+    copts.cores_per_node = kCoresPerNode;
+    cluster_ = new Cluster(copts, catalog_);
+  }
+  static void TearDownTestSuite() {
+    delete cluster_;
+    delete catalog_;
+    TraceCollector::Global()->ConfigureFlightRecorder(0);
+    TraceCollector::Global()->Disable();
+  }
+
+  /// Scan kv → filter → gather; a few ms per run.
+  static PhysicalPlan FastPlan() {
+    TablePtr kv = *catalog_->GetTable("kv");
+    PhysicalPlan plan;
+    auto f = std::make_unique<Fragment>();
+    f->id = 0;
+    f->root = MakeFilterOp(
+        MakeScanOp(*kv), MakeCompare(CompareOp::kLt, Col(kv->schema(), "k"),
+                                     MakeLiteral(Value::Int32(100))));
+    f->nodes = {0, 1};
+    f->out_exchange_id = 0;
+    f->partitioning = Partitioning::kToOne;
+    f->consumer_nodes = {0};
+    plan.result_schema = f->root->output_schema;
+    plan.result_exchange_id = 0;
+    plan.fragments.push_back(std::move(f));
+    return plan;
+  }
+
+  static Catalog* catalog_;
+  static Cluster* cluster_;
+};
+
+Catalog* MonitorStressTest::catalog_ = nullptr;
+Cluster* MonitorStressTest::cluster_ = nullptr;
+
+/// One GET against the monitor; transport failures are only acceptable once
+/// `stopping` is set (the server may be mid-shutdown).
+void ScrapeOnce(int port, const std::string& target,
+                const std::atomic<bool>& stopping) {
+  Result<std::string> raw = HttpRoundTrip("127.0.0.1", port, "GET", target);
+  if (!raw.ok()) {
+    EXPECT_TRUE(stopping.load()) << target << ": " << raw.status().ToString();
+    return;
+  }
+  std::string body;
+  int status = ParseHttpResponse(raw.value(), &body);
+  EXPECT_EQ(status, 200) << target;
+}
+
+TEST_F(MonitorStressTest, ScrapersRaceQueriesCancellationAndShutdown) {
+  QueryServiceOptions sopts;
+  sopts.admission.max_concurrent = 4;
+  auto service = std::make_unique<QueryService>(cluster_, sopts);
+
+  IntrospectionOptions iopts;
+  iopts.monitor.enabled = true;
+  iopts.monitor.port = 0;
+  iopts.flight_recorder_capacity = 4096;  // ring wraps under this workload
+  iopts.enable_watchdog = true;
+  iopts.watchdog.incident_dir = ::testing::TempDir();
+  iopts.watchdog.stall_window_ns = 60'000'000'000;  // healthy run: no alarms
+  IntrospectionPlane plane(service.get(), iopts);
+  ASSERT_TRUE(plane.Start().ok());
+  const int port = plane.monitor()->port();
+  ASSERT_GT(port, 0);
+
+  constexpr int kSubmitters = 3;
+  constexpr int kQueriesPerSubmitter = 24;
+  constexpr int kScrapers = 4;
+  std::atomic<bool> stopping{false};
+  std::atomic<int> done_submitters{0};
+
+  std::vector<std::thread> threads;
+  // Submitters: a stream of fast queries, every third one cancelled from a
+  // racing thread via the handle.
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerSubmitter; ++i) {
+        SubmitOptions opts;
+        opts.priority = i % 3;
+        opts.label = "stress-" + std::to_string(t) + "-" + std::to_string(i);
+        QueryHandlePtr h = service->Submit(FastPlan(), opts);
+        if (i % 3 == 0) {
+          std::thread canceller([h] { h->Cancel(); });
+          canceller.join();
+        }
+        h->Wait();
+        EXPECT_EQ(h->state(), QueryState::kDone);
+      }
+      done_submitters.fetch_add(1);
+    });
+  }
+  // Scrapers: rotate over every endpoint until the workload drains.
+  const std::string targets[] = {"/metrics", "/queries", "/scheduler",
+                                 "/healthz", "/"};
+  for (int t = 0; t < kScrapers; ++t) {
+    threads.emplace_back([&, t] {
+      int i = 0;
+      while (done_submitters.load() < kSubmitters) {
+        ScrapeOnce(port, targets[(t + i++) % 5], stopping);
+      }
+    });
+  }
+  // Dumper: flight-recorder snapshots racing the ring writers.
+  threads.emplace_back([&] {
+    while (done_submitters.load() < kSubmitters) {
+      Result<std::string> raw =
+          HttpRoundTrip("127.0.0.1", port, "POST", "/flight-recorder/dump");
+      if (raw.ok()) {
+        std::string body;
+        EXPECT_EQ(ParseHttpResponse(raw.value(), &body), 200);
+        EXPECT_EQ(body.find("{\"traceEvents\":["), 0u);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  // Watchdog sampling loop racing everything (its Start()ed thread also
+  // polls; this adds direct PollOnce contention on the probe registry).
+  threads.emplace_back([&] {
+    while (done_submitters.load() < kSubmitters) {
+      EXPECT_EQ(plane.watchdog()->PollOnce(), 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  for (auto& th : threads) th.join();
+
+  // Drained: a final scrape of every endpoint still answers.
+  for (const std::string& target : targets) {
+    ScrapeOnce(port, target, stopping);
+  }
+  EXPECT_EQ(plane.watchdog()->incident_count(), 0);
+
+  // Shutdown race: scrapers keep hitting the endpoints while the service
+  // and then the plane go down. Transport errors become acceptable the
+  // moment `stopping` flips; data races never are.
+  std::vector<std::thread> late;
+  for (int t = 0; t < 2; ++t) {
+    late.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        ScrapeOnce(port, targets[(t + i) % 5], stopping);
+      }
+    });
+  }
+  service->Shutdown();
+  stopping.store(true);
+  plane.Stop();
+  for (auto& th : late) th.join();
+  service.reset();
+}
+
+TEST_F(MonitorStressTest, FlightRecorderReconfigureRacesWriters) {
+  TraceCollector tc;
+  tc.ConfigureFlightRecorder(1024);
+  tc.Enable();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tc, &stop, t] {
+      int64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        tc.Instant(++i, t, "stress", "w");
+      }
+    });
+  }
+  // Reader + reconfigurer racing the writers.
+  for (int round = 0; round < 30; ++round) {
+    std::string json = tc.ToChromeJson();
+    EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+    tc.ConfigureFlightRecorder(round % 2 == 0 ? 256 : 1024);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_LE(tc.size(), 1024u);
+}
+
+}  // namespace
+}  // namespace claims

@@ -200,6 +200,73 @@ TEST(MetricsRegistryTest, CountersGaugesHistograms) {
   EXPECT_EQ(h->count(), 0);
 }
 
+TEST(TraceCollectorTest, FlightRecorderBoundsMemoryAndCountsDrops) {
+  TraceCollector tc;
+  tc.ConfigureFlightRecorder(64);  // 4 slots per shard across 16 shards
+  tc.Enable();
+  EXPECT_EQ(tc.flight_recorder_capacity(), 64u);
+  // Overfill from one thread (one shard): the shard ring holds 4, the rest
+  // of the emissions overwrite the oldest and count as dropped.
+  for (int i = 0; i < 100; ++i) {
+    tc.Instant(i, 0, "test", "ev" + std::to_string(i));
+  }
+  EXPECT_EQ(tc.size(), 4u);
+  EXPECT_EQ(tc.dropped_events(), 96);
+  // The surviving window is the most recent events, not the first ones.
+  std::vector<TraceEvent> events = tc.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (const TraceEvent& ev : events) EXPECT_GE(ev.ts_ns, 96);
+}
+
+TEST(TraceCollectorTest, FlightRecorderReconfigureAndRestoreUnbounded) {
+  TraceCollector tc;
+  tc.ConfigureFlightRecorder(16);
+  tc.Enable();
+  for (int i = 0; i < 10; ++i) tc.Instant(i, 0, "test", "a");
+  // Reconfiguring clears the buffer and resets the drop count.
+  tc.ConfigureFlightRecorder(32);
+  EXPECT_EQ(tc.size(), 0u);
+  EXPECT_EQ(tc.dropped_events(), 0);
+  // Capacity 0 restores unbounded capture.
+  tc.ConfigureFlightRecorder(0);
+  EXPECT_EQ(tc.flight_recorder_capacity(), 0u);
+  for (int i = 0; i < 500; ++i) tc.Instant(i, 0, "test", "b");
+  EXPECT_EQ(tc.size(), 500u);
+  EXPECT_EQ(tc.dropped_events(), 0);
+}
+
+TEST(TraceCollectorTest, FlightRecorderTinyCapacityStillKeepsOnePerShard) {
+  TraceCollector tc;
+  tc.ConfigureFlightRecorder(1);  // less than one slot per shard
+  tc.Enable();
+  for (int i = 0; i < 10; ++i) tc.Instant(i, 0, "test", "x");
+  EXPECT_EQ(tc.size(), 1u);  // single-threaded: one shard, one slot
+  EXPECT_EQ(tc.dropped_events(), 9);
+}
+
+TEST(TraceCollectorTest, FlightRecorderConcurrentWritersStayBounded) {
+  TraceCollector tc;
+  constexpr size_t kCapacity = 256;
+  tc.ConfigureFlightRecorder(kCapacity);
+  tc.Enable();
+  constexpr int kThreads = 8, kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tc, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tc.Instant(t * kPerThread + i, t, "stress", "e");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(tc.size(), kCapacity);
+  EXPECT_EQ(static_cast<int64_t>(tc.size()) + tc.dropped_events(),
+            int64_t{kThreads} * kPerThread);
+  // The export still renders valid JSON from a wrapped ring.
+  std::string json = tc.ToChromeJson();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+}
+
 TEST(MetricsRegistryTest, ConcurrentCountersAreExact) {
   MetricsRegistry reg;
   MetricCounter* c = reg.counter("concurrent");

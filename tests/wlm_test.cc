@@ -7,12 +7,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
+#include "common/string_util.h"
+
 #include "engine/database.h"
 #include "engine/workloads.h"
+#include "net/socket_util.h"
 #include "wlm/driver/workload_driver.h"
+#include "wlm/introspection.h"
 #include "wlm/query_service.h"
 
 namespace claims {
@@ -386,6 +391,135 @@ TEST_F(WlmTest, OpenLoopDriverRunsPoissonArrivals) {
   WorkloadReport report = WorkloadDriver(&service, wl).Run();
   EXPECT_EQ(report.succeeded, 10);
   EXPECT_GE(report.p99_queue_wait_ns, report.p50_queue_wait_ns);
+  service.Shutdown();
+}
+
+// --- live introspection plane -------------------------------------------------
+
+TEST_F(WlmTest, ListQueriesTracksLifecycle) {
+  QueryServiceOptions opts;
+  opts.admission.max_concurrent = 1;
+  QueryService service(db_->cluster(), opts);
+  QueryHandlePtr running = service.Submit(SlowPlan(), SlowOptions());
+  QueryHandlePtr queued = service.Submit(PlanSql("SELECT count(*) FROM part"));
+  while (running->state() == QueryState::kQueued) {
+    std::this_thread::yield();
+  }
+
+  bool saw_running = false, saw_queued = false;
+  for (const QueryInfo& q : service.ListQueries()) {
+    if (q.id == running->id()) {
+      saw_running = true;
+      EXPECT_EQ(q.state, QueryState::kRunning);
+      EXPECT_GT(q.run_ns, 0);
+      EXPECT_TRUE(q.status.empty());
+    }
+    if (q.id == queued->id()) {
+      saw_queued = true;
+      EXPECT_EQ(q.state, QueryState::kQueued);
+      EXPECT_EQ(q.run_ns, 0);
+      EXPECT_GT(q.queue_wait_ns, 0);  // so-far wait, ticking
+    }
+  }
+  EXPECT_TRUE(saw_running);
+  EXPECT_TRUE(saw_queued);
+
+  running->Wait();
+  queued->Wait();
+  // Both land in the recent-completions ring with terminal status.
+  int done_seen = 0;
+  for (const QueryInfo& q : service.ListQueries()) {
+    if (q.id != running->id() && q.id != queued->id()) continue;
+    EXPECT_EQ(q.state, QueryState::kDone);
+    EXPECT_FALSE(q.status.empty());
+    ++done_seen;
+  }
+  EXPECT_EQ(done_seen, 2);
+  // The slow query emitted tuples and its totals stayed latched post-run.
+  EXPECT_GT(running->progress().tuples_emitted, 0);
+  EXPECT_FALSE(running->progress().executing);
+  service.Shutdown();
+}
+
+TEST_F(WlmTest, IntrospectionEndpointsServeLiveJson) {
+  QueryService service(db_->cluster(), {});
+  IntrospectionOptions options;
+  options.monitor.enabled = true;
+  options.monitor.port = 0;
+  IntrospectionPlane plane(&service, options);
+  ASSERT_TRUE(plane.Start().ok());
+  ASSERT_GT(plane.monitor()->port(), 0);
+
+  QueryHandlePtr h = service.Submit(SlowPlan(), SlowOptions());
+  Result<std::string> raw = HttpRoundTrip(
+      "127.0.0.1", plane.monitor()->port(), "GET", "/queries");
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  std::string body;
+  ASSERT_EQ(ParseHttpResponse(raw.value(), &body), 200);
+  EXPECT_EQ(body.front(), '{');
+  EXPECT_EQ(body.back(), '}');
+  EXPECT_NE(body.find("\"queries\":["), std::string::npos);
+  EXPECT_NE(body.find("\"admission\":"), std::string::npos);
+  EXPECT_NE(body.find(StrFormat("\"id\":%llu",
+                                static_cast<unsigned long long>(h->id()))),
+            std::string::npos);
+
+  raw = HttpRoundTrip("127.0.0.1", plane.monitor()->port(), "GET",
+                      "/scheduler");
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  ASSERT_EQ(ParseHttpResponse(raw.value(), &body), 200);
+  EXPECT_NE(body.find("\"nodes\":["), std::string::npos);
+  EXPECT_NE(body.find("\"cores_in_use\":"), std::string::npos);
+  EXPECT_NE(body.find("\"global_lambda\":"), std::string::npos);
+
+  h->Wait();
+  plane.Stop();
+  service.Shutdown();
+}
+
+TEST_F(WlmTest, SchedulerSnapshotSeesRunningSegments) {
+  QueryService service(db_->cluster(), {});
+  QueryHandlePtr h = service.Submit(SlowPlan(), SlowOptions());
+  while (h->state() == QueryState::kQueued) std::this_thread::yield();
+
+  // Within a few scheduler periods a snapshot shows live segments and ticks.
+  bool saw_segments = false;
+  for (int attempt = 0; attempt < 200 && !saw_segments; ++attempt) {
+    for (int node = 0; node < db_->cluster()->num_nodes(); ++node) {
+      SchedulerSnapshot snap = db_->cluster()->scheduler(node)->Snapshot();
+      if (!snap.segments.empty() && snap.ticks > 0) {
+        saw_segments = true;
+        EXPECT_GE(snap.cores_in_use, 0);
+        EXPECT_LE(snap.cores_in_use, snap.num_cores);
+      }
+    }
+    if (h->state() == QueryState::kDone) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(saw_segments);
+  h->Wait();
+  service.Shutdown();
+}
+
+TEST_F(WlmTest, IntrospectionWatchdogProbesStayQuietOnHealthyRuns) {
+  QueryService service(db_->cluster(), {});
+  IntrospectionOptions options;
+  options.enable_watchdog = true;
+  options.watchdog.incident_dir = ::testing::TempDir();
+  // Generous window: a healthy run must never trip it.
+  options.watchdog.stall_window_ns = 60'000'000'000;
+  IntrospectionPlane plane(&service, options);  // monitor stays disabled
+  ASSERT_TRUE(plane.Start().ok());
+  EXPECT_FALSE(plane.monitor()->running());
+  EXPECT_TRUE(plane.watchdog()->running());
+
+  QueryHandlePtr h = service.Submit(SlowPlan(), SlowOptions());
+  EXPECT_EQ(plane.watchdog()->PollOnce(), 0);
+  h->Wait();
+  EXPECT_EQ(plane.watchdog()->PollOnce(), 0);
+  EXPECT_EQ(plane.watchdog()->incident_count(), 0);
+  plane.Stop();
+  EXPECT_FALSE(plane.watchdog()->running());
   service.Shutdown();
 }
 
