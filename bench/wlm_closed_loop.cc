@@ -5,7 +5,11 @@
 // source of the BENCH_wlm.json baseline record (--json).
 //
 //   wlm_closed_loop [--queries N] [--mpl M] [--open [--rate QPS]]
-//                   [--scale SF] [--json] [--monitor-port P] [--linger SEC]
+//                   [--scale SF] [--seed S] [--json] [--monitor-port P]
+//                   [--linger SEC]
+//
+// --seed fixes the driver's deterministic randomness (open-mode Poisson
+// inter-arrivals); two runs with the same seed submit the same schedule.
 //
 // --monitor-port starts the live introspection plane (HTTP monitoring
 // endpoint + flight recorder + watchdog) on 127.0.0.1:P (0 = ephemeral; the
@@ -43,6 +47,7 @@ int main(int argc, char** argv) {
   bool json = false;
   int monitor_port = -1;  // -1 = monitoring off
   double linger_sec = 0;
+  uint64_t seed = 42;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> double {
       if (i + 1 >= argc) {
@@ -67,6 +72,8 @@ int main(int argc, char** argv) {
       monitor_port = static_cast<int>(next("--monitor-port"));
     } else if (!std::strcmp(argv[i], "--linger")) {
       linger_sec = next("--linger");
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = static_cast<uint64_t>(next("--seed"));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -129,6 +136,7 @@ int main(int argc, char** argv) {
   wopts.total_queries = queries;
   wopts.mpl = mpl;
   wopts.arrival_rate_qps = rate;
+  wopts.seed = seed;
   wopts.submit.label = "tpch";
   wopts.make_plan = [&](int seq) -> PhysicalPlan {
     std::lock_guard<std::mutex> lock(plan_mu);

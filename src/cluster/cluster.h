@@ -2,12 +2,15 @@
 #define CLAIMS_CLUSTER_CLUSTER_H_
 
 #include <atomic>
+#include <functional>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/memory_tracker.h"
 #include "core/scheduler.h"
+#include "fault/injector.h"
 #include "net/network.h"
 #include "storage/catalog.h"
 
@@ -55,6 +58,33 @@ class Cluster {
   /// throughput board.
   void StopSchedulers();
 
+  // --- Node health (chaos plane) --------------------------------------------
+
+  /// False once KillNode(node) ran. Node 0 is the master (gathers results);
+  /// killing it is rejected — the in-process cluster has no master failover.
+  bool NodeAlive(int node) const;
+  /// Logical ids of the nodes still alive, ascending.
+  std::vector<int> AliveNodes() const;
+
+  /// Kills a node: the fabric fails its sends kUnavailable, its scheduler
+  /// stops ticking and withdraws from the throughput board, and every death
+  /// listener fires (executors cancel in-flight work touching the node so the
+  /// workload manager can re-dispatch). Idempotent; listeners run once, on
+  /// the caller's thread, without cluster locks held.
+  void KillNode(int node);
+
+  /// Registers a callback invoked on every subsequent KillNode. Returns a
+  /// token for RemoveNodeDeathListener. Executors register for their run.
+  int AddNodeDeathListener(std::function<void(int node)> listener);
+  void RemoveNodeDeathListener(int token);
+
+  /// Wires a chaos injector into this cluster: the fabric consults it per
+  /// send, its NIC-degradation faults rewrite token-bucket rates (restoring
+  /// the configured bandwidth when the window closes), and its crash faults
+  /// call KillNode. The injector must outlive the attachment; nullptr
+  /// detaches the fabric hook.
+  void AttachFaultInjector(FaultInjector* injector);
+
  private:
   ClusterOptions options_;
   Catalog* catalog_;
@@ -66,6 +96,11 @@ class Cluster {
   int scheduler_refcount_ = 0;
   std::vector<std::thread> scheduler_threads_;
   std::atomic<bool> schedulers_running_{false};
+
+  mutable std::mutex health_mu_;  ///< guards node_alive_ + listeners
+  std::vector<bool> node_alive_;
+  std::map<int, std::function<void(int)>> death_listeners_;
+  int next_listener_token_ = 0;
 };
 
 }  // namespace claims

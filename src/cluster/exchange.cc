@@ -75,9 +75,22 @@ bool SenderPump::SendBlock(int dest_index, BlockPtr block,
   double fraction = static_cast<double>(dest_total) / static_cast<double>(total);
   if (spec_.partitioning == Partitioning::kBroadcast) fraction = 1.0;
   block->set_visit_rate(v * selectivity * fraction);
-  return spec_.network->Send(spec_.exchange_id, spec_.from_node,
-                             spec_.consumer_nodes[dest_index],
-                             std::move(block), cancel);
+  Route route;
+  route.exchange_id = spec_.exchange_id;
+  route.from_logical = spec_.from_node;
+  route.from_physical =
+      spec_.from_node_physical >= 0 ? spec_.from_node_physical : spec_.from_node;
+  route.to_logical = spec_.consumer_nodes[dest_index];
+  route.to_physical =
+      static_cast<size_t>(dest_index) < spec_.consumer_placement.size()
+          ? spec_.consumer_placement[dest_index]
+          : route.to_logical;
+  SendOutcome outcome =
+      spec_.network->SendRoute(route, std::move(block), cancel);
+  if (outcome == SendOutcome::kUnavailable) {
+    send_unavailable_.store(true, std::memory_order_release);
+  }
+  return outcome == SendOutcome::kOk;
 }
 
 bool SenderPump::Pump(Iterator* source, WorkerContext* ctx,

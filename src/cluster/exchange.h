@@ -66,9 +66,21 @@ class SenderPump {
     const Schema* schema = nullptr;
     Network* network = nullptr;
     SegmentStats* stats = nullptr;
+    /// Physical placement after node-loss re-dispatch: whose NIC this pump
+    /// spends (-1 = from_node) and which box hosts each consumer (empty =
+    /// consumer_nodes). Channel addressing stays logical (see net::Route).
+    int from_node_physical = -1;
+    std::vector<int> consumer_placement;
   };
 
   explicit SenderPump(Spec spec);
+
+  /// True once a send failed kUnavailable (dead endpoint or retries
+  /// exhausted): the resulting pump failure is *transient* — a re-dispatch
+  /// of the whole query may succeed — rather than a logic error.
+  bool send_unavailable() const {
+    return send_unavailable_.load(std::memory_order_acquire);
+  }
 
   /// Drains `source` until end-of-file, then flushes partial blocks and
   /// closes this producer on the exchange. Returns false if cancelled or if
@@ -93,6 +105,7 @@ class SenderPump {
   /// snapshots, so concurrent senders only ever see complete sums.
   std::vector<std::atomic<int64_t>> sent_tuples_;
   std::atomic<int64_t> total_sent_{0};
+  std::atomic<bool> send_unavailable_{false};
 };
 
 }  // namespace claims

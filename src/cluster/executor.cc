@@ -164,6 +164,22 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
   if (opts.exclusive_cluster) cluster_->memory()->Reset();
   int64_t remote0 = cluster_->network()->total_remote_bytes();
 
+  // Placement: plans address *logical* nodes (which partition to scan, which
+  // channel to consume); this execution maps each logical node onto a live
+  // *physical* host. With every node healthy the map is the identity; after
+  // a crash, dead nodes' segments re-dispatch deterministically onto
+  // survivors (alive[logical % alive.size()]), reading the dead node's
+  // partition from shared memory — the in-process analogue of a replica.
+  const std::vector<int> alive = cluster_->AliveNodes();
+  if (alive.empty()) {
+    return Status::Unavailable("no cluster nodes alive");
+  }
+  auto place = [&alive, this](int logical) {
+    return cluster_->NodeAlive(logical)
+               ? logical
+               : alive[logical % static_cast<int>(alive.size())];
+  };
+
   // 1. Declare exchanges (ME materializes: unbounded channels). Ids are
   // namespaced per execution so overlapping queries never share a channel.
   const int xbase = opts.exchange_id_base;
@@ -187,13 +203,19 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
   for (size_t fi = 0; fi < plan.fragments.size(); ++fi) {
     const Fragment& f = *plan.fragments[fi];
     for (int node : f.nodes) {
+      const int host = place(node);
       auto stats = std::make_unique<SegmentStats>();
+      // The iterator tree is built for the *logical* node: scans read the
+      // logical partition, mergers consume the logical channel. Only the
+      // hosting (scheduler, NIC) side moves on re-dispatch.
       CLAIMS_ASSIGN_OR_RETURN(
           std::unique_ptr<Iterator> ops,
           BuildIterator(*f.root, node, stats.get(), opts));
       Segment::Config config;
-      config.name = StrFormat("S%d@n%d", f.id, node);
-      config.node_id = node;
+      config.name = host == node
+                        ? StrFormat("S%d@n%d", f.id, node)
+                        : StrFormat("S%d@n%d->n%d", f.id, node, host);
+      config.node_id = host;
       config.stats = stats.get();
       config.clock = clock;
       config.max_parallelism =
@@ -202,9 +224,14 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
               : cluster_->options().cores_per_node;
       config.sender.exchange_id = f.out_exchange_id + xbase;
       config.sender.from_node = node;
+      config.sender.from_node_physical = host;
       config.sender.partitioning = f.partitioning;
       config.sender.hash_cols = f.hash_cols;
       config.sender.consumer_nodes = f.consumer_nodes;
+      config.sender.consumer_placement.reserve(f.consumer_nodes.size());
+      for (int consumer : f.consumer_nodes) {
+        config.sender.consumer_placement.push_back(place(consumer));
+      }
       config.sender.schema = &f.root->output_schema;
       config.sender.network = cluster_->network();
       config.elastic.initial_parallelism =
@@ -252,6 +279,31 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
     return deadline_hit_.load(std::memory_order_acquire)
                ? Status::DeadlineExceeded("deadline expired before start")
                : Status::Cancelled("query cancelled before execution started");
+  }
+
+  // Watch for node loss on any host this execution landed on: cancel the
+  // run and surface kUnavailable so the workload manager re-dispatches (a
+  // fresh attempt re-snapshots AliveNodes and places around the dead node).
+  std::vector<bool> used_hosts(cluster_->num_nodes(), false);
+  for (auto& s : segments_) used_hosts[s->node_id()] = true;
+  const int death_token =
+      cluster_->AddNodeDeathListener([this, used_hosts](int node) {
+        if (node >= 0 && node < static_cast<int>(used_hosts.size()) &&
+            used_hosts[node]) {
+          node_loss_.store(true, std::memory_order_release);
+          TriggerCancel(/*deadline=*/false);
+        }
+      });
+  ScopeGuard remove_death_listener(
+      [&] { cluster_->RemoveNodeDeathListener(death_token); });
+  // Close the race with a crash that landed between the placement snapshot
+  // and the listener registration.
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    if (used_hosts[n] && !cluster_->NodeAlive(n)) {
+      node_loss_.store(true, std::memory_order_release);
+      return Status::Unavailable(
+          StrFormat("node %d died before execution started", n));
+    }
   }
 
   // Deadline watchdog: one short-lived thread per deadline-bearing query.
@@ -332,17 +384,29 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
   // (producers close their exchanges even when aborting), but its blocks are
   // partial: surface the reason instead of the data.
   if (cancel_requested_.load(std::memory_order_acquire)) {
-    return deadline_hit_.load(std::memory_order_acquire)
-               ? Status::DeadlineExceeded("query deadline exceeded mid-stream")
-               : Status::Cancelled("query cancelled mid-stream");
+    if (deadline_hit_.load(std::memory_order_acquire)) {
+      return Status::DeadlineExceeded("query deadline exceeded mid-stream");
+    }
+    if (node_loss_.load(std::memory_order_acquire)) {
+      return Status::Unavailable(
+          "cluster node died mid-stream; re-dispatch onto survivors");
+    }
+    return Status::Cancelled("query cancelled mid-stream");
   }
 
   // Fail the query if any segment's stream broke mid-pump (child operator
   // error / aborted send): the blocks drained above are incomplete and must
   // not be returned as a clean result. Producers close their exchanges even
   // on failure, so downstream segments drained and joined normally above.
+  // Infrastructure failures (dead endpoint, fault storm outlasting retries)
+  // surface as kUnavailable — retryable; logic errors stay kInternal.
   for (auto& segment : segments_) {
     if (segment->failed()) {
+      if (segment->failed_unavailable()) {
+        return Status::Unavailable(
+            StrFormat("segment %s lost its stream to infrastructure failure",
+                      segment->name().c_str()));
+      }
       return Status::Internal(
           StrFormat("segment %s failed mid-stream; result discarded",
                     segment->name().c_str()));

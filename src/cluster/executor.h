@@ -133,6 +133,10 @@ class Executor {
   /// live_mu_ guards only the registered-segment list.
   std::atomic<bool> cancel_requested_{false};
   std::atomic<bool> deadline_hit_{false};
+  /// Set when a cluster node hosting part of this execution died mid-run:
+  /// Execute returns kUnavailable (retryable) instead of kCancelled, and the
+  /// workload manager re-dispatches onto the survivors.
+  std::atomic<bool> node_loss_{false};
   mutable std::mutex live_mu_;
   std::vector<Segment*> live_segments_;
   ExecProgress latched_progress_;  ///< guarded by live_mu_; set on teardown

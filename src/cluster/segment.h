@@ -73,6 +73,14 @@ class Segment : public SchedulableSegment {
   /// cause. Valid after Join().
   bool failed() const { return failed_.load(std::memory_order_acquire); }
 
+  /// A failure whose cause was infrastructure loss (kUnavailable on a send:
+  /// dead node, or a fault storm outlasting every retry) rather than a logic
+  /// error — the executor surfaces it as Status::Unavailable so the workload
+  /// manager's retry policy can re-dispatch. Valid after Join().
+  bool failed_unavailable() const {
+    return failed() && sender_.send_unavailable();
+  }
+
  private:
   void DriverMain();
 

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
     case StatusCode::kParseError:
       return "PARSE_ERROR";
     case StatusCode::kBindError:

@@ -23,6 +23,11 @@ enum class StatusCode {
   kResourceExhausted,
   kCancelled,
   kDeadlineExceeded,
+  /// A transient infrastructure failure (node loss, exhausted send retries):
+  /// the operation may succeed if re-dispatched onto surviving resources.
+  /// The workload manager's retry policy treats exactly this code as
+  /// retryable; everything else is either permanent or caller-initiated.
+  kUnavailable,
   kParseError,
   kBindError,
   kPlanError,
@@ -63,6 +68,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
   static Status ParseError(std::string m) {
     return Status(StatusCode::kParseError, std::move(m));

@@ -109,7 +109,17 @@ SchedulerSnapshot DynamicScheduler::Snapshot() const {
   return snap;
 }
 
+void DynamicScheduler::SetEnabled(bool enabled) {
+  bool was = enabled_.exchange(enabled, std::memory_order_acq_rel);
+  if (was && !enabled) {
+    // Withdraw this node's λ so the surviving nodes' global minimum no
+    // longer includes a dead node's last (stale, possibly bottleneck) rate.
+    board_->ClearNode(node_id_);
+  }
+}
+
 std::vector<SchedulerAction> DynamicScheduler::Tick() {
+  if (!enabled_.load(std::memory_order_acquire)) return {};
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<SchedulerAction> actions;
   const int64_t now = clock_->NowNanos();

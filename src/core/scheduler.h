@@ -141,6 +141,15 @@ class DynamicScheduler {
   void AddSegment(SchedulableSegment* segment);
   void RemoveSegment(SchedulableSegment* segment);
 
+  /// Graceful degradation on node loss: a disabled scheduler's Tick() is a
+  /// no-op and its node's λ entry is withdrawn from the board, so the
+  /// surviving nodes' global λ no longer waits on a dead node (the board
+  /// minimum would otherwise pin every survivor to a stale bottleneck).
+  /// Idempotent; a scheduler is never re-enabled (node rejoin is out of
+  /// scope for the in-process cluster).
+  void SetEnabled(bool enabled);
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
   /// One scheduling round; returns the actions taken.
   std::vector<SchedulerAction> Tick();
 
@@ -199,6 +208,7 @@ class DynamicScheduler {
   double last_lambda_local_ = -1.0;    ///< guarded by mu_
   double last_global_lambda_ = -1.0;   ///< guarded by mu_
   std::atomic<int64_t> tick_count_{0};
+  std::atomic<bool> enabled_{true};
 };
 
 }  // namespace claims

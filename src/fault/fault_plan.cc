@@ -1,0 +1,256 @@
+#include "fault/fault_plan.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/random.h"
+
+namespace claims {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropBlock:
+      return "drop";
+    case FaultKind::kDelayBlock:
+      return "delay";
+    case FaultKind::kDuplicateBlock:
+      return "dup";
+    case FaultKind::kDisconnect:
+      return "disconnect";
+    case FaultKind::kDegradeNic:
+      return "nic";
+    case FaultKind::kCrashNode:
+      return "crash";
+    case FaultKind::kStraggleNode:
+      return "straggle";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Renders durations in the largest unit that divides them exactly, so
+/// ToString output is stable and round-trips through the parser.
+std::string DurationToString(int64_t ns) {
+  char buf[32];
+  if (ns != 0 && ns % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "s", ns / 1'000'000'000);
+  } else if (ns != 0 && ns % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ms", ns / 1'000'000);
+  } else if (ns != 0 && ns % 1'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "us", ns / 1'000);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns);
+  }
+  return buf;
+}
+
+/// Trims a trailing duration suffix (ns/us/ms/s) and returns the multiplier.
+bool ParseDuration(const std::string& v, int64_t* out) {
+  size_t n = v.size();
+  int64_t mult = 1;
+  size_t digits = n;
+  if (n >= 2 && v.compare(n - 2, 2, "ns") == 0) {
+    digits = n - 2;
+  } else if (n >= 2 && v.compare(n - 2, 2, "us") == 0) {
+    mult = 1'000;
+    digits = n - 2;
+  } else if (n >= 2 && v.compare(n - 2, 2, "ms") == 0) {
+    mult = 1'000'000;
+    digits = n - 2;
+  } else if (n >= 1 && v[n - 1] == 's') {
+    mult = 1'000'000'000;
+    digits = n - 1;
+  }
+  if (digits == 0) return false;
+  int64_t value = 0;
+  for (size_t i = 0; i < digits; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(v[i]))) return false;
+    value = value * 10 + (v[i] - '0');
+  }
+  *out = value * mult;
+  return true;
+}
+
+bool ParseKind(const std::string& v, FaultKind* out) {
+  for (FaultKind k :
+       {FaultKind::kDropBlock, FaultKind::kDelayBlock,
+        FaultKind::kDuplicateBlock, FaultKind::kDisconnect,
+        FaultKind::kDegradeNic, FaultKind::kCrashNode,
+        FaultKind::kStraggleNode}) {
+    if (v == FaultKindName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string FaultSpec::ToString() const {
+  std::ostringstream os;
+  os << "at=" << DurationToString(at_ns) << " kind=" << FaultKindName(kind);
+  if (duration_ns > 0) os << " dur=" << DurationToString(duration_ns);
+  if (node >= 0) os << " node=" << node;
+  if (exchange_id >= 0) os << " exchange=" << exchange_id;
+  if (probability != 1.0) os << " p=" << probability;
+  if (kind == FaultKind::kDelayBlock) {
+    os << " delay=" << DurationToString(delay_ns);
+  }
+  if (kind == FaultKind::kDegradeNic) {
+    os << " bps=" << bandwidth_bytes_per_sec;
+  }
+  if (kind == FaultKind::kStraggleNode) os << " factor=" << slowdown_factor;
+  return os.str();
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  os << "seed=" << seed << "\n";
+  for (const FaultSpec& f : faults) os << f.ToString() << "\n";
+  return os.str();
+}
+
+Result<FaultSpec> ParseFaultSpec(const std::string& line) {
+  FaultSpec spec;
+  bool have_kind = false;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError("fault spec token missing '=': " + token);
+    }
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (value.empty()) {
+      return Status::ParseError("fault spec key has empty value: " + key);
+    }
+    if (key == "kind") {
+      if (!ParseKind(value, &spec.kind)) {
+        return Status::ParseError("unknown fault kind: " + value);
+      }
+      have_kind = true;
+    } else if (key == "at") {
+      if (!ParseDuration(value, &spec.at_ns)) {
+        return Status::ParseError("bad duration for at=: " + value);
+      }
+    } else if (key == "dur") {
+      if (!ParseDuration(value, &spec.duration_ns)) {
+        return Status::ParseError("bad duration for dur=: " + value);
+      }
+    } else if (key == "delay") {
+      if (!ParseDuration(value, &spec.delay_ns)) {
+        return Status::ParseError("bad duration for delay=: " + value);
+      }
+    } else if (key == "node") {
+      spec.node = std::atoi(value.c_str());
+    } else if (key == "exchange") {
+      spec.exchange_id = std::atoi(value.c_str());
+    } else if (key == "p") {
+      spec.probability = std::atof(value.c_str());
+      if (spec.probability < 0.0 || spec.probability > 1.0) {
+        return Status::ParseError("p= must be in [0,1]: " + value);
+      }
+    } else if (key == "bps") {
+      spec.bandwidth_bytes_per_sec = std::atoll(value.c_str());
+    } else if (key == "factor") {
+      spec.slowdown_factor = std::atof(value.c_str());
+      if (spec.slowdown_factor < 1.0) {
+        return Status::ParseError("factor= must be >= 1: " + value);
+      }
+    } else {
+      return Status::ParseError("unknown fault spec key: " + key);
+    }
+  }
+  if (!have_kind) return Status::ParseError("fault spec missing kind=: " + line);
+  return spec;
+}
+
+Result<FaultPlan> ParseFaultPlan(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    size_t end = line.find_last_not_of(" \t\r");
+    line = line.substr(start, end - start + 1);
+    if (line.empty() || line[0] == '#') continue;
+    if (line.compare(0, 5, "seed=") == 0) {
+      plan.seed = std::strtoull(line.c_str() + 5, nullptr, 10);
+      continue;
+    }
+    Result<FaultSpec> spec = ParseFaultSpec(line);
+    if (!spec.ok()) return spec.status();
+    plan.faults.push_back(std::move(spec).value());
+  }
+  return plan;
+}
+
+std::string FaultEvent::ToString() const {
+  std::ostringstream os;
+  os << "[+" << DurationToString(at_ns) << "] "
+     << (activated ? "ACTIVATE " : "RESTORE ") << description;
+  return os.str();
+}
+
+std::string FormatFaultEventLog(const std::vector<FaultEvent>& events) {
+  std::string out;
+  for (const FaultEvent& e : events) {
+    out += e.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+FaultPlan RandomFaultStorm(uint64_t seed, int num_nodes, int64_t duration_ns) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed);
+  // Enough overlapping windows that the fabric is rarely fault-free, but no
+  // crashes: a storm tests resilience under sustained degradation, while a
+  // crash is a scripted event the caller stages deliberately.
+  int windows = 4 + static_cast<int>(rng.Uniform(5));
+  for (int i = 0; i < windows; ++i) {
+    FaultSpec spec;
+    switch (rng.Uniform(5)) {
+      case 0:
+        spec.kind = FaultKind::kDropBlock;
+        spec.probability = 0.05 + 0.25 * rng.NextDouble();
+        break;
+      case 1:
+        spec.kind = FaultKind::kDelayBlock;
+        spec.probability = 0.1 + 0.4 * rng.NextDouble();
+        spec.delay_ns = rng.UniformRange(100'000, 2'000'000);
+        break;
+      case 2:
+        spec.kind = FaultKind::kDuplicateBlock;
+        spec.probability = 0.05 + 0.25 * rng.NextDouble();
+        break;
+      case 3:
+        spec.kind = FaultKind::kDegradeNic;
+        spec.node = static_cast<int>(rng.Uniform(num_nodes));
+        spec.bandwidth_bytes_per_sec = rng.UniformRange(1, 16) * 1'000'000;
+        break;
+      default:
+        spec.kind = FaultKind::kStraggleNode;
+        spec.node = static_cast<int>(rng.Uniform(num_nodes));
+        spec.slowdown_factor = 2.0 + 6.0 * rng.NextDouble();
+        break;
+    }
+    // Drop/delay/dup windows sometimes target one node's links only.
+    if (spec.node < 0 && rng.Bernoulli(0.5)) {
+      spec.node = static_cast<int>(rng.Uniform(num_nodes));
+    }
+    spec.at_ns = rng.UniformRange(0, duration_ns * 3 / 4);
+    spec.duration_ns = rng.UniformRange(duration_ns / 8, duration_ns / 2);
+    plan.faults.push_back(spec);
+  }
+  return plan;
+}
+
+}  // namespace claims

@@ -19,7 +19,8 @@ void BlockChannel::SetTraceInfo(int exchange_id, int consumer_node,
   trace_clock_ = clock;
 }
 
-bool BlockChannel::Send(NetBlock block, const std::atomic<bool>* cancel) {
+bool BlockChannel::Enqueue(NetBlock block, const std::atomic<bool>* cancel,
+                           bool assign_seq, uint64_t* assigned_seq) {
   std::unique_lock<std::mutex> lock(mu_);
   while (capacity_ > 0 && static_cast<int>(queue_.size()) >= capacity_ &&
          !cancelled_) {
@@ -29,6 +30,8 @@ bool BlockChannel::Send(NetBlock block, const std::atomic<bool>* cancel) {
     not_full_.wait_for(lock, std::chrono::milliseconds(1));
   }
   if (cancelled_) return false;
+  if (assign_seq) block.wire_seq = next_send_seq_[block.from_node]++;
+  if (assigned_seq != nullptr) *assigned_seq = block.wire_seq;
   int64_t bytes = block.block->payload_bytes();
   buffered_bytes_ += bytes;
   if (memory_ != nullptr) memory_->Allocate(bytes);
@@ -36,6 +39,16 @@ bool BlockChannel::Send(NetBlock block, const std::atomic<bool>* cancel) {
   ++total_sent_;
   not_empty_.notify_one();
   return true;
+}
+
+bool BlockChannel::Send(NetBlock block, const std::atomic<bool>* cancel,
+                        uint64_t* assigned_seq) {
+  return Enqueue(std::move(block), cancel, /*assign_seq=*/true, assigned_seq);
+}
+
+bool BlockChannel::SendDuplicate(NetBlock block,
+                                 const std::atomic<bool>* cancel) {
+  return Enqueue(std::move(block), cancel, /*assign_seq=*/false, nullptr);
 }
 
 void BlockChannel::CloseProducer() {
@@ -46,25 +59,44 @@ void BlockChannel::CloseProducer() {
 
 ChannelStatus BlockChannel::Receive(NetBlock* out, int64_t timeout_ns) {
   std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait_for(lock, std::chrono::nanoseconds(timeout_ns), [this] {
-    return cancelled_ || !queue_.empty() || open_producers_ <= 0;
-  });
+  // timeout_ns <= 0 is a non-blocking poll: decide from current state only.
+  if (timeout_ns > 0) {
+    not_empty_.wait_for(lock, std::chrono::nanoseconds(timeout_ns), [this] {
+      return cancelled_ || !queue_.empty() || open_producers_ <= 0;
+    });
+  }
   if (cancelled_) return ChannelStatus::kClosed;
-  if (!queue_.empty()) {
-    *out = std::move(queue_.front());
+  while (!queue_.empty()) {
+    NetBlock block = std::move(queue_.front());
     queue_.pop_front();
-    int64_t bytes = out->block->payload_bytes();
+    int64_t bytes = block.block->payload_bytes();
     buffered_bytes_ -= bytes;
     if (memory_ != nullptr) memory_->Release(bytes);
+    not_full_.notify_all();
+    uint64_t& expected = next_recv_seq_[block.from_node];
+    if (block.wire_seq < expected) {
+      // Redelivery of a consumed sequence number (injected duplication or a
+      // retry whose first copy did land): drop silently.
+      ++duplicates_suppressed_;
+      continue;
+    }
+    if (block.wire_seq > expected) {
+      // Blocks between expected and wire_seq never arrived. Record the gap;
+      // whether that is fatal is the sender's call (exhausted retries fail
+      // the producing segment, so a gap here always has a matching typed
+      // error on the send side).
+      sequence_gaps_ += static_cast<int64_t>(block.wire_seq - expected);
+    }
+    expected = block.wire_seq + 1;
     TraceCollector* tc = TraceCollector::Global();
     if (trace_clock_ != nullptr && tc->enabled()) {
       tc->Instant(trace_clock_->NowNanos(), trace_node_, "net", "recv",
                   {{"exchange", static_cast<int64_t>(trace_exchange_)},
-                   {"from", static_cast<int64_t>(out->from_node)},
+                   {"from", static_cast<int64_t>(block.from_node)},
                    {"bytes", bytes},
                    {"queued", static_cast<int64_t>(queue_.size())}});
     }
-    not_full_.notify_all();
+    *out = std::move(block);
     return ChannelStatus::kOk;
   }
   if (open_producers_ <= 0) return ChannelStatus::kClosed;
@@ -94,6 +126,16 @@ int64_t BlockChannel::total_blocks_sent() const {
 int64_t BlockChannel::buffered_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return buffered_bytes_;
+}
+
+int64_t BlockChannel::duplicates_suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicates_suppressed_;
+}
+
+int64_t BlockChannel::sequence_gaps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sequence_gaps_;
 }
 
 }  // namespace claims

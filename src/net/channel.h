@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 
 #include "common/clock.h"
@@ -14,9 +15,13 @@ namespace claims {
 
 /// A block with its origin — mergers need the producer's identity to
 /// aggregate per-producer visit-rate contributions (paper §4.3, Fig. 7).
+/// `wire_seq` is the per-(producer, channel) wire sequence number Send
+/// assigns; Receive uses it to suppress duplicated deliveries and detect
+/// losses (docs/FAULTS.md).
 struct NetBlock {
   BlockPtr block;
   int from_node = 0;
+  uint64_t wire_seq = 0;
 };
 
 /// Receive outcomes; kTimeout lets mergers poll their terminate flag while
@@ -41,14 +46,34 @@ class BlockChannel {
   /// declared; without it the channel stays silent even when tracing is on.
   void SetTraceInfo(int exchange_id, int consumer_node, Clock* clock);
 
-  /// Blocks while full; false when cancelled.
-  bool Send(NetBlock block, const std::atomic<bool>* cancel = nullptr);
+  /// Blocks while full; false when cancelled. Assigns the block the next
+  /// wire sequence number of its producer (keyed by `from_node`); the
+  /// assigned value is written to `assigned_seq` when non-null (the fault
+  /// injector's duplication path re-sends under the same sequence).
+  bool Send(NetBlock block, const std::atomic<bool>* cancel = nullptr,
+            uint64_t* assigned_seq = nullptr);
+
+  /// Enqueues a copy of an already-sequenced block *without* assigning a new
+  /// wire sequence — the fault injector's block-duplication fate. The
+  /// receiver's duplicate suppression drops whichever copy arrives second.
+  bool SendDuplicate(NetBlock block, const std::atomic<bool>* cancel = nullptr);
 
   /// One producer finished; at zero the channel closes after draining.
   void CloseProducer();
 
-  /// Waits up to `timeout_ns` for a block.
+  /// Waits up to `timeout_ns` for a block. `timeout_ns <= 0` is a
+  /// non-blocking poll: it returns whatever is decidable right now (kOk,
+  /// kClosed) without waiting, else kTimeout immediately. Duplicated
+  /// deliveries (wire_seq already consumed from that producer) are dropped
+  /// here and never surfaced.
   ChannelStatus Receive(NetBlock* out, int64_t timeout_ns);
+
+  /// Blocks received then dropped as duplicates (fault-injection evidence).
+  int64_t duplicates_suppressed() const;
+  /// Wire-sequence gaps observed (deliveries missing ahead of a received
+  /// block). With send-side retry exhausting, a gap means a block was lost
+  /// for good; the consumer's segment fails rather than silently under-counts.
+  int64_t sequence_gaps() const;
 
   void Cancel();
 
@@ -70,6 +95,15 @@ class BlockChannel {
   int64_t buffered_bytes_ = 0;
   int64_t total_sent_ = 0;
   bool cancelled_ = false;
+  /// Per-producer wire sequencing (keyed by from_node): next seq to assign
+  /// on the send side, next seq expected on the receive side.
+  std::map<int, uint64_t> next_send_seq_;
+  std::map<int, uint64_t> next_recv_seq_;
+  int64_t duplicates_suppressed_ = 0;
+  int64_t sequence_gaps_ = 0;
+
+  bool Enqueue(NetBlock block, const std::atomic<bool>* cancel,
+               bool assign_seq, uint64_t* assigned_seq);
 };
 
 }  // namespace claims

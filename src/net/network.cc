@@ -1,5 +1,7 @@
 #include "net/network.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "obs/trace.h"
 
@@ -13,6 +15,16 @@ Network::Network(int num_nodes, NetworkOptions options, MemoryTracker* memory)
   blocks_sent_metric_ = reg->counter("net.blocks_sent");
   bytes_sent_metric_ = reg->counter("net.bytes_sent");
   remote_bytes_metric_ = reg->counter("net.remote_bytes");
+  sent_metric_ = reg->counter("net.sent");
+  dropped_metric_ = reg->counter("net.dropped");
+  retries_metric_ = reg->counter("net.retries");
+  send_failures_metric_ = reg->counter("net.send_failures");
+  for (int i = 0; i < num_nodes; ++i) {
+    std::string suffix = ":n" + std::to_string(i);
+    sent_per_node_.push_back(reg->counter("net.sent" + suffix));
+    dropped_per_node_.push_back(reg->counter("net.dropped" + suffix));
+    retries_per_node_.push_back(reg->counter("net.retries" + suffix));
+  }
   for (int i = 0; i < num_nodes; ++i) {
     // The buckets share the fabric's clock: under a virtual clock, NIC
     // throttle waits advance virtual time instead of sleeping real time.
@@ -43,29 +55,125 @@ void Network::CreateExchange(int exchange_id, int num_producers,
 
 bool Network::Send(int exchange_id, int from, int to, BlockPtr block,
                    const std::atomic<bool>* cancel) {
-  BlockChannel* channel = GetChannel(exchange_id, to);
-  if (channel == nullptr) return false;
-  int64_t bytes = block->payload_bytes();
-  if (from != to) {
-    if (egress_[from]->Acquire(bytes, cancel) < 0) return false;
-    if (ingress_[to]->Acquire(bytes, cancel) < 0) return false;
-    remote_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-    remote_bytes_metric_->Add(bytes);
+  Route route;
+  route.exchange_id = exchange_id;
+  route.from_logical = route.from_physical = from;
+  route.to_logical = route.to_physical = to;
+  return SendRoute(route, std::move(block), cancel) == SendOutcome::kOk;
+}
+
+void Network::SetFaultInjector(FaultInjector* injector) {
+  injector_.store(injector, std::memory_order_release);
+}
+
+void Network::SetNodeDead(int node) {
+  if (node < 0 || node >= 64) return;
+  dead_mask_.fetch_or(uint64_t{1} << node, std::memory_order_release);
+}
+
+bool Network::NodeAlive(int node) const {
+  if (node < 0 || node >= 64) return true;
+  return ((dead_mask_.load(std::memory_order_acquire) >> node) & 1) == 0;
+}
+
+bool Network::SleepCancellable(int64_t delay_ns,
+                               const std::atomic<bool>* cancel) {
+  while (delay_ns > 0) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+      return false;
+    }
+    int64_t chunk = std::min<int64_t>(delay_ns, 1'000'000);
+    clock_->SleepNanos(chunk);
+    delay_ns -= chunk;
   }
-  bool ok = channel->Send(NetBlock{std::move(block), from}, cancel);
-  if (ok) {
+  return true;
+}
+
+SendOutcome Network::SendRoute(const Route& route, BlockPtr block,
+                               const std::atomic<bool>* cancel) {
+  // Channels are addressed by *logical* endpoints: after re-dispatch the
+  // surviving node keeps consuming the dead node's channel, so producers
+  // need not learn new addresses mid-query.
+  BlockChannel* channel = GetChannel(route.exchange_id, route.to_logical);
+  if (channel == nullptr) return SendOutcome::kUnavailable;
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
+  const int64_t bytes = block->payload_bytes();
+  int64_t backoff_ns = options_.retry_backoff_ns;
+  for (int attempt = 0;; ++attempt) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+      return SendOutcome::kCancelled;
+    }
+    if (!NodeAlive(route.from_physical) || !NodeAlive(route.to_physical)) {
+      send_failures_metric_->Add();
+      return SendOutcome::kUnavailable;
+    }
+    SendDecision decision;
+    if (injector != nullptr) {
+      decision = injector->OnSend(route.exchange_id, route.from_physical,
+                                  route.to_physical);
+    }
+    if (decision.delay_ns > 0 &&
+        !SleepCancellable(decision.delay_ns, cancel)) {
+      return SendOutcome::kCancelled;
+    }
+    if (decision.fate == SendDecision::Fate::kDrop) {
+      dropped_metric_->Add();
+      dropped_per_node_[route.from_physical]->Add();
+      if (attempt + 1 >= options_.max_send_attempts) {
+        send_failures_metric_->Add();
+        return SendOutcome::kUnavailable;
+      }
+      retries_metric_->Add();
+      retries_per_node_[route.from_physical]->Add();
+      // Exponential backoff with symmetric jitter from the injector's seeded
+      // stream, so colliding retriers decorrelate deterministically.
+      double jitter =
+          1.0 + options_.retry_jitter * (2.0 * injector->NextDouble() - 1.0);
+      int64_t wait =
+          std::max<int64_t>(1, static_cast<int64_t>(backoff_ns * jitter));
+      if (!SleepCancellable(wait, cancel)) return SendOutcome::kCancelled;
+      backoff_ns = static_cast<int64_t>(backoff_ns *
+                                        options_.retry_backoff_multiplier);
+      continue;
+    }
+    // NIC budgets are physical: a re-dispatched segment spends its *host's*
+    // bandwidth, and a send that lands on the same box is loopback-free.
+    if (route.from_physical != route.to_physical) {
+      if (egress_[route.from_physical]->Acquire(bytes, cancel) < 0) {
+        return SendOutcome::kCancelled;
+      }
+      if (ingress_[route.to_physical]->Acquire(bytes, cancel) < 0) {
+        return SendOutcome::kCancelled;
+      }
+      remote_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      remote_bytes_metric_->Add(bytes);
+    }
+    // NetBlock carries the logical producer id: mergers key visit-rate
+    // aggregation and wire sequencing on the plan-level endpoint.
+    uint64_t seq = 0;
+    NetBlock net_block{block, route.from_logical, 0};
+    if (!channel->Send(std::move(net_block), cancel, &seq)) {
+      return SendOutcome::kCancelled;
+    }
+    if (decision.fate == SendDecision::Fate::kDuplicate) {
+      // Second copy under the same wire sequence; the receiver's duplicate
+      // suppression drops it. Best-effort: a cancelled duplicate is no loss.
+      channel->SendDuplicate(NetBlock{block, route.from_logical, seq}, cancel);
+    }
     blocks_sent_metric_->Add();
     bytes_sent_metric_->Add(bytes);
+    sent_metric_->Add();
+    sent_per_node_[route.from_physical]->Add();
     TraceCollector* tc = TraceCollector::Global();
     if (tc->enabled()) {
-      tc->Instant(clock_->NowNanos(), from, "net", "send",
-                  {{"exchange", static_cast<int64_t>(exchange_id)},
-                   {"to", static_cast<int64_t>(to)},
+      tc->Instant(clock_->NowNanos(), route.from_physical, "net", "send",
+                  {{"exchange", static_cast<int64_t>(route.exchange_id)},
+                   {"to", static_cast<int64_t>(route.to_physical)},
                    {"bytes", bytes},
                    {"queued", static_cast<int64_t>(channel->size())}});
     }
+    return SendOutcome::kOk;
   }
-  return ok;
 }
 
 void Network::CloseProducer(int exchange_id) {

@@ -9,6 +9,7 @@
 #include "common/clock.h"
 #include "common/macros.h"
 #include "common/memory_tracker.h"
+#include "fault/injector.h"
 #include "net/channel.h"
 #include "net/token_bucket.h"
 #include "obs/metrics_registry.h"
@@ -24,6 +25,34 @@ struct NetworkOptions {
   /// Timestamp source for trace events; nullptr uses SteadyClock, the
   /// virtual-time simulator passes its SimClock.
   Clock* clock = nullptr;
+  /// Send retry policy, exercised only when a fault injector drops blocks
+  /// (the fault-free fabric never NACKs). Backoff is exponential with
+  /// +/- `retry_jitter` relative jitter drawn from the injector's seed.
+  int max_send_attempts = 5;
+  int64_t retry_backoff_ns = 200'000;
+  double retry_backoff_multiplier = 2.0;
+  double retry_jitter = 0.2;
+};
+
+/// Terminal result of a (possibly retried) fabric send.
+enum class SendOutcome {
+  kOk,
+  kCancelled,    ///< the caller's cancel flag tripped mid-send
+  kUnavailable,  ///< endpoint node dead, or drops exhausted every retry
+};
+
+/// A send's addressing. Logical ids name the *plan-level* endpoints (which
+/// partition produced the block, which merger consumes it — channels and
+/// visit-rate accounting key on these); physical ids name the *placement*
+/// (whose NIC budget is charged, whether the send is loopback). They differ
+/// only after node loss, when the executor re-dispatches a logical node's
+/// segments onto a surviving physical node (docs/FAULTS.md).
+struct Route {
+  int exchange_id = 0;
+  int from_logical = 0;
+  int from_physical = 0;
+  int to_logical = 0;
+  int to_physical = 0;
 };
 
 /// The in-process network fabric of the simulated cluster: one BlockChannel
@@ -49,9 +78,27 @@ class Network {
                       int capacity_override = 0);
 
   /// Sends `block` from node `from` to the exchange's channel at node `to`,
-  /// charging NIC budgets. False when cancelled.
+  /// charging NIC budgets. False when cancelled or unavailable. Equivalent
+  /// to SendRoute with logical == physical on both ends.
   bool Send(int exchange_id, int from, int to, BlockPtr block,
             const std::atomic<bool>* cancel = nullptr);
+
+  /// The full-fidelity send: consults the fault injector (drop / delay /
+  /// duplicate fates), retries dropped blocks with exponential backoff +
+  /// jitter up to `max_send_attempts`, fast-fails kUnavailable when either
+  /// physical endpoint is dead, and charges the *physical* NIC budgets while
+  /// addressing the *logical* channel.
+  SendOutcome SendRoute(const Route& route, BlockPtr block,
+                        const std::atomic<bool>* cancel = nullptr);
+
+  /// Attaches the chaos plane; nullptr detaches. The injector must outlive
+  /// every in-flight send.
+  void SetFaultInjector(FaultInjector* injector);
+
+  /// Marks a node crashed: subsequent sends touching it fail kUnavailable
+  /// immediately instead of burning retries. Called by Cluster::KillNode.
+  void SetNodeDead(int node);
+  bool NodeAlive(int node) const;
 
   /// One producer of `exchange_id` is done with *all* destinations.
   void CloseProducer(int exchange_id);
@@ -76,6 +123,10 @@ class Network {
   int64_t total_remote_bytes() const;
 
  private:
+  /// Sleeps `delay_ns` on the fabric clock in cancellation-responsive
+  /// chunks; false when `cancel` trips.
+  bool SleepCancellable(int64_t delay_ns, const std::atomic<bool>* cancel);
+
   int num_nodes_;
   NetworkOptions options_;
   MemoryTracker* memory_;
@@ -83,6 +134,16 @@ class Network {
   MetricCounter* blocks_sent_metric_;
   MetricCounter* bytes_sent_metric_;
   MetricCounter* remote_bytes_metric_;
+  MetricCounter* sent_metric_;
+  MetricCounter* dropped_metric_;
+  MetricCounter* retries_metric_;
+  MetricCounter* send_failures_metric_;
+  /// Per-origin-node fabric health ("net.sent:n3"), resolved at construction.
+  std::vector<MetricCounter*> sent_per_node_;
+  std::vector<MetricCounter*> dropped_per_node_;
+  std::vector<MetricCounter*> retries_per_node_;
+  std::atomic<FaultInjector*> injector_{nullptr};
+  std::atomic<uint64_t> dead_mask_{0};
   std::vector<std::unique_ptr<TokenBucket>> egress_;
   std::vector<std::unique_ptr<TokenBucket>> ingress_;
 

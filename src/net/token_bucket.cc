@@ -6,22 +6,33 @@
 
 namespace claims {
 
+double TokenBucket::BurstBytes(int64_t bytes_per_sec) {
+  // One burst's worth of tokens (up to 64 KB or 10 ms of bandwidth).
+  return std::max<double>(64 * 1024.0,
+                          static_cast<double>(bytes_per_sec) * 0.01);
+}
+
 TokenBucket::TokenBucket(int64_t bytes_per_sec, Clock* clock)
     : bytes_per_sec_(bytes_per_sec),
       clock_(clock != nullptr ? clock : SteadyClock::Default()) {
   last_refill_ns_ = clock_->NowNanos();
-  // One burst's worth of initial tokens (up to 64 KB or 10 ms of bandwidth).
-  tokens_ = bytes_per_sec_ > 0
-                ? std::max<double>(64 * 1024.0, bytes_per_sec_ * 0.01)
-                : 0;
+  tokens_ = bytes_per_sec > 0 ? BurstBytes(bytes_per_sec) : 0;
+}
+
+void TokenBucket::SetBytesPerSec(int64_t bytes_per_sec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_per_sec_.store(bytes_per_sec, std::memory_order_relaxed);
+  // Restart the refill timeline at the new rate and cap any accrued backlog
+  // at the new burst, so a freshly degraded NIC throttles immediately.
+  last_refill_ns_ = clock_->NowNanos();
+  tokens_ = std::min(tokens_, BurstBytes(bytes_per_sec));
 }
 
 int64_t TokenBucket::Acquire(int64_t bytes, const std::atomic<bool>* cancel) {
-  if (bytes_per_sec_ <= 0) {
+  if (bytes_per_sec() <= 0) {
     total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     return 0;
   }
-  const double burst = std::max<double>(64 * 1024.0, bytes_per_sec_ * 0.01);
   int64_t t0 = clock_->NowNanos();
   while (true) {
     if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
@@ -31,9 +42,17 @@ int64_t TokenBucket::Acquire(int64_t bytes, const std::atomic<bool>* cancel) {
     int64_t refill_now = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      // Re-read the rate every round: SetBytesPerSec may rewrite it while we
+      // wait, and owed time must be computed against the rate now in force.
+      const int64_t rate = bytes_per_sec_.load(std::memory_order_relaxed);
+      if (rate <= 0) {
+        total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        return clock_->NowNanos() - t0;
+      }
+      const double burst = BurstBytes(rate);
       refill_now = clock_->NowNanos();
       tokens_ += static_cast<double>(refill_now - last_refill_ns_) / 1e9 *
-                 static_cast<double>(bytes_per_sec_);
+                 static_cast<double>(rate);
       tokens_ = std::min(tokens_, burst + static_cast<double>(bytes));
       last_refill_ns_ = refill_now;
       if (tokens_ >= static_cast<double>(bytes)) {
@@ -41,9 +60,8 @@ int64_t TokenBucket::Acquire(int64_t bytes, const std::atomic<bool>* cancel) {
         total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
         return clock_->NowNanos() - t0;
       }
-      wait_ns = static_cast<int64_t>(
-          (static_cast<double>(bytes) - tokens_) /
-          static_cast<double>(bytes_per_sec_) * 1e9);
+      wait_ns = static_cast<int64_t>((static_cast<double>(bytes) - tokens_) /
+                                     static_cast<double>(rate) * 1e9);
     }
     // Wait roughly until enough tokens accrue, capped so cancellation stays
     // responsive. The wait goes through the injected clock: a virtual clock

@@ -30,8 +30,16 @@ class TokenBucket {
   /// instead of spinning forever.
   int64_t Acquire(int64_t bytes, const std::atomic<bool>* cancel = nullptr);
 
-  int64_t bytes_per_sec() const { return bytes_per_sec_; }
-  bool throttled() const { return bytes_per_sec_ > 0; }
+  /// Rewrites the bandwidth budget (the chaos plane's NIC-degradation fault
+  /// point). Takes effect for acquisitions in flight: waiters re-read the
+  /// rate each refill round. Accrued tokens are clamped to the new burst so
+  /// a degraded NIC cannot spend a healthy-rate backlog.
+  void SetBytesPerSec(int64_t bytes_per_sec);
+
+  int64_t bytes_per_sec() const {
+    return bytes_per_sec_.load(std::memory_order_relaxed);
+  }
+  bool throttled() const { return bytes_per_sec() > 0; }
 
   /// Total bytes that passed through (for utilization accounting).
   int64_t total_bytes() const {
@@ -39,7 +47,9 @@ class TokenBucket {
   }
 
  private:
-  int64_t bytes_per_sec_;
+  static double BurstBytes(int64_t bytes_per_sec);
+
+  std::atomic<int64_t> bytes_per_sec_;
   Clock* clock_;
   std::mutex mu_;
   double tokens_ = 0;

@@ -38,6 +38,12 @@ void StallWatchdog::AddConditionProbe(std::string name,
   condition_probes_.push_back(std::move(probe));
 }
 
+void StallWatchdog::AddContextProvider(std::string name,
+                                       std::function<std::string()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  context_providers_.push_back({std::move(name), std::move(fn)});
+}
+
 void StallWatchdog::Start() {
   if (running_.exchange(true, std::memory_order_acq_rel)) return;
   {
@@ -148,6 +154,13 @@ void StallWatchdog::RaiseIncident(const std::string& probe,
                                          : trace_path.c_str(),
                       tc->size(),
                       static_cast<long long>(tc->dropped_events()));
+  for (const ContextProvider& provider : context_providers_) {
+    std::string context = provider.fn();
+    if (context.empty()) continue;
+    report += "\n--- context: " + provider.name + " ---\n";
+    report += context;
+    if (report.back() != '\n') report.push_back('\n');
+  }
   report += "\n--- metrics snapshot ---\n";
   report += MetricsRegistry::Global()->TextSnapshot();
 

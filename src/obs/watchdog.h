@@ -64,6 +64,12 @@ class StallWatchdog {
 
   void AddProgressProbe(std::string name, std::function<int64_t()> fn);
   void AddConditionProbe(std::string name, std::function<std::string()> fn);
+  /// Context providers run when an incident is raised (not every poll) and
+  /// their output is appended to the report — e.g. the fault plane's
+  /// active-fault list, so a stall report says whether chaos was armed.
+  /// Same contract as probes: thread-safe, non-blocking, registered before
+  /// Start(). An empty return is omitted from the report.
+  void AddContextProvider(std::string name, std::function<std::string()> fn);
 
   /// Launches the sampling thread. No-op when already running.
   void Start();
@@ -95,6 +101,10 @@ class StallWatchdog {
     std::function<std::string()> fn;
     int64_t suppressed_until_ns = 0;
   };
+  struct ContextProvider {
+    std::string name;
+    std::function<std::string()> fn;
+  };
 
   void ThreadMain();
   /// Writes report + dump, bumps counters. `detail` is the probe-specific
@@ -109,6 +119,7 @@ class StallWatchdog {
   mutable std::mutex mu_;  ///< guards probe state and incident bookkeeping
   std::vector<ProgressProbe> progress_probes_;
   std::vector<ConditionProbe> condition_probes_;
+  std::vector<ContextProvider> context_providers_;
   std::vector<std::string> incident_files_;
   int64_t next_incident_id_ = 0;
 

@@ -240,6 +240,11 @@ class SimRun::Impl {
   int64_t BlockDurationNs(Instance* inst, const SimStageProfile& profile,
                           int64_t tuples, NodeState* node);
 
+  // --- fault rendering (capacity faults only; see SimOptions::fault_plan) ----
+  void ScheduleFaults();
+  void ApplySimFault(const FaultSpec& spec, bool activate);
+  int64_t EffectiveNicRate(int node) const;
+
   // --- EP scheduling -------------------------------------------------------------
   void ScheduleTick();
   void FlushWaitTimes();
@@ -254,6 +259,12 @@ class SimRun::Impl {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::map<std::pair<int, int>, std::unique_ptr<Channel>> channels_;
   GlobalThroughputBoard board_;
+
+  /// Per-node multiplier from active kStraggleNode windows (1 = healthy).
+  std::vector<double> node_speed_factor_;
+  /// Per-node kDegradeNic override; <= 0 = the configured hardware rate.
+  std::vector<int64_t> node_nic_override_;
+  std::vector<FaultEvent> fault_events_;
 
   int64_t mem_current_ = 0;
   int64_t mem_peak_ = 0;
@@ -295,6 +306,9 @@ double SimRun::Impl::WorkerSpeed(NodeState* node,
   if (opt_.node_capacity_at) {
     speed *= std::max(0.01, opt_.node_capacity_at(Now()));
   }
+  if (!node_speed_factor_.empty()) {
+    speed *= node_speed_factor_[static_cast<size_t>(node->id)];
+  }
   // Aggregate memory-bandwidth throttle.
   if (profile.mem_bytes_per_tuple > 0 && profile.cpu_ns_per_tuple > 0) {
     double demand = node->mem_demand_bytes_per_ns;
@@ -320,6 +334,52 @@ int64_t SimRun::Impl::BlockDurationNs(Instance* inst,
         duration / static_cast<double>(opt_.hardware.os_quantum_ns);
   }
   return std::max<int64_t>(1, static_cast<int64_t>(duration));
+}
+
+// --- fault rendering -----------------------------------------------------------------
+
+int64_t SimRun::Impl::EffectiveNicRate(int node) const {
+  const int64_t configured = opt_.hardware.nic_bytes_per_sec;
+  if (node_nic_override_.empty()) return configured;
+  const int64_t override_bps = node_nic_override_[static_cast<size_t>(node)];
+  if (override_bps <= 0) return configured;
+  return std::min(override_bps, configured);
+}
+
+void SimRun::Impl::ScheduleFaults() {
+  node_speed_factor_.assign(static_cast<size_t>(opt_.num_nodes), 1.0);
+  node_nic_override_.assign(static_cast<size_t>(opt_.num_nodes), 0);
+  for (const FaultSpec& fault : opt_.fault_plan.faults) {
+    if (fault.kind != FaultKind::kStraggleNode &&
+        fault.kind != FaultKind::kDegradeNic) {
+      continue;  // loss faults and crashes are real-engine-only
+    }
+    FaultSpec spec = fault;
+    events_.Schedule(spec.at_ns, [this, spec] { ApplySimFault(spec, true); });
+    if (spec.duration_ns > 0) {
+      events_.Schedule(spec.at_ns + spec.duration_ns,
+                       [this, spec] { ApplySimFault(spec, false); });
+    }
+  }
+}
+
+void SimRun::Impl::ApplySimFault(const FaultSpec& spec, bool activate) {
+  FaultEvent event;
+  event.at_ns = activate ? spec.at_ns : spec.at_ns + spec.duration_ns;
+  event.activated = activate;
+  event.description = spec.ToString();
+  fault_events_.push_back(std::move(event));
+  const int first = spec.node < 0 ? 0 : spec.node;
+  const int last = spec.node < 0 ? opt_.num_nodes - 1 : spec.node;
+  for (int n = first; n <= last && n < opt_.num_nodes; ++n) {
+    if (spec.kind == FaultKind::kStraggleNode) {
+      node_speed_factor_[static_cast<size_t>(n)] =
+          activate ? 1.0 / std::max(1.0, spec.slowdown_factor) : 1.0;
+    } else {
+      node_nic_override_[static_cast<size_t>(n)] =
+          activate ? spec.bandwidth_bytes_per_sec : 0;
+    }
+  }
 }
 
 // --- worker main ---------------------------------------------------------------------
@@ -763,8 +823,12 @@ void SimRun::Impl::PumpOutbox(Instance* inst) {
   if (ch->node != from->id && opt_.hardware.nic_bytes_per_sec > 0) {
     int64_t bytes = block.bytes();
     int64_t depart = std::max(Now(), from->egress_free);
+    // A degraded NIC on either endpoint bounds the transfer (the slower of
+    // the sender's egress and the receiver's ingress budgets).
+    int64_t rate = std::min(EffectiveNicRate(from->id),
+                            EffectiveNicRate(ch->node));
     int64_t dt = static_cast<int64_t>(
-        static_cast<double>(bytes) / opt_.hardware.nic_bytes_per_sec * 1e9);
+        static_cast<double>(bytes) / static_cast<double>(rate) * 1e9);
     from->egress_free = depart + dt;
     from->egress_busy_ns += dt;
     AddToWindows(&from->window_net_ns, depart, depart + dt, 1.0);
@@ -1104,6 +1168,7 @@ Result<SimMetrics> SimRun::Impl::Run() {
     }
     nodes_.push_back(std::move(node));
   }
+  ScheduleFaults();
 
   // Channels.
   bool unbounded = opt_.policy == SimPolicy::kMaterialized;
@@ -1281,6 +1346,7 @@ Result<SimMetrics> SimRun::Impl::Run() {
                    : 0;
   m.peak_memory_bytes = mem_peak_;
   m.network_bytes = network_bytes_;
+  m.fault_log = FormatFaultEventLog(fault_events_);
 
   // High-utilization windows: avg CPU across nodes, or any saturated NIC.
   int64_t nwin = done_at_ / opt_.utilization_window_ns + 1;

@@ -9,6 +9,7 @@
 
 #include "cluster/exchange.h"
 #include "core/scheduler.h"
+#include "fault/fault_plan.h"
 #include "sim/cost_model.h"
 #include "sim/event_queue.h"
 
@@ -102,6 +103,13 @@ struct SimOptions {
   /// High-utilization threshold θ_u (§5.4).
   double high_utilization_threshold = 0.95;
   uint64_t seed = 7;
+  /// Chaos schedule rendered in virtual time. The simulator's lossless
+  /// fabric has no retransmission model, so only the capacity faults apply:
+  /// kStraggleNode scales the node's worker speed by 1/slowdown_factor and
+  /// kDegradeNic caps the node's NIC rate for the window. Loss faults
+  /// (drop/delay/dup/disconnect) and kCrashNode are real-engine-only
+  /// (docs/FAULTS.md); the plan's per-send probabilities are ignored here.
+  FaultPlan fault_plan;
 };
 
 /// Parallelism trace sample (Figs. 10–12).
@@ -126,6 +134,10 @@ struct SimMetrics {
   /// First virtual time after which node-0 parallelism stayed within ±1 of
   /// its final per-phase value (Fig. 13 convergence delay, approximated).
   int64_t convergence_ns = 0;
+  /// Virtual-time fault transitions (FormatFaultEventLog); byte-identical
+  /// across runs of the same spec + options — the determinism artifact the
+  /// chaos tests diff. Empty when fault_plan has no applicable faults.
+  std::string fault_log;
 };
 
 /// Runs one simulated query. Single-shot object; deterministic given the

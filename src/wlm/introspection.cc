@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "common/string_util.h"
+#include "fault/injector.h"
 #include "obs/trace.h"
 
 namespace claims {
@@ -74,6 +75,13 @@ void IntrospectionPlane::RegisterRoutes() {
   monitor_.AddHandler("GET", "/scheduler", [this](const HttpRequest&) {
     return HttpResponse::Json(SchedulerJson());
   });
+  monitor_.AddHandler("GET", "/faults", [this](const HttpRequest&) {
+    return HttpResponse::Json(FaultsJson());
+  });
+}
+
+void IntrospectionPlane::AttachFaultInjector(FaultInjector* injector) {
+  injector_.store(injector, std::memory_order_release);
 }
 
 void IntrospectionPlane::RegisterProbes() {
@@ -112,7 +120,11 @@ void IntrospectionPlane::RegisterProbes() {
   watchdog_.AddConditionProbe("wlm.deadline_breach", [this, grace_ns]() {
     const int64_t now = SteadyClock::Default()->NowNanos();
     for (const QueryInfo& q : service_->ListQueries()) {
-      if (q.state != QueryState::kRunning || q.deadline_ns <= 0) continue;
+      if ((q.state != QueryState::kRunning &&
+           q.state != QueryState::kRetrying) ||
+          q.deadline_ns <= 0) {
+        continue;
+      }
       if (now - q.deadline_ns > grace_ns) {
         return StrFormat(
             "query %llu (%s) is %.2f s past its deadline and still running",
@@ -121,6 +133,15 @@ void IntrospectionPlane::RegisterProbes() {
       }
     }
     return std::string();
+  });
+
+  // Incident context: when a stall fires under chaos, the report should say
+  // which faults were in force — a wedged pipeline under an armed injector
+  // is usually the injector doing its job, not a product bug.
+  watchdog_.AddContextProvider("fault.active", [this]() {
+    FaultInjector* injector = injector_.load(std::memory_order_acquire);
+    if (injector == nullptr) return std::string();
+    return injector->DescribeActiveFaults();
   });
 }
 
@@ -198,6 +219,22 @@ std::string IntrospectionPlane::SchedulerJson() const {
     out += "]}";
   }
   out += StrFormat("],\"global_lambda\":%s}", JsonNumber(global_lambda).c_str());
+  return out;
+}
+
+std::string IntrospectionPlane::FaultsJson() const {
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
+  if (injector == nullptr) return "{\"attached\":false}";
+  std::string out = StrFormat(
+      "{\"attached\":true,\"seed\":%llu,\"elapsed_ns\":%lld,\"plan\":",
+      static_cast<unsigned long long>(injector->plan().seed),
+      static_cast<long long>(injector->ElapsedNanos()));
+  AppendJsonString(&out, injector->plan().ToString());
+  out += ",\"active\":";
+  AppendJsonString(&out, injector->DescribeActiveFaults());
+  out += ",\"events\":";
+  AppendJsonString(&out, injector->EventLogText());
+  out.push_back('}');
   return out;
 }
 

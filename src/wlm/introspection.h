@@ -1,6 +1,7 @@
 #ifndef CLAIMS_WLM_INTROSPECTION_H_
 #define CLAIMS_WLM_INTROSPECTION_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -11,6 +12,8 @@
 #include "wlm/query_service.h"
 
 namespace claims {
+
+class FaultInjector;
 
 /// Configuration of the whole introspection plane. Like MonitorOptions,
 /// everything defaults to OFF: a default-constructed plane starts no server,
@@ -69,10 +72,18 @@ class IntrospectionPlane {
   MonitorServer* monitor() { return &monitor_; }
   StallWatchdog* watchdog() { return &watchdog_; }
 
+  /// Surfaces an armed chaos plane: adds GET /faults (planned schedule,
+  /// active faults, event log so far) and a watchdog context provider so
+  /// incident reports record whether — and which — faults were live when a
+  /// stall fired. Pass nullptr to detach. The injector must outlive the
+  /// plane or the next AttachFaultInjector(nullptr).
+  void AttachFaultInjector(FaultInjector* injector);
+
   /// JSON bodies of the registered routes (exposed for tests; the HTTP
   /// handlers return exactly these strings).
   std::string QueriesJson() const;
   std::string SchedulerJson() const;
+  std::string FaultsJson() const;
 
  private:
   void RegisterRoutes();
@@ -82,6 +93,7 @@ class IntrospectionPlane {
   IntrospectionOptions options_;
   MonitorServer monitor_;
   StallWatchdog watchdog_;
+  std::atomic<FaultInjector*> injector_{nullptr};
 };
 
 }  // namespace claims

@@ -32,6 +32,8 @@ const char* QueryStateName(QueryState state) {
       return "QUEUED";
     case QueryState::kRunning:
       return "RUNNING";
+    case QueryState::kRetrying:
+      return "RETRYING";
     case QueryState::kDone:
       return "DONE";
   }
@@ -146,6 +148,7 @@ QueryService::QueryService(Cluster* cluster, QueryServiceOptions options)
   failed_metric_ = reg->counter("wlm.failed");
   cancelled_metric_ = reg->counter("wlm.cancelled");
   deadline_metric_ = reg->counter("wlm.deadline_exceeded");
+  retries_metric_ = reg->counter("wlm.retries");
   queue_wait_metric_ = reg->histogram("wlm.queue_wait_ns");
   latency_metric_ = reg->histogram("wlm.latency_ns");
 
@@ -352,37 +355,55 @@ void QueryService::RunQuery(const QueryHandlePtr& handle) {
   Clock* clock = SteadyClock::Default();
   const int64_t dispatch_ns = clock->NowNanos();
   const int64_t queue_wait_ns = dispatch_ns - handle->submit_ns_;
-
-  Executor* executor = nullptr;
   {
     std::lock_guard<std::mutex> lock(handle->mu_);
     handle->dispatch_ns_ = dispatch_ns;
-    if (!handle->cancel_requested_) {
-      handle->executor_ = std::make_unique<Executor>(cluster_);
-      handle->state_ = QueryState::kRunning;
-      executor = handle->executor_.get();
-    }
   }
+
+  const int max_attempts =
+      std::clamp(handle->options_.retry.max_attempts, 1, 8);
+  int64_t backoff_ns =
+      std::max<int64_t>(1, handle->options_.retry.initial_backoff_ns);
+  const int64_t deadline_ns =
+      handle->options_.timeout_ns > 0
+          ? handle->submit_ns_ + handle->options_.timeout_ns
+          : 0;
 
   Status status;
   ResultSet result;
   ExecutionReport report;
-  if (executor == nullptr) {
-    // Cancelled between admission and dispatch.
-    status = Status::Cancelled("cancelled before dispatch");
-  } else {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Fresh Executor per attempt (an executor is one-shot: cancellation and
+    // node-loss latches are sticky), installed under handle mu_ so Cancel()
+    // always reaches the attempt in flight.
+    Executor* executor = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(handle->mu_);
+      if (!handle->cancel_requested_) {
+        handle->executor_ = std::make_unique<Executor>(cluster_);
+        handle->state_ = QueryState::kRunning;
+        executor = handle->executor_.get();
+      }
+    }
+    if (executor == nullptr) {
+      // Cancelled between admission and dispatch (or during backoff).
+      status = Status::Cancelled("cancelled before dispatch");
+      break;
+    }
     ExecOptions exec = handle->options_.exec;
     exec.exclusive_cluster = false;
     exec.queue_wait_ns = queue_wait_ns;
-    // Disjoint exchange-id namespace per execution; ids recycle after 1M
-    // in-flight-distinct queries, far beyond any overlap window.
-    exec.exchange_id_base =
-        static_cast<int>(1 + (handle->id_ % 1'000'000) * 1000);
-    if (handle->options_.timeout_ns > 0) {
-      exec.deadline_ns = handle->submit_ns_ + handle->options_.timeout_ns;
-    }
+    // Disjoint exchange-id namespace per (query, attempt): a retried query
+    // restarts idempotently in fresh channels — nothing a dead attempt left
+    // in the fabric can leak into the re-dispatch. Ids recycle after 1M
+    // in-flight-distinct attempts, far beyond any overlap window.
+    exec.exchange_id_base = static_cast<int>(
+        1 + ((handle->id_ * 8 + static_cast<uint64_t>(attempt)) % 1'000'000) *
+                1000);
+    exec.deadline_ns = deadline_ns;
     Result<ResultSet> r = executor->Execute(handle->plan_, exec);
     if (r.ok()) {
+      status = Status::OK();
       result = std::move(r).value();
       // LIMIT applies at the collector (same as Database::Query).
       if (handle->plan_.limit >= 0) result.TruncateRows(handle->plan_.limit);
@@ -390,6 +411,42 @@ void QueryService::RunQuery(const QueryHandlePtr& handle) {
       status = r.status();
     }
     report = executor->report();
+    // Only transient infrastructure failure re-dispatches.
+    if (status.code() != StatusCode::kUnavailable ||
+        attempt + 1 >= max_attempts) {
+      break;
+    }
+    retries_metric_->Add();
+    {
+      std::lock_guard<std::mutex> lock(handle->mu_);
+      if (handle->cancel_requested_) break;
+      handle->state_ = QueryState::kRetrying;
+    }
+    // Backoff in cancellation-responsive chunks; give up re-dispatching if
+    // the query's own deadline lands first.
+    int64_t remaining = backoff_ns;
+    bool aborted = false;
+    while (remaining > 0) {
+      if (deadline_ns > 0 && clock->NowNanos() >= deadline_ns) {
+        status = Status::DeadlineExceeded("deadline expired while retrying");
+        aborted = true;
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(handle->mu_);
+        if (handle->cancel_requested_) {
+          status = Status::Cancelled("cancelled while retrying");
+          aborted = true;
+          break;
+        }
+      }
+      const int64_t chunk = std::min<int64_t>(remaining, 5'000'000);
+      clock->SleepNanos(chunk);
+      remaining -= chunk;
+    }
+    if (aborted) break;
+    backoff_ns = static_cast<int64_t>(
+        backoff_ns * std::max(1.0, handle->options_.retry.backoff_multiplier));
   }
 
   const int64_t done_ns = clock->NowNanos();

@@ -18,12 +18,26 @@ namespace claims {
 class QueryService;
 
 /// Lifecycle of a submitted query:
-///   kQueued  — waiting for admission (or for a worker);
-///   kRunning — an Executor is executing it on the cluster;
-///   kDone    — finished; status()/result()/report() are valid.
-enum class QueryState { kQueued, kRunning, kDone };
+///   kQueued   — waiting for admission (or for a worker);
+///   kRunning  — an Executor is executing it on the cluster;
+///   kRetrying — the last attempt failed kUnavailable (node loss, exhausted
+///               send retries); the service is backing off before
+///               re-dispatching onto the surviving nodes;
+///   kDone     — finished; status()/result()/report() are valid.
+enum class QueryState { kQueued, kRunning, kRetrying, kDone };
 
 const char* QueryStateName(QueryState state);
+
+/// Query-level retry on transient infrastructure failure. Only
+/// StatusCode::kUnavailable is retryable — cancellation, deadlines, and
+/// logic errors never re-run. Attempts are capped at 8 regardless of the
+/// configured value; the query's deadline keeps counting across attempts.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retry.
+  int max_attempts = 1;
+  int64_t initial_backoff_ns = 10'000'000;  // 10 ms
+  double backoff_multiplier = 2.0;
+};
 
 /// Per-submission options layered on top of the executor's.
 struct SubmitOptions {
@@ -37,6 +51,8 @@ struct SubmitOptions {
   /// 0 = none. Expiry surfaces as kDeadlineExceeded whether the query was
   /// still queued or already running.
   int64_t timeout_ns = 0;
+  /// Re-dispatch policy for kUnavailable failures.
+  RetryPolicy retry;
   /// Shown in traces and reports; defaults to "q<id>".
   std::string label;
 };
@@ -208,6 +224,7 @@ class QueryService {
   MetricCounter* failed_metric_;
   MetricCounter* cancelled_metric_;
   MetricCounter* deadline_metric_;
+  MetricCounter* retries_metric_;
   MetricHistogram* queue_wait_metric_;
   MetricHistogram* latency_metric_;
 

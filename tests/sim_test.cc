@@ -313,6 +313,44 @@ TEST(SimPipelineTest, SelectivityProfileShiftsWork) {
   EXPECT_GT(late, early);
 }
 
+TEST(SimPipelineTest, CapacityFaultsSlowTheRunDeterministically) {
+  // The simulator's chaos subset: a compute straggler plus a degraded NIC,
+  // both covering the whole run. The faulted run must be slower than the
+  // baseline and its virtual-time fault log byte-identical across runs.
+  SseSimParams p = SmallSse();
+  SimCostParams c;
+  SimOptions opt;
+  opt.num_nodes = p.num_nodes;
+  opt.policy = SimPolicy::kElastic;
+  opt.parallelism = 1;
+
+  SimRun base(SseQ9Spec(p, c), opt);
+  auto m0 = base.Run();
+  ASSERT_TRUE(m0.ok());
+  EXPECT_TRUE(m0->fault_log.empty());
+
+  auto plan = ParseFaultPlan(
+      "at=0ns kind=straggle node=1 dur=10000s factor=6\n"
+      "at=0ns kind=nic node=2 dur=10000s bps=1000000\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  opt.fault_plan = *plan;
+
+  auto faulted = [&] {
+    SimRun run(SseQ9Spec(p, c), opt);
+    auto m = run.Run();
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return m.ok() ? std::move(*m) : SimMetrics{};
+  };
+  SimMetrics m1 = faulted();
+  SimMetrics m2 = faulted();
+  EXPECT_GT(m1.response_ns, m0->response_ns);
+  EXPECT_FALSE(m1.fault_log.empty());
+  EXPECT_EQ(m1.fault_log, m2.fault_log);
+  EXPECT_EQ(m1.response_ns, m2.response_ns);
+  EXPECT_NE(m1.fault_log.find("kind=straggle"), std::string::npos);
+  EXPECT_NE(m1.fault_log.find("kind=nic"), std::string::npos);
+}
+
 TEST(SimSpecsTest, TpchProfilesExist) {
   for (int q : {1, 2, 3, 5, 6, 7, 8, 9, 10, 12, 14}) {
     auto p = TpchProfileFor(q);

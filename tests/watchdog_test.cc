@@ -126,6 +126,31 @@ TEST(StallWatchdogTest, ConditionProbeRaisesWithDetail) {
   EXPECT_NE(report.find("deadline breached by q7"), std::string::npos);
 }
 
+TEST(StallWatchdogTest, ContextProvidersAppendToIncidentReports) {
+  ManualClock clock;
+  StallWatchdog watchdog(TestOptions(), &clock);
+  // The chaos-plane wiring: a provider that names the faults in force when
+  // the incident fires, and one that is quiet (omitted from the report).
+  watchdog.AddContextProvider("fault.active", [] {
+    return std::string("at=10ms kind=nic node=1 dur=100ms bps=2000000");
+  });
+  watchdog.AddContextProvider("fault.idle", [] { return std::string(); });
+  watchdog.AddProgressProbe("ticks", [] { return int64_t{9}; });
+  watchdog.PollOnce();
+  clock.Advance(1'100'000'000);
+  EXPECT_EQ(watchdog.PollOnce(), 1);
+  ASSERT_EQ(watchdog.incident_files().size(), 1u);
+  std::FILE* f = std::fopen(watchdog.incident_files()[0].c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[8192];
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::string report(buf, n);
+  EXPECT_NE(report.find("--- context: fault.active ---"), std::string::npos);
+  EXPECT_NE(report.find("kind=nic node=1"), std::string::npos);
+  EXPECT_EQ(report.find("fault.idle"), std::string::npos);
+}
+
 TEST(StallWatchdogTest, DumpsFlightRecorderWhenEnabled) {
   ManualClock clock;
   WatchdogOptions options = TestOptions();
