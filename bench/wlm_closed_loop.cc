@@ -6,10 +6,15 @@
 //
 //   wlm_closed_loop [--queries N] [--mpl M] [--open [--rate QPS]]
 //                   [--scale SF] [--seed S] [--json] [--monitor-port P]
-//                   [--linger SEC]
+//                   [--linger SEC] [--profile]
 //
 // --seed fixes the driver's deterministic randomness (open-mode Poisson
 // inter-arrivals); two runs with the same seed submit the same schedule.
+//
+// --profile arms the causal query profiler for the whole run and, after the
+// workload drains, prints the slowest profiled query's critical path and
+// timeline (docs/OBSERVABILITY.md). With --monitor-port, every profile is
+// also live at GET /profile/<id> under the same ids /queries shows.
 //
 // --monitor-port starts the live introspection plane (HTTP monitoring
 // endpoint + flight recorder + watchdog) on 127.0.0.1:P (0 = ephemeral; the
@@ -30,6 +35,8 @@
 #include "bench/bench_util.h"
 #include "engine/database.h"
 #include "engine/workloads.h"
+#include "obs/profile/assembler.h"
+#include "obs/profile/profiler.h"
 #include "obs/trace.h"
 #include "wlm/driver/workload_driver.h"
 #include "wlm/introspection.h"
@@ -45,6 +52,7 @@ int main(int argc, char** argv) {
   double rate = 0;
   bool open = false;
   bool json = false;
+  bool profile = false;
   int monitor_port = -1;  // -1 = monitoring off
   double linger_sec = 0;
   uint64_t seed = 42;
@@ -68,6 +76,8 @@ int main(int argc, char** argv) {
       open = true;
     } else if (!std::strcmp(argv[i], "--json")) {
       json = true;
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      profile = true;
     } else if (!std::strcmp(argv[i], "--monitor-port")) {
       monitor_port = static_cast<int>(next("--monitor-port"));
     } else if (!std::strcmp(argv[i], "--linger")) {
@@ -145,6 +155,8 @@ int main(int argc, char** argv) {
   };
   wopts.priority_of = [](int seq) { return seq % 3; };
 
+  if (profile) QueryProfiler::Global()->Arm();
+
   WorkloadDriver driver(&service, wopts);
   WorkloadReport report = driver.Run();
 
@@ -154,11 +166,27 @@ int main(int argc, char** argv) {
     bench::Title("Workload manager: TPC-H subset traffic");
     std::printf("%s\n", report.ToString().c_str());
   }
+  if (profile) {
+    // Every finished query stored an assembled profile under its wlm handle
+    // id; show the one that hurt most. (The ring keeps the last 64, which
+    // covers any CI-sized run; size bigger workloads accordingly.)
+    std::shared_ptr<const QueryProfile> slowest;
+    for (const auto& p : QueryProfiler::Global()->ListProfiles()) {
+      if (slowest == nullptr || p->wall_ns() > slowest->wall_ns()) slowest = p;
+    }
+    if (slowest != nullptr) {
+      bench::Title("Slowest profiled query: critical path");
+      std::printf("%s\n", slowest->ToText().c_str());
+    } else {
+      std::printf("no profiles recorded\n");
+    }
+  }
   std::fflush(stdout);
   if (plane && linger_sec > 0) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(static_cast<int64_t>(linger_sec * 1000)));
   }
+  if (profile) QueryProfiler::Global()->Disarm();
   if (plane) plane->Stop();
   return report.succeeded == report.total ? 0 : 1;
 }

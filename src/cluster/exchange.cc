@@ -1,16 +1,62 @@
 #include "cluster/exchange.h"
 
+#include "obs/profile/profiler.h"
 #include "storage/partition.h"
 
 namespace claims {
 
 MergerIterator::MergerIterator(BlockChannel* channel, SegmentStats* stats,
                                Clock* clock, int64_t poll_ns)
+    : MergerIterator(channel, stats, clock, poll_ns, ProfileInfo()) {}
+
+MergerIterator::MergerIterator(BlockChannel* channel, SegmentStats* stats,
+                               Clock* clock, int64_t poll_ns,
+                               ProfileInfo profile)
     : channel_(channel),
       stats_(stats),
       visit_rates_(stats),
       clock_(clock != nullptr ? clock : SteadyClock::Default()),
-      poll_ns_(poll_ns) {}
+      poll_ns_(poll_ns),
+      profile_(std::move(profile)) {}
+
+MergerIterator::~MergerIterator() {
+  // A merger torn down while starved (cancellation, shrink-to-zero) must not
+  // leak its open blocked-input span.
+  uint64_t token = blocked_token_.exchange(0, std::memory_order_acq_rel);
+  if (token != 0) QueryProfiler::Global()->AbortOpen(token);
+}
+
+void MergerIterator::NoteStarved(int64_t t0) {
+  if (profile_.query_id == 0) return;
+  QueryProfiler* profiler = QueryProfiler::Global();
+  if (!profiler->armed()) return;
+  if (blocked_token_.load(std::memory_order_acquire) != 0) return;
+  ProfSpan span;
+  span.query_id = profile_.query_id;
+  span.kind = SpanKind::kBlockedInput;
+  span.name = "starved";
+  span.segment = profile_.segment;
+  span.node = profile_.node;
+  span.start_ns = t0;
+  span.exchange_id = profile_.exchange_id;
+  span.to_node = profile_.node;
+  uint64_t token = profiler->BeginOpen(span);
+  if (token == 0) return;
+  uint64_t expected = 0;
+  if (!blocked_token_.compare_exchange_strong(expected, token,
+                                              std::memory_order_acq_rel)) {
+    profiler->AbortOpen(token);  // another worker opened one first
+  }
+}
+
+void MergerIterator::ResolveStarved(int64_t end_ns, uint64_t wire_seq,
+                                    int from_node) {
+  uint64_t token = blocked_token_.exchange(0, std::memory_order_acq_rel);
+  if (token == 0) return;
+  // Kept even when short: the resolved (wire_seq, from_node) is the causal
+  // link the assembler follows from this wait to the producing segment.
+  QueryProfiler::Global()->EndOpen(token, end_ns, wire_seq, from_node);
+}
 
 NextResult MergerIterator::Open(WorkerContext* ctx) {
   if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
@@ -31,6 +77,28 @@ NextResult MergerIterator::Next(WorkerContext* ctx, BlockPtr* out) {
                                        std::memory_order_relaxed);
         visit_rates_.Observe(nb.from_node, nb.block->visit_rate());
       }
+      if (profile_.query_id != 0) {
+        QueryProfiler* profiler = QueryProfiler::Global();
+        if (profiler->armed()) {
+          const int64_t t1 = clock_->NowNanos();
+          ResolveStarved(t1, nb.wire_seq + 1, nb.from_node);
+          ProfSpan span;
+          span.query_id = profile_.query_id;
+          span.kind = SpanKind::kNetRecv;
+          span.name = "recv";
+          span.segment = profile_.segment;
+          span.node = profile_.node;
+          span.start_ns = t0;
+          span.end_ns = t1;
+          span.tuples = nb.block->num_rows();
+          span.bytes = nb.block->payload_bytes();
+          span.exchange_id = profile_.exchange_id;
+          span.from_node = nb.from_node;
+          span.to_node = profile_.node;
+          span.wire_seq = nb.wire_seq + 1;  // 1-based, matching the send span
+          profiler->EmitComplete(std::move(span));
+        }
+      }
       // Re-number: the merger is this segment's stage beginner.
       nb.block->set_sequence_number(
           next_sequence_.fetch_add(1, std::memory_order_relaxed));
@@ -40,16 +108,26 @@ NextResult MergerIterator::Next(WorkerContext* ctx, BlockPtr* out) {
       *out = std::move(nb.block);
       return NextResult::kSuccess;
     }
-    if (status == ChannelStatus::kClosed) return NextResult::kEndOfFile;
+    if (status == ChannelStatus::kClosed) {
+      // End-of-stream: any open wait was for data that will never come —
+      // attribute nothing (drop it) rather than fabricate a causal edge.
+      uint64_t token = blocked_token_.exchange(0, std::memory_order_acq_rel);
+      if (token != 0) QueryProfiler::Global()->AbortOpen(token);
+      return NextResult::kEndOfFile;
+    }
     // Timeout: starved — record the wait so the scheduler can tell.
     if (stats_ != nullptr) {
       stats_->blocked_input_ns.fetch_add(clock_->NowNanos() - t0,
                                          std::memory_order_relaxed);
     }
+    NoteStarved(t0);
   }
 }
 
-void MergerIterator::Close() {}
+void MergerIterator::Close() {
+  uint64_t token = blocked_token_.exchange(0, std::memory_order_acq_rel);
+  if (token != 0) QueryProfiler::Global()->AbortOpen(token);
+}
 
 SenderPump::SenderPump(Spec spec)
     : spec_(std::move(spec)), sent_tuples_(spec_.consumer_nodes.size()) {}
@@ -85,8 +163,39 @@ bool SenderPump::SendBlock(int dest_index, BlockPtr block,
       static_cast<size_t>(dest_index) < spec_.consumer_placement.size()
           ? spec_.consumer_placement[dest_index]
           : route.to_logical;
+  QueryProfiler* profiler = QueryProfiler::Global();
+  const bool profiled = spec_.query_id != 0 && profiler->armed();
+  Clock* clock = nullptr;
+  int64_t t0 = 0;
+  int64_t bytes = 0;
+  if (profiled) {
+    clock = spec_.clock != nullptr ? spec_.clock : SteadyClock::Default();
+    t0 = clock->NowNanos();
+    bytes = block->payload_bytes();
+  }
+  uint64_t wire_seq = 0;
   SendOutcome outcome =
-      spec_.network->SendRoute(route, std::move(block), cancel);
+      spec_.network->SendRoute(route, std::move(block), cancel, &wire_seq);
+  if (profiled && outcome == SendOutcome::kOk) {
+    // The span covers retries and NIC throttle waits too: that *is* the time
+    // this block spent getting onto the wire, and the critical path should
+    // charge it to the exchange when the consumer was waiting on it.
+    ProfSpan span;
+    span.query_id = spec_.query_id;
+    span.kind = SpanKind::kNetSend;
+    span.name = "send";
+    span.segment = spec_.segment_label;
+    span.node = spec_.from_node;
+    span.start_ns = t0;
+    span.end_ns = clock->NowNanos();
+    span.tuples = rows;
+    span.bytes = bytes;
+    span.exchange_id = spec_.exchange_id;
+    span.from_node = route.from_logical;
+    span.to_node = route.to_logical;
+    span.wire_seq = wire_seq + 1;  // span seqs are 1-based; 0 = unlinked
+    profiler->EmitComplete(std::move(span));
+  }
   if (outcome == SendOutcome::kUnavailable) {
     send_unavailable_.store(true, std::memory_order_release);
   }

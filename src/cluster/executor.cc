@@ -8,9 +8,38 @@
 #include "common/string_util.h"
 #include "exec/ops/filter.h"
 #include "exec/ops/hash_join.h"
+#include "exec/ops/profiling_iterator.h"
 #include "exec/ops/scan.h"
+#include "obs/profile/assembler.h"
+#include "obs/profile/profiler.h"
 
 namespace claims {
+
+namespace {
+
+/// Short operator label for profile attribution.
+std::string POpName(const POp& op) {
+  switch (op.kind) {
+    case POp::Kind::kScan: return "scan(" + op.table_name + ")";
+    case POp::Kind::kMerger: return "merger";
+    case POp::Kind::kFilter: return "filter";
+    case POp::Kind::kProject: return "project";
+    case POp::Kind::kHashJoin: return "hash-join";
+    case POp::Kind::kHashAgg: return "hash-agg";
+    case POp::Kind::kSort: return "sort";
+  }
+  return "op";
+}
+
+/// Process-unique profiler query ids for callers that did not bring one
+/// (benches, single-query tools). Starts high so workload-manager handle ids
+/// (small integers) never collide.
+uint64_t NextAutoQueryId() {
+  static std::atomic<uint64_t> next{1u << 30};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 const char* ExecModeName(ExecMode mode) {
   switch (mode) {
@@ -24,7 +53,29 @@ const char* ExecModeName(ExecMode mode) {
 Executor::Executor(Cluster* cluster) : cluster_(cluster) {}
 
 Result<std::unique_ptr<Iterator>> Executor::BuildIterator(
-    const POp& op, int node, SegmentStats* stats, const ExecOptions& opts) {
+    const POp& op, int node, SegmentStats* stats, const ExecOptions& opts,
+    ProfileBuild* prof, int parent_op) {
+  // Pre-order id: assigned before the children recurse, so parents number
+  // lower than their whole subtree.
+  const int my_op = prof != nullptr ? prof->next_op_id++ : -1;
+  CLAIMS_ASSIGN_OR_RETURN(
+      std::unique_ptr<Iterator> it,
+      BuildIteratorInner(op, node, stats, opts, prof, my_op));
+  if (prof == nullptr) return std::move(it);
+  ProfilingIterator::Identity ident;
+  ident.query_id = prof->query_id;
+  ident.op_name = POpName(op);
+  ident.segment = prof->segment;
+  ident.node = prof->node;
+  ident.op_id = my_op;
+  ident.parent_op = parent_op;
+  return std::unique_ptr<Iterator>(
+      std::make_unique<ProfilingIterator>(std::move(it), std::move(ident)));
+}
+
+Result<std::unique_ptr<Iterator>> Executor::BuildIteratorInner(
+    const POp& op, int node, SegmentStats* stats, const ExecOptions& opts,
+    ProfileBuild* prof, int my_op) {
   switch (op.kind) {
     case POp::Kind::kScan: {
       CLAIMS_ASSIGN_OR_RETURN(TablePtr table,
@@ -50,20 +101,28 @@ Result<std::unique_ptr<Iterator>> Executor::BuildIterator(
             StrFormat("no channel for exchange %d at node %d", op.exchange_id,
                       node));
       }
+      MergerIterator::ProfileInfo pinfo;
+      if (prof != nullptr) {
+        pinfo.query_id = prof->query_id;
+        pinfo.exchange_id = op.exchange_id + opts.exchange_id_base;
+        pinfo.node = node;
+        pinfo.segment = prof->segment;
+      }
       return std::unique_ptr<Iterator>(std::make_unique<MergerIterator>(
-          channel, stats, SteadyClock::Default()));
+          channel, stats, SteadyClock::Default(), /*poll_ns=*/1'000'000,
+          std::move(pinfo)));
     }
     case POp::Kind::kFilter: {
       CLAIMS_ASSIGN_OR_RETURN(
           std::unique_ptr<Iterator> child,
-          BuildIterator(*op.children[0], node, stats, opts));
+          BuildIterator(*op.children[0], node, stats, opts, prof, my_op));
       return std::unique_ptr<Iterator>(std::make_unique<FilterIterator>(
           std::move(child), &op.children[0]->output_schema, op.predicate));
     }
     case POp::Kind::kProject: {
       CLAIMS_ASSIGN_OR_RETURN(
           std::unique_ptr<Iterator> child,
-          BuildIterator(*op.children[0], node, stats, opts));
+          BuildIterator(*op.children[0], node, stats, opts, prof, my_op));
       return std::unique_ptr<Iterator>(std::make_unique<ProjectIterator>(
           std::move(child), &op.children[0]->output_schema, op.output_schema,
           op.project_exprs));
@@ -71,10 +130,10 @@ Result<std::unique_ptr<Iterator>> Executor::BuildIterator(
     case POp::Kind::kHashJoin: {
       CLAIMS_ASSIGN_OR_RETURN(
           std::unique_ptr<Iterator> build,
-          BuildIterator(*op.children[0], node, stats, opts));
+          BuildIterator(*op.children[0], node, stats, opts, prof, my_op));
       CLAIMS_ASSIGN_OR_RETURN(
           std::unique_ptr<Iterator> probe,
-          BuildIterator(*op.children[1], node, stats, opts));
+          BuildIterator(*op.children[1], node, stats, opts, prof, my_op));
       HashJoinIterator::Spec spec;
       spec.build_schema = &op.children[0]->output_schema;
       spec.probe_schema = &op.children[1]->output_schema;
@@ -87,7 +146,7 @@ Result<std::unique_ptr<Iterator>> Executor::BuildIterator(
     case POp::Kind::kHashAgg: {
       CLAIMS_ASSIGN_OR_RETURN(
           std::unique_ptr<Iterator> child,
-          BuildIterator(*op.children[0], node, stats, opts));
+          BuildIterator(*op.children[0], node, stats, opts, prof, my_op));
       HashAggIterator::Spec spec;
       spec.input_schema = &op.children[0]->output_schema;
       spec.group_exprs = op.group_exprs;
@@ -101,7 +160,7 @@ Result<std::unique_ptr<Iterator>> Executor::BuildIterator(
     case POp::Kind::kSort: {
       CLAIMS_ASSIGN_OR_RETURN(
           std::unique_ptr<Iterator> child,
-          BuildIterator(*op.children[0], node, stats, opts));
+          BuildIterator(*op.children[0], node, stats, opts, prof, my_op));
       return std::unique_ptr<Iterator>(std::make_unique<SortIterator>(
           std::move(child), &op.output_schema, op.sort_keys));
     }
@@ -180,6 +239,19 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
                : alive[logical % static_cast<int>(alive.size())];
   };
 
+  // Causal-profiler identity: resolved once per execution. Disarmed runs get
+  // id 0, which turns every span hook below into a dead relaxed-load branch.
+  QueryProfiler* profiler = QueryProfiler::Global();
+  const uint64_t profile_qid =
+      profiler->armed()
+          ? (opts.query_id != 0 ? opts.query_id : NextAutoQueryId())
+          : 0;
+  ScopeGuard drain_spans([&] {
+    // Paths that bail without assembling (cancel, node loss, broken stream)
+    // must not leave this query's spans pinned in the shards.
+    if (profile_qid != 0) QueryProfiler::Global()->TakeQuery(profile_qid);
+  });
+
   // 1. Declare exchanges (ME materializes: unbounded channels). Ids are
   // namespaced per execution so overlapping queries never share a channel.
   const int xbase = opts.exchange_id_base;
@@ -205,16 +277,25 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
     for (int node : f.nodes) {
       const int host = place(node);
       auto stats = std::make_unique<SegmentStats>();
+      const std::string seg_name =
+          host == node ? StrFormat("S%d@n%d", f.id, node)
+                       : StrFormat("S%d@n%d->n%d", f.id, node, host);
+      // Operator wrapping only exists on profiled runs; a disarmed run
+      // builds the exact tree it always did.
+      ProfileBuild prof;
+      prof.query_id = profile_qid;
+      prof.segment = seg_name;
+      prof.node = host;
       // The iterator tree is built for the *logical* node: scans read the
       // logical partition, mergers consume the logical channel. Only the
       // hosting (scheduler, NIC) side moves on re-dispatch.
       CLAIMS_ASSIGN_OR_RETURN(
           std::unique_ptr<Iterator> ops,
-          BuildIterator(*f.root, node, stats.get(), opts));
+          BuildIterator(*f.root, node, stats.get(), opts,
+                        profile_qid != 0 ? &prof : nullptr,
+                        /*parent_op=*/-1));
       Segment::Config config;
-      config.name = host == node
-                        ? StrFormat("S%d@n%d", f.id, node)
-                        : StrFormat("S%d@n%d->n%d", f.id, node, host);
+      config.name = seg_name;
       config.node_id = host;
       config.stats = stats.get();
       config.clock = clock;
@@ -240,6 +321,7 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
       config.elastic.order_preserving = f.order_preserving;
       config.elastic.buffer_capacity_blocks = opts.buffer_capacity_blocks;
       config.elastic.memory = cluster_->memory();
+      config.elastic.query_id = profile_qid;
       if (opts.mode != ExecMode::kElastic) {
         // SP/ME: parallelism fixed at compile time.
         config.elastic.min_parallelism = config.elastic.initial_parallelism;
@@ -455,6 +537,51 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
     sr.parallelism_timeline =
         ExtractCounterTimeline(trace, "parallelism:" + seg.name(), t0, t1);
     report_.segments.push_back(std::move(sr));
+  }
+
+  // Causal profile: stitch this run's spans + the schedulers' decision audit
+  // into one DAG, store it in the profiler's ring (GET /profile/<id>), and
+  // surface the digest through EXPLAIN ANALYZE.
+  if (profile_qid != 0) {
+    ProfSpan qspan;
+    qspan.query_id = profile_qid;
+    qspan.kind = SpanKind::kQuery;
+    qspan.name = StrFormat("query (%s)", ExecModeName(opts.mode));
+    qspan.node = 0;
+    qspan.start_ns = t0;
+    qspan.end_ns = t1;
+    qspan.tuples = result.num_rows();
+    qspan.bytes = stats_.remote_bytes;
+    profiler->EmitComplete(std::move(qspan));
+    if (opts.queue_wait_ns > 0) {
+      ProfSpan wait;
+      wait.query_id = profile_qid;
+      wait.kind = SpanKind::kSchedulerWait;
+      wait.name = "admission-queue";
+      wait.node = 0;
+      wait.start_ns = t0 - opts.queue_wait_ns;
+      wait.end_ns = t0;
+      profiler->EmitComplete(std::move(wait));
+    }
+    AssembleInput in;
+    in.query_id = profile_qid;
+    in.label = StrFormat("query (%s)", ExecModeName(opts.mode));
+    in.start_ns = t0;
+    in.end_ns = t1;
+    in.spans = profiler->TakeQuery(profile_qid);
+    in.dropped_spans = profiler->dropped_spans();
+    for (int n = 0; n < cluster_->num_nodes(); ++n) {
+      std::vector<SchedTickAudit> ticks =
+          cluster_->scheduler(n)->AuditLogForQuery(profile_qid);
+      in.audit.insert(in.audit.end(),
+                      std::make_move_iterator(ticks.begin()),
+                      std::make_move_iterator(ticks.end()));
+    }
+    std::shared_ptr<const QueryProfile> profile =
+        AssembleQueryProfile(std::move(in));
+    profiler->StoreProfile(profile);
+    report_.profile_summary = profile->Summary();
+    report_.profile_query_id = profile_qid;
   }
   return result;
 }

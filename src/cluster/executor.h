@@ -57,6 +57,12 @@ struct ExecOptions {
   /// copied into the ExecutionReport so EXPLAIN ANALYZE splits queue-wait
   /// from run-time. Filled by the workload manager; 0 when unqueued.
   int64_t queue_wait_ns = 0;
+  /// Causal-profiler identity for this execution. With the global
+  /// QueryProfiler armed, 0 auto-assigns a process-unique id (single-query
+  /// callers, benches); the workload manager passes its own handle id so
+  /// /profile/<id> matches /queries. With the profiler disarmed the value is
+  /// carried but every span hook stays a dead branch.
+  uint64_t query_id = 0;
 };
 
 struct ExecStats {
@@ -114,10 +120,29 @@ class Executor {
   }
 
  private:
-  /// Builds the iterator tree of `op` for the instance on `node`.
+  /// Per-segment profiling context threaded through BuildIterator when the
+  /// causal profiler is armed; nullptr builds the bare tree (disarmed hot
+  /// path — no wrapper, no virtual hop).
+  struct ProfileBuild {
+    uint64_t query_id = 0;
+    std::string segment;  ///< owning segment label ("S1@n0")
+    int node = 0;
+    int next_op_id = 0;  ///< pre-order operator numbering within the segment
+  };
+
+  /// Builds the iterator tree of `op` for the instance on `node`. With
+  /// `prof` set, every operator is wrapped in a ProfilingIterator carrying
+  /// its pre-order (op_id, parent_op) so the assembler can telescope
+  /// exclusive times.
   Result<std::unique_ptr<Iterator>> BuildIterator(const POp& op, int node,
                                                   SegmentStats* stats,
-                                                  const ExecOptions& opts);
+                                                  const ExecOptions& opts,
+                                                  ProfileBuild* prof,
+                                                  int parent_op);
+  /// The unwrapped per-kind construction; recurses via BuildIterator.
+  Result<std::unique_ptr<Iterator>> BuildIteratorInner(
+      const POp& op, int node, SegmentStats* stats, const ExecOptions& opts,
+      ProfileBuild* prof, int my_op);
 
   /// Latches the cancel reason and aborts every registered live segment.
   /// Called from Cancel() (user thread) and the deadline watchdog.

@@ -1,5 +1,6 @@
 #include "cluster/segment.h"
 
+#include "obs/profile/profiler.h"
 #include "obs/trace.h"
 
 namespace claims {
@@ -10,6 +11,11 @@ Segment::Segment(std::unique_ptr<Iterator> ops_root, Config config)
       sender_([this] {
         SenderPump::Spec spec = config_.sender;
         spec.stats = config_.stats;
+        // Profiler identity defaults from the segment's own: the executor
+        // only has to set elastic.query_id once per segment.
+        if (spec.clock == nullptr) spec.clock = config_.clock;
+        if (spec.segment_label.empty()) spec.segment_label = config_.name;
+        if (spec.query_id == 0) spec.query_id = config_.elastic.query_id;
         return spec;
       }()) {
   ElasticIterator::Options opts = config_.elastic;
@@ -74,6 +80,22 @@ void Segment::DriverMain() {
                  {{"cancelled", cancel_.load(std::memory_order_acquire)
                                     ? 1.0
                                     : 0.0}});
+  }
+  QueryProfiler* profiler = QueryProfiler::Global();
+  if (config_.elastic.query_id != 0 && profiler->armed()) {
+    ProfSpan span;
+    span.query_id = config_.elastic.query_id;
+    span.kind = SpanKind::kSegment;
+    span.name = config_.name;
+    span.segment = config_.name;
+    span.node = config_.node_id;
+    span.start_ns = t0;
+    span.end_ns = t1;
+    span.tuples =
+        config_.stats != nullptr
+            ? config_.stats->output_tuples.load(std::memory_order_relaxed)
+            : 0;
+    profiler->EmitComplete(std::move(span));
   }
 }
 

@@ -50,6 +50,7 @@ class Segment : public SchedulableSegment {
 
   const std::string& name() const override { return config_.name; }
   bool active() const override;
+  uint64_t query_id() const override { return config_.elastic.query_id; }
   int parallelism() const override { return elastic_->parallelism(); }
   SegmentStats* stats() override { return config_.stats; }
   ScalabilityVector* scalability() override { return &scalability_; }

@@ -33,6 +33,19 @@ class DataBuffer {
     bool order_preserving = false;
     /// Optional accounting sink for Table 4 memory measurements.
     MemoryTracker* memory = nullptr;
+    /// Profiler identity of the segment this buffer belongs to. When the
+    /// global QueryProfiler is armed, an Insert that actually blocks on
+    /// capacity registers an open blocked-output span under this identity —
+    /// so a stalled pipeline's watchdog incident names the segment wedged on
+    /// backpressure, and sufficiently long waits become spans in the query
+    /// profile. All-defaults (query_id 0) still records under an anonymous
+    /// identity; the assembler simply has no query to attach it to.
+    struct ProfileContext {
+      uint64_t query_id = 0;
+      std::string label;  ///< segment instance, e.g. "S1@n0"
+      int node = 0;
+    };
+    ProfileContext profile;
   };
 
   explicit DataBuffer(Options options) : options_(options) {}

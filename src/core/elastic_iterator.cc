@@ -3,9 +3,24 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "obs/profile/profiler.h"
 #include "obs/trace.h"
 
 namespace claims {
+namespace {
+
+DataBuffer::Options BufferOptions(const ElasticIterator::Options& options) {
+  DataBuffer::Options buf;
+  buf.capacity_blocks = options.buffer_capacity_blocks;
+  buf.order_preserving = options.order_preserving;
+  buf.memory = options.memory;
+  buf.profile.query_id = options.query_id;
+  buf.profile.label = options.trace_label;
+  buf.profile.node = options.trace_pid;
+  return buf;
+}
+
+}  // namespace
 
 ElasticIterator::ElasticIterator(std::unique_ptr<Iterator> child,
                                  Options options)
@@ -13,8 +28,7 @@ ElasticIterator::ElasticIterator(std::unique_ptr<Iterator> child,
       options_(options),
       clock_(options.clock != nullptr ? options.clock
                                       : SteadyClock::Default()),
-      buffer_(DataBuffer::Options{options.buffer_capacity_blocks,
-                                  options.order_preserving, options.memory}) {
+      buffer_(BufferOptions(options)) {
   MetricsRegistry* reg = MetricsRegistry::Global();
   expand_metric_ = reg->counter("elastic.expansions");
   shrink_metric_ = reg->counter("elastic.shrinks");
@@ -97,7 +111,9 @@ void ElasticIterator::WorkerMain(Worker* worker) {
 
   TraceCollector* tc = TraceCollector::Global();
   const bool traced = tc->enabled() && !options_.trace_label.empty();
-  const int64_t span_start = traced ? clock_->NowNanos() : 0;
+  QueryProfiler* profiler = QueryProfiler::Global();
+  const bool profiled = profiler->armed() && options_.query_id != 0;
+  const int64_t span_start = (traced || profiled) ? clock_->NowNanos() : 0;
 
   bool via_eof = false;
   NextResult open_status = child_->Open(&ctx);
@@ -155,6 +171,17 @@ void ElasticIterator::WorkerMain(Worker* worker) {
                  "worker " + options_.trace_label,
                  {{"worker", static_cast<int64_t>(worker->worker_id)},
                   {"exhausted_input", via_eof ? 1.0 : 0.0}});
+  }
+  if (profiled) {
+    ProfSpan span;
+    span.query_id = options_.query_id;
+    span.kind = SpanKind::kWorker;
+    span.name = "worker-" + std::to_string(worker->worker_id);
+    span.segment = options_.trace_label;
+    span.node = options_.trace_pid;
+    span.start_ns = span_start;
+    span.end_ns = clock_->NowNanos();
+    profiler->EmitComplete(std::move(span));
   }
 
   // Update liveness counters before leaving the buffer, so that a consumer

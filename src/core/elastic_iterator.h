@@ -56,6 +56,9 @@ class ElasticIterator : public Iterator {
     /// empty label disables per-iterator trace events; metrics still count.
     std::string trace_label;
     int trace_pid = 0;
+    /// Owning query for the causal profiler; 0 disables worker/blocked span
+    /// emission even when the global QueryProfiler is armed.
+    uint64_t query_id = 0;
   };
 
   ElasticIterator(std::unique_ptr<Iterator> child, Options options);

@@ -8,6 +8,7 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "obs/profile/profiler.h"
 
 namespace claims {
 
@@ -107,6 +108,31 @@ SchedulerSnapshot DynamicScheduler::Snapshot() const {
     snap.segments.push_back(std::move(s));
   }
   return snap;
+}
+
+std::vector<SchedTickAudit> DynamicScheduler::AuditLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {audit_.begin(), audit_.end()};
+}
+
+std::vector<SchedTickAudit> DynamicScheduler::AuditLogForQuery(
+    uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SchedTickAudit> out;
+  for (const SchedTickAudit& tick : audit_) {
+    SchedTickAudit filtered;
+    for (const SchedTickAudit::Segment& s : tick.segments) {
+      if (s.query_id == query_id) filtered.segments.push_back(s);
+    }
+    if (filtered.segments.empty()) continue;
+    filtered.tick = tick.tick;
+    filtered.ts_ns = tick.ts_ns;
+    filtered.node = tick.node;
+    filtered.lambda_local = tick.lambda_local;
+    filtered.lambda_global = tick.lambda_global;
+    out.push_back(std::move(filtered));
+  }
+  return out;
 }
 
 void DynamicScheduler::SetEnabled(bool enabled) {
@@ -224,9 +250,6 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
     }
     std::fprintf(stderr, "\n");
   }
-  if (live.empty() || std::isinf(lambda)) return actions;
-  const double delta = std::max(lambda * options_.delta_fraction, 1e-9);
-
   auto estimate_rate = [&](SegmentRecord* rec, int p) -> double {
     auto est = rec->segment->scalability()->Estimate(p, now,
                                                      options_.freshness_ns);
@@ -235,6 +258,51 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
     int cur = std::max(1, rec->segment->parallelism());
     return rec->last_rate * static_cast<double>(p) / cur;
   };
+
+  // Decision audit: recorded only while the profiler is armed (one relaxed
+  // load otherwise), pairing this tick's measurements and actions with the
+  // prediction the previous tick left behind — so the assembled profile can
+  // show estimated vs. realized rates per decision.
+  std::map<SegmentRecord*, std::string> action_of;
+  auto record_audit = [&]() {
+    if (!QueryProfiler::Global()->armed()) return;
+    SchedTickAudit audit;
+    audit.tick = tick_count_.load(std::memory_order_relaxed);
+    audit.ts_ns = now;
+    audit.node = node_id_;
+    audit.lambda_local = last_lambda_local_;
+    audit.lambda_global = last_global_lambda_;
+    for (const Classified& c : live) {
+      SchedTickAudit::Segment s;
+      s.name = c.rec->segment->name();
+      s.query_id = c.rec->segment->query_id();
+      s.parallelism = c.rec->segment->parallelism();
+      s.rate = c.rec->last_rate;
+      s.normalized_rate = c.rec->last_normalized;
+      s.predicted_rate = c.rec->pending_prediction;
+      s.blocked_in = c.rec->blocked_in_fraction;
+      s.blocked_out = c.rec->blocked_out_fraction;
+      auto it = action_of.find(c.rec);
+      if (it != action_of.end()) {
+        s.action = it->second;
+      } else {
+        s.action = c.starved ? "hold(starved)"
+                             : c.out_blocked ? "hold(out-blocked)" : "hold";
+      }
+      audit.segments.push_back(std::move(s));
+      // Predict next tick's realized rate at the post-action parallelism.
+      c.rec->pending_prediction = estimate_rate(
+          c.rec, std::max(1, c.rec->segment->parallelism()));
+    }
+    audit_.push_back(std::move(audit));
+    while (audit_.size() > kAuditCap) audit_.pop_front();
+  };
+
+  if (live.empty() || std::isinf(lambda)) {
+    record_audit();
+    return actions;
+  }
+  const double delta = std::max(lambda * options_.delta_fraction, 1e-9);
 
   // ---- 3. U / O classification (Algorithm 1 lines 1-2) -----------------------
   std::vector<Classified*> under;
@@ -276,6 +344,7 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
                      {"lambda", lambda},
                      {"R_i", best->rec->last_normalized}});
       }
+      action_of[best->rec] = "expand+1(free)";
       actions.push_back(SchedulerAction{SchedulerAction::Kind::kExpandFree,
                                         best->rec->segment->name(), ""});
     }
@@ -341,6 +410,8 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
                        {"lambda", lambda},
                        {"R_i", best_o->rec->last_normalized}});
         }
+        action_of[best_u->rec] = "expand+1(pair)";
+        action_of[best_o->rec] = "shrink-1(pair)";
         actions.push_back(SchedulerAction{SchedulerAction::Kind::kMovePair,
                                           best_u->rec->segment->name(),
                                           best_o->rec->segment->name()});
@@ -361,6 +432,7 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
                        {"blocked_in_fraction", c.rec->blocked_in_fraction},
                        {"R_i", c.rec->last_normalized}});
         }
+        action_of[c.rec] = "shrink-1(starved)";
         actions.push_back(SchedulerAction{
             SchedulerAction::Kind::kShrinkStarved, "", c.rec->segment->name()});
       }
@@ -378,12 +450,14 @@ std::vector<SchedulerAction> DynamicScheduler::Tick() {
                        {"blocked_out_fraction", c.rec->blocked_out_fraction},
                        {"R_i", c.rec->last_normalized}});
         }
+        action_of[c.rec] = "shrink-1(over-producing)";
         actions.push_back(SchedulerAction{
             SchedulerAction::Kind::kShrinkOverproducing, "",
             c.rec->segment->name()});
       }
     }
   }
+  record_audit();
   return actions;
 }
 

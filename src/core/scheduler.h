@@ -2,6 +2,7 @@
 #define CLAIMS_CORE_SCHEDULER_H_
 
 #include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include "core/metrics.h"
 #include "core/scalability_vector.h"
 #include "obs/metrics_registry.h"
+#include "obs/profile/span.h"
 #include "obs/trace.h"
 
 namespace claims {
@@ -25,6 +27,10 @@ class SchedulableSegment {
   virtual ~SchedulableSegment() = default;
 
   virtual const std::string& name() const = 0;
+  /// Owning query (0 when the segment is not query-scoped, e.g. benches);
+  /// the decision audit uses it to slice per-query profiles out of a shared
+  /// scheduler.
+  virtual uint64_t query_id() const { return 0; }
   /// False once the segment's input is exhausted (drop from scheduling).
   virtual bool active() const = 0;
   virtual int parallelism() const = 0;
@@ -170,6 +176,16 @@ class DynamicScheduler {
     return tick_count_.load(std::memory_order_relaxed);
   }
 
+  /// Decision audit (oldest first): recorded per tick while the global
+  /// QueryProfiler is armed, bounded to the most recent kAuditCap ticks.
+  /// Each entry pairs what the tick measured (rate, R_i, blocked fractions)
+  /// with what it decided (action) and what the *previous* tick predicted
+  /// this one would measure — estimated vs. realized λ per decision.
+  std::vector<SchedTickAudit> AuditLog() const;
+  /// Entries restricted to `query_id`'s segments; ticks that saw none of the
+  /// query's segments are omitted.
+  std::vector<SchedTickAudit> AuditLogForQuery(uint64_t query_id) const;
+
  private:
   struct SegmentRecord {
     SchedulableSegment* segment;
@@ -181,10 +197,17 @@ class DynamicScheduler {
     double blocked_in_fraction = 0.0;
     double blocked_out_fraction = 0.0;
     bool has_sample = false;
+    /// Scalability-vector estimate, made at the end of a tick, of the rate
+    /// this segment should realize by the next tick at its post-action
+    /// parallelism; -1 before the first estimate. Consumed by the next
+    /// tick's audit entry as predicted_rate.
+    double pending_prediction = -1.0;
     /// Trace counter-series names, built once instead of per traced tick.
     std::string trace_parallelism_name;
     std::string trace_rate_name;
   };
+
+  static constexpr size_t kAuditCap = 512;
 
   int node_id_;
   SchedulerOptions options_;
@@ -204,6 +227,7 @@ class DynamicScheduler {
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<SegmentRecord>> records_;
+  std::deque<SchedTickAudit> audit_;   ///< guarded by mu_
   int64_t last_tick_ns_ = 0;           ///< guarded by mu_
   double last_lambda_local_ = -1.0;    ///< guarded by mu_
   double last_global_lambda_ = -1.0;   ///< guarded by mu_

@@ -90,7 +90,8 @@ bool Network::SleepCancellable(int64_t delay_ns,
 }
 
 SendOutcome Network::SendRoute(const Route& route, BlockPtr block,
-                               const std::atomic<bool>* cancel) {
+                               const std::atomic<bool>* cancel,
+                               uint64_t* wire_seq) {
   // Channels are addressed by *logical* endpoints: after re-dispatch the
   // surviving node keeps consuming the dead node's channel, so producers
   // need not learn new addresses mid-query.
@@ -155,6 +156,7 @@ SendOutcome Network::SendRoute(const Route& route, BlockPtr block,
     if (!channel->Send(std::move(net_block), cancel, &seq)) {
       return SendOutcome::kCancelled;
     }
+    if (wire_seq != nullptr) *wire_seq = seq;
     if (decision.fate == SendDecision::Fate::kDuplicate) {
       // Second copy under the same wire sequence; the receiver's duplicate
       // suppression drops it. Best-effort: a cancelled duplicate is no loss.

@@ -87,9 +87,13 @@ class Network {
   /// duplicate fates), retries dropped blocks with exponential backoff +
   /// jitter up to `max_send_attempts`, fast-fails kUnavailable when either
   /// physical endpoint is dead, and charges the *physical* NIC budgets while
-  /// addressing the *logical* channel.
+  /// addressing the *logical* channel. On kOk, `wire_seq` (when non-null)
+  /// receives the wire sequence number the channel assigned — the causal
+  /// profiler keys its send↔receive links on it (a fabric-dropped attempt is
+  /// never enqueued, so each delivered block has exactly one sequence).
   SendOutcome SendRoute(const Route& route, BlockPtr block,
-                        const std::atomic<bool>* cancel = nullptr);
+                        const std::atomic<bool>* cancel = nullptr,
+                        uint64_t* wire_seq = nullptr);
 
   /// Attaches the chaos plane; nullptr detaches. The injector must outlive
   /// every in-flight send.

@@ -2,11 +2,15 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/metrics_registry.h"
+#include "obs/process_stats.h"
+#include "obs/profile/assembler.h"
+#include "obs/profile/profiler.h"
 #include "obs/prometheus.h"
 #include "obs/trace.h"
 
@@ -98,8 +102,47 @@ void MonitorServer::RegisterBuiltinRoutes() {
     return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
   });
   AddHandler("GET", "/metrics", [](const HttpRequest&) {
+    // Refresh process.* gauges per scrape: always current, no sampler thread.
+    UpdateProcessGauges();
     return HttpResponse{200, kPrometheusContentType,
                         PrometheusSnapshot(*MetricsRegistry::Global())};
+  });
+  AddHandler("GET", "/profile", [](const HttpRequest&) {
+    std::string body = "{\"profiles\":[";
+    bool first = true;
+    for (const auto& p : QueryProfiler::Global()->ListProfiles()) {
+      if (!first) body.push_back(',');
+      first = false;
+      body += StrFormat(
+          "{\"query_id\":%llu,\"label\":\"%s\",\"wall_ns\":%lld,"
+          "\"critical_path_coverage\":%.6g}",
+          static_cast<unsigned long long>(p->query_id),
+          JsonEscape(p->label).c_str(), static_cast<long long>(p->wall_ns()),
+          p->critical_path_coverage);
+    }
+    body += "]}";
+    return HttpResponse::Json(std::move(body));
+  });
+  AddPrefixHandler("GET", "/profile/", [](const HttpRequest& request) {
+    const std::string id_text = request.path.substr(strlen("/profile/"));
+    char* end = nullptr;
+    uint64_t id = std::strtoull(id_text.c_str(), &end, 10);
+    if (end == id_text.c_str() || *end != '\0') {
+      return HttpResponse{400, "text/plain; charset=utf-8",
+                          "bad query id: " + id_text + "\n"};
+    }
+    auto profile = QueryProfiler::Global()->GetProfile(id);
+    if (profile == nullptr) {
+      return HttpResponse::NotFound("no profile for query " + id_text + "\n");
+    }
+    if (request.query == "format=text") {
+      return HttpResponse{200, "text/plain; charset=utf-8",
+                          profile->ToText()};
+    }
+    if (request.query == "format=perfetto") {
+      return HttpResponse::Json(profile->ToPerfettoJson());
+    }
+    return HttpResponse::Json(profile->ToJson());
   });
   AddHandler("POST", "/flight-recorder/dump", [](const HttpRequest&) {
     TraceCollector* tc = TraceCollector::Global();
@@ -110,6 +153,9 @@ void MonitorServer::RegisterBuiltinRoutes() {
     std::lock_guard<std::mutex> lock(handlers_mu_);
     for (const auto& [key, handler] : handlers_) {
       body += StrFormat("  %-4s %s\n", key.first.c_str(), key.second.c_str());
+    }
+    for (const auto& [key, handler] : prefix_handlers_) {
+      body += StrFormat("  %-4s %s*\n", key.first.c_str(), key.second.c_str());
     }
     return HttpResponse{200, "text/plain; charset=utf-8", std::move(body)};
   });
@@ -157,6 +203,13 @@ void MonitorServer::RemoveHandler(const std::string& method,
   handlers_.erase({ToUpper(method), path});
 }
 
+void MonitorServer::AddPrefixHandler(const std::string& method,
+                                     const std::string& prefix,
+                                     Handler handler) {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  prefix_handlers_[{ToUpper(method), prefix}] = std::move(handler);
+}
+
 HttpResponse MonitorServer::Dispatch(const HttpRequest& request) const {
   Handler handler;
   bool path_known = false;
@@ -166,6 +219,21 @@ HttpResponse MonitorServer::Dispatch(const HttpRequest& request) const {
     if (it != handlers_.end()) {
       handler = it->second;
     } else {
+      // Longest matching prefix route for this method.
+      size_t best_len = 0;
+      for (const auto& [key, h] : prefix_handlers_) {
+        if (request.path.rfind(key.second, 0) != 0) continue;
+        if (key.first == request.method) {
+          if (key.second.size() >= best_len) {
+            best_len = key.second.size();
+            handler = h;
+          }
+        } else {
+          path_known = true;
+        }
+      }
+    }
+    if (handler == nullptr && !path_known) {
       for (const auto& [key, h] : handlers_) {
         if (key.second == request.path) {
           path_known = true;

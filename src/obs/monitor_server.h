@@ -98,6 +98,12 @@ class MonitorServer {
                   Handler handler);
   void RemoveHandler(const std::string& method, const std::string& path);
 
+  /// Registers a handler for every path starting with `prefix` (e.g.
+  /// "/profile/" serves /profile/<query_id>). Exact routes win over
+  /// prefixes; among prefixes the longest match wins.
+  void AddPrefixHandler(const std::string& method, const std::string& prefix,
+                        Handler handler);
+
   /// Dispatches one request exactly as the acceptor would (tests exercise
   /// handlers without sockets).
   HttpResponse Dispatch(const HttpRequest& request) const;
@@ -114,6 +120,8 @@ class MonitorServer {
   mutable std::mutex handlers_mu_;
   /// (method, path) → handler.
   std::map<std::pair<std::string, std::string>, Handler> handlers_;
+  /// (method, path-prefix) → handler; consulted after the exact map.
+  std::map<std::pair<std::string, std::string>, Handler> prefix_handlers_;
 
   std::mutex lifecycle_mu_;  ///< serializes Start/Stop (destructor included)
   ListenSocket listener_;

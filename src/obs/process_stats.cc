@@ -1,0 +1,67 @@
+#include "obs/process_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <dirent.h>
+#endif
+
+#include "common/clock.h"
+#include "obs/metrics_registry.h"
+
+namespace claims {
+namespace {
+
+/// Captured during static initialization: a lazily-initialized local static
+/// would anchor "uptime" to the first /metrics scrape instead of process
+/// start (and could even read slightly negative within that first call).
+const int64_t kProcessStartNanos = SteadyClock::Default()->NowNanos();
+
+}  // namespace
+
+ProcessStats SampleProcessStats() {
+  ProcessStats stats;
+  stats.uptime_seconds = std::max(
+      0.0, (SteadyClock::Default()->NowNanos() - kProcessStartNanos) / 1e9);
+#if defined(__linux__)
+  if (FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      long long value = 0;
+      if (std::sscanf(line, "VmRSS: %lld kB", &value) == 1) {
+        stats.rss_bytes = value * 1024;
+      } else if (std::sscanf(line, "Threads: %lld", &value) == 1) {
+        stats.threads = value;
+      }
+    }
+    std::fclose(f);
+  }
+  if (DIR* dir = opendir("/proc/self/fd")) {
+    int64_t count = 0;
+    while (readdir(dir) != nullptr) ++count;
+    closedir(dir);
+    // "." and ".." plus the dirfd itself.
+    stats.open_fds = count > 3 ? count - 3 : 0;
+  }
+#endif
+  return stats;
+}
+
+void UpdateProcessGauges() {
+  ProcessStats stats = SampleProcessStats();
+  MetricsRegistry* reg = MetricsRegistry::Global();
+  if (stats.rss_bytes >= 0) {
+    reg->gauge("process.rss_bytes")->Set(static_cast<double>(stats.rss_bytes));
+  }
+  if (stats.threads >= 0) {
+    reg->gauge("process.threads")->Set(static_cast<double>(stats.threads));
+  }
+  if (stats.open_fds >= 0) {
+    reg->gauge("process.open_fds")->Set(static_cast<double>(stats.open_fds));
+  }
+  reg->gauge("process.uptime_seconds")->Set(stats.uptime_seconds);
+}
+
+}  // namespace claims

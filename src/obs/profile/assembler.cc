@@ -1,0 +1,531 @@
+#include "obs/profile/assembler.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "obs/profile/profiler.h"
+
+namespace claims {
+namespace {
+
+using SendKey = std::tuple<int64_t, int, int, uint64_t>;  // exch, from, to, seq
+
+void AppendJsonStr(std::string* out, const std::string& s) {
+  out->push_back('"');
+  AppendJsonEscaped(out, s);
+  out->push_back('"');
+}
+
+std::string JsonNum(double v) {
+  if (v != v || v > 1e300 || v < -1e300) return "-1";
+  return StrFormat("%.6g", v);
+}
+
+double Ms(int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+/// Total overlap of [s, e) with the union of the given intervals (sorted by
+/// start, possibly overlapping each other).
+int64_t UnionOverlap(const std::vector<std::pair<int64_t, int64_t>>& ivals,
+                     int64_t s, int64_t e) {
+  int64_t covered = 0;
+  int64_t cursor = s;
+  for (const auto& [a, b] : ivals) {
+    if (b <= cursor) continue;
+    if (a >= e) break;
+    int64_t lo = std::max(a, cursor);
+    int64_t hi = std::min(b, e);
+    if (hi > lo) covered += hi - lo;
+    cursor = std::max(cursor, hi);
+    if (cursor >= e) break;
+  }
+  return covered;
+}
+
+}  // namespace
+
+std::shared_ptr<const QueryProfile> AssembleQueryProfile(AssembleInput input) {
+  auto profile = std::make_shared<QueryProfile>();
+  QueryProfile* p = profile.get();
+  p->query_id = input.query_id;
+  p->label = std::move(input.label);
+  p->start_ns = input.start_ns;
+  p->end_ns = std::max(input.end_ns, input.start_ns + 1);
+  p->spans = std::move(input.spans);
+  p->audit = std::move(input.audit);
+  p->dropped_spans = input.dropped_spans;
+  std::sort(p->spans.begin(), p->spans.end(),
+            [](const ProfSpan& a, const ProfSpan& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.end_ns < b.end_ns;
+            });
+
+  // --- indexes --------------------------------------------------------------
+  std::map<std::string, const ProfSpan*> seg_spans;
+  std::map<std::string, std::vector<const ProfSpan*>> blocked_in;
+  std::map<std::string, std::vector<std::pair<int64_t, int64_t>>> blocked_out;
+  std::map<SendKey, const ProfSpan*> sends;
+  for (const ProfSpan& s : p->spans) {
+    switch (s.kind) {
+      case SpanKind::kSegment: {
+        const ProfSpan*& slot = seg_spans[s.segment];
+        if (slot == nullptr || s.dur_ns() > slot->dur_ns()) slot = &s;
+        break;
+      }
+      case SpanKind::kBlockedInput:
+        blocked_in[s.segment].push_back(&s);
+        break;
+      case SpanKind::kBlockedOutput:
+        blocked_out[s.segment].emplace_back(s.start_ns, s.end_ns);
+        break;
+      case SpanKind::kNetSend:
+        sends[{s.exchange_id, s.from_node, s.to_node, s.wire_seq}] = &s;
+        break;
+      case SpanKind::kNetRecv:
+        ++p->total_recv_spans;
+        break;
+      default:
+        break;
+    }
+  }
+  for (auto& [seg, spans] : blocked_in) {
+    std::sort(spans.begin(), spans.end(),
+              [](const ProfSpan* a, const ProfSpan* b) {
+                return a->end_ns < b->end_ns;
+              });
+  }
+  for (const ProfSpan& s : p->spans) {
+    if (s.kind == SpanKind::kNetRecv &&
+        sends.count({s.exchange_id, s.from_node, s.to_node, s.wire_seq})) {
+      ++p->linked_recv_spans;
+    }
+  }
+
+  // --- per-operator inclusive/exclusive attribution -------------------------
+  std::map<std::pair<std::string, int>, ProfOperatorStat> ops;
+  for (const ProfSpan& s : p->spans) {
+    if (s.kind != SpanKind::kOperator || s.op_id < 0) continue;
+    ProfOperatorStat& st = ops[{s.segment, s.op_id}];
+    st.name = s.name;
+    st.segment = s.segment;
+    st.node = s.node;
+    st.op_id = s.op_id;
+    st.parent_op = s.parent_op;
+    st.inclusive_ns += s.busy_ns > 0 ? s.busy_ns : s.dur_ns();
+    st.calls += s.bytes;  // kOperator spans carry the Next() call count here
+    st.rows += s.tuples;
+  }
+  std::map<std::pair<std::string, int>, int64_t> child_sum;
+  for (const auto& [key, st] : ops) {
+    if (st.parent_op >= 0) {
+      child_sum[{st.segment, st.parent_op}] += st.inclusive_ns;
+    }
+  }
+  for (auto& [key, st] : ops) {
+    auto it = child_sum.find(key);
+    int64_t children = it == child_sum.end() ? 0 : it->second;
+    st.exclusive_ns = std::max<int64_t>(0, st.inclusive_ns - children);
+    p->operator_exclusive_sum_ns += st.exclusive_ns;
+    if (st.parent_op < 0) p->operator_total_ns += st.inclusive_ns;
+    p->operators.push_back(st);
+  }
+
+  // --- critical path: backward time-partition walk --------------------------
+  const int64_t q0 = p->start_ns;
+  const int64_t q1 = p->end_ns;
+  std::vector<ProfPathStep> path;  // built backward, reversed at the end
+  auto add_step = [&](const char* what, std::string segment,
+                      std::string detail, int64_t s, int64_t e) {
+    s = std::max(s, q0);
+    e = std::min(e, q1);
+    if (e <= s) return;
+    ProfPathStep step;
+    step.what = what;
+    step.segment = std::move(segment);
+    step.detail = std::move(detail);
+    step.start_ns = s;
+    step.end_ns = e;
+    step.pct = static_cast<double>(e - s) / static_cast<double>(q1 - q0);
+    path.push_back(std::move(step));
+  };
+  auto compute_detail = [&](const std::string& seg, int64_t s,
+                            int64_t e) -> std::string {
+    auto it = blocked_out.find(seg);
+    if (it == blocked_out.end() || e <= s) return std::string();
+    auto ivals = it->second;
+    std::sort(ivals.begin(), ivals.end());
+    int64_t bp = UnionOverlap(ivals, s, e);
+    double frac = static_cast<double>(bp) / static_cast<double>(e - s);
+    if (frac < 0.05) return std::string();
+    return StrFormat("backpressured %.0f%% of interval", frac * 100);
+  };
+
+  const ProfSpan* cur = nullptr;
+  for (const auto& [seg, span] : seg_spans) {
+    if (cur == nullptr || span->end_ns > cur->end_ns) cur = span;
+  }
+  if (cur != nullptr) {
+    int64_t t = std::min(cur->end_ns, q1);
+    add_step("result-gather", cur->segment, "", t, q1);
+    for (int guard = 0; guard < 512 && cur != nullptr; ++guard) {
+      // Latest starvation wait of this segment ending at or before t.
+      const ProfSpan* b = nullptr;
+      auto bit = blocked_in.find(cur->segment);
+      if (bit != blocked_in.end()) {
+        for (auto rit = bit->second.rbegin(); rit != bit->second.rend();
+             ++rit) {
+          if ((*rit)->end_ns <= t && (*rit)->end_ns > cur->start_ns) {
+            b = *rit;
+            break;
+          }
+        }
+      }
+      if (b == nullptr) {
+        add_step("compute", cur->segment,
+                 compute_detail(cur->segment, cur->start_ns, t),
+                 cur->start_ns, t);
+        add_step("startup", cur->segment, "", q0, cur->start_ns);
+        break;
+      }
+      add_step("compute", cur->segment,
+               compute_detail(cur->segment, b->end_ns, t), b->end_ns, t);
+      const ProfSpan* send = nullptr;
+      if (b->wire_seq != 0) {
+        auto sit = sends.find(
+            {b->exchange_id, b->from_node, b->node, b->wire_seq});
+        if (sit != sends.end()) send = sit->second;
+      }
+      if (send != nullptr && send->start_ns < b->end_ns) {
+        add_step("exchange", send->segment + "->" + cur->segment,
+                 StrFormat("exchange %lld, seq %llu",
+                           static_cast<long long>(b->exchange_id),
+                           static_cast<unsigned long long>(b->wire_seq)),
+                 send->start_ns, b->end_ns);
+        auto pit = seg_spans.find(send->segment);
+        if (pit == seg_spans.end()) {
+          add_step("startup", send->segment, "", q0, send->start_ns);
+          break;
+        }
+        cur = pit->second;
+        t = send->start_ns;
+      } else {
+        add_step("blocked-input", cur->segment,
+                 StrFormat("exchange %lld, unresolved",
+                           static_cast<long long>(b->exchange_id)),
+                 b->start_ns, b->end_ns);
+        t = b->start_ns;
+      }
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  int64_t attributed = 0;
+  for (const ProfPathStep& step : path) attributed += step.dur_ns();
+  p->critical_path = std::move(path);
+  p->critical_path_coverage =
+      std::min(1.0, static_cast<double>(attributed) /
+                        static_cast<double>(q1 - q0));
+  return profile;
+}
+
+// --- rendering --------------------------------------------------------------
+
+namespace {
+
+/// One timeline row per segment instance: '#' running, '.' starved,
+/// 'o' backpressured, ' ' outside the segment's lifetime.
+std::string AsciiTimeline(const QueryProfile& p, int width) {
+  std::map<std::string, const ProfSpan*> segs;
+  std::map<std::string, std::vector<const ProfSpan*>> waits;
+  for (const ProfSpan& s : p.spans) {
+    if (s.kind == SpanKind::kSegment) {
+      const ProfSpan*& slot = segs[s.segment];
+      if (slot == nullptr || s.dur_ns() > slot->dur_ns()) slot = &s;
+    } else if (s.kind == SpanKind::kBlockedInput ||
+               s.kind == SpanKind::kBlockedOutput) {
+      waits[s.segment].push_back(&s);
+    }
+  }
+  if (segs.empty()) return std::string();
+  const double span_ns = static_cast<double>(p.wall_ns());
+  std::string out = StrFormat(
+      "timeline [0, %.3f ms], %d cols ('#'=run '.'=blocked-in "
+      "'o'=blocked-out):\n",
+      Ms(p.wall_ns()), width);
+  for (const auto& [name, seg] : segs) {
+    std::string row(static_cast<size_t>(width), ' ');
+    auto col = [&](int64_t ns) {
+      double f = static_cast<double>(ns - p.start_ns) / span_ns;
+      int c = static_cast<int>(f * width);
+      return std::min(std::max(c, 0), width - 1);
+    };
+    for (int c = col(seg->start_ns); c <= col(seg->end_ns - 1); ++c) {
+      row[static_cast<size_t>(c)] = '#';
+    }
+    auto wit = waits.find(name);
+    if (wit != waits.end()) {
+      for (const ProfSpan* w : wit->second) {
+        char mark = w->kind == SpanKind::kBlockedInput ? '.' : 'o';
+        for (int c = col(w->start_ns); c <= col(w->end_ns - 1); ++c) {
+          row[static_cast<size_t>(c)] = mark;
+        }
+      }
+    }
+    out += StrFormat("  %-10s |%s|\n", name.c_str(), row.c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string QueryProfile::ToText() const {
+  std::string out = StrFormat(
+      "profile q%llu (%s): wall %.3f ms, %zu spans (%lld dropped), "
+      "critical path %.1f%% of wall\n",
+      static_cast<unsigned long long>(query_id), label.c_str(), Ms(wall_ns()),
+      spans.size(), static_cast<long long>(dropped_spans),
+      critical_path_coverage * 100);
+  out += "critical path (backward from completion):\n";
+  for (const ProfPathStep& s : critical_path) {
+    out += StrFormat("  %5.1f%%  %-13s %-18s [%9.3f, %9.3f) ms  %s\n",
+                     s.pct * 100, s.what.c_str(), s.segment.c_str(),
+                     Ms(s.start_ns - start_ns), Ms(s.end_ns - start_ns),
+                     s.detail.c_str());
+  }
+  out += AsciiTimeline(*this, 64);
+  if (!operators.empty()) {
+    out += StrFormat(
+        "operators (Σ exclusive %.3f ms of %.3f ms total operator time):\n",
+        Ms(operator_exclusive_sum_ns), Ms(operator_total_ns));
+    out += "  segment    op  parent  name                incl-ms   excl-ms"
+           "      calls       rows\n";
+    for (const ProfOperatorStat& op : operators) {
+      out += StrFormat("  %-9s %3d  %6d  %-18s %9.3f %9.3f %10lld %10lld\n",
+                       op.segment.c_str(), op.op_id, op.parent_op,
+                       op.name.c_str(), Ms(op.inclusive_ns),
+                       Ms(op.exclusive_ns), static_cast<long long>(op.calls),
+                       static_cast<long long>(op.rows));
+    }
+  }
+  if (!audit.empty()) {
+    size_t show = std::min<size_t>(audit.size(), 8);
+    out += StrFormat("scheduler decision audit (last %zu of %zu ticks):\n",
+                     show, audit.size());
+    for (size_t i = audit.size() - show; i < audit.size(); ++i) {
+      const SchedTickAudit& a = audit[i];
+      out += StrFormat("  tick %lld node %d t=%.3f ms λ_local=%s λ_global=%s\n",
+                       static_cast<long long>(a.tick), a.node,
+                       Ms(a.ts_ns - start_ns), JsonNum(a.lambda_local).c_str(),
+                       JsonNum(a.lambda_global).c_str());
+      for (const SchedTickAudit::Segment& s : a.segments) {
+        out += StrFormat(
+            "    %-10s par=%d rate=%s R=%s predicted=%s "
+            "blocked(in=%.0f%%, out=%.0f%%) action=%s\n",
+            s.name.c_str(), s.parallelism, JsonNum(s.rate).c_str(),
+            JsonNum(s.normalized_rate).c_str(),
+            JsonNum(s.predicted_rate).c_str(), s.blocked_in * 100,
+            s.blocked_out * 100, s.action.c_str());
+      }
+    }
+  }
+  return out;
+}
+
+std::string QueryProfile::Summary() const {
+  std::string out = StrFormat(
+      "profile: critical path %.1f%% of %.3f ms wall; "
+      "operator time %.3f ms (exclusive Σ %.3f ms); "
+      "%lld/%lld recv batches causally linked\n",
+      critical_path_coverage * 100, Ms(wall_ns()), Ms(operator_total_ns),
+      Ms(operator_exclusive_sum_ns),
+      static_cast<long long>(linked_recv_spans),
+      static_cast<long long>(total_recv_spans));
+  // Top-3 steps by duration tell where the time went at a glance.
+  std::vector<const ProfPathStep*> top;
+  for (const ProfPathStep& s : critical_path) top.push_back(&s);
+  std::sort(top.begin(), top.end(),
+            [](const ProfPathStep* a, const ProfPathStep* b) {
+              return a->dur_ns() > b->dur_ns();
+            });
+  for (size_t i = 0; i < top.size() && i < 3; ++i) {
+    out += StrFormat("  %5.1f%%  %s %s %s\n", top[i]->pct * 100,
+                     top[i]->what.c_str(), top[i]->segment.c_str(),
+                     top[i]->detail.c_str());
+  }
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out = StrFormat(
+      "{\"query_id\":%llu,\"label\":",
+      static_cast<unsigned long long>(query_id));
+  AppendJsonStr(&out, label);
+  out += StrFormat(
+      ",\"start_ns\":%lld,\"end_ns\":%lld,\"wall_ns\":%lld,"
+      "\"span_count\":%zu,\"dropped_spans\":%lld,"
+      "\"linked_recv_spans\":%lld,\"total_recv_spans\":%lld,"
+      "\"operator_total_ns\":%lld,\"operator_exclusive_sum_ns\":%lld,"
+      "\"critical_path\":{\"coverage\":%s,\"steps\":[",
+      static_cast<long long>(start_ns), static_cast<long long>(end_ns),
+      static_cast<long long>(wall_ns()), spans.size(),
+      static_cast<long long>(dropped_spans),
+      static_cast<long long>(linked_recv_spans),
+      static_cast<long long>(total_recv_spans),
+      static_cast<long long>(operator_total_ns),
+      static_cast<long long>(operator_exclusive_sum_ns),
+      JsonNum(critical_path_coverage).c_str());
+  bool first = true;
+  for (const ProfPathStep& s : critical_path) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"what\":";
+    AppendJsonStr(&out, s.what);
+    out += ",\"segment\":";
+    AppendJsonStr(&out, s.segment);
+    out += ",\"detail\":";
+    AppendJsonStr(&out, s.detail);
+    out += StrFormat(",\"start_ns\":%lld,\"end_ns\":%lld,\"pct\":%s}",
+                     static_cast<long long>(s.start_ns),
+                     static_cast<long long>(s.end_ns), JsonNum(s.pct).c_str());
+  }
+  out += "]},\"operators\":[";
+  first = true;
+  for (const ProfOperatorStat& op : operators) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"segment\":";
+    AppendJsonStr(&out, op.segment);
+    out += ",\"name\":";
+    AppendJsonStr(&out, op.name);
+    out += StrFormat(
+        ",\"node\":%d,\"op_id\":%d,\"parent_op\":%d,\"inclusive_ns\":%lld,"
+        "\"exclusive_ns\":%lld,\"calls\":%lld,\"rows\":%lld}",
+        op.node, op.op_id, op.parent_op,
+        static_cast<long long>(op.inclusive_ns),
+        static_cast<long long>(op.exclusive_ns),
+        static_cast<long long>(op.calls), static_cast<long long>(op.rows));
+  }
+  out += "],\"audit\":[";
+  first = true;
+  for (const SchedTickAudit& a : audit) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += StrFormat(
+        "{\"tick\":%lld,\"node\":%d,\"ts_ns\":%lld,\"lambda_local\":%s,"
+        "\"lambda_global\":%s,\"segments\":[",
+        static_cast<long long>(a.tick), a.node,
+        static_cast<long long>(a.ts_ns), JsonNum(a.lambda_local).c_str(),
+        JsonNum(a.lambda_global).c_str());
+    bool sfirst = true;
+    for (const SchedTickAudit::Segment& s : a.segments) {
+      if (!sfirst) out.push_back(',');
+      sfirst = false;
+      out += "{\"name\":";
+      AppendJsonStr(&out, s.name);
+      out += StrFormat(
+          ",\"query_id\":%llu,\"parallelism\":%d,\"rate\":%s,"
+          "\"normalized_rate\":%s,\"predicted_rate\":%s,\"blocked_in\":%s,"
+          "\"blocked_out\":%s,\"action\":",
+          static_cast<unsigned long long>(s.query_id), s.parallelism,
+          JsonNum(s.rate).c_str(), JsonNum(s.normalized_rate).c_str(),
+          JsonNum(s.predicted_rate).c_str(), JsonNum(s.blocked_in).c_str(),
+          JsonNum(s.blocked_out).c_str());
+      AppendJsonStr(&out, s.action);
+      out.push_back('}');
+    }
+    out += "]}";
+  }
+  out += "],\"timeline\":";
+  AppendJsonStr(&out, AsciiTimeline(*this, 64));
+  out.push_back('}');
+  return out;
+}
+
+std::string QueryProfile::ToPerfettoJson() const {
+  // Track layout: pid = node; tid 0 holds the query/segment spans, each
+  // operator gets its own sub-track (operators overlap each other across
+  // workers, so same-track nesting would lie), waits go on a per-segment
+  // "waits" track, wire batches on a per-node "net" track.
+  std::map<std::string, int> seg_track;
+  for (const ProfSpan& s : spans) {
+    if (!s.segment.empty() && !seg_track.count(s.segment)) {
+      int next = static_cast<int>(seg_track.size()) + 1;
+      seg_track[s.segment] = next * 1000;
+    }
+  }
+  auto track_of = [&](const ProfSpan& s) -> int64_t {
+    if (s.kind == SpanKind::kQuery) return 0;
+    auto it = seg_track.find(s.segment);
+    int base = it == seg_track.end() ? 900000 : it->second;
+    switch (s.kind) {
+      case SpanKind::kSegment: return base;
+      case SpanKind::kWorker: return base + 500 + (s.tid % 100);
+      case SpanKind::kOperator: return base + 1 + std::max(s.op_id, 0);
+      case SpanKind::kBlockedInput:
+      case SpanKind::kBlockedOutput: return base + 200;
+      case SpanKind::kNetSend:
+      case SpanKind::kNetRecv: return 999;
+      default: return base + 300;
+    }
+  };
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& body) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += body;
+  };
+  std::map<SendKey, std::pair<const ProfSpan*, const ProfSpan*>> flows;
+  for (const ProfSpan& s : spans) {
+    std::string ev = "{\"name\":";
+    AppendJsonStr(&ev, s.name.empty() ? SpanKindName(s.kind) : s.name);
+    ev += StrFormat(
+        ",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"pid\":%d,\"tid\":%lld,\"args\":{\"segment\":",
+        SpanKindName(s.kind), static_cast<double>(s.start_ns) / 1000.0,
+        static_cast<double>(std::max<int64_t>(s.dur_ns(), 1)) / 1000.0,
+        s.node, static_cast<long long>(track_of(s)));
+    AppendJsonStr(&ev, s.segment);
+    ev += StrFormat(",\"tuples\":%lld,\"wire_seq\":%llu}}",
+                    static_cast<long long>(s.tuples),
+                    static_cast<unsigned long long>(s.wire_seq));
+    emit(ev);
+    if (s.kind == SpanKind::kNetSend || s.kind == SpanKind::kNetRecv) {
+      SendKey key{s.exchange_id, s.from_node, s.to_node, s.wire_seq};
+      auto& pair = flows[key];
+      (s.kind == SpanKind::kNetSend ? pair.first : pair.second) = &s;
+    }
+  }
+  // Flow arrows for matched send/recv pairs, bounded so a huge scan fan-out
+  // does not drown the renderer; dropped flows are counted in metadata.
+  constexpr size_t kMaxFlows = 512;
+  size_t flow_id = 0, dropped_flows = 0;
+  for (const auto& [key, pair] : flows) {
+    const ProfSpan* send = pair.first;
+    const ProfSpan* recv = pair.second;
+    if (send == nullptr || recv == nullptr) continue;
+    if (flow_id >= kMaxFlows) {
+      ++dropped_flows;
+      continue;
+    }
+    ++flow_id;
+    emit(StrFormat(
+        "{\"name\":\"xfer\",\"cat\":\"net\",\"ph\":\"s\",\"id\":%zu,"
+        "\"ts\":%.3f,\"pid\":%d,\"tid\":%lld}",
+        flow_id, static_cast<double>(send->end_ns - 1) / 1000.0, send->node,
+        static_cast<long long>(track_of(*send))));
+    emit(StrFormat(
+        "{\"name\":\"xfer\",\"cat\":\"net\",\"ph\":\"f\",\"bp\":\"e\","
+        "\"id\":%zu,\"ts\":%.3f,\"pid\":%d,\"tid\":%lld}",
+        flow_id, static_cast<double>(recv->start_ns) / 1000.0, recv->node,
+        static_cast<long long>(track_of(*recv))));
+  }
+  out += StrFormat("],\"metadata\":{\"query_id\":%llu,\"flows\":%zu,"
+                   "\"dropped_flows\":%zu}}",
+                   static_cast<unsigned long long>(query_id), flow_id,
+                   dropped_flows);
+  return out;
+}
+
+}  // namespace claims

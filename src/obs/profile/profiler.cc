@@ -1,0 +1,200 @@
+#include "obs/profile/profiler.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "obs/metrics_registry.h"
+#include "obs/profile/assembler.h"
+#include "obs/trace.h"
+
+namespace claims {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kQuery: return "query";
+    case SpanKind::kSegment: return "segment";
+    case SpanKind::kWorker: return "worker";
+    case SpanKind::kOperator: return "operator";
+    case SpanKind::kBlockedInput: return "blocked-input";
+    case SpanKind::kBlockedOutput: return "blocked-output";
+    case SpanKind::kNetSend: return "net-send";
+    case SpanKind::kNetRecv: return "net-recv";
+    case SpanKind::kSchedulerWait: return "scheduler-wait";
+  }
+  return "?";
+}
+
+QueryProfiler::QueryProfiler() = default;
+
+QueryProfiler* QueryProfiler::Global() {
+  static QueryProfiler* instance = new QueryProfiler();
+  return instance;
+}
+
+void QueryProfiler::EmitComplete(ProfSpan span) {
+  if (!armed()) return;
+  if (span.tid == 0) span.tid = TraceCollector::CurrentThreadId();
+  Shard& shard = shards_[static_cast<size_t>(TraceCollector::CurrentThreadId())
+                         % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.spans.size() >= kMaxSpansPerShard) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::Global()->counter("profiler.dropped_spans")->Add();
+    return;
+  }
+  shard.spans.push_back(std::move(span));
+}
+
+uint64_t QueryProfiler::BeginOpen(ProfSpan span) {
+  if (!armed()) return 0;
+  if (span.tid == 0) span.tid = TraceCollector::CurrentThreadId();
+  std::lock_guard<std::mutex> lock(open_mu_);
+  if (open_.size() >= kMaxOpenSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  uint64_t token = next_token_++;
+  open_.emplace(token, std::move(span));
+  return token;
+}
+
+void QueryProfiler::EndOpen(uint64_t token, int64_t end_ns,
+                            uint64_t resolved_wire_seq,
+                            int resolved_from_node) {
+  if (token == 0) return;
+  ProfSpan span;
+  {
+    std::lock_guard<std::mutex> lock(open_mu_);
+    auto it = open_.find(token);
+    if (it == open_.end()) return;
+    span = std::move(it->second);
+    open_.erase(it);
+  }
+  span.end_ns = end_ns;
+  if (resolved_wire_seq != 0) span.wire_seq = resolved_wire_seq;
+  if (resolved_from_node >= 0) span.from_node = resolved_from_node;
+  // Profiler may have been disarmed between Begin and End: still record, so
+  // the span does not vanish mid-flight — TakeQuery bounds lifetime anyway.
+  Shard& shard = shards_[static_cast<size_t>(TraceCollector::CurrentThreadId())
+                         % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.spans.size() >= kMaxSpansPerShard) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  shard.spans.push_back(std::move(span));
+}
+
+void QueryProfiler::AbortOpen(uint64_t token) {
+  if (token == 0) return;
+  std::lock_guard<std::mutex> lock(open_mu_);
+  open_.erase(token);
+}
+
+std::vector<ProfSpan> QueryProfiler::OpenSpans() const {
+  std::vector<ProfSpan> out;
+  std::lock_guard<std::mutex> lock(open_mu_);
+  out.reserve(open_.size());
+  for (const auto& [token, span] : open_) out.push_back(span);
+  std::sort(out.begin(), out.end(),
+            [](const ProfSpan& a, const ProfSpan& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+std::string QueryProfiler::OpenSpansText() const {
+  std::vector<ProfSpan> spans = OpenSpans();
+  if (spans.empty()) return std::string();
+  std::string out =
+      StrFormat("%zu open span(s) at incident time:\n", spans.size());
+  for (const ProfSpan& s : spans) {
+    out += StrFormat("  q%llu %-14s %-10s %s since t=%.3f ms",
+                     static_cast<unsigned long long>(s.query_id),
+                     SpanKindName(s.kind), s.segment.c_str(), s.name.c_str(),
+                     s.start_ns / 1e6);
+    if (s.exchange_id >= 0) {
+      out += StrFormat(" (exchange %lld)", static_cast<long long>(s.exchange_id));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+size_t QueryProfiler::open_span_count() const {
+  std::lock_guard<std::mutex> lock(open_mu_);
+  return open_.size();
+}
+
+std::vector<ProfSpan> QueryProfiler::TakeQuery(uint64_t query_id) {
+  std::vector<ProfSpan> out;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto keep = shard.spans.begin();
+    for (auto it = shard.spans.begin(); it != shard.spans.end(); ++it) {
+      if (it->query_id == query_id) {
+        out.push_back(std::move(*it));
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    shard.spans.erase(keep, shard.spans.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProfSpan& a, const ProfSpan& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.end_ns < b.end_ns;
+            });
+  return out;
+}
+
+size_t QueryProfiler::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.spans.size();
+  }
+  return total;
+}
+
+void QueryProfiler::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.spans.clear();
+  }
+  std::lock_guard<std::mutex> lock(open_mu_);
+  open_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void QueryProfiler::StoreProfile(std::shared_ptr<const QueryProfile> profile) {
+  if (profile == nullptr) return;
+  std::lock_guard<std::mutex> lock(profiles_mu_);
+  // Re-runs of the same query id (wlm retry) replace the stale profile.
+  for (auto it = profiles_.begin(); it != profiles_.end(); ++it) {
+    if ((*it)->query_id == profile->query_id) {
+      profiles_.erase(it);
+      break;
+    }
+  }
+  profiles_.push_back(std::move(profile));
+  while (profiles_.size() > kProfileRingCap) profiles_.pop_front();
+}
+
+std::shared_ptr<const QueryProfile> QueryProfiler::GetProfile(
+    uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(profiles_mu_);
+  for (const auto& p : profiles_) {
+    if (p->query_id == query_id) return p;
+  }
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<const QueryProfile>> QueryProfiler::ListProfiles()
+    const {
+  std::lock_guard<std::mutex> lock(profiles_mu_);
+  return {profiles_.begin(), profiles_.end()};
+}
+
+}  // namespace claims

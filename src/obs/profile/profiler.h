@@ -1,0 +1,131 @@
+#ifndef CLAIMS_OBS_PROFILE_PROFILER_H_
+#define CLAIMS_OBS_PROFILE_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "obs/profile/span.h"
+
+namespace claims {
+
+struct QueryProfile;
+
+/// Process-wide collector of profiler spans, layered beside TraceCollector
+/// with the same cost model: the armed check is an inlined relaxed atomic
+/// load, so every hook compiled into a hot path (worker loop, sender pump,
+/// buffer insert) is a predictable branch and nothing else while disarmed —
+/// no lock, no allocation (verified by bench/fig09_overhead).
+///
+/// Two stores:
+///  * a sharded completed-span log (striped mutexes picked by thread id,
+///    bounded per shard; overflow increments profiler.dropped_spans), drained
+///    per query by the post-execution assembler via TakeQuery();
+///  * a small open-span registry for spans whose end is not yet known —
+///    blocked-on-input/-output waits register here once they exceed the
+///    reporting threshold, so a StallWatchdog incident can say what every
+///    wedged segment was blocked on *at that moment* (OpenSpansText).
+///
+/// Assembled profiles live in a bounded ring keyed by query id, serving
+/// `GET /profile/<id>` directly from the obs layer.
+class QueryProfiler {
+ public:
+  QueryProfiler();
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(QueryProfiler);
+
+  static QueryProfiler* Global();
+
+  void Arm() { armed_.store(true, std::memory_order_release); }
+  void Disarm() { armed_.store(false, std::memory_order_release); }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Blocked waits shorter than this are folded into their segment's
+  /// aggregate counters instead of materializing a span — bounds span volume
+  /// on chatty exchanges without losing anything the critical path needs.
+  static constexpr int64_t kMinBlockedSpanNs = 100'000;  // 100 µs
+
+  /// Records a finished span. No-op while disarmed (call sites still guard
+  /// with armed() so argument construction is skipped too).
+  void EmitComplete(ProfSpan span);
+
+  // --- open-span registry ---------------------------------------------------
+
+  /// Registers a span whose end is unknown (start_ns filled, end_ns ignored).
+  /// Returns a token for EndOpen/AbortOpen; 0 when disarmed or the registry
+  /// is full (callers treat 0 as "not registered" and skip the close).
+  uint64_t BeginOpen(ProfSpan span);
+
+  /// Closes an open span and moves it to the completed log. The resolving
+  /// link key (the wire batch whose arrival ended a blocked-input wait) can
+  /// be stamped here, after the fact. Unknown tokens are ignored.
+  void EndOpen(uint64_t token, int64_t end_ns, uint64_t resolved_wire_seq = 0,
+               int resolved_from_node = -1);
+
+  /// Drops an open span without recording it (cancelled query teardown).
+  void AbortOpen(uint64_t token);
+
+  std::vector<ProfSpan> OpenSpans() const;
+  /// Human-readable open-span inventory for watchdog incident reports;
+  /// empty string when nothing is open (the provider contributes nothing).
+  std::string OpenSpansText() const;
+  size_t open_span_count() const;
+
+  // --- completed-span log ---------------------------------------------------
+
+  /// Extracts and removes every completed span of `query_id`.
+  std::vector<ProfSpan> TakeQuery(uint64_t query_id);
+
+  size_t size() const;
+  int64_t dropped_spans() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Clears spans and open registry (tests; profile ring survives).
+  void Clear();
+
+  // --- assembled-profile ring ----------------------------------------------
+
+  void StoreProfile(std::shared_ptr<const QueryProfile> profile);
+  std::shared_ptr<const QueryProfile> GetProfile(uint64_t query_id) const;
+  /// Most recent profiles, oldest first.
+  std::vector<std::shared_ptr<const QueryProfile>> ListProfiles() const;
+
+ private:
+  static constexpr int kShards = 16;
+  static constexpr size_t kMaxSpansPerShard = 8192;
+  static constexpr size_t kMaxOpenSpans = 4096;
+  static constexpr size_t kProfileRingCap = 64;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<ProfSpan> spans;
+  };
+
+  std::atomic<bool> armed_{false};
+  std::atomic<int64_t> dropped_{0};
+  Shard shards_[kShards];
+
+  mutable std::mutex open_mu_;
+  std::unordered_map<uint64_t, ProfSpan> open_;
+  uint64_t next_token_ = 1;
+
+  mutable std::mutex profiles_mu_;
+  std::deque<std::shared_ptr<const QueryProfile>> profiles_;
+};
+
+/// Arms the global profiler for a scope (tests, benches).
+class ProfilerArmScope {
+ public:
+  ProfilerArmScope() { QueryProfiler::Global()->Arm(); }
+  ~ProfilerArmScope() { QueryProfiler::Global()->Disarm(); }
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(ProfilerArmScope);
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_OBS_PROFILE_PROFILER_H_

@@ -1,0 +1,110 @@
+#ifndef CLAIMS_OBS_PROFILE_SPAN_H_
+#define CLAIMS_OBS_PROFILE_SPAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace claims {
+
+/// Typed span kinds of the causal query profiler. The kinds mirror the
+/// paper's time-accounting vocabulary: a segment's wall time decomposes into
+/// operator work, starvation (blocked-on-input), backpressure
+/// (blocked-on-output), and exchange transfer — the same attribution both
+/// "To pipeline or not to pipeline" and the ROADMAP's overhead figures need.
+enum class SpanKind : uint8_t {
+  kQuery = 0,       ///< whole distributed execution (one per query)
+  kSegment,         ///< one segment instance's driver lifetime ("S1@n0")
+  kWorker,          ///< one elastic worker's attach→detach inside a segment
+  kOperator,        ///< one operator's aggregate time inside a segment
+  kBlockedInput,    ///< a consumer starved waiting on an exchange
+  kBlockedOutput,   ///< a producer stalled on joint-buffer backpressure
+  kNetSend,         ///< one wire batch leaving a sender pump
+  kNetRecv,         ///< the matching batch surfacing at a merger
+  kSchedulerWait,   ///< admission / dispatch queue wait
+};
+
+const char* SpanKindName(SpanKind kind);
+
+/// One completed (or, in the open-span registry, still-open) profiler span.
+///
+/// `segment` is the grouping key ("S2@n1"): parent/child structure inside a
+/// segment instance is by containment + op ids, never by fragile pointer
+/// identity, so spans from different nodes stitch without coordination.
+///
+/// The causal link key is {exchange_id, from_node, to_node, wire_seq}:
+/// exchange ids are globally namespaced per in-flight query
+/// (ExecOptions::exchange_id_base) and wire sequence numbers are assigned
+/// per (producer, channel) on successful enqueue — retries keep their seq and
+/// duplicates are suppressed at the receiver, so each key matches at most one
+/// kNetSend span to at most one kNetRecv span on either the real network or
+/// the virtual-time simulator.
+struct ProfSpan {
+  uint64_t query_id = 0;
+  SpanKind kind = SpanKind::kOperator;
+  std::string name;     ///< operator label, exchange name, worker id, ...
+  std::string segment;  ///< owning segment instance; empty for kQuery
+  int node = 0;
+  int64_t tid = 0;
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  int64_t tuples = 0;
+  /// Payload bytes (kNetSend/kNetRecv); kOperator spans carry their Next()
+  /// call count here instead.
+  int64_t bytes = 0;
+  /// Accumulated active time across the elastic workers that drove this span
+  /// (kOperator / kWorker): with N workers inside one wall interval, busy_ns
+  /// can exceed end_ns − start_ns. 0 means "use the wall extent".
+  int64_t busy_ns = 0;
+
+  /// Operator-tree attribution (kOperator): ids assigned pre-order at plan
+  /// build, so exclusive = inclusive − Σ inclusive(children).
+  int op_id = -1;
+  int parent_op = -1;
+
+  /// Causal link key (kNetSend / kNetRecv; blocked-input spans record the
+  /// key of the batch whose arrival unblocked them). Span-level wire_seq is
+  /// 1-based — the channel's sequence + 1 — so 0 stays "no link recorded"
+  /// (the channel's own numbering starts at 0).
+  int64_t exchange_id = -1;
+  int from_node = -1;
+  int to_node = -1;
+  uint64_t wire_seq = 0;
+
+  int64_t dur_ns() const { return end_ns - start_ns; }
+};
+
+/// One scheduler tick's decision audit (paper Algorithm 1, made reviewable):
+/// for every segment the tick saw, the realized rate it measured, the
+/// normalized R_i it derived, the λ it published, the action it took — and
+/// the rate it *predicted* the segment would realize by the next tick, so
+/// over/under-provisioning is visible per decision rather than only in
+/// aggregate. Defined here (obs) so core/DynamicScheduler can record it and
+/// the assembler can render it without obs depending upward.
+struct SchedTickAudit {
+  int64_t tick = 0;
+  int64_t ts_ns = 0;
+  int node = 0;
+  double lambda_local = -1;   ///< min R_i this node computed this tick
+  double lambda_global = -1;  ///< board value the decisions compared against
+
+  struct Segment {
+    std::string name;
+    uint64_t query_id = 0;
+    int parallelism = 0;         ///< after this tick's action
+    double rate = -1;            ///< realized tuples/s over the tick window
+    double normalized_rate = -1; ///< R_i = rate / V_i
+    /// Rate the previous tick predicted this segment would realize at its
+    /// post-action parallelism (scalability-vector estimate); -1 when the
+    /// previous tick made no prediction (first sample, segment just placed).
+    double predicted_rate = -1;
+    double blocked_in = 0;   ///< fraction of worker time starved
+    double blocked_out = 0;  ///< fraction of worker time backpressured
+    std::string action;      ///< "expand+1", "shrink-1", "move", "hold", ...
+  };
+  std::vector<Segment> segments;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_OBS_PROFILE_SPAN_H_

@@ -56,6 +56,11 @@ std::string ExecutionReport::ToString() const {
         s.final_parallelism, s.peak_parallelism,
         TimelineString(s.parallelism_timeline).c_str());
   }
+  if (!profile_summary.empty()) {
+    out += StrFormat("  profile (query %llu): %s\n",
+                     static_cast<unsigned long long>(profile_query_id),
+                     profile_summary.c_str());
+  }
   return out;
 }
 

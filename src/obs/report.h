@@ -48,6 +48,13 @@ struct ExecutionReport {
   int64_t result_tuples = 0;
   std::vector<SegmentReport> segments;
 
+  /// Causal-profiler digest (critical-path coverage + top contributors) when
+  /// the QueryProfiler was armed during the run; empty otherwise. The full
+  /// profile lives in the profiler's ring (GET /profile/<query_id>).
+  std::string profile_summary;
+  /// Query id the profile was stored under (0 = unprofiled run).
+  uint64_t profile_query_id = 0;
+
   /// Pretty table, one row per segment plus query totals:
   ///
   ///   Query (EP): 12.34 ms, 1 result tuples, peak mem 2.1 MB, net 0.5 MB

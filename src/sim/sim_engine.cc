@@ -4,9 +4,11 @@
 #include <cmath>
 #include <deque>
 #include <set>
+#include <tuple>
 
 #include "common/random.h"
 #include "common/string_util.h"
+#include "obs/profile/profiler.h"
 #include "obs/trace.h"
 
 namespace claims {
@@ -94,6 +96,7 @@ class SimRun::Impl {
     NodeState* node = nullptr;
 
     int stage = 0;
+    int64_t start_vns = -1;  ///< virtual time the instance started (profiler)
     int64_t source_remaining = 0;
     int64_t stage_input_total = 0;
     int64_t stage_input_consumed = 0;
@@ -161,6 +164,15 @@ class SimRun::Impl {
 
  private:
   int64_t Now() const { return events_.now(); }
+
+  /// True when the causal profiler should see this run's spans.
+  bool Profiled() const {
+    return opt_.profile_query_id != 0 && QueryProfiler::Global()->armed();
+  }
+  /// Segment-instance label matching the real engine's convention.
+  std::string SegLabel(const Instance* inst) const {
+    return StrFormat("%s@n%d", inst->spec->name.c_str(), inst->node_id);
+  }
 
   Channel* GetChannel(int exchange, int node) {
     auto it = channels_.find({exchange, node});
@@ -269,6 +281,10 @@ class SimRun::Impl {
   int64_t mem_current_ = 0;
   int64_t mem_peak_ = 0;
   int64_t network_bytes_ = 0;
+  /// Next 1-based span wire_seq per (exchange, from, to) — the simulator's
+  /// analogue of BlockChannel's per-producer sequencing (single-threaded
+  /// event loop, so a plain map suffices).
+  std::map<std::tuple<int, int, int>, uint64_t> wire_seq_;
   int finished_instances_ = 0;
   bool done_ = false;
   int64_t done_at_ = 0;
@@ -844,11 +860,49 @@ void SimRun::Impl::PumpOutbox(Instance* inst) {
                    {"bytes", bytes},
                    {"link_ns", dt}});
     }
+    uint64_t seq = 0;
+    if (Profiled()) {
+      // Same 1-based link key the real fabric's spans use, so the assembler
+      // stitches virtual-time profiles identically.
+      seq = ++wire_seq_[{ch->exchange, from->id, ch->node}];
+      ProfSpan span;
+      span.query_id = opt_.profile_query_id;
+      span.kind = SpanKind::kNetSend;
+      span.name = "send";
+      span.segment = SegLabel(inst);
+      span.node = from->id;
+      span.start_ns = depart;
+      span.end_ns = depart + dt;
+      span.tuples = block.tuples;
+      span.bytes = bytes;
+      span.exchange_id = ch->exchange;
+      span.from_node = from->id;
+      span.to_node = ch->node;
+      span.wire_seq = seq;
+      QueryProfiler::Global()->EmitComplete(std::move(span));
+    }
     inst->outbox_sending = true;
     MemSub(block.bytes());
     Channel* target = ch;
     SimBlock b = block;
-    events_.Schedule(depart + dt, [this, inst, target, b] {
+    const int from_id = from->id;
+    events_.Schedule(depart + dt, [this, inst, target, b, seq, from_id] {
+      if (seq != 0 && Profiled()) {
+        ProfSpan span;
+        span.query_id = opt_.profile_query_id;
+        span.kind = SpanKind::kNetRecv;
+        span.name = "recv";
+        span.node = target->node;
+        span.start_ns = Now();
+        span.end_ns = Now();
+        span.tuples = b.tuples;
+        span.bytes = b.bytes();
+        span.exchange_id = target->exchange;
+        span.from_node = from_id;
+        span.to_node = target->node;
+        span.wire_seq = seq;
+        QueryProfiler::Global()->EmitComplete(std::move(span));
+      }
       PushBlock(target, b);
       inst->outbox_sending = false;
       ReleaseOutboxWaiter(inst);
@@ -1006,6 +1060,19 @@ void SimRun::Impl::CompleteFinish(Instance* inst) {
     tc->Instant(Now(), 1000 + inst->node_id, "segment", "segment-finish",
                 {{"segment", inst->spec->name}});
   }
+  if (Profiled()) {
+    ProfSpan span;
+    span.query_id = opt_.profile_query_id;
+    span.kind = SpanKind::kSegment;
+    span.name = SegLabel(inst);
+    span.segment = SegLabel(inst);
+    span.node = inst->node_id;
+    span.start_ns = inst->start_vns >= 0 ? inst->start_vns : 0;
+    span.end_ns = Now();
+    span.tuples =
+        inst->seg_stats.output_tuples.load(std::memory_order_relaxed);
+    QueryProfiler::Global()->EmitComplete(std::move(span));
+  }
   // Release the iterator state.
   MemSub(inst->state_bytes);
   inst->state_bytes = 0;
@@ -1040,6 +1107,17 @@ void SimRun::Impl::CompleteFinish(Instance* inst) {
   if (finished_instances_ == static_cast<int>(instances_.size())) {
     done_ = true;
     done_at_ = Now();
+    if (Profiled()) {
+      ProfSpan span;
+      span.query_id = opt_.profile_query_id;
+      span.kind = SpanKind::kQuery;
+      span.name = StrFormat("sim (%s)", SimPolicyName(opt_.policy));
+      span.node = 0;
+      span.start_ns = 0;
+      span.end_ns = done_at_;
+      span.bytes = network_bytes_;
+      QueryProfiler::Global()->EmitComplete(std::move(span));
+    }
     for (auto& node : nodes_) WakeIdlePool(node.get());
   }
 }
@@ -1213,6 +1291,7 @@ Result<SimMetrics> SimRun::Impl::Run() {
                            opt_.policy == SimPolicy::kMorselPlus;
   auto start_instance = [&](Instance* inst) {
     inst->started = true;
+    inst->start_vns = Now();
     if (pool_policy) return;
     int threads = opt_.parallelism;
     if (opt_.policy == SimPolicy::kImplicit) {

@@ -6,6 +6,7 @@
 #include "common/clock.h"
 #include "common/string_util.h"
 #include "fault/injector.h"
+#include "obs/profile/profiler.h"
 #include "obs/trace.h"
 
 namespace claims {
@@ -142,6 +143,14 @@ void IntrospectionPlane::RegisterProbes() {
     FaultInjector* injector = injector_.load(std::memory_order_acquire);
     if (injector == nullptr) return std::string();
     return injector->DescribeActiveFaults();
+  });
+
+  // Incident context: the causal profiler's open spans say what every wedged
+  // segment was blocked on at the moment the stall fired — starved on which
+  // exchange, backpressured into which buffer. Empty when the profiler is
+  // disarmed or nothing is mid-wait.
+  watchdog_.AddContextProvider("profiler.open_spans", []() {
+    return QueryProfiler::Global()->OpenSpansText();
   });
 }
 

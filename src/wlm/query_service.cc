@@ -393,6 +393,9 @@ void QueryService::RunQuery(const QueryHandlePtr& handle) {
     ExecOptions exec = handle->options_.exec;
     exec.exclusive_cluster = false;
     exec.queue_wait_ns = queue_wait_ns;
+    // Profile under the handle's id so GET /profile/<id> lines up with
+    // /queries; a retry re-stores under the same id (latest attempt wins).
+    exec.query_id = handle->id_;
     // Disjoint exchange-id namespace per (query, attempt): a retried query
     // restarts idempotently in fresh channels — nothing a dead attempt left
     // in the fabric can leak into the re-dispatch. Ids recycle after 1M

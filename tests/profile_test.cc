@@ -1,0 +1,398 @@
+// Causal query profiler tests: assembler attribution and critical-path
+// stitching on synthetic span logs, the open-span registry lifecycle, and
+// end-to-end profiles of real multi-segment executions — including span
+// propagation under drop/duplicate/retry faults (no leaked open spans, no
+// double-counted receives, no mislinked exchange jumps).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "cluster/executor.h"
+#include "fault/injector.h"
+#include "obs/profile/assembler.h"
+#include "obs/profile/profiler.h"
+
+namespace claims {
+namespace {
+
+constexpr int64_t kMs = 1'000'000;
+
+ProfSpan MakeSpan(uint64_t qid, SpanKind kind, const char* segment,
+                  int64_t start_ms, int64_t end_ms) {
+  ProfSpan s;
+  s.query_id = qid;
+  s.kind = kind;
+  s.segment = segment;
+  s.start_ns = start_ms * kMs;
+  s.end_ns = end_ms * kMs;
+  return s;
+}
+
+// --- assembler: operator attribution ---------------------------------------------
+
+TEST(AssemblerTest, OperatorExclusiveTimesTelescope) {
+  // One segment, a three-operator chain: agg(0) ← join(1) ← scan(2).
+  AssembleInput in;
+  in.query_id = 1;
+  in.start_ns = 0;
+  in.end_ns = 100 * kMs;
+  auto op = [&](int id, int parent, const char* name, int64_t busy_ms) {
+    ProfSpan s = MakeSpan(1, SpanKind::kOperator, "S0@n0", 0, 100);
+    s.name = name;
+    s.op_id = id;
+    s.parent_op = parent;
+    s.busy_ns = busy_ms * kMs;
+    in.spans.push_back(std::move(s));
+  };
+  op(0, -1, "hash-agg", 100);
+  op(1, 0, "hash-join", 60);
+  op(2, 1, "scan", 20);
+  auto p = AssembleQueryProfile(std::move(in));
+
+  ASSERT_EQ(p->operators.size(), 3u);
+  EXPECT_EQ(p->operator_total_ns, 100 * kMs);  // root inclusive
+  // Exclusive = inclusive − Σ children: 40 + 40 + 20 telescopes to 100.
+  EXPECT_EQ(p->operator_exclusive_sum_ns, 100 * kMs);
+  for (const ProfOperatorStat& st : p->operators) {
+    if (st.op_id == 0) EXPECT_EQ(st.exclusive_ns, 40 * kMs);
+    if (st.op_id == 1) EXPECT_EQ(st.exclusive_ns, 40 * kMs);
+    if (st.op_id == 2) EXPECT_EQ(st.exclusive_ns, 20 * kMs);
+  }
+}
+
+// --- assembler: critical path ----------------------------------------------------
+
+/// Producer S0@n1 runs [0,50) and ships batch (exchange 5, seq 7) at
+/// [45,46); consumer S1@n0 runs [0,100) and starves [10,46) until that batch
+/// lands. The backward walk must jump producer-ward across the exchange.
+AssembleInput TwoSegmentInput(uint64_t resolved_seq) {
+  AssembleInput in;
+  in.query_id = 2;
+  in.start_ns = 0;
+  in.end_ns = 100 * kMs;
+
+  ProfSpan prod = MakeSpan(2, SpanKind::kSegment, "S0@n1", 0, 50);
+  prod.node = 1;
+  in.spans.push_back(prod);
+  ProfSpan cons = MakeSpan(2, SpanKind::kSegment, "S1@n0", 0, 100);
+  in.spans.push_back(cons);
+
+  ProfSpan send = MakeSpan(2, SpanKind::kNetSend, "S0@n1", 45, 46);
+  send.node = 1;
+  send.exchange_id = 5;
+  send.from_node = 1;
+  send.to_node = 0;
+  send.wire_seq = 7;
+  in.spans.push_back(send);
+
+  ProfSpan recv = MakeSpan(2, SpanKind::kNetRecv, "S1@n0", 46, 46);
+  recv.exchange_id = 5;
+  recv.from_node = 1;
+  recv.to_node = 0;
+  recv.wire_seq = 7;
+  in.spans.push_back(recv);
+
+  ProfSpan wait = MakeSpan(2, SpanKind::kBlockedInput, "S1@n0", 10, 46);
+  wait.exchange_id = 5;
+  wait.from_node = 1;
+  wait.to_node = 0;
+  wait.wire_seq = resolved_seq;
+  in.spans.push_back(wait);
+  return in;
+}
+
+TEST(AssemblerTest, CriticalPathJumpsAcrossLinkedExchange) {
+  auto p = AssembleQueryProfile(TwoSegmentInput(/*resolved_seq=*/7));
+  EXPECT_GE(p->critical_path_coverage, 0.99);
+  EXPECT_EQ(p->linked_recv_spans, 1);
+  EXPECT_EQ(p->total_recv_spans, 1);
+
+  bool exchange_step = false;
+  bool producer_compute = false;
+  for (const ProfPathStep& s : p->critical_path) {
+    if (s.what == "exchange") {
+      exchange_step = true;
+      EXPECT_EQ(s.segment, "S0@n1->S1@n0");
+    }
+    if (s.what == "compute" && s.segment == "S0@n1") producer_compute = true;
+  }
+  EXPECT_TRUE(exchange_step) << "no exchange jump in the critical path";
+  EXPECT_TRUE(producer_compute) << "walk never reached the producer";
+  // Steps partition the wall time: durations sum to coverage × wall.
+  int64_t sum = 0;
+  for (const ProfPathStep& s : p->critical_path) sum += s.dur_ns();
+  EXPECT_NEAR(static_cast<double>(sum),
+              p->critical_path_coverage * static_cast<double>(p->wall_ns()),
+              static_cast<double>(kMs));
+}
+
+TEST(AssemblerTest, UnresolvedWaitStaysOnConsumerAsBlockedInput) {
+  // wire_seq 0 = "no link recorded": the walk must not fabricate an edge.
+  auto p = AssembleQueryProfile(TwoSegmentInput(/*resolved_seq=*/0));
+  bool blocked_step = false;
+  for (const ProfPathStep& s : p->critical_path) {
+    EXPECT_NE(s.what, "exchange");
+    if (s.what == "blocked-input") blocked_step = true;
+  }
+  EXPECT_TRUE(blocked_step);
+}
+
+TEST(AssemblerTest, RendersAllThreeViews) {
+  auto p = AssembleQueryProfile(TwoSegmentInput(7));
+  EXPECT_NE(p->ToJson().find("\"critical_path\":{\"coverage\":"),
+            std::string::npos);
+  EXPECT_NE(p->ToText().find("critical path"), std::string::npos);
+  EXPECT_NE(p->ToText().find("timeline"), std::string::npos);
+  // Perfetto export carries flow arrows for the matched send/recv pair.
+  const std::string perfetto = p->ToPerfettoJson();
+  EXPECT_NE(perfetto.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(perfetto.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(perfetto.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_FALSE(p->Summary().empty());
+}
+
+// --- open-span registry ----------------------------------------------------------
+
+TEST(ProfilerTest, OpenSpanLifecycleAndDoubleCloseSafety) {
+  QueryProfiler* prof = QueryProfiler::Global();
+  prof->Clear();
+  ProfilerArmScope armed;
+
+  ProfSpan s = MakeSpan(91, SpanKind::kBlockedInput, "S1@n0", 1, 0);
+  s.exchange_id = 3;
+  uint64_t token = prof->BeginOpen(s);
+  ASSERT_NE(token, 0u);
+  EXPECT_EQ(prof->open_span_count(), 1u);
+  EXPECT_NE(prof->OpenSpansText().find("S1@n0"), std::string::npos);
+
+  prof->EndOpen(token, 5 * kMs, /*resolved_wire_seq=*/9,
+                /*resolved_from_node=*/2);
+  EXPECT_EQ(prof->open_span_count(), 0u);
+  prof->EndOpen(token, 9 * kMs);  // double close: ignored, no second span
+  prof->AbortOpen(token);         // ditto
+
+  std::vector<ProfSpan> taken = prof->TakeQuery(91);
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].end_ns, 5 * kMs);
+  EXPECT_EQ(taken[0].wire_seq, 9u);  // link key stamped at resolution
+  EXPECT_EQ(taken[0].from_node, 2);
+
+  uint64_t t2 = prof->BeginOpen(s);
+  ASSERT_NE(t2, 0u);
+  prof->AbortOpen(t2);
+  EXPECT_EQ(prof->open_span_count(), 0u);
+  EXPECT_TRUE(prof->TakeQuery(91).empty());  // aborted spans leave no trace
+  EXPECT_TRUE(prof->OpenSpansText().empty());
+}
+
+// --- end-to-end on the real executor ---------------------------------------------
+
+constexpr int kNodes = 3;
+
+ExprPtr Col(const Schema& s, const char* name) {
+  int i = s.FindColumn(name);
+  EXPECT_GE(i, 0) << name;
+  return MakeColumnRef(i, s.column(i).type, name);
+}
+
+/// Same dataset shape as the fault tests: kva round-robin (repartitioned on
+/// k for the build side), kvb hash-partitioned on k (co-located probe side),
+/// so the join result is deterministic: (rows/300)² matches per key.
+struct ProfiledCluster {
+  explicit ProfiledCluster(int rows = 24000) {
+    {
+      Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+      auto t = std::make_shared<Table>("kva", s, kNodes, std::vector<int>{});
+      for (int i = 0; i < rows; ++i) {
+        t->AppendValues({Value::Int32(i % 300), Value::Int64(i)});
+      }
+      EXPECT_TRUE(catalog.RegisterTable(std::move(t)).ok());
+    }
+    {
+      Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("w")});
+      auto t = std::make_shared<Table>("kvb", s, kNodes, std::vector<int>{0});
+      for (int i = 0; i < rows; ++i) {
+        t->AppendValues({Value::Int32(i % 300), Value::Int64(i)});
+      }
+      EXPECT_TRUE(catalog.RegisterTable(std::move(t)).ok());
+    }
+    ClusterOptions copts;
+    copts.num_nodes = kNodes;
+    copts.cores_per_node = 4;
+    copts.scheduler_period_ms = 5;  // many audit ticks within a short query
+    cluster = std::make_unique<Cluster>(copts, &catalog);
+  }
+
+  /// Repartition kva on k (exchange 0), join against the co-partitioned kvb
+  /// scan, count per key, gather (exchange 1): two segment layers, real
+  /// cross-node exchanges on every run.
+  PhysicalPlan JoinPlan() {
+    TablePtr kva = *catalog.GetTable("kva");
+    TablePtr kvb = *catalog.GetTable("kvb");
+    PhysicalPlan plan;
+    auto f0 = std::make_unique<Fragment>();
+    f0->id = 0;
+    f0->root = MakeScanOp(*kva);
+    f0->nodes = {0, 1, 2};
+    f0->out_exchange_id = 0;
+    f0->partitioning = Partitioning::kHash;
+    f0->hash_cols = {0};
+    f0->consumer_nodes = {0, 1, 2};
+
+    auto f1 = std::make_unique<Fragment>();
+    f1->id = 1;
+    auto merger = MakeMergerOp(0, f0->root->output_schema);
+    auto join = MakeHashJoinOp(std::move(merger), MakeScanOp(*kvb),
+                               /*build_keys=*/{0}, /*probe_keys=*/{0});
+    const Schema join_schema = join->output_schema;
+    f1->root = MakeHashAggOp(std::move(join), {Col(join_schema, "k")}, {"k"},
+                             {{AggFn::kCount, nullptr, "cnt"}},
+                             HashAggIterator::Mode::kShared);
+    f1->nodes = {0, 1, 2};
+    f1->out_exchange_id = 1;
+    f1->partitioning = Partitioning::kToOne;
+    f1->consumer_nodes = {0};
+
+    plan.result_schema = f1->root->output_schema;
+    plan.result_exchange_id = 1;
+    plan.fragments.push_back(std::move(f0));
+    plan.fragments.push_back(std::move(f1));
+    return plan;
+  }
+
+  Catalog catalog;
+  std::unique_ptr<Cluster> cluster;
+};
+
+TEST(ProfileEndToEndTest, MultiSegmentQueryMeetsAttributionBars) {
+  QueryProfiler* prof = QueryProfiler::Global();
+  prof->Clear();
+  ProfiledCluster pc;
+  ProfilerArmScope armed;
+
+  Executor exec(pc.cluster.get());
+  ExecOptions opts;
+  opts.parallelism = 1;
+  opts.query_id = 77;
+  auto result = exec.Execute(pc.JoinPlan(), opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 300);
+
+  // Nothing left mid-flight, and the assembler drained the span log.
+  EXPECT_EQ(prof->open_span_count(), 0u);
+  EXPECT_TRUE(prof->TakeQuery(77).empty());
+
+  auto p = prof->GetProfile(77);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->query_id, 77u);
+  EXPECT_GT(p->wall_ns(), 0);
+
+  // Acceptance bars: the critical path explains ≥ 90% of wall time and the
+  // per-operator exclusive times sum back to the total operator time within
+  // 10% (the telescoping identity, modulo clock-read skew).
+  EXPECT_GE(p->critical_path_coverage, 0.9) << p->ToText();
+  ASSERT_GT(p->operator_total_ns, 0);
+  EXPECT_NEAR(static_cast<double>(p->operator_exclusive_sum_ns),
+              static_cast<double>(p->operator_total_ns),
+              0.1 * static_cast<double>(p->operator_total_ns));
+
+  // Cross-exchange causality: every receive links to a profiled send (both
+  // sides of both exchanges ran under the same armed profiler).
+  EXPECT_GT(p->total_recv_spans, 0);
+  EXPECT_EQ(p->linked_recv_spans, p->total_recv_spans);
+
+  // The scheduler decision audit is scoped to this query and shows the
+  // estimated-vs-realized loop: after the first tick of a segment, later
+  // ticks carry the rate the previous tick predicted.
+  ASSERT_GE(p->audit.size(), 2u) << "query finished before two ticks";
+  bool any_predicted = false;
+  for (const SchedTickAudit& tick : p->audit) {
+    for (const SchedTickAudit::Segment& seg : tick.segments) {
+      EXPECT_EQ(seg.query_id, 77u);
+      if (seg.predicted_rate >= 0 && seg.rate >= 0) any_predicted = true;
+    }
+  }
+  EXPECT_TRUE(any_predicted)
+      << "no tick recorded a prediction for a realized rate";
+
+  // Surfaced in EXPLAIN ANALYZE.
+  EXPECT_EQ(exec.report().profile_query_id, 77u);
+  EXPECT_NE(exec.report().ToString().find("profile"), std::string::npos);
+}
+
+TEST(ProfileEndToEndTest, DisarmedRunEmitsNothingAndStoresNoProfile) {
+  QueryProfiler* prof = QueryProfiler::Global();
+  prof->Clear();
+  ProfiledCluster pc(6000);
+  Executor exec(pc.cluster.get());
+  ExecOptions opts;
+  opts.parallelism = 1;
+  opts.query_id = 78;
+  auto result = exec.Execute(pc.JoinPlan(), opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(prof->size(), 0u);
+  EXPECT_EQ(prof->open_span_count(), 0u);
+  EXPECT_EQ(prof->GetProfile(78), nullptr);
+  EXPECT_EQ(exec.report().profile_query_id, 0u);
+}
+
+/// Satellite (c): span propagation under drop (with fabric retry) and
+/// duplicate faults. Retried sends must yield exactly one send span keyed by
+/// the delivered sequence; suppressed duplicate deliveries must not produce
+/// a second receive span; teardown must not leak open spans.
+TEST(ProfileEndToEndTest, SpanLinksSurviveDropDupRetryFaults) {
+  // Seeded plan: drops force retries for ~10% of sends (exhaustion odds per
+  // block ≈ 1e-5 with 5 attempts), duplicates hit half the deliveries.
+  auto plan = ParseFaultPlan(
+      "seed=23\n"
+      "at=0ns kind=drop dur=10s p=0.1\n"
+      "at=0ns kind=dup dur=10s p=0.5\n");
+  ASSERT_TRUE(plan.ok());
+
+  QueryProfiler* prof = QueryProfiler::Global();
+  prof->Clear();
+  ProfiledCluster pc;
+  FaultInjector injector(*plan);
+  pc.cluster->AttachFaultInjector(&injector);
+  injector.Arm();
+  ProfilerArmScope armed;
+
+  Executor exec(pc.cluster.get());
+  ExecOptions opts;
+  opts.parallelism = 1;
+  opts.query_id = 79;
+  auto result = exec.Execute(pc.JoinPlan(), opts);
+
+  injector.Disarm();
+  pc.cluster->AttachFaultInjector(nullptr);
+
+  // No leaked open spans and no stranded per-query spans, even if the storm
+  // (astronomically unlikely) exhausted the retries and failed the query.
+  EXPECT_EQ(prof->open_span_count(), 0u);
+  EXPECT_TRUE(prof->TakeQuery(79).empty());
+
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 300);
+  auto p = prof->GetProfile(79);
+  ASSERT_NE(p, nullptr);
+
+  // Every receive still links to exactly one send: retries reuse the send
+  // span of the delivered attempt, duplicate deliveries are suppressed
+  // before span emission.
+  EXPECT_GT(p->total_recv_spans, 0);
+  EXPECT_EQ(p->linked_recv_spans, p->total_recv_spans);
+  std::set<std::tuple<int64_t, int, int, uint64_t>> recv_keys;
+  for (const ProfSpan& s : p->spans) {
+    if (s.kind != SpanKind::kNetRecv) continue;
+    auto key = std::make_tuple(s.exchange_id, s.from_node, s.to_node,
+                               s.wire_seq);
+    EXPECT_TRUE(recv_keys.insert(key).second)
+        << "duplicate receive span for one wire batch";
+  }
+  EXPECT_GE(p->critical_path_coverage, 0.9) << p->ToText();
+}
+
+}  // namespace
+}  // namespace claims
