@@ -6,10 +6,13 @@
 
 #include "core/data_buffer.h"
 #include "core/elastic_iterator.h"
+#include "exec/expr/batch_expr.h"
 #include "exec/expr/like.h"
 #include "exec/expr/expr.h"
 #include "exec/hash_table.h"
 #include "exec/ops/filter.h"
+#include "exec/ops/hash_agg.h"
+#include "exec/ops/hash_join.h"
 #include "exec/ops/scan.h"
 #include "storage/table.h"
 
@@ -162,6 +165,218 @@ void BM_ElasticExpandShrink(benchmark::State& state) {
   consumer.join();
 }
 BENCHMARK(BM_ElasticExpandShrink)->Unit(benchmark::kMicrosecond)->Iterations(20);
+
+// --- Batch vs scalar kernels ----------------------------------------------------
+// Stable benchmark names: the CI perf-smoke job parses them by name and
+// asserts the batch variants beat their scalar twins by >= 2x.
+
+/// One 64 KB block of {k: i%100, v: i, f: (i%7)*1.5}.
+BlockPtr FillKVFBlock(const Schema& s) {
+  auto b = MakeBlock(s.row_size());
+  const int32_t n = b->capacity_rows();
+  for (int32_t i = 0; i < n; ++i) {
+    char* row = b->AppendRow();
+    s.SetInt32(row, 0, i % 100);
+    s.SetInt64(row, 1, i);
+    s.SetFloat64(row, 2, (i % 7) * 1.5);
+  }
+  return b;
+}
+
+ExprPtr KVFPredicate() {
+  // (k < 50 AND f < 6.0): ~29% selectivity, two typed compares.
+  return MakeLogic(
+      LogicOp::kAnd,
+      MakeCompare(CompareOp::kLt, MakeColumnRef(0, DataType::kInt32),
+                  MakeLiteral(Value::Int32(50))),
+      MakeCompare(CompareOp::kLt, MakeColumnRef(2, DataType::kFloat64),
+                  MakeLiteral(Value::Float64(6.0))));
+}
+
+void BM_FilterBlockScalar(benchmark::State& state) {
+  Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v"),
+            ColumnDef::Float64("f")});
+  BlockPtr in = FillKVFBlock(s);
+  ExprPtr pred = KVFPredicate();
+  auto out = MakeBlock(s.row_size());
+  const int32_t n = in->num_rows();
+  for (auto _ : state) {
+    out->Clear();
+    for (int32_t i = 0; i < n; ++i) {
+      if (pred->EvalBool(s, in->RowAt(i))) out->AppendRowCopy(in->RowAt(i));
+    }
+    benchmark::DoNotOptimize(out->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FilterBlockScalar);
+
+void BM_FilterBlockBatch(benchmark::State& state) {
+  Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v"),
+            ColumnDef::Float64("f")});
+  BlockPtr in = FillKVFBlock(s);
+  auto bp = BatchPredicate::Compile(s, KVFPredicate());
+  if (!bp->fully_compiled()) {
+    state.SkipWithError("predicate fell back to the scalar node");
+    return;
+  }
+  auto out = MakeBlock(s.row_size());
+  const int32_t n = in->num_rows();
+  std::vector<int32_t> sel(static_cast<size_t>(n));
+  for (auto _ : state) {
+    out->Clear();
+    int32_t k = bp->FilterBlock(*in, nullptr, n, sel.data());
+    out->AppendGather(*in, sel.data(), k);
+    benchmark::DoNotOptimize(out->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FilterBlockBatch);
+
+/// Replays fixed blocks (copies, so the consumer may not mutate the shared
+/// originals across iterations).
+class BlocksIterator : public Iterator {
+ public:
+  explicit BlocksIterator(const std::vector<BlockPtr>* blocks)
+      : blocks_(blocks) {}
+  NextResult Open(WorkerContext*) override { return NextResult::kSuccess; }
+  NextResult Next(WorkerContext*, BlockPtr* out) override {
+    size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= blocks_->size()) return NextResult::kEndOfFile;
+    *out = std::make_shared<Block>(*(*blocks_)[i]);
+    return NextResult::kSuccess;
+  }
+  void Close() override {}
+
+ private:
+  const std::vector<BlockPtr>* blocks_;
+  std::atomic<size_t> cursor_{0};
+};
+
+void RunHashAggFold(benchmark::State& state, KernelMode mode) {
+  // A TPC-H Q1-shaped fold: CHAR group keys and a computed aggregate
+  // argument — the workload where the scalar path boxes a Value (with a
+  // string allocation per group column) per row.
+  KernelMode saved = CurrentKernelMode();
+  SetKernelMode(mode);
+  Schema s({ColumnDef::Char("rf", 1), ColumnDef::Char("ls", 1),
+            ColumnDef::Float64("qty"), ColumnDef::Float64("price"),
+            ColumnDef::Float64("disc")});
+  const char* flags[] = {"A", "N", "R"};
+  const char* status[] = {"F", "O"};
+  std::vector<BlockPtr> blocks;
+  int64_t rows = 0;
+  for (int i = 0; i < 16; ++i) {
+    auto b = MakeBlock(s.row_size());
+    const int32_t cap = b->capacity_rows();
+    for (int32_t r = 0; r < cap; ++r) {
+      char* row = b->AppendRow();
+      s.SetString(row, 0, flags[r % 3]);
+      s.SetString(row, 1, status[r % 2]);
+      s.SetFloat64(row, 2, (r % 50) + 1.0);
+      s.SetFloat64(row, 3, 900.0 + (r % 1000));
+      s.SetFloat64(row, 4, (r % 11) / 100.0);
+    }
+    b->set_sequence_number(i);
+    rows += cap;
+    blocks.push_back(std::move(b));
+  }
+  HashAggIterator::Spec spec;
+  spec.input_schema = &s;
+  spec.group_exprs = {MakeColumnRef(0, DataType::kChar, "rf"),
+                      MakeColumnRef(1, DataType::kChar, "ls")};
+  spec.group_names = {"rf", "ls"};
+  spec.aggregates = {
+      {AggFn::kSum, MakeColumnRef(2, DataType::kFloat64, "qty"), "sum_qty"},
+      {AggFn::kSum,
+       MakeArith(ArithOp::kMul, MakeColumnRef(3, DataType::kFloat64, "price"),
+                 MakeArith(ArithOp::kSub, MakeLiteral(Value::Float64(1.0)),
+                           MakeColumnRef(4, DataType::kFloat64, "disc"))),
+       "sum_disc_price"},
+      {AggFn::kAvg, MakeColumnRef(4, DataType::kFloat64, "disc"), "avg_disc"},
+      {AggFn::kCount, nullptr, "cnt"},
+  };
+  // kHybrid — the planner's default: workers fold into private tables, which
+  // lets the batch path take the exclusive (lock-free) update fast path.
+  spec.mode = HashAggIterator::Mode::kHybrid;
+  for (auto _ : state) {
+    HashAggIterator agg(std::make_unique<BlocksIterator>(&blocks), spec);
+    WorkerContext ctx;
+    agg.Open(&ctx);
+    BlockPtr b;
+    int64_t groups = 0;
+    while (agg.Next(&ctx, &b) == NextResult::kSuccess) groups += b->num_rows();
+    benchmark::DoNotOptimize(groups);
+    agg.Close();
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  SetKernelMode(saved);
+}
+
+void BM_HashAggFoldScalar(benchmark::State& state) {
+  RunHashAggFold(state, KernelMode::kScalar);
+}
+BENCHMARK(BM_HashAggFoldScalar);
+
+void BM_HashAggFoldBatch(benchmark::State& state) {
+  RunHashAggFold(state, KernelMode::kBatch);
+}
+BENCHMARK(BM_HashAggFoldBatch);
+
+void RunHashJoinProbe(benchmark::State& state, KernelMode mode) {
+  KernelMode saved = CurrentKernelMode();
+  SetKernelMode(mode);
+  Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v"),
+            ColumnDef::Float64("f")});
+  // Build: unique keys; probe: the kvf blocks (k in 0..99, all matching).
+  std::vector<BlockPtr> build;
+  {
+    auto b = MakeBlock(s.row_size());
+    for (int32_t i = 0; i < 100; ++i) {
+      char* row = b->AppendRow();
+      s.SetInt32(row, 0, i);
+      s.SetInt64(row, 1, i);
+      s.SetFloat64(row, 2, 0.0);
+    }
+    build.push_back(std::move(b));
+  }
+  std::vector<BlockPtr> probe;
+  int64_t rows = 0;
+  for (int i = 0; i < 8; ++i) {
+    BlockPtr b = FillKVFBlock(s);
+    b->set_sequence_number(i);
+    rows += b->num_rows();
+    probe.push_back(std::move(b));
+  }
+  HashJoinIterator::Spec spec;
+  spec.build_schema = &s;
+  spec.probe_schema = &s;
+  spec.build_keys = {0};
+  spec.probe_keys = {0};
+  for (auto _ : state) {
+    HashJoinIterator join(std::make_unique<BlocksIterator>(&build),
+                          std::make_unique<BlocksIterator>(&probe), spec);
+    WorkerContext ctx;
+    join.Open(&ctx);
+    BlockPtr b;
+    int64_t matched = 0;
+    while (join.Next(&ctx, &b) == NextResult::kSuccess) matched += b->num_rows();
+    benchmark::DoNotOptimize(matched);
+    join.Close();
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  SetKernelMode(saved);
+}
+
+void BM_HashJoinProbeScalar(benchmark::State& state) {
+  RunHashJoinProbe(state, KernelMode::kScalar);
+}
+BENCHMARK(BM_HashJoinProbeScalar);
+
+void BM_HashJoinProbeBatch(benchmark::State& state) {
+  RunHashJoinProbe(state, KernelMode::kBatch);
+}
+BENCHMARK(BM_HashJoinProbeBatch);
 
 }  // namespace
 }  // namespace claims

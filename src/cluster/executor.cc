@@ -88,6 +88,7 @@ Result<std::unique_ptr<Iterator>> Executor::BuildIteratorInner(
       }
       ScanIterator::Options so;
       so.num_sockets = op.numa_sockets;
+      so.predicate = op.predicate;  // fused filter (predicate pushdown)
       // The iterator must reference storage that outlives it: the table's
       // own schema (the plan and catalog outlive the execution).
       return std::unique_ptr<Iterator>(std::make_unique<ScanIterator>(

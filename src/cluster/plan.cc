@@ -28,6 +28,9 @@ std::string POp::ToString(int indent) const {
   switch (kind) {
     case Kind::kScan:
       out += "(" + table_name + ")";
+      // Fused pushdown filter keeps the Filter(...) rendering so EXPLAIN
+      // output still names the predicate.
+      if (predicate != nullptr) out += " Filter(" + predicate->ToString() + ")";
       break;
     case Kind::kMerger:
       out += StrFormat("(exchange=%d)", exchange_id);
@@ -95,6 +98,13 @@ std::unique_ptr<POp> MakeMergerOp(int exchange_id, Schema schema) {
 }
 
 std::unique_ptr<POp> MakeFilterOp(std::unique_ptr<POp> child, ExprPtr pred) {
+  // Filter directly over a scan fuses into it (predicate pushdown): the scan
+  // then filters during its copy-out of storage, skipping one whole block
+  // materialization per input block.
+  if (child->kind == POp::Kind::kScan && child->predicate == nullptr) {
+    child->predicate = std::move(pred);
+    return child;
+  }
   auto op = std::make_unique<POp>();
   op->kind = POp::Kind::kFilter;
   op->output_schema = child->output_schema;

@@ -37,7 +37,8 @@ struct POp {
   int numa_sockets = 1;
   // kMerger: input exchange fed by a child fragment.
   int exchange_id = -1;
-  // kFilter
+  // kFilter — also set on a kScan when a filter over it was fused in
+  // (predicate pushdown, see MakeFilterOp)
   ExprPtr predicate;
   // kProject
   std::vector<ExprPtr> project_exprs;

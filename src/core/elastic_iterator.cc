@@ -132,6 +132,16 @@ void ElasticIterator::WorkerMain(Worker* worker) {
       BlockPtr block;
       NextResult r = child_->Next(&ctx, &block);
       if (r == NextResult::kSuccess) {
+        if (block->empty()) {
+          // Empty watermark block (e.g. a fully filtered input block): the
+          // sequence number must still reach the order-preserving merge or
+          // low-selectivity streams stall behind it, but the block itself
+          // carries no data — advance the producer watermark instead of
+          // enqueuing it.
+          buffer_.AdvanceWatermark(worker->worker_id,
+                                   block->sequence_number());
+          continue;
+        }
         int32_t rows = block->num_rows();
         int64_t t0 = clock_->NowNanos();
         bool inserted = buffer_.Insert(worker->worker_id, std::move(block));

@@ -1,0 +1,96 @@
+#ifndef CLAIMS_EXEC_EXPR_BATCH_EXPR_H_
+#define CLAIMS_EXEC_EXPR_BATCH_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "exec/expr/expr.h"
+#include "storage/block.h"
+#include "storage/schema.h"
+
+namespace claims {
+
+/// Which inner loop the hot operators run. kBatch (the default) compiles
+/// predicates and computed columns into non-virtual column kernels over
+/// selection vectors; kScalar forces the row-at-a-time `Expr::Eval` path
+/// everywhere. The two paths are block-for-block equivalent (enforced by
+/// tests/batch_kernel_test.cc) — the switch exists for benchmarking the
+/// speedup and as an escape hatch, selectable with CLAIMS_SCALAR_KERNELS=1.
+enum class KernelMode { kBatch, kScalar };
+
+/// Process-wide kernel mode; first call resolves CLAIMS_SCALAR_KERNELS.
+KernelMode CurrentKernelMode();
+void SetKernelMode(KernelMode mode);
+
+/// A boolean `Expr` tree compiled into selection-vector kernels. Supported
+/// shapes (column compare against literal or column, YEAR(date) compare,
+/// LIKE over a CHAR column, IN lists, AND/OR/NOT combinations) become tight
+/// typed loops; any other subtree is wrapped in a scalar node that calls
+/// `Expr::EvalBool` per surviving row, so compilation never fails and the
+/// result is always exactly equivalent to the scalar path.
+///
+/// Thread-safe after construction: `FilterBlock` is const and keeps no
+/// mutable state, matching the iterator contract of concurrent `Next` calls.
+class BatchPredicate {
+ public:
+  ~BatchPredicate();
+
+  /// Compiles `expr` (a boolean predicate over rows of `schema`). Never
+  /// returns null; unsupported shapes fall back per-node.
+  static std::unique_ptr<BatchPredicate> Compile(const Schema& schema,
+                                                 ExprPtr expr);
+
+  /// Filters rows `sel[0..n)` of `block` (`sel == nullptr` means rows
+  /// 0..n-1), writing surviving row indices to `out` in ascending order.
+  /// Returns the survivor count. `out` may alias `sel` (in-place narrowing):
+  /// every kernel writes at or behind its read cursor.
+  int32_t FilterBlock(const Block& block, const int32_t* sel, int32_t n,
+                      int32_t* out) const;
+
+  /// True when no scalar-fallback node was emitted (perf-smoke asserts this
+  /// for the benchmark predicates so a silent fallback cannot masquerade as
+  /// a batch kernel).
+  bool fully_compiled() const;
+
+ private:
+  BatchPredicate();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// A numeric (or group-key) `Expr` compiled for batch evaluation: typed
+/// column loads, literal splats, and int64/double arithmetic lanes that
+/// mirror `ArithExpr::Eval` exactly (pure-int stays exact int64, any float or
+/// division widens to double, divide-by-zero yields 0). Used by the
+/// aggregation fold for argument vectors and group-key materialization.
+class BatchCompute {
+ public:
+  ~BatchCompute();
+
+  static std::unique_ptr<BatchCompute> Compile(const Schema& schema,
+                                               ExprPtr expr);
+
+  /// Evaluates the expression for rows `sel[0..n)` (`sel == nullptr` = rows
+  /// 0..n-1) widened to double — bit-identical to `Eval(...).ToDouble()`.
+  void EvalDouble(const Block& block, const int32_t* sel, int32_t n,
+                  double* out) const;
+
+  /// Writes the expression value into column `out_col` of `n` consecutive
+  /// `out_schema` rows starting at `out_rows`. Equivalent to per-row
+  /// `out_schema.SetValue(row, out_col, Eval(...))`; a bare column reference
+  /// of matching type is a strided copy.
+  void Materialize(const Block& block, const int32_t* sel, int32_t n,
+                   const Schema& out_schema, int out_col,
+                   char* out_rows) const;
+
+  bool fully_compiled() const;
+
+ private:
+  BatchCompute();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_EXEC_EXPR_BATCH_EXPR_H_

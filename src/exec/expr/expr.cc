@@ -57,6 +57,13 @@ class ColumnRefExpr : public Expr {
     return name_.empty() ? StrFormat("$%d", index_) : name_;
   }
 
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kColumnRef;
+    s.column = index_;
+    return s;
+  }
+
   int index() const { return index_; }
 
  private:
@@ -73,6 +80,13 @@ class LiteralExpr : public Expr {
   std::string ToString() const override {
     return value_.is_string() ? "'" + value_.ToString() + "'"
                               : value_.ToString();
+  }
+
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kLiteral;
+    s.literal = &value_;
+    return s;
   }
 
  private:
@@ -105,6 +119,15 @@ class CompareExpr : public Expr {
   std::string ToString() const override {
     return StrFormat("(%s %s %s)", left_->ToString().c_str(),
                      CompareOpName(op_), right_->ToString().c_str());
+  }
+
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kCompare;
+    s.compare_op = op_;
+    s.left = left_.get();
+    s.right = right_.get();
+    return s;
   }
 
  private:
@@ -154,6 +177,15 @@ class ArithExpr : public Expr {
                      right_->ToString().c_str());
   }
 
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kArith;
+    s.arith_op = op_;
+    s.left = left_.get();
+    s.right = right_.get();
+    return s;
+  }
+
  private:
   DataType l_type() const { return left_->type(); }
   DataType r_type() const { return right_->type(); }
@@ -188,6 +220,15 @@ class LogicExpr : public Expr {
                      right_->ToString().c_str());
   }
 
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kLogic;
+    s.logic_op = op_;
+    s.left = left_.get();
+    s.right = right_.get();
+    return s;
+  }
+
  private:
   LogicOp op_;
   ExprPtr left_;
@@ -206,6 +247,13 @@ class NotExpr : public Expr {
   }
   std::string ToString() const override {
     return "(NOT " + child_->ToString() + ")";
+  }
+
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kNot;
+    s.child = child_.get();
+    return s;
   }
 
  private:
@@ -235,6 +283,15 @@ class LikeExpr : public Expr {
   std::string ToString() const override {
     return StrFormat("(%s %sLIKE '%s')", child_->ToString().c_str(),
                      negated_ ? "NOT " : "", pattern_.c_str());
+  }
+
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kLike;
+    s.child = child_.get();
+    s.pattern = &pattern_;
+    s.negated = negated_;
+    return s;
   }
 
  private:
@@ -267,6 +324,15 @@ class InListExpr : public Expr {
       out += values_[i].ToString();
     }
     return out + "))";
+  }
+
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kInList;
+    s.child = child_.get();
+    s.in_values = &values_;
+    s.negated = negated_;
+    return s;
   }
 
  private:
@@ -323,6 +389,13 @@ class YearExpr : public Expr {
   }
   std::string ToString() const override {
     return "YEAR(" + child_->ToString() + ")";
+  }
+
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kYear;
+    s.child = child_.get();
+    return s;
   }
 
  private:

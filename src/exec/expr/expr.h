@@ -15,6 +15,47 @@ class Expr;
 /// instantiated on every node share them by const pointer.
 using ExprPtr = std::shared_ptr<const Expr>;
 
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+enum class LogicOp { kAnd, kOr };
+
+const char* CompareOpName(CompareOp op);
+const char* ArithOpName(ArithOp op);
+
+/// Structural reflection over one expression node, used by the batch-kernel
+/// compiler (exec/expr/batch_expr.*) to translate supported tree shapes into
+/// tight non-virtual column loops. A node that does not describe itself stays
+/// `kOpaque` and is executed through the scalar Eval fallback — reflection is
+/// an optimization hook, never a semantic requirement. Pointers borrow from
+/// the inspected expression and share its lifetime.
+struct ExprShape {
+  enum class Kind {
+    kOpaque,
+    kColumnRef,
+    kLiteral,
+    kCompare,
+    kArith,
+    kLogic,
+    kNot,
+    kLike,
+    kInList,
+    kYear,
+  };
+
+  Kind kind = Kind::kOpaque;
+  int column = -1;                  ///< kColumnRef
+  const Value* literal = nullptr;   ///< kLiteral
+  CompareOp compare_op = CompareOp::kEq;
+  ArithOp arith_op = ArithOp::kAdd;
+  LogicOp logic_op = LogicOp::kAnd;
+  const Expr* left = nullptr;       ///< kCompare / kArith / kLogic
+  const Expr* right = nullptr;
+  const Expr* child = nullptr;      ///< kNot / kLike / kInList / kYear
+  const std::string* pattern = nullptr;          ///< kLike
+  const std::vector<Value>* in_values = nullptr; ///< kInList
+  bool negated = false;             ///< kLike / kInList
+};
+
 /// Scalar expression evaluated row-at-a-time against a fixed-width row of a
 /// known schema. Booleans are represented as INT32 0/1.
 class Expr {
@@ -34,14 +75,11 @@ class Expr {
   }
 
   virtual std::string ToString() const = 0;
+
+  /// Describes this node's shape for the batch-kernel compiler; the default
+  /// (opaque) keeps the node on the scalar Eval path.
+  virtual ExprShape Shape() const { return ExprShape(); }
 };
-
-enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
-enum class ArithOp { kAdd, kSub, kMul, kDiv };
-enum class LogicOp { kAnd, kOr };
-
-const char* CompareOpName(CompareOp op);
-const char* ArithOpName(ArithOp op);
 
 // --- Factories ------------------------------------------------------------------
 

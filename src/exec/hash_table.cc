@@ -4,6 +4,16 @@
 
 namespace claims {
 
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 // --- Arena ---------------------------------------------------------------------
 
 Arena::~Arena() {
@@ -105,16 +115,20 @@ JoinHashTable::JoinHashTable(const Schema* build_schema,
                              MemoryTracker* memory)
     : build_schema_(build_schema),
       build_keys_(std::move(build_keys)),
-      buckets_(num_buckets == 0 ? 1 : num_buckets),
+      buckets_(RoundUpPow2(num_buckets == 0 ? 1 : num_buckets)),
+      bucket_mask_(buckets_.size() - 1),
       arena_(1 << 18, memory) {}
 
 void JoinHashTable::Insert(const char* row) {
-  uint64_t h = HashRowKeys(*build_schema_, row, build_keys_);
+  Insert(row, HashRowKeys(*build_schema_, row, build_keys_));
+}
+
+void JoinHashTable::Insert(const char* row, uint64_t h) {
   auto* entry = reinterpret_cast<Entry*>(
       arena_.Allocate(sizeof(Entry) + build_schema_->row_size()));
   entry->hash = h;
   std::memcpy(entry->row(), row, build_schema_->row_size());
-  std::atomic<Entry*>& head = buckets_[h % buckets_.size()];
+  std::atomic<Entry*>& head = buckets_[h & bucket_mask_];
   Entry* expected = head.load(std::memory_order_relaxed);
   do {
     entry->next = expected;
@@ -140,23 +154,28 @@ const char* AggFnName(AggFn fn) {
 AggHashTable::AggHashTable(Schema group_schema, int num_aggs,
                            size_t num_buckets, MemoryTracker* memory)
     : group_schema_(std::move(group_schema)),
+      all_group_cols_([this] {
+        std::vector<int> cols(
+            static_cast<size_t>(group_schema_.num_columns()));
+        for (size_t i = 0; i < cols.size(); ++i) cols[i] = static_cast<int>(i);
+        return cols;
+      }()),
+      group_cmp_(&group_schema_, all_group_cols_, &group_schema_,
+                 all_group_cols_),
       group_row_size_(group_schema_.row_size()),
       num_aggs_(num_aggs),
-      buckets_(num_buckets == 0 ? 1 : num_buckets),
-      arena_(1 << 18, memory) {
-  all_group_cols_.resize(group_schema_.num_columns());
-  for (int i = 0; i < group_schema_.num_columns(); ++i) all_group_cols_[i] = i;
-}
+      buckets_(RoundUpPow2(num_buckets == 0 ? 1 : num_buckets)),
+      bucket_mask_(buckets_.size() - 1),
+      arena_(1 << 18, memory) {}
 
 AggHashTable::Entry* AggHashTable::FindOrCreate(const char* group_row,
                                                 uint64_t hash) {
-  Bucket& bucket = buckets_[hash % buckets_.size()];
-  KeyComparator cmp(&group_schema_, all_group_cols_, &group_schema_,
-                    all_group_cols_);
+  Bucket& bucket = buckets_[hash & bucket_mask_];
   // Lock-free lookup first.
   for (Entry* e = bucket.head.load(std::memory_order_acquire); e != nullptr;
        e = e->next) {
-    if (e->hash == hash && cmp.Equal(e->row(group_row_size_), group_row)) {
+    if (e->hash == hash &&
+        group_cmp_.Equal(e->row(group_row_size_), group_row)) {
       return e;
     }
   }
@@ -165,7 +184,8 @@ AggHashTable::Entry* AggHashTable::FindOrCreate(const char* group_row,
   }
   Entry* head = bucket.head.load(std::memory_order_relaxed);
   for (Entry* e = head; e != nullptr; e = e->next) {
-    if (e->hash == hash && cmp.Equal(e->row(group_row_size_), group_row)) {
+    if (e->hash == hash &&
+        group_cmp_.Equal(e->row(group_row_size_), group_row)) {
       bucket.insert_lock.clear(std::memory_order_release);
       return e;
     }
@@ -187,9 +207,22 @@ AggHashTable::Entry* AggHashTable::FindOrCreate(const char* group_row,
 
 void AggHashTable::Update(const char* group_row, const std::vector<AggFn>& fns,
                           const double* values, const int64_t* count_weights) {
-  uint64_t hash = HashRowKeys(group_schema_, group_row, all_group_cols_);
+  Update(group_row, HashRowKeys(group_schema_, group_row, all_group_cols_),
+         fns, values, count_weights);
+}
+
+void AggHashTable::Update(const char* group_row, uint64_t hash,
+                          const std::vector<AggFn>& fns, const double* values,
+                          const int64_t* count_weights, bool exclusive) {
   Entry* entry = FindOrCreate(group_row, hash);
   AggState* states = entry->states(group_row_size_, num_aggs_);
+  if (exclusive) {
+    // Worker-private table: the caller is the only thread folding into it.
+    for (int i = 0; i < num_aggs_; ++i) {
+      FoldAgg(fns[i], values[i], count_weights[i], &states[i]);
+    }
+    return;
+  }
   // Per-entry spinlock: the contention point of shared aggregation.
   while (entry->lock.test_and_set(std::memory_order_acquire)) {
   }
@@ -197,6 +230,27 @@ void AggHashTable::Update(const char* group_row, const std::vector<AggFn>& fns,
     FoldAgg(fns[i], values[i], count_weights[i], &states[i]);
   }
   entry->lock.clear(std::memory_order_release);
+}
+
+void AggHashTable::UpdateBatch(const char* group_rows, int32_t stride,
+                               const uint64_t* hashes, int32_t n,
+                               const std::vector<AggFn>& fns,
+                               const double* const* arg_cols, bool exclusive) {
+  const int num_aggs = num_aggs_;
+  for (int32_t i = 0; i < n; ++i) {
+    const char* row = group_rows + static_cast<size_t>(i) * stride;
+    Entry* entry = FindOrCreate(row, hashes[i]);
+    AggState* states = entry->states(group_row_size_, num_aggs);
+    if (!exclusive) {
+      while (entry->lock.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    for (int a = 0; a < num_aggs; ++a) {
+      FoldAgg(fns[a], arg_cols[a] != nullptr ? arg_cols[a][i] : 0.0, 1,
+              &states[a]);
+    }
+    if (!exclusive) entry->lock.clear(std::memory_order_release);
+  }
 }
 
 }  // namespace claims

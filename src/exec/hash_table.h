@@ -87,6 +87,10 @@ class JoinHashTable {
   /// Copies `row` into the arena and links it; thread-safe.
   void Insert(const char* row);
 
+  /// Same, with the key hash precomputed (batch build path: the whole block
+  /// is hashed column-at-a-time first). Must be the HashRowKeys hash.
+  void Insert(const char* row, uint64_t hash);
+
   /// Invokes `fn(const char* build_row)` for every build row whose key equals
   /// the probe row's key.
   template <typename Fn>
@@ -94,8 +98,17 @@ class JoinHashTable {
                     const std::vector<int>& probe_keys, Fn&& fn) const {
     uint64_t h = HashRowKeys(probe_schema, probe_row, probe_keys);
     KeyComparator cmp(build_schema_, build_keys_, &probe_schema, probe_keys);
+    ForEachMatchHashed(h, cmp, probe_row, fn);
+  }
+
+  /// Vectorized-probe core: hash and comparator are supplied by the caller,
+  /// so a probe block hashes once (column-at-a-time) and reuses one hoisted
+  /// KeyComparator instead of constructing one — two vector copies — per row.
+  template <typename Fn>
+  void ForEachMatchHashed(uint64_t h, const KeyComparator& cmp,
+                          const char* probe_row, Fn&& fn) const {
     for (const Entry* e =
-             buckets_[h % buckets_.size()].load(std::memory_order_acquire);
+             buckets_[h & bucket_mask_].load(std::memory_order_acquire);
          e != nullptr; e = e->next) {
       if (e->hash == h && cmp.Equal(e->row(), probe_row)) {
         fn(e->row());
@@ -116,7 +129,10 @@ class JoinHashTable {
 
   const Schema* build_schema_;
   std::vector<int> build_keys_;
+  /// Bucket count is rounded up to a power of two so the per-probe index is
+  /// a mask, not an integer division.
   std::vector<std::atomic<Entry*>> buckets_;
+  size_t bucket_mask_;
   Arena arena_;
   std::atomic<int64_t> size_{0};
 };
@@ -151,6 +167,25 @@ class AggHashTable {
   /// partial states).
   void Update(const char* group_row, const std::vector<AggFn>& fns,
               const double* values, const int64_t* count_weights);
+
+  /// Same, with the group-key hash precomputed (batch fold path hashes the
+  /// materialized group rows column-at-a-time). Must be the HashRowKeys hash
+  /// over all group columns. `exclusive` skips the per-entry spinlock; pass
+  /// true only when the caller is the sole thread touching this table (a
+  /// worker-private table of independent/hybrid aggregation).
+  void Update(const char* group_row, uint64_t hash,
+              const std::vector<AggFn>& fns, const double* values,
+              const int64_t* count_weights, bool exclusive = false);
+
+  /// Batch fold: folds rows `[0..n)` of a packed group-row buffer
+  /// (`group_rows + i * stride`) with precomputed hashes. `arg_cols[a]` is a
+  /// per-row value vector, or null to fold 0.0 (COUNT(*)); every fold carries
+  /// count weight 1. Equivalent to n Update calls, with the per-row call and
+  /// argument-marshalling overhead hoisted out of the loop.
+  void UpdateBatch(const char* group_rows, int32_t stride,
+                   const uint64_t* hashes, int32_t n,
+                   const std::vector<AggFn>& fns,
+                   const double* const* arg_cols, bool exclusive);
 
   /// Iterates all groups: fn(const char* group_row, const AggState* states).
   template <typename Fn>
@@ -202,9 +237,15 @@ class AggHashTable {
 
   Schema group_schema_;
   std::vector<int> all_group_cols_;
+  /// Hoisted group-key comparator: constructing one per FindOrCreate (two
+  /// vector copies each) dominated low-cardinality folds.
+  KeyComparator group_cmp_;
   int group_row_size_;
   int num_aggs_;
+  /// Power-of-two sized (rounded up in the constructor): bucket selection is
+  /// a mask, not a division.
   std::vector<Bucket> buckets_;
+  size_t bucket_mask_;
   Arena arena_;
   std::atomic<int64_t> size_{0};
 };

@@ -7,7 +7,11 @@ namespace claims {
 FilterIterator::FilterIterator(std::unique_ptr<Iterator> child,
                                const Schema* schema, ExprPtr predicate)
     : child_(std::move(child)), schema_(schema),
-      predicate_(std::move(predicate)) {}
+      predicate_(std::move(predicate)) {
+  if (CurrentKernelMode() == KernelMode::kBatch) {
+    batch_pred_ = BatchPredicate::Compile(*schema_, predicate_);
+  }
+}
 
 NextResult FilterIterator::Open(WorkerContext* ctx) {
   bool already_open = open_barrier_.Register();
@@ -26,28 +30,33 @@ NextResult FilterIterator::Open(WorkerContext* ctx) {
 }
 
 NextResult FilterIterator::Next(WorkerContext* ctx, BlockPtr* out) {
-  while (true) {
-    BlockPtr input;
-    NextResult r = child_->Next(ctx, &input);
-    if (r != NextResult::kSuccess) return r;
-    auto output = MakeBlock(schema_->row_size());
-    for (int i = 0; i < input->num_rows(); ++i) {
+  BlockPtr input;
+  NextResult r = child_->Next(ctx, &input);
+  if (r != NextResult::kSuccess) return r;
+  const int32_t n = input->num_rows();
+  // Worst-case sizing like project: an oversized input block (larger than the
+  // default 64 KB) must never truncate survivors.
+  auto output = MakeBlock(
+      schema_->row_size(),
+      std::max<int32_t>(kDefaultBlockBytes, n * schema_->row_size()));
+  if (batch_pred_ != nullptr) {
+    std::vector<int32_t> sel(n);
+    int32_t k = batch_pred_->FilterBlock(*input, nullptr, n, sel.data());
+    output->AppendGather(*input, sel.data(), k);
+  } else {
+    for (int32_t i = 0; i < n; ++i) {
       const char* row = input->RowAt(i);
       if (predicate_->EvalBool(*schema_, row)) {
         output->AppendRowCopy(row);
       }
     }
-    output->set_sequence_number(input->sequence_number());
-    output->set_visit_rate(input->visit_rate());
-    if (!output->empty()) {
-      *out = std::move(output);
-      return NextResult::kSuccess;
-    }
-    // Whole block filtered away: keep pulling (the elastic worker's
-    // watermark advance happens via the order-preserving buffer only when a
-    // block is eventually emitted; empty rounds just loop).
-    if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
   }
+  // A fully filtered block is emitted empty, sequence number intact, as the
+  // downstream watermark — never silently dropped.
+  output->set_sequence_number(input->sequence_number());
+  output->set_visit_rate(input->visit_rate());
+  *out = std::move(output);
+  return NextResult::kSuccess;
 }
 
 void FilterIterator::Close() { child_->Close(); }

@@ -5,6 +5,7 @@
 
 #include "core/barrier.h"
 #include "core/iterator.h"
+#include "exec/expr/batch_expr.h"
 #include "exec/expr/expr.h"
 
 namespace claims {
@@ -13,6 +14,16 @@ namespace claims {
 /// initialized by the first arriving worker (appendix A.2.3); Next is
 /// read-only on state and therefore needs no synchronization. Output blocks
 /// inherit the input block's sequence number and visit-rate tail.
+///
+/// A fully filtered input block still comes out: as an **empty watermark
+/// block** carrying the input's sequence number, so the order-preserving
+/// DataBuffer learns the sequence was consumed and the merge cannot stall at
+/// low selectivity (the elastic worker converts it to a watermark advance
+/// instead of enqueuing it).
+///
+/// In batch kernel mode (the default) the predicate is compiled once into
+/// selection-vector kernels (see docs/VECTORIZATION.md); survivors are
+/// gathered with one memcpy per row instead of a virtual Eval per row.
 class FilterIterator : public Iterator {
  public:
   FilterIterator(std::unique_ptr<Iterator> child, const Schema* schema,
@@ -27,6 +38,7 @@ class FilterIterator : public Iterator {
   std::unique_ptr<Iterator> child_;
   const Schema* schema_;
   ExprPtr predicate_;
+  std::unique_ptr<BatchPredicate> batch_pred_;  ///< null in scalar mode
   DynamicBarrier open_barrier_;
   FirstCallerGate init_gate_;
 };

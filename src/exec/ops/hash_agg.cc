@@ -52,6 +52,19 @@ HashAggIterator::HashAggIterator(std::unique_ptr<Iterator> child, Spec spec)
   for (const Aggregate& a : spec_.aggregates) fns_.push_back(a.fn);
   // FoldRow uses fixed stack arrays; the planner never emits this many.
   assert(spec_.aggregates.size() <= 16);
+  all_group_cols_.resize(group_schema_.num_columns());
+  for (int i = 0; i < group_schema_.num_columns(); ++i) all_group_cols_[i] = i;
+  batch_ = CurrentKernelMode() == KernelMode::kBatch;
+  if (batch_) {
+    for (const ExprPtr& e : spec_.group_exprs) {
+      group_computes_.push_back(BatchCompute::Compile(*spec_.input_schema, e));
+    }
+    for (const Aggregate& a : spec_.aggregates) {
+      agg_computes_.push_back(
+          a.arg != nullptr ? BatchCompute::Compile(*spec_.input_schema, a.arg)
+                           : nullptr);
+    }
+  }
 }
 
 void HashAggIterator::FoldRow(const char* row, AggHashTable* table,
@@ -69,6 +82,49 @@ void HashAggIterator::FoldRow(const char* row, AggHashTable* table,
     weights[a] = 1;
   }
   table->Update(group_scratch, fns_, values, weights);
+}
+
+void HashAggIterator::FoldBlock(const Block& block, AggHashTable* table,
+                                bool exclusive) {
+  const int32_t n = block.num_rows();
+  if (n == 0) return;
+  const int32_t group_size = group_schema_.row_size();
+
+  // (1) Materialize all group rows of the block into a scratch row buffer.
+  std::vector<char> group_rows(
+      std::max<size_t>(1, static_cast<size_t>(group_size) * n));
+  for (size_t g = 0; g < group_computes_.size(); ++g) {
+    group_computes_[g]->Materialize(block, nullptr, n, group_schema_,
+                                    static_cast<int>(g), group_rows.data());
+  }
+
+  // (2) Hash the materialized group rows column-at-a-time.
+  std::vector<uint64_t> hashes(n);
+  HashRowKeysBatch(group_schema_, group_rows.data(), group_size,
+                   all_group_cols_, nullptr, n, hashes.data());
+
+  // (3) Evaluate every aggregate argument as a value vector.
+  std::vector<std::vector<double>> arg_values(agg_computes_.size());
+  for (size_t a = 0; a < agg_computes_.size(); ++a) {
+    if (agg_computes_[a] == nullptr) continue;  // COUNT(*)
+    arg_values[a].resize(n);
+    agg_computes_[a]->EvalDouble(block, nullptr, n, arg_values[a].data());
+  }
+
+  // (4) Grouped update with the precomputed hashes, one batched call.
+  const double* arg_cols[16];
+  for (size_t a = 0; a < fns_.size(); ++a) {
+    arg_cols[a] = agg_computes_[a] != nullptr ? arg_values[a].data() : nullptr;
+  }
+  table->UpdateBatch(group_rows.data(), group_size, hashes.data(), n, fns_,
+                     arg_cols, exclusive);
+}
+
+void HashAggIterator::ObserveVisitRate(const Block& block) {
+  if (block.num_rows() == 0) return;
+  std::lock_guard<std::mutex> lock(rate_mu_);
+  rate_weighted_sum_ += block.visit_rate() * block.num_rows();
+  rate_rows_ += block.num_rows();
 }
 
 void HashAggIterator::MergeInto(const AggHashTable& src) {
@@ -117,8 +173,13 @@ NextResult HashAggIterator::Open(WorkerContext* ctx) {
         ctx->DetectedTerminateRequest()) {
       if (r == NextResult::kSuccess) {
         // Finish the in-flight block before unwinding — no tuple is lost.
-        for (int i = 0; i < block->num_rows(); ++i) {
-          FoldRow(block->RowAt(i), sink, group_scratch.data());
+        ObserveVisitRate(*block);
+        if (batch_) {
+          FoldBlock(*block, sink, privately);
+        } else {
+          for (int i = 0; i < block->num_rows(); ++i) {
+            FoldRow(block->RowAt(i), sink, group_scratch.data());
+          }
         }
       }
       if (privately) {
@@ -130,8 +191,13 @@ NextResult HashAggIterator::Open(WorkerContext* ctx) {
       return r == NextResult::kError ? NextResult::kError
                                      : NextResult::kTerminated;
     }
-    for (int i = 0; i < block->num_rows(); ++i) {
-      FoldRow(block->RowAt(i), sink, group_scratch.data());
+    ObserveVisitRate(*block);
+    if (batch_) {
+      FoldBlock(*block, sink, privately);
+    } else {
+      for (int i = 0; i < block->num_rows(); ++i) {
+        FoldRow(block->RowAt(i), sink, group_scratch.data());
+      }
     }
     if (spec_.mode == Mode::kHybrid &&
         sink->size() > static_cast<int64_t>(spec_.hybrid_max_groups)) {
@@ -210,6 +276,14 @@ NextResult HashAggIterator::Next(WorkerContext* ctx, BlockPtr* out) {
     }
   }
   block->set_sequence_number(start / rows_per_block);
+  {
+    // Propagate the consumed input's average visit rate onto emitted blocks;
+    // leaving the default 1.0 here fed stale rates into the downstream
+    // scalability-vector estimation (§4.3).
+    std::lock_guard<std::mutex> lock(rate_mu_);
+    block->set_visit_rate(rate_rows_ > 0 ? rate_weighted_sum_ / rate_rows_
+                                         : 1.0);
+  }
   *out = std::move(block);
   return NextResult::kSuccess;
 }

@@ -9,6 +9,7 @@
 #include "core/barrier.h"
 #include "core/context_pool.h"
 #include "core/iterator.h"
+#include "exec/expr/batch_expr.h"
 #include "exec/expr/expr.h"
 #include "exec/hash_table.h"
 
@@ -72,6 +73,19 @@ class HashAggIterator : public Iterator {
   /// `table`.
   void FoldRow(const char* row, AggHashTable* table, char* group_scratch);
 
+  /// Batch fold (kernel mode kBatch): materializes all group rows of `block`,
+  /// hashes them column-at-a-time, evaluates every aggregate argument as a
+  /// double vector, then updates the table once per row with the precomputed
+  /// hash — no per-row virtual Eval, no per-row HashRowKeys. `exclusive`
+  /// means `table` is private to the calling worker, so the per-entry
+  /// spinlock is skipped.
+  void FoldBlock(const Block& block, AggHashTable* table, bool exclusive);
+
+  /// Folds `block`'s visit rate into the running row-weighted average that
+  /// emitted blocks carry (the downstream scalability-vector estimate must
+  /// not see the default 1.0 after an aggregation).
+  void ObserveVisitRate(const Block& block);
+
   /// Merges every (group, state) of `src` into the global table.
   void MergeInto(const AggHashTable& src);
 
@@ -83,9 +97,21 @@ class HashAggIterator : public Iterator {
   Schema group_schema_;
   Schema output_schema_;
   std::vector<AggFn> fns_;
+  std::vector<int> all_group_cols_;  ///< 0..num_groups-1, for batch hashing
+  /// Batch-compiled group-key and aggregate-argument expressions (empty in
+  /// scalar kernel mode; agg entry is null for COUNT(*)).
+  std::vector<std::unique_ptr<BatchCompute>> group_computes_;
+  std::vector<std::unique_ptr<BatchCompute>> agg_computes_;
+  bool batch_ = false;
   AggHashTable global_;
   ContextPool context_pool_;
   DynamicBarrier build_barrier_;
+
+  /// Row-weighted average visit rate of consumed input, stamped onto emitted
+  /// blocks (accumulated during the build, read by Next after the barrier).
+  std::mutex rate_mu_;
+  double rate_weighted_sum_ = 0;
+  int64_t rate_rows_ = 0;
 
   std::mutex snapshot_mu_;
   /// Release-published by the snapshot builder (under snapshot_mu_) so the

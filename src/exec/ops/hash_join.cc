@@ -25,7 +25,10 @@ HashJoinIterator::HashJoinIterator(std::unique_ptr<Iterator> build_child,
       spec_(spec),
       output_schema_(JoinOutputSchema(*spec.build_schema, *spec.probe_schema)),
       table_(spec.build_schema, spec.build_keys, spec.num_buckets,
-             spec.memory) {}
+             spec.memory),
+      probe_cmp_(spec_.build_schema, spec_.build_keys, spec_.probe_schema,
+                 spec_.probe_keys),
+      batch_(CurrentKernelMode() == KernelMode::kBatch) {}
 
 NextResult HashJoinIterator::Open(WorkerContext* ctx) {
   bool already_open = build_barrier_.Register();
@@ -45,8 +48,21 @@ NextResult HashJoinIterator::Open(WorkerContext* ctx) {
       if (!already_open) build_barrier_.Deregister();
       return r;
     }
-    for (int i = 0; i < block->num_rows(); ++i) {
-      table_.Insert(block->RowAt(i));
+    const int32_t nb = block->num_rows();
+    if (batch_ && nb > 0) {
+      // Hash the whole build block column-at-a-time, then link each row with
+      // its precomputed hash.
+      std::vector<uint64_t> hashes(nb);
+      HashRowKeysBatch(*spec_.build_schema, block->RowAt(0),
+                       block->row_size(), spec_.build_keys, nullptr, nb,
+                       hashes.data());
+      for (int32_t i = 0; i < nb; ++i) {
+        table_.Insert(block->RowAt(i), hashes[i]);
+      }
+    } else {
+      for (int32_t i = 0; i < nb; ++i) {
+        table_.Insert(block->RowAt(i));
+      }
     }
     if (ctx->DetectedTerminateRequest()) {
       if (!already_open) build_barrier_.Deregister();
@@ -66,37 +82,55 @@ NextResult HashJoinIterator::Next(WorkerContext* ctx, BlockPtr* out) {
   const int build_size = spec_.build_schema->row_size();
   const int probe_size = spec_.probe_schema->row_size();
   const int out_size = output_schema_.row_size();
-  while (true) {
-    if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
-    BlockPtr input;
-    NextResult r = probe_child_->Next(ctx, &input);
-    if (r != NextResult::kSuccess) return r;
-    // Join fan-out is unbounded, so accumulate matches first and size the
-    // output block exactly (keeps Next stateless for concurrent workers).
-    std::vector<char> rows;
-    for (int i = 0; i < input->num_rows(); ++i) {
+  if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
+  BlockPtr input;
+  NextResult r = probe_child_->Next(ctx, &input);
+  if (r != NextResult::kSuccess) return r;
+  const int32_t n = input->num_rows();
+  // Join fan-out is unbounded, so accumulate matches first and size the
+  // output block exactly (keeps Next stateless for concurrent workers).
+  std::vector<char> rows;
+  auto emit = [&](const char* probe_row, const char* build_row) {
+    size_t off = rows.size();
+    rows.resize(off + static_cast<size_t>(out_size));
+    std::memcpy(rows.data() + off, build_row, build_size);
+    std::memcpy(rows.data() + off + build_size, probe_row, probe_size);
+  };
+  if (batch_ && n > 0) {
+    // Vectorized probe: one column-at-a-time hash pass over the block, then
+    // chain walks with the hoisted comparator.
+    std::vector<uint64_t> hashes(n);
+    HashRowKeysBatch(*spec_.probe_schema, input->RowAt(0), input->row_size(),
+                     spec_.probe_keys, nullptr, n, hashes.data());
+    for (int32_t i = 0; i < n; ++i) {
       const char* probe_row = input->RowAt(i);
-      table_.ForEachMatch(
-          *spec_.probe_schema, probe_row, spec_.probe_keys,
-          [&](const char* build_row) {
-            size_t off = rows.size();
-            rows.resize(off + static_cast<size_t>(out_size));
-            std::memcpy(rows.data() + off, build_row, build_size);
-            std::memcpy(rows.data() + off + build_size, probe_row, probe_size);
-          });
+      table_.ForEachMatchHashed(
+          hashes[i], probe_cmp_, probe_row,
+          [&](const char* build_row) { emit(probe_row, build_row); });
     }
-    if (rows.empty()) continue;  // no matches in this probe block: pull more
-    int32_t nrows = static_cast<int32_t>(rows.size() / out_size);
-    auto output = MakeBlock(
-        out_size, std::max<int32_t>(kDefaultBlockBytes,
-                                    nrows * out_size));
-    for (int32_t i = 0; i < nrows; ++i) output->AppendRow();
-    std::memcpy(output->MutableRowAt(0), rows.data(), rows.size());
-    output->set_sequence_number(input->sequence_number());
-    output->set_visit_rate(input->visit_rate());
-    *out = std::move(output);
-    return NextResult::kSuccess;
+  } else {
+    for (int32_t i = 0; i < n; ++i) {
+      const char* probe_row = input->RowAt(i);
+      table_.ForEachMatchHashed(
+          HashRowKeys(*spec_.probe_schema, probe_row, spec_.probe_keys),
+          probe_cmp_, probe_row,
+          [&](const char* build_row) { emit(probe_row, build_row); });
+    }
   }
+  int32_t nrows = static_cast<int32_t>(rows.size() / out_size);
+  auto output = MakeBlock(
+      out_size,
+      std::max<int32_t>(kDefaultBlockBytes, nrows * out_size));
+  for (int32_t i = 0; i < nrows; ++i) output->AppendRow();
+  if (nrows > 0) {
+    std::memcpy(output->MutableRowAt(0), rows.data(), rows.size());
+  }
+  // A probe block with no matches still emits (empty): its sequence number
+  // is the watermark the order-preserving merge is waiting for.
+  output->set_sequence_number(input->sequence_number());
+  output->set_visit_rate(input->visit_rate());
+  *out = std::move(output);
+  return NextResult::kSuccess;
 }
 
 void HashJoinIterator::Close() {

@@ -6,6 +6,7 @@
 
 #include "core/barrier.h"
 #include "core/iterator.h"
+#include "exec/expr/batch_expr.h"
 #include "exec/hash_table.h"
 
 namespace claims {
@@ -53,6 +54,12 @@ class HashJoinIterator : public Iterator {
   Spec spec_;
   Schema output_schema_;
   JoinHashTable table_;
+  /// Hoisted build-vs-probe key comparator: constructing one per probe row
+  /// (two vector copies each) dominated the scalar probe loop.
+  KeyComparator probe_cmp_;
+  /// Batch kernels on (the default; off under CLAIMS_SCALAR_KERNELS=1):
+  /// build and probe blocks are hashed column-at-a-time in one pass.
+  bool batch_;
   DynamicBarrier build_barrier_;
 };
 

@@ -1,15 +1,21 @@
 #include "exec/ops/scan.h"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 namespace claims {
 
 ScanIterator::ScanIterator(const TablePartition* partition,
                            const Schema* schema, Options options)
-    : partition_(partition), schema_(schema), options_(options) {
+    : partition_(partition), schema_(schema), options_(std::move(options)) {
   if (options_.num_sockets < 1) options_.num_sockets = 1;
   for (int s = 0; s < options_.num_sockets; ++s) {
     cursors_.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+  if (options_.predicate != nullptr &&
+      CurrentKernelMode() == KernelMode::kBatch) {
+    batch_pred_ = BatchPredicate::Compile(*schema_, options_.predicate);
   }
 }
 
@@ -53,11 +59,29 @@ NextResult ScanIterator::Next(WorkerContext* ctx, BlockPtr* out) {
 
   const Block& src = *partition_->block(index);
   // Copy out of immutable storage so downstream stages own their blocks
-  // (metadata tails are per-flow mutable state).
-  auto block = MakeBlock(schema_->row_size());
-  for (int i = 0; i < src.num_rows(); ++i) block->AppendRow();
-  std::memcpy(block->MutableRowAt(0), src.RowAt(0),
-              static_cast<size_t>(src.num_rows()) * src.row_size());
+  // (metadata tails are per-flow mutable state). A pushed-down predicate
+  // filters during this copy — survivors gather straight out of storage, and
+  // a fully filtered block goes out empty as the sequence watermark.
+  const int32_t n = src.num_rows();
+  auto block = MakeBlock(
+      schema_->row_size(),
+      std::max<int32_t>(kDefaultBlockBytes, n * schema_->row_size()));
+  if (batch_pred_ != nullptr) {
+    std::vector<int32_t> sel(n);
+    int32_t k = batch_pred_->FilterBlock(src, nullptr, n, sel.data());
+    block->AppendGather(src, sel.data(), k);
+  } else if (options_.predicate != nullptr) {
+    for (int32_t i = 0; i < n; ++i) {
+      const char* row = src.RowAt(i);
+      if (options_.predicate->EvalBool(*schema_, row)) {
+        block->AppendRowCopy(row);
+      }
+    }
+  } else {
+    for (int32_t i = 0; i < n; ++i) block->AppendRow();
+    std::memcpy(block->MutableRowAt(0), src.RowAt(0),
+                static_cast<size_t>(n) * src.row_size());
+  }
   block->set_sequence_number(static_cast<uint64_t>(index));
   block->set_visit_rate(1.0);  // input group: every source tuple visits once
   if (ctx->processing_started != nullptr) {

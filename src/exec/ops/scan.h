@@ -8,6 +8,8 @@
 #include "core/barrier.h"
 #include "core/iterator.h"
 #include "core/metrics.h"
+#include "exec/expr/batch_expr.h"
+#include "exec/expr/expr.h"
 #include "storage/table.h"
 
 namespace claims {
@@ -29,6 +31,11 @@ class ScanIterator : public Iterator {
   struct Options {
     /// Simulated NUMA sockets the partition is striped over (1 = flat).
     int num_sockets = 1;
+    /// Optional pushed-down predicate: rows are filtered during the
+    /// copy-out of the storage block (one pass, no intermediate block).
+    /// A fully filtered storage block still emits an empty watermark block
+    /// so the order-preserving merge sees its sequence number.
+    ExprPtr predicate;
   };
 
   ScanIterator(const TablePartition* partition, const Schema* schema,
@@ -47,6 +54,7 @@ class ScanIterator : public Iterator {
   const TablePartition* partition_;
   const Schema* schema_;
   Options options_;
+  std::unique_ptr<BatchPredicate> batch_pred_;  ///< compiled pushdown filter
   /// Per-socket cursors over an interleaved striping of the block list.
   std::vector<std::unique_ptr<std::atomic<int>>> cursors_;
   DynamicBarrier open_barrier_;

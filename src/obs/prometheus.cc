@@ -63,7 +63,9 @@ std::string PrometheusSanitizeName(const std::string& name) {
                     (c >= '0' && c <= '9') || c == '_';
     out += ok ? c : '_';
   }
-  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
   return out;
 }
 

@@ -58,6 +58,18 @@ class Block {
     return true;
   }
 
+  /// Appends rows `sel[0..n)` of `src` (same row size). The caller guarantees
+  /// capacity — this is the batch-kernel gather inner loop, so it does not
+  /// re-check fullness per row.
+  void AppendGather(const Block& src, const int32_t* sel, int32_t n) {
+    char* dst = MutableRowAt(num_rows_);
+    for (int32_t i = 0; i < n; ++i) {
+      std::memcpy(dst, src.RowAt(sel[i]), row_size_);
+      dst += row_size_;
+    }
+    num_rows_ += n;
+  }
+
   void Clear() { num_rows_ = 0; }
 
   // --- Metadata tail (paper §3.2 order preservation, §4.3 visit rates) ------

@@ -30,6 +30,50 @@ uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
   return Mix(h ^ k);
 }
 
+void HashRowKeysBatch(const Schema& schema, const char* rows, int32_t stride,
+                      const std::vector<int>& key_cols, const int32_t* sel,
+                      int32_t n, uint64_t* out) {
+  for (int32_t i = 0; i < n; ++i) out[i] = 0x2545F4914F6CDD1DULL;
+  for (int col : key_cols) {
+    const ColumnDef& c = schema.column(col);
+    const char* base = rows + schema.offset(col);
+    switch (c.type) {
+      case DataType::kInt32:
+      case DataType::kDate:
+        for (int32_t i = 0; i < n; ++i) {
+          uint32_t v;
+          std::memcpy(&v, base + static_cast<size_t>(sel ? sel[i] : i) * stride,
+                      sizeof(v));
+          out[i] = Mix(out[i] ^ static_cast<uint64_t>(v));
+        }
+        break;
+      case DataType::kInt64:
+        for (int32_t i = 0; i < n; ++i) {
+          uint64_t v;
+          std::memcpy(&v, base + static_cast<size_t>(sel ? sel[i] : i) * stride,
+                      sizeof(v));
+          out[i] = Mix(out[i] ^ v);
+        }
+        break;
+      case DataType::kFloat64:
+        for (int32_t i = 0; i < n; ++i) {
+          uint64_t bits;
+          std::memcpy(&bits,
+                      base + static_cast<size_t>(sel ? sel[i] : i) * stride, 8);
+          out[i] = Mix(out[i] ^ bits);
+        }
+        break;
+      case DataType::kChar:
+        for (int32_t i = 0; i < n; ++i) {
+          const char* p = base + static_cast<size_t>(sel ? sel[i] : i) * stride;
+          size_t len = strnlen(p, c.char_width);
+          out[i] = HashBytes(p, len, out[i]);
+        }
+        break;
+    }
+  }
+}
+
 uint64_t HashRowKeys(const Schema& schema, const char* row,
                      const std::vector<int>& key_cols) {
   uint64_t h = 0x2545F4914F6CDD1DULL;

@@ -18,6 +18,14 @@ uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
 uint64_t HashRowKeys(const Schema& schema, const char* row,
                      const std::vector<int>& key_cols);
 
+/// Batch form of HashRowKeys: hashes rows `sel[0..n)` (or rows 0..n-1 when
+/// `sel` is null) column-at-a-time into `out[0..n)`. Produces bit-identical
+/// hashes to the row-at-a-time version — hash join and aggregation tables mix
+/// batch-hashed probes with scalar-hashed builds freely.
+void HashRowKeysBatch(const Schema& schema, const char* rows, int32_t stride,
+                      const std::vector<int>& key_cols, const int32_t* sel,
+                      int32_t n, uint64_t* out);
+
 /// Maps a key hash onto one of `n` partitions.
 inline int PartitionOf(uint64_t hash, int n) {
   return static_cast<int>(hash % static_cast<uint64_t>(n));

@@ -1,0 +1,82 @@
+#ifndef CLAIMS_STORAGE_SELECTION_VECTOR_H_
+#define CLAIMS_STORAGE_SELECTION_VECTOR_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "storage/block.h"
+#include "storage/schema.h"
+
+namespace claims {
+
+/// The survivors of a batch predicate over one Block: row indices, always
+/// sorted ascending and unique. Kernels communicate through raw
+/// `(const int32_t* sel, int32_t n)` pairs where `sel == nullptr` denotes the
+/// dense identity selection 0..n-1 (so an unfiltered block never pays for
+/// materializing indices); SelectionVector owns the storage behind the
+/// non-dense case and is reused across blocks by the operator that owns it.
+///
+/// Ownership rule (docs/VECTORIZATION.md): a selection vector indexes exactly
+/// one block and never outlives it; operators that emit blocks downstream
+/// gather the selected rows out (Block::AppendGather) instead of shipping the
+/// vector — blocks on the wire and in DataBuffers are always dense.
+class SelectionVector {
+ public:
+  SelectionVector() = default;
+
+  /// Ensures capacity for selections over an `n`-row block.
+  void Reserve(int32_t n) {
+    if (static_cast<int32_t>(idx_.size()) < n) idx_.resize(n);
+  }
+
+  /// Materializes the identity selection 0..n-1.
+  void ResetFull(int32_t n) {
+    Reserve(n);
+    std::iota(idx_.begin(), idx_.begin() + n, 0);
+    count_ = n;
+  }
+
+  void set_count(int32_t n) { count_ = n; }
+  int32_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  const int32_t* data() const { return idx_.data(); }
+  int32_t* mutable_data() { return idx_.data(); }
+  int32_t operator[](int32_t i) const { return idx_[i]; }
+
+ private:
+  std::vector<int32_t> idx_;
+  int32_t count_ = 0;
+};
+
+/// Strided view of one column of a row-major block: `base` points at the
+/// column's bytes in row 0 and successive rows are `stride` bytes apart.
+/// Blocks store fixed-width rows, so a "column batch" is a constant-stride
+/// walk — no virtual call, no Value materialization, one cache line feeds
+/// several rows of a narrow column.
+struct ColumnView {
+  const char* base = nullptr;
+  int32_t stride = 0;
+  DataType type = DataType::kInt64;
+  int32_t width = 0;  ///< CHAR payload width; 0 otherwise
+
+  const char* at(int32_t row) const {
+    return base + static_cast<size_t>(row) * stride;
+  }
+};
+
+/// Views column `col` of `block` (whose rows follow `schema`).
+inline ColumnView ViewColumn(const Block& block, const Schema& schema,
+                             int col) {
+  ColumnView v;
+  v.base = block.num_rows() > 0 ? block.RowAt(0) + schema.offset(col) : nullptr;
+  v.stride = schema.row_size();
+  v.type = schema.column(col).type;
+  v.width = schema.column(col).char_width;
+  return v;
+}
+
+}  // namespace claims
+
+#endif  // CLAIMS_STORAGE_SELECTION_VECTOR_H_

@@ -1,0 +1,564 @@
+// Batch-kernel equivalence suite: the selection-vector kernels compiled by
+// exec/expr/batch_expr.* must be *exactly* equivalent to the scalar
+// Expr::Eval path — same survivors in the same order, bit-identical doubles,
+// byte-identical materialized rows, byte-identical operator output. Random
+// schemas / blocks / predicate trees are generated from fixed seeds so every
+// failure is reproducible; uncompilable shapes (CASE) are mixed in to verify
+// the per-node scalar fallback keeps the equivalence.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/expr/batch_expr.h"
+#include "exec/expr/expr.h"
+#include "exec/ops/filter.h"
+#include "exec/ops/hash_agg.h"
+#include "exec/ops/hash_join.h"
+#include "storage/block.h"
+#include "storage/types.h"
+
+namespace claims {
+namespace {
+
+/// Forces a kernel mode for one scope (iterators cache the mode at
+/// construction, so the guard must cover operator construction too).
+class KernelModeGuard {
+ public:
+  explicit KernelModeGuard(KernelMode m) : saved_(CurrentKernelMode()) {
+    SetKernelMode(m);
+  }
+  ~KernelModeGuard() { SetKernelMode(saved_); }
+
+ private:
+  KernelMode saved_;
+};
+
+struct Gen {
+  std::mt19937 rng;
+  explicit Gen(uint32_t seed) : rng(seed) {}
+  int I(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  }
+  bool B(double p = 0.5) {
+    return std::uniform_real_distribution<double>(0, 1)(rng) < p;
+  }
+};
+
+// Small value domains so equality predicates and IN lists actually hit.
+const char* kStrings[] = {"", "a", "ab", "abc", "ba", "b", "zz"};
+const char* kPatterns[] = {"a%", "%b", "%a%", "a_", "%", "z%"};
+
+Value RandomValueFor(Gen& g, const ColumnDef& col) {
+  switch (col.type) {
+    case DataType::kInt32:
+      return Value::Int32(g.I(-4, 4));
+    case DataType::kInt64:
+      return Value::Int64(g.I(-4, 4));
+    case DataType::kFloat64:
+      return Value::Float64(g.I(-8, 8) / 2.0);
+    case DataType::kDate:
+      // 1995-01-01 .. ~1999: spans year boundaries for YEAR() predicates.
+      return Value::Date(DaysFromCivil(1995, 1, 1) + g.I(0, 1500));
+    case DataType::kChar:
+      return Value::String(kStrings[g.I(0, 6)]);
+  }
+  return Value::Int64(0);
+}
+
+Schema RandomSchema(Gen& g) {
+  int n = g.I(2, 6);
+  std::vector<ColumnDef> cols;
+  for (int i = 0; i < n; ++i) {
+    std::string name = "c" + std::to_string(i);
+    switch (g.I(0, 4)) {
+      case 0: cols.push_back(ColumnDef::Int32(name)); break;
+      case 1: cols.push_back(ColumnDef::Int64(name)); break;
+      case 2: cols.push_back(ColumnDef::Float64(name)); break;
+      case 3: cols.push_back(ColumnDef::Date(name)); break;
+      default: cols.push_back(ColumnDef::Char(name, 8)); break;
+    }
+  }
+  return Schema(std::move(cols));
+}
+
+BlockPtr RandomBlock(Gen& g, const Schema& s, int rows) {
+  auto b = MakeBlock(s.row_size(),
+                     std::max<int32_t>(kDefaultBlockBytes,
+                                       (rows + 1) * s.row_size()));
+  for (int i = 0; i < rows; ++i) {
+    char* row = b->AppendRow();
+    for (int c = 0; c < s.num_columns(); ++c) {
+      s.SetValue(row, c, RandomValueFor(g, s.column(c)));
+    }
+  }
+  return b;
+}
+
+std::vector<int> ColumnsWhere(const Schema& s, bool (*pred)(DataType)) {
+  std::vector<int> out;
+  for (int c = 0; c < s.num_columns(); ++c) {
+    if (pred(s.column(c).type)) out.push_back(c);
+  }
+  return out;
+}
+
+bool IsNumericType(DataType t) { return t != DataType::kChar; }
+bool IsCharType(DataType t) { return t == DataType::kChar; }
+bool IsDateType(DataType t) { return t == DataType::kDate; }
+
+ExprPtr ColRef(const Schema& s, int c) {
+  return MakeColumnRef(c, s.column(c).type, s.column(c).name);
+}
+
+CompareOp RandomCmp(Gen& g) { return static_cast<CompareOp>(g.I(0, 5)); }
+
+/// An opaque boolean leaf: CASE WHEN col >= lit THEN 1 ELSE 0 END. Its Shape
+/// is kOpaque, so the batch compiler must emit a scalar-fallback node.
+ExprPtr OpaqueLeaf(Gen& g, const Schema& s) {
+  auto numeric = ColumnsWhere(s, IsNumericType);
+  int c = numeric.empty() ? 0 : numeric[g.I(0, numeric.size() - 1)];
+  ExprPtr cond = MakeCompare(CompareOp::kGe, ColRef(s, c),
+                             MakeLiteral(RandomValueFor(g, s.column(c))));
+  std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+  branches.emplace_back(std::move(cond), MakeLiteral(Value::Int64(1)));
+  return MakeCase(std::move(branches), MakeLiteral(Value::Int64(0)));
+}
+
+ExprPtr RandomLeaf(Gen& g, const Schema& s, bool allow_opaque) {
+  if (allow_opaque && g.B(0.15)) return OpaqueLeaf(g, s);
+  int c = g.I(0, s.num_columns() - 1);
+  const ColumnDef& col = s.column(c);
+
+  if (col.type == DataType::kChar) {
+    switch (g.I(0, 3)) {
+      case 0:
+        return MakeLike(ColRef(s, c), kPatterns[g.I(0, 5)], g.B(0.3));
+      case 1: {
+        std::vector<Value> vals;
+        for (int i = g.I(1, 3); i >= 0; --i) {
+          vals.push_back(Value::String(kStrings[g.I(0, 6)]));
+        }
+        return MakeInList(ColRef(s, c), std::move(vals), g.B(0.3));
+      }
+      case 2: {
+        auto chars = ColumnsWhere(s, IsCharType);
+        int other = chars[g.I(0, chars.size() - 1)];
+        return MakeCompare(RandomCmp(g), ColRef(s, c), ColRef(s, other));
+      }
+      default:
+        return MakeCompare(RandomCmp(g), ColRef(s, c),
+                           MakeLiteral(Value::String(kStrings[g.I(0, 6)])));
+    }
+  }
+
+  if (col.type == DataType::kDate && g.B(0.5)) {
+    // YEAR(date) CMP year-literal — compiled to a day-range test.
+    return MakeCompare(RandomCmp(g), MakeYear(ColRef(s, c)),
+                       MakeLiteral(Value::Int32(g.I(1994, 2000))));
+  }
+
+  switch (g.I(0, 3)) {
+    case 0: {
+      auto numeric = ColumnsWhere(s, IsNumericType);
+      int other = numeric[g.I(0, numeric.size() - 1)];
+      return MakeCompare(RandomCmp(g), ColRef(s, c), ColRef(s, other));
+    }
+    case 1: {
+      std::vector<Value> vals;
+      for (int i = g.I(1, 3); i >= 0; --i) {
+        // Occasionally mix a float into an int list — the compiler must fall
+        // back to the scalar node for that leaf, keeping equivalence.
+        vals.push_back(g.B(0.2) ? Value::Float64(g.I(-8, 8) / 2.0)
+                                : Value::Int64(g.I(-4, 4)));
+      }
+      return MakeInList(ColRef(s, c), std::move(vals), g.B(0.3));
+    }
+    case 2:
+      return MakeCompare(RandomCmp(g), ColRef(s, c),
+                         MakeLiteral(g.B(0.3) ? Value::Float64(g.I(-8, 8) / 2.0)
+                                              : Value::Int64(g.I(-4, 4))));
+    default:
+      // Literal on the left: the compiler normalizes by flipping the compare.
+      return MakeCompare(RandomCmp(g),
+                         MakeLiteral(RandomValueFor(g, s.column(c))),
+                         ColRef(s, c));
+  }
+}
+
+ExprPtr RandomPredicate(Gen& g, const Schema& s, int depth, bool allow_opaque) {
+  if (depth > 0 && g.B(0.6)) {
+    if (g.B(0.25)) return MakeNot(RandomPredicate(g, s, depth - 1,
+                                                  allow_opaque));
+    return MakeLogic(g.B() ? LogicOp::kAnd : LogicOp::kOr,
+                     RandomPredicate(g, s, depth - 1, allow_opaque),
+                     RandomPredicate(g, s, depth - 1, allow_opaque));
+  }
+  return RandomLeaf(g, s, allow_opaque);
+}
+
+/// Reference implementation: row-at-a-time EvalBool over the selection.
+std::vector<int32_t> ScalarSelect(const Expr& pred, const Schema& s,
+                                  const Block& b, const int32_t* sel,
+                                  int32_t n) {
+  std::vector<int32_t> out;
+  for (int32_t i = 0; i < n; ++i) {
+    int32_t r = sel != nullptr ? sel[i] : i;
+    if (pred.EvalBool(s, b.RowAt(r))) out.push_back(r);
+  }
+  return out;
+}
+
+void ExpectSameSelection(const std::vector<int32_t>& expect,
+                         const int32_t* got, int32_t got_n,
+                         const std::string& what) {
+  ASSERT_EQ(static_cast<size_t>(got_n), expect.size()) << what;
+  for (int32_t i = 0; i < got_n; ++i) {
+    ASSERT_EQ(got[i], expect[i]) << what << " at survivor " << i;
+  }
+}
+
+// --- BatchPredicate property tests ----------------------------------------------
+
+TEST(BatchPredicateProperty, MatchesScalarOnRandomTrees) {
+  for (uint32_t seed = 0; seed < 80; ++seed) {
+    Gen g(seed);
+    Schema s = RandomSchema(g);
+    BlockPtr b = RandomBlock(g, s, g.I(0, 300));
+    const bool allow_opaque = seed % 4 == 0;
+    ExprPtr pred = RandomPredicate(g, s, 3, allow_opaque);
+    auto bp = BatchPredicate::Compile(s, pred);
+    ASSERT_NE(bp, nullptr);
+    const int32_t n = b->num_rows();
+    std::string what = "seed " + std::to_string(seed) + " pred " +
+                       pred->ToString();
+
+    // Dense (sel == nullptr): full block.
+    std::vector<int32_t> out(static_cast<size_t>(n) + 1);
+    int32_t k = bp->FilterBlock(*b, nullptr, n, out.data());
+    ExpectSameSelection(ScalarSelect(*pred, s, *b, nullptr, n), out.data(), k,
+                        what + " [dense]");
+
+    // Sparse random subset, filtered *in place* (out aliases sel) — the
+    // aliasing contract every AND chain relies on.
+    std::vector<int32_t> sel;
+    for (int32_t i = 0; i < n; ++i) {
+      if (g.B(0.5)) sel.push_back(i);
+    }
+    auto expect = ScalarSelect(*pred, s, *b, sel.data(),
+                               static_cast<int32_t>(sel.size()));
+    sel.reserve(sel.size() + 1);  // keep data() valid for empty selections
+    int32_t k2 = bp->FilterBlock(*b, sel.data(),
+                                 static_cast<int32_t>(sel.size()), sel.data());
+    ExpectSameSelection(expect, sel.data(), k2, what + " [sparse in-place]");
+  }
+}
+
+TEST(BatchPredicateEdge, EmptyFullSingleRowAllFalse) {
+  Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+  auto b = MakeBlock(s.row_size());
+  for (int i = 0; i < 100; ++i) {
+    char* row = b->AppendRow();
+    s.SetInt32(row, 0, i % 10);
+    s.SetInt64(row, 1, i);
+  }
+  ExprPtr all_true = MakeCompare(CompareOp::kGe, ColRef(s, 0),
+                                 MakeLiteral(Value::Int32(0)));
+  ExprPtr all_false = MakeCompare(CompareOp::kEq, ColRef(s, 0),
+                                  MakeLiteral(Value::Int32(99)));
+  auto bp_true = BatchPredicate::Compile(s, all_true);
+  auto bp_false = BatchPredicate::Compile(s, all_false);
+  std::vector<int32_t> out(101);
+
+  // Empty input selection.
+  EXPECT_EQ(bp_true->FilterBlock(*b, nullptr, 0, out.data()), 0);
+
+  // Full block, everything passes: identity selection.
+  int32_t k = bp_true->FilterBlock(*b, nullptr, 100, out.data());
+  ASSERT_EQ(k, 100);
+  for (int32_t i = 0; i < 100; ++i) EXPECT_EQ(out[i], i);
+
+  // All-false: zero survivors.
+  EXPECT_EQ(bp_false->FilterBlock(*b, nullptr, 100, out.data()), 0);
+
+  // Single-row selections, both outcomes.
+  int32_t one = 42;
+  EXPECT_EQ(bp_true->FilterBlock(*b, &one, 1, out.data()), 1);
+  EXPECT_EQ(out[0], 42);
+  EXPECT_EQ(bp_false->FilterBlock(*b, &one, 1, out.data()), 0);
+}
+
+TEST(BatchPredicateEdge, FullyCompiledFlagAndCaseFallback) {
+  Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+  ExprPtr compiled = MakeLogic(
+      LogicOp::kOr,
+      MakeLogic(LogicOp::kAnd,
+                MakeCompare(CompareOp::kLt, ColRef(s, 0),
+                            MakeLiteral(Value::Int32(3))),
+                MakeCompare(CompareOp::kGe, ColRef(s, 1),
+                            MakeLiteral(Value::Int64(10)))),
+      MakeInList(ColRef(s, 0), {Value::Int64(7), Value::Int64(8)}, false));
+  EXPECT_TRUE(BatchPredicate::Compile(s, compiled)->fully_compiled());
+
+  std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+  branches.emplace_back(MakeCompare(CompareOp::kLt, ColRef(s, 0),
+                                    MakeLiteral(Value::Int32(5))),
+                        MakeLiteral(Value::Int64(1)));
+  ExprPtr opaque = MakeLogic(LogicOp::kAnd,
+                             MakeCase(std::move(branches),
+                                      MakeLiteral(Value::Int64(0))),
+                             MakeCompare(CompareOp::kGe, ColRef(s, 1),
+                                         MakeLiteral(Value::Int64(0))));
+  auto bp = BatchPredicate::Compile(s, opaque);
+  EXPECT_FALSE(bp->fully_compiled());
+
+  // The fallback still produces the scalar selection exactly.
+  auto b = MakeBlock(s.row_size());
+  for (int i = 0; i < 50; ++i) {
+    char* row = b->AppendRow();
+    s.SetInt32(row, 0, i % 10);
+    s.SetInt64(row, 1, i - 25);
+  }
+  std::vector<int32_t> out(51);
+  int32_t k = bp->FilterBlock(*b, nullptr, 50, out.data());
+  ExpectSameSelection(ScalarSelect(*opaque, s, *b, nullptr, 50), out.data(), k,
+                      "case fallback");
+}
+
+// --- BatchCompute property tests ------------------------------------------------
+
+ExprPtr RandomNumericExpr(Gen& g, const Schema& s, int depth) {
+  if (depth > 0 && g.B(0.55)) {
+    return MakeArith(static_cast<ArithOp>(g.I(0, 3)),
+                     RandomNumericExpr(g, s, depth - 1),
+                     RandomNumericExpr(g, s, depth - 1));
+  }
+  auto numeric = ColumnsWhere(s, IsNumericType);
+  auto dates = ColumnsWhere(s, IsDateType);
+  switch (g.I(0, 3)) {
+    case 0:
+      return MakeLiteral(Value::Int64(g.I(-4, 4)));
+    case 1:
+      return MakeLiteral(Value::Float64(g.I(-8, 8) / 2.0));
+    case 2:
+      if (!dates.empty()) {
+        return MakeYear(ColRef(s, dates[g.I(0, dates.size() - 1)]));
+      }
+      [[fallthrough]];
+    default:
+      if (numeric.empty()) return MakeLiteral(Value::Int64(1));
+      return ColRef(s, numeric[g.I(0, numeric.size() - 1)]);
+  }
+}
+
+TEST(BatchComputeProperty, EvalDoubleMatchesScalarBitIdentical) {
+  for (uint32_t seed = 100; seed < 160; ++seed) {
+    Gen g(seed);
+    Schema s = RandomSchema(g);
+    BlockPtr b = RandomBlock(g, s, g.I(1, 200));
+    ExprPtr expr = RandomNumericExpr(g, s, 3);
+    auto bc = BatchCompute::Compile(s, expr);
+    ASSERT_NE(bc, nullptr);
+    const int32_t n = b->num_rows();
+    std::string what = "seed " + std::to_string(seed) + " expr " +
+                       expr->ToString();
+
+    std::vector<double> got(n);
+    bc->EvalDouble(*b, nullptr, n, got.data());
+    for (int32_t i = 0; i < n; ++i) {
+      double want = expr->Eval(s, b->RowAt(i)).ToDouble();
+      ASSERT_EQ(got[i], want) << what << " row " << i;  // exact, not NEAR
+    }
+
+    // Sparse selection.
+    std::vector<int32_t> sel;
+    for (int32_t i = 0; i < n; ++i) {
+      if (g.B(0.4)) sel.push_back(i);
+    }
+    std::vector<double> got2(sel.size() + 1);
+    bc->EvalDouble(*b, sel.data(), static_cast<int32_t>(sel.size()),
+                   got2.data());
+    for (size_t i = 0; i < sel.size(); ++i) {
+      double want = expr->Eval(s, b->RowAt(sel[i])).ToDouble();
+      ASSERT_EQ(got2[i], want) << what << " sparse row " << sel[i];
+    }
+  }
+}
+
+TEST(BatchComputeProperty, MaterializeMatchesSetValueByteIdentical) {
+  for (uint32_t seed = 200; seed < 260; ++seed) {
+    Gen g(seed);
+    Schema s = RandomSchema(g);
+    BlockPtr b = RandomBlock(g, s, g.I(1, 200));
+    const int32_t n = b->num_rows();
+
+    // Expression pool: bare columns of every type (the strided-copy fast
+    // path, including CHAR), YEAR(), and a computed arith tree.
+    std::vector<ExprPtr> exprs;
+    for (int c = 0; c < s.num_columns(); ++c) exprs.push_back(ColRef(s, c));
+    auto dates = ColumnsWhere(s, IsDateType);
+    if (!dates.empty()) exprs.push_back(MakeYear(ColRef(s, dates[0])));
+    exprs.push_back(RandomNumericExpr(g, s, 2));
+
+    for (const ExprPtr& expr : exprs) {
+      int32_t width = 0;
+      if (expr->type() == DataType::kChar) {
+        width = s.column(AsColumnRef(*expr)).char_width;
+      }
+      // out_col = 1 so non-zero in-row offsets are exercised.
+      Schema out({ColumnDef::Int32("pad"),
+                  ColumnDef{"x", expr->type(), width}});
+      auto bc = BatchCompute::Compile(s, expr);
+      const size_t bytes = static_cast<size_t>(out.row_size()) * n;
+      std::vector<char> got(bytes, 0);
+      std::vector<char> want(bytes, 0);
+      bc->Materialize(*b, nullptr, n, out, 1, got.data());
+      for (int32_t i = 0; i < n; ++i) {
+        out.SetValue(want.data() + static_cast<size_t>(i) * out.row_size(), 1,
+                     expr->Eval(s, b->RowAt(i)));
+      }
+      ASSERT_EQ(std::memcmp(got.data(), want.data(), bytes), 0)
+          << "seed " << seed << " expr " << expr->ToString();
+    }
+  }
+}
+
+// --- Whole-operator equivalence: scalar mode vs batch mode ----------------------
+
+/// Replays a fixed list of blocks; thread-safe like a stage beginner.
+class BlocksIterator : public Iterator {
+ public:
+  explicit BlocksIterator(std::vector<BlockPtr> blocks)
+      : blocks_(std::move(blocks)) {}
+
+  NextResult Open(WorkerContext*) override { return NextResult::kSuccess; }
+  NextResult Next(WorkerContext*, BlockPtr* out) override {
+    size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= blocks_.size()) return NextResult::kEndOfFile;
+    *out = std::make_shared<Block>(*blocks_[i]);
+    return NextResult::kSuccess;
+  }
+  void Close() override {}
+
+ private:
+  std::vector<BlockPtr> blocks_;
+  std::atomic<size_t> cursor_{0};
+};
+
+std::vector<BlockPtr> RandomBlocks(Gen& g, const Schema& s, int nblocks) {
+  std::vector<BlockPtr> blocks;
+  for (int i = 0; i < nblocks; ++i) {
+    BlockPtr b = RandomBlock(g, s, g.I(0, 200));
+    b->set_sequence_number(static_cast<uint64_t>(i));
+    b->set_visit_rate(1.0);
+    blocks.push_back(std::move(b));
+  }
+  return blocks;
+}
+
+/// Drains `it` with one worker, returning every emitted block as
+/// (sequence number, raw row bytes) — empty watermark blocks included.
+std::vector<std::pair<uint64_t, std::string>> DrainBlocks(Iterator* it) {
+  WorkerContext ctx;
+  EXPECT_EQ(it->Open(&ctx), NextResult::kSuccess);
+  std::vector<std::pair<uint64_t, std::string>> out;
+  BlockPtr b;
+  while (it->Next(&ctx, &b) == NextResult::kSuccess) {
+    out.emplace_back(b->sequence_number(),
+                     std::string(b->RowAt(0), b->payload_bytes()));
+  }
+  it->Close();
+  return out;
+}
+
+TEST(OperatorEquivalence, FilterScalarVsBatchByteIdentical) {
+  Gen g(7);
+  Schema s = RandomSchema(g);
+  auto blocks = RandomBlocks(g, s, 6);
+  ExprPtr pred = RandomPredicate(g, s, 3, /*allow_opaque=*/true);
+
+  auto run = [&](KernelMode m) {
+    KernelModeGuard guard(m);
+    FilterIterator f(std::make_unique<BlocksIterator>(blocks), &s, pred);
+    return DrainBlocks(&f);
+  };
+  auto batch = run(KernelMode::kBatch);
+  auto scalar = run(KernelMode::kScalar);
+  EXPECT_EQ(batch, scalar) << "pred " << pred->ToString();
+  EXPECT_EQ(batch.size(), blocks.size());  // every block emitted, even empty
+}
+
+TEST(OperatorEquivalence, HashJoinScalarVsBatchByteIdentical) {
+  Gen g(11);
+  Schema bs({ColumnDef::Int32("k"), ColumnDef::Char("tag", 8)});
+  Schema ps({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+  std::vector<BlockPtr> build = RandomBlocks(g, bs, 3);
+  std::vector<BlockPtr> probe = RandomBlocks(g, ps, 4);
+
+  HashJoinIterator::Spec spec;
+  spec.build_schema = &bs;
+  spec.probe_schema = &ps;
+  spec.build_keys = {0};
+  spec.probe_keys = {0};
+
+  auto run = [&](KernelMode m) {
+    KernelModeGuard guard(m);
+    HashJoinIterator join(std::make_unique<BlocksIterator>(build),
+                          std::make_unique<BlocksIterator>(probe), spec);
+    return DrainBlocks(&join);
+  };
+  // Single worker: identical insert order on both paths, so the chain order
+  // — and therefore the emitted bytes — must match exactly.
+  EXPECT_EQ(run(KernelMode::kBatch), run(KernelMode::kScalar));
+}
+
+TEST(OperatorEquivalence, HashAggScalarVsBatchSameGroups) {
+  Gen g(13);
+  Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v"),
+            ColumnDef::Float64("f"), ColumnDef::Char("tag", 8),
+            ColumnDef::Date("d")});
+  auto blocks = RandomBlocks(g, s, 5);
+
+  HashAggIterator::Spec spec;
+  spec.input_schema = &s;
+  spec.group_exprs = {ColRef(s, 0), ColRef(s, 3), MakeYear(ColRef(s, 4))};
+  spec.group_names = {"k", "tag", "y"};
+  spec.aggregates = {
+      {AggFn::kSum, ColRef(s, 1), "sum_v"},
+      {AggFn::kCount, nullptr, "cnt"},
+      {AggFn::kAvg, ColRef(s, 2), "avg_f"},
+      {AggFn::kMin, MakeArith(ArithOp::kAdd, ColRef(s, 1), ColRef(s, 2)), "min_vf"},
+      {AggFn::kMax, ColRef(s, 1), "max_v"},
+  };
+  spec.mode = HashAggIterator::Mode::kShared;
+
+  auto run = [&](KernelMode m) {
+    KernelModeGuard guard(m);
+    HashAggIterator agg(std::make_unique<BlocksIterator>(blocks), spec);
+    const Schema out = agg.output_schema();
+    WorkerContext ctx;
+    EXPECT_EQ(agg.Open(&ctx), NextResult::kSuccess);
+    std::vector<std::string> rows;
+    BlockPtr b;
+    while (agg.Next(&ctx, &b) == NextResult::kSuccess) {
+      for (int r = 0; r < b->num_rows(); ++r) {
+        rows.emplace_back(b->RowAt(r), out.row_size());
+      }
+    }
+    agg.Close();
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  auto batch = run(KernelMode::kBatch);
+  auto scalar = run(KernelMode::kScalar);
+  EXPECT_FALSE(batch.empty());
+  EXPECT_EQ(batch, scalar);
+}
+
+}  // namespace
+}  // namespace claims

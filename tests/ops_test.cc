@@ -29,6 +29,40 @@ std::unique_ptr<Table> MakeKV(int rows, int mod, int partitions = 1) {
   return t;
 }
 
+// Replays fixed blocks — for tests that need exact control over input block
+// boundaries, sequence numbers, and visit rates.
+class BlocksIterator : public Iterator {
+ public:
+  explicit BlocksIterator(std::vector<BlockPtr> blocks)
+      : blocks_(std::move(blocks)) {}
+  NextResult Open(WorkerContext*) override { return NextResult::kSuccess; }
+  NextResult Next(WorkerContext*, BlockPtr* out) override {
+    size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= blocks_.size()) return NextResult::kEndOfFile;
+    *out = std::make_shared<Block>(*blocks_[i]);
+    return NextResult::kSuccess;
+  }
+  void Close() override {}
+
+ private:
+  std::vector<BlockPtr> blocks_;
+  std::atomic<size_t> cursor_{0};
+};
+
+// One kv block holding `rows` rows (k = i % mod, v = i), sized to fit even
+// when `rows` exceeds the default block capacity.
+BlockPtr MakeKVBlock(const Schema& s, int rows, int mod) {
+  auto b = MakeBlock(s.row_size(),
+                     std::max<int32_t>(kDefaultBlockBytes,
+                                       (rows + 1) * s.row_size()));
+  for (int i = 0; i < rows; ++i) {
+    char* row = b->AppendRow();
+    s.SetInt32(row, 0, i % mod);
+    s.SetInt64(row, 1, i);
+  }
+  return b;
+}
+
 ExprPtr Col(const Schema& s, const char* name) {
   int i = s.FindColumn(name);
   EXPECT_GE(i, 0) << name;
@@ -113,6 +147,37 @@ TEST(ScanTest, StatsCountInputTuples) {
   EXPECT_EQ(stats.input_tuples.load(), 5000);
 }
 
+TEST(ScanTest, FusedPredicateFiltersDuringCopyOut) {
+  // Predicate pushdown: a filter fused into the scan (ScanIterator::Options
+  // ::predicate) must behave exactly like a FilterIterator above it — rows
+  // filtered during copy-out, fully filtered blocks emitted as empty
+  // watermarks, input-tuple stats still counting *storage* rows.
+  auto table = MakeKV(10000, 10);
+  const Schema& s = table->schema();
+  ScanIterator::Options o;
+  o.predicate = MakeCompare(CompareOp::kLt, Col(s, "k"),
+                            MakeLiteral(Value::Int32(3)));
+  SegmentStats stats;
+  ElasticIterator::Options opts;
+  opts.initial_parallelism = 2;
+  opts.stats = &stats;
+  ElasticIterator it(
+      std::make_unique<ScanIterator>(&table->partition(0), &s, o), opts);
+  WorkerContext ctx;
+  ASSERT_EQ(it.Open(&ctx), NextResult::kSuccess);
+  size_t rows = 0;
+  BlockPtr block;
+  while (it.Next(&ctx, &block) == NextResult::kSuccess) {
+    for (int r = 0; r < block->num_rows(); ++r) {
+      EXPECT_LT(s.GetInt32(block->RowAt(r), 0), 3);
+      ++rows;
+    }
+  }
+  it.Close();
+  EXPECT_EQ(rows, 3000u);
+  EXPECT_EQ(stats.input_tuples.load(), 10000);
+}
+
 // --- Filter / Project -----------------------------------------------------------
 
 TEST(FilterTest, KeepsOnlyMatching) {
@@ -136,6 +201,84 @@ TEST(FilterTest, ZeroSelectivity) {
   auto rows = RunElastic(
       std::make_unique<FilterIterator>(std::move(scan), &s, pred), s, 2);
   EXPECT_TRUE(rows.empty());
+}
+
+TEST(FilterTest, FullyFilteredBlockEmitsEmptyWatermark) {
+  // A block whose rows are all filtered must still come out — empty, with
+  // the input's sequence number and visit rate intact — so the
+  // order-preserving DataBuffer learns the sequence was consumed. The old
+  // behavior (pull until a non-empty output) silently dropped the sequence.
+  Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+  auto in = MakeKVBlock(s, 100, 10);
+  in->set_sequence_number(7);
+  in->set_visit_rate(0.5);
+  ExprPtr pred = MakeCompare(CompareOp::kEq, Col(s, "k"),
+                             MakeLiteral(Value::Int32(99)));
+  FilterIterator f(std::make_unique<BlocksIterator>(
+                       std::vector<BlockPtr>{std::move(in)}),
+                   &s, pred);
+  WorkerContext ctx;
+  ASSERT_EQ(f.Open(&ctx), NextResult::kSuccess);
+  BlockPtr out;
+  ASSERT_EQ(f.Next(&ctx, &out), NextResult::kSuccess);
+  EXPECT_EQ(out->num_rows(), 0);
+  EXPECT_EQ(out->sequence_number(), 7u);
+  EXPECT_DOUBLE_EQ(out->visit_rate(), 0.5);
+  EXPECT_EQ(f.Next(&ctx, &out), NextResult::kEndOfFile);
+  f.Close();
+}
+
+TEST(FilterTest, NearZeroSelectivityOrderPreserving) {
+  // ~0.1% selectivity through an order-preserving elastic pipeline: the
+  // watermark advances from empty filter outputs must keep the merge moving
+  // and the surviving rows in sequence order.
+  auto table = MakeKV(100000, 1000);
+  const Schema& s = table->schema();
+  ExprPtr pred = MakeCompare(CompareOp::kEq, Col(s, "k"),
+                             MakeLiteral(Value::Int32(3)));
+  auto scan = std::make_unique<ScanIterator>(&table->partition(0), &s);
+  auto filter =
+      std::make_unique<FilterIterator>(std::move(scan), &s, pred);
+  ElasticIterator::Options opts;
+  opts.initial_parallelism = 3;
+  opts.order_preserving = true;
+  ElasticIterator it(std::move(filter), opts);
+  WorkerContext ctx;
+  ASSERT_EQ(it.Open(&ctx), NextResult::kSuccess);
+  int64_t prev_v = -1;
+  size_t count = 0;
+  BlockPtr block;
+  while (it.Next(&ctx, &block) == NextResult::kSuccess) {
+    for (int r = 0; r < block->num_rows(); ++r) {
+      int64_t v = s.GetInt64(block->RowAt(r), 1);
+      ASSERT_GT(v, prev_v);  // sequence order ⇒ v strictly ascending
+      prev_v = v;
+      ++count;
+    }
+  }
+  it.Close();
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(FilterTest, OversizedInputBlockNotTruncated) {
+  // Input blocks can exceed the default 64 KB (a widening upstream operator
+  // sizes by its payload). The filter must size its output to the input's
+  // row count — the old default-capacity output silently truncated.
+  Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+  const int kRows = 9000;  // > 64 KB / 12 B = 5461 default-capacity rows
+  auto big = MakeKVBlock(s, kRows, 10);
+  ASSERT_GT(kRows, MakeBlock(s.row_size())->capacity_rows());
+  ExprPtr all = MakeCompare(CompareOp::kGe, Col(s, "k"),
+                            MakeLiteral(Value::Int32(0)));
+  FilterIterator f(std::make_unique<BlocksIterator>(
+                       std::vector<BlockPtr>{std::move(big)}),
+                   &s, all);
+  WorkerContext ctx;
+  ASSERT_EQ(f.Open(&ctx), NextResult::kSuccess);
+  BlockPtr out;
+  ASSERT_EQ(f.Next(&ctx, &out), NextResult::kSuccess);
+  EXPECT_EQ(out->num_rows(), kRows);
+  f.Close();
 }
 
 TEST(ProjectTest, ComputesExpressions) {
@@ -244,6 +387,36 @@ TEST(HashJoinTest, ParallelBuildCorrect) {
   EXPECT_EQ(join_raw->build_rows(), 50000);
   EXPECT_EQ(rows, 50000u);  // every build row matched exactly once
   it.Close();
+}
+
+TEST(HashJoinTest, NoMatchProbeBlockEmitsEmptyWatermark) {
+  // A probe block with zero matches still comes out (empty, sequence number
+  // preserved) so order-preserving consumers see the sequence was consumed.
+  Schema bs({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+  Schema ps({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+  auto build = MakeKVBlock(bs, 10, 10);       // keys 0..9
+  auto probe = MakeKVBlock(ps, 20, 20);       // keys 0..19
+  for (int i = 0; i < probe->num_rows(); ++i) {
+    ps.SetInt32(probe->MutableRowAt(i), 0, 100 + i);  // keys 100.. — no hits
+  }
+  probe->set_sequence_number(5);
+  HashJoinIterator::Spec spec;
+  spec.build_schema = &bs;
+  spec.probe_schema = &ps;
+  spec.build_keys = {0};
+  spec.probe_keys = {0};
+  HashJoinIterator join(
+      std::make_unique<BlocksIterator>(std::vector<BlockPtr>{std::move(build)}),
+      std::make_unique<BlocksIterator>(std::vector<BlockPtr>{std::move(probe)}),
+      spec);
+  WorkerContext ctx;
+  ASSERT_EQ(join.Open(&ctx), NextResult::kSuccess);
+  BlockPtr out;
+  ASSERT_EQ(join.Next(&ctx, &out), NextResult::kSuccess);
+  EXPECT_EQ(out->num_rows(), 0);
+  EXPECT_EQ(out->sequence_number(), 5u);
+  EXPECT_EQ(join.Next(&ctx, &out), NextResult::kEndOfFile);
+  join.Close();
 }
 
 // --- Hash aggregation -----------------------------------------------------------
@@ -360,6 +533,30 @@ TEST(HashAggTest, NoGroupByGlobalAggregate) {
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0][0].AsInt64(), 1000);
   EXPECT_EQ(rows[0][1].AsInt64(), 999 * 1000 / 2);
+}
+
+TEST(HashAggTest, PropagatesInputVisitRate) {
+  // Emitted blocks must carry the consumed input's (row-weighted) average
+  // visit rate, not the default 1.0 — the downstream scalability-vector
+  // estimation reads it (§4.3).
+  Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+  std::vector<BlockPtr> blocks;
+  for (int i = 0; i < 4; ++i) {
+    auto b = MakeKVBlock(s, 500, 8);
+    b->set_sequence_number(i);
+    b->set_visit_rate(0.25);
+    blocks.push_back(std::move(b));
+  }
+  HashAggIterator::Spec spec = AggSpec(s, HashAggIterator::Mode::kShared);
+  HashAggIterator agg(std::make_unique<BlocksIterator>(std::move(blocks)),
+                      spec);
+  WorkerContext ctx;
+  ASSERT_EQ(agg.Open(&ctx), NextResult::kSuccess);
+  BlockPtr out;
+  ASSERT_EQ(agg.Next(&ctx, &out), NextResult::kSuccess);
+  EXPECT_GT(out->num_rows(), 0);
+  EXPECT_DOUBLE_EQ(out->visit_rate(), 0.25);
+  agg.Close();
 }
 
 // --- Sort -----------------------------------------------------------------------
