@@ -6,7 +6,7 @@
 //
 //   wlm_closed_loop [--queries N] [--mpl M] [--open [--rate QPS]]
 //                   [--scale SF] [--seed S] [--json] [--monitor-port P]
-//                   [--linger SEC] [--profile]
+//                   [--linger SEC] [--profile] [--mem-budget-mb MB]
 //
 // --seed fixes the driver's deterministic randomness (open-mode Poisson
 // inter-arrivals); two runs with the same seed submit the same schedule.
@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   int monitor_port = -1;  // -1 = monitoring off
   double linger_sec = 0;
   uint64_t seed = 42;
+  int64_t mem_budget_mb = 0;  // 0 = memory admission gate off
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> double {
       if (i + 1 >= argc) {
@@ -84,6 +85,8 @@ int main(int argc, char** argv) {
       linger_sec = next("--linger");
     } else if (!std::strcmp(argv[i], "--seed")) {
       seed = static_cast<uint64_t>(next("--seed"));
+    } else if (!std::strcmp(argv[i], "--mem-budget-mb")) {
+      mem_budget_mb = static_cast<int64_t>(next("--mem-budget-mb"));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -119,6 +122,13 @@ int main(int argc, char** argv) {
   sopts.admission.max_concurrent = mpl;
   sopts.admission.core_budget =
       dopts.cluster.num_nodes * dopts.cluster.cores_per_node;
+  // Constrained-memory scenario: an aggregate admission budget makes every
+  // admitted query run under a binding per-query ledger (its clamped
+  // reservation), so the storm degrades by shrink/spill instead of growing
+  // unbounded — the BENCH_wlm memory-pressure configuration.
+  if (mem_budget_mb > 0) {
+    sopts.admission.memory_budget_bytes = mem_budget_mb << 20;
+  }
   sopts.max_queue_depth = 2 * static_cast<size_t>(queries);
   QueryService service(db.cluster(), sopts);
 

@@ -10,6 +10,7 @@
 #include "exec/ops/hash_join.h"
 #include "exec/ops/profiling_iterator.h"
 #include "exec/ops/scan.h"
+#include "mem/block_pool.h"
 #include "obs/profile/assembler.h"
 #include "obs/profile/profiler.h"
 
@@ -141,6 +142,8 @@ Result<std::unique_ptr<Iterator>> Executor::BuildIteratorInner(
       spec.build_keys = op.build_keys;
       spec.probe_keys = op.probe_keys;
       spec.memory = cluster_->memory();
+      spec.pool = BlockPool::Global();
+      spec.budget = budget_.get();
       return std::unique_ptr<Iterator>(std::make_unique<HashJoinIterator>(
           std::move(build), std::move(probe), spec));
     }
@@ -155,6 +158,8 @@ Result<std::unique_ptr<Iterator>> Executor::BuildIteratorInner(
       spec.aggregates = op.aggregates;
       spec.mode = op.agg_mode;
       spec.memory = cluster_->memory();
+      spec.pool = BlockPool::Global();
+      spec.budget = budget_.get();
       return std::unique_ptr<Iterator>(
           std::make_unique<HashAggIterator>(std::move(child), spec));
     }
@@ -182,7 +187,33 @@ ExecProgress Executor::Progress() const {
     p.tuples_consumed += st->input_tuples.load(std::memory_order_relaxed);
     p.tuples_emitted += st->output_tuples.load(std::memory_order_relaxed);
   }
+  // budget_ only changes between runs, and live_segments_ is non-empty here,
+  // so the ledger is stable for the duration of this sample.
+  if (budget_ != nullptr) {
+    p.mem_charged_bytes = budget_->charged_bytes();
+    p.mem_budget_bytes = budget_->budget_bytes();
+    p.mem_spilled_bytes = budget_->spilled_bytes();
+  }
   return p;
+}
+
+bool Executor::ShrinkForMemory() {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  // Widest-first: shrinking where parallelism is highest frees the most
+  // per-worker state (private agg tables, in-flight blocks) for the least
+  // throughput loss, and segments at min parallelism refuse anyway.
+  std::vector<std::pair<int, Segment*>> by_width;
+  for (Segment* s : live_segments_) {
+    int par = s->elastic()->parallelism();
+    if (par > 1) by_width.emplace_back(par, s);
+  }
+  std::sort(by_width.begin(), by_width.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [par, seg] : by_width) {
+    (void)par;
+    if (seg->elastic()->Shrink()) return true;
+  }
+  return false;
 }
 
 void Executor::TriggerCancel(bool deadline) {
@@ -216,9 +247,21 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
     return Status::Cancelled("query cancelled before execution started");
   }
   // Free the previous query's segments (and their tracked arenas) *before*
-  // resetting the tracker, or their releases would underflow the counter.
+  // resetting the tracker, or their releases would underflow the counter —
+  // and before replacing the ledger they refund into.
   segments_.clear();
   stats_own_.clear();
+  budget_.reset();
+  if (opts.memory_budget_bytes > 0) {
+    budget_ = std::make_unique<QueryBudget>(
+        StrFormat("q%llu",
+                  static_cast<unsigned long long>(
+                      opts.query_id != 0 ? opts.query_id : 0)),
+        opts.memory_budget_bytes);
+    // First rung of the degradation ladder: a refused charge asks the
+    // dynamic scheduler's domain to give memory back before operators spill.
+    budget_->SetShrinkHook([this] { return ShrinkForMemory(); });
+  }
   // Concurrent queries share the tracker; only an exclusive owner may zero
   // it (peak memory is then per-query instead of cluster-wide).
   if (opts.exclusive_cluster) cluster_->memory()->Reset();
@@ -322,6 +365,7 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
       config.elastic.order_preserving = f.order_preserving;
       config.elastic.buffer_capacity_blocks = opts.buffer_capacity_blocks;
       config.elastic.memory = cluster_->memory();
+      config.elastic.budget = budget_.get();
       config.elastic.query_id = profile_qid;
       if (opts.mode != ExecMode::kElastic) {
         // SP/ME: parallelism fixed at compile time.
@@ -354,6 +398,11 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
           st->input_tuples.load(std::memory_order_relaxed);
       final_p.tuples_emitted +=
           st->output_tuples.load(std::memory_order_relaxed);
+    }
+    if (budget_ != nullptr) {
+      final_p.mem_charged_bytes = budget_->peak_charged_bytes();
+      final_p.mem_budget_bytes = budget_->budget_bytes();
+      final_p.mem_spilled_bytes = budget_->spilled_bytes();
     }
     latched_progress_ = final_p;
     live_segments_.clear();
@@ -489,6 +538,17 @@ Result<ResultSet> Executor::Execute(const PhysicalPlan& plan,
         return Status::Unavailable(
             StrFormat("segment %s lost its stream to infrastructure failure",
                       segment->name().c_str()));
+      }
+      // Budget rejection outranks kInternal: the ledger latches rejected()
+      // only when the whole degradation ladder (shrink, then spill) failed
+      // to fit the query, and the segment error is that refusal surfacing.
+      if (budget_ != nullptr && budget_->rejected()) {
+        return Status::ResourceExhausted(StrFormat(
+            "query exceeded its memory budget (%lld bytes charged peak of "
+            "%lld budget, %lld spilled) after shrink and spill degradation",
+            static_cast<long long>(budget_->peak_charged_bytes()),
+            static_cast<long long>(budget_->budget_bytes()),
+            static_cast<long long>(budget_->spilled_bytes())));
       }
       return Status::Internal(
           StrFormat("segment %s failed mid-stream; result discarded",

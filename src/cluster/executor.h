@@ -10,6 +10,7 @@
 #include "cluster/plan.h"
 #include "cluster/result_set.h"
 #include "cluster/segment.h"
+#include "mem/query_budget.h"
 #include "obs/report.h"
 
 namespace claims {
@@ -63,6 +64,13 @@ struct ExecOptions {
   /// /profile/<id> matches /queries. With the profiler disarmed the value is
   /// carried but every span hook stays a dead branch.
   uint64_t query_id = 0;
+  /// Binding per-query memory budget in bytes; 0 disables (no ledger is
+  /// created and allocation behaves as before). When set, every arena chunk
+  /// and buffered block of this query charges a QueryBudget; on pressure the
+  /// ladder runs shrink → spill → kResourceExhausted (docs/MEMORY.md). The
+  /// workload manager passes the admitted reservation here, making the WLM
+  /// estimate binding rather than advisory.
+  int64_t memory_budget_bytes = 0;
 };
 
 struct ExecStats {
@@ -78,6 +86,10 @@ struct ExecProgress {
   int live_segments = 0;   ///< 0 once the run finished (totals stay latched)
   int64_t tuples_consumed = 0;  ///< Σ input_tuples over the query's segments
   int64_t tuples_emitted = 0;   ///< Σ output_tuples — the progress counter
+  // Memory ledger, all 0 when the query runs without a budget.
+  int64_t mem_charged_bytes = 0;  ///< live ledger charge
+  int64_t mem_budget_bytes = 0;   ///< admitted budget
+  int64_t mem_spilled_bytes = 0;  ///< bytes evicted to the cold tier
 };
 
 /// Deploys a PhysicalPlan on the cluster and gathers the result at the
@@ -119,6 +131,11 @@ class Executor {
     return segments_;
   }
 
+  /// The query's memory ledger; nullptr when running without a budget
+  /// (ExecOptions::memory_budget_bytes == 0). Valid until the next Execute;
+  /// the workload manager reads peak/spilled bytes for release accounting.
+  QueryBudget* budget() const { return budget_.get(); }
+
  private:
   /// Per-segment profiling context threaded through BuildIterator when the
   /// causal profiler is armed; nullptr builds the bare tree (disarmed hot
@@ -148,7 +165,17 @@ class Executor {
   /// Called from Cancel() (user thread) and the deadline watchdog.
   void TriggerCancel(bool deadline);
 
+  /// First rung of the degradation ladder, installed as the ledger's shrink
+  /// hook: release memory headroom by shrinking the widest live segment's
+  /// elastic parallelism (one fewer worker = one fewer private table /
+  /// in-flight block). Never called with a buffer or arena lock held — the
+  /// chargers charge before locking (core/data_buffer.cc).
+  bool ShrinkForMemory();
+
   Cluster* cluster_;
+  /// Declared before segments_: segment teardown refunds arena charges into
+  /// the ledger, so the ledger must be destroyed after the segments.
+  std::unique_ptr<QueryBudget> budget_;
   std::vector<std::unique_ptr<Segment>> segments_;
   std::vector<std::unique_ptr<SegmentStats>> stats_own_;
   ExecStats stats_;

@@ -59,7 +59,30 @@ void DataBuffer::RemoveProducer(int producer_id, bool finished) {
   not_empty_.notify_all();
 }
 
+DataBuffer::~DataBuffer() {
+  // Cancelled streams can leave queued blocks behind; refund their budget
+  // charges so the ledger balances for rejected/cancelled queries too.
+  if (options_.budget == nullptr) return;
+  for (const BlockPtr& b : fifo_) options_.budget->Release(b->payload_bytes());
+  for (const auto& [id, q] : producers_) {
+    for (const BlockPtr& b : q.blocks) {
+      options_.budget->Release(b->payload_bytes());
+    }
+  }
+}
+
 bool DataBuffer::Insert(int producer_id, BlockPtr block) {
+  // Charge the binding ledger before taking mu_: the refused-charge path runs
+  // the executor's shrink hook, which takes live-segment and scheduler locks;
+  // under mu_ that would deadlock against TriggerCancel's lock order
+  // (live_mu_ -> elastic mu_ -> buffer mu_). See docs/CONCURRENCY.md.
+  const int64_t charge =
+      options_.budget != nullptr ? block->payload_bytes() : 0;
+  if (charge > 0 && !options_.budget->Charge(charge)) {
+    options_.budget->MarkRejected();
+    resource_exhausted_.store(true, std::memory_order_release);
+    return false;
+  }
   std::unique_lock<std::mutex> lock(mu_);
   if (options_.order_preserving) {
     ProducerQueue& q = producers_.at(producer_id);
@@ -76,7 +99,10 @@ bool DataBuffer::Insert(int producer_id, BlockPtr block) {
       });
       EndBlockedOutputSpan(token, start_ns);
     }
-    if (cancelled_) return false;
+    if (cancelled_) {
+      if (charge > 0) options_.budget->Release(charge);
+      return false;
+    }
     q.watermark = std::max(q.watermark, block->sequence_number());
     if (options_.memory != nullptr) options_.memory->Allocate(block->payload_bytes());
     q.blocks.push_back(std::move(block));
@@ -89,7 +115,10 @@ bool DataBuffer::Insert(int producer_id, BlockPtr block) {
       });
       EndBlockedOutputSpan(token, start_ns);
     }
-    if (cancelled_) return false;
+    if (cancelled_) {
+      if (charge > 0) options_.budget->Release(charge);
+      return false;
+    }
     if (options_.memory != nullptr) options_.memory->Allocate(block->payload_bytes());
     fifo_.push_back(std::move(block));
   }
@@ -163,6 +192,7 @@ NextResult DataBuffer::Pop(BlockPtr* out) {
   }
   --total_blocks_;
   if (options_.memory != nullptr) options_.memory->Release((*out)->payload_bytes());
+  if (options_.budget != nullptr) options_.budget->Release((*out)->payload_bytes());
   // notify_all, not notify_one: a pop can simultaneously free a capacity slot
   // for one producer and enable the empty-queue bypass of another; waking the
   // wrong single producer loses the wakeup and deadlocks the merge.

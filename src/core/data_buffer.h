@@ -1,6 +1,7 @@
 #ifndef CLAIMS_CORE_DATA_BUFFER_H_
 #define CLAIMS_CORE_DATA_BUFFER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -10,6 +11,7 @@
 #include "common/macros.h"
 #include "common/memory_tracker.h"
 #include "core/iterator.h"
+#include "mem/query_budget.h"
 #include "storage/block.h"
 
 namespace claims {
@@ -33,6 +35,12 @@ class DataBuffer {
     bool order_preserving = false;
     /// Optional accounting sink for Table 4 memory measurements.
     MemoryTracker* memory = nullptr;
+    /// Owning query's binding memory ledger. When set, Insert charges the
+    /// block's payload bytes *before* taking the buffer lock (the budget's
+    /// shrink hook reaches into scheduler locks; calling it under mu_ would
+    /// cycle with the cancel path — see docs/CONCURRENCY.md) and a refused
+    /// charge fails the Insert with resource_exhausted() latched.
+    QueryBudget* budget = nullptr;
     /// Profiler identity of the segment this buffer belongs to. When the
     /// global QueryProfiler is armed, an Insert that actually blocks on
     /// capacity registers an open blocked-output span under this identity —
@@ -49,6 +57,7 @@ class DataBuffer {
   };
 
   explicit DataBuffer(Options options) : options_(options) {}
+  ~DataBuffer();
   CLAIMS_DISALLOW_COPY_AND_ASSIGN(DataBuffer);
 
   /// Registers a producer before its worker thread starts (or on expansion).
@@ -65,8 +74,17 @@ class DataBuffer {
   void RemoveProducer(int producer_id, bool finished = true);
 
   /// Inserts a block, blocking while the buffer is at capacity. Returns false
-  /// if the buffer was cancelled while waiting.
+  /// if the buffer was cancelled while waiting, or — with a budget attached —
+  /// when the query's memory ledger refused the block even after the shrink
+  /// hook ran (resource_exhausted() distinguishes the two).
   bool Insert(int producer_id, BlockPtr block);
+
+  /// True once an Insert failed on a refused budget charge. The elastic
+  /// iterator's worker turns this into a latched segment error instead of
+  /// treating the false return as a routine cancellation.
+  bool resource_exhausted() const {
+    return resource_exhausted_.load(std::memory_order_acquire);
+  }
 
   /// Order-preserving mode only: promises that `producer_id` will never
   /// insert a block with sequence number < `seq` again, unblocking the merge
@@ -110,6 +128,7 @@ class DataBuffer {
   bool ever_had_producer_ = false;  ///< any AddProducer happened
   bool any_finished_ = false;       ///< a producer left via end-of-file
   bool cancelled_ = false;
+  std::atomic<bool> resource_exhausted_{false};
 };
 
 }  // namespace claims

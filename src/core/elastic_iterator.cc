@@ -14,6 +14,7 @@ DataBuffer::Options BufferOptions(const ElasticIterator::Options& options) {
   buf.capacity_blocks = options.buffer_capacity_blocks;
   buf.order_preserving = options.order_preserving;
   buf.memory = options.memory;
+  buf.budget = options.budget;
   buf.profile.query_id = options.query_id;
   buf.profile.label = options.trace_label;
   buf.profile.node = options.trace_pid;
@@ -160,6 +161,11 @@ void ElasticIterator::WorkerMain(Worker* worker) {
             tc->Counter(clock_->NowNanos(), options_.trace_pid,
                         "buffer:" + options_.trace_label, depth);
           }
+        } else if (buffer_.resource_exhausted()) {
+          // The query's memory ledger refused the block even after the
+          // shrink hook ran: a real budget breach, not a routine cancel.
+          LatchError();
+          break;
         } else {
           break;  // buffer cancelled — segment closing
         }

@@ -48,6 +48,10 @@ class ElasticIterator : public Iterator {
     SegmentStats* stats = nullptr;
     /// Memory accounting for the buffer (Table 4).
     MemoryTracker* memory = nullptr;
+    /// Owning query's binding memory ledger (passed through to the joint
+    /// buffer); a refused block charge latches a segment error that the
+    /// executor maps to kResourceExhausted.
+    QueryBudget* budget = nullptr;
     Clock* clock = nullptr;  ///< defaults to SteadyClock
     /// Simulated cores-per-socket used to derive socket ids from core ids for
     /// the context-reuse pool (paper hardware: 12 cores / socket).

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "mem/spill.h"
+
 namespace claims {
 
 namespace {
@@ -16,10 +18,22 @@ size_t RoundUpPow2(size_t n) {
 
 // --- Arena ---------------------------------------------------------------------
 
-Arena::~Arena() {
+Arena::~Arena() { ReleaseChunksLocked(); }
+
+void Arena::Reset() {
+  std::lock_guard<std::mutex> lock(refill_mu_);
+  current_.store(nullptr, std::memory_order_release);
+  ReleaseChunksLocked();
+  chunks_.clear();
+  allocated_.store(0, std::memory_order_relaxed);
+}
+
+void Arena::ReleaseChunksLocked() {
+  // Pool-backed chunks recycle into the BlockPool (arena.recycled_bytes)
+  // instead of churning through the global allocator once per query.
+  const bool recycled = source_.pool != nullptr;
   for (const auto& c : chunks_) {
-    if (memory_ != nullptr) memory_->Release(static_cast<int64_t>(c->size));
-    delete[] c->data;
+    source_.ReleaseChunk(c->handle, recycled);
   }
 }
 
@@ -45,16 +59,21 @@ char* Arena::Allocate(size_t bytes) {
       continue;  // raced a refill — retry on the new region
     }
     size_t size = std::max(bytes, chunk_bytes_);
-    char* data = new char[size];
+    PoolAlloc handle = source_.AllocateChunk(size);
+    if (!handle) {
+      // Memory source refused (budget breach / pool pressure). The caller
+      // turns this into a fallible insert; the arena stays usable — a later
+      // attempt after shrink/spill may succeed.
+      return nullptr;
+    }
     auto fresh = std::make_unique<Chunk>();
-    fresh->data = data;
-    fresh->size = size;
-    fresh->limit = data + size;
-    fresh->cursor.store(data, std::memory_order_relaxed);
-    if (memory_ != nullptr) memory_->Allocate(static_cast<int64_t>(size));
-    if (size > chunk_bytes_) {
+    fresh->handle = handle;
+    fresh->limit = handle.data + handle.bytes;
+    fresh->cursor.store(handle.data, std::memory_order_relaxed);
+    if (bytes > chunk_bytes_) {
       // Dedicated chunk: hand it out directly, leave the bump region alone.
-      fresh->cursor.store(data + size, std::memory_order_relaxed);
+      fresh->cursor.store(fresh->limit, std::memory_order_relaxed);
+      char* data = handle.data;
       chunks_.push_back(std::move(fresh));
       allocated_.fetch_add(static_cast<int64_t>(bytes),
                            std::memory_order_relaxed);
@@ -113,19 +132,26 @@ bool KeyComparator::Equal(const char* left_row, const char* right_row) const {
 JoinHashTable::JoinHashTable(const Schema* build_schema,
                              std::vector<int> build_keys, size_t num_buckets,
                              MemoryTracker* memory)
+    : JoinHashTable(build_schema, std::move(build_keys), num_buckets,
+                    MemSource{nullptr, memory, nullptr}) {}
+
+JoinHashTable::JoinHashTable(const Schema* build_schema,
+                             std::vector<int> build_keys, size_t num_buckets,
+                             MemSource source)
     : build_schema_(build_schema),
       build_keys_(std::move(build_keys)),
       buckets_(RoundUpPow2(num_buckets == 0 ? 1 : num_buckets)),
       bucket_mask_(buckets_.size() - 1),
-      arena_(1 << 18, memory) {}
+      arena_(1 << 18, source) {}
 
-void JoinHashTable::Insert(const char* row) {
-  Insert(row, HashRowKeys(*build_schema_, row, build_keys_));
+bool JoinHashTable::Insert(const char* row) {
+  return Insert(row, HashRowKeys(*build_schema_, row, build_keys_));
 }
 
-void JoinHashTable::Insert(const char* row, uint64_t h) {
-  auto* entry = reinterpret_cast<Entry*>(
-      arena_.Allocate(sizeof(Entry) + build_schema_->row_size()));
+bool JoinHashTable::Insert(const char* row, uint64_t h) {
+  char* storage = arena_.Allocate(sizeof(Entry) + build_schema_->row_size());
+  if (storage == nullptr) return false;
+  auto* entry = reinterpret_cast<Entry*>(storage);
   entry->hash = h;
   std::memcpy(entry->row(), row, build_schema_->row_size());
   std::atomic<Entry*>& head = buckets_[h & bucket_mask_];
@@ -136,6 +162,7 @@ void JoinHashTable::Insert(const char* row, uint64_t h) {
                                        std::memory_order_release,
                                        std::memory_order_relaxed));
   size_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 // --- AggHashTable --------------------------------------------------------------
@@ -153,6 +180,11 @@ const char* AggFnName(AggFn fn) {
 
 AggHashTable::AggHashTable(Schema group_schema, int num_aggs,
                            size_t num_buckets, MemoryTracker* memory)
+    : AggHashTable(std::move(group_schema), num_aggs, num_buckets,
+                   MemSource{nullptr, memory, nullptr}) {}
+
+AggHashTable::AggHashTable(Schema group_schema, int num_aggs,
+                           size_t num_buckets, MemSource source)
     : group_schema_(std::move(group_schema)),
       all_group_cols_([this] {
         std::vector<int> cols(
@@ -166,7 +198,7 @@ AggHashTable::AggHashTable(Schema group_schema, int num_aggs,
       num_aggs_(num_aggs),
       buckets_(RoundUpPow2(num_buckets == 0 ? 1 : num_buckets)),
       bucket_mask_(buckets_.size() - 1),
-      arena_(1 << 18, memory) {}
+      arena_(1 << 18, source) {}
 
 AggHashTable::Entry* AggHashTable::FindOrCreate(const char* group_row,
                                                 uint64_t hash) {
@@ -190,9 +222,16 @@ AggHashTable::Entry* AggHashTable::FindOrCreate(const char* group_row,
       return e;
     }
   }
-  auto* entry = reinterpret_cast<Entry*>(
+  char* storage =
       arena_.Allocate(sizeof(Entry) + Entry::AlignUp(group_row_size_) +
-                      sizeof(AggState) * static_cast<size_t>(num_aggs_)));
+                      sizeof(AggState) * static_cast<size_t>(num_aggs_));
+  if (storage == nullptr) {
+    // Release the bucket lock before failing or every other thread hashing
+    // into this bucket would spin forever.
+    bucket.insert_lock.clear(std::memory_order_release);
+    return nullptr;
+  }
+  auto* entry = reinterpret_cast<Entry*>(storage);
   new (entry) Entry();
   entry->hash = hash;
   std::memcpy(entry->row(group_row_size_), group_row, group_row_size_);
@@ -205,23 +244,25 @@ AggHashTable::Entry* AggHashTable::FindOrCreate(const char* group_row,
   return entry;
 }
 
-void AggHashTable::Update(const char* group_row, const std::vector<AggFn>& fns,
+bool AggHashTable::Update(const char* group_row, const std::vector<AggFn>& fns,
                           const double* values, const int64_t* count_weights) {
-  Update(group_row, HashRowKeys(group_schema_, group_row, all_group_cols_),
-         fns, values, count_weights);
+  return Update(group_row,
+                HashRowKeys(group_schema_, group_row, all_group_cols_), fns,
+                values, count_weights);
 }
 
-void AggHashTable::Update(const char* group_row, uint64_t hash,
+bool AggHashTable::Update(const char* group_row, uint64_t hash,
                           const std::vector<AggFn>& fns, const double* values,
                           const int64_t* count_weights, bool exclusive) {
   Entry* entry = FindOrCreate(group_row, hash);
+  if (entry == nullptr) return false;
   AggState* states = entry->states(group_row_size_, num_aggs_);
   if (exclusive) {
     // Worker-private table: the caller is the only thread folding into it.
     for (int i = 0; i < num_aggs_; ++i) {
       FoldAgg(fns[i], values[i], count_weights[i], &states[i]);
     }
-    return;
+    return true;
   }
   // Per-entry spinlock: the contention point of shared aggregation.
   while (entry->lock.test_and_set(std::memory_order_acquire)) {
@@ -230,16 +271,22 @@ void AggHashTable::Update(const char* group_row, uint64_t hash,
     FoldAgg(fns[i], values[i], count_weights[i], &states[i]);
   }
   entry->lock.clear(std::memory_order_release);
+  return true;
 }
 
-void AggHashTable::UpdateBatch(const char* group_rows, int32_t stride,
+bool AggHashTable::UpdateBatch(const char* group_rows, int32_t stride,
                                const uint64_t* hashes, int32_t n,
                                const std::vector<AggFn>& fns,
-                               const double* const* arg_cols, bool exclusive) {
+                               const double* const* arg_cols, bool exclusive,
+                               int32_t* folded) {
   const int num_aggs = num_aggs_;
   for (int32_t i = 0; i < n; ++i) {
     const char* row = group_rows + static_cast<size_t>(i) * stride;
     Entry* entry = FindOrCreate(row, hashes[i]);
+    if (entry == nullptr) {
+      if (folded != nullptr) *folded = i;
+      return false;
+    }
     AggState* states = entry->states(group_row_size_, num_aggs);
     if (!exclusive) {
       while (entry->lock.test_and_set(std::memory_order_acquire)) {
@@ -251,6 +298,72 @@ void AggHashTable::UpdateBatch(const char* group_rows, int32_t stride,
     }
     if (!exclusive) entry->lock.clear(std::memory_order_release);
   }
+  if (folded != nullptr) *folded = n;
+  return true;
+}
+
+Status AggHashTable::SerializeTo(SpillRun* run) const {
+  const int32_t header[2] = {group_row_size_, num_aggs_};
+  Status s = run->Append(header, sizeof(header));
+  if (!s.ok()) return s;
+  const int64_t count = size();
+  s = run->Append(&count, sizeof(count));
+  if (!s.ok()) return s;
+  Status append_status;
+  ForEach([&](const char* group_row, const AggState* states) {
+    if (!append_status.ok()) return;
+    append_status = run->Append(group_row, group_row_size_);
+    if (!append_status.ok()) return;
+    append_status =
+        run->Append(states, sizeof(AggState) * static_cast<size_t>(num_aggs_));
+  });
+  return append_status;
+}
+
+Status AggHashTable::MergeSerialized(const char* data, size_t bytes,
+                                     const std::vector<AggFn>& fns,
+                                     AggHashTable* into) {
+  if (bytes < sizeof(int32_t) * 2 + sizeof(int64_t)) {
+    return Status::Internal("spill run truncated header");
+  }
+  int32_t group_row_size = 0;
+  int32_t num_aggs = 0;
+  int64_t count = 0;
+  std::memcpy(&group_row_size, data, sizeof(group_row_size));
+  std::memcpy(&num_aggs, data + sizeof(int32_t), sizeof(num_aggs));
+  std::memcpy(&count, data + sizeof(int32_t) * 2, sizeof(count));
+  if (group_row_size != into->group_row_size_ || num_aggs != into->num_aggs_ ||
+      num_aggs > 16) {
+    return Status::Internal("spill run layout mismatch");
+  }
+  const size_t entry_bytes =
+      static_cast<size_t>(group_row_size) +
+      sizeof(AggState) * static_cast<size_t>(num_aggs);
+  const char* p = data + sizeof(int32_t) * 2 + sizeof(int64_t);
+  const char* end = data + bytes;
+  double values[16];
+  int64_t weights[16];
+  for (int64_t i = 0; i < count; ++i) {
+    if (p + entry_bytes > end) {
+      return Status::Internal("spill run truncated entry");
+    }
+    const char* group_row = p;
+    // Identical fold rules to a live MergeInto: partial sums / running
+    // min-max as values, partial counts as weights (count == 0 marks MIN/MAX
+    // unset, so merging preserves first-fold semantics). memcpy because the
+    // packed run does not align AggStates after an odd-sized group row.
+    for (int a = 0; a < num_aggs; ++a) {
+      AggState st;
+      std::memcpy(&st, p + group_row_size + sizeof(AggState) * a, sizeof(st));
+      values[a] = st.sum;
+      weights[a] = st.count;
+    }
+    if (!into->Update(group_row, fns, values, weights)) {
+      return Status::ResourceExhausted("agg table over budget during restore");
+    }
+    p += entry_bytes;
+  }
+  return Status::OK();
 }
 
 }  // namespace claims

@@ -9,46 +9,64 @@
 
 #include "common/macros.h"
 #include "common/memory_tracker.h"
+#include "common/status.h"
+#include "mem/mem_source.h"
 #include "storage/partition.h"
 #include "storage/schema.h"
 #include "storage/value.h"
 
 namespace claims {
 
+class SpillRun;
+
 /// Lock-free bump allocator: entries for the shared hash tables are carved
 /// out of large chunks; allocation is a CAS on the chunk offset, chunk
-/// refills take a mutex. Nothing is freed until the arena dies — hash-table
-/// entries live exactly as long as the iterator state (paper §3: state is
-/// shared, never migrated).
+/// refills take a mutex. Nothing is freed until Reset() or destruction —
+/// hash-table entries live exactly as long as the iterator state (paper §3:
+/// state is shared, never migrated).
+///
+/// Chunks come from the MemSource: recycled through the BlockPool and
+/// charged against the owning query's budget when one is attached. A refused
+/// chunk makes Allocate return nullptr — callers surface that as a fallible
+/// insert so the operator can run the degradation ladder (docs/MEMORY.md).
 class Arena {
  public:
   explicit Arena(size_t chunk_bytes = 1 << 20, MemoryTracker* memory = nullptr)
-      : chunk_bytes_(chunk_bytes), memory_(memory) {}
+      : Arena(chunk_bytes, MemSource{nullptr, memory, nullptr}) {}
+  Arena(size_t chunk_bytes, MemSource source)
+      : chunk_bytes_(chunk_bytes), source_(source) {}
   ~Arena();
   CLAIMS_DISALLOW_COPY_AND_ASSIGN(Arena);
 
-  /// Thread-safe; 8-byte aligned.
+  /// Thread-safe; 8-byte aligned. nullptr when the memory source refuses
+  /// (query over budget / pool pressure cap) — never throws, never blocks.
   char* Allocate(size_t bytes);
+
+  /// Returns every chunk to the memory source (pool recycling instead of
+  /// global-allocator churn) and rewinds to empty. NOT thread-safe: caller
+  /// must be the exclusive owner with no outstanding pointers into the arena.
+  void Reset();
 
   int64_t allocated_bytes() const {
     return allocated_.load(std::memory_order_relaxed);
   }
 
  private:
-  /// One bump region. `data`/`limit` are immutable after construction — only
-  /// the cursor moves — so the fast path never pairs a cursor from one chunk
-  /// with the limit of another (the torn-read bug a separate atomic limit
-  /// had: with unrelated heap addresses, that comparison could hand out
+  /// One bump region. `handle.data`/`limit` are immutable after construction
+  /// — only the cursor moves — so the fast path never pairs a cursor from one
+  /// chunk with the limit of another (the torn-read bug a separate atomic
+  /// limit had: with unrelated heap addresses, that comparison could hand out
   /// memory past the real chunk end).
   struct Chunk {
-    char* data;
-    size_t size;
-    char* limit;                ///< data + size
+    PoolAlloc handle;           ///< backing storage (pool or direct new[])
+    char* limit;                ///< handle.data + handle.bytes
     std::atomic<char*> cursor;  ///< next free byte
   };
 
+  void ReleaseChunksLocked();
+
   size_t chunk_bytes_;
-  MemoryTracker* memory_;
+  MemSource source_;
   std::mutex refill_mu_;
   std::vector<std::unique_ptr<Chunk>> chunks_;
   /// Current bump region; release-published by the refiller, acquire-loaded
@@ -82,14 +100,17 @@ class JoinHashTable {
  public:
   JoinHashTable(const Schema* build_schema, std::vector<int> build_keys,
                 size_t num_buckets, MemoryTracker* memory = nullptr);
+  JoinHashTable(const Schema* build_schema, std::vector<int> build_keys,
+                size_t num_buckets, MemSource source);
   CLAIMS_DISALLOW_COPY_AND_ASSIGN(JoinHashTable);
 
-  /// Copies `row` into the arena and links it; thread-safe.
-  void Insert(const char* row);
+  /// Copies `row` into the arena and links it; thread-safe. false when the
+  /// arena's memory source refused the bytes (query over budget).
+  bool Insert(const char* row);
 
   /// Same, with the key hash precomputed (batch build path: the whole block
   /// is hashed column-at-a-time first). Must be the HashRowKeys hash.
-  void Insert(const char* row, uint64_t hash);
+  bool Insert(const char* row, uint64_t hash);
 
   /// Invokes `fn(const char* build_row)` for every build row whose key equals
   /// the probe row's key.
@@ -154,6 +175,8 @@ class AggHashTable {
   /// group-by columns); `num_aggs` accumulator pairs (sum, count) follow.
   AggHashTable(Schema group_schema, int num_aggs, size_t num_buckets,
                MemoryTracker* memory = nullptr);
+  AggHashTable(Schema group_schema, int num_aggs, size_t num_buckets,
+               MemSource source);
   CLAIMS_DISALLOW_COPY_AND_ASSIGN(AggHashTable);
 
   struct AggState {
@@ -164,8 +187,9 @@ class AggHashTable {
   /// Finds or creates the group of `group_row` and applies the update under
   /// the entry lock: for each aggregate i, fold `values[i]` using `fns[i]`.
   /// COUNT folds +1 per call scaled by `count_weight` (used when merging
-  /// partial states).
-  void Update(const char* group_row, const std::vector<AggFn>& fns,
+  /// partial states). false when a new group could not be allocated (query
+  /// over budget) — no partial fold happens.
+  bool Update(const char* group_row, const std::vector<AggFn>& fns,
               const double* values, const int64_t* count_weights);
 
   /// Same, with the group-key hash precomputed (batch fold path hashes the
@@ -173,7 +197,7 @@ class AggHashTable {
   /// over all group columns. `exclusive` skips the per-entry spinlock; pass
   /// true only when the caller is the sole thread touching this table (a
   /// worker-private table of independent/hybrid aggregation).
-  void Update(const char* group_row, uint64_t hash,
+  bool Update(const char* group_row, uint64_t hash,
               const std::vector<AggFn>& fns, const double* values,
               const int64_t* count_weights, bool exclusive = false);
 
@@ -181,11 +205,14 @@ class AggHashTable {
   /// (`group_rows + i * stride`) with precomputed hashes. `arg_cols[a]` is a
   /// per-row value vector, or null to fold 0.0 (COUNT(*)); every fold carries
   /// count weight 1. Equivalent to n Update calls, with the per-row call and
-  /// argument-marshalling overhead hoisted out of the loop.
-  void UpdateBatch(const char* group_rows, int32_t stride,
+  /// argument-marshalling overhead hoisted out of the loop. Stops and returns
+  /// false at the first row whose group cannot be allocated; rows before it
+  /// are folded (re-folding the block after a spill would double-count —
+  /// callers spill-and-retry with `resume` = rows already folded).
+  bool UpdateBatch(const char* group_rows, int32_t stride,
                    const uint64_t* hashes, int32_t n,
-                   const std::vector<AggFn>& fns,
-                   const double* const* arg_cols, bool exclusive);
+                   const std::vector<AggFn>& fns, const double* const* arg_cols,
+                   bool exclusive, int32_t* folded = nullptr);
 
   /// Iterates all groups: fn(const char* group_row, const AggState* states).
   template <typename Fn>
@@ -197,6 +224,21 @@ class AggHashTable {
       }
     }
   }
+
+  /// Serializes every group into a cold-tier run:
+  ///   [int32 group_row_size][int32 num_aggs][int64 group_count]
+  ///   then per group: group_row bytes + AggState x num_aggs.
+  /// Caller guarantees no concurrent Update (spill happens on the owning
+  /// worker's private table, or under the snapshot lock).
+  Status SerializeTo(SpillRun* run) const;
+
+  /// Merges a serialized run (SpillRun::ReadAll bytes) into `into` with the
+  /// same fold rules as a live merge: values = partial sums / running
+  /// min-max, weights = partial counts. kResourceExhausted when `into`
+  /// cannot allocate a group; kInternal on a malformed run.
+  static Status MergeSerialized(const char* data, size_t bytes,
+                                const std::vector<AggFn>& fns,
+                                AggHashTable* into);
 
   int64_t size() const { return size_.load(std::memory_order_relaxed); }
   int64_t bytes() const { return arena_.allocated_bytes(); }
@@ -233,6 +275,8 @@ class AggHashTable {
     std::atomic_flag insert_lock = ATOMIC_FLAG_INIT;
   };
 
+  /// nullptr when the arena refused the entry (over budget); the bucket
+  /// insert lock is released before returning, so other threads proceed.
   Entry* FindOrCreate(const char* group_row, uint64_t hash);
 
   Schema group_schema_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "mem/scratch.h"
+
 namespace claims {
 
 DataType AggOutputType(AggFn fn, DataType arg_type) {
@@ -46,7 +48,8 @@ HashAggIterator::HashAggIterator(std::unique_ptr<Iterator> child, Spec spec)
         return Schema(std::move(cols));
       }()),
       global_(group_schema_, static_cast<int>(spec_.aggregates.size()),
-              spec_.num_buckets, spec_.memory),
+              spec_.num_buckets,
+              MemSource{spec_.pool, spec_.memory, spec_.budget}),
       context_pool_(ContextMode::kCore) {
   fns_.reserve(spec_.aggregates.size());
   for (const Aggregate& a : spec_.aggregates) fns_.push_back(a.fn);
@@ -67,7 +70,7 @@ HashAggIterator::HashAggIterator(std::unique_ptr<Iterator> child, Spec spec)
   }
 }
 
-void HashAggIterator::FoldRow(const char* row, AggHashTable* table,
+bool HashAggIterator::FoldRow(const char* row, AggHashTable* table,
                               char* group_scratch) {
   const Schema& in = *spec_.input_schema;
   for (size_t g = 0; g < spec_.group_exprs.size(); ++g) {
@@ -81,43 +84,105 @@ void HashAggIterator::FoldRow(const char* row, AggHashTable* table,
     values[a] = agg.arg != nullptr ? agg.arg->Eval(in, row).ToDouble() : 0.0;
     weights[a] = 1;
   }
-  table->Update(group_scratch, fns_, values, weights);
+  return table->Update(group_scratch, fns_, values, weights);
 }
 
-void HashAggIterator::FoldBlock(const Block& block, AggHashTable* table,
-                                bool exclusive) {
+bool HashAggIterator::FoldBlock(const Block& block, AggHashTable* table,
+                                bool exclusive, int32_t start,
+                                int32_t* folded) {
+  *folded = 0;
   const int32_t n = block.num_rows();
-  if (n == 0) return;
+  if (start >= n) return true;
   const int32_t group_size = group_schema_.row_size();
 
-  // (1) Materialize all group rows of the block into a scratch row buffer.
-  std::vector<char> group_rows(
-      std::max<size_t>(1, static_cast<size_t>(group_size) * n));
+  // (1) Materialize all group rows of the block into pooled scratch. A spill
+  // retry re-materializes the whole block — wasteful, but spills are the
+  // rare path and it keeps the scratch lifetime one call deep.
+  Scratch<char> group_rows(
+      spec_.pool, std::max<size_t>(1, static_cast<size_t>(group_size) * n));
   for (size_t g = 0; g < group_computes_.size(); ++g) {
     group_computes_[g]->Materialize(block, nullptr, n, group_schema_,
                                     static_cast<int>(g), group_rows.data());
   }
 
   // (2) Hash the materialized group rows column-at-a-time.
-  std::vector<uint64_t> hashes(n);
+  Scratch<uint64_t> hashes(spec_.pool, static_cast<size_t>(n));
   HashRowKeysBatch(group_schema_, group_rows.data(), group_size,
                    all_group_cols_, nullptr, n, hashes.data());
 
   // (3) Evaluate every aggregate argument as a value vector.
-  std::vector<std::vector<double>> arg_values(agg_computes_.size());
+  std::vector<std::unique_ptr<Scratch<double>>> arg_values(
+      agg_computes_.size());
   for (size_t a = 0; a < agg_computes_.size(); ++a) {
     if (agg_computes_[a] == nullptr) continue;  // COUNT(*)
-    arg_values[a].resize(n);
-    agg_computes_[a]->EvalDouble(block, nullptr, n, arg_values[a].data());
+    arg_values[a] =
+        std::make_unique<Scratch<double>>(spec_.pool, static_cast<size_t>(n));
+    agg_computes_[a]->EvalDouble(block, nullptr, n, arg_values[a]->data());
   }
 
-  // (4) Grouped update with the precomputed hashes, one batched call.
+  // (4) Grouped update with the precomputed hashes, one batched call over
+  // the resumable sub-range.
   const double* arg_cols[16];
   for (size_t a = 0; a < fns_.size(); ++a) {
-    arg_cols[a] = agg_computes_[a] != nullptr ? arg_values[a].data() : nullptr;
+    arg_cols[a] =
+        agg_computes_[a] != nullptr ? arg_values[a]->data() + start : nullptr;
   }
-  table->UpdateBatch(group_rows.data(), group_size, hashes.data(), n, fns_,
-                     arg_cols, exclusive);
+  return table->UpdateBatch(
+      group_rows.data() + static_cast<size_t>(start) * group_size, group_size,
+      hashes.data() + start, n - start, fns_, arg_cols, exclusive, folded);
+}
+
+bool HashAggIterator::SpillPrivate(PrivateAggContext* priv) {
+  std::unique_ptr<SpillRun> run = SpillRun::Create();
+  if (run == nullptr) return false;
+  if (!priv->table->SerializeTo(run.get()).ok()) return false;
+  if (!run->Finish().ok()) return false;
+  const int64_t run_bytes = run->bytes();
+  {
+    std::lock_guard<std::mutex> lock(spill_mu_);
+    spill_runs_.push_back(std::move(run));
+  }
+  if (spec_.budget != nullptr) spec_.budget->AddSpilledBytes(run_bytes);
+  // Retiring the old table refunds its arena's ledger charges — that refund
+  // is the headroom the fresh table folds into.
+  priv->table = std::make_unique<AggHashTable>(
+      group_schema_, static_cast<int>(fns_.size()), spec_.num_buckets,
+      MemSource{spec_.pool, spec_.memory, spec_.budget});
+  return true;
+}
+
+bool HashAggIterator::ConsumeBlock(const Block& block, PrivateAggContext* priv,
+                                   AggHashTable** sink, bool privately,
+                                   char* group_scratch) {
+  if (batch_) {
+    int32_t start = 0;
+    const int32_t n = block.num_rows();
+    bool spilled_without_progress = false;
+    while (start < n) {
+      int32_t folded = 0;
+      if (FoldBlock(block, *sink, privately, start, &folded)) return true;
+      // Ledger refused a group mid-block: rows [start, start+folded) landed.
+      if (!privately) return false;  // the shared table cannot spill
+      // Progress guard: a fresh table that cannot hold even one row means
+      // the budget is below a single arena chunk — spilling again would
+      // loop forever, so give up and let the executor reject the query.
+      if (folded == 0 && spilled_without_progress) return false;
+      spilled_without_progress = folded == 0;
+      start += folded;
+      if (!SpillPrivate(priv)) return false;
+      *sink = priv->table.get();
+    }
+    return true;
+  }
+  for (int32_t i = 0; i < block.num_rows(); ++i) {
+    if (FoldRow(block.RowAt(i), *sink, group_scratch)) continue;
+    if (!privately) return false;
+    if (!SpillPrivate(priv)) return false;
+    *sink = priv->table.get();
+    // A fresh empty table refusing the very first row is terminal.
+    if (!FoldRow(block.RowAt(i), *sink, group_scratch)) return false;
+  }
+  return true;
 }
 
 void HashAggIterator::ObserveVisitRate(const Block& block) {
@@ -127,16 +192,19 @@ void HashAggIterator::ObserveVisitRate(const Block& block) {
   rate_rows_ += block.num_rows();
 }
 
-void HashAggIterator::MergeInto(const AggHashTable& src) {
+bool HashAggIterator::MergeInto(const AggHashTable& src) {
+  bool ok = true;
   src.ForEach([&](const char* group_row, const AggHashTable::AggState* states) {
+    if (!ok) return;  // ForEach cannot early-stop; skip the remainder
     double values[16];
     int64_t weights[16];
     for (size_t a = 0; a < fns_.size(); ++a) {
       values[a] = states[a].sum;
       weights[a] = states[a].count;
     }
-    global_.Update(group_row, fns_, values, weights);
+    if (!global_.Update(group_row, fns_, values, weights)) ok = false;
   });
+  return ok;
 }
 
 NextResult HashAggIterator::Open(WorkerContext* ctx) {
@@ -159,10 +227,20 @@ NextResult HashAggIterator::Open(WorkerContext* ctx) {
       priv = std::make_unique<PrivateAggContext>();
       priv->table = std::make_unique<AggHashTable>(
           group_schema_, static_cast<int>(fns_.size()), spec_.num_buckets,
-          spec_.memory);
+          MemSource{spec_.pool, spec_.memory, spec_.budget});
     }
   }
   AggHashTable* sink = privately ? priv->table.get() : &global_;
+
+  // Degradation exhausted (shrink already ran via the ledger's hook, the
+  // spill rung could not absorb the fold): latch rejected and fail the
+  // segment. The private table is dropped, not parked — its destructor
+  // refunds the ledger, and the query is past saving anyway.
+  auto fail_build = [&] {
+    if (spec_.budget != nullptr) spec_.budget->MarkRejected();
+    if (!already_open) build_barrier_.Deregister();
+    return NextResult::kError;
+  };
 
   std::vector<char> group_scratch(std::max(1, group_schema_.row_size()));
   while (true) {
@@ -174,12 +252,9 @@ NextResult HashAggIterator::Open(WorkerContext* ctx) {
       if (r == NextResult::kSuccess) {
         // Finish the in-flight block before unwinding — no tuple is lost.
         ObserveVisitRate(*block);
-        if (batch_) {
-          FoldBlock(*block, sink, privately);
-        } else {
-          for (int i = 0; i < block->num_rows(); ++i) {
-            FoldRow(block->RowAt(i), sink, group_scratch.data());
-          }
+        if (!ConsumeBlock(*block, priv.get(), &sink, privately,
+                          group_scratch.data())) {
+          return fail_build();
         }
       }
       if (privately) {
@@ -192,25 +267,22 @@ NextResult HashAggIterator::Open(WorkerContext* ctx) {
                                      : NextResult::kTerminated;
     }
     ObserveVisitRate(*block);
-    if (batch_) {
-      FoldBlock(*block, sink, privately);
-    } else {
-      for (int i = 0; i < block->num_rows(); ++i) {
-        FoldRow(block->RowAt(i), sink, group_scratch.data());
-      }
+    if (!ConsumeBlock(*block, priv.get(), &sink, privately,
+                      group_scratch.data())) {
+      return fail_build();
     }
     if (spec_.mode == Mode::kHybrid &&
         sink->size() > static_cast<int64_t>(spec_.hybrid_max_groups)) {
-      MergeInto(*sink);
+      if (!MergeInto(*sink)) return fail_build();
       priv->table = std::make_unique<AggHashTable>(
           group_schema_, static_cast<int>(fns_.size()), spec_.num_buckets,
-          spec_.memory);
+          MemSource{spec_.pool, spec_.memory, spec_.budget});
       sink = priv->table.get();
     }
   }
 
   if (privately) {
-    MergeInto(*priv->table);
+    if (!MergeInto(*priv->table)) return fail_build();
   }
   build_barrier_.Arrive();
   // Parked partial tables (terminated workers') are folded in by the
@@ -222,6 +294,7 @@ NextResult HashAggIterator::Open(WorkerContext* ctx) {
 void HashAggIterator::SnapshotGroups() {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   if (snapshot_ready_.load(std::memory_order_relaxed)) return;
+  if (restore_failed_.load(std::memory_order_relaxed)) return;
   // Fold every parked partial table first. All parks happened before the
   // build barrier opened (a parking worker releases its table before it
   // deregisters), and no emitter reads global_ before snapshot_ready_, so
@@ -229,7 +302,34 @@ void HashAggIterator::SnapshotGroups() {
   // one place it cannot race the emit path.
   for (auto& parked : context_pool_.TakeAll()) {
     auto* p = static_cast<PrivateAggContext*>(parked.get());
-    MergeInto(*p->table);
+    if (!MergeInto(*p->table)) {
+      if (spec_.budget != nullptr) spec_.budget->MarkRejected();
+      restore_failed_.store(true, std::memory_order_release);
+      return;
+    }
+  }
+  // Transparent re-read of the cold tier: merge every spilled run back into
+  // the global table before anything is emitted.
+  std::vector<std::unique_ptr<SpillRun>> runs;
+  {
+    std::lock_guard<std::mutex> spill_lock(spill_mu_);
+    runs.swap(spill_runs_);
+  }
+  for (const auto& run : runs) {
+    std::vector<char> data;
+    Status s = run->ReadAll(&data);
+    if (s.ok()) {
+      s = AggHashTable::MergeSerialized(data.data(), data.size(), fns_,
+                                        &global_);
+    }
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kResourceExhausted &&
+          spec_.budget != nullptr) {
+        spec_.budget->MarkRejected();
+      }
+      restore_failed_.store(true, std::memory_order_release);
+      return;
+    }
   }
   groups_.reserve(static_cast<size_t>(global_.size()));
   global_.ForEach(
@@ -242,6 +342,9 @@ void HashAggIterator::SnapshotGroups() {
 NextResult HashAggIterator::Next(WorkerContext* ctx, BlockPtr* out) {
   if (ctx->DetectedTerminateRequest()) return NextResult::kTerminated;
   if (!snapshot_ready_.load(std::memory_order_acquire)) SnapshotGroups();
+  // Restore failure (parked-table or spilled-run merge refused by the
+  // ledger): a partial result would be silently wrong — fail the segment.
+  if (restore_failed_.load(std::memory_order_acquire)) return NextResult::kError;
 
   const int out_size = output_schema_.row_size();
   const int rows_per_block = std::max(1, kDefaultBlockBytes / out_size);

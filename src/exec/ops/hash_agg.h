@@ -12,6 +12,8 @@
 #include "exec/expr/batch_expr.h"
 #include "exec/expr/expr.h"
 #include "exec/hash_table.h"
+#include "mem/query_budget.h"
+#include "mem/spill.h"
 
 namespace claims {
 
@@ -51,6 +53,15 @@ class HashAggIterator : public Iterator {
     size_t num_buckets = 1 << 14;
     size_t hybrid_max_groups = 1 << 14;
     MemoryTracker* memory = nullptr;
+    /// Block pool + binding query ledger the table arenas draw from. When the
+    /// ledger refuses a fold into a worker-*private* table, that table is
+    /// spilled to a cold SpillRun and the fold retried against a fresh table
+    /// (degradation ladder, docs/MEMORY.md); spilled runs are merged back in
+    /// by the snapshot builder. A refusal on the *shared* table (or during
+    /// restore) is terminal: rejected() is latched and the segment fails,
+    /// which the executor maps to kResourceExhausted.
+    BlockPool* pool = nullptr;
+    QueryBudget* budget = nullptr;
   };
 
   HashAggIterator(std::unique_ptr<Iterator> child, Spec spec);
@@ -64,30 +75,55 @@ class HashAggIterator : public Iterator {
   int64_t num_groups() const { return global_.size(); }
   const ContextPool& context_pool() const { return context_pool_; }
 
+  /// Cold runs produced by pressure-driven spills and not yet restored.
+  size_t spill_run_count() {
+    std::lock_guard<std::mutex> lock(spill_mu_);
+    return spill_runs_.size();
+  }
+
  private:
   struct PrivateAggContext : IteratorContext {
     std::unique_ptr<AggHashTable> table;
   };
 
   /// Computes the group row + aggregate inputs of `row` and folds them into
-  /// `table`.
-  void FoldRow(const char* row, AggHashTable* table, char* group_scratch);
+  /// `table`. false when the table could not allocate the group (ledger
+  /// refusal) — nothing was folded.
+  bool FoldRow(const char* row, AggHashTable* table, char* group_scratch);
 
   /// Batch fold (kernel mode kBatch): materializes all group rows of `block`,
   /// hashes them column-at-a-time, evaluates every aggregate argument as a
   /// double vector, then updates the table once per row with the precomputed
   /// hash — no per-row virtual Eval, no per-row HashRowKeys. `exclusive`
   /// means `table` is private to the calling worker, so the per-entry
-  /// spinlock is skipped.
-  void FoldBlock(const Block& block, AggHashTable* table, bool exclusive);
+  /// spinlock is skipped. Folds rows `[start..n)`; on a ledger refusal
+  /// returns false with `*folded` = rows folded past `start` (the caller
+  /// spills and resumes at start + *folded).
+  bool FoldBlock(const Block& block, AggHashTable* table, bool exclusive,
+                 int32_t start, int32_t* folded);
+
+  /// Folds one input block into `*sink`, riding the degradation ladder on a
+  /// ledger refusal: if the sink is the worker-private table, spill it to a
+  /// cold run, point `*sink` at a fresh table, and resume where the fold
+  /// stopped. false when degradation is exhausted (shared table refused, a
+  /// fresh empty table refused, or the spill itself failed) — the build must
+  /// fail.
+  bool ConsumeBlock(const Block& block, PrivateAggContext* priv,
+                    AggHashTable** sink, bool privately, char* group_scratch);
+
+  /// Serializes `priv`'s table into a cold SpillRun (charged bytes refunded
+  /// by the retired arena) and replaces it with a fresh empty table.
+  bool SpillPrivate(PrivateAggContext* priv);
 
   /// Folds `block`'s visit rate into the running row-weighted average that
   /// emitted blocks carry (the downstream scalability-vector estimate must
   /// not see the default 1.0 after an aggregation).
   void ObserveVisitRate(const Block& block);
 
-  /// Merges every (group, state) of `src` into the global table.
-  void MergeInto(const AggHashTable& src);
+  /// Merges every (group, state) of `src` into the global table. false when
+  /// the global table refused a group — terminal: ForEach cannot resume, and
+  /// re-merging a partially folded source would double-count.
+  bool MergeInto(const AggHashTable& src);
 
   /// Builds the sorted snapshot emitted by Next (first caller only).
   void SnapshotGroups();
@@ -112,6 +148,14 @@ class HashAggIterator : public Iterator {
   std::mutex rate_mu_;
   double rate_weighted_sum_ = 0;
   int64_t rate_rows_ = 0;
+
+  /// Cold tier: serialized private tables evicted under memory pressure.
+  /// Merged back into global_ by the snapshot builder (transparent re-read).
+  std::mutex spill_mu_;
+  std::vector<std::unique_ptr<SpillRun>> spill_runs_;
+  /// Latched when restoring a spilled run (or folding a parked table) into
+  /// global_ fails; Next() reports kError instead of a partial result.
+  std::atomic<bool> restore_failed_{false};
 
   std::mutex snapshot_mu_;
   /// Release-published by the snapshot builder (under snapshot_mu_) so the

@@ -25,7 +25,7 @@ HashJoinIterator::HashJoinIterator(std::unique_ptr<Iterator> build_child,
       spec_(spec),
       output_schema_(JoinOutputSchema(*spec.build_schema, *spec.probe_schema)),
       table_(spec.build_schema, spec.build_keys, spec.num_buckets,
-             spec.memory),
+             MemSource{spec.pool, spec.memory, spec.budget}),
       probe_cmp_(spec_.build_schema, spec_.build_keys, spec_.probe_schema,
                  spec_.probe_keys),
       batch_(CurrentKernelMode() == KernelMode::kBatch) {}
@@ -49,6 +49,7 @@ NextResult HashJoinIterator::Open(WorkerContext* ctx) {
       return r;
     }
     const int32_t nb = block->num_rows();
+    bool inserted = true;
     if (batch_ && nb > 0) {
       // Hash the whole build block column-at-a-time, then link each row with
       // its precomputed hash.
@@ -57,12 +58,27 @@ NextResult HashJoinIterator::Open(WorkerContext* ctx) {
                        block->row_size(), spec_.build_keys, nullptr, nb,
                        hashes.data());
       for (int32_t i = 0; i < nb; ++i) {
-        table_.Insert(block->RowAt(i), hashes[i]);
+        if (!table_.Insert(block->RowAt(i), hashes[i])) {
+          inserted = false;
+          break;
+        }
       }
     } else {
       for (int32_t i = 0; i < nb; ++i) {
-        table_.Insert(block->RowAt(i));
+        if (!table_.Insert(block->RowAt(i))) {
+          inserted = false;
+          break;
+        }
       }
+    }
+    if (!inserted) {
+      // The query's ledger refused the build row even after the shrink hook
+      // ran. The shared build table cannot spill (every worker holds row
+      // pointers into it), so this is the last rung: latch rejected and fail
+      // the segment — the executor maps it to kResourceExhausted.
+      if (spec_.budget != nullptr) spec_.budget->MarkRejected();
+      if (!already_open) build_barrier_.Deregister();
+      return NextResult::kError;
     }
     if (ctx->DetectedTerminateRequest()) {
       if (!already_open) build_barrier_.Deregister();

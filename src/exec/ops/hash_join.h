@@ -8,6 +8,7 @@
 #include "core/iterator.h"
 #include "exec/expr/batch_expr.h"
 #include "exec/hash_table.h"
+#include "mem/query_budget.h"
 
 namespace claims {
 
@@ -33,6 +34,12 @@ class HashJoinIterator : public Iterator {
     /// Bucket count; 0 → sized from build-side estimate at first use.
     size_t num_buckets = 1 << 16;
     MemoryTracker* memory = nullptr;
+    /// Block pool + binding query ledger the build arena draws from. A build
+    /// insert the ledger refuses fails the build with kError and rejected()
+    /// latched — join builds do not spill (docs/MEMORY.md); the executor
+    /// surfaces kResourceExhausted.
+    BlockPool* pool = nullptr;
+    QueryBudget* budget = nullptr;
   };
 
   HashJoinIterator(std::unique_ptr<Iterator> build_child,

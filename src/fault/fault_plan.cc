@@ -25,6 +25,8 @@ const char* FaultKindName(FaultKind kind) {
       return "crash";
     case FaultKind::kStraggleNode:
       return "straggle";
+    case FaultKind::kMemPressure:
+      return "mempressure";
   }
   return "unknown";
 }
@@ -79,7 +81,7 @@ bool ParseKind(const std::string& v, FaultKind* out) {
        {FaultKind::kDropBlock, FaultKind::kDelayBlock,
         FaultKind::kDuplicateBlock, FaultKind::kDisconnect,
         FaultKind::kDegradeNic, FaultKind::kCrashNode,
-        FaultKind::kStraggleNode}) {
+        FaultKind::kStraggleNode, FaultKind::kMemPressure}) {
     if (v == FaultKindName(k)) {
       *out = k;
       return true;
@@ -104,6 +106,7 @@ std::string FaultSpec::ToString() const {
     os << " bps=" << bandwidth_bytes_per_sec;
   }
   if (kind == FaultKind::kStraggleNode) os << " factor=" << slowdown_factor;
+  if (kind == FaultKind::kMemPressure) os << " bytes=" << mem_cap_bytes;
   return os.str();
 }
 
@@ -157,6 +160,11 @@ Result<FaultSpec> ParseFaultSpec(const std::string& line) {
       }
     } else if (key == "bps") {
       spec.bandwidth_bytes_per_sec = std::atoll(value.c_str());
+    } else if (key == "bytes") {
+      spec.mem_cap_bytes = std::atoll(value.c_str());
+      if (spec.mem_cap_bytes <= 0) {
+        return Status::ParseError("bytes= must be > 0: " + value);
+      }
     } else if (key == "factor") {
       spec.slowdown_factor = std::atof(value.c_str());
       if (spec.slowdown_factor < 1.0) {

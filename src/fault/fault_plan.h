@@ -21,6 +21,9 @@ enum class FaultKind {
   kDegradeNic,      ///< rewrite the node's NIC budget to `bandwidth_bytes_per_sec`
   kCrashNode,       ///< the node dies: segments abort, cores leave the board
   kStraggleNode,    ///< the node turns straggler: `slowdown_factor` slower
+  kMemPressure,     ///< cap the block pool at `mem_cap_bytes`: strict
+                    ///< (budget-backed) allocations refuse, forcing the
+                    ///< shrink → spill → reject degradation ladder
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -38,6 +41,7 @@ struct FaultSpec {
   int64_t delay_ns = 0;                  ///< kDelayBlock hold time
   int64_t bandwidth_bytes_per_sec = 0;   ///< kDegradeNic new budget
   double slowdown_factor = 1.0;          ///< kStraggleNode (>= 1)
+  int64_t mem_cap_bytes = 0;             ///< kMemPressure pool cap (0 = off)
 
   /// Canonical one-line rendering, also the serialized form ParseFaultSpec
   /// accepts: "at=50ms kind=crash node=2".
@@ -58,8 +62,8 @@ struct FaultPlan {
 };
 
 /// Parses one "key=value ..." spec line. Keys: kind (drop|delay|dup|
-/// disconnect|nic|crash|straggle), at, dur, delay (durations: ns/us/ms/s
-/// suffix), node, exchange, p, bps, factor.
+/// disconnect|nic|crash|straggle|mempressure), at, dur, delay (durations:
+/// ns/us/ms/s suffix), node, exchange, p, bps, factor, bytes.
 Result<FaultSpec> ParseFaultSpec(const std::string& line);
 
 /// Parses a whole plan: blank lines and '#' comments ignored; an optional

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "mem/block_pool.h"
 #include "obs/trace.h"
 
 namespace claims {
@@ -17,7 +18,13 @@ FaultInjector::FaultInjector(FaultPlan plan, Clock* clock)
   duplicates_metric_ = reg->counter("fault.duplicates");
   crashes_metric_ = reg->counter("fault.crashes");
   nic_rewrites_metric_ = reg->counter("fault.nic_rewrites");
+  mem_pressure_metric_ = reg->counter("fault.mem_pressure");
   activations_metric_ = reg->counter("fault.activations");
+  // Out-of-the-box actuator: squeeze the process-wide pool. cap < 0 is the
+  // restore signal (window closed) and maps to "uncapped".
+  mem_pressure_handler_ = [](int64_t cap) {
+    BlockPool::Global()->SetPressureCapBytes(cap < 0 ? 0 : cap);
+  };
   windows_.reserve(plan_.faults.size());
   for (const FaultSpec& spec : plan_.faults) windows_.push_back(Window{spec});
   // Transition times sorted so PollOnce applies them in plan order and the
@@ -39,6 +46,12 @@ void FaultInjector::SetNicRewriter(
 void FaultInjector::SetCrashHandler(std::function<void(int)> handler) {
   std::lock_guard<std::mutex> lock(mu_);
   crash_handler_ = std::move(handler);
+}
+
+void FaultInjector::SetMemPressureHandler(
+    std::function<void(int64_t)> handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mem_pressure_handler_ = std::move(handler);
 }
 
 void FaultInjector::ArmManual() {
@@ -107,6 +120,14 @@ int FaultInjector::ApplyTransitionsLocked(
           }
           w.deactivated = spec.duration_ns <= 0;  // no window to close
           break;
+        case FaultKind::kMemPressure:
+          mem_pressure_metric_->Add();
+          if (mem_pressure_handler_) {
+            actuations->push_back([fn = mem_pressure_handler_,
+                                   cap = spec.mem_cap_bytes] { fn(cap); });
+          }
+          w.deactivated = spec.duration_ns <= 0;  // no window to close
+          break;
         case FaultKind::kCrashNode:
           crashes_metric_->Add();
           if (spec.node >= 0 && spec.node < 64) {
@@ -131,7 +152,11 @@ int FaultInjector::ApplyTransitionsLocked(
                     {{"kind", std::string(FaultKindName(spec.kind))},
                      {"at_ns", spec.at_ns}});
       }
-      if (spec.kind == FaultKind::kDegradeNic && w.deactivated) continue;
+      if ((spec.kind == FaultKind::kDegradeNic ||
+           spec.kind == FaultKind::kMemPressure) &&
+          w.deactivated) {
+        continue;
+      }
     }
     if (w.activated && !w.deactivated && spec.duration_ns > 0 &&
         t >= spec.at_ns + spec.duration_ns) {
@@ -143,6 +168,11 @@ int FaultInjector::ApplyTransitionsLocked(
         if (nic_rewriter_) {
           actuations->push_back(
               [fn = nic_rewriter_, node = spec.node] { fn(node, -1); });
+        }
+      } else if (spec.kind == FaultKind::kMemPressure) {
+        if (mem_pressure_handler_) {
+          actuations->push_back(
+              [fn = mem_pressure_handler_] { fn(-1); });  // restore: uncap
         }
       } else {
         active_windows_.fetch_sub(1, std::memory_order_release);

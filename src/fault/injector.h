@@ -52,6 +52,12 @@ class FaultInjector {
   /// Kills a node (idempotent). Registered by Cluster::AttachFaultInjector.
   void SetCrashHandler(std::function<void(int node)> handler);
 
+  /// Applies/restores a memory-pressure cap: `cap_bytes` > 0 squeezes the
+  /// pool, < 0 restores the uncapped state. Defaults to
+  /// BlockPool::Global()->SetPressureCapBytes, so a mempressure fault works
+  /// with no substrate wiring; tests override it to observe actuations.
+  void SetMemPressureHandler(std::function<void(int64_t cap_bytes)> handler);
+
   /// Starts the clock (t=0 of the plan) and a poll thread that applies
   /// window transitions. Idempotent.
   void Arm();
@@ -116,6 +122,7 @@ class FaultInjector {
   MetricCounter* duplicates_metric_;
   MetricCounter* crashes_metric_;
   MetricCounter* nic_rewrites_metric_;
+  MetricCounter* mem_pressure_metric_;
   MetricCounter* activations_metric_;
 
   mutable std::mutex mu_;
@@ -124,6 +131,7 @@ class FaultInjector {
   Rng rng_;
   std::function<void(int, int64_t)> nic_rewriter_;
   std::function<void(int)> crash_handler_;
+  std::function<void(int64_t)> mem_pressure_handler_;
   int64_t arm_time_ns_ = -1;
   /// Count of windows currently in force; OnSend returns immediately when 0.
   std::atomic<int> active_windows_{0};

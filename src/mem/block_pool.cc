@@ -1,0 +1,300 @@
+#include "mem/block_pool.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "obs/metrics_registry.h"
+
+namespace claims {
+
+namespace {
+/// Distinguishes pools inside the per-thread cache map. Monotone, never
+/// reused, so a stale map entry for a destroyed pool can never be looked up
+/// again (a new pool always carries a new serial).
+std::atomic<uint64_t> g_pool_serial{1};
+}  // namespace
+
+/// One free list per (size class, simulated node). Its own mutex, so
+/// different classes and nodes never contend with each other.
+struct BlockPool::CentralList {
+  std::mutex mu;
+  std::vector<char*> blocks;
+};
+
+/// Per-thread, per-pool cache: one bounded magazine per size class. Touched
+/// only by the owning thread; the pool owns the storage so teardown does not
+/// depend on thread exit order.
+struct BlockPool::ThreadCache {
+  int node = 0;
+  std::vector<char*> magazines[kNumSizeClasses];
+};
+
+BlockPool::BlockPool() : BlockPool(Options()) {}
+
+BlockPool::BlockPool(Options options)
+    : options_(std::move(options)),
+      serial_(g_pool_serial.fetch_add(1, std::memory_order_relaxed)) {
+  const int nodes = std::max(1, options_.num_nodes);
+  central_.reserve(static_cast<size_t>(kNumSizeClasses) * nodes);
+  for (int i = 0; i < kNumSizeClasses * nodes; ++i) {
+    central_.push_back(std::make_unique<CentralList>());
+  }
+  if (!options_.metric_prefix.empty()) {
+    MetricsRegistry* reg = MetricsRegistry::Global();
+    const std::string& p = options_.metric_prefix;
+    live_gauge_ = reg->gauge(p + ".live_bytes");
+    central_gauge_ = reg->gauge(p + ".cached_bytes");
+    cap_gauge_ = reg->gauge(p + ".pressure_cap_bytes");
+    hits_metric_ = reg->counter(p + ".hits");
+    misses_metric_ = reg->counter(p + ".misses");
+    oversized_metric_ = reg->counter(p + ".oversized");
+    recycled_metric_ = reg->counter(p + ".recycled_bytes");
+    released_os_metric_ = reg->counter(p + ".released_to_os_bytes");
+    pressure_rejects_metric_ = reg->counter(p + ".pressure_rejects");
+    pressure_fallbacks_metric_ = reg->counter(p + ".pressure_fallbacks");
+    numa_remote_metric_ = reg->counter(p + ".numa_remote");
+  }
+}
+
+BlockPool::~BlockPool() {
+  // By destruction time no thread may still be allocating from this pool;
+  // every cached chunk (magazines + central tier) is plain new[] storage.
+  for (auto& cache : caches_) {
+    for (auto& mag : cache->magazines) {
+      for (char* b : mag) delete[] b;
+    }
+  }
+  for (auto& list : central_) {
+    for (char* b : list->blocks) delete[] b;
+  }
+}
+
+BlockPool* BlockPool::Global() {
+  // Leaked on purpose: worker threads and static destruction order must
+  // never race a pool teardown.
+  static BlockPool* pool = [] {
+    Options o;
+    o.metric_prefix = "mem.pool";
+    return new BlockPool(std::move(o));
+  }();
+  return pool;
+}
+
+BlockPool::ThreadCache* BlockPool::LocalCache() {
+  thread_local std::unordered_map<uint64_t, ThreadCache*> caches;
+  auto it = caches.find(serial_);
+  if (it != caches.end()) return it->second;
+  auto owned = std::make_unique<ThreadCache>();
+  ThreadCache* cache = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(caches_mu_);
+    cache->node = next_node_;
+    next_node_ = (next_node_ + 1) % std::max(1, options_.num_nodes);
+    caches_.push_back(std::move(owned));
+  }
+  caches.emplace(serial_, cache);
+  return cache;
+}
+
+char* BlockPool::PopCentral(int cls, int node) {
+  CentralList& list =
+      *central_[static_cast<size_t>(cls) * std::max(1, options_.num_nodes) +
+                node];
+  std::lock_guard<std::mutex> lock(list.mu);
+  if (list.blocks.empty()) return nullptr;
+  char* b = list.blocks.back();
+  list.blocks.pop_back();
+  central_bytes_.fetch_sub(static_cast<int64_t>(SizeClassBytes(cls)),
+                           std::memory_order_relaxed);
+  return b;
+}
+
+void BlockPool::PushCentral(int cls, int node, char* data) {
+  const int64_t bytes = static_cast<int64_t>(SizeClassBytes(cls));
+  if (central_bytes_.load(std::memory_order_relaxed) + bytes >
+      static_cast<int64_t>(options_.max_central_bytes)) {
+    delete[] data;
+    released_to_os_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    if (released_os_metric_ != nullptr) released_os_metric_->Add(bytes);
+    return;
+  }
+  CentralList& list =
+      *central_[static_cast<size_t>(cls) * std::max(1, options_.num_nodes) +
+                node];
+  std::lock_guard<std::mutex> lock(list.mu);
+  list.blocks.push_back(data);
+  central_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+PoolAlloc BlockPool::Allocate(size_t min_bytes, bool strict) {
+  const int cls = SizeClassFor(min_bytes);
+  const size_t bytes = cls >= 0 ? SizeClassBytes(cls) : min_bytes;
+
+  const int64_t cap = pressure_cap_bytes_.load(std::memory_order_relaxed);
+  if (cap > 0 && live_bytes_.load(std::memory_order_relaxed) +
+                         static_cast<int64_t>(bytes) >
+                     cap) {
+    if (strict) {
+      pressure_rejects_.fetch_add(1, std::memory_order_relaxed);
+      if (pressure_rejects_metric_ != nullptr) pressure_rejects_metric_->Add();
+      return {};
+    }
+    // Non-strict callers (transit blocks mid-pipeline) must never fail; the
+    // squeeze is made visible instead of being enforced.
+    pressure_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    if (pressure_fallbacks_metric_ != nullptr) {
+      pressure_fallbacks_metric_->Add();
+    }
+  }
+
+  ThreadCache* cache = LocalCache();
+  char* data = nullptr;
+  bool recycled = false;
+  if (cls >= 0) {
+    std::vector<char*>& mag = cache->magazines[cls];
+    if (!mag.empty()) {
+      data = mag.back();
+      mag.pop_back();
+      recycled = true;
+    } else {
+      // Refill half a magazine from the central tier: home node first, then
+      // steal from the other nodes (counted, so remote traffic is visible).
+      const int nodes = std::max(1, options_.num_nodes);
+      const int want = std::max(1, options_.magazine_capacity / 2);
+      for (int step = 0; step < nodes && static_cast<int>(mag.size()) < want;
+           ++step) {
+        const int node = (cache->node + step) % nodes;
+        while (static_cast<int>(mag.size()) < want) {
+          char* b = PopCentral(cls, node);
+          if (b == nullptr) break;
+          if (step != 0) {
+            numa_remote_.fetch_add(1, std::memory_order_relaxed);
+            if (numa_remote_metric_ != nullptr) numa_remote_metric_->Add();
+          }
+          mag.push_back(b);
+        }
+      }
+      if (!mag.empty()) {
+        data = mag.back();
+        mag.pop_back();
+        recycled = true;
+      }
+    }
+  } else {
+    oversized_.fetch_add(1, std::memory_order_relaxed);
+    if (oversized_metric_ != nullptr) oversized_metric_->Add();
+  }
+
+  if (recycled) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hits_metric_ != nullptr) hits_metric_->Add();
+    recycled_bytes_.fetch_add(static_cast<int64_t>(bytes),
+                              std::memory_order_relaxed);
+    if (recycled_metric_ != nullptr) {
+      recycled_metric_->Add(static_cast<int64_t>(bytes));
+    }
+  } else {
+    data = new char[bytes];
+    if (cls >= 0) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      if (misses_metric_ != nullptr) misses_metric_->Add();
+    }
+  }
+
+  live_bytes_.fetch_add(static_cast<int64_t>(bytes),
+                        std::memory_order_relaxed);
+  PublishGauges();
+
+  PoolAlloc out;
+  out.data = data;
+  out.bytes = bytes;
+  out.size_class = cls;
+  out.numa_node = cache->node;
+  return out;
+}
+
+void BlockPool::Release(PoolAlloc alloc) {
+  if (alloc.data == nullptr) return;
+  live_bytes_.fetch_sub(static_cast<int64_t>(alloc.bytes),
+                        std::memory_order_relaxed);
+  if (alloc.size_class < 0) {
+    // Oversized chunks are never cached.
+    delete[] alloc.data;
+    released_to_os_bytes_.fetch_add(static_cast<int64_t>(alloc.bytes),
+                                    std::memory_order_relaxed);
+    if (released_os_metric_ != nullptr) {
+      released_os_metric_->Add(static_cast<int64_t>(alloc.bytes));
+    }
+    PublishGauges();
+    return;
+  }
+
+  ThreadCache* cache = LocalCache();
+  if (alloc.numa_node >= 0 && alloc.numa_node != cache->node) {
+    // The chunk re-homes to the releasing thread's node; count the migration.
+    numa_remote_.fetch_add(1, std::memory_order_relaxed);
+    if (numa_remote_metric_ != nullptr) numa_remote_metric_->Add();
+  }
+  std::vector<char*>& mag = cache->magazines[alloc.size_class];
+  mag.push_back(alloc.data);
+  if (static_cast<int>(mag.size()) > options_.magazine_capacity) {
+    // Magazine overflow: exchange the older half with the central tier.
+    const int keep = std::max(1, options_.magazine_capacity / 2);
+    while (static_cast<int>(mag.size()) > keep) {
+      char* b = mag.front();
+      mag.erase(mag.begin());
+      PushCentral(alloc.size_class, cache->node, b);
+    }
+  }
+  PublishGauges();
+}
+
+void BlockPool::SetPressureCapBytes(int64_t cap) {
+  pressure_cap_bytes_.store(cap > 0 ? cap : 0, std::memory_order_relaxed);
+  if (cap_gauge_ != nullptr) cap_gauge_->Set(cap > 0 ? cap : 0);
+}
+
+BlockPool::Stats BlockPool::GetStats() const {
+  Stats s;
+  s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
+  s.central_bytes = central_bytes_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.oversized = oversized_.load(std::memory_order_relaxed);
+  s.recycled_bytes = recycled_bytes_.load(std::memory_order_relaxed);
+  s.released_to_os_bytes =
+      released_to_os_bytes_.load(std::memory_order_relaxed);
+  s.pressure_rejects = pressure_rejects_.load(std::memory_order_relaxed);
+  s.pressure_fallbacks = pressure_fallbacks_.load(std::memory_order_relaxed);
+  s.numa_remote = numa_remote_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BlockPool::TrimCaches() {
+  for (size_t i = 0; i < central_.size(); ++i) {
+    CentralList& list = *central_[i];
+    std::vector<char*> drained;
+    {
+      std::lock_guard<std::mutex> lock(list.mu);
+      drained.swap(list.blocks);
+    }
+    const int cls = static_cast<int>(i / std::max(1, options_.num_nodes));
+    const int64_t bytes =
+        static_cast<int64_t>(SizeClassBytes(cls)) * drained.size();
+    central_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    released_to_os_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    if (released_os_metric_ != nullptr) released_os_metric_->Add(bytes);
+    for (char* b : drained) delete[] b;
+  }
+  PublishGauges();
+}
+
+void BlockPool::PublishGauges() {
+  if (live_gauge_ == nullptr) return;
+  live_gauge_->Set(
+      static_cast<double>(live_bytes_.load(std::memory_order_relaxed)));
+  central_gauge_->Set(
+      static_cast<double>(central_bytes_.load(std::memory_order_relaxed)));
+}
+
+}  // namespace claims

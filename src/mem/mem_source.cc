@@ -1,0 +1,59 @@
+#include "mem/mem_source.h"
+
+#include "common/memory_tracker.h"
+#include "mem/query_budget.h"
+#include "obs/metrics_registry.h"
+
+namespace claims {
+
+PoolAlloc MemSource::AllocateChunk(size_t min_bytes) const {
+  PoolAlloc alloc;
+  if (pool != nullptr) {
+    // Budget-backed allocations are strict: the pool's pressure cap refuses
+    // them so the degradation ladder engages instead of silently growing.
+    alloc = pool->Allocate(min_bytes, /*strict=*/budget != nullptr);
+    if (!alloc) {
+      if (budget != nullptr) budget->NotePressure();
+      // One retry after the shrink hook had its chance to free capacity.
+      alloc = pool->Allocate(min_bytes, /*strict=*/budget != nullptr);
+      if (!alloc) return {};
+    }
+  } else {
+    alloc.data = new char[min_bytes];
+    alloc.bytes = min_bytes;
+  }
+  if (budget != nullptr && !budget->Charge(static_cast<int64_t>(alloc.bytes))) {
+    if (pool != nullptr) {
+      pool->Release(alloc);
+    } else {
+      delete[] alloc.data;
+    }
+    return {};
+  }
+  if (tracker != nullptr) {
+    tracker->Allocate(static_cast<int64_t>(alloc.bytes));
+  }
+  return alloc;
+}
+
+void MemSource::ReleaseChunk(PoolAlloc alloc, bool recycled) const {
+  if (alloc.data == nullptr) return;
+  if (tracker != nullptr) {
+    tracker->Release(static_cast<int64_t>(alloc.bytes));
+  }
+  if (budget != nullptr) {
+    budget->Release(static_cast<int64_t>(alloc.bytes));
+  }
+  if (recycled) {
+    static MetricCounter* recycled_metric =
+        MetricsRegistry::Global()->counter("arena.recycled_bytes");
+    recycled_metric->Add(static_cast<int64_t>(alloc.bytes));
+  }
+  if (pool != nullptr) {
+    pool->Release(alloc);
+  } else {
+    delete[] alloc.data;
+  }
+}
+
+}  // namespace claims

@@ -1,0 +1,116 @@
+#include "mem/query_budget.h"
+
+#include "obs/metrics_registry.h"
+
+namespace claims {
+
+namespace {
+/// Process-wide aggregates behind the /metrics gauges. Per-query gauges
+/// would be unbounded-cardinality at millions-of-users rates; per-query
+/// numbers are exposed through /queries instead (docs/MEMORY.md).
+std::atomic<int64_t> g_total_charged{0};
+std::atomic<int64_t> g_total_budget{0};
+
+void PublishTotals() {
+  // Resolved once; registry lookup takes a mutex and this is the charge path.
+  static MetricGauge* charged_gauge =
+      MetricsRegistry::Global()->gauge("mem.charged_bytes");
+  static MetricGauge* budget_gauge =
+      MetricsRegistry::Global()->gauge("mem.budget_bytes");
+  charged_gauge->Set(
+      static_cast<double>(g_total_charged.load(std::memory_order_relaxed)));
+  budget_gauge->Set(
+      static_cast<double>(g_total_budget.load(std::memory_order_relaxed)));
+}
+}  // namespace
+
+QueryBudget::QueryBudget(std::string label, int64_t budget_bytes)
+    : label_(std::move(label)),
+      budget_bytes_(budget_bytes > 0 ? budget_bytes : 0),
+      shrinks_metric_(MetricsRegistry::Global()->counter("mem.degrade.shrinks")),
+      rejects_metric_(MetricsRegistry::Global()->counter("mem.degrade.rejects")) {
+  g_total_budget.fetch_add(budget_bytes_, std::memory_order_relaxed);
+  PublishTotals();
+}
+
+QueryBudget::~QueryBudget() {
+  g_total_charged.fetch_sub(charged_.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+  g_total_budget.fetch_sub(budget_bytes_, std::memory_order_relaxed);
+  PublishTotals();
+}
+
+bool QueryBudget::TryCharge(int64_t bytes) {
+  if (bytes <= 0) return true;
+  int64_t cur = charged_.load(std::memory_order_relaxed);
+  while (true) {
+    const int64_t next = cur + bytes;
+    if (budget_bytes_ > 0 && next > budget_bytes_) return false;
+    if (charged_.compare_exchange_weak(cur, next,
+                                       std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  const int64_t now = cur + bytes;
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  g_total_charged.fetch_add(bytes, std::memory_order_relaxed);
+  PublishTotals();
+  return true;
+}
+
+bool QueryBudget::Charge(int64_t bytes) {
+  if (TryCharge(bytes)) return true;
+  // First rung of the ladder: trade cores for memory, exactly the inverse of
+  // the paper's Algorithm 1 trading memory-resident pipelines for cores.
+  RunShrinkHook();
+  return TryCharge(bytes);
+}
+
+void QueryBudget::Release(int64_t bytes) {
+  if (bytes <= 0) return;
+  charged_.fetch_sub(bytes, std::memory_order_relaxed);
+  g_total_charged.fetch_sub(bytes, std::memory_order_relaxed);
+  PublishTotals();
+}
+
+void QueryBudget::MarkRejected() {
+  if (!rejected_.exchange(true, std::memory_order_acq_rel)) {
+    rejects_metric_->Add();
+  }
+}
+
+void QueryBudget::NotePressure() { RunShrinkHook(); }
+
+void QueryBudget::AddSpilledBytes(int64_t bytes) {
+  if (bytes <= 0) return;
+  spilled_.fetch_add(bytes, std::memory_order_relaxed);
+  static MetricCounter* spills_metric =
+      MetricsRegistry::Global()->counter("mem.degrade.spills");
+  spills_metric->Add();
+}
+
+void QueryBudget::SetShrinkHook(std::function<bool()> hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  shrink_hook_ = std::move(hook);
+}
+
+bool QueryBudget::RunShrinkHook() {
+  std::function<bool()> hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    hook = shrink_hook_;
+  }
+  if (!hook) return false;
+  const bool shrank = hook();
+  if (shrank) shrinks_metric_->Add();
+  return shrank;
+}
+
+int64_t QueryBudget::TotalChargedBytes() {
+  return g_total_charged.load(std::memory_order_relaxed);
+}
+
+}  // namespace claims

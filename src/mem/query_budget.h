@@ -1,0 +1,105 @@
+#ifndef CLAIMS_MEM_QUERY_BUDGET_H_
+#define CLAIMS_MEM_QUERY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/macros.h"
+
+namespace claims {
+
+class MetricCounter;
+class MetricGauge;
+
+/// Per-query memory ledger that makes the admission budget binding. Every
+/// pool-backed allocation owned by a query charges its actual rounded-up
+/// bytes here before the memory is used; Charge refuses to let `charged`
+/// exceed `budget` — that is the ledger invariant the mempressure stress
+/// test samples every millisecond.
+///
+/// Degradation ladder (docs/MEMORY.md): a refused charge first invokes the
+/// shrink hook (the executor asks DynamicScheduler to cut the widest live
+/// segment's parallelism, releasing that worker's buffers) and retries once.
+/// If the charge still fails, the *call site* decides the next rung — the
+/// hash-agg build spills its largest private table to a cold SpillRun and
+/// retries; only when that is exhausted does the operator latch
+/// MarkRejected() and fail the query with kResourceExhausted.
+///
+/// Charge deliberately does NOT latch rejected: a breach that spilling
+/// recovers from is not a failure, and a latched flag would misclassify a
+/// later unrelated Internal error as ResourceExhausted.
+class QueryBudget {
+ public:
+  /// budget_bytes <= 0 means unbounded (charges always succeed); the ledger
+  /// still tracks charged/peak so reports stay uniform.
+  QueryBudget(std::string label, int64_t budget_bytes);
+  ~QueryBudget();
+
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(QueryBudget);
+
+  /// Single CAS attempt; never exceeds the budget, never calls the hook.
+  bool TryCharge(int64_t bytes);
+
+  /// TryCharge, and on failure: run the shrink hook (if any) and retry once.
+  /// Returns false when the query is genuinely over budget after shrinking.
+  bool Charge(int64_t bytes);
+
+  void Release(int64_t bytes);
+
+  /// Latched by the operator that finally gives up on an allocation; the
+  /// executor maps a failed segment with rejected() to kResourceExhausted.
+  void MarkRejected();
+  bool rejected() const {
+    return rejected_.load(std::memory_order_acquire);
+  }
+
+  /// Pool-level squeeze (strict alloc refused by the pressure cap, not by
+  /// this ledger): gives the shrink hook a chance before the caller spills.
+  void NotePressure();
+
+  void AddSpilledBytes(int64_t bytes);
+
+  /// Installed by the executor before workers start (mutex-guarded; the hook
+  /// itself must not call back into this budget). Returns true if it managed
+  /// to shrink anything.
+  void SetShrinkHook(std::function<bool()> hook);
+
+  int64_t budget_bytes() const { return budget_bytes_; }
+  int64_t charged_bytes() const {
+    return charged_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_charged_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  int64_t spilled_bytes() const {
+    return spilled_.load(std::memory_order_relaxed);
+  }
+  const std::string& label() const { return label_; }
+
+  /// Sum of charged bytes across all live QueryBudgets (process aggregate
+  /// behind the mem.charged_bytes gauge).
+  static int64_t TotalChargedBytes();
+
+ private:
+  bool RunShrinkHook();
+
+  const std::string label_;
+  const int64_t budget_bytes_;
+  std::atomic<int64_t> charged_{0};
+  std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> spilled_{0};
+  std::atomic<bool> rejected_{false};
+
+  std::mutex hook_mu_;
+  std::function<bool()> shrink_hook_;
+
+  MetricCounter* shrinks_metric_;
+  MetricCounter* rejects_metric_;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_MEM_QUERY_BUDGET_H_

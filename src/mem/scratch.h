@@ -1,0 +1,53 @@
+#ifndef CLAIMS_MEM_SCRATCH_H_
+#define CLAIMS_MEM_SCRATCH_H_
+
+#include <cstddef>
+
+#include "common/macros.h"
+#include "mem/block_pool.h"
+
+namespace claims {
+
+/// RAII scratch array for operator inner loops (group-row staging, hash
+/// vectors, argument columns). Pool-backed when a pool is given — per-block
+/// scratch is exactly the churn a recycling pool exists for — with a plain
+/// new[] fallback so operators built without a pool behave as before.
+///
+/// Non-strict and unbudgeted on purpose: scratch is transient (lives for one
+/// block) and bounded by the block size, so it is not charged against the
+/// query ledger — only *state* (arenas, buffered blocks) binds the budget;
+/// see docs/MEMORY.md. T must be trivially destructible; contents start
+/// uninitialized (recycled chunks keep old bytes).
+template <typename T>
+class Scratch {
+ public:
+  Scratch(BlockPool* pool, size_t count) : pool_(pool) {
+    const size_t bytes = count * sizeof(T);
+    if (pool_ != nullptr) {
+      alloc_ = pool_->Allocate(bytes);
+    } else {
+      alloc_.data = new char[bytes];
+      alloc_.bytes = bytes;
+    }
+  }
+  ~Scratch() {
+    if (pool_ != nullptr) {
+      pool_->Release(alloc_);
+    } else {
+      delete[] alloc_.data;
+    }
+  }
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(Scratch);
+
+  T* data() { return reinterpret_cast<T*>(alloc_.data); }
+  const T* data() const { return reinterpret_cast<const T*>(alloc_.data); }
+  T& operator[](size_t i) { return data()[i]; }
+
+ private:
+  BlockPool* pool_;
+  PoolAlloc alloc_;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_MEM_SCRATCH_H_

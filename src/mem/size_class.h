@@ -1,0 +1,48 @@
+#ifndef CLAIMS_MEM_SIZE_CLASS_H_
+#define CLAIMS_MEM_SIZE_CLASS_H_
+
+#include <cstddef>
+
+namespace claims {
+
+/// Power-of-two size classes for the recycling block pool: 4 KiB .. 8 MiB
+/// (12 classes). Requests above the largest class take the oversized
+/// direct-allocation path (class index -1) and are never cached.
+///
+/// The range is chosen to bracket the allocation sizes the runtime actually
+/// makes: DataBuffer blocks are kDefaultBlockBytes (64 KiB), Arena chunks
+/// default to 256 KiB (join) / 1 MiB (standalone), and hash-table bucket
+/// arrays land between 128 KiB and 8 MiB at the planner's default widths.
+inline constexpr size_t kMinSizeClassBytes = size_t{4} << 10;   // 4 KiB
+inline constexpr size_t kMaxSizeClassBytes = size_t{8} << 20;   // 8 MiB
+inline constexpr int kNumSizeClasses = 12;
+
+/// Byte size of class `cls`; cls must be in [0, kNumSizeClasses).
+constexpr size_t SizeClassBytes(int cls) { return kMinSizeClassBytes << cls; }
+
+/// Smallest class whose block fits `bytes`, or -1 when `bytes` exceeds the
+/// largest class (oversized). Zero-byte requests map to class 0.
+constexpr int SizeClassFor(size_t bytes) {
+  if (bytes > kMaxSizeClassBytes) return -1;
+  int cls = 0;
+  size_t size = kMinSizeClassBytes;
+  while (size < bytes) {
+    size <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+static_assert(SizeClassBytes(kNumSizeClasses - 1) == kMaxSizeClassBytes,
+              "class table must end exactly at kMaxSizeClassBytes");
+static_assert(SizeClassFor(1) == 0 && SizeClassFor(kMinSizeClassBytes) == 0,
+              "sub-minimum requests round up to the smallest class");
+static_assert(SizeClassFor(kMinSizeClassBytes + 1) == 1,
+              "boundary + 1 spills into the next class");
+static_assert(SizeClassFor(kMaxSizeClassBytes) == kNumSizeClasses - 1 &&
+                  SizeClassFor(kMaxSizeClassBytes + 1) == -1,
+              "largest class is inclusive; beyond it is oversized");
+
+}  // namespace claims
+
+#endif  // CLAIMS_MEM_SIZE_CLASS_H_

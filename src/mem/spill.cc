@@ -1,0 +1,67 @@
+#include "mem/spill.h"
+
+#include "obs/metrics_registry.h"
+
+namespace claims {
+
+namespace {
+MetricCounter* RunsMetric() {
+  static MetricCounter* m = MetricsRegistry::Global()->counter("mem.spill.runs");
+  return m;
+}
+MetricCounter* WrittenMetric() {
+  static MetricCounter* m =
+      MetricsRegistry::Global()->counter("mem.spill.bytes_written");
+  return m;
+}
+MetricCounter* ReadMetric() {
+  static MetricCounter* m =
+      MetricsRegistry::Global()->counter("mem.spill.bytes_read");
+  return m;
+}
+}  // namespace
+
+std::unique_ptr<SpillRun> SpillRun::Create() {
+  std::FILE* file = std::tmpfile();
+  if (file == nullptr) return nullptr;
+  RunsMetric()->Add();
+  return std::unique_ptr<SpillRun>(new SpillRun(file));
+}
+
+SpillRun::~SpillRun() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpillRun::Append(const void* data, size_t bytes) {
+  if (finished_) return Status::Internal("spill run already finished");
+  if (bytes == 0) return Status::OK();
+  if (std::fwrite(data, 1, bytes, file_) != bytes) {
+    return Status::Internal("spill run short write");
+  }
+  bytes_ += static_cast<int64_t>(bytes);
+  WrittenMetric()->Add(static_cast<int64_t>(bytes));
+  return Status::OK();
+}
+
+Status SpillRun::Finish() {
+  if (finished_) return Status::OK();
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("spill run flush failed");
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+Status SpillRun::ReadAll(std::vector<char>* out) const {
+  if (!finished_) return Status::Internal("spill run read before Finish");
+  out->resize(static_cast<size_t>(bytes_));
+  if (bytes_ == 0) return Status::OK();
+  std::rewind(file_);
+  if (std::fread(out->data(), 1, out->size(), file_) != out->size()) {
+    return Status::Internal("spill run short read");
+  }
+  ReadMetric()->Add(bytes_);
+  return Status::OK();
+}
+
+}  // namespace claims

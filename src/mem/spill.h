@@ -1,0 +1,51 @@
+#ifndef CLAIMS_MEM_SPILL_H_
+#define CLAIMS_MEM_SPILL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace claims {
+
+/// One cold-tier run: an anonymous temp file (std::tmpfile — unlinked at
+/// creation, reclaimed by the OS even on crash) a memory-pressured operator
+/// serializes state into, then reads back wholesale when it is time to merge.
+/// Write-once, read-after-Finish; single writer, single reader — the hash-agg
+/// spill path serializes one private table per run under the operator's own
+/// lock, so the run itself needs no locking.
+class SpillRun {
+ public:
+  /// nullptr when the temp file could not be created (disk full, no /tmp) —
+  /// the caller falls through to the last rung, kResourceExhausted.
+  static std::unique_ptr<SpillRun> Create();
+
+  ~SpillRun();
+
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(SpillRun);
+
+  Status Append(const void* data, size_t bytes);
+
+  /// Flushes and seals the run; Append is invalid afterwards.
+  Status Finish();
+
+  /// Reads the whole run back. Byte-identical to what was appended (the
+  /// round-trip is pinned by tests/mem_pool_test.cc).
+  Status ReadAll(std::vector<char>* out) const;
+
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  explicit SpillRun(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_;
+  int64_t bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_MEM_SPILL_H_

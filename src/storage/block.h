@@ -2,9 +2,10 @@
 #define CLAIMS_STORAGE_BLOCK_H_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
-#include <vector>
 
+#include "mem/block_pool.h"
 #include "storage/schema.h"
 
 namespace claims {
@@ -21,11 +22,35 @@ inline constexpr int32_t kDefaultBlockBytes = 64 * 1024;
 /// the scheduler needs no extra messaging.
 class Block {
  public:
-  /// Creates an empty block for rows of `row_size` bytes.
+  /// Creates an empty block for rows of `row_size` bytes. The payload comes
+  /// from the shared BlockPool (non-strict: transit blocks must never fail
+  /// mid-pipeline; pool pressure surfaces as fallback counters instead).
+  /// Recycled pool memory is not zeroed, so the payload is memset here —
+  /// schema padding bytes must compare equal under memcmp-based row checks.
   explicit Block(int32_t row_size, int32_t capacity_bytes = kDefaultBlockBytes)
       : row_size_(row_size),
         capacity_rows_(capacity_bytes / (row_size > 0 ? row_size : 1)),
-        data_(static_cast<size_t>(capacity_rows_) * row_size) {}
+        payload_(BlockPool::Global()->Allocate(
+            static_cast<size_t>(capacity_rows_) * row_size)) {
+    std::memset(payload_.data, 0, data_size());
+  }
+
+  /// Deep copy: several call sites clone blocks via
+  /// `std::make_shared<Block>(*block)` (exchange re-send, tests), so copying
+  /// must duplicate the pooled payload, not share or steal it.
+  Block(const Block& other)
+      : row_size_(other.row_size_),
+        capacity_rows_(other.capacity_rows_),
+        num_rows_(other.num_rows_),
+        sequence_number_(other.sequence_number_),
+        visit_rate_(other.visit_rate_),
+        payload_(BlockPool::Global()->Allocate(other.data_size())) {
+    std::memset(payload_.data, 0, data_size());
+    std::memcpy(payload_.data, other.payload_.data, other.data_size());
+  }
+  Block& operator=(const Block&) = delete;
+
+  ~Block() { BlockPool::Global()->Release(payload_); }
 
   int32_t row_size() const { return row_size_; }
   int32_t capacity_rows() const { return capacity_rows_; }
@@ -35,13 +60,13 @@ class Block {
   int64_t payload_bytes() const {
     return static_cast<int64_t>(num_rows_) * row_size_;
   }
-  int64_t capacity_bytes() const { return static_cast<int64_t>(data_.size()); }
+  int64_t capacity_bytes() const { return static_cast<int64_t>(data_size()); }
 
   const char* RowAt(int32_t i) const {
-    return data_.data() + static_cast<size_t>(i) * row_size_;
+    return payload_.data + static_cast<size_t>(i) * row_size_;
   }
   char* MutableRowAt(int32_t i) {
-    return data_.data() + static_cast<size_t>(i) * row_size_;
+    return payload_.data + static_cast<size_t>(i) * row_size_;
   }
 
   /// Reserves the next row slot; returns nullptr when full.
@@ -81,12 +106,18 @@ class Block {
   void set_visit_rate(double v) { visit_rate_ = v; }
 
  private:
+  /// Logical payload size (what capacity_bytes reports and what is zeroed /
+  /// copied); payload_.bytes may be larger after size-class rounding.
+  size_t data_size() const {
+    return static_cast<size_t>(capacity_rows_) * row_size_;
+  }
+
   int32_t row_size_;
   int32_t capacity_rows_;
   int32_t num_rows_ = 0;
   uint64_t sequence_number_ = 0;
   double visit_rate_ = 1.0;
-  std::vector<char> data_;
+  PoolAlloc payload_;
 };
 
 using BlockPtr = std::shared_ptr<Block>;

@@ -1,6 +1,7 @@
 #include "wlm/admission.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "storage/block.h"
 
@@ -29,6 +30,7 @@ AdmissionController::AdmissionController(AdmissionOptions options)
   cores_gauge_ = reg->gauge("wlm.cores_in_flight");
   memory_gauge_ = reg->gauge("wlm.memory_in_flight");
   admitted_metric_ = reg->counter("wlm.admitted");
+  estimate_error_metric_ = reg->histogram("wlm.mem_estimate_error");
 }
 
 namespace {
@@ -44,7 +46,8 @@ int64_t Clamped(int64_t demand, int64_t budget) {
 
 }  // namespace
 
-bool AdmissionController::TryAdmit(const QueryDemand& demand) {
+bool AdmissionController::TryAdmit(const QueryDemand& demand,
+                                   AdmissionReservation* reservation) {
   std::lock_guard<std::mutex> lock(mu_);
   // An idle system admits anything: a query bigger than a budget must not
   // starve, it simply runs alone.
@@ -61,24 +64,65 @@ bool AdmissionController::TryAdmit(const QueryDemand& demand) {
       return false;
     }
   }
+  const int booked_cores =
+      static_cast<int>(Clamped(demand.cores, options_.core_budget));
+  const int64_t booked_memory =
+      Clamped(demand.memory_bytes, options_.memory_budget_bytes);
   ++running_;
-  cores_ += static_cast<int>(Clamped(demand.cores, options_.core_budget));
-  memory_ += Clamped(demand.memory_bytes, options_.memory_budget_bytes);
+  cores_ += booked_cores;
+  memory_ += booked_memory;
   running_gauge_->Set(running_);
   cores_gauge_->Set(cores_);
   memory_gauge_->Set(static_cast<double>(memory_));
   admitted_metric_->Add();
+  if (reservation != nullptr) {
+    reservation->cores = booked_cores;
+    reservation->memory_bytes = booked_memory;
+    reservation->estimate_bytes = demand.memory_bytes;
+    reservation->active = true;
+  }
   return true;
+}
+
+bool AdmissionController::TryAdmit(const QueryDemand& demand) {
+  return TryAdmit(demand, nullptr);
+}
+
+void AdmissionController::ReleaseBookedLocked(int cores,
+                                              int64_t memory_bytes) {
+  --running_;
+  cores_ -= cores;
+  memory_ -= memory_bytes;
+  running_gauge_->Set(running_);
+  cores_gauge_->Set(cores_);
+  memory_gauge_->Set(static_cast<double>(memory_));
+}
+
+void AdmissionController::Release(AdmissionReservation* reservation) {
+  if (reservation == nullptr || !reservation->active) return;
+  reservation->active = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Release exactly what TryAdmit booked. Re-deriving the clamp from the
+  // demand here would skew the books whenever a budget changed between
+  // admit and release (or the clamp diverged from the estimate).
+  ReleaseBookedLocked(reservation->cores, reservation->memory_bytes);
+}
+
+void AdmissionController::ReleaseWithActual(AdmissionReservation* reservation,
+                                            int64_t actual_peak_bytes) {
+  if (reservation != nullptr && reservation->active &&
+      actual_peak_bytes >= 0) {
+    estimate_error_metric_->Record(static_cast<double>(
+        std::abs(reservation->estimate_bytes - actual_peak_bytes)));
+  }
+  Release(reservation);
 }
 
 void AdmissionController::Release(const QueryDemand& demand) {
   std::lock_guard<std::mutex> lock(mu_);
-  --running_;
-  cores_ -= static_cast<int>(Clamped(demand.cores, options_.core_budget));
-  memory_ -= Clamped(demand.memory_bytes, options_.memory_budget_bytes);
-  running_gauge_->Set(running_);
-  cores_gauge_->Set(cores_);
-  memory_gauge_->Set(static_cast<double>(memory_));
+  ReleaseBookedLocked(
+      static_cast<int>(Clamped(demand.cores, options_.core_budget)),
+      Clamped(demand.memory_bytes, options_.memory_budget_bytes));
 }
 
 int AdmissionController::running() const {

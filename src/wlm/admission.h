@@ -32,6 +32,18 @@ struct QueryDemand {
 /// data-dependent and intentionally not guessed here).
 QueryDemand EstimateDemand(const PhysicalPlan& plan, const ExecOptions& exec);
 
+/// Receipt of one successful TryAdmit: exactly what the ledger booked (the
+/// clamped values), plus the raw estimate for error accounting. Releasing
+/// through the receipt returns precisely what was charged — releasing from a
+/// re-derived estimate skews the books whenever the two diverge (a budget
+/// re-configured mid-flight, a clamp applied on admit but not on release).
+struct AdmissionReservation {
+  int cores = 0;               ///< booked (clamped) initial cores
+  int64_t memory_bytes = 0;    ///< booked (clamped) memory reservation
+  int64_t estimate_bytes = 0;  ///< unclamped memory estimate at admit time
+  bool active = false;         ///< true between TryAdmit and Release
+};
+
 struct AdmissionOptions {
   /// Multiprogramming level: most queries running at once. <= 0 disables
   /// the MPL gate.
@@ -60,9 +72,29 @@ class AdmissionController {
   const AdmissionOptions& options() const { return options_; }
 
   /// Atomically reserves the demand if every budget holds; false otherwise.
+  /// On success `*reservation` records what was actually booked — release
+  /// through it, not through the demand.
+  bool TryAdmit(const QueryDemand& demand, AdmissionReservation* reservation);
+
+  /// Legacy form without a receipt (tests); books the same clamped values.
   bool TryAdmit(const QueryDemand& demand);
 
-  /// Returns a TryAdmit reservation (query finished, failed, or cancelled).
+  /// Returns a reservation to the pool (query finished, failed, or
+  /// cancelled), subtracting exactly the booked amounts. Idempotent: the
+  /// receipt deactivates on first release.
+  void Release(AdmissionReservation* reservation);
+
+  /// Release plus estimate-quality accounting: records
+  /// `wlm.mem_estimate_error` = |estimate − actual peak| so operators can
+  /// see how far admission's buffer-shaped guess sits from what queries
+  /// really used (pass actual_peak_bytes < 0 when the run produced no
+  /// usable peak, e.g. it never started).
+  void ReleaseWithActual(AdmissionReservation* reservation,
+                         int64_t actual_peak_bytes);
+
+  /// Legacy release from a demand estimate (tests). Symmetric with the
+  /// legacy TryAdmit only while options stay fixed — new code should hold
+  /// the AdmissionReservation receipt instead.
   void Release(const QueryDemand& demand);
 
   int running() const;
@@ -70,11 +102,15 @@ class AdmissionController {
   int64_t memory_in_flight() const;
 
  private:
+  /// Subtracts booked amounts and refreshes the gauges; caller holds mu_.
+  void ReleaseBookedLocked(int cores, int64_t memory_bytes);
+
   AdmissionOptions options_;
   MetricGauge* running_gauge_;
   MetricGauge* cores_gauge_;
   MetricGauge* memory_gauge_;
   MetricCounter* admitted_metric_;
+  MetricHistogram* estimate_error_metric_;
 
   mutable std::mutex mu_;
   int running_ = 0;

@@ -176,14 +176,18 @@ std::string IntrospectionPlane::QueriesJson() const {
         ",\"state\":\"%s\",\"priority\":%d,\"submit_ns\":%lld,"
         "\"queue_wait_ns\":%lld,\"run_ns\":%lld,\"deadline_ns\":%lld,"
         "\"tuples_emitted\":%lld,\"tuples_consumed\":%lld,"
-        "\"live_segments\":%d,\"status\":",
+        "\"live_segments\":%d,\"mem_charged_bytes\":%lld,"
+        "\"mem_budget_bytes\":%lld,\"mem_spilled_bytes\":%lld,\"status\":",
         QueryStateName(q.state), q.priority,
         static_cast<long long>(q.submit_ns),
         static_cast<long long>(q.queue_wait_ns),
         static_cast<long long>(q.run_ns),
         static_cast<long long>(q.deadline_ns),
         static_cast<long long>(q.tuples_emitted),
-        static_cast<long long>(q.tuples_consumed), q.live_segments);
+        static_cast<long long>(q.tuples_consumed), q.live_segments,
+        static_cast<long long>(q.mem_charged_bytes),
+        static_cast<long long>(q.mem_budget_bytes),
+        static_cast<long long>(q.mem_spilled_bytes));
     AppendJsonString(&out, q.status);
     out.push_back('}');
   }

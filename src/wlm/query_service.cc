@@ -275,6 +275,9 @@ std::vector<QueryInfo> QueryService::ListQueries() const {
       info.tuples_emitted = p.tuples_emitted;
       info.tuples_consumed = p.tuples_consumed;
       info.live_segments = p.live_segments;
+      info.mem_charged_bytes = p.mem_charged_bytes;
+      info.mem_budget_bytes = p.mem_budget_bytes;
+      info.mem_spilled_bytes = p.mem_spilled_bytes;
     }
     out.push_back(std::move(info));
   }
@@ -342,7 +345,7 @@ QueryHandlePtr QueryService::PopDispatchableLocked(
   // First fit in (priority, submission) order — see the class comment for
   // the skip-over rationale.
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (!admission_.TryAdmit((*it)->demand_)) continue;
+    if (!admission_.TryAdmit((*it)->demand_, &(*it)->reservation_)) continue;
     QueryHandlePtr handle = *it;
     queue_.erase(it);
     running_.push_back(handle);
@@ -393,6 +396,16 @@ void QueryService::RunQuery(const QueryHandlePtr& handle) {
     ExecOptions exec = handle->options_.exec;
     exec.exclusive_cluster = false;
     exec.queue_wait_ns = queue_wait_ns;
+    // With a cluster memory budget configured, the admitted reservation
+    // becomes the query's *binding* ledger: the executor charges actual
+    // arena/buffer bytes against it and degrades (shrink → spill → reject)
+    // instead of silently overshooting the estimate. An explicit per-query
+    // budget in the submit options wins; without an admission memory budget
+    // nothing changes.
+    if (exec.memory_budget_bytes == 0 &&
+        admission_.options().memory_budget_bytes > 0) {
+      exec.memory_budget_bytes = handle->reservation_.memory_bytes;
+    }
     // Profile under the handle's id so GET /profile/<id> lines up with
     // /queries; a retry re-stores under the same id (latest attempt wins).
     exec.query_id = handle->id_;
@@ -461,8 +474,21 @@ void QueryService::RunQuery(const QueryHandlePtr& handle) {
   }
   // Release BEFORE waking waiters: a handle that reports done must imply
   // its admission reservation is already back in the pool, so a caller that
-  // Wait()s on the last handle observes running() == 0.
-  admission_.Release(handle->demand_);
+  // Wait()s on the last handle observes running() == 0. Releasing through
+  // the receipt returns exactly what admission booked; the actual peak feeds
+  // the wlm.mem_estimate_error histogram (ledger peak when the query ran
+  // with a budget — truly per-query — else the tracker's high-watermark).
+  int64_t actual_peak_bytes = -1;
+  {
+    std::lock_guard<std::mutex> lock(handle->mu_);
+    if (handle->executor_ != nullptr) {
+      QueryBudget* budget = handle->executor_->budget();
+      actual_peak_bytes = budget != nullptr
+                              ? budget->peak_charged_bytes()
+                              : handle->executor_->stats().peak_memory_bytes;
+    }
+  }
+  admission_.ReleaseWithActual(&handle->reservation_, actual_peak_bytes);
   handle->Complete(std::move(status), std::move(result), std::move(report),
                    done_ns);
   RecordCompletion(handle);

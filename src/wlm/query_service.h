@@ -118,6 +118,10 @@ class QueryHandle {
   const std::string label_;
   const int64_t submit_ns_;
   QueryDemand demand_;
+  /// Booked by the dispatching worker's TryAdmit; released (with the actual
+  /// peak, for estimate-error accounting) when the run completes. Only the
+  /// owning dispatch worker touches it after admission.
+  AdmissionReservation reservation_;
 
   mutable std::mutex mu_;
   std::condition_variable done_cv_;
@@ -159,6 +163,10 @@ struct QueryInfo {
   int64_t tuples_emitted = 0;
   int64_t tuples_consumed = 0;
   int live_segments = 0;
+  // Memory ledger sample; all 0 for queries running without a budget.
+  int64_t mem_charged_bytes = 0;
+  int64_t mem_budget_bytes = 0;
+  int64_t mem_spilled_bytes = 0;
   std::string status;  ///< terminal status string; empty until kDone
 };
 

@@ -17,6 +17,7 @@
 
 #include "cluster/executor.h"
 #include "fault/injector.h"
+#include "mem/block_pool.h"
 #include "net/network.h"
 #include "wlm/query_service.h"
 
@@ -194,6 +195,55 @@ TEST(FaultInjectorTest, NicDegradeActuatesAndRestores) {
   ASSERT_EQ(rewrites.size(), 2u);
   EXPECT_EQ(rewrites[0], std::make_pair(1, int64_t{2'000'000}));
   EXPECT_EQ(rewrites[1], std::make_pair(1, int64_t{-1}));  // restore
+}
+
+TEST(FaultPlanTest, MemPressureSpecRoundTrips) {
+  auto parsed = ParseFaultSpec("at=20ms kind=mempressure dur=50ms bytes=1048576");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->kind, FaultKind::kMemPressure);
+  EXPECT_EQ(parsed->at_ns, 20'000'000);
+  EXPECT_EQ(parsed->duration_ns, 50'000'000);
+  EXPECT_EQ(parsed->mem_cap_bytes, 1'048'576);
+  EXPECT_EQ(parsed->ToString(),
+            ParseFaultSpec(parsed->ToString())->ToString());
+  EXPECT_FALSE(ParseFaultSpec("kind=mempressure bytes=0").ok());
+  EXPECT_FALSE(ParseFaultSpec("kind=mempressure bytes=-5").ok());
+}
+
+TEST(FaultInjectorTest, MemPressureActuatesCapAndRestores) {
+  auto plan = ParseFaultPlan("at=5ms kind=mempressure dur=10ms bytes=65536\n");
+  ASSERT_TRUE(plan.ok());
+  ManualClock clock;
+  FaultInjector injector(*plan, &clock);
+  std::vector<int64_t> caps;
+  injector.SetMemPressureHandler([&](int64_t cap) { caps.push_back(cap); });
+  injector.ArmManual();
+
+  EXPECT_EQ(injector.PollOnce(), 0);
+  clock.Advance(6'000'000);
+  EXPECT_EQ(injector.PollOnce(), 1);
+  EXPECT_NE(injector.DescribeActiveFaults().find("kind=mempressure"),
+            std::string::npos);
+  clock.Advance(10'000'000);
+  EXPECT_EQ(injector.PollOnce(), 1);
+  ASSERT_EQ(caps, (std::vector<int64_t>{65'536, -1}));  // squeeze, restore
+  EXPECT_TRUE(injector.DescribeActiveFaults().empty());
+}
+
+TEST(FaultInjectorTest, MemPressureDefaultHandlerSqueezesGlobalPool) {
+  auto plan = ParseFaultPlan(
+      "at=1ms kind=mempressure dur=5ms bytes=131072\n");
+  ASSERT_TRUE(plan.ok());
+  ManualClock clock;
+  FaultInjector injector(*plan, &clock);  // default handler: global pool
+  injector.ArmManual();
+
+  clock.Advance(2'000'000);
+  injector.PollOnce();
+  EXPECT_EQ(BlockPool::Global()->pressure_cap_bytes(), 131'072);
+  clock.Advance(5'000'000);
+  injector.PollOnce();
+  EXPECT_EQ(BlockPool::Global()->pressure_cap_bytes(), 0);  // uncapped
 }
 
 TEST(FaultInjectorTest, ProbabilisticDrawsAreSeedDeterministic) {

@@ -1,0 +1,350 @@
+// Memory-subsystem tests: size-class boundary behavior, pool recycling and
+// pressure caps, thread-local magazine exchange under multi-thread churn
+// (the TSan target for cross-thread chunk handoff), QueryBudget ledger
+// charge/release exactness, and the spill/restore round-trip the hash-agg
+// degradation ladder depends on (docs/MEMORY.md).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/hash_table.h"
+#include "mem/block_pool.h"
+#include "mem/mem_source.h"
+#include "mem/query_budget.h"
+#include "mem/size_class.h"
+#include "mem/spill.h"
+
+namespace claims {
+namespace {
+
+// --- Size classes ---------------------------------------------------------------
+
+TEST(SizeClassTest, BoundariesRoundToTheRightClass) {
+  EXPECT_EQ(SizeClassFor(0), 0);
+  EXPECT_EQ(SizeClassFor(1), 0);
+  EXPECT_EQ(SizeClassFor(kMinSizeClassBytes), 0);
+  EXPECT_EQ(SizeClassFor(kMinSizeClassBytes + 1), 1);
+  EXPECT_EQ(SizeClassFor(2 * kMinSizeClassBytes), 1);
+  EXPECT_EQ(SizeClassFor(kMaxSizeClassBytes), kNumSizeClasses - 1);
+  EXPECT_EQ(SizeClassFor(kMaxSizeClassBytes + 1), -1);  // oversized
+  for (int cls = 0; cls < kNumSizeClasses; ++cls) {
+    EXPECT_EQ(SizeClassFor(SizeClassBytes(cls)), cls);
+  }
+}
+
+TEST(BlockPoolTest, AllocationRoundsUpToItsClass) {
+  BlockPool pool;
+  PoolAlloc a = pool.Allocate(1);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a.bytes, kMinSizeClassBytes);
+  EXPECT_EQ(a.size_class, 0);
+
+  PoolAlloc b = pool.Allocate(kMinSizeClassBytes + 1);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b.bytes, 2 * kMinSizeClassBytes);
+  EXPECT_EQ(b.size_class, 1);
+
+  // Oversized requests are served exactly and never cached.
+  PoolAlloc big = pool.Allocate(kMaxSizeClassBytes + 1);
+  ASSERT_TRUE(big);
+  EXPECT_EQ(big.bytes, kMaxSizeClassBytes + 1);
+  EXPECT_EQ(big.size_class, -1);
+  EXPECT_GE(pool.GetStats().oversized, 1);
+
+  pool.Release(a);
+  pool.Release(b);
+  pool.Release(big);
+  EXPECT_EQ(pool.GetStats().live_bytes, 0);
+}
+
+TEST(BlockPoolTest, ReleasedChunksAreRecycled) {
+  BlockPool pool;
+  const size_t kBytes = 64 << 10;
+  PoolAlloc a = pool.Allocate(kBytes);
+  ASSERT_TRUE(a);
+  std::memset(a.data, 0xAB, a.bytes);
+  pool.Release(a);
+
+  BlockPool::Stats before = pool.GetStats();
+  PoolAlloc b = pool.Allocate(kBytes);
+  ASSERT_TRUE(b);
+  BlockPool::Stats after = pool.GetStats();
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_GT(after.recycled_bytes, before.recycled_bytes);
+  pool.Release(b);
+}
+
+TEST(BlockPoolTest, PressureCapRefusesStrictAdmitsNonStrict) {
+  BlockPool pool;
+  pool.SetPressureCapBytes(16 << 10);  // room for ~one 16 KiB chunk
+
+  PoolAlloc first = pool.Allocate(16 << 10, /*strict=*/true);
+  ASSERT_TRUE(first);
+
+  // Over the cap: strict refuses, non-strict falls through (and is counted).
+  PoolAlloc refused = pool.Allocate(16 << 10, /*strict=*/true);
+  EXPECT_FALSE(refused);
+  PoolAlloc fallback = pool.Allocate(16 << 10, /*strict=*/false);
+  ASSERT_TRUE(fallback);
+
+  BlockPool::Stats stats = pool.GetStats();
+  EXPECT_GE(stats.pressure_rejects, 1);
+  EXPECT_GE(stats.pressure_fallbacks, 1);
+
+  // Uncapping restores strict service.
+  pool.SetPressureCapBytes(0);
+  PoolAlloc again = pool.Allocate(16 << 10, /*strict=*/true);
+  EXPECT_TRUE(again);
+
+  pool.Release(first);
+  pool.Release(fallback);
+  pool.Release(again);
+  EXPECT_EQ(pool.GetStats().live_bytes, 0);
+}
+
+// 8 threads hammer the pool through their thread-local magazines, half the
+// releases crossing threads through a shared queue so chunks migrate between
+// caches via the central tier. Under TSan this is the test that drives the
+// release/acquire chain on recycled memory.
+TEST(BlockPoolTest, EightThreadChurnExchangesMagazinesCleanly) {
+  BlockPool pool;
+  const int kThreads = 8;
+  const int kIters = 400;
+
+  std::mutex handoff_mu;
+  std::deque<PoolAlloc> handoff;
+  std::atomic<int64_t> corrupt{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Cycle through several classes so magazines overflow and refill.
+        size_t bytes = kMinSizeClassBytes << ((t + i) % 4);
+        PoolAlloc a = pool.Allocate(bytes);
+        ASSERT_TRUE(a);
+        // Stamp the chunk; whoever frees it verifies the stamp survived.
+        std::memset(a.data, t + 1, 64);
+        if (a.data[0] != t + 1 || a.data[63] != t + 1) corrupt.fetch_add(1);
+        if (i % 2 == 0) {
+          pool.Release(a);
+        } else {
+          std::lock_guard<std::mutex> lock(handoff_mu);
+          handoff.push_back(a);
+        }
+        // Drain someone else's chunk (cross-thread release).
+        PoolAlloc other;
+        {
+          std::lock_guard<std::mutex> lock(handoff_mu);
+          if (!handoff.empty()) {
+            other = handoff.front();
+            handoff.pop_front();
+          }
+        }
+        if (other) {
+          if (other.data[0] < 1 || other.data[0] > kThreads) {
+            corrupt.fetch_add(1);
+          }
+          pool.Release(other);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (PoolAlloc& a : handoff) pool.Release(a);
+
+  EXPECT_EQ(corrupt.load(), 0);
+  BlockPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.live_bytes, 0);
+  // Churn this heavy must be served mostly from recycling, not the OS.
+  EXPECT_GT(stats.hits, stats.misses);
+}
+
+// --- QueryBudget ledger ---------------------------------------------------------
+
+TEST(QueryBudgetTest, ChargeReleaseIsExact) {
+  QueryBudget budget("q-test", 1 << 20);
+  EXPECT_TRUE(budget.TryCharge(512 << 10));
+  EXPECT_EQ(budget.charged_bytes(), 512 << 10);
+  EXPECT_TRUE(budget.TryCharge(512 << 10));
+  EXPECT_EQ(budget.charged_bytes(), 1 << 20);
+  // The ledger invariant: a charge that would exceed the budget never lands.
+  EXPECT_FALSE(budget.TryCharge(1));
+  EXPECT_EQ(budget.charged_bytes(), 1 << 20);
+  budget.Release(512 << 10);
+  EXPECT_EQ(budget.charged_bytes(), 512 << 10);
+  budget.Release(512 << 10);
+  EXPECT_EQ(budget.charged_bytes(), 0);
+  EXPECT_EQ(budget.peak_charged_bytes(), 1 << 20);
+  EXPECT_FALSE(budget.rejected());  // refusal alone never latches rejection
+}
+
+TEST(QueryBudgetTest, ChargeInvokesShrinkHookAndRetries) {
+  QueryBudget budget("q-shrink", 1024);
+  ASSERT_TRUE(budget.TryCharge(1024));
+  int shrinks = 0;
+  budget.SetShrinkHook([&] {
+    ++shrinks;
+    budget.Release(512);  // the executor freeing a worker's buffers
+    return true;
+  });
+  EXPECT_TRUE(budget.Charge(256));
+  EXPECT_EQ(shrinks, 1);
+  EXPECT_EQ(budget.charged_bytes(), 768);
+  // Hook that frees nothing: the retry fails, nothing is charged.
+  budget.SetShrinkHook([&] {
+    ++shrinks;
+    return false;
+  });
+  EXPECT_FALSE(budget.Charge(1024));
+  EXPECT_EQ(shrinks, 2);
+  EXPECT_EQ(budget.charged_bytes(), 768);
+}
+
+TEST(QueryBudgetTest, ConcurrentChargesNeverExceedBudget) {
+  const int64_t kBudget = 1 << 20;
+  QueryBudget budget("q-conc", kBudget);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> violations{0};
+
+  // A sampler thread plays the role of the stress harness's 1 ms probe.
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (budget.charged_bytes() > kBudget) violations.fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> chargers;
+  for (int t = 0; t < 8; ++t) {
+    chargers.emplace_back([&, t] {
+      const int64_t bytes = (t + 1) * 4096;
+      for (int i = 0; i < 2000; ++i) {
+        if (budget.TryCharge(bytes)) budget.Release(bytes);
+      }
+    });
+  }
+  for (auto& th : chargers) th.join();
+  stop.store(true, std::memory_order_release);
+  sampler.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(budget.charged_bytes(), 0);
+  EXPECT_LE(budget.peak_charged_bytes(), kBudget);
+}
+
+// --- MemSource: pool + budget handshake -----------------------------------------
+
+TEST(MemSourceTest, ChunkChargesActualBytesAndRefundsOnRelease) {
+  BlockPool pool;
+  QueryBudget budget("q-src", 1 << 20);
+  MemSource source{&pool, nullptr, &budget};
+
+  PoolAlloc a = source.AllocateChunk(10'000);  // rounds up to 16 KiB
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a.bytes, size_t{16} << 10);
+  EXPECT_EQ(budget.charged_bytes(), 16 << 10);  // actual, not requested
+
+  source.ReleaseChunk(a);
+  EXPECT_EQ(budget.charged_bytes(), 0);
+  EXPECT_EQ(pool.GetStats().live_bytes, 0);
+}
+
+TEST(MemSourceTest, BudgetRefusalReturnsChunkToPool) {
+  BlockPool pool;
+  QueryBudget budget("q-tiny", 4096);
+  MemSource source{&pool, nullptr, &budget};
+
+  PoolAlloc a = source.AllocateChunk(64 << 10);  // over budget
+  EXPECT_FALSE(a);
+  EXPECT_EQ(budget.charged_bytes(), 0);
+  EXPECT_EQ(pool.GetStats().live_bytes, 0);  // refused chunk went back
+}
+
+// --- Arena recycling ------------------------------------------------------------
+
+TEST(ArenaPoolTest, ResetReturnsChunksToThePool) {
+  BlockPool pool;
+  QueryBudget budget("q-arena", 8 << 20);
+  Arena arena(64 << 10, MemSource{&pool, nullptr, &budget});
+  for (int i = 0; i < 32; ++i) arena.Allocate(16 << 10);
+  EXPECT_GT(budget.charged_bytes(), 0);
+  int64_t live_before = pool.GetStats().live_bytes;
+  EXPECT_GT(live_before, 0);
+
+  arena.Reset();
+  EXPECT_EQ(budget.charged_bytes(), 0);  // every chunk refunded
+  EXPECT_EQ(pool.GetStats().live_bytes, 0);
+
+  // The next fill is served from the chunks Reset parked in the pool.
+  BlockPool::Stats before = pool.GetStats();
+  for (int i = 0; i < 32; ++i) arena.Allocate(16 << 10);
+  EXPECT_GT(pool.GetStats().recycled_bytes, before.recycled_bytes);
+}
+
+// --- Spill round-trip -----------------------------------------------------------
+
+TEST(SpillRunTest, ReadBackIsByteIdentical) {
+  auto run = SpillRun::Create();
+  ASSERT_NE(run, nullptr);
+  std::vector<char> payload(100'000);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>((i * 31 + 7) & 0xFF);
+  }
+  ASSERT_TRUE(run->Append(payload.data(), 40'000).ok());
+  ASSERT_TRUE(run->Append(payload.data() + 40'000, 60'000).ok());
+  ASSERT_TRUE(run->Finish().ok());
+  EXPECT_EQ(run->bytes(), 100'000);
+
+  std::vector<char> back;
+  ASSERT_TRUE(run->ReadAll(&back).ok());
+  ASSERT_EQ(back.size(), payload.size());
+  EXPECT_EQ(std::memcmp(back.data(), payload.data(), payload.size()), 0);
+}
+
+TEST(SpillRunTest, AggTableSpillRestoreRoundTrip) {
+  Schema group({ColumnDef::Int32("g")});
+  std::vector<AggFn> fns = {AggFn::kSum, AggFn::kCount};
+  AggHashTable table(group, 2, 64);
+  std::vector<char> grow(group.row_size());
+  for (int i = 0; i < 1000; ++i) {
+    group.SetInt32(grow.data(), 0, i % 13);
+    double values[2] = {static_cast<double>(i), 0};
+    int64_t weights[2] = {1, 1};
+    ASSERT_TRUE(table.Update(grow.data(), fns, values, weights));
+  }
+
+  auto run = SpillRun::Create();
+  ASSERT_NE(run, nullptr);
+  ASSERT_TRUE(table.SerializeTo(run.get()).ok());
+  ASSERT_TRUE(run->Finish().ok());
+
+  // Restore into a fresh table, fold the same live updates on top, and check
+  // the merge matches doubling the live table: spill+merge loses nothing.
+  std::vector<char> bytes;
+  ASSERT_TRUE(run->ReadAll(&bytes).ok());
+  AggHashTable restored(group, 2, 64);
+  ASSERT_TRUE(AggHashTable::MergeSerialized(bytes.data(), bytes.size(), fns,
+                                            &restored)
+                  .ok());
+  ASSERT_EQ(restored.size(), table.size());
+
+  std::map<int32_t, std::pair<double, int64_t>> want, got;
+  table.ForEach([&](const char* row, const AggHashTable::AggState* states) {
+    want[group.GetInt32(row, 0)] = {states[0].sum, states[1].count};
+  });
+  restored.ForEach([&](const char* row, const AggHashTable::AggState* states) {
+    got[group.GetInt32(row, 0)] = {states[0].sum, states[1].count};
+  });
+  EXPECT_EQ(want, got);
+}
+
+}  // namespace
+}  // namespace claims

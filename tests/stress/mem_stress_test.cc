@@ -1,0 +1,189 @@
+// Memory-pressure stress: a 24-query storm over one shared cluster, every
+// query running under a binding per-query budget, while a mempressure fault
+// squeezes the global block pool mid-storm. The contract under the squeeze
+// (docs/MEMORY.md): every query ends correct — byte-equivalent to an
+// unpressured reference run — or fails kResourceExhausted after the
+// shrink -> spill ladder; nothing hangs, nothing OOMs, and the ledger
+// invariant `charged <= budget` holds at every millisecond sample. Under
+// TSan this is the test that races pool squeeze/restore against charge,
+// spill, and refund on all workers at once.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/executor.h"
+#include "fault/injector.h"
+#include "mem/block_pool.h"
+#include "wlm/query_service.h"
+
+namespace claims {
+namespace {
+
+constexpr int kNodes = 2;
+constexpr int kCoresPerNode = 4;
+
+ExprPtr Col(const Schema& s, const char* name) {
+  int i = s.FindColumn(name);
+  EXPECT_GE(i, 0) << name;
+  return MakeColumnRef(i, s.column(i).type, name);
+}
+
+class MemStressTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog;
+    Schema s({ColumnDef::Int32("k"), ColumnDef::Int64("v")});
+    auto t = std::make_shared<Table>("kv", s, kNodes, std::vector<int>{});
+    for (int i = 0; i < 30000; ++i) {
+      t->AppendValues({Value::Int32(i % 500), Value::Int64(i)});
+    }
+    ASSERT_TRUE(catalog_->RegisterTable(std::move(t)).ok());
+    ClusterOptions copts;
+    copts.num_nodes = kNodes;
+    copts.cores_per_node = kCoresPerNode;
+    cluster_ = new Cluster(copts, catalog_);
+  }
+  static void TearDownTestSuite() {
+    BlockPool::Global()->SetPressureCapBytes(0);  // never leak a cap
+    delete cluster_;
+    delete catalog_;
+  }
+
+  /// Memory-hungry: scan kv → hash-agg grouped on k (sum(v), count). The agg
+  /// tables and buffers are the pool-backed state the squeeze lands on.
+  static PhysicalPlan AggPlan(HashAggIterator::Mode mode) {
+    TablePtr kv = *catalog_->GetTable("kv");
+    PhysicalPlan plan;
+    auto f = std::make_unique<Fragment>();
+    f->id = 0;
+    auto scan = MakeScanOp(*kv);
+    const Schema scan_schema = scan->output_schema;
+    f->root = MakeHashAggOp(std::move(scan), {Col(scan_schema, "k")}, {"k"},
+                            {{AggFn::kSum, Col(scan_schema, "v"), "s"},
+                             {AggFn::kCount, nullptr, "cnt"}},
+                            mode);
+    f->nodes = {0, 1};
+    f->out_exchange_id = 0;
+    f->partitioning = Partitioning::kToOne;
+    f->consumer_nodes = {0};
+    plan.result_schema = f->root->output_schema;
+    plan.result_exchange_id = 0;
+    plan.fragments.push_back(std::move(f));
+    return plan;
+  }
+
+  static Catalog* catalog_;
+  static Cluster* cluster_;
+};
+
+Catalog* MemStressTest::catalog_ = nullptr;
+Cluster* MemStressTest::cluster_ = nullptr;
+
+TEST_F(MemStressTest, PoolSqueezeMidStormDegradesWithoutHangs) {
+  constexpr int kQueries = 24;
+
+  // Reference results from an unpressured run, one per agg mode. Any storm
+  // query that reports OK must reproduce these bytes exactly.
+  std::vector<std::vector<std::vector<Value>>> reference;
+  {
+    QueryServiceOptions opts;
+    opts.admission.max_concurrent = 2;
+    QueryService service(cluster_, opts);
+    for (auto mode :
+         {HashAggIterator::Mode::kShared, HashAggIterator::Mode::kHybrid}) {
+      SubmitOptions sub;
+      sub.label = "reference";
+      auto h = service.Submit(AggPlan(mode), sub);
+      h->Wait();
+      ASSERT_TRUE(h->status().ok()) << h->status().ToString();
+      reference.push_back(h->result().Rows(/*sorted=*/true));
+    }
+    service.Shutdown();
+  }
+
+  // The squeeze: a mempressure window opens 30 ms into the storm and caps
+  // the global pool for 250 ms through the injector's default actuator.
+  auto plan = ParseFaultPlan(
+      "at=30ms kind=mempressure dur=250ms bytes=8388608\n");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*plan);
+
+  QueryServiceOptions opts;
+  opts.admission.max_concurrent = 6;
+  QueryService service(cluster_, opts);
+
+  // 1 ms ledger sampler: at no sample may any query's charged bytes exceed
+  // its budget — the invariant QueryBudget::TryCharge enforces by CAS.
+  std::atomic<bool> stop_sampler{false};
+  std::atomic<int64_t> violations{0};
+  std::atomic<int64_t> samples{0};
+  std::thread sampler([&] {
+    while (!stop_sampler.load(std::memory_order_acquire)) {
+      for (const QueryInfo& q : service.ListQueries()) {
+        if (q.mem_budget_bytes > 0 &&
+            q.mem_charged_bytes > q.mem_budget_bytes) {
+          violations.fetch_add(1);
+        }
+      }
+      samples.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  injector.Arm();
+  std::vector<QueryHandlePtr> handles;
+  handles.reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    SubmitOptions sub;
+    sub.label = "mem-" + std::to_string(i);
+    sub.exec.parallelism = 1 + i % 2;
+    sub.exec.buffer_capacity_blocks = 2;
+    // Budgets straddle the workable range: the roomy ones should survive the
+    // squeeze by shrinking/spilling, the starved ones may reject — both are
+    // legal outcomes; hanging or wrong bytes are not.
+    sub.exec.memory_budget_bytes = (i % 3 + 1) * int64_t{2} << 20;  // 2/4/6 MiB
+    auto mode = i % 2 ? HashAggIterator::Mode::kHybrid
+                      : HashAggIterator::Mode::kShared;
+    handles.push_back(service.Submit(AggPlan(mode), sub));
+  }
+
+  // Zero hangs: every query must terminate well within the suite timeout
+  // even with the pool capped. WaitFor bounds it explicitly.
+  int ok = 0, exhausted = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(handles[i]->WaitFor(120'000'000'000))  // 120 s
+        << handles[i]->label() << " hung";
+    const Status& s = handles[i]->status();
+    if (s.ok()) {
+      ++ok;
+      EXPECT_EQ(handles[i]->result().Rows(/*sorted=*/true), reference[i % 2])
+          << handles[i]->label() << " returned wrong bytes";
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kResourceExhausted)
+          << handles[i]->label() << ": " << s.ToString();
+      ++exhausted;
+    }
+  }
+  service.Shutdown();
+  injector.Disarm();
+  BlockPool::Global()->SetPressureCapBytes(0);
+
+  stop_sampler.store(true, std::memory_order_release);
+  sampler.join();
+
+  EXPECT_EQ(violations.load(), 0) << "ledger exceeded a budget";
+  EXPECT_GT(samples.load(), 0);
+  // The storm must make real progress: with 2..6 MiB budgets and spill as a
+  // relief valve, at least some queries complete correctly.
+  EXPECT_GT(ok, 0) << ok << " ok / " << exhausted << " exhausted";
+  EXPECT_EQ(ok + exhausted, kQueries);
+}
+
+}  // namespace
+}  // namespace claims
