@@ -35,6 +35,7 @@
 #include "net/socket_util.h"
 #include "obs/monitor_server.h"
 #include "obs/profile/profiler.h"
+#include "obs/timeseries/timeseries.h"
 #include "obs/trace.h"
 #include "storage/table.h"
 
@@ -214,6 +215,7 @@ struct MonitoringConfig {
   bool serve;    // monitor endpoint up, flight recorder armed
   bool scrape;   // a client hammering /metrics + dumps during the run
   bool profile;  // causal profiler armed, spans recorded but never served
+  bool sample;   // time-series sampler walking the registry at 1 s cadence
 };
 
 double MeasureMonitored(const Table& big, const MonitoringConfig& cfg,
@@ -229,6 +231,14 @@ double MeasureMonitored(const Table& big, const MonitoringConfig& cfg,
     if (!server.Start().ok()) return -1;
   }
   if (cfg.profile) QueryProfiler::Global()->Arm();
+  std::unique_ptr<MetricSampler> sampler;
+  if (cfg.sample) {
+    // Production cadence (1 s), published as the process default exactly as
+    // the introspection plane does — the query hot path must not notice it.
+    sampler = std::make_unique<MetricSampler>(TimeseriesOptions{});
+    MetricSampler::SetDefault(sampler.get());
+    sampler->Start();
+  }
   std::atomic<bool> stop{false};
   std::thread scraper;
   if (cfg.scrape) {
@@ -259,6 +269,10 @@ double MeasureMonitored(const Table& big, const MonitoringConfig& cfg,
   }
   stop.store(true);
   if (scraper.joinable()) scraper.join();
+  if (sampler) {
+    MetricSampler::SetDefault(nullptr);
+    sampler->Stop();
+  }
   if (cfg.profile) QueryProfiler::Global()->Disarm();
   if (cfg.serve) {
     server.Stop();
@@ -282,10 +296,11 @@ int main(int argc, char** argv) {
   auto big = MakeBig(json ? 500'000 : 2'000'000);
 
   const MonitoringConfig configs[] = {
-      {"monitoring off", false, false, false},
-      {"causal profiler armed (unscraped)", false, false, true},
-      {"endpoint + flight recorder armed", true, false, false},
-      {"scraper hammering /metrics + dumps", true, true, false},
+      {"monitoring off", false, false, false, false},
+      {"causal profiler armed (unscraped)", false, false, true, false},
+      {"timeseries sampler armed (1s)", false, false, false, true},
+      {"endpoint + flight recorder armed", true, false, false, false},
+      {"scraper hammering /metrics + dumps", true, true, false, false},
   };
 
   if (json) {

@@ -7,9 +7,22 @@
 //   wlm_closed_loop [--queries N] [--mpl M] [--open [--rate QPS]]
 //                   [--scale SF] [--seed S] [--json] [--monitor-port P]
 //                   [--linger SEC] [--profile] [--mem-budget-mb MB]
+//                   [--timeline] [--chaos-seed S]
 //
 // --seed fixes the driver's deterministic randomness (open-mode Poisson
 // inter-arrivals); two runs with the same seed submit the same schedule.
+//
+// --timeline records per-second completion buckets: the JSON record gains a
+// "timeline" array (throughput + p99 per second) and the text report prints
+// ASCII sparklines — the time axis BENCH_wlm.json otherwise lacks.
+//
+// --chaos-seed arms a seeded fault storm (RandomFaultStorm) PLUS a scripted
+// crash of node 3 one second in, with query retries enabled, so a monitored
+// run produces the dip-and-recover curve on /timeseries and /dash with the
+// crash annotated on the timeline (the CI monitor-smoke configuration).
+// Under chaos the exit code only requires that every query terminated and
+// some succeeded — typed failures through a killed node are the scenario,
+// not a bug.
 //
 // --profile arms the causal query profiler for the whole run and, after the
 // workload drains, prints the slowest profiled query's critical path and
@@ -35,6 +48,8 @@
 #include "bench/bench_util.h"
 #include "engine/database.h"
 #include "engine/workloads.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
 #include "obs/profile/assembler.h"
 #include "obs/profile/profiler.h"
 #include "obs/trace.h"
@@ -57,6 +72,8 @@ int main(int argc, char** argv) {
   double linger_sec = 0;
   uint64_t seed = 42;
   int64_t mem_budget_mb = 0;  // 0 = memory admission gate off
+  bool timeline = false;
+  int64_t chaos_seed = -1;  // -1 = chaos off
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> double {
       if (i + 1 >= argc) {
@@ -87,6 +104,10 @@ int main(int argc, char** argv) {
       seed = static_cast<uint64_t>(next("--seed"));
     } else if (!std::strcmp(argv[i], "--mem-budget-mb")) {
       mem_budget_mb = static_cast<int64_t>(next("--mem-budget-mb"));
+    } else if (!std::strcmp(argv[i], "--timeline")) {
+      timeline = true;
+    } else if (!std::strcmp(argv[i], "--chaos-seed")) {
+      chaos_seed = static_cast<int64_t>(next("--chaos-seed"));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -139,6 +160,10 @@ int main(int argc, char** argv) {
     iopts.monitor.port = monitor_port;
     iopts.flight_recorder_capacity = 1 << 16;
     iopts.enable_watchdog = true;
+    // A monitored run always gets the time axis: /timeseries + /dash data
+    // and the anomaly watchdog, at the env-overridable 1 s default cadence.
+    iopts.enable_timeseries = true;
+    iopts.timeseries = TimeseriesOptions::FromEnv(iopts.timeseries);
     plane = std::make_unique<IntrospectionPlane>(&service, iopts);
     if (Status s = plane->Start(); !s.ok()) {
       std::fprintf(stderr, "monitor: %s\n", s.ToString().c_str());
@@ -151,6 +176,25 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
+  // Seeded chaos: a windowed storm (drop/delay/dup/NIC) plus a scripted
+  // crash of node 3 one second into the run. Queries get a retry budget so
+  // most ride through the crash — the throughput curve dips and recovers
+  // instead of flatlining.
+  std::unique_ptr<FaultInjector> injector;
+  if (chaos_seed >= 0) {
+    FaultPlan storm = RandomFaultStorm(static_cast<uint64_t>(chaos_seed),
+                                       dopts.cluster.num_nodes,
+                                       3'000'000'000);
+    FaultSpec crash;
+    crash.kind = FaultKind::kCrashNode;
+    crash.at_ns = 1'000'000'000;
+    crash.node = dopts.cluster.num_nodes - 1;
+    storm.faults.push_back(crash);
+    injector = std::make_unique<FaultInjector>(std::move(storm));
+    db.cluster()->AttachFaultInjector(injector.get());
+    if (plane) plane->AttachFaultInjector(injector.get());
+  }
+
   WorkloadOptions wopts;
   wopts.mode = open ? ArrivalMode::kOpen : ArrivalMode::kClosed;
   wopts.total_queries = queries;
@@ -158,6 +202,11 @@ int main(int argc, char** argv) {
   wopts.arrival_rate_qps = rate;
   wopts.seed = seed;
   wopts.submit.label = "tpch";
+  wopts.timeline = timeline;
+  if (injector) {
+    wopts.submit.retry.max_attempts = 3;
+    wopts.submit.retry.initial_backoff_ns = 5'000'000;
+  }
   wopts.make_plan = [&](int seq) -> PhysicalPlan {
     std::lock_guard<std::mutex> lock(plan_mu);
     auto plan = db.Plan(*TpchQuery(numbers[seq % numbers.size()]));
@@ -166,9 +215,15 @@ int main(int argc, char** argv) {
   wopts.priority_of = [](int seq) { return seq % 3; };
 
   if (profile) QueryProfiler::Global()->Arm();
+  if (injector) injector->Arm();
 
   WorkloadDriver driver(&service, wopts);
   WorkloadReport report = driver.Run();
+
+  if (injector) {
+    injector->Disarm();
+    db.cluster()->AttachFaultInjector(nullptr);
+  }
 
   if (json) {
     std::printf("%s\n", report.ToJson().c_str());
@@ -198,5 +253,12 @@ int main(int argc, char** argv) {
   }
   if (profile) QueryProfiler::Global()->Disarm();
   if (plane) plane->Stop();
+  const int terminated = report.succeeded + report.failed + report.cancelled +
+                         report.deadline_exceeded;
+  if (injector) {
+    // Chaos run: typed failures through the killed node are expected; the
+    // gate is "no hangs, survivors keep answering".
+    return terminated == report.total && report.succeeded > 0 ? 0 : 1;
+  }
   return report.succeeded == report.total ? 0 : 1;
 }

@@ -3,10 +3,27 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "mem/block_pool.h"
+#include "obs/timeseries/timeseries.h"
 #include "obs/trace.h"
 
 namespace claims {
+namespace {
+
+/// Marks a fault transition on the metric time axis, so a chaos run's
+/// /timeseries (and /dash) shows cause next to effect. No-op when no sampler
+/// is published. Called under the injector mutex; the sampler never calls
+/// back into the injector, so injector_mu → sampler_mu is a safe order.
+void AnnotateTimeline(const FaultSpec& spec, bool begin) {
+  MetricSampler* sampler = MetricSampler::Default();
+  if (sampler == nullptr) return;
+  std::string label = StrFormat("fault.%s", FaultKindName(spec.kind));
+  if (spec.node >= 0) label += StrFormat(" node=%d", spec.node);
+  sampler->Annotate(std::move(label), begin);
+}
+
+}  // namespace
 
 FaultInjector::FaultInjector(FaultPlan plan, Clock* clock)
     : plan_(std::move(plan)),
@@ -152,6 +169,7 @@ int FaultInjector::ApplyTransitionsLocked(
                     {{"kind", std::string(FaultKindName(spec.kind))},
                      {"at_ns", spec.at_ns}});
       }
+      AnnotateTimeline(spec, /*begin=*/true);
       if ((spec.kind == FaultKind::kDegradeNic ||
            spec.kind == FaultKind::kMemPressure) &&
           w.deactivated) {
@@ -183,6 +201,7 @@ int FaultInjector::ApplyTransitionsLocked(
                     {{"kind", std::string(FaultKindName(spec.kind))},
                      {"at_ns", spec.at_ns + spec.duration_ns}});
       }
+      AnnotateTimeline(spec, /*begin=*/false);
     }
   }
   return applied;

@@ -58,6 +58,32 @@ int64_t MetricHistogram::Percentile(double p) const {
   return max();
 }
 
+int64_t MetricHistogram::SnapshotBuckets(int64_t out[kBuckets]) const {
+  int64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += out[b];
+  }
+  return total;
+}
+
+int64_t MetricHistogram::DeltaPercentile(const int64_t delta[kBuckets],
+                                         double p) {
+  int64_t n = 0;
+  for (int b = 0; b < kBuckets; ++b) n += std::max<int64_t>(0, delta[b]);
+  if (n == 0) return 0;
+  int64_t target = static_cast<int64_t>(p * static_cast<double>(n - 1)) + 1;
+  int64_t seen = 0;
+  int last_occupied = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    int64_t occ = std::max<int64_t>(0, delta[b]);
+    if (occ > 0) last_occupied = b;
+    seen += occ;
+    if (seen >= target) return b == 0 ? 0 : int64_t{1} << b;
+  }
+  return last_occupied == 0 ? 0 : int64_t{1} << last_occupied;
+}
+
 void MetricHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -70,6 +70,17 @@ class MetricHistogram {
   int64_t bucket_count(int i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+
+  /// Copies every bucket occupancy into `out[kBuckets]` and returns their
+  /// sum. The snapshot is the subtrahend for *windowed* quantiles: the time-
+  /// series sampler diffs two snapshots and reads percentiles off the delta.
+  int64_t SnapshotBuckets(int64_t out[kBuckets]) const;
+
+  /// Percentile over a bucket *delta* (current snapshot minus a previous
+  /// one), same boundary semantics as Percentile. An empty window (all
+  /// deltas zero) reports 0 — never a stale cumulative quantile. Negative
+  /// entries (a Reset between snapshots) are treated as empty buckets.
+  static int64_t DeltaPercentile(const int64_t delta[kBuckets], double p);
   /// Largest value bucket `i` can hold: 0 for bucket 0 (v <= 0), else
   /// 2^i - 1 (bucket i holds [2^(i-1), 2^i)). Prometheus `le` boundaries.
   static int64_t BucketUpperBound(int i) {

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/metrics_registry.h"
@@ -12,6 +13,8 @@
 #include "obs/profile/assembler.h"
 #include "obs/profile/profiler.h"
 #include "obs/prometheus.h"
+#include "obs/timeseries/dashboard_html.h"
+#include "obs/timeseries/timeseries.h"
 #include "obs/trace.h"
 
 namespace claims {
@@ -76,6 +79,18 @@ bool ParseRequest(const std::string& raw, HttpRequest* request,
   return true;
 }
 
+/// Value of `key` in a raw "a=1&b=2" query string ("" when absent). No
+/// percent-decoding: monitor query values are metric-name substrings and
+/// numbers.
+std::string QueryParam(const std::string& query, const std::string& key) {
+  for (const std::string& piece : Split(query, '&')) {
+    size_t eq = piece.find('=');
+    if (eq == std::string::npos) continue;
+    if (piece.compare(0, eq, key) == 0) return piece.substr(eq + 1);
+  }
+  return "";
+}
+
 }  // namespace
 
 MonitorOptions MonitorOptions::FromEnv(MonitorOptions base) {
@@ -91,7 +106,9 @@ MonitorServer::MonitorServer(MonitorOptions options)
     : options_(std::move(options)),
       requests_metric_(MetricsRegistry::Global()->counter("monitor.requests")),
       errors_metric_(
-          MetricsRegistry::Global()->counter("monitor.http_errors")) {
+          MetricsRegistry::Global()->counter("monitor.http_errors")),
+      scrape_ns_metric_(
+          MetricsRegistry::Global()->histogram("obs.scrape_ns")) {
   RegisterBuiltinRoutes();
 }
 
@@ -101,11 +118,40 @@ void MonitorServer::RegisterBuiltinRoutes() {
   AddHandler("GET", "/healthz", [](const HttpRequest&) {
     return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
   });
-  AddHandler("GET", "/metrics", [](const HttpRequest&) {
+  AddHandler("GET", "/metrics", [this](const HttpRequest&) {
     // Refresh process.* gauges per scrape: always current, no sampler thread.
     UpdateProcessGauges();
-    return HttpResponse{200, kPrometheusContentType,
-                        PrometheusSnapshot(*MetricsRegistry::Global())};
+    const int64_t t0 = SteadyClock::Default()->NowNanos();
+    HttpResponse response;
+    response.content_type = kPrometheusContentType;
+    {
+      std::lock_guard<std::mutex> lock(scrape_mu_);
+      PrometheusSnapshotTo(*MetricsRegistry::Global(), &scrape_scratch_);
+      response.body = scrape_scratch_;
+    }
+    scrape_ns_metric_->Record(SteadyClock::Default()->NowNanos() - t0);
+    return response;
+  });
+  AddHandler("GET", "/timeseries", [](const HttpRequest& request) {
+    MetricSampler* sampler = MetricSampler::Default();
+    if (sampler == nullptr) {
+      return HttpResponse::Json(
+          "{\"enabled\":false,\"series\":[],\"annotations\":[]}");
+    }
+    const std::string metric = QueryParam(request.query, "metric");
+    int64_t window_ns = 0;
+    const std::string window_s = QueryParam(request.query, "window");
+    if (!window_s.empty()) {
+      window_ns = static_cast<int64_t>(std::atof(window_s.c_str()) * 1e9);
+    }
+    if (QueryParam(request.query, "format") == "text") {
+      return HttpResponse{200, "text/plain; charset=utf-8",
+                          sampler->ToText(metric, window_ns)};
+    }
+    return HttpResponse::Json(sampler->ToJson(metric, window_ns));
+  });
+  AddHandler("GET", "/dash", [](const HttpRequest&) {
+    return HttpResponse{200, "text/html; charset=utf-8", kDashboardHtml};
   });
   AddHandler("GET", "/profile", [](const HttpRequest&) {
     std::string body = "{\"profiles\":[";

@@ -16,6 +16,7 @@
 namespace claims {
 
 class MetricCounter;
+class MetricHistogram;
 
 /// One parsed HTTP request as a handler sees it. `path` excludes the query
 /// string; `query` is the raw text after '?' (empty when absent).
@@ -65,6 +66,8 @@ struct MonitorOptions {
 ///   GET  /                      route index
 ///   GET  /healthz               liveness probe ("ok")
 ///   GET  /metrics               MetricsRegistry in Prometheus exposition
+///   GET  /timeseries            metric history rings (MetricSampler::Default)
+///   GET  /dash                  self-contained live dashboard polling the above
 ///   POST /flight-recorder/dump  TraceCollector snapshot as Chrome JSON
 ///
 /// and subsystems register their own routes (AddHandler) — the workload
@@ -116,6 +119,14 @@ class MonitorServer {
   MonitorOptions options_;
   MetricCounter* requests_metric_;
   MetricCounter* errors_metric_;
+  MetricHistogram* scrape_ns_metric_;
+
+  /// Long-lived scratch for the /metrics render: the exposition is rebuilt
+  /// per scrape but into this buffer (clear keeps capacity), so steady-state
+  /// scrapes stop reallocating. Requests are served on the single acceptor
+  /// thread; the mutex only guards against concurrent Dispatch from tests.
+  std::mutex scrape_mu_;
+  std::string scrape_scratch_;
 
   mutable std::mutex handlers_mu_;
   /// (method, path) → handler.

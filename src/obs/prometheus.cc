@@ -85,6 +85,13 @@ std::string PrometheusEscapeLabel(const std::string& value) {
 
 std::string PrometheusSnapshot(const MetricsRegistry& registry) {
   std::string out;
+  PrometheusSnapshotTo(registry, &out);
+  return out;
+}
+
+void PrometheusSnapshotTo(const MetricsRegistry& registry, std::string* buf) {
+  buf->clear();  // keeps capacity: repeat scrapes reuse the allocation
+  std::string& out = *buf;
   std::set<std::string> typed;  // series that already have a # TYPE line
   registry.Visit(
       [&](const std::string& name, const MetricCounter& c) {
@@ -142,7 +149,6 @@ std::string PrometheusSnapshot(const MetricsRegistry& registry) {
         AppendSample(&out, series + "_count", instance,
                      StrFormat("%lld", static_cast<long long>(total)));
       });
-  return out;
 }
 
 }  // namespace claims

@@ -25,6 +25,11 @@ std::string PrometheusEscapeLabel(const std::string& value);
 /// bucket. `# TYPE` lines are emitted once per series name.
 std::string PrometheusSnapshot(const MetricsRegistry& registry);
 
+/// Same exposition rendered into `*out` (cleared first, capacity kept).
+/// Callers that scrape repeatedly — the monitor's /metrics route — hand in a
+/// long-lived scratch buffer so steady-state scrapes stop reallocating.
+void PrometheusSnapshotTo(const MetricsRegistry& registry, std::string* out);
+
 /// Content-Type the exposition format is served under.
 extern const char kPrometheusContentType[];
 

@@ -1,0 +1,69 @@
+#include "obs/timeseries/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace claims {
+
+bool AnomalyDetector::Observe(const std::string& series, int64_t t_ns,
+                              double value, AnomalyIncident* out) {
+  State& s = state_[series];
+  if (s.seen == 0) {
+    s.mean = value;
+    s.dev = 0;
+    s.seen = 1;
+    return false;
+  }
+
+  const double floor_band =
+      std::max(options_.min_deviation, options_.min_relative * std::fabs(s.mean));
+  const double band = options_.threshold_sigma * std::max(s.dev, floor_band);
+  const double err = value - s.mean;
+  const bool warmed = s.seen >= options_.warmup_samples;
+  const bool deviant = warmed && std::fabs(err) > band;
+
+  bool fired = false;
+  if (deviant) {
+    s.normal_run = 0;
+    ++s.deviant_run;
+    if (!s.in_incident && s.deviant_run >= options_.sustain_samples) {
+      s.in_incident = true;
+      fired = true;
+      if (out != nullptr) {
+        out->series = series;
+        out->t_ns = t_ns;
+        out->value = value;
+        out->baseline = s.mean;
+        out->deviation = s.dev;
+        out->description = StrFormat(
+            "timeseries anomaly: %s %s: value %.6g vs baseline %.6g "
+            "(dev %.6g, >%.1f sigma for %d samples)",
+            series.c_str(), err < 0 ? "collapsed" : "spiked", value, s.mean,
+            s.dev, options_.threshold_sigma, s.deviant_run);
+      }
+    }
+  } else {
+    s.deviant_run = 0;
+    if (s.in_incident) {
+      ++s.normal_run;
+      if (s.normal_run >= options_.recover_samples) {
+        s.in_incident = false;
+        s.normal_run = 0;
+      }
+    }
+  }
+
+  // Deviant samples leak into the baseline at a tenth of alpha: fast enough
+  // that a *permanent* level shift is eventually adopted (ending the episode),
+  // slow enough that a spike cannot inflate its own band before the sustain
+  // count is reached.
+  const double a = deviant ? options_.alpha * 0.1 : options_.alpha;
+  s.mean += a * err;
+  s.dev = (1.0 - a) * s.dev + a * std::fabs(err);
+  ++s.seen;
+  return fired;
+}
+
+}  // namespace claims

@@ -1,0 +1,79 @@
+#ifndef CLAIMS_OBS_TIMESERIES_ANOMALY_H_
+#define CLAIMS_OBS_TIMESERIES_ANOMALY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace claims {
+
+struct AnomalyOptions {
+  /// EWMA smoothing factor for the per-series baseline (mean + mean absolute
+  /// deviation). Deviant samples leak in at alpha/10 so a spike cannot drag
+  /// its own baseline up fast enough to mask itself (that leak is also what
+  /// eventually ends an episode when the shift is permanent).
+  double alpha = 0.25;
+  /// A sample is deviant when |value − baseline| > threshold_sigma × MAD.
+  double threshold_sigma = 4.0;
+  /// Absolute floor on the deviation band — keeps a dead-flat series (MAD 0)
+  /// from flagging the first wiggle.
+  double min_deviation = 1e-9;
+  /// Relative floor on the band: max(min_deviation, min_relative × |mean|).
+  double min_relative = 0.05;
+  /// Samples observed before a series may flag at all (baseline warm-up).
+  int warmup_samples = 8;
+  /// Hysteresis: consecutive deviant samples required to open an incident …
+  int sustain_samples = 3;
+  /// … and consecutive normal samples required to close it (re-arming the
+  /// one-shot), so one episode fires exactly once.
+  int recover_samples = 3;
+};
+
+/// One sustained deviation on one series.
+struct AnomalyIncident {
+  std::string series;
+  int64_t t_ns = 0;
+  double value = 0;     ///< the sample that crossed sustain_samples
+  double baseline = 0;  ///< EWMA mean at that point
+  double deviation = 0; ///< EWMA mean absolute deviation at that point
+  std::string description;
+};
+
+/// Streaming per-series anomaly detection: EWMA baseline + EWMA absolute
+/// deviation (a robust MAD stand-in that needs O(1) state), a deviation band
+/// of threshold_sigma × MAD with absolute/relative floors, and two-sided
+/// hysteresis — an incident opens only after sustain_samples consecutive
+/// deviant samples and cannot re-fire until recover_samples normal ones close
+/// it. Not thread-safe; the MetricSampler calls it under its own mutex.
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(AnomalyOptions options = AnomalyOptions())
+      : options_(options) {}
+
+  /// Feeds one sample. Returns true exactly when a new incident opens (once
+  /// per sustained deviation) and fills `out`.
+  bool Observe(const std::string& series, int64_t t_ns, double value,
+               AnomalyIncident* out);
+
+  /// Drops all per-series state (tests).
+  void Reset() { state_.clear(); }
+  size_t series_count() const { return state_.size(); }
+  const AnomalyOptions& options() const { return options_; }
+
+ private:
+  struct State {
+    double mean = 0;
+    double dev = 0;  ///< EWMA of |value − mean|
+    int64_t seen = 0;
+    int deviant_run = 0;
+    int normal_run = 0;
+    bool in_incident = false;
+  };
+
+  AnomalyOptions options_;
+  std::map<std::string, State> state_;
+};
+
+}  // namespace claims
+
+#endif  // CLAIMS_OBS_TIMESERIES_ANOMALY_H_

@@ -1,0 +1,190 @@
+#ifndef CLAIMS_OBS_TIMESERIES_TIMESERIES_H_
+#define CLAIMS_OBS_TIMESERIES_TIMESERIES_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/macros.h"
+#include "obs/metrics_registry.h"
+#include "obs/timeseries/anomaly.h"
+
+namespace claims {
+
+/// One sample of one time series.
+struct TsSample {
+  int64_t t_ns = 0;
+  double value = 0;
+};
+
+/// One timeline annotation (a fault window opening/closing, an operator
+/// marker). Annotations share the time axis with every series, which is what
+/// lets a chaos run show cause (fault) and effect (throughput dip) together.
+struct TsAnnotation {
+  int64_t t_ns = 0;
+  std::string label;
+  bool begin = true;  ///< false = the annotated window closed
+};
+
+struct TimeseriesOptions {
+  /// Sampling cadence. The sampler thread paces itself on *real* time (a
+  /// frozen injected clock must never hang it — the TokenBucket precedent);
+  /// sample timestamps come from the injected clock.
+  int64_t period_ns = 1'000'000'000;  // 1 s
+  /// Bounded ring capacity per series (600 ≈ 10 min at the 1 s default).
+  size_t ring_capacity = 600;
+  /// Hard cap on distinct series; beyond it new series are dropped and
+  /// counted in "timeseries.dropped_series" (instance-labeled metrics can
+  /// multiply without bound under adversarial naming).
+  size_t max_series = 4096;
+  /// Bounded annotation ring capacity.
+  size_t annotation_capacity = 256;
+  /// Run the anomaly watchdog over appended samples.
+  bool detect_anomalies = true;
+  AnomalyOptions anomaly;
+  /// Substring filter naming which series the anomaly detector watches
+  /// (empty = all of them).
+  std::string anomaly_watch;
+
+  /// Environment overlay: CLAIMS_TS_PERIOD_MS=<ms> sets the cadence (and is
+  /// how deployments opt into a faster/slower axis without a rebuild).
+  static TimeseriesOptions FromEnv(TimeseriesOptions base);
+  static TimeseriesOptions FromEnv() { return FromEnv(TimeseriesOptions()); }
+};
+
+/// The time axis the point-in-time surfaces lack: a sampler driven by the
+/// injected clock that walks a MetricsRegistry on a fixed cadence and appends
+/// into per-metric bounded rings —
+///
+///   * counters   → stored as per-second *rates* (delta / dt), so a
+///                  throughput dip is a dip, not a slope change;
+///   * gauges     → stored as-is;
+///   * histograms → *windowed* p50/p95/p99 ("<name>.p50" …) read off the
+///                  delta of the cumulative log2 buckets between samples,
+///                  plus "<name>.rate" (records/s). An empty window reports
+///                  0, never the stale cumulative quantile.
+///
+/// Sampling is O(#metrics) on the sampler thread and touches no query hot
+/// path; readers (the /timeseries and /dash routes, incident reports) render
+/// under the same mutex. An AnomalyDetector (EWMA + MAD hysteresis,
+/// obs/timeseries/anomaly.h) watches appended samples and fires the incident
+/// callback once per sustained deviation — the introspection plane routes
+/// that into a watchdog-style incident bundling the flight recorder with the
+/// surrounding window (wlm/introspection.cc).
+class MetricSampler {
+ public:
+  using IncidentCallback = std::function<void(const AnomalyIncident&)>;
+
+  /// `clock` defaults to SteadyClock; `registry` to MetricsRegistry::Global.
+  explicit MetricSampler(TimeseriesOptions options = TimeseriesOptions(),
+                         Clock* clock = nullptr,
+                         MetricsRegistry* registry = nullptr);
+  ~MetricSampler();
+  CLAIMS_DISALLOW_COPY_AND_ASSIGN(MetricSampler);
+
+  /// The process-wide sampler the built-in /timeseries and /dash routes and
+  /// the fault plane's annotation hook talk to. Null until a plane (or test)
+  /// publishes one with SetDefault; publishers clear it before destruction.
+  static MetricSampler* Default();
+  static void SetDefault(MetricSampler* sampler);
+
+  /// Launches the sampling thread (real-time cadence). No-op when running.
+  void Start();
+  /// Stops and joins. Never blocks on the injected clock. Idempotent.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// One sampling pass (the thread calls this every period; tests drive it
+  /// directly under a manual clock). Returns the number of samples appended.
+  /// The first pass establishes counter/histogram baselines and appends only
+  /// gauges — deltas need two observations.
+  int SampleOnce();
+
+  /// Appends a timeline annotation stamped with this sampler's clock.
+  /// Thread-safe; callable from any subsystem (the fault injector annotates
+  /// every window transition through Default()).
+  void Annotate(std::string label, bool begin);
+
+  /// Incident sink for the anomaly detector; invoked on the sampler thread
+  /// with no sampler lock held (the callback may read this sampler back).
+  /// Set before Start.
+  void SetIncidentCallback(IncidentCallback cb);
+
+  /// JSON render: {"enabled":true,"now_ns":…,"period_ns":…,"series":[
+  /// {"name":…,"kind":"rate|gauge|quantile","samples":[[t_ns,v],…]},…],
+  /// "annotations":[{"t_ns":…,"label":…,"begin":…},…]}. `metric_filter` is a
+  /// substring match on series names (empty = all); `window_ns` keeps only
+  /// samples newer than now − window (<= 0 = everything). Annotations are
+  /// filtered by window only.
+  std::string ToJson(const std::string& metric_filter, int64_t window_ns) const;
+
+  /// Text render: one line per series with min/max/last and an ASCII
+  /// sparkline, then the annotation list. Same filters as ToJson.
+  std::string ToText(const std::string& metric_filter, int64_t window_ns) const;
+
+  // --- introspection (tests) -------------------------------------------------
+  int64_t sample_count() const {
+    return sample_count_.load(std::memory_order_relaxed);
+  }
+  std::vector<std::string> SeriesNames() const;
+  /// Chronological samples of one series (empty when unknown).
+  std::vector<TsSample> SeriesSamples(const std::string& name) const;
+  std::vector<TsAnnotation> Annotations() const;
+  const TimeseriesOptions& options() const { return options_; }
+
+ private:
+  struct SeriesRing {
+    const char* kind = "gauge";  ///< static string: "rate"|"gauge"|"quantile"
+    std::vector<TsSample> samples;  ///< ring once size reaches capacity
+    size_t next = 0;                ///< overwrite cursor when full
+  };
+  struct HistBaseline {
+    int64_t buckets[MetricHistogram::kBuckets] = {};
+    bool valid = false;
+  };
+
+  void ThreadMain();
+  /// Appends under mu_; drops (and counts) series beyond max_series.
+  void AppendLocked(const std::string& name, const char* kind, int64_t t_ns,
+                    double value);
+  std::vector<TsSample> OrderedSamplesLocked(const SeriesRing& ring) const;
+
+  TimeseriesOptions options_;
+  Clock* clock_;
+  MetricsRegistry* registry_;
+  MetricCounter* samples_metric_;
+  MetricCounter* anomalies_metric_;
+  MetricCounter* dropped_series_metric_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, SeriesRing> series_;
+  std::map<std::string, int64_t> counter_base_;
+  std::map<std::string, HistBaseline> hist_base_;
+  std::vector<TsAnnotation> annotations_;  ///< ring via annotation_next_
+  size_t annotation_next_ = 0;
+  int64_t last_sample_ns_ = -1;
+  AnomalyDetector detector_;
+  IncidentCallback on_incident_;
+
+  std::atomic<int64_t> sample_count_{0};
+  std::atomic<bool> running_{false};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+/// 10-level ASCII sparkline of `values`, scaled 0..max (empty input → "").
+/// Shared by the text renderer and the workload driver's --timeline summary.
+std::string AsciiSparkline(const std::vector<double>& values);
+
+}  // namespace claims
+
+#endif  // CLAIMS_OBS_TIMESERIES_TIMESERIES_H_

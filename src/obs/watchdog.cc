@@ -122,6 +122,17 @@ int StallWatchdog::PollOnce() {
   return raised;
 }
 
+bool StallWatchdog::ReportIncident(const std::string& source,
+                                   const std::string& detail) {
+  const int64_t now = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t& until = external_suppressed_until_[source];
+  if (now < until) return false;
+  until = now + options_.incident_cooldown_ns;
+  RaiseIncident(source, detail, now);
+  return true;
+}
+
 void StallWatchdog::RaiseIncident(const std::string& probe,
                                   const std::string& detail, int64_t now_ns) {
   const int64_t id = next_incident_id_++;

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -81,6 +82,13 @@ class StallWatchdog {
   /// call it directly). Returns the number of incidents raised this pass.
   int PollOnce();
 
+  /// Raises an incident on behalf of an external detector (the time-series
+  /// anomaly watchdog) with the full report treatment — flight-recorder
+  /// dump, context providers, metrics snapshot — under the same per-source
+  /// cooldown as probes. Returns false when suppressed by cooldown.
+  /// Thread-safe; callable whether or not the poll thread runs.
+  bool ReportIncident(const std::string& source, const std::string& detail);
+
   int64_t incident_count() const {
     return incidents_.load(std::memory_order_relaxed);
   }
@@ -121,6 +129,9 @@ class StallWatchdog {
   std::vector<ConditionProbe> condition_probes_;
   std::vector<ContextProvider> context_providers_;
   std::vector<std::string> incident_files_;
+  /// Cooldown bookkeeping for ReportIncident sources (probe cooldowns live
+  /// on the probes themselves).
+  std::map<std::string, int64_t> external_suppressed_until_;
   int64_t next_incident_id_ = 0;
 
   std::atomic<int64_t> incidents_{0};

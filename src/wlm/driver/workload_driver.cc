@@ -11,6 +11,8 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "obs/metrics_registry.h"
+#include "obs/timeseries/timeseries.h"
 
 namespace claims {
 namespace {
@@ -27,6 +29,7 @@ struct QueryOutcome {
   StatusCode code = StatusCode::kOk;
   int64_t latency_ns = 0;
   int64_t queue_wait_ns = 0;
+  int64_t done_ns = 0;  ///< absolute completion time (driver clock)
 };
 
 }  // namespace
@@ -59,11 +62,22 @@ WorkloadReport WorkloadDriver::Run() {
     if (options_.priority_of) submit.priority = options_.priority_of(seq);
     return service_->Submit(options_.make_plan(seq), std::move(submit));
   };
+  // Always-on completion metrics: cheap (one counter add + one histogram
+  // record per query) and what gives the time-series sampler — and therefore
+  // /dash — a live throughput and latency signal without the driver knowing
+  // anything about the sampler.
+  MetricCounter* completed_metric =
+      MetricsRegistry::Global()->counter("wlm.driver.completed");
+  MetricHistogram* latency_metric =
+      MetricsRegistry::Global()->histogram("wlm.driver.latency_ns");
   auto record = [&](const QueryHandle& h) {
     QueryOutcome o;
     o.code = h.status().code();
     o.latency_ns = h.latency_ns();
     o.queue_wait_ns = h.queue_wait_ns();
+    o.done_ns = clock->NowNanos();
+    completed_metric->Add();
+    if (o.code == StatusCode::kOk) latency_metric->Record(o.latency_ns);
     std::lock_guard<std::mutex> lock(outcomes_mu);
     outcomes.push_back(o);
   };
@@ -157,7 +171,48 @@ WorkloadReport WorkloadDriver::Run() {
   report.p50_queue_wait_ns = ExactPercentile(waits, 0.50);
   report.p95_queue_wait_ns = ExactPercentile(waits, 0.95);
   report.p99_queue_wait_ns = ExactPercentile(waits, 0.99);
+  if (options_.timeline) {
+    std::vector<CompletionSample> completions;
+    completions.reserve(outcomes.size());
+    for (const QueryOutcome& o : outcomes) {
+      completions.push_back({o.done_ns - t0, o.latency_ns,
+                             o.code == StatusCode::kOk});
+    }
+    report.timeline = BucketTimeline(completions, options_.timeline_period_ns);
+  }
   return report;
+}
+
+std::vector<TimelinePoint> BucketTimeline(
+    const std::vector<CompletionSample>& completions, int64_t period_ns) {
+  std::vector<TimelinePoint> out;
+  if (completions.empty() || period_ns <= 0) return out;
+  int64_t last = 0;
+  for (const CompletionSample& c : completions) {
+    last = std::max(last, c.rel_done_ns);
+  }
+  const size_t buckets = static_cast<size_t>(last / period_ns) + 1;
+  std::vector<std::vector<int64_t>> ok_latencies(buckets);
+  std::vector<int> counts(buckets, 0);
+  for (const CompletionSample& c : completions) {
+    const int64_t rel = std::max<int64_t>(0, c.rel_done_ns);
+    const size_t b = std::min(buckets - 1, static_cast<size_t>(rel / period_ns));
+    ++counts[b];
+    if (c.ok) ok_latencies[b].push_back(c.latency_ns);
+  }
+  const double period_s = static_cast<double>(period_ns) / 1e9;
+  out.reserve(buckets);
+  for (size_t b = 0; b < buckets; ++b) {
+    TimelinePoint p;
+    p.t_s = static_cast<double>(b) * period_s;
+    p.completed = counts[b];
+    p.qps = static_cast<double>(counts[b]) / period_s;
+    std::sort(ok_latencies[b].begin(), ok_latencies[b].end());
+    p.p99_ms =
+        static_cast<double>(ExactPercentile(ok_latencies[b], 0.99)) / 1e6;
+    out.push_back(p);
+  }
+  return out;
 }
 
 std::string WorkloadReport::ToString() const {
@@ -178,11 +233,35 @@ std::string WorkloadReport::ToString() const {
       static_cast<double>(p50_queue_wait_ns) / 1e6,
       static_cast<double>(p95_queue_wait_ns) / 1e6,
       static_cast<double>(p99_queue_wait_ns) / 1e6);
+  out += TimelineToString();
+  return out;
+}
+
+std::string WorkloadReport::TimelineToString() const {
+  if (timeline.empty()) return "";
+  std::vector<double> qps, p99;
+  qps.reserve(timeline.size());
+  p99.reserve(timeline.size());
+  double qps_min = timeline.front().qps, qps_max = 0, p99_max = 0;
+  for (const TimelinePoint& p : timeline) {
+    qps.push_back(p.qps);
+    p99.push_back(p.p99_ms);
+    qps_min = std::min(qps_min, p.qps);
+    qps_max = std::max(qps_max, p.qps);
+    p99_max = std::max(p99_max, p.p99_ms);
+  }
+  std::string out = StrFormat(
+      "  timeline   %zu buckets of %.0f s\n", timeline.size(),
+      timeline.size() > 1 ? timeline[1].t_s - timeline[0].t_s : 1.0);
+  out += StrFormat("    qps    [%s]  min %.1f max %.1f\n",
+                   AsciiSparkline(qps).c_str(), qps_min, qps_max);
+  out += StrFormat("    p99_ms [%s]  max %.1f\n", AsciiSparkline(p99).c_str(),
+                   p99_max);
   return out;
 }
 
 std::string WorkloadReport::ToJson() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "{\"mode\":\"%s\",\"total\":%d,\"succeeded\":%d,\"failed\":%d,"
       "\"cancelled\":%d,\"deadline_exceeded\":%d,\"makespan_ms\":%.3f,"
       "\"throughput_qps\":%.3f,\"p50_latency_ms\":%.3f,"
@@ -199,6 +278,20 @@ std::string WorkloadReport::ToJson() const {
       static_cast<double>(p50_queue_wait_ns) / 1e6,
       static_cast<double>(p95_queue_wait_ns) / 1e6,
       static_cast<double>(p99_queue_wait_ns) / 1e6);
+  if (!timeline.empty()) {
+    out.back() = ',';  // reopen the object
+    out += "\"timeline\":[";
+    bool first = true;
+    for (const TimelinePoint& p : timeline) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += StrFormat(
+          "{\"t_s\":%.3f,\"completed\":%d,\"qps\":%.3f,\"p99_ms\":%.3f}",
+          p.t_s, p.completed, p.qps, p.p99_ms);
+    }
+    out += "]}";
+  }
+  return out;
 }
 
 }  // namespace claims

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "wlm/query_service.h"
 
@@ -45,7 +46,37 @@ struct WorkloadOptions {
   std::function<PhysicalPlan(int seq)> make_plan;
   /// Optional per-query priority (defaults to submit.priority for all).
   std::function<int(int seq)> priority_of;
+  /// Also emit the per-bucket completion timeline (WorkloadReport::timeline):
+  /// the time axis the aggregate percentiles flatten away — a chaos run's
+  /// dip-and-recover curve, an open-loop ramp. Costs one timestamp per
+  /// completion.
+  bool timeline = false;
+  /// Timeline bucket width.
+  int64_t timeline_period_ns = 1'000'000'000;  // 1 s
 };
+
+/// One completion, relative to the run's first submission. The driver
+/// collects these when `timeline` is on; BucketTimeline folds them.
+struct CompletionSample {
+  int64_t rel_done_ns = 0;  ///< completion time − run start
+  int64_t latency_ns = 0;
+  bool ok = false;
+};
+
+/// One timeline bucket: all completions (any outcome) landing in
+/// [t_s, t_s + period), with exact p99 latency over the bucket's successes.
+struct TimelinePoint {
+  double t_s = 0;      ///< bucket start, seconds since run start
+  int completed = 0;   ///< completions in the bucket (all outcomes)
+  double qps = 0;      ///< completed / bucket width
+  double p99_ms = 0;   ///< exact p99 latency of the bucket's successes
+};
+
+/// Folds completion samples into fixed-width buckets covering [0, last
+/// completion]. Interior buckets with zero completions are kept (a stall
+/// must show as a dip, not be elided). Deterministic; exposed for tests.
+std::vector<TimelinePoint> BucketTimeline(
+    const std::vector<CompletionSample>& completions, int64_t period_ns);
 
 /// Aggregate results of one driver run. Percentiles are exact (computed from
 /// the sorted per-query latency vector, not a bucketed histogram).
@@ -69,10 +100,17 @@ struct WorkloadReport {
   int64_t p50_queue_wait_ns = 0;
   int64_t p95_queue_wait_ns = 0;
   int64_t p99_queue_wait_ns = 0;
+  /// Per-bucket completion curve; empty unless WorkloadOptions::timeline.
+  std::vector<TimelinePoint> timeline;
 
   std::string ToString() const;
-  /// One flat JSON object — the BENCH_wlm.json record format.
+  /// One flat JSON object — the BENCH_wlm.json record format. When the
+  /// timeline was collected it is appended as
+  /// "timeline":[{"t_s":…,"completed":…,"qps":…,"p99_ms":…},…].
   std::string ToJson() const;
+  /// Two ASCII sparklines (throughput and p99 per bucket) + extremes; ""
+  /// when no timeline was collected.
+  std::string TimelineToString() const;
 };
 
 /// Drives a query stream at a QueryService and measures the latency

@@ -38,6 +38,11 @@ IntrospectionOptions IntrospectionOptions::FromEnv(IntrospectionOptions base) {
   if (wd != nullptr && wd[0] != '\0' && wd[0] != '0') {
     base.enable_watchdog = true;
   }
+  const char* ts = std::getenv("CLAIMS_TS_PERIOD_MS");
+  if (ts != nullptr && ts[0] != '\0') {
+    base.enable_timeseries = true;
+    base.timeseries = TimeseriesOptions::FromEnv(base.timeseries);
+  }
   return base;
 }
 
@@ -46,7 +51,8 @@ IntrospectionPlane::IntrospectionPlane(QueryService* service,
     : service_(service),
       options_(std::move(options)),
       monitor_(options_.monitor),
-      watchdog_(options_.watchdog) {
+      watchdog_(options_.watchdog),
+      sampler_(options_.timeseries) {
   RegisterRoutes();
   RegisterProbes();
 }
@@ -61,10 +67,16 @@ Status IntrospectionPlane::Start() {
   }
   CLAIMS_RETURN_IF_ERROR(monitor_.Start());
   if (options_.enable_watchdog) watchdog_.Start();
+  if (options_.enable_timeseries) {
+    MetricSampler::SetDefault(&sampler_);
+    sampler_.Start();
+  }
   return Status::OK();
 }
 
 void IntrospectionPlane::Stop() {
+  if (MetricSampler::Default() == &sampler_) MetricSampler::SetDefault(nullptr);
+  sampler_.Stop();
   watchdog_.Stop();
   monitor_.Stop();
 }
@@ -151,6 +163,26 @@ void IntrospectionPlane::RegisterProbes() {
   // disarmed or nothing is mid-wait.
   watchdog_.AddContextProvider("profiler.open_spans", []() {
     return QueryProfiler::Global()->OpenSpansText();
+  });
+
+  // Incident context: the last two minutes of every metric series, so ANY
+  // incident — stall or anomaly — ships with the trajectory that led to it,
+  // not just the instantaneous snapshot.
+  watchdog_.AddContextProvider("timeseries.window", [this]() {
+    if (sampler_.sample_count() == 0) return std::string();
+    return sampler_.ToText("", 120'000'000'000);
+  });
+
+  // A sustained metric deviation (throughput collapse, p99 spike, queue
+  // growth) becomes a first-class incident: flight-recorder dump + every
+  // context provider above + the deviant series' own window, under the
+  // watchdog's per-source cooldown. Runs on the sampler thread with no
+  // sampler lock held (ToText re-locks safely).
+  sampler_.SetIncidentCallback([this](const AnomalyIncident& incident) {
+    std::string detail = incident.description;
+    detail += "\n\n--- deviant series window ---\n";
+    detail += sampler_.ToText(incident.series, 0);
+    watchdog_.ReportIncident("timeseries." + incident.series, detail);
   });
 }
 

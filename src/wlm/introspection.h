@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "obs/monitor_server.h"
+#include "obs/timeseries/timeseries.h"
 #include "obs/watchdog.h"
 #include "wlm/query_service.h"
 
@@ -27,6 +28,11 @@ struct IntrospectionOptions {
   /// this many ring slots and enable it, so /flight-recorder/dump and
   /// watchdog incidents always have a bounded recent-events window.
   size_t flight_recorder_capacity = 0;
+  /// Start the metric time-series sampler alongside the monitor and publish
+  /// it as MetricSampler::Default — this is what puts data behind
+  /// /timeseries and /dash and arms the anomaly watchdog.
+  bool enable_timeseries = false;
+  TimeseriesOptions timeseries;
 
   /// Environment overlay:
   ///   CLAIMS_MONITOR_PORT=<port>   enable the monitor (0 = ephemeral)
@@ -34,6 +40,8 @@ struct IntrospectionOptions {
   ///                                TraceEnvScope too; here for servers
   ///                                that construct the plane directly)
   ///   CLAIMS_WATCHDOG=1            enable the stall watchdog
+  ///   CLAIMS_TS_PERIOD_MS=<ms>     enable the time-series sampler at this
+  ///                                cadence
   static IntrospectionOptions FromEnv(IntrospectionOptions base);
   static IntrospectionOptions FromEnv() {
     return FromEnv(IntrospectionOptions());
@@ -71,6 +79,7 @@ class IntrospectionPlane {
 
   MonitorServer* monitor() { return &monitor_; }
   StallWatchdog* watchdog() { return &watchdog_; }
+  MetricSampler* sampler() { return &sampler_; }
 
   /// Surfaces an armed chaos plane: adds GET /faults (planned schedule,
   /// active faults, event log so far) and a watchdog context provider so
@@ -93,6 +102,7 @@ class IntrospectionPlane {
   IntrospectionOptions options_;
   MonitorServer monitor_;
   StallWatchdog watchdog_;
+  MetricSampler sampler_;
   std::atomic<FaultInjector*> injector_{nullptr};
 };
 

@@ -19,6 +19,7 @@
 
 #include "net/socket_util.h"
 #include "obs/metrics_registry.h"
+#include "obs/timeseries/timeseries.h"
 #include "obs/trace.h"
 #include "wlm/introspection.h"
 #include "wlm/query_service.h"
@@ -109,6 +110,12 @@ TEST_F(MonitorStressTest, ScrapersRaceQueriesCancellationAndShutdown) {
   iopts.enable_watchdog = true;
   iopts.watchdog.incident_dir = ::testing::TempDir();
   iopts.watchdog.stall_window_ns = 60'000'000'000;  // healthy run: no alarms
+  // Time-series sampler at a stress cadence, aimed at a series that never
+  // exists so the anomaly path cannot page (the incident_count()==0 check
+  // below is the healthy-run invariant).
+  iopts.enable_timeseries = true;
+  iopts.timeseries.period_ns = 5'000'000;  // 5 ms
+  iopts.timeseries.anomaly_watch = "no.such.metric";
   IntrospectionPlane plane(service.get(), iopts);
   ASSERT_TRUE(plane.Start().ok());
   const int port = plane.monitor()->port();
@@ -140,14 +147,22 @@ TEST_F(MonitorStressTest, ScrapersRaceQueriesCancellationAndShutdown) {
       done_submitters.fetch_add(1);
     });
   }
-  // Scrapers: rotate over every endpoint until the workload drains.
-  const std::string targets[] = {"/metrics", "/queries", "/scheduler",
-                                 "/healthz", "/"};
+  // Scrapers: rotate over every endpoint — the timeseries JSON/text renders
+  // and the dashboard race the 5 ms sampler thread appending to the rings.
+  const std::string targets[] = {"/metrics",
+                                 "/queries",
+                                 "/scheduler",
+                                 "/healthz",
+                                 "/",
+                                 "/timeseries",
+                                 "/timeseries?format=text&window=60",
+                                 "/dash"};
+  constexpr int kTargets = 8;
   for (int t = 0; t < kScrapers; ++t) {
     threads.emplace_back([&, t] {
       int i = 0;
       while (done_submitters.load() < kSubmitters) {
-        ScrapeOnce(port, targets[(t + i++) % 5], stopping);
+        ScrapeOnce(port, targets[(t + i++) % kTargets], stopping);
       }
     });
   }
@@ -188,7 +203,7 @@ TEST_F(MonitorStressTest, ScrapersRaceQueriesCancellationAndShutdown) {
   for (int t = 0; t < 2; ++t) {
     late.emplace_back([&, t] {
       for (int i = 0; i < 50; ++i) {
-        ScrapeOnce(port, targets[(t + i) % 5], stopping);
+        ScrapeOnce(port, targets[(t + i) % kTargets], stopping);
       }
     });
   }
@@ -197,6 +212,57 @@ TEST_F(MonitorStressTest, ScrapersRaceQueriesCancellationAndShutdown) {
   plane.Stop();
   for (auto& th : late) th.join();
   service.reset();
+}
+
+TEST(MetricSamplerStressTest, ReadersRaceSamplerAndAnomalyIncidents) {
+  // A writer thread drives SampleOnce through a deterministic collapse (20
+  // warm-up samples at 100 qps, then 10 at 100000) while reader threads
+  // hammer ToJson/ToText/Annotate — the ring-append vs render race plus the
+  // incident callback firing mid-contention. Under TSan this is the sampler
+  // counterpart of the scraper test above.
+  MetricsRegistry registry;
+  MetricCounter* c = registry.counter("wlm.driver.completed");
+  TimeseriesOptions opts;
+  opts.anomaly_watch = "wlm.driver.completed";
+  MetricSampler sampler(opts, nullptr, &registry);
+  std::atomic<int> incidents{0};
+  sampler.SetIncidentCallback([&](const AnomalyIncident& inc) {
+    incidents.fetch_add(1);
+    EXPECT_FALSE(sampler.ToText(inc.series, 0).empty());
+  });
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (t == 0) {
+          EXPECT_EQ(sampler.ToJson("", 0).find("{\"enabled\":true"), 0u);
+        } else {
+          EXPECT_EQ(sampler.ToText("", 60'000'000'000).find("timeseries"), 0u);
+          sampler.Annotate("stress.marker", true);
+        }
+      }
+    });
+  }
+
+  sampler.SampleOnce();  // counter baseline
+  for (int i = 0; i < 20; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    c->Add(100);
+    sampler.SampleOnce();
+  }
+  for (int i = 0; i < 10; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    c->Add(100000);
+    sampler.SampleOnce();
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  // Rates vary with real sleep jitter but the x1000 spike dwarfs it: the
+  // detector must page exactly once for the sustained episode.
+  EXPECT_EQ(incidents.load(), 1);
+  EXPECT_EQ(registry.counter("timeseries.anomalies")->value(), 1);
 }
 
 TEST_F(MonitorStressTest, FlightRecorderReconfigureRacesWriters) {

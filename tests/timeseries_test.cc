@@ -1,0 +1,481 @@
+// Time-series telemetry plane tests: windowed delta-percentiles, the
+// EWMA+MAD anomaly detector's hysteresis (fires exactly once per episode),
+// the MetricSampler's counter-rate / gauge / windowed-quantile semantics on
+// a manual clock, ring bounds, the /timeseries + /dash monitor routes, and
+// the dip-and-recover acceptance scenario: a scripted node crash annotated
+// on the same timeline whose throughput series dips below 0.7x steady state
+// and recovers to 0.9x (docs/OBSERVABILITY.md).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "obs/metrics_registry.h"
+#include "obs/monitor_server.h"
+#include "obs/timeseries/anomaly.h"
+#include "obs/timeseries/timeseries.h"
+
+namespace claims {
+namespace {
+
+constexpr int64_t kSecond = 1'000'000'000;
+
+class ManualClock : public Clock {
+ public:
+  int64_t NowNanos() const override { return now_; }
+  void Advance(int64_t ns) { now_ += ns; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+// --- MetricHistogram windowed quantiles -----------------------------------------
+
+TEST(DeltaPercentileTest, EmptyWindowReportsZero) {
+  int64_t delta[MetricHistogram::kBuckets] = {};
+  EXPECT_EQ(MetricHistogram::DeltaPercentile(delta, 0.50), 0);
+  EXPECT_EQ(MetricHistogram::DeltaPercentile(delta, 0.99), 0);
+}
+
+TEST(DeltaPercentileTest, NegativeEntriesTreatedAsEmpty) {
+  // A Reset between snapshots makes every delta negative: still "no data",
+  // never a garbage quantile.
+  int64_t delta[MetricHistogram::kBuckets] = {};
+  delta[5] = -10;
+  delta[9] = -3;
+  EXPECT_EQ(MetricHistogram::DeltaPercentile(delta, 0.95), 0);
+}
+
+TEST(DeltaPercentileTest, ReadsQuantileOffTheDeltaOnly) {
+  MetricHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1000);  // history: ~1us
+  int64_t base[MetricHistogram::kBuckets];
+  h.SnapshotBuckets(base);
+  for (int i = 0; i < 100; ++i) h.Record(1'000'000);  // window: ~1ms
+  int64_t cur[MetricHistogram::kBuckets];
+  h.SnapshotBuckets(cur);
+  int64_t delta[MetricHistogram::kBuckets];
+  for (int b = 0; b < MetricHistogram::kBuckets; ++b) {
+    delta[b] = cur[b] - base[b];
+  }
+  // The cumulative p50 straddles both populations; the windowed p50 must see
+  // only the second one (bucket upper bound for ~1e6 is 2^20).
+  EXPECT_GE(MetricHistogram::DeltaPercentile(delta, 0.50), 1'000'000);
+  EXPECT_LT(h.Percentile(0.50), 1'000'000);
+}
+
+// --- AnomalyDetector -------------------------------------------------------------
+
+TEST(AnomalyDetectorTest, NoFireDuringWarmup) {
+  AnomalyDetector det;
+  AnomalyIncident inc;
+  // Wild swings inside the warm-up window never fire.
+  for (int i = 0; i < det.options().warmup_samples; ++i) {
+    EXPECT_FALSE(det.Observe("s", i, (i % 2) != 0 ? 1000.0 : 1.0, &inc));
+  }
+}
+
+TEST(AnomalyDetectorTest, FiresOncePerEpisodeAndRearms) {
+  AnomalyOptions opts;  // warmup 8, sustain 3, recover 3
+  AnomalyDetector det(opts);
+  AnomalyIncident inc;
+  int64_t t = 0;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(det.Observe("qps", t++, 100.0, &inc));
+  }
+  // Sustained collapse: fires on exactly the sustain_samples-th deviant
+  // sample, then stays quiet for the rest of the episode.
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (det.Observe("qps", t++, 10.0, &inc)) {
+      ++fired;
+      EXPECT_EQ(i, opts.sustain_samples - 1);
+    }
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(inc.series, "qps");
+  EXPECT_NE(inc.description.find("qps"), std::string::npos);
+  // recover_samples normal samples close the episode and re-arm the trigger…
+  for (int i = 0; i < opts.recover_samples + 2; ++i) {
+    EXPECT_FALSE(det.Observe("qps", t++, 100.0, &inc));
+  }
+  // …so a second collapse fires a second (single) incident.
+  fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (det.Observe("qps", t++, 10.0, &inc)) ++fired;
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(AnomalyDetectorTest, FlatSeriesToleratesSmallWiggle) {
+  AnomalyDetector det;
+  AnomalyIncident inc;
+  int64_t t = 0;
+  for (int i = 0; i < 20; ++i) det.Observe("g", t++, 100.0, &inc);
+  // Within the 5% relative floor band: never deviant.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(det.Observe("g", t++, 103.0, &inc));
+  }
+}
+
+// --- MetricSampler ---------------------------------------------------------------
+
+TEST(MetricSamplerTest, CountersBecomeRatesGaugesPassThrough) {
+  ManualClock clock;
+  MetricsRegistry registry;
+  MetricCounter* tuples = registry.counter("exec.tuples");
+  MetricGauge* depth = registry.gauge("queue.depth");
+  MetricSampler sampler(TimeseriesOptions{}, &clock, &registry);
+
+  depth->Set(7);
+  // First pass: counter baselines only, gauges appear immediately.
+  sampler.SampleOnce();
+  EXPECT_TRUE(sampler.SeriesSamples("exec.tuples").empty());
+  ASSERT_EQ(sampler.SeriesSamples("queue.depth").size(), 1u);
+  EXPECT_DOUBLE_EQ(sampler.SeriesSamples("queue.depth")[0].value, 7.0);
+
+  clock.Advance(2 * kSecond);
+  tuples->Add(500);
+  depth->Set(3);
+  sampler.SampleOnce();
+  auto rates = sampler.SeriesSamples("exec.tuples");
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0].value, 250.0);  // 500 over 2 s
+  EXPECT_EQ(rates[0].t_ns, 2 * kSecond);
+  EXPECT_DOUBLE_EQ(sampler.SeriesSamples("queue.depth").back().value, 3.0);
+}
+
+TEST(MetricSamplerTest, CounterResetRebasesInsteadOfGoingNegative) {
+  ManualClock clock;
+  MetricsRegistry registry;
+  MetricCounter* c = registry.counter("c");
+  MetricSampler sampler(TimeseriesOptions{}, &clock, &registry);
+  c->Add(1000);
+  sampler.SampleOnce();
+  clock.Advance(kSecond);
+  c->Reset();
+  c->Add(40);  // post-reset window's worth
+  sampler.SampleOnce();
+  auto s = sampler.SeriesSamples("c");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].value, 40.0);
+}
+
+TEST(MetricSamplerTest, WindowedHistogramQuantilesForgetHistory) {
+  ManualClock clock;
+  MetricsRegistry registry;
+  MetricHistogram* lat = registry.histogram("lat");
+  MetricSampler sampler(TimeseriesOptions{}, &clock, &registry);
+
+  for (int i = 0; i < 64; ++i) lat->Record(1'000'000);  // slow era
+  sampler.SampleOnce();  // baseline
+  clock.Advance(kSecond);
+  for (int i = 0; i < 64; ++i) lat->Record(1000);  // fast era
+  sampler.SampleOnce();
+  auto p99 = sampler.SeriesSamples("lat.p99");
+  ASSERT_EQ(p99.size(), 1u);
+  // Windowed p99 sees only the fast era; the cumulative histogram would
+  // report the slow one.
+  EXPECT_LE(p99[0].value, 2048);
+  EXPECT_GE(lat->Percentile(0.99), 1'000'000);
+  auto rate = sampler.SeriesSamples("lat.rate");
+  ASSERT_EQ(rate.size(), 1u);
+  EXPECT_DOUBLE_EQ(rate[0].value, 64.0);
+
+  // Regression: an idle window reports 0, never the stale cumulative value.
+  clock.Advance(kSecond);
+  sampler.SampleOnce();
+  EXPECT_DOUBLE_EQ(sampler.SeriesSamples("lat.p99").back().value, 0.0);
+  EXPECT_DOUBLE_EQ(sampler.SeriesSamples("lat.p50").back().value, 0.0);
+  EXPECT_DOUBLE_EQ(sampler.SeriesSamples("lat.rate").back().value, 0.0);
+}
+
+TEST(MetricSamplerTest, RingsAreBoundedAndChronological) {
+  ManualClock clock;
+  MetricsRegistry registry;
+  MetricGauge* g = registry.gauge("g");
+  TimeseriesOptions opts;
+  opts.ring_capacity = 8;
+  MetricSampler sampler(opts, &clock, &registry);
+  for (int i = 0; i < 20; ++i) {
+    g->Set(i);
+    sampler.SampleOnce();
+    clock.Advance(kSecond);
+  }
+  auto s = sampler.SeriesSamples("g");
+  ASSERT_EQ(s.size(), 8u);  // bounded
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_GT(s[i].t_ns, s[i - 1].t_ns);  // chronological after wrap
+  }
+  EXPECT_DOUBLE_EQ(s.back().value, 19.0);  // newest kept, oldest evicted
+  EXPECT_DOUBLE_EQ(s.front().value, 12.0);
+}
+
+TEST(MetricSamplerTest, SeriesCapDropsAndCounts) {
+  ManualClock clock;
+  MetricsRegistry registry;
+  registry.gauge("g");
+  TimeseriesOptions opts;
+  opts.max_series = 2;
+  opts.detect_anomalies = false;
+  MetricSampler sampler(opts, &clock, &registry);
+  // Pass 2 tries the sampler's own meta counters + the gauge: only 2 series
+  // fit, the rest are dropped and counted.
+  sampler.SampleOnce();
+  clock.Advance(kSecond);
+  sampler.SampleOnce();
+  EXPECT_EQ(sampler.SeriesNames().size(), 2u);
+  EXPECT_GE(registry.counter("timeseries.dropped_series")->value(), 1);
+}
+
+TEST(MetricSamplerTest, AnnotationsAreStampedAndBounded) {
+  ManualClock clock;
+  MetricsRegistry registry;
+  TimeseriesOptions opts;
+  opts.annotation_capacity = 4;
+  MetricSampler sampler(opts, &clock, &registry);
+  for (int i = 0; i < 10; ++i) {
+    clock.Advance(kSecond);
+    sampler.Annotate(i % 2 == 0 ? "fault.drop" : "fault.restore", i % 2 == 0);
+  }
+  auto anns = sampler.Annotations();
+  ASSERT_EQ(anns.size(), 4u);
+  for (size_t i = 1; i < anns.size(); ++i) {
+    EXPECT_GE(anns[i].t_ns, anns[i - 1].t_ns);
+  }
+  EXPECT_EQ(anns.back().t_ns, 10 * kSecond);
+}
+
+TEST(MetricSamplerTest, FrozenClockNeverHangsStartStop) {
+  // The sampler thread paces on REAL time; a frozen injected clock only
+  // affects timestamps. If Stop joined on the injected clock this would hang.
+  ManualClock clock;  // never advanced
+  MetricsRegistry registry;
+  registry.gauge("g")->Set(1);
+  TimeseriesOptions opts;
+  opts.period_ns = 2'000'000;  // 2 ms real cadence
+  MetricSampler sampler(opts, &clock, &registry);
+  sampler.Start();
+  EXPECT_TRUE(sampler.running());
+  sampler.Start();  // idempotent
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (sampler.sample_count() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(sampler.sample_count(), 3);
+  sampler.Stop();
+  sampler.Stop();  // idempotent
+  EXPECT_FALSE(sampler.running());
+}
+
+TEST(MetricSamplerTest, SteppedClockProducesDeterministicRings) {
+  // Two samplers driven through the identical manual-clock schedule render
+  // byte-identical JSON — the determinism the CI smoke leans on.
+  auto run = [] {
+    ManualClock clock;
+    MetricsRegistry registry;
+    MetricCounter* c = registry.counter("c");
+    MetricSampler sampler(TimeseriesOptions{}, &clock, &registry);
+    for (int i = 0; i < 10; ++i) {
+      c->Add(100 + i);
+      sampler.SampleOnce();
+      clock.Advance(kSecond);
+    }
+    return sampler.ToJson("", 0);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- anomaly incidents through the sampler ---------------------------------------
+
+TEST(MetricSamplerTest, SustainedCollapseFiresOneIncidentWithAnnotation) {
+  ManualClock clock;
+  MetricsRegistry registry;
+  MetricCounter* done = registry.counter("wlm.driver.completed");
+  TimeseriesOptions opts;
+  opts.anomaly_watch = "wlm.driver.completed";  // ignore the meta counters
+  MetricSampler sampler(opts, &clock, &registry);
+  std::vector<AnomalyIncident> incidents;
+  sampler.SetIncidentCallback([&](const AnomalyIncident& inc) {
+    incidents.push_back(inc);
+    // Callback runs without the sampler lock: reading back must not deadlock.
+    EXPECT_NE(sampler.ToText(inc.series, 0).find("wlm.driver.completed"),
+              std::string::npos);
+  });
+
+  sampler.SampleOnce();  // baseline
+  for (int i = 0; i < 20; ++i) {  // steady 100 qps
+    clock.Advance(kSecond);
+    done->Add(100);
+    sampler.SampleOnce();
+  }
+  for (int i = 0; i < 8; ++i) {  // sustained collapse to 10 qps
+    clock.Advance(kSecond);
+    done->Add(10);
+    sampler.SampleOnce();
+  }
+  ASSERT_EQ(incidents.size(), 1u);  // hysteresis: once per episode
+  EXPECT_EQ(incidents[0].series, "wlm.driver.completed");
+  EXPECT_GT(incidents[0].baseline, incidents[0].value);
+  EXPECT_EQ(registry.counter("timeseries.anomalies")->value(), 1);
+  bool annotated = false;
+  for (const TsAnnotation& a : sampler.Annotations()) {
+    if (a.label == "anomaly.wlm.driver.completed") annotated = true;
+  }
+  EXPECT_TRUE(annotated);
+}
+
+// --- the acceptance scenario: crash, dip, recover --------------------------------
+
+TEST(MetricSamplerTest, CrashDipAndRecoverOnOneAnnotatedTimeline) {
+  ManualClock clock;
+  MetricsRegistry registry;
+  MetricCounter* done = registry.counter("wlm.driver.completed");
+  TimeseriesOptions opts;
+  opts.anomaly_watch = "wlm.driver.completed";
+  MetricSampler sampler(opts, &clock, &registry);
+  MetricSampler::SetDefault(&sampler);  // the injector annotates through this
+  std::atomic<int> incidents{0};
+  sampler.SetIncidentCallback([&](const AnomalyIncident&) { ++incidents; });
+
+  const double steady = 100.0;
+  sampler.SampleOnce();  // baseline
+  for (int i = 0; i < 20; ++i) {  // steady state
+    clock.Advance(kSecond);
+    done->Add(100);
+    sampler.SampleOnce();
+  }
+
+  // Scripted crash of node 3, one second after arming (t = 21 s).
+  auto plan = ParseFaultPlan("at=1s kind=crash node=3\n");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*plan, &clock);
+  injector.ArmManual();
+  for (int i = 0; i < 5; ++i) {  // the dip while peers re-dispatch
+    clock.Advance(kSecond);
+    injector.PollOnce();
+    done->Add(30);
+    sampler.SampleOnce();
+  }
+  for (int i = 0; i < 10; ++i) {  // survivors absorb the load
+    clock.Advance(kSecond);
+    done->Add(95);
+    sampler.SampleOnce();
+  }
+  MetricSampler::SetDefault(nullptr);
+
+  auto qps = sampler.SeriesSamples("wlm.driver.completed");
+  ASSERT_EQ(qps.size(), 35u);
+  double min_during_fault = steady;
+  for (size_t i = 20; i < 25; ++i) {
+    min_during_fault = std::min(min_during_fault, qps[i].value);
+  }
+  EXPECT_LT(min_during_fault, 0.7 * steady);  // the dip is visible
+  EXPECT_GE(qps.back().value, 0.9 * steady);  // and it recovers
+  EXPECT_EQ(incidents.load(), 1);             // the collapse paged once
+
+  // The crash rides the same time axis as the dip it explains.
+  bool crash_annotated = false;
+  for (const TsAnnotation& a : sampler.Annotations()) {
+    if (a.label.find("fault.crash") != std::string::npos && a.begin) {
+      crash_annotated = true;
+      EXPECT_EQ(a.t_ns, 21 * kSecond);
+    }
+  }
+  EXPECT_TRUE(crash_annotated);
+}
+
+// --- renders and routes ----------------------------------------------------------
+
+TEST(MetricSamplerTest, JsonAndTextRespectFilters) {
+  ManualClock clock;
+  MetricsRegistry registry;
+  MetricGauge* a = registry.gauge("alpha.depth");
+  MetricGauge* b = registry.gauge("beta.depth");
+  MetricSampler sampler(TimeseriesOptions{}, &clock, &registry);
+  for (int i = 1; i <= 5; ++i) {
+    clock.Advance(kSecond);
+    a->Set(i);
+    b->Set(10 * i);
+    sampler.SampleOnce();
+  }
+  std::string json = sampler.ToJson("alpha", 0);
+  EXPECT_NE(json.find("\"alpha.depth\""), std::string::npos);
+  EXPECT_EQ(json.find("\"beta.depth\""), std::string::npos);
+  // Window filter: now = 5 s, a 2 s window keeps t in [3 s, 5 s].
+  std::string windowed = sampler.ToJson("alpha", 2 * kSecond);
+  EXPECT_EQ(windowed.find(StrFormat("[%lld,", 1LL * kSecond)),
+            std::string::npos);
+  EXPECT_NE(windowed.find(StrFormat("[%lld,", 5LL * kSecond)),
+            std::string::npos);
+  std::string text = sampler.ToText("beta", 0);
+  EXPECT_NE(text.find("beta.depth"), std::string::npos);
+  EXPECT_EQ(text.find("alpha.depth"), std::string::npos);
+  EXPECT_NE(text.find('['), std::string::npos);  // sparkline brackets
+}
+
+TEST(MonitorRoutesTest, TimeseriesRouteServesDefaultSamplerOrDisabledStub) {
+  MonitorServer server;  // disabled: Dispatch works without a socket
+  HttpRequest req{"GET", "/timeseries", "", ""};
+  EXPECT_NE(server.Dispatch(req).body.find("\"enabled\":false"),
+            std::string::npos);
+
+  ManualClock clock;
+  MetricsRegistry registry;
+  registry.gauge("queue.depth")->Set(5);
+  MetricSampler sampler(TimeseriesOptions{}, &clock, &registry);
+  MetricSampler::SetDefault(&sampler);
+  sampler.SampleOnce();
+  HttpResponse res = server.Dispatch(req);
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.content_type, "application/json");
+  EXPECT_NE(res.body.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(res.body.find("queue.depth"), std::string::npos);
+
+  HttpRequest filtered{"GET", "/timeseries", "metric=queue&format=text", ""};
+  HttpResponse text = server.Dispatch(filtered);
+  EXPECT_NE(text.content_type.find("text/plain"), std::string::npos);
+  EXPECT_NE(text.body.find("queue.depth"), std::string::npos);
+  MetricSampler::SetDefault(nullptr);
+}
+
+TEST(MonitorRoutesTest, DashServesSelfContainedHtml) {
+  MonitorServer server;
+  HttpResponse res = server.Dispatch({"GET", "/dash", "", ""});
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.content_type.find("text/html"), std::string::npos);
+  EXPECT_NE(res.body.find("/timeseries"), std::string::npos);  // polls it
+  EXPECT_NE(res.body.find("wlm.driver.completed"), std::string::npos);
+}
+
+TEST(MonitorRoutesTest, MetricsScrapeReusesScratchAndRecordsDuration) {
+  MonitorServer server;
+  MetricHistogram* scrape =
+      MetricsRegistry::Global()->histogram("obs.scrape_ns");
+  const int64_t before = scrape->count();
+  std::string first = server.Dispatch({"GET", "/metrics", "", ""}).body;
+  std::string second = server.Dispatch({"GET", "/metrics", "", ""}).body;
+  EXPECT_FALSE(first.empty());
+  EXPECT_NE(first.find("# TYPE"), std::string::npos);
+  EXPECT_FALSE(second.empty());
+  EXPECT_GE(scrape->count(), before + 2);
+}
+
+TEST(AsciiSparklineTest, ScalesZeroToMax) {
+  EXPECT_EQ(AsciiSparkline({}), "");
+  EXPECT_EQ(AsciiSparkline({0.0, 5.0, 10.0}), " +@");
+  EXPECT_EQ(AsciiSparkline({0.0, 0.0}), "  ");  // all-zero: no divide-by-zero
+}
+
+}  // namespace
+}  // namespace claims

@@ -376,6 +376,50 @@ TEST_F(WlmTest, ClosedLoopDriverReportsPercentiles) {
   service.Shutdown();
 }
 
+TEST(BucketTimelineTest, KeepsInteriorStallBucketsAndComputesP99) {
+  // Completions at 0.1 s, 0.2 s, then a 2-second stall, then 2.5 s: the
+  // interior empty buckets must survive (a stall shows as a dip, not get
+  // elided) and each bucket's p99 covers only its own successes.
+  std::vector<CompletionSample> done = {
+      {100'000'000, 10'000'000, true},
+      {200'000'000, 20'000'000, true},
+      {2'500'000'000, 30'000'000, true},
+      {2'600'000'000, 40'000'000, false},  // failure: counted, no latency
+  };
+  std::vector<TimelinePoint> tl = BucketTimeline(done, 1'000'000'000);
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl[0].completed, 2);
+  EXPECT_DOUBLE_EQ(tl[0].qps, 2.0);
+  EXPECT_DOUBLE_EQ(tl[0].p99_ms, 20.0);
+  EXPECT_EQ(tl[1].completed, 0);  // the stall bucket
+  EXPECT_DOUBLE_EQ(tl[1].p99_ms, 0.0);
+  EXPECT_EQ(tl[2].completed, 2);
+  EXPECT_DOUBLE_EQ(tl[2].p99_ms, 30.0);  // failure excluded from latency
+  EXPECT_TRUE(BucketTimeline({}, 1'000'000'000).empty());
+}
+
+TEST_F(WlmTest, ClosedLoopDriverCollectsTimeline) {
+  QueryServiceOptions opts;
+  opts.admission.max_concurrent = 4;
+  QueryService service(db_->cluster(), opts);
+  WorkloadOptions wl;
+  wl.mode = ArrivalMode::kClosed;
+  wl.total_queries = 8;
+  wl.mpl = 4;
+  wl.timeline = true;
+  wl.timeline_period_ns = 1'000'000;  // 1 ms buckets for a fast run
+  wl.make_plan = [](int) { return PlanSql("SELECT count(*) FROM orders"); };
+  WorkloadReport report = WorkloadDriver(&service, wl).Run();
+  EXPECT_EQ(report.succeeded, 8);
+  ASSERT_FALSE(report.timeline.empty());
+  int completed = 0;
+  for (const TimelinePoint& p : report.timeline) completed += p.completed;
+  EXPECT_EQ(completed, 8);
+  EXPECT_NE(report.ToJson().find("\"timeline\":["), std::string::npos);
+  EXPECT_NE(report.TimelineToString().find("qps"), std::string::npos);
+  service.Shutdown();
+}
+
 TEST_F(WlmTest, OpenLoopDriverRunsPoissonArrivals) {
   QueryServiceOptions opts;
   opts.admission.max_concurrent = 4;
